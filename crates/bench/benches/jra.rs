@@ -1,0 +1,57 @@
+//! Criterion microbenchmarks for the Figure 9 story: exact JRA solvers at
+//! sizes where all of them finish (the full-scale sweeps live in the
+//! `repro` binary, which also reports DNFs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wgrap_core::jra::{bba, bfs, cp, ilp, JraProblem};
+use wgrap_datagen::vectors::{jra_paper, jra_pool, VectorConfig};
+
+fn bench_solvers(c: &mut Criterion) {
+    let vc = VectorConfig::default();
+    let pool = jra_pool(40, &vc, 1);
+    let paper = jra_paper(&vc, 2);
+
+    let mut group = c.benchmark_group("jra_solvers_r40_dp3");
+    group.sample_size(10);
+    let problem = JraProblem::new(&paper, &pool, 3);
+    group.bench_function("bba", |b| b.iter(|| black_box(bba::solve(&problem))));
+    group.bench_function("bfs", |b| b.iter(|| black_box(bfs::solve(&problem))));
+    group.bench_function("cp", |b| b.iter(|| black_box(cp::solve(&problem, None))));
+    group.bench_function("ilp", |b| b.iter(|| black_box(ilp::solve(&problem, None))));
+    group.finish();
+}
+
+fn bench_bba_scaling(c: &mut Criterion) {
+    let vc = VectorConfig::default();
+    let paper = jra_paper(&vc, 3);
+    let mut group = c.benchmark_group("bba_vs_pool_size");
+    for r in [100usize, 200, 400, 800] {
+        let pool = jra_pool(r, &vc, 4);
+        let problem = JraProblem::new(&paper, &pool, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(r), &problem, |b, p| {
+            b.iter(|| black_box(bba::solve(p)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bba_bound_ablation(c: &mut Criterion) {
+    // DESIGN.md ablation: Eq. 3 bounding on vs off.
+    let vc = VectorConfig::default();
+    let pool = jra_pool(60, &vc, 5);
+    let paper = jra_paper(&vc, 6);
+    let problem = JraProblem::new(&paper, &pool, 3);
+    let mut group = c.benchmark_group("bba_bound_ablation_r60_dp3");
+    group.sample_size(10);
+    for (label, use_bound) in [("with_bound", true), ("without_bound", false)] {
+        let opts = bba::BbaOptions { top_k: 1, use_bound, ..Default::default() };
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(bba::solve_with_options(&problem, &opts)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers, bench_bba_scaling, bench_bba_bound_ablation);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion microbenchmarks for the linear-assignment substrate: the
+//! Hungarian algorithm vs min-cost flow on SDGA-stage-shaped problems.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use wgrap_lap::{hungarian_max, CapacitatedAssignment, CostMatrix};
+
+fn random_weights(rows: usize, cols: usize, seed: u64) -> CostMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    CostMatrix::from_fn(rows, cols, |_, _| rng.random::<f64>())
+}
+
+fn bench_square(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lap_square_unit_caps");
+    group.sample_size(10);
+    for n in [50usize, 100, 200] {
+        let w = random_weights(n, n, n as u64);
+        group.bench_with_input(BenchmarkId::new("hungarian", n), &w, |b, w| {
+            b.iter(|| black_box(hungarian_max(w)))
+        });
+        let caps = vec![1i64; n];
+        group.bench_with_input(BenchmarkId::new("flow", n), &w, |b, w| {
+            b.iter(|| black_box(CapacitatedAssignment::new(w, &caps).solve()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_stage_shape(c: &mut Criterion) {
+    // SDGA stage shape: P papers x R reviewers, reviewer capacity cap.
+    // Hungarian needs slot expansion (R*cap columns); flow handles caps
+    // natively — this is the ablation behind defaulting to flow.
+    let (p, r, cap) = (154usize, 26usize, 6i64); // DB08 / 4 at delta_p = 3
+    let w = random_weights(p, r, 9);
+    let caps = vec![cap; r];
+    let mut group = c.benchmark_group("lap_sdga_stage_shape");
+    group.sample_size(10);
+    group.bench_function("flow_capacitated", |b| {
+        b.iter(|| black_box(CapacitatedAssignment::new(&w, &caps).solve()))
+    });
+    group.bench_function("hungarian_slot_expanded", |b| {
+        b.iter(|| {
+            let expanded = CostMatrix::from_fn(p, r * cap as usize, |i, s| {
+                w.get(i, s / cap as usize)
+            });
+            black_box(hungarian_max(&expanded))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_square, bench_stage_shape);
+criterion_main!(benches);

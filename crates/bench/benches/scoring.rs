@@ -1,0 +1,47 @@
+//! Criterion microbenchmarks for the scoring kernel — the innermost loop of
+//! every assignment algorithm (gain evaluation dominates Greedy and BBA).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wgrap_core::prelude::{RunningGroup, Scoring};
+use wgrap_datagen::vectors::{jra_paper, jra_pool, VectorConfig};
+
+fn bench_pair_scores(c: &mut Criterion) {
+    let vc = VectorConfig::default();
+    let pool = jra_pool(256, &vc, 1);
+    let paper = jra_paper(&vc, 2);
+    let mut group = c.benchmark_group("pair_score_256_reviewers_t30");
+    for scoring in Scoring::ALL {
+        group.bench_function(format!("{scoring:?}"), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for r in &pool {
+                    acc += scoring.pair_score(black_box(r), black_box(&paper));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_marginal_gain(c: &mut Criterion) {
+    let vc = VectorConfig::default();
+    let pool = jra_pool(256, &vc, 3);
+    let paper = jra_paper(&vc, 4);
+    let mut rg = RunningGroup::new(Scoring::WeightedCoverage, &paper);
+    rg.add(&pool[0]);
+    rg.add(&pool[1]);
+    c.bench_function("marginal_gain_t30", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for r in &pool {
+                acc += rg.gain(black_box(r));
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_pair_scores, bench_marginal_gain);
+criterion_main!(benches);

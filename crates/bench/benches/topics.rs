@@ -1,0 +1,56 @@
+//! Criterion microbenchmarks for the topic-model substrate: ATM Gibbs
+//! sweeps and EM folding-in (the §2.4 extraction pipeline).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wgrap_datagen::areas::{Area, DatasetSpec};
+use wgrap_datagen::corpus::{generate, CorpusConfig};
+use wgrap_topics::atm::{fit, AtmOptions};
+use wgrap_topics::em::infer_document;
+
+fn small_corpus() -> (wgrap_topics::Corpus, Vec<Vec<u32>>) {
+    let spec = DatasetSpec {
+        name: "BENCH",
+        area: Area::DataMining,
+        year: 2008,
+        num_papers: 20,
+        num_reviewers: 15,
+    };
+    let cfg = CorpusConfig {
+        vocab_size: 400,
+        num_topics: 10,
+        docs_per_author: (3, 6),
+        words_per_doc: (40, 80),
+        ..Default::default()
+    };
+    let sc = generate(&spec, &cfg, 7);
+    (sc.publications, sc.submissions)
+}
+
+fn bench_atm(c: &mut Criterion) {
+    let (corpus, _) = small_corpus();
+    let mut group = c.benchmark_group("atm_gibbs");
+    group.sample_size(10);
+    group.bench_function("fit_t10_20sweeps", |b| {
+        b.iter(|| {
+            let opts = AtmOptions { num_topics: 10, iterations: 20, ..Default::default() };
+            black_box(fit(&corpus, &opts))
+        })
+    });
+    group.finish();
+}
+
+fn bench_em(c: &mut Criterion) {
+    let (corpus, submissions) = small_corpus();
+    let model = fit(&corpus, &AtmOptions { num_topics: 10, iterations: 30, ..Default::default() });
+    c.bench_function("em_folding_in_20_papers", |b| {
+        b.iter(|| {
+            for words in &submissions {
+                black_box(infer_document(&model.phi, words, 50, 1e-8));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_atm, bench_em);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Ad-hoc timing probe for full-scale method costs (used while calibrating
+//! the harness; kept for troubleshooting).
+use std::time::Instant;
+use wgrap_core::cra::CraAlgorithm;
+use wgrap_core::prelude::Scoring;
+use wgrap_datagen::areas::{DB08, DM08};
+use wgrap_datagen::vectors::area_instance;
+
+fn main() {
+    for (spec, dp) in [(DB08, 3usize), (DB08, 5), (DM08, 3), (DM08, 5)] {
+        let inst = area_instance(&spec, dp, 42);
+        for algo in CraAlgorithm::ALL {
+            let t = Instant::now();
+            let a = algo.run(&inst, Scoring::WeightedCoverage, 42).unwrap();
+            println!(
+                "{} d={dp} {}: {:.1}s cov {:.1}",
+                spec.name,
+                algo.label(),
+                t.elapsed().as_secs_f64(),
+                a.coverage_score(&inst, Scoring::WeightedCoverage)
+            );
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Completion probe for the Table 4 cells the main probe timed out on.
+use std::time::Instant;
+use wgrap_core::cra::CraAlgorithm;
+use wgrap_core::prelude::Scoring;
+use wgrap_datagen::areas::DM08;
+use wgrap_datagen::vectors::area_instance;
+
+fn main() {
+    let inst = area_instance(&DM08, 5, 42);
+    for algo in [CraAlgorithm::Greedy, CraAlgorithm::Sdga, CraAlgorithm::SdgaSra] {
+        let t = Instant::now();
+        let a = algo.run(&inst, Scoring::WeightedCoverage, 42).unwrap();
+        println!(
+            "DM08 d=5 {}: {:.1}s cov {:.1}",
+            algo.label(),
+            t.elapsed().as_secs_f64(),
+            a.coverage_score(&inst, Scoring::WeightedCoverage)
+        );
+    }
+}

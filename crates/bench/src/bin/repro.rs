@@ -1,0 +1,109 @@
+//! `repro` — regenerate every table and figure of the SIGMOD'15 WGRAP paper.
+//!
+//! ```text
+//! cargo run -p wgrap-bench --release --bin repro -- <experiment> [options]
+//!
+//! experiments:
+//!   fig7        analytic approximation-ratio curves
+//!   fig9a fig9b fig14a fig14b    JRA scalability (BFS / ILP / BBA)
+//!   fig15       top-k BBA
+//!   cp-compare  generic CP vs BBA (R=30)
+//!   table4      CRA response times
+//!   fig10       optimality + superiority, DB08/DM08
+//!   fig12       refinement traces (SRA vs LS)
+//!   table7      lowest coverage score, six datasets
+//!   fig16       effect of omega
+//!   fig17 fig18 quality on T08 / the 2009 datasets
+//!   case-study  Figures 19-20 through the ATM pipeline
+//!   table6      toy scoring example
+//!   fig21       alternative scorings + h-index scaling
+//!   ablation    SRA removal-model ablation
+//!   improved    papers improved by SDGA-SRA over Greedy
+//!   all         everything above
+//!
+//! options:
+//!   --scale N     divide dataset sizes by N (default 1 = paper sizes)
+//!   --seed N      RNG seed (default 42)
+//!   --budget N    per-solver-call budget in seconds for JRA experiments
+//!   --trials N    random papers averaged in JRA experiments (default 5)
+//! ```
+
+use std::time::Duration;
+use wgrap_bench::util::RunConfig;
+use wgrap_bench::{cases, jra, quality, refinement, scoring_exp};
+
+fn parse_args() -> (Vec<String>, RunConfig) {
+    let mut cfg = RunConfig::default();
+    let mut cmds = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| -> u64 {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{what} needs a numeric value"))
+        };
+        match arg.as_str() {
+            "--scale" => cfg.scale = take("--scale").max(1) as usize,
+            "--seed" => cfg.seed = take("--seed"),
+            "--budget" => cfg.solver_budget = Duration::from_secs(take("--budget")),
+            "--trials" => cfg.trials = take("--trials").max(1) as usize,
+            other => cmds.push(other.to_string()),
+        }
+    }
+    if cmds.is_empty() {
+        cmds.push("all".into());
+    }
+    (cmds, cfg)
+}
+
+fn run(cmd: &str, cfg: &RunConfig) {
+    match cmd {
+        "fig7" => scoring_exp::fig7(),
+        "fig9a" => jra::fig9a(cfg),
+        "fig9b" => jra::fig9b(cfg),
+        "fig14a" => jra::fig14a(cfg),
+        "fig14b" => jra::fig14b(cfg),
+        "fig9-small" => jra::fig9_small(cfg),
+        "fig15" => jra::fig15(cfg),
+        "cp-compare" => jra::cp_compare(cfg),
+        "table4" => quality::table4(cfg),
+        "fig10" | "fig11" => quality::fig10_11(cfg),
+        "fig12" => refinement::fig12(cfg),
+        "table7" => quality::table7(cfg),
+        "fig16" => refinement::fig16(cfg),
+        "fig17" => quality::fig17(cfg),
+        "fig18" => quality::fig18(cfg),
+        "case-study" => cases::case_study(cfg),
+        "table6" => cases::table6(),
+        "fig21" => {
+            scoring_exp::fig21_scorings(cfg);
+            scoring_exp::fig21_hindex(cfg);
+        }
+        "ablation" => refinement::sra_model_ablation(cfg),
+        "improved" => quality::improvement_counts(cfg),
+        "all" => {
+            for c in [
+                "fig7", "table6", "fig9a", "fig9b", "fig9-small", "fig14a", "fig14b",
+                "fig15", "cp-compare", "table4", "fig10", "fig12", "table7", "fig16",
+                "fig17", "fig18", "fig21", "case-study", "ablation", "improved",
+            ] {
+                run(c, cfg);
+            }
+        }
+        other => {
+            eprintln!("unknown experiment '{other}' — see the doc comment in repro.rs");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let (cmds, cfg) = parse_args();
+    println!(
+        "wgrap repro | scale 1/{} | seed {} | budget {:?} | trials {}",
+        cfg.scale, cfg.seed, cfg.solver_budget, cfg.trials
+    );
+    for cmd in &cmds {
+        run(cmd, &cfg);
+    }
+}

@@ -1,0 +1,135 @@
+//! Case studies (Figures 19–20, Tables 8–9) through the full topic
+//! pipeline, and the Table 6 toy scoring example.
+
+use crate::util::{banner, render_table, RunConfig};
+use wgrap_core::cra::CraAlgorithm;
+use wgrap_core::metrics;
+use wgrap_core::prelude::{Scoring, TopicVector};
+use wgrap_datagen::areas::{Area, DatasetSpec};
+use wgrap_datagen::corpus::CorpusConfig;
+use wgrap_datagen::pipeline::{corpus_to_instance, PipelineConfig};
+use wgrap_topics::atm::AtmOptions;
+
+const SCORING: Scoring = Scoring::WeightedCoverage;
+
+/// Case studies: build a corpus-backed instance (synthetic stand-in for the
+/// DBLP abstracts), run ILP/BRGG/Greedy/SDGA-SRA, and print for an
+/// interdisciplinary-looking paper its top-5 topics and each method's
+/// reviewer group with per-topic weights — the content of Figures 19–20.
+pub fn case_study(cfg: &RunConfig) {
+    banner("Case studies (Figures 19-20): per-topic coverage of one paper");
+    // A corpus-scale dataset the ATM fits in seconds.
+    let spec = DatasetSpec {
+        name: "CASE",
+        area: Area::Databases,
+        year: 2008,
+        num_papers: (60 / cfg.scale).max(10),
+        num_reviewers: (40 / cfg.scale).max(8),
+    };
+    let pipeline = PipelineConfig {
+        corpus: CorpusConfig {
+            vocab_size: 600,
+            num_topics: 12,
+            ..Default::default()
+        },
+        atm: AtmOptions { num_topics: 12, iterations: 120, ..Default::default() },
+        em_iters: 100,
+    };
+    let (inst, sc) = corpus_to_instance(&spec, &pipeline, 3, cfg.seed);
+
+    // Pick the paper whose vector is most spread out (highest entropy):
+    // the analogue of the interdisciplinary case-study papers.
+    let entropy = |v: &TopicVector| -> f64 {
+        v.as_slice().iter().filter(|&&w| w > 0.0).map(|&w| -w * w.ln()).sum()
+    };
+    let paper = (0..inst.num_papers())
+        .max_by(|&a, &b| entropy(inst.paper(a)).total_cmp(&entropy(inst.paper(b))))
+        .expect("non-empty instance");
+
+    for algo in [
+        CraAlgorithm::ArapIlp,
+        CraAlgorithm::Brgg,
+        CraAlgorithm::Greedy,
+        CraAlgorithm::SdgaSra,
+    ] {
+        let a = algo.run(&inst, SCORING, cfg.seed).expect("method runs");
+        let cs = metrics::case_study(&inst, SCORING, &a, paper, 5);
+        println!("\n{} (Score = {:.2})", algo.label(), cs.score);
+        let mut rows = Vec::new();
+        let mut row = vec!["paper".to_string()];
+        row.extend(cs.paper_weights.iter().map(|w| format!("{w:.3}")));
+        rows.push(row);
+        for (r, weights) in &cs.reviewers {
+            let mut row = vec![inst.reviewer_name(*r)];
+            row.extend(weights.iter().map(|w| format!("{w:.3}")));
+            rows.push(row);
+        }
+        let headers: Vec<String> = std::iter::once("vector".to_string())
+            .chain(cs.topics.iter().map(|t| format!("t{t}")))
+            .collect();
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        println!("{}", render_table(&header_refs, &rows));
+    }
+
+    // Tables 8-9 analogue: keyword lists of the paper's top topics, read
+    // from the *fitted* ATM (as the paper does) with the synthetic
+    // vocabulary's keyword strings.
+    let words = wgrap_datagen::keywords::word_strings(
+        pipeline.corpus.vocab_size,
+        pipeline.corpus.num_topics,
+    );
+    let atm = wgrap_topics::atm::fit(
+        &sc.publications,
+        &AtmOptions { num_topics: 12, iterations: 120, seed: cfg.seed, ..Default::default() },
+    );
+    println!("\nTopics and keywords (Tables 8-9 analogue, from the fitted ATM):");
+    for t in inst.paper(paper).top_topics(5) {
+        let kws: Vec<String> = atm
+            .top_words(t, 6)
+            .into_iter()
+            .map(|w| words[w as usize].clone())
+            .collect();
+        println!("  t{t}: {}", kws.join(", "));
+    }
+}
+
+/// Table 6: the four scoring functions on the toy two-reviewer example.
+pub fn table6() {
+    banner("Table 6: scoring functions on the toy example");
+    let p = TopicVector::new(vec![0.6, 0.4]);
+    let r1 = TopicVector::new(vec![0.9, 0.1]);
+    let r2 = TopicVector::new(vec![0.5, 0.5]);
+    let mut rows = Vec::new();
+    for (label, s) in [
+        ("reviewer coverage cR", Scoring::ReviewerCoverage),
+        ("paper coverage cP", Scoring::PaperCoverage),
+        ("dot-product cD", Scoring::DotProduct),
+        ("weighted coverage c", Scoring::WeightedCoverage),
+    ] {
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.2}", s.pair_score(&r1, &p)),
+            format!("{:.2}", s.pair_score(&r2, &p)),
+        ]);
+    }
+    println!("{}", render_table(&["scoring", "r1", "r2"], &rows));
+    println!("(only the weighted coverage prefers r2, matching the paper)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_matches_paper_values() {
+        // The rendered numbers are asserted in wgrap-core's score tests;
+        // here just exercise the printing path.
+        table6();
+    }
+
+    #[test]
+    fn case_study_smoke() {
+        let cfg = RunConfig { scale: 4, seed: 2, ..Default::default() };
+        case_study(&cfg);
+    }
+}

@@ -1,0 +1,250 @@
+//! JRA scalability experiments: Figures 9, 14, 15 and the §5.1 CPLEX-CP
+//! comparison.
+//!
+//! The paper reports BFS/ILP response times up to days; we reproduce the
+//! *shape* under a per-call wall-clock budget ([`crate::util::RunConfig`]):
+//! a solver whose estimated or actual cost exceeds the budget is reported
+//! `DNF(time)` / `DNF(mem)`, mirroring the paper's ">24 hours" cells.
+
+use crate::util::{banner, render_table, secs, timeit, RunConfig};
+use std::time::Duration;
+use wgrap_core::jra::{bba, bfs, cp, ilp, JraProblem};
+use wgrap_core::prelude::TopicVector;
+use wgrap_datagen::vectors::{jra_paper, jra_pool, VectorConfig};
+
+/// Leaf evaluations per second assumed when deciding whether BFS can finish
+/// within the budget (measured ~2e7/s in release; we use a conservative 5e6).
+const BFS_LEAVES_PER_SEC: f64 = 5e6;
+/// Dense-tableau memory cap for the ILP baseline.
+const ILP_MEM_CAP_BYTES: f64 = 400e6;
+
+fn binomial_f64(n: usize, k: usize) -> f64 {
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+/// One timing cell: elapsed seconds or a DNF marker.
+fn run_bfs(problem: &JraProblem<'_>, budget: Duration) -> String {
+    let leaves = binomial_f64(problem.num_feasible(), problem.delta_p);
+    if leaves > budget.as_secs_f64() * BFS_LEAVES_PER_SEC {
+        return "DNF(time)".into();
+    }
+    let (res, t) = timeit(|| bfs::solve(problem));
+    debug_assert!(res.is_some());
+    secs(t)
+}
+
+fn run_ilp(problem: &JraProblem<'_>, budget: Duration) -> String {
+    // Estimate the dense simplex tableau: rows ≈ 1 + T + nz(z≤x) + R(x≤1),
+    // cols ≈ vars + slacks + artificials.
+    let r = problem.num_feasible() as f64;
+    let t = problem.paper.dim() as f64;
+    let nz = r * t; // upper bound: one z per (topic, reviewer)
+    let rows = 1.0 + t + nz + r;
+    let cols = (r + nz) + rows;
+    if rows * cols * 8.0 > ILP_MEM_CAP_BYTES {
+        return "DNF(mem)".into();
+    }
+    let (res, t) = timeit(|| ilp::solve(problem, Some(budget)));
+    match res {
+        Some(_) if t <= budget => secs(t),
+        _ => "DNF(time)".into(),
+    }
+}
+
+fn run_bba(problem: &JraProblem<'_>) -> (String, u64) {
+    let (res, t) = timeit(|| bba::solve(problem));
+    let nodes = res.map(|r| r.nodes).unwrap_or(0);
+    (secs(t), nodes)
+}
+
+struct JraData {
+    pool: Vec<TopicVector>,
+    papers: Vec<TopicVector>,
+}
+
+fn jra_data(cfg: &RunConfig, pool_size: usize) -> JraData {
+    let vc = VectorConfig::default();
+    let pool = jra_pool(pool_size, &vc, cfg.seed);
+    let papers = (0..cfg.trials).map(|i| jra_paper(&vc, cfg.seed + 100 + i as u64)).collect();
+    JraData { pool, papers }
+}
+
+/// Average the per-paper cells; a single DNF makes the whole cell DNF (the
+/// paper reports the method as not finishing in that configuration).
+fn average_cell(cells: Vec<String>) -> String {
+    let mut total = 0.0;
+    for c in &cells {
+        match c.parse::<f64>() {
+            Ok(v) => total += v,
+            Err(_) => return c.clone(),
+        }
+    }
+    format!("{:.3}", total / cells.len() as f64)
+}
+
+/// Shared sweep: vary δp at fixed R (Figures 9(a) / 14(a)).
+pub fn sweep_delta_p(cfg: &RunConfig, r: usize, delta_ps: &[usize], title: &str) {
+    banner(title);
+    let r = (r / cfg.scale).max(10);
+    let data = jra_data(cfg, r);
+    let mut rows = Vec::new();
+    for &dp in delta_ps {
+        let mut bfs_c = Vec::new();
+        let mut ilp_c = Vec::new();
+        let mut bba_c = Vec::new();
+        for paper in &data.papers {
+            let problem = JraProblem::new(paper, &data.pool, dp);
+            bfs_c.push(run_bfs(&problem, cfg.solver_budget));
+            ilp_c.push(run_ilp(&problem, cfg.solver_budget));
+            bba_c.push(run_bba(&problem).0);
+        }
+        rows.push(vec![
+            dp.to_string(),
+            average_cell(bfs_c),
+            average_cell(ilp_c),
+            average_cell(bba_c),
+        ]);
+    }
+    println!("R = {r}, {} trial papers, budget {:?} per call", data.papers.len(), cfg.solver_budget);
+    println!("{}", render_table(&["delta_p", "BFS (s)", "ILP (s)", "BBA (s)"], &rows));
+}
+
+/// Shared sweep: vary R at fixed δp (Figures 9(b) / 14(b)).
+pub fn sweep_r(cfg: &RunConfig, rs: &[usize], delta_p: usize, title: &str) {
+    banner(title);
+    let mut rows = Vec::new();
+    for &r0 in rs {
+        let r = (r0 / cfg.scale).max(10);
+        let data = jra_data(cfg, r);
+        let mut bfs_c = Vec::new();
+        let mut ilp_c = Vec::new();
+        let mut bba_c = Vec::new();
+        for paper in &data.papers {
+            let problem = JraProblem::new(paper, &data.pool, delta_p);
+            bfs_c.push(run_bfs(&problem, cfg.solver_budget));
+            ilp_c.push(run_ilp(&problem, cfg.solver_budget));
+            bba_c.push(run_bba(&problem).0);
+        }
+        rows.push(vec![
+            r.to_string(),
+            average_cell(bfs_c),
+            average_cell(ilp_c),
+            average_cell(bba_c),
+        ]);
+    }
+    println!("delta_p = {delta_p}, {} trial papers", cfg.trials);
+    println!("{}", render_table(&["R", "BFS (s)", "ILP (s)", "BBA (s)"], &rows));
+}
+
+/// Figure 9(a): response time vs δp at R = 200.
+pub fn fig9a(cfg: &RunConfig) {
+    sweep_delta_p(cfg, 200, &[3, 4, 5, 6], "Figure 9(a): JRA response time vs delta_p (R=200)");
+}
+
+/// Figure 9(b): response time vs R at δp = 3.
+pub fn fig9b(cfg: &RunConfig) {
+    sweep_r(cfg, &[200, 300, 400, 500], 3, "Figure 9(b): JRA response time vs R (delta_p=3)");
+}
+
+/// Figure 14(a): response time vs δp at R = 300.
+pub fn fig14a(cfg: &RunConfig) {
+    sweep_delta_p(cfg, 300, &[3, 4, 5, 6], "Figure 14(a): JRA response time vs delta_p (R=300)");
+}
+
+/// Figure 14(b): response time vs R at δp = 4.
+pub fn fig14b(cfg: &RunConfig) {
+    sweep_r(cfg, &[200, 300, 400, 500], 4, "Figure 14(b): JRA response time vs R (delta_p=4)");
+}
+
+/// Supplementary small-R sweep: pool sizes where the from-scratch ILP
+/// baseline *finishes*, so the BBA-vs-ILP gap is measured rather than
+/// reported as DNF (our dense simplex hits its memory guard at the paper's
+/// R = 200; lp_solve's revised simplex did not).
+pub fn fig9_small(cfg: &RunConfig) {
+    sweep_r(
+        cfg,
+        &[20, 30, 40, 60],
+        3,
+        "Supplementary: JRA response time at small R (delta_p=3), ILP finishes",
+    );
+}
+
+/// Figure 15: top-k BBA over the default pool (paper: 1002 authors, k up to
+/// 1000 within ~2 seconds).
+pub fn fig15(cfg: &RunConfig) {
+    banner("Figure 15: effect of k on top-k BBA (delta_p=3)");
+    let pool_size = (1002 / cfg.scale).max(30);
+    let data = jra_data(cfg, pool_size);
+    let mut rows = Vec::new();
+    for &k in &[1usize, 200, 400, 600, 800, 1000] {
+        let mut cells = Vec::new();
+        for paper in &data.papers {
+            let problem = JraProblem::new(paper, &data.pool, 3);
+            let (res, t) = timeit(|| bba::solve_top_k(&problem, k));
+            debug_assert!(res.is_some());
+            cells.push(secs(t));
+        }
+        rows.push(vec![k.to_string(), average_cell(cells)]);
+    }
+    println!("pool = {pool_size} candidates");
+    println!("{}", render_table(&["k", "BBA top-k (s)"], &rows));
+}
+
+/// §5.1 CP comparison: BBA vs a generic CP search at R = 30, δp = 3 (the
+/// paper: CPLEX 14.35 s to optimal / 90 ms to first feasible; BBA 4 ms).
+pub fn cp_compare(cfg: &RunConfig) {
+    banner("CP comparison (R=30, delta_p=3): generic CP vs BBA");
+    let data = jra_data(cfg, 30);
+    let mut rows = Vec::new();
+    for (i, paper) in data.papers.iter().enumerate() {
+        let problem = JraProblem::new(paper, &data.pool, 3);
+        let (cp_res, cp_t) = timeit(|| cp::solve(&problem, Some(cfg.solver_budget)));
+        let (bba_res, bba_t) = timeit(|| bba::solve(&problem));
+        let cp_res = cp_res.expect("R=30 CP run finishes");
+        let bba_res = bba_res.expect("BBA finishes");
+        assert!((cp_res.score - bba_res.score).abs() < 1e-9, "CP and BBA disagree");
+        rows.push(vec![
+            format!("paper {i}"),
+            secs(cp_t),
+            format!("{}", cp_res.nodes),
+            secs(bba_t),
+            format!("{}", bba_res.nodes),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["trial", "CP (s)", "CP nodes", "BBA (s)", "BBA nodes"], &rows)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_is_sane() {
+        assert_eq!(binomial_f64(200, 3) as u64, 1_313_400);
+        assert_eq!(binomial_f64(5, 5) as u64, 1);
+    }
+
+    #[test]
+    fn average_cell_propagates_dnf() {
+        assert_eq!(average_cell(vec!["1.0".into(), "DNF(time)".into()]), "DNF(time)");
+        assert_eq!(average_cell(vec!["1.0".into(), "3.0".into()]), "2.000");
+    }
+
+    #[test]
+    fn small_sweep_runs() {
+        let cfg = RunConfig {
+            scale: 20,
+            trials: 1,
+            solver_budget: Duration::from_secs(2),
+            ..Default::default()
+        };
+        sweep_delta_p(&cfg, 200, &[2], "test sweep");
+    }
+}

@@ -1,0 +1,25 @@
+//! # wgrap-bench — experiment harness
+//!
+//! One module per group of paper artifacts; the `repro` binary dispatches a
+//! subcommand per table/figure (see `DESIGN.md` §3 for the full index):
+//!
+//! * [`jra`] — Figures 9, 14, 15 and the §5.1 CP comparison (JRA
+//!   scalability: BFS vs ILP vs CP vs BBA, top-k).
+//! * [`quality`] — Table 4, Figures 10/11/17/18, Table 7 (CRA quality and
+//!   response time across the six Table 3 datasets).
+//! * [`refinement`] — Figures 12 and 16 (SRA vs local search traces, the
+//!   effect of ω).
+//! * [`cases`] — Figures 19–20 / Tables 8–9 case studies through the full
+//!   topic pipeline, and the Table 6 toy example.
+//! * [`scoring_exp`] — Figure 21 (alternative scoring functions, h-index
+//!   scaling).
+//! * [`util`] — timing, table rendering, run configuration.
+#![warn(missing_docs)]
+
+
+pub mod cases;
+pub mod jra;
+pub mod quality;
+pub mod refinement;
+pub mod scoring_exp;
+pub mod util;

@@ -1,0 +1,214 @@
+//! CRA quality and response-time experiments: Table 4, Figures 10/11/17/18,
+//! Table 7.
+//!
+//! Each experiment generates the synthetic dataset(s) (Table 3
+//! cardinalities), runs the six §5.2 methods, and prints the same rows the
+//! paper reports. Independent (dataset, δp) cells run on scoped threads.
+
+use crate::util::{banner, render_table, secs, timeit, RunConfig};
+use parking_lot::Mutex;
+use wgrap_core::assignment::Assignment;
+use wgrap_core::cra::ideal::{ideal_assignment, IdealMode};
+use wgrap_core::cra::CraAlgorithm;
+use wgrap_core::metrics;
+use wgrap_core::prelude::{Instance, Scoring};
+use wgrap_datagen::areas::{all_datasets, DB08, DM08, T08};
+use wgrap_datagen::vectors::area_instance;
+use wgrap_datagen::DatasetSpec;
+
+const SCORING: Scoring = Scoring::WeightedCoverage;
+
+/// Run every method on one instance, returning `(label, assignment, secs)`.
+pub fn run_all_methods(
+    inst: &Instance,
+    seed: u64,
+) -> Vec<(&'static str, Assignment, f64)> {
+    CraAlgorithm::ALL
+        .iter()
+        .map(|&algo| {
+            let (res, t) = timeit(|| algo.run(inst, SCORING, seed));
+            let a = res.unwrap_or_else(|e| panic!("{} failed: {e}", algo.label()));
+            (algo.label(), a, t.as_secs_f64())
+        })
+        .collect()
+}
+
+fn instance_for(cfg: &RunConfig, spec: &DatasetSpec, delta_p: usize) -> Instance {
+    area_instance(&cfg.scaled(spec), delta_p, cfg.seed)
+}
+
+/// Table 4: response time (s) of the approximate methods on DB08/DM08 at
+/// δ ∈ {3, 5}.
+pub fn table4(cfg: &RunConfig) {
+    banner("Table 4: response time (s) of approximate methods");
+    let mut rows = Vec::new();
+    for spec in [DB08, DM08] {
+        for delta_p in [3usize, 5] {
+            let inst = instance_for(cfg, &spec, delta_p);
+            let results = run_all_methods(&inst, cfg.seed);
+            let mut row = vec![format!("{} (delta={delta_p})", spec.name)];
+            row.extend(results.iter().map(|(_, _, t)| format!("{t:.1}")));
+            rows.push(row);
+        }
+    }
+    let headers = ["dataset", "SM", "ILP", "BRGG", "Greedy", "SDGA", "SDGA-SRA"];
+    println!("{}", render_table(&headers, &rows));
+}
+
+/// Shared quality sweep: optimality ratio (Figures 10/17/18-style) and
+/// superiority ratio of SDGA-SRA (Figures 11/17/18) for one dataset.
+pub fn quality_for(cfg: &RunConfig, spec: &DatasetSpec, delta_ps: &[usize]) {
+    banner(&format!(
+        "Optimality & superiority ratios: {} ({} papers, {} reviewers at scale 1/{})",
+        spec.name, spec.num_papers, spec.num_reviewers, cfg.scale
+    ));
+    let mut opt_rows = Vec::new();
+    let mut sup_rows = Vec::new();
+    for &delta_p in delta_ps {
+        let inst = instance_for(cfg, spec, delta_p);
+        let ideal = ideal_assignment(&inst, SCORING, IdealMode::Exact).expect("ideal");
+        let results = run_all_methods(&inst, cfg.seed);
+
+        let mut row = vec![delta_p.to_string()];
+        row.extend(results.iter().map(|(_, a, _)| {
+            format!("{:.1}%", 100.0 * metrics::optimality_ratio(&inst, SCORING, a, &ideal))
+        }));
+        opt_rows.push(row);
+
+        let sra = &results.last().expect("SDGA-SRA ran").1;
+        let mut row = vec![delta_p.to_string()];
+        for (label, a, _) in &results[..4] {
+            let s = metrics::superiority_ratio(&inst, SCORING, sra, a);
+            let _ = label;
+            row.push(format!(
+                "{:.1}% ({:.1}% tie)",
+                100.0 * s.better_or_equal(),
+                100.0 * s.tied
+            ));
+        }
+        sup_rows.push(row);
+    }
+    println!("Optimality ratio c(A)/c(A_I):");
+    println!(
+        "{}",
+        render_table(&["delta_p", "SM", "ILP", "BRGG", "Greedy", "SDGA", "SDGA-SRA"], &opt_rows)
+    );
+    println!("Superiority ratio of SDGA-SRA over the baselines:");
+    println!(
+        "{}",
+        render_table(&["delta_p", "vs SM", "vs ILP", "vs BRGG", "vs Greedy"], &sup_rows)
+    );
+}
+
+/// Figures 10 & 11: DB08 and DM08, δp ∈ {3, 4, 5}.
+pub fn fig10_11(cfg: &RunConfig) {
+    for spec in [DB08, DM08] {
+        quality_for(cfg, &spec, &[3, 4, 5]);
+    }
+}
+
+/// Figure 17: Theory 2008.
+pub fn fig17(cfg: &RunConfig) {
+    quality_for(cfg, &T08, &[3, 4, 5]);
+}
+
+/// Figure 18: the three 2009 datasets.
+pub fn fig18(cfg: &RunConfig) {
+    use wgrap_datagen::areas::{DB09, DM09, T09};
+    for spec in [T09, DB09, DM09] {
+        quality_for(cfg, &spec, &[3, 4, 5]);
+    }
+}
+
+/// Table 7: lowest coverage score, all six datasets × δp ∈ {3,4,5} × the
+/// five methods the paper lists (SM, ILP, BRGG, Greedy, SDGA-SRA).
+/// Cells across datasets are independent, so they run on scoped threads.
+pub fn table7(cfg: &RunConfig) {
+    banner("Table 7: lowest coverage score min_p c(A[p], p)");
+    let datasets = all_datasets();
+    let results: Mutex<Vec<(usize, Vec<Vec<String>>)>> = Mutex::new(Vec::new());
+    crossbeam::thread::scope(|scope| {
+        for (di, spec) in datasets.iter().enumerate() {
+            let results = &results;
+            scope.spawn(move |_| {
+                let mut block = Vec::new();
+                for delta_p in [3usize, 4, 5] {
+                    let inst = instance_for(cfg, spec, delta_p);
+                    let all = run_all_methods(&inst, cfg.seed);
+                    let mut row = vec![format!("{} d={delta_p}", spec.name)];
+                    for (label, a, _) in &all {
+                        if *label == "SDGA" {
+                            continue; // Table 7 omits plain SDGA
+                        }
+                        row.push(format!("{:.2}", metrics::lowest_coverage(&inst, SCORING, a)));
+                    }
+                    block.push(row);
+                }
+                results.lock().push((di, block));
+            });
+        }
+    })
+    .expect("table7 worker panicked");
+    let mut blocks = results.into_inner();
+    blocks.sort_by_key(|(di, _)| *di);
+    let rows: Vec<Vec<String>> = blocks.into_iter().flat_map(|(_, b)| b).collect();
+    println!(
+        "{}",
+        render_table(&["dataset", "SM", "ILP", "BRGG", "Greedy", "SDGA-SRA"], &rows)
+    );
+}
+
+/// §5.2 detail: papers improved by SDGA-SRA over Greedy (the "389 out of
+/// 617" remark) plus the response-time context.
+pub fn improvement_counts(cfg: &RunConfig) {
+    banner("SDGA-SRA vs Greedy: papers with strictly better coverage (DB08, delta=3)");
+    let inst = instance_for(cfg, &DB08, 3);
+    let (greedy, tg) = timeit(|| CraAlgorithm::Greedy.run(&inst, SCORING, cfg.seed).unwrap());
+    let (sra, ts) = timeit(|| CraAlgorithm::SdgaSra.run(&inst, SCORING, cfg.seed).unwrap());
+    let improved = metrics::papers_improved(&inst, SCORING, &sra, &greedy);
+    println!(
+        "{improved} of {} papers improved (Greedy {}s, SDGA-SRA {}s)",
+        inst.num_papers(),
+        secs(tg),
+        secs(ts)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> RunConfig {
+        RunConfig { scale: 40, seed: 7, ..Default::default() }
+    }
+
+    #[test]
+    fn run_all_methods_produces_valid_assignments() {
+        let cfg = tiny_cfg();
+        let inst = instance_for(&cfg, &DB08, 3);
+        for (label, a, _) in run_all_methods(&inst, cfg.seed) {
+            a.validate(&inst).unwrap_or_else(|e| panic!("{label}: {e}"));
+        }
+    }
+
+    #[test]
+    fn sdga_sra_dominates_sdga() {
+        let cfg = tiny_cfg();
+        let inst = instance_for(&cfg, &DM08, 3);
+        let results = run_all_methods(&inst, cfg.seed);
+        let by_label = |l: &str| {
+            results
+                .iter()
+                .find(|(label, _, _)| *label == l)
+                .map(|(_, a, _)| a.coverage_score(&inst, SCORING))
+                .unwrap()
+        };
+        assert!(by_label("SDGA-SRA") >= by_label("SDGA") - 1e-9);
+    }
+
+    #[test]
+    fn table7_smoke() {
+        let cfg = RunConfig { scale: 60, seed: 3, ..Default::default() };
+        table7(&cfg);
+    }
+}

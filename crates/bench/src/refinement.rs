@@ -1,0 +1,176 @@
+//! Refinement experiments: Figure 12 (SRA vs plain local search over time)
+//! and Figure 16 (the effect of the convergence threshold ω).
+
+use crate::util::{banner, render_table, RunConfig};
+use std::time::Duration;
+use wgrap_core::cra::ideal::{ideal_assignment, IdealMode};
+use wgrap_core::cra::{local_search, sdga, sra};
+use wgrap_core::prelude::{Instance, Scoring};
+use wgrap_datagen::areas::{DB08, DM08};
+use wgrap_datagen::vectors::area_instance;
+use wgrap_datagen::DatasetSpec;
+
+const SCORING: Scoring = Scoring::WeightedCoverage;
+
+fn setup(cfg: &RunConfig, spec: &DatasetSpec, delta_p: usize) -> (Instance, f64) {
+    let inst = area_instance(&cfg.scaled(spec), delta_p, cfg.seed);
+    let ideal = ideal_assignment(&inst, SCORING, IdealMode::Exact).expect("ideal");
+    let denom = ideal.coverage_score(&inst, SCORING);
+    (inst, denom)
+}
+
+/// Sample a refinement trace at fixed wall-clock ticks, as optimality ratio.
+fn sample_trace(trace: &[(Duration, f64)], denom: f64, ticks: &[f64]) -> Vec<String> {
+    ticks
+        .iter()
+        .map(|&tick| {
+            let best = trace
+                .iter()
+                .take_while(|(d, _)| d.as_secs_f64() <= tick)
+                .map(|&(_, s)| s)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let best = if best.is_finite() { best } else { trace[0].1 };
+            format!("{:.2}%", 100.0 * best / denom)
+        })
+        .collect()
+}
+
+/// Figure 12: optimality ratio over refinement time, SDGA-SRA vs SDGA-LS.
+/// The paper runs for 50 s; the budget scales down with the instance.
+pub fn fig12(cfg: &RunConfig) {
+    let budget = Duration::from_secs_f64(50.0 / cfg.scale as f64).max(Duration::from_secs(2));
+    let ticks: Vec<f64> =
+        (0..=5).map(|i| budget.as_secs_f64() * i as f64 / 5.0).collect();
+    for spec in [DB08, DM08] {
+        banner(&format!(
+            "Figure 12 ({}): optimality ratio during refinement (budget {budget:?})",
+            spec.name
+        ));
+        let (inst, denom) = setup(cfg, &spec, 3);
+        let initial = sdga::solve(&inst, SCORING).expect("sdga");
+
+        let sra_out = sra::refine(
+            &inst,
+            SCORING,
+            initial.clone(),
+            &sra::SraOptions {
+                omega: usize::MAX,
+                max_rounds: usize::MAX,
+                time_limit: Some(budget),
+                seed: cfg.seed,
+                ..Default::default()
+            },
+        );
+        let ls_out = local_search::refine(
+            &inst,
+            SCORING,
+            initial,
+            &local_search::LocalSearchOptions {
+                patience: usize::MAX,
+                time_limit: Some(budget),
+                seed: cfg.seed,
+            },
+        );
+
+        let mut rows = Vec::new();
+        let mut row = vec!["SDGA-SRA".to_string()];
+        row.extend(sample_trace(&sra_out.trace, denom, &ticks));
+        rows.push(row);
+        let mut row = vec!["SDGA-LS".to_string()];
+        row.extend(sample_trace(&ls_out.trace, denom, &ticks));
+        rows.push(row);
+
+        let headers: Vec<String> =
+            std::iter::once("method".to_string()).chain(ticks.iter().map(|t| format!("{t:.0}s"))).collect();
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        println!("{}", render_table(&header_refs, &rows));
+        println!(
+            "SRA rounds: {}, LS proposals: {}",
+            sra_out.rounds, ls_out.proposals
+        );
+    }
+}
+
+/// Figure 16: effect of ω on quality and response time (δp = 3).
+pub fn fig16(cfg: &RunConfig) {
+    for spec in [DB08, DM08] {
+        banner(&format!("Figure 16 ({}): effect of omega (delta_p=3)", spec.name));
+        let (inst, denom) = setup(cfg, &spec, 3);
+        let initial = sdga::solve(&inst, SCORING).expect("sdga");
+        let mut rows = Vec::new();
+        for &omega in &[2usize, 5, 10, 20, 40] {
+            let (out, t) = crate::util::timeit(|| {
+                sra::refine(
+                    &inst,
+                    SCORING,
+                    initial.clone(),
+                    &sra::SraOptions { omega, seed: cfg.seed, ..Default::default() },
+                )
+            });
+            rows.push(vec![
+                omega.to_string(),
+                format!("{:.2}%", 100.0 * out.score / denom),
+                format!("{:.2}", t.as_secs_f64()),
+                out.rounds.to_string(),
+            ]);
+        }
+        println!(
+            "{}",
+            render_table(&["omega", "optimality ratio", "time (s)", "rounds"], &rows)
+        );
+    }
+}
+
+/// Ablation (DESIGN.md §7): Eq. 10's coverage-based removal model vs the
+/// uniform `1/R` model the paper dismisses in §4.4.
+pub fn sra_model_ablation(cfg: &RunConfig) {
+    banner("Ablation: SRA removal model (Eq. 10 coverage vs uniform)");
+    let (inst, denom) = setup(cfg, &DB08, 3);
+    let initial = sdga::solve(&inst, SCORING).expect("sdga");
+    let mut rows = Vec::new();
+    for (label, model) in [
+        ("Eq. 10 coverage", sra::RemovalModel::Coverage),
+        ("uniform 1/R", sra::RemovalModel::Uniform),
+    ] {
+        let (out, t) = crate::util::timeit(|| {
+            sra::refine(
+                &inst,
+                SCORING,
+                initial.clone(),
+                &sra::SraOptions { model, seed: cfg.seed, ..Default::default() },
+            )
+        });
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.2}%", 100.0 * out.score / denom),
+            format!("{:.2}", t.as_secs_f64()),
+            out.rounds.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["removal model", "optimality ratio", "time (s)", "rounds"], &rows)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_trace_takes_running_max() {
+        let trace = vec![
+            (Duration::from_millis(0), 1.0),
+            (Duration::from_millis(500), 2.0),
+            (Duration::from_millis(1500), 3.0),
+        ];
+        let cells = sample_trace(&trace, 4.0, &[0.0, 1.0, 2.0]);
+        assert_eq!(cells, vec!["25.00%", "50.00%", "75.00%"]);
+    }
+
+    #[test]
+    fn fig16_smoke() {
+        let cfg = RunConfig { scale: 60, seed: 1, ..Default::default() };
+        fig16(&cfg);
+    }
+}

@@ -1,0 +1,104 @@
+//! Figure 21: quality under the alternative scoring functions of Table 5
+//! and under h-index expertise scaling (Eq. 15), plus Figure 7's analytic
+//! approximation-ratio curves.
+
+use crate::quality::run_all_methods;
+use crate::util::{banner, render_table, RunConfig};
+use wgrap_core::cra::ideal::{ideal_assignment, IdealMode};
+use wgrap_core::cra::sdga::{approx_ratio_general, approx_ratio_integral};
+use wgrap_core::metrics;
+use wgrap_core::prelude::{Instance, Scoring};
+use wgrap_datagen::areas::DB08;
+use wgrap_datagen::hindex::{scale_by_hindex, synthetic_hindices};
+use wgrap_datagen::vectors::area_instance;
+
+/// Figure 7: the analytic approximation-ratio curves of Theorems 1–2.
+pub fn fig7() {
+    banner("Figure 7: SDGA approximation ratio vs delta_p");
+    let mut rows = Vec::new();
+    for delta_p in 2..=10usize {
+        rows.push(vec![
+            delta_p.to_string(),
+            format!("{:.4}", approx_ratio_integral(delta_p)),
+            format!("{:.4}", approx_ratio_general(delta_p)),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["delta_p", "integral 1-(1-1/d)^d", "general 1-(1-1/d)^(d-1)"], &rows)
+    );
+    println!("(general curve: 1/2 at delta_p=2, 5/9 at 3, 0.5904 at 5 — paper §4.3.2)");
+}
+
+fn quality_table(cfg: &RunConfig, inst: &Instance, scoring: Scoring, title: &str) {
+    banner(title);
+    let ideal = ideal_assignment(inst, scoring, IdealMode::Exact).expect("ideal");
+    let mut rows = Vec::new();
+    let results: Vec<_> = wgrap_core::cra::CraAlgorithm::ALL
+        .iter()
+        .map(|&algo| {
+            let a = algo.run(inst, scoring, cfg.seed).expect("method runs");
+            (algo.label(), a)
+        })
+        .collect();
+    let mut row = vec!["optimality".to_string()];
+    for (_, a) in &results {
+        row.push(format!(
+            "{:.1}%",
+            100.0 * metrics::optimality_ratio(inst, scoring, a, &ideal)
+        ));
+    }
+    rows.push(row);
+    println!(
+        "{}",
+        render_table(&["metric", "SM", "ILP", "BRGG", "Greedy", "SDGA", "SDGA-SRA"], &rows)
+    );
+}
+
+/// Figure 21(a-c): optimality ratio on DB08 under cR / cP / cD.
+pub fn fig21_scorings(cfg: &RunConfig) {
+    let spec = cfg.scaled(&DB08);
+    let inst = area_instance(&spec, 3, cfg.seed);
+    for (name, scoring) in [
+        ("Figure 21(a): reviewer coverage cR", Scoring::ReviewerCoverage),
+        ("Figure 21(b): paper coverage cP", Scoring::PaperCoverage),
+        ("Figure 21(c): dot-product cD", Scoring::DotProduct),
+    ] {
+        quality_table(cfg, &inst, scoring, &format!("{name} (DB08, delta_p=3)"));
+    }
+}
+
+/// Figure 21(d): weighted coverage with reviewer vectors scaled by h-index
+/// (Eq. 15, factors in [1, 2]).
+pub fn fig21_hindex(cfg: &RunConfig) {
+    let spec = cfg.scaled(&DB08);
+    let inst = area_instance(&spec, 3, cfg.seed);
+    let h = synthetic_hindices(inst.num_reviewers(), 3, 80, cfg.seed);
+    let scaled = scale_by_hindex(inst.reviewers(), &h);
+    let inst = inst.with_reviewers(scaled).expect("same shape");
+    quality_table(
+        cfg,
+        &inst,
+        Scoring::WeightedCoverage,
+        "Figure 21(d): h-index scaled expertise (DB08, delta_p=3)",
+    );
+    // Keep run_all_methods linked for timing parity with quality.rs users.
+    let _ = run_all_methods;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_prints() {
+        fig7();
+    }
+
+    #[test]
+    fn fig21_smoke() {
+        let cfg = RunConfig { scale: 60, seed: 5, ..Default::default() };
+        fig21_scorings(&cfg);
+        fig21_hindex(&cfg);
+    }
+}

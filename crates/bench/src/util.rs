@@ -1,0 +1,127 @@
+//! Harness plumbing: run configuration, timing, text tables.
+
+use std::time::{Duration, Instant};
+use wgrap_datagen::DatasetSpec;
+
+/// Global run configuration shared by all experiments.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Divide dataset cardinalities by this factor (1 = the paper's sizes).
+    pub scale: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Wall-clock budget per *exact-solver call* in the JRA scalability
+    /// experiments; a solver that exceeds it is reported as DNF, like the
+    /// paper's ">24 hours" entries.
+    pub solver_budget: Duration,
+    /// Trials to average in the JRA experiments (paper: 20 random papers).
+    pub trials: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            scale: 1,
+            seed: 42,
+            solver_budget: Duration::from_secs(30),
+            trials: 5,
+        }
+    }
+}
+
+impl RunConfig {
+    /// A dataset spec with cardinalities divided by `scale` (floors, with
+    /// small minimums so instances stay valid).
+    pub fn scaled(&self, spec: &DatasetSpec) -> DatasetSpec {
+        DatasetSpec {
+            num_papers: (spec.num_papers / self.scale).max(6),
+            num_reviewers: (spec.num_reviewers / self.scale).max(6),
+            ..*spec
+        }
+    }
+}
+
+/// Run `f` and return its result with the elapsed wall-clock time.
+pub fn timeit<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Seconds with millisecond resolution, for table cells.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Render an aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (cell, w) in cells.iter().zip(widths) {
+            line.push_str(&format!("{cell:>w$}  "));
+        }
+        line.trim_end().to_string()
+    };
+    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Print a section banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wgrap_datagen::areas::DB08;
+
+    #[test]
+    fn scaled_spec_floors_with_minimum() {
+        let cfg = RunConfig { scale: 8, ..Default::default() };
+        let s = cfg.scaled(&DB08);
+        assert_eq!(s.num_papers, 77);
+        assert_eq!(s.num_reviewers, 13);
+        let tiny = RunConfig { scale: 1000, ..Default::default() };
+        assert_eq!(tiny.scaled(&DB08).num_papers, 6);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["method", "time"],
+            &[
+                vec!["SDGA".into(), "5.9".into()],
+                vec!["Greedy".into(), "0.1".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("method"));
+        assert!(lines[2].ends_with("5.9"));
+    }
+
+    #[test]
+    fn timeit_returns_value() {
+        let (v, d) = timeit(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(d < Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,239 @@
+//! Assignments `A ⊆ P × R` and their coverage score `c(A)` (paper §2.2).
+
+use crate::error::{Error, Result};
+use crate::problem::Instance;
+use crate::score::{RunningGroup, Scoring};
+
+/// An assignment of reviewer groups to papers.
+///
+/// `groups[p]` lists the reviewers of paper `p`. A *complete* assignment has
+/// `|groups[p]| = δp` for every paper; intermediate algorithm states may be
+/// partial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    groups: Vec<Vec<usize>>,
+}
+
+impl Assignment {
+    /// An empty assignment for `num_papers` papers.
+    pub fn empty(num_papers: usize) -> Self {
+        Self { groups: vec![Vec::new(); num_papers] }
+    }
+
+    /// Build from per-paper groups.
+    pub fn from_groups(groups: Vec<Vec<usize>>) -> Self {
+        Self { groups }
+    }
+
+    /// Number of papers.
+    pub fn num_papers(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The reviewer group of paper `p` (`A[p]`).
+    pub fn group(&self, p: usize) -> &[usize] {
+        &self.groups[p]
+    }
+
+    /// Mutable access for algorithms that splice groups (SRA removal step).
+    pub fn group_mut(&mut self, p: usize) -> &mut Vec<usize> {
+        &mut self.groups[p]
+    }
+
+    /// Add `(reviewer, paper)`; panics if the reviewer is already in `A[p]`.
+    pub fn assign(&mut self, reviewer: usize, paper: usize) {
+        assert!(
+            !self.groups[paper].contains(&reviewer),
+            "reviewer {reviewer} already assigned to paper {paper}"
+        );
+        self.groups[paper].push(reviewer);
+    }
+
+    /// Total number of assignment pairs `|A|`.
+    pub fn num_pairs(&self) -> usize {
+        self.groups.iter().map(Vec::len).sum()
+    }
+
+    /// All `(reviewer, paper)` pairs.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.groups
+            .iter()
+            .enumerate()
+            .flat_map(|(p, g)| g.iter().map(move |&r| (r, p)))
+    }
+
+    /// Per-reviewer load vector (`|A[r]|` for each reviewer).
+    pub fn loads(&self, num_reviewers: usize) -> Vec<usize> {
+        let mut loads = vec![0usize; num_reviewers];
+        for g in &self.groups {
+            for &r in g {
+                loads[r] += 1;
+            }
+        }
+        loads
+    }
+
+    /// Coverage score of one paper's group, `c(A[p], p)`.
+    pub fn paper_score(&self, inst: &Instance, scoring: Scoring, p: usize) -> f64 {
+        let mut rg = RunningGroup::new(scoring, inst.paper(p));
+        for &r in &self.groups[p] {
+            rg.add(inst.reviewer(r));
+        }
+        rg.score()
+    }
+
+    /// The objective `c(A) = Σ_p c(A[p], p)` (Definition 3).
+    pub fn coverage_score(&self, inst: &Instance, scoring: Scoring) -> f64 {
+        (0..self.groups.len())
+            .map(|p| self.paper_score(inst, scoring, p))
+            .sum()
+    }
+
+    /// Per-paper scores, in paper order.
+    pub fn paper_scores(&self, inst: &Instance, scoring: Scoring) -> Vec<f64> {
+        (0..self.groups.len())
+            .map(|p| self.paper_score(inst, scoring, p))
+            .collect()
+    }
+
+    /// Validate against an instance: exact group sizes, workload bounds, no
+    /// duplicate reviewer within a group, no COI pair.
+    pub fn validate(&self, inst: &Instance) -> Result<()> {
+        if self.groups.len() != inst.num_papers() {
+            return Err(Error::InvalidInstance(format!(
+                "assignment covers {} papers, instance has {}",
+                self.groups.len(),
+                inst.num_papers()
+            )));
+        }
+        for (p, g) in self.groups.iter().enumerate() {
+            if g.len() != inst.delta_p() {
+                return Err(Error::InvalidInstance(format!(
+                    "paper {p} has {} reviewers, needs {}",
+                    g.len(),
+                    inst.delta_p()
+                )));
+            }
+            let mut sorted = g.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            if sorted.len() != g.len() {
+                return Err(Error::InvalidInstance(format!(
+                    "paper {p} has a duplicate reviewer"
+                )));
+            }
+            for &r in g {
+                if r >= inst.num_reviewers() {
+                    return Err(Error::InvalidInstance(format!(
+                        "paper {p} references unknown reviewer {r}"
+                    )));
+                }
+                if inst.is_coi(r, p) {
+                    return Err(Error::InvalidInstance(format!(
+                        "COI pair assigned: reviewer {r}, paper {p}"
+                    )));
+                }
+            }
+        }
+        for (r, load) in self.loads(inst.num_reviewers()).into_iter().enumerate() {
+            if load > inst.delta_r() {
+                return Err(Error::InvalidInstance(format!(
+                    "reviewer {r} overloaded: {load} > {}",
+                    inst.delta_r()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topic::TopicVector;
+
+    fn tv(v: &[f64]) -> TopicVector {
+        TopicVector::new(v.to_vec())
+    }
+
+    fn inst() -> Instance {
+        Instance::new(
+            vec![tv(&[0.5, 0.5]), tv(&[1.0, 0.0])],
+            vec![tv(&[0.3, 0.7]), tv(&[0.6, 0.4]), tv(&[0.9, 0.1])],
+            2,
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn assign_and_score() {
+        let i = inst();
+        let mut a = Assignment::empty(2);
+        a.assign(0, 0);
+        a.assign(2, 0);
+        a.assign(1, 1);
+        a.assign(2, 1);
+        // Paper 0 group {r0, r2}: gmax = [0.9, 0.7]; min with [0.5, 0.5] ->
+        // (0.5 + 0.5)/1.0 = 1.0.
+        assert!((a.paper_score(&i, Scoring::WeightedCoverage, 0) - 1.0).abs() < 1e-12);
+        // Paper 1 group {r1, r2}: gmax = [0.9, 0.4]; min with [1.0, 0.0] ->
+        // 0.9 / 1.0.
+        assert!((a.paper_score(&i, Scoring::WeightedCoverage, 1) - 0.9).abs() < 1e-12);
+        assert!((a.coverage_score(&i, Scoring::WeightedCoverage) - 1.9).abs() < 1e-12);
+        assert!(a.validate(&i).is_ok());
+        assert_eq!(a.loads(3), vec![1, 1, 2]);
+        assert_eq!(a.num_pairs(), 4);
+    }
+
+    #[test]
+    fn validate_rejects_wrong_group_size() {
+        let i = inst();
+        let mut a = Assignment::empty(2);
+        a.assign(0, 0);
+        assert!(a.validate(&i).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_overload() {
+        // 3 papers, 3 reviewers, delta_p = 2, delta_r = 2 (capacity 6 = 6).
+        let i = Instance::new(
+            vec![tv(&[0.5, 0.5]), tv(&[1.0, 0.0]), tv(&[0.0, 1.0])],
+            vec![tv(&[0.3, 0.7]), tv(&[0.6, 0.4]), tv(&[0.9, 0.1])],
+            2,
+            2,
+        )
+        .unwrap();
+        let ok = Assignment::from_groups(vec![vec![2, 0], vec![2, 1], vec![0, 1]]);
+        assert!(ok.validate(&i).is_ok()); // every load == delta_r
+        let overloaded = Assignment::from_groups(vec![vec![2, 0], vec![2, 1], vec![2, 0]]);
+        assert!(overloaded.validate(&i).is_err()); // load(r2) = 3 > 2
+        let wrong_count = Assignment::from_groups(vec![vec![2, 0], vec![2, 1]]);
+        assert!(wrong_count.validate(&i).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_duplicates_and_coi() {
+        let mut i = inst();
+        let a = Assignment::from_groups(vec![vec![0, 0], vec![1, 2]]);
+        assert!(a.validate(&i).is_err());
+        i.add_coi(1, 1);
+        let b = Assignment::from_groups(vec![vec![0, 2], vec![1, 2]]);
+        assert!(b.validate(&i).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "already assigned")]
+    fn double_assign_panics() {
+        let mut a = Assignment::empty(1);
+        a.assign(0, 0);
+        a.assign(0, 0);
+    }
+
+    #[test]
+    fn pairs_enumerates_all() {
+        let a = Assignment::from_groups(vec![vec![1], vec![0, 2]]);
+        let pairs: Vec<_> = a.pairs().collect();
+        assert_eq!(pairs, vec![(1, 0), (0, 1), (2, 1)]);
+    }
+}

@@ -1,0 +1,308 @@
+//! Stochastic Refinement Algorithm (SRA) — paper §4.4, Algorithm 3.
+//!
+//! Each round removes one reviewer from every paper's group — sampling
+//! removals inversely to the probability `P(r|p)` that the pair belongs to
+//! the optimal assignment (Eq. 10) — and refills all groups with one
+//! Stage-WGRAP linear assignment. Rounds repeat until the best score has not
+//! improved for `ω` consecutive rounds (the convergence threshold studied in
+//! Figure 16) or a time budget expires.
+//!
+//! Eq. 10's probability model is TF-IDF-flavoured: a pair scores high when
+//! `c(r, p)` is high *relative to r's total coverage mass over all papers*,
+//! damped toward uniform `1/R` by the decay `e^{−λI}` as rounds accumulate.
+//! The paper does not print its λ; we default to 0.1 and expose it.
+
+use super::sdga::{solve_stage, LapBackend};
+use crate::assignment::Assignment;
+use crate::problem::Instance;
+use crate::score::{RunningGroup, Scoring};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Probability model for the removal step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RemovalModel {
+    /// Eq. 10: `max(1/R, e^{−λI}·c(r,p)/Σ_{p'} c(r,p'))`, normalised per paper.
+    #[default]
+    Coverage,
+    /// The uniformity ablation mentioned in §4.4: `P(r|p) = 1/R`.
+    Uniform,
+}
+
+/// Tuning knobs for [`refine`].
+#[derive(Debug, Clone)]
+pub struct SraOptions {
+    /// Convergence threshold ω: stop after this many rounds without
+    /// improvement (paper default 10).
+    pub omega: usize,
+    /// Decay rate λ in Eq. 10.
+    pub lambda: f64,
+    /// Removal probability model (Eq. 10 vs the uniform ablation).
+    pub model: RemovalModel,
+    /// Hard wall-clock budget; `None` = run to convergence.
+    pub time_limit: Option<Duration>,
+    /// Hard cap on refinement rounds.
+    pub max_rounds: usize,
+    /// RNG seed (the process is fully deterministic given the seed).
+    pub seed: u64,
+    /// LAP backend for the refill stage.
+    pub backend: LapBackend,
+}
+
+impl Default for SraOptions {
+    fn default() -> Self {
+        Self {
+            omega: 10,
+            lambda: 0.1,
+            model: RemovalModel::Coverage,
+            time_limit: None,
+            max_rounds: 10_000,
+            seed: 0,
+            backend: LapBackend::Flow,
+        }
+    }
+}
+
+/// Outcome of a refinement run.
+#[derive(Debug, Clone)]
+pub struct SraOutcome {
+    /// The best assignment observed (never worse than the input).
+    pub assignment: Assignment,
+    /// Its coverage score.
+    pub score: f64,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// `(elapsed, best-so-far score)` after every round — the Figure 12
+    /// refinement trace.
+    pub trace: Vec<(Duration, f64)>,
+}
+
+/// Refine `initial` (typically an SDGA result). The search walks through
+/// possibly-worse intermediate assignments — that is what lets it escape the
+/// local maxima that plain local search gets stuck in (Figure 12) — but the
+/// returned assignment is the best one seen.
+pub fn refine(
+    inst: &Instance,
+    scoring: Scoring,
+    initial: Assignment,
+    opts: &SraOptions,
+) -> SraOutcome {
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let (num_p, num_r) = (inst.num_papers(), inst.num_reviewers());
+
+    let mut current = initial;
+    let mut best = current.clone();
+    let mut best_score = best.coverage_score(inst, scoring);
+    let mut trace = vec![(start.elapsed(), best_score)];
+    if num_p == 0 || inst.delta_p() == 0 {
+        return SraOutcome { assignment: best, score: best_score, rounds: 0, trace };
+    }
+
+    // Pairwise coverage c(r, p) and each reviewer's mass Σ_{p'} c(r, p')
+    // (Algorithm 3 lines 1-2; O(P·R·T) once).
+    let pair_cov: Vec<Vec<f64>> = (0..num_p)
+        .map(|p| {
+            (0..num_r)
+                .map(|r| scoring.pair_score(inst.reviewer(r), inst.paper(p)))
+                .collect()
+        })
+        .collect();
+    let mut reviewer_mass = vec![0.0f64; num_r];
+    for row in &pair_cov {
+        for (r, &c) in row.iter().enumerate() {
+            reviewer_mass[r] += c;
+        }
+    }
+
+    let mut stale_rounds = 0usize;
+    let mut rounds = 0usize;
+    while stale_rounds < opts.omega && rounds < opts.max_rounds {
+        if let Some(tl) = opts.time_limit {
+            if start.elapsed() >= tl {
+                break;
+            }
+        }
+        rounds += 1;
+        let decay = (-opts.lambda * rounds as f64).exp();
+
+        // Removal step: drop one reviewer per paper with probability
+        // proportional to 1 − P(r|p) within the group.
+        let mut loads = current.loads(num_r);
+        for p in 0..num_p {
+            let group = current.group(p);
+            if group.is_empty() {
+                continue;
+            }
+            // Per-paper normaliser of Eq. 10 over the whole pool.
+            let u = |r: usize| -> f64 {
+                match opts.model {
+                    RemovalModel::Uniform => 1.0 / num_r as f64,
+                    RemovalModel::Coverage => {
+                        let rel = if reviewer_mass[r] > 0.0 {
+                            pair_cov[p][r] / reviewer_mass[r]
+                        } else {
+                            0.0
+                        };
+                        (decay * rel).max(1.0 / num_r as f64)
+                    }
+                }
+            };
+            let z: f64 = (0..num_r).map(u).sum();
+            let removal_weight: Vec<f64> = group
+                .iter()
+                .map(|&r| (1.0 - u(r) / z).max(1e-12))
+                .collect();
+            let total: f64 = removal_weight.iter().sum();
+            let mut pick = rng.random::<f64>() * total;
+            let mut idx = group.len() - 1;
+            for (i, w) in removal_weight.iter().enumerate() {
+                if pick < *w {
+                    idx = i;
+                    break;
+                }
+                pick -= w;
+            }
+            let removed = current.group_mut(p).swap_remove(idx);
+            loads[removed] -= 1;
+        }
+
+        // Refill step: one Stage-WGRAP over all papers; per-reviewer cap is
+        // the remaining global workload (this is the "last stage of SDGA").
+        let groups: Vec<RunningGroup> = (0..num_p)
+            .map(|p| {
+                let mut rg = RunningGroup::new(scoring, inst.paper(p));
+                for &r in current.group(p) {
+                    rg.add(inst.reviewer(r));
+                }
+                rg
+            })
+            .collect();
+        let papers: Vec<usize> = (0..num_p).collect();
+        match solve_stage(inst, &groups, &loads, &current, &papers, inst.delta_r(), opts.backend) {
+            Ok(pairs) => {
+                for (r, p) in pairs {
+                    current.assign(r, p);
+                }
+            }
+            Err(_) => {
+                // Refill impossible (pathological COI structure): restore
+                // from the best-known assignment and count the round stale.
+                current = best.clone();
+            }
+        }
+
+        let score = current.coverage_score(inst, scoring);
+        if score > best_score + 1e-12 {
+            best_score = score;
+            best = current.clone();
+            stale_rounds = 0;
+        } else {
+            stale_rounds += 1;
+        }
+        trace.push((start.elapsed(), best_score));
+    }
+
+    SraOutcome { assignment: best, score: best_score, rounds, trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cra::testutil::random_instance;
+    use crate::cra::{exact, sdga};
+
+    #[test]
+    fn never_worse_than_input() {
+        for seed in 0..5 {
+            let inst = random_instance(10, 7, 5, 3, seed);
+            let initial = sdga::solve(&inst, Scoring::WeightedCoverage).unwrap();
+            let before = initial.coverage_score(&inst, Scoring::WeightedCoverage);
+            let opts = SraOptions { omega: 5, seed, ..Default::default() };
+            let out = refine(&inst, Scoring::WeightedCoverage, initial, &opts);
+            assert!(out.score >= before - 1e-12);
+            out.assignment.validate(&inst).unwrap();
+            assert!((out.assignment.coverage_score(&inst, Scoring::WeightedCoverage)
+                - out.score)
+                .abs()
+                < 1e-9);
+        }
+    }
+
+    #[test]
+    fn trace_is_monotone_nondecreasing() {
+        let inst = random_instance(8, 6, 4, 2, 3);
+        let initial = sdga::solve(&inst, Scoring::WeightedCoverage).unwrap();
+        let out = refine(
+            &inst,
+            Scoring::WeightedCoverage,
+            initial,
+            &SraOptions { omega: 8, ..Default::default() },
+        );
+        for w in out.trace.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-12);
+        }
+        assert_eq!(out.trace.len(), out.rounds + 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let inst = random_instance(8, 6, 4, 2, 5);
+        let initial = sdga::solve(&inst, Scoring::WeightedCoverage).unwrap();
+        let opts = SraOptions { omega: 6, seed: 42, ..Default::default() };
+        let a = refine(&inst, Scoring::WeightedCoverage, initial.clone(), &opts);
+        let b = refine(&inst, Scoring::WeightedCoverage, initial, &opts);
+        assert_eq!(a.score, b.score);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn approaches_exact_optimum_on_tiny_instances() {
+        let mut hits = 0;
+        let total = 5;
+        for seed in 0..total {
+            let inst = random_instance(3, 4, 3, 2, 50 + seed);
+            let initial = sdga::solve(&inst, Scoring::WeightedCoverage).unwrap();
+            let opts = SraOptions { omega: 30, seed, ..Default::default() };
+            let out = refine(&inst, Scoring::WeightedCoverage, initial, &opts);
+            let opt = exact::solve(&inst, Scoring::WeightedCoverage)
+                .unwrap()
+                .coverage_score(&inst, Scoring::WeightedCoverage);
+            if (out.score - opt).abs() < 1e-6 {
+                hits += 1;
+            }
+            assert!(out.score <= opt + 1e-9);
+        }
+        assert!(hits >= 3, "SRA found the optimum on only {hits}/{total} tiny instances");
+    }
+
+    #[test]
+    fn uniform_model_runs() {
+        let inst = random_instance(6, 5, 4, 2, 9);
+        let initial = sdga::solve(&inst, Scoring::WeightedCoverage).unwrap();
+        let opts = SraOptions {
+            omega: 4,
+            model: RemovalModel::Uniform,
+            ..Default::default()
+        };
+        let out = refine(&inst, Scoring::WeightedCoverage, initial, &opts);
+        out.assignment.validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn respects_time_limit() {
+        let inst = random_instance(10, 7, 5, 3, 1);
+        let initial = sdga::solve(&inst, Scoring::WeightedCoverage).unwrap();
+        let opts = SraOptions {
+            omega: usize::MAX,
+            max_rounds: usize::MAX,
+            time_limit: Some(Duration::from_millis(50)),
+            ..Default::default()
+        };
+        let start = Instant::now();
+        let _ = refine(&inst, Scoring::WeightedCoverage, initial, &opts);
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+}

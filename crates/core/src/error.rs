@@ -1,0 +1,49 @@
+//! Error type shared by the WGRAP algorithms.
+
+use std::fmt;
+
+/// Errors surfaced by instance construction and the assignment algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The instance violates a structural requirement (dimensions, capacity
+    /// arithmetic `R·δr ≥ P·δp`, …).
+    InvalidInstance(String),
+    /// No feasible assignment exists (e.g. conflicts of interest starve a
+    /// paper of candidate reviewers).
+    Infeasible(String),
+    /// A solver gave up on a resource limit before finding any solution.
+    LimitReached(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidInstance(m) => write!(f, "invalid instance: {m}"),
+            Error::Infeasible(m) => write!(f, "infeasible: {m}"),
+            Error::LimitReached(m) => write!(f, "limit reached: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            Error::InvalidInstance("x".into()).to_string(),
+            "invalid instance: x"
+        );
+        assert_eq!(Error::Infeasible("y".into()).to_string(), "infeasible: y");
+        assert_eq!(
+            Error::LimitReached("z".into()).to_string(),
+            "limit reached: z"
+        );
+    }
+}

@@ -1,0 +1,426 @@
+//! Branch-and-Bound Algorithm (BBA) for exact JRA — paper Algorithm 1.
+//!
+//! BBA partitions the search into `δp` stages (one reviewer chosen per
+//! stage) and maintains, per stage, `T` cursors into topic-sorted reviewer
+//! lists. The cursors drive both:
+//!
+//! * **branching** — the candidate with the largest marginal gain among the
+//!   cursor heads is explored first (Definition 8), and
+//! * **bounding** — the per-topic cursor heads give the upper bound of
+//!   Eq. 3: no completion of the running group can beat
+//!   `c(max(g, cursor-heads), p)`.
+//!
+//! The visited-marks protocol (Definition 7) guarantees each group is
+//! examined at most once, and because every reviewer appears in every sorted
+//! list, cursor exhaustion at a stage implies all candidates were tried —
+//! so the search is exact.
+//!
+//! The top-k variant replaces the single best-so-far with a bounded min-heap
+//! (the paper notes this extension at the end of §3; Figure 15 evaluates it).
+
+use super::{JraProblem, JraResult};
+use crate::score::RunningGroup;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Options for [`solve_with_options`].
+#[derive(Debug, Clone)]
+pub struct BbaOptions {
+    /// Number of best groups to return (`k = 1` recovers plain BBA).
+    pub top_k: usize,
+    /// Disable the Eq. 3 upper bound (ablation; branching order only).
+    pub use_bound: bool,
+    /// Prune branches whose upper bound is at most this value from the
+    /// start, before any group has been found. Seeding with the score of a
+    /// known group (e.g. a greedy pick) preserves exactness for groups
+    /// *strictly better* than the seed while pruning aggressively — pass
+    /// `seed_score - ε` and fall back to the seed group when the search
+    /// returns nothing better. Used by BRGG's lazy recomputation.
+    pub initial_bound: f64,
+}
+
+impl Default for BbaOptions {
+    fn default() -> Self {
+        Self { top_k: 1, use_bound: true, initial_bound: f64::NEG_INFINITY }
+    }
+}
+
+/// Best single group (Algorithm 1). `None` if fewer than `δp` candidates.
+///
+/// ```
+/// use wgrap_core::jra::{bba, JraProblem};
+/// use wgrap_core::prelude::TopicVector;
+/// // The paper's running example (Figure 5): best pair is {r1, r2}.
+/// let p = TopicVector::new(vec![0.35, 0.45, 0.2]);
+/// let pool = vec![
+///     TopicVector::new(vec![0.15, 0.75, 0.1]),
+///     TopicVector::new(vec![0.75, 0.15, 0.1]),
+///     TopicVector::new(vec![0.1, 0.35, 0.55]),
+/// ];
+/// let best = bba::solve(&JraProblem::new(&p, &pool, 2)).unwrap();
+/// assert_eq!(best.group, vec![0, 1]);
+/// assert!((best.score - 0.9).abs() < 1e-9);
+/// ```
+pub fn solve(problem: &JraProblem<'_>) -> Option<JraResult> {
+    solve_with_options(problem, &BbaOptions::default()).map(|mut v| v.swap_remove(0))
+}
+
+/// Best `k` groups, sorted by descending score. Groups tied with the k-th
+/// score may be pruned (bounding uses `≤`, as in Algorithm 1 line 8).
+pub fn solve_top_k(problem: &JraProblem<'_>, k: usize) -> Option<Vec<JraResult>> {
+    solve_with_options(problem, &BbaOptions { top_k: k, ..Default::default() })
+}
+
+#[derive(Debug)]
+struct ScoredGroup {
+    score: f64,
+    group: Vec<usize>,
+}
+
+impl PartialEq for ScoredGroup {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score
+    }
+}
+impl Eq for ScoredGroup {}
+impl PartialOrd for ScoredGroup {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ScoredGroup {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.score.total_cmp(&other.score)
+    }
+}
+
+/// Bounded min-heap of the k best groups seen so far.
+struct TopK {
+    k: usize,
+    init: f64,
+    heap: BinaryHeap<Reverse<ScoredGroup>>,
+}
+
+impl TopK {
+    fn new(k: usize, init: f64) -> Self {
+        Self { k, init, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Current pruning threshold: the k-th best score (or the caller's
+    /// initial bound while the heap is not yet full).
+    fn threshold(&self) -> f64 {
+        if self.heap.len() < self.k {
+            self.init
+        } else {
+            self.heap.peek().map_or(self.init, |Reverse(g)| g.score.max(self.init))
+        }
+    }
+
+    fn offer(&mut self, score: f64, group: Vec<usize>) {
+        if self.heap.len() < self.k {
+            self.heap.push(Reverse(ScoredGroup { score, group }));
+        } else if score > self.threshold() {
+            self.heap.push(Reverse(ScoredGroup { score, group }));
+            self.heap.pop();
+        }
+    }
+
+    fn into_sorted(self) -> Vec<(f64, Vec<usize>)> {
+        let mut v: Vec<_> = self.heap.into_iter().map(|Reverse(g)| (g.score, g.group)).collect();
+        v.sort_by(|a, b| b.0.total_cmp(&a.0));
+        v
+    }
+}
+
+/// Full BBA with options. Returns `None` when fewer than `δp` non-conflicted
+/// candidates exist; otherwise at least one and at most `top_k` results.
+pub fn solve_with_options(problem: &JraProblem<'_>, opts: &BbaOptions) -> Option<Vec<JraResult>> {
+    let r_total = problem.reviewers.len();
+    let t_dim = problem.paper.dim();
+    let k = problem.delta_p;
+    if problem.num_feasible() < k {
+        return None;
+    }
+    assert!(opts.top_k >= 1);
+
+    // T sorted lists over the feasible pool (paper Figure 5(b)).
+    let mut sorted_lists: Vec<Vec<(f64, u32)>> = Vec::with_capacity(t_dim);
+    for t in 0..t_dim {
+        let mut list: Vec<(f64, u32)> = (0..r_total)
+            .filter(|&r| !problem.forbidden[r])
+            .map(|r| (problem.reviewers[r][t], r as u32))
+            .collect();
+        list.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        sorted_lists.push(list);
+    }
+    let list_len = sorted_lists.first().map_or(0, Vec::len);
+
+    let paper_weights = problem.paper.as_slice();
+    let inv_total = {
+        let total = problem.paper.total();
+        if total > 0.0 {
+            1.0 / total
+        } else {
+            0.0
+        }
+    };
+
+    // Per-stage state.
+    let mut cursors: Vec<Vec<usize>> = vec![vec![0usize; t_dim]; k];
+    let mut visited: Vec<Vec<u32>> = vec![Vec::new(); k];
+    let mut blocked: Vec<u32> = vec![0; r_total];
+    let mut rg_stack: Vec<RunningGroup> = Vec::with_capacity(k + 1);
+    rg_stack.push(RunningGroup::new(problem.scoring, problem.paper));
+    let mut path: Vec<usize> = Vec::with_capacity(k);
+
+    let mut results = TopK::new(opts.top_k, opts.initial_bound);
+    let mut nodes = 0u64;
+    let mut s = 0usize; // running stage, 0-based
+
+    loop {
+        // Advance this stage's cursors past infeasible reviewers (lazy
+        // version of Algorithm 1 lines 17-18).
+        for t in 0..t_dim {
+            let pos = &mut cursors[s][t];
+            while *pos < list_len && blocked[sorted_lists[t][*pos].1 as usize] > 0 {
+                *pos += 1;
+            }
+        }
+
+        // Candidate = cursor head with maximum marginal gain (line 6);
+        // upper bound from the cursor head values (line 7, Eq. 3).
+        let rg = &rg_stack[s];
+        let mut best_r: Option<usize> = None;
+        let mut best_gain = f64::NEG_INFINITY;
+        let mut ub_raw = 0.0;
+        {
+            let gmax = rg.expertise();
+            for t in 0..t_dim {
+                let head = cursors[s][t];
+                let head_val = if head < list_len { sorted_lists[t][head].0 } else { 0.0 };
+                ub_raw += problem
+                    .scoring
+                    .topic_contribution(gmax[t].max(head_val), paper_weights[t]);
+                if head < list_len {
+                    let r = sorted_lists[t][head].1 as usize;
+                    if best_r != Some(r) {
+                        let gain = rg.gain(&problem.reviewers[r]);
+                        if gain > best_gain {
+                            best_gain = gain;
+                            best_r = Some(r);
+                        }
+                    }
+                }
+            }
+        }
+        let ub = ub_raw * inv_total;
+
+        let prune = opts.use_bound && ub <= results.threshold();
+        let Some(r) = best_r.filter(|_| !prune) else {
+            // Backtrack (lines 8-11): reset visited marks at this stage.
+            for r in visited[s].drain(..) {
+                blocked[r as usize] -= 1;
+            }
+            if s == 0 {
+                break;
+            }
+            s -= 1;
+            rg_stack.truncate(s + 1);
+            path.truncate(s);
+            continue;
+        };
+
+        // Branch (line 12).
+        nodes += 1;
+        blocked[r] += 1;
+        visited[s].push(r as u32);
+        path.truncate(s);
+        path.push(r);
+
+        if s + 1 == k {
+            // Complete assignment (lines 13-15): record, stay at this stage.
+            let score = rg_stack[s].score() + best_gain;
+            let mut group = path.clone();
+            group.sort_unstable();
+            results.offer(score, group);
+        } else {
+            // Deepen (lines 16-20): clone cursors into the next stage.
+            let (head, tail) = cursors.split_at_mut(s + 1);
+            tail[0].copy_from_slice(&head[s]);
+            let mut next = rg_stack[s].clone();
+            next.add(&problem.reviewers[r]);
+            rg_stack.push(next);
+            s += 1;
+        }
+    }
+
+    // With the default `initial_bound = -inf` at least one group is always
+    // recorded; a caller-supplied seed bound may prune everything, in which
+    // case the caller's seed group *is* the optimum and the vec is empty.
+    let out: Vec<JraResult> = results
+        .into_sorted()
+        .into_iter()
+        .map(|(score, group)| JraResult { group, score, nodes })
+        .collect();
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jra::bfs;
+    use crate::jra::testutil::random_vectors;
+    use crate::score::Scoring;
+    use crate::topic::TopicVector;
+
+    fn tv(v: &[f64]) -> TopicVector {
+        TopicVector::new(v.to_vec())
+    }
+
+    #[test]
+    fn paper_running_example() {
+        let p = tv(&[0.35, 0.45, 0.2]);
+        let rs = vec![
+            tv(&[0.15, 0.75, 0.1]),
+            tv(&[0.75, 0.15, 0.1]),
+            tv(&[0.1, 0.35, 0.55]),
+        ];
+        let problem = JraProblem::new(&p, &rs, 2);
+        let res = solve(&problem).unwrap();
+        assert_eq!(res.group, vec![0, 1]);
+        assert!((res.score - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_bfs_on_random_instances() {
+        for seed in 0..30 {
+            let vecs = random_vectors(13, 5, seed);
+            let (paper, reviewers) = vecs.split_first().unwrap();
+            for delta_p in 1..=4 {
+                let problem = JraProblem::new(paper, reviewers, delta_p);
+                let bba = solve(&problem).unwrap();
+                let bf = bfs::solve(&problem).unwrap();
+                assert!(
+                    (bba.score - bf.score).abs() < 1e-9,
+                    "seed={seed} delta_p={delta_p}: bba={} bfs={}",
+                    bba.score,
+                    bf.score
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_bfs_under_all_scorings() {
+        for seed in [3u64, 17, 99] {
+            let vecs = random_vectors(10, 4, seed);
+            let (paper, reviewers) = vecs.split_first().unwrap();
+            for scoring in Scoring::ALL {
+                let problem = JraProblem::new(paper, reviewers, 3).with_scoring(scoring);
+                let bba = solve(&problem).unwrap();
+                let bf = bfs::solve(&problem).unwrap();
+                assert!(
+                    (bba.score - bf.score).abs() < 1e-9,
+                    "{scoring:?}: bba={} bfs={}",
+                    bba.score,
+                    bf.score
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn respects_forbidden_mask() {
+        let vecs = random_vectors(9, 4, 7);
+        let (paper, reviewers) = vecs.split_first().unwrap();
+        let mut forbidden = vec![false; reviewers.len()];
+        forbidden[0] = true;
+        forbidden[3] = true;
+        let problem = JraProblem::new(paper, reviewers, 2).with_forbidden(forbidden.clone());
+        let res = solve(&problem).unwrap();
+        for r in &res.group {
+            assert!(!forbidden[*r]);
+        }
+        let bf = bfs::solve(&problem).unwrap();
+        assert!((res.score - bf.score).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounding_prunes_nodes() {
+        let vecs = random_vectors(40, 6, 11);
+        let (paper, reviewers) = vecs.split_first().unwrap();
+        let problem = JraProblem::new(paper, reviewers, 3);
+        let with = solve_with_options(&problem, &BbaOptions::default()).unwrap();
+        let without =
+            solve_with_options(&problem, &BbaOptions { top_k: 1, use_bound: false, ..Default::default() }).unwrap();
+        assert!((with[0].score - without[0].score).abs() < 1e-9);
+        assert!(
+            with[0].nodes < without[0].nodes,
+            "bounding should prune: {} vs {}",
+            with[0].nodes,
+            without[0].nodes
+        );
+    }
+
+    #[test]
+    fn top_k_matches_exhaustive_ranking() {
+        let vecs = random_vectors(9, 4, 23);
+        let (paper, reviewers) = vecs.split_first().unwrap();
+        let problem = JraProblem::new(paper, reviewers, 2);
+        let k = 5;
+        let top = solve_top_k(&problem, k).unwrap();
+        assert_eq!(top.len(), k);
+        // Exhaustive ranking of all C(8,2)=28 pairs.
+        let mut all: Vec<(f64, Vec<usize>)> = vec![];
+        for i in 0..reviewers.len() {
+            for j in i + 1..reviewers.len() {
+                let s = problem
+                    .scoring
+                    .group_score([&reviewers[i], &reviewers[j]], paper);
+                all.push((s, vec![i, j]));
+            }
+        }
+        all.sort_by(|a, b| b.0.total_cmp(&a.0));
+        for (got, want) in top.iter().zip(&all) {
+            assert!(
+                (got.score - want.0).abs() < 1e-9,
+                "top-k scores diverge: {} vs {}",
+                got.score,
+                want.0
+            );
+        }
+        // Scores must be non-increasing.
+        for w in top.windows(2) {
+            assert!(w[0].score >= w[1].score - 1e-12);
+        }
+    }
+
+    #[test]
+    fn top_k_larger_than_group_count() {
+        let vecs = random_vectors(5, 3, 31);
+        let (paper, reviewers) = vecs.split_first().unwrap();
+        let problem = JraProblem::new(paper, reviewers, 2);
+        let top = solve_top_k(&problem, 100).unwrap();
+        assert_eq!(top.len(), 6); // C(4,2)
+    }
+
+    #[test]
+    fn too_few_candidates_is_none() {
+        let p = tv(&[1.0]);
+        let rs = vec![tv(&[1.0])];
+        let problem = JraProblem::new(&p, &rs, 1).with_forbidden(vec![true]);
+        assert!(solve(&problem).is_none());
+    }
+
+    #[test]
+    fn delta_p_one_picks_best_single() {
+        let vecs = random_vectors(20, 5, 13);
+        let (paper, reviewers) = vecs.split_first().unwrap();
+        let problem = JraProblem::new(paper, reviewers, 1);
+        let res = solve(&problem).unwrap();
+        let best = (0..reviewers.len())
+            .map(|r| problem.scoring.pair_score(&reviewers[r], paper))
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((res.score - best).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,155 @@
+//! Brute Force Search for JRA: enumerate every `δp`-combination of the
+//! candidate pool (paper §3, the BFS baseline of Figure 9).
+
+use super::{JraProblem, JraResult};
+use crate::score::RunningGroup;
+
+/// Exhaustively enumerate all feasible reviewer groups and return the best.
+/// Returns `None` when fewer than `δp` non-conflicted candidates exist.
+///
+/// Cost is `C(R, δp)` score evaluations — the paper reports 5.1 hours for
+/// `R = 200, δp = 5`; use [`super::bba`] for anything non-trivial.
+pub fn solve(problem: &JraProblem<'_>) -> Option<JraResult> {
+    let candidates: Vec<usize> = (0..problem.reviewers.len())
+        .filter(|&r| !problem.forbidden[r])
+        .collect();
+    if candidates.len() < problem.delta_p {
+        return None;
+    }
+
+    let mut best_group: Vec<usize> = Vec::new();
+    let mut best_score = f64::NEG_INFINITY;
+    let mut nodes = 0u64;
+    let mut stack: Vec<usize> = Vec::with_capacity(problem.delta_p);
+    // Incremental groups per depth avoid rescoring the whole group at leaves.
+    let base = RunningGroup::new(problem.scoring, problem.paper);
+    let mut groups: Vec<RunningGroup> = vec![base; problem.delta_p + 1];
+
+    #[allow(clippy::too_many_arguments)]
+    fn recurse(
+        problem: &JraProblem<'_>,
+        candidates: &[usize],
+        start: usize,
+        stack: &mut Vec<usize>,
+        groups: &mut Vec<RunningGroup>,
+        nodes: &mut u64,
+        best_score: &mut f64,
+        best_group: &mut Vec<usize>,
+    ) {
+        let depth = stack.len();
+        if depth == problem.delta_p {
+            *nodes += 1;
+            let score = groups[depth].score();
+            if score > *best_score {
+                *best_score = score;
+                *best_group = stack.clone();
+            }
+            return;
+        }
+        let remaining = problem.delta_p - depth;
+        for i in start..=candidates.len().saturating_sub(remaining) {
+            let r = candidates[i];
+            groups[depth + 1] = groups[depth].clone();
+            groups[depth + 1].add(&problem.reviewers[r]);
+            stack.push(r);
+            recurse(problem, candidates, i + 1, stack, groups, nodes, best_score, best_group);
+            stack.pop();
+        }
+    }
+
+    recurse(
+        problem,
+        &candidates,
+        0,
+        &mut stack,
+        &mut groups,
+        &mut nodes,
+        &mut best_score,
+        &mut best_group,
+    );
+
+    best_group.sort_unstable();
+    Some(JraResult { group: best_group, score: best_score, nodes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::Scoring;
+    use crate::topic::TopicVector;
+
+    fn tv(v: &[f64]) -> TopicVector {
+        TopicVector::new(v.to_vec())
+    }
+
+    #[test]
+    fn paper_running_example_best_pair() {
+        // Figure 5: p = (0.35, 0.45, 0.2); best pair of {r1, r2, r3}.
+        let p = tv(&[0.35, 0.45, 0.2]);
+        let rs = vec![
+            tv(&[0.15, 0.75, 0.1]),
+            tv(&[0.75, 0.15, 0.1]),
+            tv(&[0.1, 0.35, 0.55]),
+        ];
+        let problem = JraProblem::new(&p, &rs, 2);
+        let res = solve(&problem).unwrap();
+        // {r1, r2}: min(0.75,0.35)+min(0.75,0.45)+min(0.1,0.2) = 0.9
+        assert_eq!(res.group, vec![0, 1]);
+        assert!((res.score - 0.9).abs() < 1e-9);
+        assert_eq!(res.nodes, 3); // C(3,2)
+    }
+
+    #[test]
+    fn forbidden_candidates_excluded() {
+        let p = tv(&[0.5, 0.5]);
+        let rs = vec![tv(&[1.0, 0.0]), tv(&[0.0, 1.0]), tv(&[0.4, 0.4])];
+        let problem =
+            JraProblem::new(&p, &rs, 2).with_forbidden(vec![false, true, false]);
+        let res = solve(&problem).unwrap();
+        assert_eq!(res.group, vec![0, 2]);
+    }
+
+    #[test]
+    fn too_few_candidates_is_none() {
+        let p = tv(&[1.0]);
+        let rs = vec![tv(&[1.0]), tv(&[0.5])];
+        let problem = JraProblem::new(&p, &rs, 2).with_forbidden(vec![true, false]);
+        assert!(solve(&problem).is_none());
+    }
+
+    #[test]
+    fn delta_p_equals_pool() {
+        let p = tv(&[0.5, 0.5]);
+        let rs = vec![tv(&[1.0, 0.0]), tv(&[0.0, 1.0])];
+        let problem = JraProblem::new(&p, &rs, 2);
+        let res = solve(&problem).unwrap();
+        assert_eq!(res.group, vec![0, 1]);
+        assert!((res.score - 1.0).abs() < 1e-9);
+        assert_eq!(res.nodes, 1);
+    }
+
+    #[test]
+    fn node_count_is_binomial() {
+        let p = tv(&[0.25, 0.25, 0.25, 0.25]);
+        let rs = super::super::testutil::random_vectors(10, 4, 42);
+        let problem = JraProblem::new(&p, &rs, 3);
+        let res = solve(&problem).unwrap();
+        assert_eq!(res.nodes, 120); // C(10,3)
+    }
+
+    #[test]
+    fn alternative_scorings_supported() {
+        let p = tv(&[0.6, 0.4]);
+        let rs = vec![tv(&[0.9, 0.1]), tv(&[0.5, 0.5])];
+        for s in Scoring::ALL {
+            let problem = JraProblem::new(&p, &rs, 1).with_scoring(s);
+            let res = solve(&problem).unwrap();
+            // Table 6: weighted coverage picks r2, all others pick r1.
+            if s == Scoring::WeightedCoverage {
+                assert_eq!(res.group, vec![1]);
+            } else {
+                assert_eq!(res.group, vec![0]);
+            }
+        }
+    }
+}

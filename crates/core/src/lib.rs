@@ -1,0 +1,48 @@
+//! # wgrap-core — Weighted-coverage Group-based Reviewer Assignment
+//!
+//! Reproduction of the algorithmic contribution of *"Weighted Coverage based
+//! Reviewer Assignment"* (Kou, U, Mamoulis, Gong — SIGMOD 2015).
+//!
+//! The crate models reviewer expertise and paper content as `T`-dimensional
+//! [topic vectors](topic::TopicVector), scores a reviewer group against a
+//! paper by [weighted coverage](score::Scoring) (Definition 1–2), and solves:
+//!
+//! * **JRA** (Journal Reviewer Assignment, §3) — exact best group for one
+//!   paper, via the branch-and-bound [`jra::bba`] plus the baselines
+//!   [`jra::bfs`], [`jra::ilp`] and [`jra::cp`];
+//! * **CRA / WGRAP** (Conference Reviewer Assignment, §4) — the
+//!   1/2-approximate Stage Deepening Greedy Algorithm [`cra::sdga`] with
+//!   [stochastic refinement](cra::sra), plus every baseline the paper
+//!   evaluates (Greedy, BRGG, stable matching, the per-pair ILP objective,
+//!   local search).
+//!
+//! [`metrics`] implements the paper's §5 quality measures (optimality ratio
+//! against the ideal assignment, superiority ratio, lowest coverage score)
+//! and [`reductions`] the §2.3 mappings from RRAP/ARAP/SGRAP into WGRAP.
+// Parallel-array index loops are clearer than zipped iterators here.
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)]
+
+
+pub mod assignment;
+pub mod cra;
+pub mod error;
+pub mod io;
+pub mod jra;
+pub mod metrics;
+pub mod problem;
+pub mod reductions;
+pub mod score;
+pub mod topic;
+
+/// Convenient re-exports of the most used types.
+pub mod prelude {
+    pub use crate::assignment::Assignment;
+    pub use crate::cra::{self, CraAlgorithm};
+    pub use crate::error::{Error, Result};
+    pub use crate::jra::{self, JraProblem, JraResult};
+    pub use crate::metrics;
+    pub use crate::problem::Instance;
+    pub use crate::score::{group_expertise, RunningGroup, Scoring};
+    pub use crate::topic::TopicVector;
+}

@@ -1,0 +1,170 @@
+//! Reductions between RAP formulations (paper §2.3).
+//!
+//! The paper shows that the three earlier RAP families are special cases of
+//! WGRAP:
+//!
+//! * **SGRAP** (set coverage): topic *sets* become binary topic vectors, and
+//!   the set coverage ratio `|T_g ∩ T_p| / |T_p|` equals the weighted
+//!   coverage of those vectors.
+//! * **RRAP / ARAP** (per-pair objectives): extend the `T`-dimensional
+//!   vectors to `R·T` dimensions — the paper vector repeated `R` times, and
+//!   reviewer `i`'s vector placed in block `i` — so that the *group*
+//!   coverage of the extended vectors is the *sum* of individual pair scores
+//!   (scaled by the constant `1/R`), turning a group-based objective into a
+//!   pair-based one.
+
+use crate::error::Result;
+use crate::problem::Instance;
+use crate::score::Scoring;
+use crate::topic::TopicVector;
+
+/// Build a WGRAP instance from an SGRAP instance given as topic *sets*.
+/// Topic `t ∈ T_x` becomes weight 1 at coordinate `t`.
+pub fn sgrap_to_wgrap(
+    paper_topics: &[Vec<usize>],
+    reviewer_topics: &[Vec<usize>],
+    num_topics: usize,
+    delta_p: usize,
+    delta_r: usize,
+) -> Result<Instance> {
+    let to_vec = |topics: &Vec<usize>| {
+        let entries: Vec<(usize, f64)> = topics.iter().map(|&t| (t, 1.0)).collect();
+        TopicVector::from_sparse(num_topics, &entries)
+    };
+    Instance::new(
+        paper_topics.iter().map(to_vec).collect(),
+        reviewer_topics.iter().map(to_vec).collect(),
+        delta_p,
+        delta_r,
+    )
+}
+
+/// Set coverage ratio `|T_g ∩ T_p| / |T_p|` computed on sets — the SGRAP
+/// objective, used to validate the reduction.
+pub fn set_coverage(group_topics: &[&Vec<usize>], paper_topics: &[usize]) -> f64 {
+    if paper_topics.is_empty() {
+        return 0.0;
+    }
+    let covered = paper_topics
+        .iter()
+        .filter(|t| group_topics.iter().any(|g| g.contains(t)))
+        .count();
+    covered as f64 / paper_topics.len() as f64
+}
+
+/// Extend an instance's vectors to `R·T` dimensions per §2.3 so that the
+/// group coverage of the extended instance equals `(1/R) Σ_{r∈g} c(r, p)` —
+/// i.e. the ARAP objective up to the constant factor `R`.
+pub fn extend_for_arap(inst: &Instance) -> Result<Instance> {
+    let t = inst.num_topics();
+    let r_count = inst.num_reviewers();
+    let ext = r_count * t;
+
+    let papers = inst
+        .papers()
+        .iter()
+        .map(|p| {
+            let mut w = Vec::with_capacity(ext);
+            for _ in 0..r_count {
+                w.extend_from_slice(p.as_slice());
+            }
+            TopicVector::new(w)
+        })
+        .collect();
+    let reviewers = inst
+        .reviewers()
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let mut w = vec![0.0; ext];
+            w[i * t..(i + 1) * t].copy_from_slice(r.as_slice());
+            TopicVector::new(w)
+        })
+        .collect();
+    Instance::new(papers, reviewers, inst.delta_p(), inst.delta_r())
+}
+
+/// The ARAP pair-sum objective on the original instance (Definition 5's
+/// inner sum for one paper).
+pub fn arap_paper_objective(inst: &Instance, scoring: Scoring, group: &[usize], p: usize) -> f64 {
+    group
+        .iter()
+        .map(|&r| scoring.pair_score(inst.reviewer(r), inst.paper(p)))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::group_expertise;
+
+    #[test]
+    fn sgrap_coverage_equals_weighted_coverage_of_binary_vectors() {
+        // Paper §2.3: c(T_g, T_p) = c(g, p) for binary vectors.
+        let papers = vec![vec![0, 2, 3], vec![1, 4]];
+        let reviewers = vec![vec![0, 1], vec![2, 4], vec![3]];
+        let inst = sgrap_to_wgrap(&papers, &reviewers, 5, 2, 2).unwrap();
+        let s = Scoring::WeightedCoverage;
+
+        for p in 0..papers.len() {
+            for (i, j) in [(0usize, 1usize), (0, 2), (1, 2)] {
+                let via_sets = set_coverage(&[&reviewers[i], &reviewers[j]], &papers[p]);
+                let via_vectors =
+                    s.group_score([inst.reviewer(i), inst.reviewer(j)], inst.paper(p));
+                assert!(
+                    (via_sets - via_vectors).abs() < 1e-12,
+                    "paper {p}, group ({i},{j}): {via_sets} vs {via_vectors}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn set_coverage_edge_cases() {
+        let empty: Vec<usize> = vec![];
+        let g = vec![1usize, 2];
+        assert_eq!(set_coverage(&[&g], &empty), 0.0);
+        assert_eq!(set_coverage(&[&g], &[1, 2]), 1.0);
+        assert_eq!(set_coverage(&[&g], &[3]), 0.0);
+        assert_eq!(set_coverage(&[], &[1]), 0.0);
+    }
+
+    #[test]
+    fn arap_extension_linearises_group_score() {
+        use crate::cra::testutil::random_instance;
+        let inst = random_instance(3, 4, 5, 2, 17);
+        let ext = extend_for_arap(&inst).unwrap();
+        let s = Scoring::WeightedCoverage;
+        let r_count = inst.num_reviewers() as f64;
+
+        for p in 0..inst.num_papers() {
+            for i in 0..inst.num_reviewers() {
+                for j in i + 1..inst.num_reviewers() {
+                    let pair_sum = arap_paper_objective(&inst, s, &[i, j], p);
+                    let grouped =
+                        s.group_score([ext.reviewer(i), ext.reviewer(j)], ext.paper(p));
+                    assert!(
+                        (grouped - pair_sum / r_count).abs() < 1e-9,
+                        "extension broke: {grouped} vs {}",
+                        pair_sum / r_count
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extended_group_vector_is_block_union() {
+        use crate::cra::testutil::random_instance;
+        let inst = random_instance(2, 3, 4, 2, 23);
+        let ext = extend_for_arap(&inst).unwrap();
+        let g = group_expertise(ext.num_topics(), [ext.reviewer(0), ext.reviewer(2)]);
+        // Block 0 = reviewer 0's vector, block 1 = zeros, block 2 = reviewer 2's.
+        let t = inst.num_topics();
+        for k in 0..t {
+            assert_eq!(g[k], inst.reviewer(0)[k]);
+            assert_eq!(g[t + k], 0.0);
+            assert_eq!(g[2 * t + k], inst.reviewer(2)[k]);
+        }
+    }
+}

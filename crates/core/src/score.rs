@@ -1,0 +1,322 @@
+//! Assignment-quality scoring (paper §2.1, Definition 1–2, Appendix B).
+//!
+//! The quality of assigning a reviewer group `g` to a paper `p` is
+//!
+//! ```text
+//! c(g, p) = Σ_t f(g[t], p[t]) / Σ_t p[t]        g[t] = max_{r∈g} r[t]
+//! ```
+//!
+//! where the per-topic contribution `f` is one of four submodular scoring
+//! functions (Table 5): the default **weighted coverage**
+//! `f = min(g[t], p[t])`, the winner-takes-all **reviewer** / **paper**
+//! coverage, and the **dot product**. All four satisfy conditions C.1
+//! (per-topic additivity) and C.2 (monotone in expertise) of Lemma 4, so the
+//! SDGA approximation guarantee holds for each.
+
+use crate::topic::TopicVector;
+
+/// The per-topic scoring function (paper Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scoring {
+    /// `min(g[t], p[t])` — the paper's default (Definition 1).
+    #[default]
+    WeightedCoverage,
+    /// `g[t]` when `g[t] ≥ p[t]`, else 0 (Table 5, `c_R`).
+    ReviewerCoverage,
+    /// `p[t]` when `g[t] ≥ p[t]`, else 0 (Table 5, `c_P`).
+    PaperCoverage,
+    /// `g[t]·p[t]` (Table 5, `c_D`).
+    DotProduct,
+}
+
+impl Scoring {
+    /// All four scoring functions, in Table 5 order.
+    pub const ALL: [Scoring; 4] = [
+        Scoring::WeightedCoverage,
+        Scoring::ReviewerCoverage,
+        Scoring::PaperCoverage,
+        Scoring::DotProduct,
+    ];
+
+    /// Per-topic contribution `f(expertise, paper_weight)`.
+    #[inline]
+    pub fn topic_contribution(self, expertise: f64, paper: f64) -> f64 {
+        match self {
+            Scoring::WeightedCoverage => expertise.min(paper),
+            Scoring::ReviewerCoverage => {
+                if expertise >= paper {
+                    expertise
+                } else {
+                    0.0
+                }
+            }
+            Scoring::PaperCoverage => {
+                if expertise >= paper {
+                    paper
+                } else {
+                    0.0
+                }
+            }
+            Scoring::DotProduct => expertise * paper,
+        }
+    }
+
+    /// Numerator of `c(·, p)` for an expertise vector given as a slice.
+    #[inline]
+    pub fn raw_score(self, expertise: &[f64], paper: &[f64]) -> f64 {
+        debug_assert_eq!(expertise.len(), paper.len());
+        expertise
+            .iter()
+            .zip(paper)
+            .map(|(&e, &p)| self.topic_contribution(e, p))
+            .sum()
+    }
+
+    /// `c(r, p)` for a single reviewer (Eq. 1 with the normalising
+    /// denominator `Σ_t p[t]`). Returns 0 for an all-zero paper vector.
+    ///
+    /// ```
+    /// use wgrap_core::prelude::{Scoring, TopicVector};
+    /// // Paper Figure 3(a)/5: c(r1, p) = min(.15,.35)+min(.75,.45)+min(.1,.2) = 0.7
+    /// let p = TopicVector::new(vec![0.35, 0.45, 0.2]);
+    /// let r1 = TopicVector::new(vec![0.15, 0.75, 0.1]);
+    /// assert!((Scoring::WeightedCoverage.pair_score(&r1, &p) - 0.7).abs() < 1e-12);
+    /// ```
+    pub fn pair_score(self, reviewer: &TopicVector, paper: &TopicVector) -> f64 {
+        let total = paper.total();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.raw_score(reviewer.as_slice(), paper.as_slice()) / total
+    }
+
+    /// `c(g, p)` for a reviewer group (Definition 2 + Eq. 1).
+    ///
+    /// ```
+    /// use wgrap_core::prelude::{Scoring, TopicVector};
+    /// let p = TopicVector::new(vec![0.35, 0.45, 0.2]);
+    /// let r1 = TopicVector::new(vec![0.15, 0.75, 0.1]);
+    /// let r3 = TopicVector::new(vec![0.1, 0.35, 0.55]);
+    /// // Group max covers t2 fully via r1 and t3 fully via r3.
+    /// let c = Scoring::WeightedCoverage.group_score([&r1, &r3], &p);
+    /// assert!((c - 0.8).abs() < 1e-12);
+    /// ```
+    pub fn group_score<'a>(
+        self,
+        group: impl IntoIterator<Item = &'a TopicVector>,
+        paper: &TopicVector,
+    ) -> f64 {
+        let g = group_expertise(paper.dim(), group);
+        self.pair_score(&g, paper)
+    }
+}
+
+/// The expertise vector of a reviewer group: per-topic maximum
+/// (Definition 2). An empty group yields the all-zeros vector.
+pub fn group_expertise<'a>(
+    dim: usize,
+    group: impl IntoIterator<Item = &'a TopicVector>,
+) -> TopicVector {
+    let mut g = vec![0.0; dim];
+    for r in group {
+        assert_eq!(r.dim(), dim, "group member dimension mismatch");
+        for (gt, rt) in g.iter_mut().zip(r.as_slice()) {
+            *gt = f64::max(*gt, *rt);
+        }
+    }
+    TopicVector::new(g)
+}
+
+/// Incremental group coverage of a single paper.
+///
+/// Maintains the running per-topic maximum of the group and the paper's
+/// normaliser, so that [`RunningGroup::gain`] (the marginal gain of
+/// Definition 8) is `O(T)` and [`RunningGroup::add`] updates in place.
+/// Removal requires a rebuild (`max` is not invertible), which callers such
+/// as the stochastic refinement do explicitly.
+#[derive(Debug, Clone)]
+pub struct RunningGroup {
+    scoring: Scoring,
+    gmax: Vec<f64>,
+    paper: Vec<f64>,
+    inv_total: f64,
+    raw: f64,
+}
+
+impl RunningGroup {
+    /// Empty group for `paper` under `scoring`.
+    pub fn new(scoring: Scoring, paper: &TopicVector) -> Self {
+        let total = paper.total();
+        Self {
+            scoring,
+            gmax: vec![0.0; paper.dim()],
+            paper: paper.as_slice().to_vec(),
+            inv_total: if total > 0.0 { 1.0 / total } else { 0.0 },
+            raw: 0.0,
+        }
+    }
+
+    /// Current `c(g, p)`.
+    #[inline]
+    pub fn score(&self) -> f64 {
+        self.raw * self.inv_total
+    }
+
+    /// Marginal gain `gain(g, r, p) = c(g ∪ {r}, p) − c(g, p)` (Definition 8).
+    pub fn gain(&self, reviewer: &TopicVector) -> f64 {
+        debug_assert_eq!(reviewer.dim(), self.gmax.len());
+        let mut delta = 0.0;
+        for ((&g, &r), &p) in self.gmax.iter().zip(reviewer.as_slice()).zip(&self.paper) {
+            if r > g {
+                delta += self.scoring.topic_contribution(r, p)
+                    - self.scoring.topic_contribution(g, p);
+            }
+        }
+        delta * self.inv_total
+    }
+
+    /// Add a reviewer to the group.
+    pub fn add(&mut self, reviewer: &TopicVector) {
+        debug_assert_eq!(reviewer.dim(), self.gmax.len());
+        for (i, (&r, &p)) in reviewer.as_slice().iter().zip(&self.paper).enumerate() {
+            let g = self.gmax[i];
+            if r > g {
+                self.raw += self.scoring.topic_contribution(r, p)
+                    - self.scoring.topic_contribution(g, p);
+                self.gmax[i] = r;
+            }
+        }
+    }
+
+    /// The current group expertise vector.
+    pub fn expertise(&self) -> TopicVector {
+        TopicVector::new(self.gmax.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tv(v: &[f64]) -> TopicVector {
+        TopicVector::new(v.to_vec())
+    }
+
+    /// Paper Figure 5(a): reviewer/paper vectors from the BBA running
+    /// example; c(r1, p) = 0.7.
+    #[test]
+    fn figure5_weighted_coverage() {
+        let p = tv(&[0.35, 0.45, 0.2]);
+        let r1 = tv(&[0.15, 0.75, 0.1]);
+        let r2 = tv(&[0.75, 0.15, 0.1]);
+        let r3 = tv(&[0.1, 0.35, 0.55]);
+        let s = Scoring::WeightedCoverage;
+        assert!((s.pair_score(&r1, &p) - 0.7).abs() < 1e-9);
+        assert!((s.pair_score(&r2, &p) - 0.6).abs() < 1e-9);
+        assert!((s.pair_score(&r3, &p) - 0.65).abs() < 1e-9);
+    }
+
+    /// Paper Table 6: the four scoring functions on the toy example, where
+    /// only weighted coverage prefers r2 over r1.
+    #[test]
+    fn table6_all_scorings() {
+        let p = tv(&[0.6, 0.4]);
+        let r1 = tv(&[0.9, 0.1]);
+        let r2 = tv(&[0.5, 0.5]);
+        let close = |a: f64, b: f64| (a - b).abs() < 1e-9;
+
+        assert!(close(Scoring::ReviewerCoverage.pair_score(&r1, &p), 0.9));
+        assert!(close(Scoring::ReviewerCoverage.pair_score(&r2, &p), 0.5));
+        assert!(close(Scoring::PaperCoverage.pair_score(&r1, &p), 0.6));
+        assert!(close(Scoring::PaperCoverage.pair_score(&r2, &p), 0.4));
+        assert!(close(Scoring::DotProduct.pair_score(&r1, &p), 0.58));
+        assert!(close(Scoring::DotProduct.pair_score(&r2, &p), 0.5));
+        assert!(close(Scoring::WeightedCoverage.pair_score(&r1, &p), 0.7));
+        assert!(close(Scoring::WeightedCoverage.pair_score(&r2, &p), 0.9));
+        // Only the weighted coverage prefers r2.
+        assert!(Scoring::WeightedCoverage.pair_score(&r2, &p)
+            > Scoring::WeightedCoverage.pair_score(&r1, &p));
+        for s in [Scoring::ReviewerCoverage, Scoring::PaperCoverage, Scoring::DotProduct] {
+            assert!(s.pair_score(&r1, &p) > s.pair_score(&r2, &p));
+        }
+    }
+
+    /// Figure 3(b): the group vector is the per-topic max.
+    #[test]
+    fn group_expertise_is_pointwise_max() {
+        let r1 = tv(&[0.5, 0.4, 0.1]);
+        let r2 = tv(&[0.2, 0.3, 0.5]);
+        let g = group_expertise(3, [&r1, &r2]);
+        assert_eq!(g.as_slice(), &[0.5, 0.4, 0.5]);
+    }
+
+    #[test]
+    fn group_score_dominates_members() {
+        let p = tv(&[0.35, 0.45, 0.2]);
+        let r1 = tv(&[0.15, 0.75, 0.1]);
+        let r3 = tv(&[0.1, 0.35, 0.55]);
+        let s = Scoring::WeightedCoverage;
+        let g = s.group_score([&r1, &r3], &p);
+        assert!(g >= s.pair_score(&r1, &p));
+        assert!(g >= s.pair_score(&r3, &p));
+        // r1 covers t2 fully (0.45), r3 covers t3 fully (0.2); t1 partially
+        // (0.15): (0.15 + 0.45 + 0.2) / 1.0 = 0.8.
+        assert!((g - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_group_matches_batch() {
+        let p = tv(&[0.35, 0.45, 0.2]);
+        let r1 = tv(&[0.15, 0.75, 0.1]);
+        let r2 = tv(&[0.75, 0.15, 0.1]);
+        for s in Scoring::ALL {
+            let mut rg = RunningGroup::new(s, &p);
+            assert_eq!(rg.score(), 0.0);
+            let g1 = rg.gain(&r1);
+            assert!((g1 - s.pair_score(&r1, &p)).abs() < 1e-12);
+            rg.add(&r1);
+            assert!((rg.score() - s.pair_score(&r1, &p)).abs() < 1e-12);
+            let g2 = rg.gain(&r2);
+            rg.add(&r2);
+            let batch = s.group_score([&r1, &r2], &p);
+            assert!((rg.score() - batch).abs() < 1e-12);
+            assert!((g2 - (batch - s.pair_score(&r1, &p))).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gain_is_diminishing_in_group_size() {
+        // Submodularity on a concrete instance: adding r after a bigger
+        // group gains no more than after a smaller one.
+        let p = tv(&[0.3, 0.3, 0.4]);
+        let r = tv(&[0.3, 0.2, 0.3]);
+        let other = tv(&[0.25, 0.25, 0.25]);
+        for s in Scoring::ALL {
+            let empty = RunningGroup::new(s, &p);
+            let mut with_other = RunningGroup::new(s, &p);
+            with_other.add(&other);
+            assert!(
+                with_other.gain(&r) <= empty.gain(&r) + 1e-12,
+                "scoring {s:?} violated diminishing returns"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_paper_vector_scores_zero() {
+        let p = TopicVector::zeros(3);
+        let r = tv(&[0.5, 0.5, 0.0]);
+        assert_eq!(Scoring::WeightedCoverage.pair_score(&r, &p), 0.0);
+        let rg = RunningGroup::new(Scoring::WeightedCoverage, &p);
+        assert_eq!(rg.score(), 0.0);
+    }
+
+    #[test]
+    fn unnormalised_paper_denominator() {
+        // Eq. 1 keeps the denominator for generality: scores stay in [0,1].
+        let p = tv(&[0.7, 0.9, 0.4]); // total 2.0
+        let r = tv(&[1.0, 1.0, 1.0]);
+        let s = Scoring::WeightedCoverage.pair_score(&r, &p);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+}

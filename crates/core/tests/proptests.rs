@@ -1,0 +1,227 @@
+//! Property tests for the core invariants the paper's proofs rest on:
+//! submodularity and monotonicity of the coverage objective (Lemma 4), BBA
+//! exactness against brute force, SDGA feasibility, and SRA monotonicity.
+
+use proptest::prelude::*;
+use wgrap_core::assignment::Assignment;
+use wgrap_core::cra::{sdga, sra};
+use wgrap_core::jra::{bba, bfs, JraProblem};
+use wgrap_core::prelude::*;
+use wgrap_core::score::group_expertise;
+
+fn topic_vector(dim: usize) -> impl Strategy<Value = TopicVector> {
+    proptest::collection::vec(0.0..1.0f64, dim).prop_map(|mut v| {
+        // Avoid the all-zeros vector so normalisation is meaningful.
+        if v.iter().sum::<f64>() <= 0.0 {
+            v[0] = 1.0;
+        }
+        TopicVector::new(v).normalized()
+    })
+}
+
+fn vectors(n: std::ops::Range<usize>, dim: usize) -> impl Strategy<Value = Vec<TopicVector>> {
+    proptest::collection::vec(topic_vector(dim), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lemma 4's conditions imply submodularity: the marginal gain of a
+    /// reviewer never increases when the group grows first.
+    #[test]
+    fn gain_is_submodular_for_all_scorings(
+        paper in topic_vector(5),
+        group in vectors(0..3, 5),
+        extra in topic_vector(5),
+        candidate in topic_vector(5),
+    ) {
+        for scoring in Scoring::ALL {
+            let mut small = RunningGroup::new(scoring, &paper);
+            for g in &group {
+                small.add(g);
+            }
+            let mut large = small.clone();
+            large.add(&extra);
+            prop_assert!(
+                large.gain(&candidate) <= small.gain(&candidate) + 1e-12,
+                "{scoring:?} violated diminishing returns"
+            );
+        }
+    }
+
+    /// Monotonicity: adding any reviewer never decreases the group score.
+    #[test]
+    fn coverage_is_monotone(
+        paper in topic_vector(6),
+        group in vectors(1..4, 6),
+        extra in topic_vector(6),
+    ) {
+        for scoring in Scoring::ALL {
+            let before = scoring.group_score(group.iter(), &paper);
+            let after = scoring.group_score(group.iter().chain([&extra]), &paper);
+            prop_assert!(after >= before - 1e-12);
+        }
+    }
+
+    /// Scores live in [0, 1] for normalised inputs (Eq. 1's normaliser).
+    #[test]
+    fn weighted_coverage_is_bounded(
+        paper in topic_vector(6),
+        group in vectors(1..4, 6),
+    ) {
+        let s = Scoring::WeightedCoverage.group_score(group.iter(), &paper);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&s));
+    }
+
+    /// The group vector dominates every member and is tight somewhere.
+    #[test]
+    fn group_vector_is_least_upper_bound(group in vectors(1..5, 5)) {
+        let g = group_expertise(5, group.iter());
+        for t in 0..5 {
+            let member_max = group.iter().map(|r| r[t]).fold(0.0f64, f64::max);
+            prop_assert!((g[t] - member_max).abs() < 1e-15);
+        }
+    }
+
+    /// BBA is exact: it matches brute force on every random instance.
+    #[test]
+    fn bba_equals_bfs(
+        pool in vectors(4..10, 4),
+        paper in topic_vector(4),
+        delta_p in 1usize..4,
+    ) {
+        prop_assume!(delta_p <= pool.len());
+        let problem = JraProblem::new(&paper, &pool, delta_p);
+        let a = bba::solve(&problem).expect("feasible");
+        let b = bfs::solve(&problem).expect("feasible");
+        prop_assert!((a.score - b.score).abs() < 1e-9);
+    }
+
+    /// SDGA always returns a feasible complete assignment and respects the
+    /// 1/2 bound against the per-paper ideal × P (a weaker but cheap bound).
+    #[test]
+    fn sdga_is_feasible(
+        papers in vectors(2..7, 4),
+        reviewers in vectors(3..7, 4),
+        delta_p in 1usize..4,
+    ) {
+        prop_assume!(delta_p <= reviewers.len());
+        let delta_r = Instance::minimal_delta_r(papers.len(), reviewers.len(), delta_p);
+        let inst = Instance::new(papers, reviewers, delta_p, delta_r).expect("valid");
+        let a = sdga::solve(&inst, Scoring::WeightedCoverage).expect("sdga");
+        prop_assert!(a.validate(&inst).is_ok());
+    }
+
+    /// SRA never returns something worse than its input, and the result
+    /// stays feasible.
+    #[test]
+    fn sra_is_monotone_and_feasible(
+        papers in vectors(2..6, 4),
+        reviewers in vectors(3..6, 4),
+        seed in 0u64..1000,
+    ) {
+        let delta_p = 2usize.min(reviewers.len());
+        let delta_r = Instance::minimal_delta_r(papers.len(), reviewers.len(), delta_p);
+        let inst = Instance::new(papers, reviewers, delta_p, delta_r).expect("valid");
+        let initial = sdga::solve(&inst, Scoring::WeightedCoverage).expect("sdga");
+        let before = initial.coverage_score(&inst, Scoring::WeightedCoverage);
+        let opts = sra::SraOptions { omega: 4, seed, ..Default::default() };
+        let out = sra::refine(&inst, Scoring::WeightedCoverage, initial, &opts);
+        prop_assert!(out.score >= before - 1e-12);
+        prop_assert!(out.assignment.validate(&inst).is_ok());
+    }
+
+    /// c(A) is the sum of the per-paper scores, and permuting a group does
+    /// not change its score (max is order-independent).
+    #[test]
+    fn assignment_score_decomposes(
+        papers in vectors(2..5, 4),
+        reviewers in vectors(4..7, 4),
+    ) {
+        let inst = Instance::new(papers, reviewers, 2, 100).expect("valid");
+        let mut a = Assignment::empty(inst.num_papers());
+        for p in 0..inst.num_papers() {
+            a.assign(p % inst.num_reviewers(), p);
+            a.assign((p + 1) % inst.num_reviewers(), p);
+        }
+        let total = a.coverage_score(&inst, Scoring::WeightedCoverage);
+        let sum: f64 = a.paper_scores(&inst, Scoring::WeightedCoverage).iter().sum();
+        prop_assert!((total - sum).abs() < 1e-12);
+
+        // Reverse every group: scores identical.
+        let mut b = a.clone();
+        for p in 0..inst.num_papers() {
+            b.group_mut(p).reverse();
+        }
+        prop_assert!((b.coverage_score(&inst, Scoring::WeightedCoverage) - total).abs() < 1e-12);
+    }
+}
+
+mod io_roundtrip {
+    use proptest::prelude::*;
+    use wgrap_core::io;
+    use wgrap_core::prelude::*;
+
+    fn name_strategy() -> impl Strategy<Value = String> {
+        "[a-z][a-z0-9_-]{0,10}".prop_map(|s| s)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// write -> parse preserves every observable property of an instance.
+        #[test]
+        fn instance_roundtrips(
+            dim in 1usize..5,
+            paper_w in proptest::collection::vec(
+                proptest::collection::vec(0.0..2.0f64, 4), 1..5),
+            reviewer_w in proptest::collection::vec(
+                proptest::collection::vec(0.0..2.0f64, 4), 2..6),
+            names in proptest::collection::hash_set(name_strategy(), 12..20),
+            coi_bits in proptest::collection::vec(any::<bool>(), 30),
+        ) {
+            let papers: Vec<TopicVector> =
+                paper_w.iter().map(|w| TopicVector::new(w[..dim].to_vec())).collect();
+            let reviewers: Vec<TopicVector> =
+                reviewer_w.iter().map(|w| TopicVector::new(w[..dim].to_vec())).collect();
+            let delta_p = 1usize;
+            let delta_r = Instance::minimal_delta_r(papers.len(), reviewers.len(), delta_p);
+            let names: Vec<String> = names.into_iter().collect();
+            let (np, nr) = (papers.len(), reviewers.len());
+            prop_assume!(names.len() >= np + nr);
+            let mut inst = Instance::new(papers, reviewers, delta_p, delta_r).unwrap()
+                .with_names(
+                    names[..np].to_vec(),
+                    names[np..np + nr].to_vec(),
+                );
+            let mut k = 0usize;
+            for r in 0..nr {
+                for p in 0..np {
+                    if coi_bits[(k) % coi_bits.len()] {
+                        inst.add_coi(r, p);
+                    }
+                    k += 1;
+                }
+            }
+
+            let text = io::write_instance(&inst);
+            let back = io::parse_instance(&text).unwrap();
+            prop_assert_eq!(back.num_papers(), inst.num_papers());
+            prop_assert_eq!(back.num_reviewers(), inst.num_reviewers());
+            prop_assert_eq!(back.delta_p(), inst.delta_p());
+            prop_assert_eq!(back.delta_r(), inst.delta_r());
+            for p in 0..np {
+                prop_assert_eq!(back.paper_name(p), inst.paper_name(p));
+                for t in 0..dim {
+                    prop_assert!((back.paper(p)[t] - inst.paper(p)[t]).abs() < 1e-12);
+                }
+            }
+            for r in 0..nr {
+                prop_assert_eq!(back.reviewer_name(r), inst.reviewer_name(r));
+                for p in 0..np {
+                    prop_assert_eq!(back.is_coi(r, p), inst.is_coi(r, p));
+                }
+            }
+        }
+    }
+}

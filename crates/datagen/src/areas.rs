@@ -1,0 +1,105 @@
+//! The six evaluation datasets of paper Table 3.
+
+/// Research area of a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Area {
+    /// SIGKDD / ICDM / SDM / CIKM.
+    DataMining,
+    /// SIGMOD / VLDB / ICDE / PODS.
+    Databases,
+    /// STOC / FOCS / SODA.
+    Theory,
+}
+
+impl Area {
+    /// All areas, in Table 3 column order.
+    pub const ALL: [Area; 3] = [Area::DataMining, Area::Databases, Area::Theory];
+
+    /// Short label used in the paper's tables (DM/DB/T).
+    pub fn label(self) -> &'static str {
+        match self {
+            Area::DataMining => "DM",
+            Area::Databases => "DB",
+            Area::Theory => "T",
+        }
+    }
+
+    /// Stable index (used to carve area-specific topic blocks).
+    pub fn index(self) -> usize {
+        match self {
+            Area::DataMining => 0,
+            Area::Databases => 1,
+            Area::Theory => 2,
+        }
+    }
+}
+
+/// One evaluation dataset: an area-year with its Table 3 cardinalities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetSpec {
+    /// Table label, e.g. "DB08".
+    pub name: &'static str,
+    /// Research area.
+    pub area: Area,
+    /// Publication year.
+    pub year: u16,
+    /// Simulated submissions (published papers of the area's venues).
+    pub num_papers: usize,
+    /// Reviewer pool (the area's flagship PC).
+    pub num_reviewers: usize,
+}
+
+/// DM 2008: 545 papers, SIGKDD'08 PC of 203.
+pub const DM08: DatasetSpec =
+    DatasetSpec { name: "DM08", area: Area::DataMining, year: 2008, num_papers: 545, num_reviewers: 203 };
+/// DM 2009: 648 papers, SIGKDD'09 PC of 145.
+pub const DM09: DatasetSpec =
+    DatasetSpec { name: "DM09", area: Area::DataMining, year: 2009, num_papers: 648, num_reviewers: 145 };
+/// DB 2008: 617 papers, SIGMOD'08 PC of 105.
+pub const DB08: DatasetSpec =
+    DatasetSpec { name: "DB08", area: Area::Databases, year: 2008, num_papers: 617, num_reviewers: 105 };
+/// DB 2009: 513 papers, SIGMOD'09 PC of 90.
+pub const DB09: DatasetSpec =
+    DatasetSpec { name: "DB09", area: Area::Databases, year: 2009, num_papers: 513, num_reviewers: 90 };
+/// Theory 2008: 281 papers, STOC'08 PC of 228.
+pub const T08: DatasetSpec =
+    DatasetSpec { name: "T08", area: Area::Theory, year: 2008, num_papers: 281, num_reviewers: 228 };
+/// Theory 2009: 226 papers, STOC'09 PC of 222.
+pub const T09: DatasetSpec =
+    DatasetSpec { name: "T09", area: Area::Theory, year: 2009, num_papers: 226, num_reviewers: 222 };
+
+/// All six datasets in Table 7 order.
+pub fn all_datasets() -> [DatasetSpec; 6] {
+    [DB08, DM08, T08, DB09, DM09, T09]
+}
+
+/// The default JRA candidate pool size of §5.1: "all authors who published
+/// at least 3 papers in any of the three areas in 2005-2009 (a total of
+/// 1002 authors)".
+pub const JRA_POOL_SIZE: usize = 1002;
+
+/// The number of topics the paper fixes throughout (§5).
+pub const NUM_TOPICS: usize = 30;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_cardinalities() {
+        assert_eq!(DB08.num_papers, 617);
+        assert_eq!(DB08.num_reviewers, 105);
+        assert_eq!(DM09.num_papers, 648);
+        assert_eq!(T08.num_reviewers, 228);
+        assert_eq!(all_datasets().len(), 6);
+    }
+
+    #[test]
+    fn labels_distinct() {
+        let labels: Vec<_> = all_datasets().iter().map(|d| d.name).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+}

@@ -1,0 +1,83 @@
+//! h-index expertise scaling (paper Appendix C, Eq. 15).
+//!
+//! The paper's last quality experiment rescales each reviewer's topic
+//! vector by `1 + (h_r − h_min)/(h_max − h_min) ∈ [1, 2]`, giving highly
+//! cited reviewers up to double weight. We generate synthetic h-indices
+//! (heavy-tailed, like real citation data) and apply the same formula.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use wgrap_core::prelude::TopicVector;
+
+/// Synthetic h-indices: floor of a squared-uniform draw scaled to
+/// `[lo, hi]` — heavy-tailed toward the low end, as in real pools.
+pub fn synthetic_hindices(count: usize, lo: u32, hi: u32, seed: u64) -> Vec<u32> {
+    assert!(hi >= lo);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4B1D);
+    (0..count)
+        .map(|_| {
+            let u: f64 = rng.random();
+            lo + ((hi - lo) as f64 * u * u).round() as u32
+        })
+        .collect()
+}
+
+/// Apply Eq. 15: scale reviewer `r` by `1 + (h_r − h_min)/(h_max − h_min)`.
+/// With all h-indices equal, every factor is 1 (no scaling).
+pub fn scale_by_hindex(reviewers: &[TopicVector], hindices: &[u32]) -> Vec<TopicVector> {
+    assert_eq!(reviewers.len(), hindices.len());
+    let (&h_min, &h_max) = match (hindices.iter().min(), hindices.iter().max()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return Vec::new(),
+    };
+    let span = (h_max - h_min) as f64;
+    reviewers
+        .iter()
+        .zip(hindices)
+        .map(|(r, &h)| {
+            let factor = if span > 0.0 {
+                1.0 + (h - h_min) as f64 / span
+            } else {
+                1.0
+            };
+            r.scaled(factor)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tv(v: &[f64]) -> TopicVector {
+        TopicVector::new(v.to_vec())
+    }
+
+    #[test]
+    fn factors_span_one_to_two() {
+        let rs = vec![tv(&[0.5, 0.5]), tv(&[0.5, 0.5]), tv(&[0.5, 0.5])];
+        let scaled = scale_by_hindex(&rs, &[10, 30, 20]);
+        assert!((scaled[0].total() - 1.0).abs() < 1e-12); // h_min -> x1
+        assert!((scaled[1].total() - 2.0).abs() < 1e-12); // h_max -> x2
+        assert!((scaled[2].total() - 1.5).abs() < 1e-12); // midpoint -> x1.5
+    }
+
+    #[test]
+    fn equal_hindices_are_identity() {
+        let rs = vec![tv(&[0.3, 0.7]), tv(&[0.6, 0.4])];
+        let scaled = scale_by_hindex(&rs, &[7, 7]);
+        assert_eq!(scaled[0].as_slice(), rs[0].as_slice());
+    }
+
+    #[test]
+    fn synthetic_hindices_in_range_and_deterministic() {
+        let h1 = synthetic_hindices(500, 3, 80, 1);
+        let h2 = synthetic_hindices(500, 3, 80, 1);
+        assert_eq!(h1, h2);
+        assert!(h1.iter().all(|&h| (3..=80).contains(&h)));
+        // Heavy tail: median well below the midpoint.
+        let mut sorted = h1.clone();
+        sorted.sort_unstable();
+        assert!(sorted[250] < 42, "median {}", sorted[250]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Natural-language keyword pools per research area, so synthetic corpora
+//! produce readable topics — the paper's case studies (Tables 8–9) hinge on
+//! topic keyword lists like "privacy, access, control, security, …".
+
+use crate::areas::Area;
+
+/// Domain keywords for an area, ordered roughly by how distinctive they are.
+pub fn area_keywords(area: Area) -> &'static [&'static str] {
+    match area {
+        Area::DataMining => &[
+            "clustering", "classification", "mining", "pattern", "frequent", "anomaly",
+            "outlier", "ensemble", "feature", "kernel", "boosting", "regression",
+            "recommendation", "collaborative", "matrix", "factorization", "embedding",
+            "social", "network", "community", "influence", "diffusion", "stream",
+            "temporal", "sequence", "timeseries", "forecasting", "privacy", "anonymity",
+            "sampling", "sketch", "association", "rule", "itemset", "label",
+            "supervised", "unsupervised", "semisupervised", "transfer", "topic",
+        ],
+        Area::Databases => &[
+            "query", "optimization", "index", "join", "transaction", "concurrency",
+            "recovery", "storage", "buffer", "plan", "relational", "schema", "xml",
+            "xpath", "xquery", "spatial", "keyword", "ranking", "view", "materialized",
+            "partition", "distributed", "parallel", "column", "compression", "skyline",
+            "nearest", "neighbor", "graph", "rdf", "provenance", "uncertain",
+            "probabilistic", "stream", "continuous", "window", "cardinality",
+            "selectivity", "benchmark", "workload",
+        ],
+        Area::Theory => &[
+            "approximation", "hardness", "complexity", "algorithm", "randomized",
+            "deterministic", "lower", "bound", "reduction", "np", "polynomial",
+            "logarithmic", "combinatorial", "graph", "matching", "flow", "cut",
+            "expander", "spectral", "lattice", "cryptography", "protocol", "game",
+            "equilibrium", "mechanism", "auction", "online", "competitive", "streaming",
+            "sketching", "sparsification", "sampling", "concentration", "entropy",
+            "coding", "locally", "testable", "pcp", "interactive", "proof",
+        ],
+    }
+}
+
+/// Shared filler vocabulary (function-ish words every topic emits).
+pub const FILLER: &[&str] = &[
+    "propose", "novel", "efficient", "scalable", "framework", "approach", "evaluate",
+    "experiments", "results", "demonstrate", "significantly", "outperforms", "existing",
+    "state", "art", "problem", "method", "technique", "analysis", "model", "data",
+    "large", "real", "synthetic", "study", "present", "show", "performance",
+];
+
+/// Build a vocabulary of `size` word strings for an area-bearing corpus:
+/// area keywords (all three areas, so cross-area papers make sense), filler,
+/// then numbered padding tokens up to `size`.
+pub fn build_word_list(size: usize) -> Vec<String> {
+    let mut seen = std::collections::HashSet::new();
+    let mut words: Vec<String> = Vec::with_capacity(size);
+    for w in Area::ALL
+        .iter()
+        .flat_map(|&a| area_keywords(a).iter())
+        .chain(FILLER.iter())
+    {
+        // A few keywords appear in several area pools ("graph", "stream"):
+        // keep the first occurrence only.
+        if seen.insert(*w) {
+            words.push(w.to_string());
+        }
+    }
+    let mut i = 0usize;
+    while words.len() < size {
+        words.push(format!("term{i:04}"));
+        i += 1;
+    }
+    words.truncate(size);
+    words
+}
+
+/// The area whose topic block contains topic `t` (see
+/// [`crate::vectors::area_topics`]; blocks overlap slightly, first match in
+/// DM/DB/Theory order wins).
+pub fn area_of_topic(t: usize, num_topics: usize) -> Area {
+    for area in Area::ALL {
+        if crate::vectors::area_topics(area, num_topics).contains(&t) {
+            return area;
+        }
+    }
+    Area::Theory // the last block always reaches num_topics
+}
+
+/// Word strings aligned with the synthetic corpus layout of
+/// [`crate::corpus`]: word id `w` inside topic `t`'s anchor block gets a
+/// keyword from `t`'s area pool (suffixed for uniqueness on reuse), and the
+/// remaining ids get filler/padding. This is what makes the case-study
+/// keyword tables (paper Tables 8–9) readable.
+pub fn word_strings(vocab_size: usize, num_topics: usize) -> Vec<String> {
+    let apt = vocab_size / num_topics; // anchors per topic (corpus.rs layout)
+    let mut out = vec![String::new(); vocab_size];
+    let mut used = std::collections::HashSet::new();
+    for t in 0..num_topics {
+        let pool = area_keywords(area_of_topic(t, num_topics));
+        for j in 0..apt {
+            let base = pool[(t + j) % pool.len()];
+            let name = if used.insert(base.to_string()) {
+                base.to_string()
+            } else {
+                let name = format!("{base}.{t}");
+                if used.insert(name.clone()) {
+                    name
+                } else {
+                    format!("{base}.{t}.{j}")
+                }
+            };
+            out[t * apt + j] = name;
+        }
+    }
+    let mut filler = FILLER.iter().cycle();
+    let mut pad = 0usize;
+    for slot in out.iter_mut().skip(num_topics * apt) {
+        let base = filler.next().expect("cycle is infinite");
+        *slot = if used.insert(base.to_string()) {
+            base.to_string()
+        } else {
+            pad += 1;
+            format!("term{pad:04}")
+        };
+    }
+    // Any empty slots (when apt = 0) fall back to padding.
+    for (i, slot) in out.iter_mut().enumerate() {
+        if slot.is_empty() {
+            *slot = format!("word{i:04}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_distinct_and_nonempty() {
+        for a in Area::ALL {
+            assert!(area_keywords(a).len() >= 30);
+        }
+        let dm: std::collections::HashSet<_> = area_keywords(Area::DataMining).iter().collect();
+        let th: std::collections::HashSet<_> = area_keywords(Area::Theory).iter().collect();
+        assert!(dm.intersection(&th).count() < 5, "area pools nearly identical");
+    }
+
+    #[test]
+    fn word_list_has_requested_size_and_unique_entries() {
+        let words = build_word_list(300);
+        assert_eq!(words.len(), 300);
+        let mut sorted = words.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 300, "duplicate words in vocabulary");
+    }
+
+    #[test]
+    fn small_sizes_truncate() {
+        let words = build_word_list(10);
+        assert_eq!(words.len(), 10);
+    }
+
+    #[test]
+    fn word_strings_unique_and_area_aligned() {
+        let words = word_strings(300, 6);
+        assert_eq!(words.len(), 300);
+        let mut sorted = words.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 300, "duplicate word strings");
+        // Topic 0 sits in the DM block: its anchor words come from the DM pool.
+        let dm: std::collections::HashSet<_> = area_keywords(Area::DataMining).iter().collect();
+        let anchors = 300 / 6;
+        let from_dm = words[..anchors]
+            .iter()
+            .filter(|w| dm.contains(&w.split('.').next().unwrap_or_default()))
+            .count();
+        assert!(from_dm * 10 >= anchors * 8, "only {from_dm}/{anchors} DM anchors");
+    }
+
+    #[test]
+    fn area_of_topic_covers_all() {
+        for t in 0..30 {
+            let _ = area_of_topic(t, 30); // must not panic, returns some area
+        }
+        assert_eq!(area_of_topic(0, 30), Area::DataMining);
+        assert_eq!(area_of_topic(29, 30), Area::Theory);
+    }
+}

@@ -1,0 +1,32 @@
+//! # wgrap-datagen — synthetic DBLP-style workloads
+//!
+//! The paper evaluates on DBLP/ArnetMiner data (Table 3): three research
+//! areas (Data Mining, Databases, Theory) over 2008–2009, with program
+//! committees as reviewer pools and same-area venue publications as
+//! simulated submissions. That dataset is not available offline, so this
+//! crate generates the closest synthetic equivalent:
+//!
+//! * [`areas`] — the six dataset presets with Table 3's exact cardinalities.
+//! * [`vectors`] — direct topic-vector workloads: area-clustered sparse
+//!   Dirichlet mixtures for reviewers and papers (including a share of
+//!   interdisciplinary papers, the §1 motivation).
+//! * [`corpus`] — full text-level generation: ground-truth topics over a
+//!   synthetic vocabulary, reviewer publication records, and submission
+//!   abstracts — exercising the ATM → EM pipeline end to end.
+//! * [`pipeline`] — corpus → `wgrap_topics` ATM/EM → `wgrap_core::Instance`.
+//! * [`hindex`] — the Appendix C h-index expertise scaling (Eq. 15).
+//!
+//! Every generator is deterministic given its seed.
+#![warn(missing_docs)]
+
+
+pub mod areas;
+pub mod corpus;
+pub mod hindex;
+pub mod keywords;
+pub mod pipeline;
+pub mod vectors;
+
+pub use areas::{all_datasets, Area, DatasetSpec};
+pub use pipeline::corpus_to_instance;
+pub use vectors::{area_instance, jra_pool, VectorConfig};

@@ -1,0 +1,241 @@
+//! Direct topic-vector workload generation (no text): the fast path for the
+//! assignment-algorithm experiments, bypassing the ATM.
+//!
+//! The generative shape mirrors what the ATM extracts from DBLP: each area
+//! owns a block of "core" topics plus a shared tail; reviewers are sparse
+//! Dirichlet mixtures concentrated on their area's block (specialists, with
+//! some generalists), and papers likewise — except an interdisciplinary
+//! share of papers blends a second area, recreating the §1 motivation
+//! (the geo-tagged-image paper that needs both Spatial and IR expertise).
+
+use crate::areas::{Area, DatasetSpec, NUM_TOPICS};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use wgrap_core::prelude::{Instance, TopicVector};
+use wgrap_topics::dirichlet::sample_dirichlet;
+
+/// Tunables for the vector generator.
+#[derive(Debug, Clone)]
+pub struct VectorConfig {
+    /// Topic dimension `T` (paper: 30).
+    pub num_topics: usize,
+    /// Dirichlet concentration on a reviewer's core topics (small = expert).
+    pub reviewer_alpha: f64,
+    /// Dirichlet concentration for papers.
+    pub paper_alpha: f64,
+    /// Background mass spread over off-area topics.
+    pub background: f64,
+    /// Fraction of interdisciplinary papers (second area blended in).
+    pub interdisciplinary: f64,
+}
+
+impl Default for VectorConfig {
+    fn default() -> Self {
+        Self {
+            num_topics: NUM_TOPICS,
+            reviewer_alpha: 0.25,
+            paper_alpha: 0.4,
+            background: 0.05,
+            interdisciplinary: 0.15,
+        }
+    }
+}
+
+/// The topic indices forming an area's core block. The three blocks cover
+/// the topic space with slight overlap at block borders.
+pub fn area_topics(area: Area, num_topics: usize) -> std::ops::Range<usize> {
+    let third = num_topics / 3;
+    let i = area.index();
+    let start = i * third;
+    let end = if i == 2 { num_topics } else { (i + 1) * third + third / 4 };
+    start..end.min(num_topics)
+}
+
+fn sample_member(
+    rng: &mut StdRng,
+    area: Area,
+    cfg: &VectorConfig,
+    alpha: f64,
+) -> TopicVector {
+    let t = cfg.num_topics;
+    let core = area_topics(area, t);
+    let mut weights = vec![0.0f64; t];
+    let core_alphas = vec![alpha; core.len()];
+    let core_mix = sample_dirichlet(rng, &core_alphas);
+    for (i, w) in core.clone().zip(core_mix) {
+        weights[i] = w * (1.0 - cfg.background);
+    }
+    // Thin uniform-ish background over the rest.
+    let rest: Vec<usize> = (0..t).filter(|i| !core.contains(i)).collect();
+    if !rest.is_empty() {
+        let bg = sample_dirichlet(rng, &vec![0.5; rest.len()]);
+        for (i, w) in rest.into_iter().zip(bg) {
+            weights[i] = w * cfg.background;
+        }
+    }
+    TopicVector::new(weights).normalized()
+}
+
+fn other_area(rng: &mut StdRng, area: Area) -> Area {
+    loop {
+        let cand = Area::ALL[rng.random_range(0..3)];
+        if cand != area {
+            return cand;
+        }
+    }
+}
+
+/// Generate the reviewers of a dataset.
+pub fn reviewers(spec: &DatasetSpec, cfg: &VectorConfig, seed: u64) -> Vec<TopicVector> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_0001);
+    (0..spec.num_reviewers)
+        .map(|_| sample_member(&mut rng, spec.area, cfg, cfg.reviewer_alpha))
+        .collect()
+}
+
+/// Generate the papers of a dataset (with the interdisciplinary share).
+pub fn papers(spec: &DatasetSpec, cfg: &VectorConfig, seed: u64) -> Vec<TopicVector> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_0002);
+    (0..spec.num_papers)
+        .map(|_| {
+            let base = sample_member(&mut rng, spec.area, cfg, cfg.paper_alpha);
+            if rng.random::<f64>() < cfg.interdisciplinary {
+                let blended_area = other_area(&mut rng, spec.area);
+                let second = sample_member(&mut rng, blended_area, cfg, cfg.paper_alpha);
+                let blend: Vec<f64> = base
+                    .as_slice()
+                    .iter()
+                    .zip(second.as_slice())
+                    .map(|(a, b)| 0.6 * a + 0.4 * b)
+                    .collect();
+                TopicVector::new(blend).normalized()
+            } else {
+                base
+            }
+        })
+        .collect()
+}
+
+/// Build the CRA instance for a dataset at the paper's standard setting:
+/// minimal feasible reviewer workload `δr = ⌈P·δp / R⌉` (§5.2).
+pub fn area_instance(spec: &DatasetSpec, delta_p: usize, seed: u64) -> Instance {
+    area_instance_with(spec, delta_p, &VectorConfig::default(), seed)
+}
+
+/// [`area_instance`] with explicit generator tunables.
+pub fn area_instance_with(
+    spec: &DatasetSpec,
+    delta_p: usize,
+    cfg: &VectorConfig,
+    seed: u64,
+) -> Instance {
+    let p = papers(spec, cfg, seed);
+    let r = reviewers(spec, cfg, seed);
+    let delta_r = Instance::minimal_delta_r(p.len(), r.len(), delta_p);
+    Instance::new(p, r, delta_p, delta_r).expect("generated instance is structurally valid")
+}
+
+/// The §5.1 JRA candidate pool: authors drawn from all three areas
+/// (paper default: 1002 authors over DM/DB/Theory).
+pub fn jra_pool(size: usize, cfg: &VectorConfig, seed: u64) -> Vec<TopicVector> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_0003);
+    (0..size)
+        .map(|i| {
+            let area = Area::ALL[i % 3];
+            sample_member(&mut rng, area, cfg, cfg.reviewer_alpha)
+        })
+        .collect()
+}
+
+/// A random single paper for JRA experiments, drawn from a random area
+/// ("p is randomly selected from the three areas", §5.1).
+pub fn jra_paper(cfg: &VectorConfig, seed: u64) -> TopicVector {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_0004);
+    let area = Area::ALL[rng.random_range(0..3)];
+    sample_member(&mut rng, area, cfg, cfg.paper_alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::areas::{DB08, T08};
+
+    #[test]
+    fn instance_matches_spec_sizes() {
+        let inst = area_instance(&DB08, 3, 7);
+        assert_eq!(inst.num_papers(), 617);
+        assert_eq!(inst.num_reviewers(), 105);
+        assert_eq!(inst.delta_r(), 18); // ceil(617*3/105)
+        assert_eq!(inst.num_topics(), NUM_TOPICS);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = area_instance(&T08, 3, 9);
+        let b = area_instance(&T08, 3, 9);
+        assert_eq!(a.paper(0).as_slice(), b.paper(0).as_slice());
+        assert_eq!(a.reviewer(5).as_slice(), b.reviewer(5).as_slice());
+        let c = area_instance(&T08, 3, 10);
+        assert_ne!(a.paper(0).as_slice(), c.paper(0).as_slice());
+    }
+
+    #[test]
+    fn vectors_are_normalised() {
+        let inst = area_instance(&DB08, 3, 3);
+        for v in inst.papers().iter().take(20).chain(inst.reviewers().iter().take(20)) {
+            assert!((v.total() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reviewers_concentrate_on_area_block() {
+        let cfg = VectorConfig::default();
+        let rs = reviewers(&DB08, &cfg, 11);
+        let core = area_topics(Area::Databases, cfg.num_topics);
+        let mut avg_core_mass = 0.0;
+        for r in &rs {
+            avg_core_mass += core.clone().map(|t| r[t]).sum::<f64>();
+        }
+        avg_core_mass /= rs.len() as f64;
+        assert!(avg_core_mass > 0.85, "core mass {avg_core_mass}");
+    }
+
+    #[test]
+    fn area_blocks_partition_reasonably() {
+        for t in [30usize, 12, 31] {
+            let blocks: Vec<_> = Area::ALL.iter().map(|&a| area_topics(a, t)).collect();
+            // Every topic is in at least one block; the last block reaches T.
+            for i in 0..t {
+                assert!(blocks.iter().any(|b| b.contains(&i)), "topic {i} uncovered (T={t})");
+            }
+            assert_eq!(blocks[2].end, t);
+        }
+    }
+
+    #[test]
+    fn jra_pool_spans_all_areas() {
+        let cfg = VectorConfig::default();
+        let pool = jra_pool(30, &cfg, 5);
+        assert_eq!(pool.len(), 30);
+        // Reviewers cycle areas; adjacent ones concentrate on different blocks.
+        let mass = |v: &TopicVector, a: Area| {
+            area_topics(a, cfg.num_topics).map(|t| v[t]).sum::<f64>()
+        };
+        assert!(mass(&pool[0], Area::DataMining) > mass(&pool[0], Area::Theory));
+        assert!(mass(&pool[2], Area::Theory) > mass(&pool[2], Area::DataMining));
+    }
+
+    #[test]
+    fn interdisciplinary_share_appears() {
+        let cfg = VectorConfig { interdisciplinary: 1.0, ..Default::default() };
+        let ps = papers(&DB08, &cfg, 13);
+        // Blended papers keep visible mass outside their home block.
+        let core = area_topics(Area::Databases, cfg.num_topics);
+        let outside: f64 = ps
+            .iter()
+            .map(|p| 1.0 - core.clone().map(|t| p[t]).sum::<f64>())
+            .sum::<f64>()
+            / ps.len() as f64;
+        assert!(outside > 0.2, "outside-block mass {outside}");
+    }
+}

@@ -1,0 +1,301 @@
+//! Minimum-cost maximum-flow solver and the capacitated-assignment front-end
+//! used by SDGA stages.
+//!
+//! The paper (§4.2) notes each Stage-WGRAP is a linear assignment problem
+//! solvable by "Hungarian algorithm \[or\] minimum-cost flow assignment". The
+//! flow formulation is the natural one when reviewers carry a per-stage slot
+//! capacity `⌈δr/δp⌉`: `source → paper (cap 1) → reviewer (cap 1) → sink
+//! (cap slots)`.
+//!
+//! Costs are scaled to integers ([`COST_SCALE`]) so augmentations stay exact;
+//! successive shortest paths with Johnson potentials keeps every Dijkstra run
+//! on non-negative reduced costs.
+
+use crate::matrix::CostMatrix;
+use crate::Assignment;
+use std::collections::BinaryHeap;
+
+/// Fixed-point resolution for edge costs: one unit of cost is `1 / COST_SCALE`.
+pub const COST_SCALE: f64 = 1e9;
+
+#[derive(Debug, Clone)]
+struct Edge {
+    to: usize,
+    cap: i64,
+    cost: i64,
+}
+
+/// A minimum-cost maximum-flow network over integer capacities and costs.
+#[derive(Debug, Clone, Default)]
+pub struct MinCostFlow {
+    edges: Vec<Edge>,
+    adj: Vec<Vec<u32>>,
+}
+
+impl MinCostFlow {
+    /// An empty network with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self { edges: Vec::new(), adj: vec![Vec::new(); n] }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Add a directed edge and its residual twin. Returns the edge id, which
+    /// can later be passed to [`MinCostFlow::flow_on`].
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: i64, cost: i64) -> usize {
+        let id = self.edges.len();
+        self.adj[from].push(id as u32);
+        self.edges.push(Edge { to, cap, cost });
+        self.adj[to].push((id + 1) as u32);
+        self.edges.push(Edge { to: from, cap: 0, cost: -cost });
+        id
+    }
+
+    /// Flow currently pushed on edge `id` (residual capacity of its twin).
+    pub fn flow_on(&self, id: usize) -> i64 {
+        self.edges[id ^ 1].cap
+    }
+
+    /// Send at most `limit` units from `s` to `t`, minimising total cost.
+    /// Returns `(flow, cost)`. Requires all edge costs non-negative (the
+    /// assignment front-end shifts costs to guarantee this).
+    pub fn min_cost_flow(&mut self, s: usize, t: usize, limit: i64) -> (i64, i64) {
+        let n = self.nodes();
+        debug_assert!(
+            self.edges.iter().enumerate().all(|(i, e)| i % 2 == 1 || e.cap == 0 || e.cost >= 0),
+            "forward edges must have non-negative cost"
+        );
+        let mut potential = vec![0i64; n];
+        let mut flow = 0i64;
+        let mut cost = 0i64;
+        let mut dist = vec![i64::MAX; n];
+        let mut prev_edge = vec![u32::MAX; n];
+
+        while flow < limit {
+            // Dijkstra on reduced costs.
+            dist.fill(i64::MAX);
+            prev_edge.fill(u32::MAX);
+            dist[s] = 0;
+            let mut heap: BinaryHeap<std::cmp::Reverse<(i64, usize)>> = BinaryHeap::new();
+            heap.push(std::cmp::Reverse((0, s)));
+            while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+                if d > dist[u] {
+                    continue;
+                }
+                for &eid in &self.adj[u] {
+                    let e = &self.edges[eid as usize];
+                    if e.cap <= 0 {
+                        continue;
+                    }
+                    let nd = d + e.cost + potential[u] - potential[e.to];
+                    debug_assert!(e.cost + potential[u] - potential[e.to] >= 0, "negative reduced cost");
+                    if nd < dist[e.to] {
+                        dist[e.to] = nd;
+                        prev_edge[e.to] = eid;
+                        heap.push(std::cmp::Reverse((nd, e.to)));
+                    }
+                }
+            }
+            if dist[t] == i64::MAX {
+                break; // t unreachable: maximum flow reached
+            }
+            for v in 0..n {
+                if dist[v] < i64::MAX {
+                    potential[v] += dist[v];
+                }
+            }
+            // Bottleneck along the shortest path.
+            let mut push = limit - flow;
+            let mut v = t;
+            while v != s {
+                let eid = prev_edge[v] as usize;
+                push = push.min(self.edges[eid].cap);
+                v = self.edges[eid ^ 1].to;
+            }
+            // Apply.
+            let mut v = t;
+            while v != s {
+                let eid = prev_edge[v] as usize;
+                self.edges[eid].cap -= push;
+                self.edges[eid ^ 1].cap += push;
+                cost += push * self.edges[eid].cost;
+                v = self.edges[eid ^ 1].to;
+            }
+            flow += push;
+        }
+        (flow, cost)
+    }
+}
+
+/// Maximum-weight capacitated assignment: every row (paper) wants exactly one
+/// column (reviewer); column `j` accepts at most `col_caps[j]` rows.
+///
+/// `f64::NEG_INFINITY` weights are forbidden pairs. Weight resolution is
+/// `1 / COST_SCALE`; weights must satisfy `|w| * COST_SCALE < 2^62 / n`.
+#[derive(Debug)]
+pub struct CapacitatedAssignment<'a> {
+    weights: &'a CostMatrix,
+    col_caps: &'a [i64],
+}
+
+impl<'a> CapacitatedAssignment<'a> {
+    /// Create a solver over `weights` (rows × cols) and per-column capacities.
+    pub fn new(weights: &'a CostMatrix, col_caps: &'a [i64]) -> Self {
+        assert_eq!(weights.cols(), col_caps.len());
+        Self { weights, col_caps }
+    }
+
+    /// Solve, maximising total weight while matching as many rows as
+    /// possible. Rows whose every column is forbidden (or whose capacity ran
+    /// out) are reported unmatched.
+    pub fn solve(&self) -> Assignment {
+        let (r, c) = (self.weights.rows(), self.weights.cols());
+        if r == 0 {
+            return Assignment { row_to_col: vec![], objective: 0.0 };
+        }
+        let shift = self.weights.max_finite().unwrap_or(0.0).max(0.0);
+        // Node ids: 0 = source, 1..=r papers, r+1..=r+c reviewers, r+c+1 sink.
+        let s = 0;
+        let t = r + c + 1;
+        let mut net = MinCostFlow::new(r + c + 2);
+        for i in 0..r {
+            net.add_edge(s, 1 + i, 1, 0);
+        }
+        let mut pair_edges = vec![usize::MAX; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                let w = self.weights.get(i, j);
+                if w == f64::NEG_INFINITY {
+                    continue;
+                }
+                let cost = ((shift - w) * COST_SCALE).round() as i64;
+                pair_edges[i * c + j] = net.add_edge(1 + i, 1 + r + j, 1, cost);
+            }
+        }
+        for j in 0..c {
+            if self.col_caps[j] > 0 {
+                net.add_edge(1 + r + j, t, self.col_caps[j], 0);
+            }
+        }
+        net.min_cost_flow(s, t, r as i64);
+
+        let mut row_to_col = vec![None; r];
+        let mut objective = 0.0;
+        for i in 0..r {
+            for j in 0..c {
+                let eid = pair_edges[i * c + j];
+                if eid != usize::MAX && net.flow_on(eid) > 0 {
+                    row_to_col[i] = Some(j);
+                    objective += self.weights.get(i, j);
+                    break;
+                }
+            }
+        }
+        Assignment { row_to_col, objective }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_max;
+    use crate::hungarian::hungarian_max;
+
+    #[test]
+    fn simple_flow() {
+        // s -> a -> t with two parallel routes of different cost.
+        let mut net = MinCostFlow::new(4);
+        net.add_edge(0, 1, 5, 1);
+        net.add_edge(0, 2, 5, 2);
+        net.add_edge(1, 3, 4, 1);
+        net.add_edge(2, 3, 4, 1);
+        let (flow, cost) = net.min_cost_flow(0, 3, 8);
+        assert_eq!(flow, 8);
+        // 4 units via node 1 at cost 2 each, 4 via node 2 at cost 3 each.
+        assert_eq!(cost, 4 * 2 + 4 * 3);
+    }
+
+    #[test]
+    fn flow_respects_limit() {
+        let mut net = MinCostFlow::new(2);
+        net.add_edge(0, 1, 10, 3);
+        let (flow, cost) = net.min_cost_flow(0, 1, 4);
+        assert_eq!(flow, 4);
+        assert_eq!(cost, 12);
+    }
+
+    #[test]
+    fn unit_caps_match_hungarian() {
+        let mut state = 0xDEADBEEFCAFEu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for n in 1..=6 {
+            for _ in 0..10 {
+                let m = CostMatrix::from_fn(n, n, |_, _| next());
+                let caps = vec![1i64; n];
+                let flow_sol = CapacitatedAssignment::new(&m, &caps).solve();
+                let hung = hungarian_max(&m).unwrap();
+                assert!(
+                    (flow_sol.objective - hung.objective).abs() < 1e-6,
+                    "flow={} hungarian={}",
+                    flow_sol.objective,
+                    hung.objective
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn capacities_allow_column_reuse() {
+        // 3 papers, 1 reviewer with capacity 3: all rows match column 0.
+        let m = CostMatrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let caps = vec![3i64];
+        let sol = CapacitatedAssignment::new(&m, &caps).solve();
+        assert_eq!(sol.matched(), 3);
+        assert!((sol.objective - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_exhaustion_leaves_rows_unmatched() {
+        let m = CostMatrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let caps = vec![2i64];
+        let sol = CapacitatedAssignment::new(&m, &caps).solve();
+        assert_eq!(sol.matched(), 2);
+        // The flow maximises matched rows first (max flow), then weight:
+        // it must pick the two heaviest rows.
+        assert!((sol.objective - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forbidden_pairs_respected() {
+        let ninf = f64::NEG_INFINITY;
+        let m = CostMatrix::from_rows(&[vec![ninf, 1.0], vec![5.0, ninf]]);
+        let caps = vec![1i64, 1];
+        let sol = CapacitatedAssignment::new(&m, &caps).solve();
+        assert_eq!(sol.row_to_col, vec![Some(1), Some(0)]);
+        assert!((sol.objective - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn square_cap1_matches_brute_force() {
+        let mut state = 7u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..20 {
+            let m = CostMatrix::from_fn(5, 5, |_, _| next() * 4.0);
+            let caps = vec![1i64; 5];
+            let sol = CapacitatedAssignment::new(&m, &caps).solve();
+            let (bf, _) = brute_force_max(&m).unwrap();
+            assert!((sol.objective - bf).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Linear assignment substrate for the WGRAP reproduction.
+//!
+//! The Stage Deepening Greedy Algorithm (SDGA, paper §4.2) solves one linear
+//! assignment problem per stage, and the stochastic refinement (SRA, §4.4)
+//! solves one per refinement round. The paper suggests either the Hungarian
+//! algorithm or a minimum-cost flow formulation; this crate provides both:
+//!
+//! * [`hungarian`] — an `O(n³)` shortest-augmenting-path (Jonker–Volgenant
+//!   style) implementation over dense square cost matrices, with helpers for
+//!   rectangular and maximisation problems.
+//! * [`flow`] — a successive-shortest-paths minimum-cost maximum-flow solver
+//!   with Johnson potentials, which natively supports node capacities (the
+//!   per-stage reviewer workload `⌈δr/δp⌉`).
+//!
+//! Both backends treat `f64::INFINITY` entries as forbidden pairs (conflicts
+//! of interest, already-assigned reviewers). The flow backend internally
+//! scales costs to integers to keep augmentation numerically exact; the
+//! scaling resolution is [`flow::COST_SCALE`].
+// Parallel-array index loops are clearer than zipped iterators here.
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)]
+
+
+pub mod brute;
+pub mod flow;
+pub mod hungarian;
+pub mod matrix;
+
+pub use flow::{CapacitatedAssignment, MinCostFlow};
+pub use hungarian::{hungarian_max, hungarian_min, HungarianResult};
+pub use matrix::CostMatrix;
+
+/// Outcome of an assignment solve: `pairs[i] = Some(j)` means row `i`
+/// (paper) was matched to column `j` (reviewer slot).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// For each row, the matched column (or `None` if unmatched).
+    pub row_to_col: Vec<Option<usize>>,
+    /// Total objective value of the matched pairs (sum of the original,
+    /// unshifted weights).
+    pub objective: f64,
+}
+
+impl Assignment {
+    /// Number of matched rows.
+    pub fn matched(&self) -> usize {
+        self.row_to_col.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Iterate over `(row, col)` matched pairs.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.row_to_col
+            .iter()
+            .enumerate()
+            .filter_map(|(r, c)| c.map(|c| (r, c)))
+    }
+}

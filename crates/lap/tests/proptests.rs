@@ -1,0 +1,75 @@
+//! Property tests: the Hungarian and flow backends are exact on anything
+//! the brute-force oracle can check, and agree with each other.
+
+use proptest::prelude::*;
+use wgrap_lap::brute::brute_force_max;
+use wgrap_lap::{hungarian_max, CapacitatedAssignment, CostMatrix};
+
+fn square_matrix(max_n: usize) -> impl Strategy<Value = CostMatrix> {
+    (1..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec(0.0..10.0f64, n * n)
+            .prop_map(move |data| CostMatrix::from_fn(n, n, |r, c| data[r * n + c]))
+    })
+}
+
+proptest! {
+    #[test]
+    fn hungarian_matches_brute_force(m in square_matrix(6)) {
+        let hung = hungarian_max(&m).expect("finite matrix is feasible");
+        let (bf, _) = brute_force_max(&m).expect("finite matrix is feasible");
+        prop_assert!((hung.objective - bf).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flow_matches_hungarian_on_unit_caps(m in square_matrix(6)) {
+        let caps = vec![1i64; m.cols()];
+        let flow = CapacitatedAssignment::new(&m, &caps).solve();
+        let hung = hungarian_max(&m).expect("feasible");
+        prop_assert!((flow.objective - hung.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matching_is_injective(m in square_matrix(7)) {
+        let sol = hungarian_max(&m).expect("feasible");
+        let mut seen = vec![false; m.cols()];
+        for (_, c) in sol.pairs() {
+            prop_assert!(!seen[c], "column matched twice");
+            seen[c] = true;
+        }
+    }
+
+    #[test]
+    fn forbidding_the_chosen_edges_never_improves(m in square_matrix(5)) {
+        let base = hungarian_max(&m).expect("feasible");
+        // Forbid the first matched edge and re-solve: objective can't rise.
+        let first = base.pairs().next();
+        if let Some((r, c)) = first {
+            let mut degraded = m.clone();
+            degraded.set(r, c, f64::NEG_INFINITY);
+            if let Some(sol) = hungarian_max(&degraded) {
+                prop_assert!(sol.objective <= base.objective + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn capacitated_objective_matches_reported_pairs(
+        m in square_matrix(5),
+        cap in 1i64..3,
+    ) {
+        let caps = vec![cap; m.cols()];
+        let sol = CapacitatedAssignment::new(&m, &caps).solve();
+        // Reported objective equals the sum over reported pairs, and no
+        // column exceeds its capacity.
+        let mut total = 0.0;
+        let mut used = vec![0i64; m.cols()];
+        for (r, c) in sol.pairs() {
+            total += m.get(r, c);
+            used[c] += 1;
+        }
+        prop_assert!((total - sol.objective).abs() < 1e-9);
+        for (u, &cap) in used.iter().zip(&caps) {
+            prop_assert!(*u <= cap);
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Depth-first branch-and-bound for 0-1 (and general-integer) programs on
+//! top of the LP relaxation from [`crate::simplex`].
+
+use crate::model::{Cmp, Model, Sense, Solution, VarId};
+use crate::simplex::{solve_lp, LpResult};
+use std::time::{Duration, Instant};
+
+const INT_TOL: f64 = 1e-6;
+
+/// Limits and tolerances for [`solve_ilp`].
+#[derive(Debug, Clone)]
+pub struct IlpOptions {
+    /// Abort after this wall-clock budget (best incumbent is returned).
+    pub time_limit: Option<Duration>,
+    /// Abort after this many branch-and-bound nodes.
+    pub node_limit: Option<u64>,
+    /// Relative optimality gap at which a node is pruned against the
+    /// incumbent (0.0 = prove exact optimality).
+    pub gap: f64,
+}
+
+impl Default for IlpOptions {
+    fn default() -> Self {
+        Self { time_limit: None, node_limit: None, gap: 0.0 }
+    }
+}
+
+/// Termination status of a branch-and-bound run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IlpStatus {
+    /// Optimality proven (within `gap`).
+    Optimal,
+    /// The model has no integer-feasible point.
+    Infeasible,
+    /// The LP relaxation is unbounded.
+    Unbounded,
+    /// A limit was hit; `best` holds the incumbent, if any.
+    LimitReached,
+}
+
+/// Result of a branch-and-bound run.
+#[derive(Debug, Clone)]
+pub struct IlpResult {
+    /// Why the search stopped.
+    pub status: IlpStatus,
+    /// Best integer-feasible solution found.
+    pub best: Option<Solution>,
+    /// Number of nodes explored.
+    pub nodes: u64,
+}
+
+struct Frame {
+    /// Extra variable bounds along this branch: `(var, lower, upper)`.
+    bounds: Vec<(usize, f64, f64)>,
+}
+
+/// Solve a mixed 0-1 / integer program by LP-based branch-and-bound.
+///
+/// Branching picks the most fractional integer variable; children are
+/// explored depth-first with the rounding-toward-LP-value child first.
+pub fn solve_ilp(model: &Model, opts: &IlpOptions) -> IlpResult {
+    let start = Instant::now();
+    let improves = |cand: f64, incumbent: f64| match model.sense {
+        Sense::Maximize => cand > incumbent + 1e-12,
+        Sense::Minimize => cand < incumbent - 1e-12,
+    };
+    // Prune test: can a node with LP bound `bound` still beat the incumbent
+    // by more than the allowed gap?
+    let promising = |bound: f64, incumbent: Option<f64>| match incumbent {
+        None => true,
+        Some(inc) => {
+            let slack = opts.gap * inc.abs().max(1.0);
+            match model.sense {
+                Sense::Maximize => bound > inc + slack + 1e-12,
+                Sense::Minimize => bound < inc - slack - 1e-12,
+            }
+        }
+    };
+
+    let mut stack = vec![Frame { bounds: vec![] }];
+    let mut best: Option<Solution> = None;
+    let mut nodes = 0u64;
+    let mut status = IlpStatus::Optimal;
+    let mut root_infeasible = true;
+    let mut root_unbounded = false;
+
+    while let Some(frame) = stack.pop() {
+        if let Some(tl) = opts.time_limit {
+            if start.elapsed() > tl {
+                status = IlpStatus::LimitReached;
+                break;
+            }
+        }
+        if let Some(nl) = opts.node_limit {
+            if nodes >= nl {
+                status = IlpStatus::LimitReached;
+                break;
+            }
+        }
+        nodes += 1;
+
+        // Materialise the node model: tighten upper bounds in-place and add
+        // `x >= lower` rows for positive lower bounds.
+        let mut node = model.clone();
+        for &(j, lo, hi) in &frame.bounds {
+            node.upper[j] = node.upper[j].min(hi);
+            if lo > 0.0 {
+                node.rows.push(crate::model::Row {
+                    coeffs: vec![(j, 1.0)],
+                    cmp: Cmp::Ge,
+                    rhs: lo,
+                });
+            }
+        }
+
+        let lp = match solve_lp(&node) {
+            LpResult::Infeasible => continue,
+            LpResult::Unbounded => {
+                if frame.bounds.is_empty() {
+                    root_unbounded = true;
+                    root_infeasible = false;
+                    break;
+                }
+                continue;
+            }
+            LpResult::Optimal(s) => s,
+        };
+        root_infeasible = false;
+
+        if !promising(lp.objective, best.as_ref().map(|b| b.objective)) {
+            continue;
+        }
+
+        // Find the most fractional integer variable.
+        let mut branch_var = None;
+        let mut best_frac = INT_TOL;
+        for (j, &v) in lp.values.iter().enumerate() {
+            if model.integer[j] {
+                let frac = (v - v.round()).abs();
+                if frac > best_frac {
+                    best_frac = frac;
+                    branch_var = Some((j, v));
+                }
+            }
+        }
+
+        match branch_var {
+            None => {
+                // Integer feasible: round off numeric dust and keep if better.
+                let mut values = lp.values.clone();
+                for (j, v) in values.iter_mut().enumerate() {
+                    if model.integer[j] {
+                        *v = v.round();
+                    }
+                }
+                let objective = model.objective_value(&values);
+                if best.as_ref().is_none_or(|b| improves(objective, b.objective)) {
+                    best = Some(Solution { values, objective });
+                }
+            }
+            Some((j, v)) => {
+                let floor = v.floor();
+                let down = {
+                    let mut b = frame.bounds.clone();
+                    b.push((j, 0.0, floor));
+                    Frame { bounds: b }
+                };
+                let up = {
+                    let mut b = frame.bounds.clone();
+                    b.push((j, floor + 1.0, f64::INFINITY));
+                    Frame { bounds: b }
+                };
+                // Depth-first; push the child nearer the LP value last so it
+                // is explored first.
+                if v - floor > 0.5 {
+                    stack.push(down);
+                    stack.push(up);
+                } else {
+                    stack.push(up);
+                    stack.push(down);
+                }
+            }
+        }
+    }
+
+    if root_unbounded {
+        return IlpResult { status: IlpStatus::Unbounded, best: None, nodes };
+    }
+    let _ = root_infeasible;
+    if status == IlpStatus::Optimal && best.is_none() {
+        return IlpResult { status: IlpStatus::Infeasible, best: None, nodes };
+    }
+    IlpResult { status, best, nodes }
+}
+
+/// Convenience: value lookup on an optional solution.
+pub fn var_value(res: &IlpResult, var: VarId) -> Option<f64> {
+    res.best.as_ref().map(|s| s.value(var))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Cmp, Model, Sense};
+
+    #[test]
+    fn knapsack_small() {
+        // max 10a + 13b + 7c s.t. 3a + 4b + 2c <= 6, binary -> a+c = 17? vs
+        // b+c = 20 (weight 6) -> optimal 20.
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_binary(10.0);
+        let b = m.add_binary(13.0);
+        let c = m.add_binary(7.0);
+        m.add_constraint(&[(a, 3.0), (b, 4.0), (c, 2.0)], Cmp::Le, 6.0);
+        let res = solve_ilp(&m, &IlpOptions::default());
+        assert_eq!(res.status, IlpStatus::Optimal);
+        let s = res.best.unwrap();
+        assert!((s.objective - 20.0).abs() < 1e-6);
+        assert_eq!(s.value(b).round() as i64, 1);
+        assert_eq!(s.value(c).round() as i64, 1);
+    }
+
+    #[test]
+    fn infeasible_ilp() {
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_binary(1.0);
+        let b = m.add_binary(1.0);
+        m.add_constraint(&[(a, 1.0), (b, 1.0)], Cmp::Ge, 3.0);
+        let res = solve_ilp(&m, &IlpOptions::default());
+        assert_eq!(res.status, IlpStatus::Infeasible);
+        assert!(res.best.is_none());
+    }
+
+    #[test]
+    fn lp_integral_short_circuit() {
+        // Assignment-like models solve at the root node.
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_binary(2.0);
+        let b = m.add_binary(1.0);
+        m.add_constraint(&[(a, 1.0), (b, 1.0)], Cmp::Eq, 1.0);
+        let res = solve_ilp(&m, &IlpOptions::default());
+        assert_eq!(res.nodes, 1);
+        assert!((res.best.unwrap().objective - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn general_integer_variable() {
+        // max x s.t. 2x <= 7, x integer -> 3.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_integer(1.0, f64::INFINITY);
+        m.add_constraint(&[(x, 2.0)], Cmp::Le, 7.0);
+        let res = solve_ilp(&m, &IlpOptions::default());
+        assert!((res.best.unwrap().objective - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn node_limit_reports_limit() {
+        // A 12-item knapsack with correlated weights forces branching.
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..12).map(|i| m.add_binary(10.0 + i as f64)).collect();
+        let coeffs: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, 7.0 + i as f64)).collect();
+        m.add_constraint(&coeffs, Cmp::Le, 31.0);
+        let opts = IlpOptions { node_limit: Some(2), ..Default::default() };
+        let res = solve_ilp(&m, &opts);
+        assert_eq!(res.status, IlpStatus::LimitReached);
+    }
+
+    #[test]
+    fn minimize_set_cover() {
+        // Universe {1,2,3}; sets A={1,2} cost 3, B={2,3} cost 3, C={1,2,3}
+        // cost 5. Optimal cover = C (5) vs A+B (6) -> 5.
+        let mut m = Model::new(Sense::Minimize);
+        let a = m.add_binary(3.0);
+        let b = m.add_binary(3.0);
+        let c = m.add_binary(5.0);
+        m.add_constraint(&[(a, 1.0), (c, 1.0)], Cmp::Ge, 1.0); // elem 1
+        m.add_constraint(&[(a, 1.0), (b, 1.0), (c, 1.0)], Cmp::Ge, 1.0); // elem 2
+        m.add_constraint(&[(b, 1.0), (c, 1.0)], Cmp::Ge, 1.0); // elem 3
+        let res = solve_ilp(&m, &IlpOptions::default());
+        assert!((res.best.unwrap().objective - 5.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,32 @@
+//! LP / 0-1 ILP / CP solving substrate for the WGRAP reproduction.
+//!
+//! The paper evaluates two generic exact solvers against its BBA algorithm:
+//! `lp_solve` (a revised-simplex ILP solver) for the JRA integer program, and
+//! the IBM CPLEX CP Optimizer as a constraint-programming baseline (§5.1).
+//! Neither is available offline, so this crate implements the closest
+//! from-scratch equivalents:
+//!
+//! * [`model`] — an LP/ILP model builder (variables, bounds, linear
+//!   constraints, maximise/minimise objective).
+//! * [`simplex`] — a dense two-phase primal simplex with Dantzig pricing and
+//!   a Bland fallback for anti-cycling.
+//! * [`ilp`] — depth-first branch-and-bound for mixed 0-1 programs on top of
+//!   the LP relaxation, with node/time limits.
+//! * [`cp`] — a generic backtracking subset-selection constraint solver with
+//!   a naive monotone bound, standing in for a generic CP engine. Its bound
+//!   is deliberately weaker than BBA's sorted-cursor bound (Eq. 3), which is
+//!   exactly the contrast the paper draws in §5.1.
+// Parallel-array index loops are clearer than zipped iterators here.
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)]
+
+
+pub mod cp;
+pub mod ilp;
+pub mod model;
+pub mod simplex;
+
+pub use cp::{SubsetCp, SubsetCpResult};
+pub use ilp::{solve_ilp, IlpOptions, IlpResult, IlpStatus};
+pub use model::{Cmp, Model, Sense, Solution, VarId};
+pub use simplex::{solve_lp, LpResult};

@@ -1,0 +1,184 @@
+//! LP / ILP model builder.
+//!
+//! All variables are non-negative; an optional finite upper bound and an
+//! integrality flag can be attached per variable. Constraints are sparse
+//! linear rows compared against a right-hand side.
+
+/// Optimisation direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Maximise the objective.
+    Maximize,
+    /// Minimise the objective.
+    Minimize,
+}
+
+/// Constraint comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+}
+
+/// Opaque variable handle returned by [`Model::add_var`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Index of the variable in solution vectors.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Row {
+    pub coeffs: Vec<(usize, f64)>,
+    pub cmp: Cmp,
+    pub rhs: f64,
+}
+
+/// A linear (or 0-1 integer) program: `max/min c'x` subject to sparse linear
+/// rows, `0 ≤ x ≤ ub`, and optional integrality.
+#[derive(Debug, Clone)]
+pub struct Model {
+    pub(crate) sense: Sense,
+    pub(crate) objective: Vec<f64>,
+    pub(crate) upper: Vec<f64>,
+    pub(crate) integer: Vec<bool>,
+    pub(crate) rows: Vec<Row>,
+}
+
+impl Model {
+    /// An empty model with the given optimisation direction.
+    pub fn new(sense: Sense) -> Self {
+        Self { sense, objective: vec![], upper: vec![], integer: vec![], rows: vec![] }
+    }
+
+    /// Add a continuous variable with objective coefficient `obj` and upper
+    /// bound `upper` (`f64::INFINITY` for unbounded).
+    pub fn add_var(&mut self, obj: f64, upper: f64) -> VarId {
+        self.push_var(obj, upper, false)
+    }
+
+    /// Add a binary (0/1) variable with objective coefficient `obj`.
+    pub fn add_binary(&mut self, obj: f64) -> VarId {
+        self.push_var(obj, 1.0, true)
+    }
+
+    /// Add a general non-negative integer variable.
+    pub fn add_integer(&mut self, obj: f64, upper: f64) -> VarId {
+        self.push_var(obj, upper, true)
+    }
+
+    fn push_var(&mut self, obj: f64, upper: f64, integer: bool) -> VarId {
+        assert!(upper >= 0.0, "upper bound must be non-negative");
+        let id = VarId(self.objective.len());
+        self.objective.push(obj);
+        self.upper.push(upper);
+        self.integer.push(integer);
+        id
+    }
+
+    /// Add a sparse linear constraint `Σ coeff·var  cmp  rhs`.
+    pub fn add_constraint(&mut self, coeffs: &[(VarId, f64)], cmp: Cmp, rhs: f64) {
+        for (v, _) in coeffs {
+            assert!(v.0 < self.objective.len(), "unknown variable in constraint");
+        }
+        self.rows.push(Row {
+            coeffs: coeffs.iter().map(|&(v, c)| (v.0, c)).collect(),
+            cmp,
+            rhs,
+        });
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraints (excluding variable bounds).
+    pub fn num_constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Optimisation direction.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Objective value of a candidate point (no feasibility check).
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Check feasibility of `x` against all rows and bounds within `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.num_vars() {
+            return false;
+        }
+        for (j, &v) in x.iter().enumerate() {
+            if v < -tol || v > self.upper[j] + tol {
+                return false;
+            }
+            if self.integer[j] && (v - v.round()).abs() > tol {
+                return false;
+            }
+        }
+        self.rows.iter().all(|row| {
+            let lhs: f64 = row.coeffs.iter().map(|&(j, c)| c * x[j]).sum();
+            match row.cmp {
+                Cmp::Le => lhs <= row.rhs + tol,
+                Cmp::Ge => lhs >= row.rhs - tol,
+                Cmp::Eq => (lhs - row.rhs).abs() <= tol,
+            }
+        })
+    }
+}
+
+/// A feasible point together with its objective value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Variable values, indexed by [`VarId::index`].
+    pub values: Vec<f64>,
+    /// Objective value under the model's own sense.
+    pub objective: f64,
+}
+
+impl Solution {
+    /// Value of a variable.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_inspect() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var(3.0, f64::INFINITY);
+        let y = m.add_binary(2.0);
+        m.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.num_constraints(), 1);
+        assert_eq!(m.objective_value(&[1.0, 1.0]), 5.0);
+        assert!(m.is_feasible(&[3.0, 1.0], 1e-9));
+        assert!(!m.is_feasible(&[3.5, 1.0], 1e-9)); // violates row
+        assert!(!m.is_feasible(&[3.0, 0.5], 1e-9)); // fractional binary
+        assert!(!m.is_feasible(&[-0.1, 0.0], 1e-9)); // negative
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn constraint_with_foreign_var_panics() {
+        let mut m = Model::new(Sense::Minimize);
+        m.add_constraint(&[(VarId(3), 1.0)], Cmp::Le, 1.0);
+    }
+}

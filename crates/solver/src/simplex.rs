@@ -1,0 +1,460 @@
+//! Dense two-phase primal simplex.
+//!
+//! Stand-in for the `lp_solve` library used by the paper's JRA-ILP baseline.
+//! Dantzig pricing with an automatic switch to Bland's rule after a pivot
+//! budget, which guarantees termination on degenerate instances.
+
+use crate::model::{Cmp, Model, Sense, Solution};
+
+const TOL: f64 = 1e-9;
+
+/// Result of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpResult {
+    /// Optimal basic feasible solution.
+    Optimal(Solution),
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded in the optimisation direction.
+    Unbounded,
+}
+
+impl LpResult {
+    /// The solution if optimal.
+    pub fn solution(&self) -> Option<&Solution> {
+        match self {
+            LpResult::Optimal(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Tableau {
+    /// (m+1) rows × (cols+1); last row = objective, last col = rhs.
+    data: Vec<f64>,
+    stride: usize,
+    m: usize,
+    cols: usize,
+    basis: Vec<usize>,
+}
+
+impl Tableau {
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.stride + c]
+    }
+
+    #[inline]
+    fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.stride..(r + 1) * self.stride]
+    }
+
+    fn pivot(&mut self, pr: usize, pc: usize) {
+        let stride = self.stride;
+        let piv = self.at(pr, pc);
+        debug_assert!(piv.abs() > TOL);
+        let inv = 1.0 / piv;
+        for v in self.row_mut(pr) {
+            *v *= inv;
+        }
+        // Split borrow: copy pivot row, then eliminate in all other rows.
+        let pivot_row: Vec<f64> = self.data[pr * stride..(pr + 1) * stride].to_vec();
+        for r in 0..=self.m {
+            if r == pr {
+                continue;
+            }
+            let factor = self.at(r, pc);
+            if factor.abs() <= TOL {
+                // Clean tiny residue so later sign tests stay exact.
+                self.data[r * stride + pc] = 0.0;
+                continue;
+            }
+            let row = &mut self.data[r * stride..(r + 1) * stride];
+            for (v, p) in row.iter_mut().zip(&pivot_row) {
+                *v -= factor * p;
+            }
+            row[pc] = 0.0;
+        }
+        self.basis[pr] = pc;
+    }
+
+    /// Run simplex iterations maximising the objective row. `allowed`
+    /// restricts which columns may enter. Returns `false` on unboundedness.
+    fn optimize(&mut self, allowed: &[bool], max_dantzig: usize) -> bool {
+        let mut iters = 0usize;
+        loop {
+            iters += 1;
+            let bland = iters > max_dantzig;
+            // Entering column: positive reduced cost in the objective row
+            // (we keep the objective row as `z - c` negated such that a
+            // positive entry improves a maximisation).
+            let obj = self.m;
+            let mut pc = usize::MAX;
+            let mut best = TOL;
+            for c in 0..self.cols {
+                if !allowed[c] {
+                    continue;
+                }
+                let rc = self.at(obj, c);
+                if rc > best {
+                    pc = c;
+                    if bland {
+                        break;
+                    }
+                    best = rc;
+                }
+            }
+            if pc == usize::MAX {
+                return true; // optimal
+            }
+            // Ratio test.
+            let mut pr = usize::MAX;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..self.m {
+                let a = self.at(r, pc);
+                if a > TOL {
+                    let ratio = self.at(r, self.cols) / a;
+                    if ratio < best_ratio - TOL
+                        || (ratio < best_ratio + TOL
+                            && (pr == usize::MAX || self.basis[r] < self.basis[pr]))
+                    {
+                        best_ratio = ratio;
+                        pr = r;
+                    }
+                }
+            }
+            if pr == usize::MAX {
+                return false; // unbounded
+            }
+            self.pivot(pr, pc);
+        }
+    }
+}
+
+/// Solve the LP relaxation of `model` (integrality flags are ignored).
+pub fn solve_lp(model: &Model) -> LpResult {
+    let n = model.num_vars();
+
+    // Count working columns: structural + slack/surplus + artificials.
+    // Finite upper bounds become extra `x ≤ ub` rows.
+    let ub_rows: Vec<usize> = (0..n).filter(|&j| model.upper[j].is_finite()).collect();
+    let m = model.rows.len() + ub_rows.len();
+
+    let mut n_slack = 0usize;
+    let mut n_art = 0usize;
+    // Normalise rows so rhs >= 0, then classify.
+    #[derive(Clone, Copy)]
+    enum Kind {
+        Slack,
+        SurplusArt,
+        Art,
+    }
+    let mut kinds = Vec::with_capacity(m);
+    let mut norm_rows: Vec<(Vec<(usize, f64)>, f64)> = Vec::with_capacity(m);
+    let mut classify = |coeffs: Vec<(usize, f64)>, cmp: Cmp, rhs: f64| {
+        let (coeffs, cmp, rhs) = if rhs < 0.0 {
+            let flipped = coeffs.iter().map(|&(j, c)| (j, -c)).collect();
+            let cmp = match cmp {
+                Cmp::Le => Cmp::Ge,
+                Cmp::Ge => Cmp::Le,
+                Cmp::Eq => Cmp::Eq,
+            };
+            (flipped, cmp, -rhs)
+        } else {
+            (coeffs, cmp, rhs)
+        };
+        let kind = match cmp {
+            Cmp::Le => {
+                n_slack += 1;
+                Kind::Slack
+            }
+            Cmp::Ge => {
+                n_slack += 1;
+                n_art += 1;
+                Kind::SurplusArt
+            }
+            Cmp::Eq => {
+                n_art += 1;
+                Kind::Art
+            }
+        };
+        kinds.push(kind);
+        norm_rows.push((coeffs, rhs));
+    };
+    for row in &model.rows {
+        classify(row.coeffs.clone(), row.cmp, row.rhs);
+    }
+    for &j in &ub_rows {
+        classify(vec![(j, 1.0)], Cmp::Le, model.upper[j]);
+    }
+
+    let cols = n + n_slack + n_art;
+    let stride = cols + 1;
+    let mut tab = Tableau {
+        data: vec![0.0; (m + 1) * stride],
+        stride,
+        m,
+        cols,
+        basis: vec![usize::MAX; m],
+    };
+
+    let mut slack_at = n;
+    let mut art_at = n + n_slack;
+    let mut art_cols = Vec::with_capacity(n_art);
+    for (r, ((coeffs, rhs), kind)) in norm_rows.iter().zip(&kinds).enumerate() {
+        for &(j, c) in coeffs {
+            tab.data[r * stride + j] += c;
+        }
+        tab.data[r * stride + cols] = *rhs;
+        match kind {
+            Kind::Slack => {
+                tab.data[r * stride + slack_at] = 1.0;
+                tab.basis[r] = slack_at;
+                slack_at += 1;
+            }
+            Kind::SurplusArt => {
+                tab.data[r * stride + slack_at] = -1.0;
+                slack_at += 1;
+                tab.data[r * stride + art_at] = 1.0;
+                tab.basis[r] = art_at;
+                art_cols.push(art_at);
+                art_at += 1;
+            }
+            Kind::Art => {
+                tab.data[r * stride + art_at] = 1.0;
+                tab.basis[r] = art_at;
+                art_cols.push(art_at);
+                art_at += 1;
+            }
+        }
+    }
+
+    let pivot_budget = 50 * (m + cols).max(1);
+
+    // Phase 1: maximise -Σ artificials; canonical objective row is the sum
+    // of the rows whose basis is artificial.
+    if n_art > 0 {
+        for r in 0..m {
+            if art_cols.binary_search(&tab.basis[r]).is_ok() {
+                let row: Vec<f64> = tab.data[r * stride..(r + 1) * stride].to_vec();
+                for (v, x) in tab.row_mut(m).iter_mut().zip(&row) {
+                    *v += x;
+                }
+            }
+        }
+        // Artificial columns must not (re-)enter with positive reduced cost.
+        let mut allowed = vec![true; cols];
+        for &a in &art_cols {
+            allowed[a] = false;
+        }
+        if !tab.optimize(&allowed, pivot_budget) {
+            // Phase-1 objective is bounded by 0, so this cannot happen.
+            return LpResult::Infeasible;
+        }
+        if tab.at(m, cols) > 1e-7 {
+            return LpResult::Infeasible;
+        }
+        // Drive any artificial still in the basis out (degenerate rows).
+        for r in 0..m {
+            if art_cols.binary_search(&tab.basis[r]).is_ok() {
+                let mut entered = false;
+                for c in 0..n + n_slack {
+                    if tab.at(r, c).abs() > TOL {
+                        tab.pivot(r, c);
+                        entered = true;
+                        break;
+                    }
+                }
+                // A fully-zero row is redundant; the artificial stays basic
+                // at value zero, which is harmless as long as it never
+                // re-enters with nonzero value.
+                let _ = entered;
+            }
+        }
+    }
+
+    // Phase 2: install the real objective (always as a maximisation) and
+    // re-canonicalise it against the current basis.
+    let sign = match model.sense {
+        Sense::Maximize => 1.0,
+        Sense::Minimize => -1.0,
+    };
+    tab.row_mut(m).fill(0.0);
+    for j in 0..n {
+        tab.data[m * stride + j] = sign * model.objective[j];
+    }
+    for r in 0..m {
+        let b = tab.basis[r];
+        let coef = tab.at(m, b);
+        if coef.abs() > TOL {
+            let row: Vec<f64> = tab.data[r * stride..(r + 1) * stride].to_vec();
+            for (v, x) in tab.row_mut(m).iter_mut().zip(&row) {
+                *v -= coef * x;
+            }
+        }
+    }
+    let mut allowed = vec![true; cols];
+    for &a in &art_cols {
+        allowed[a] = false;
+    }
+    if !tab.optimize(&allowed, pivot_budget) {
+        return LpResult::Unbounded;
+    }
+
+    let mut values = vec![0.0; n];
+    for r in 0..m {
+        let b = tab.basis[r];
+        if b < n {
+            values[b] = tab.at(r, cols).max(0.0);
+        }
+    }
+    let objective = model.objective_value(&values);
+    LpResult::Optimal(Solution { values, objective })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Cmp, Model, Sense};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn textbook_max() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  -> 36 at (2, 6).
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var(3.0, f64::INFINITY);
+        let y = m.add_var(5.0, f64::INFINITY);
+        m.add_constraint(&[(x, 1.0)], Cmp::Le, 4.0);
+        m.add_constraint(&[(y, 2.0)], Cmp::Le, 12.0);
+        m.add_constraint(&[(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
+        let sol = solve_lp(&m);
+        let s = sol.solution().expect("optimal");
+        assert_close(s.objective, 36.0);
+        assert_close(s.value(x), 2.0);
+        assert_close(s.value(y), 6.0);
+    }
+
+    #[test]
+    fn minimization_with_ge() {
+        // min 2x + 3y s.t. x + y >= 4, x >= 1 -> 9 at (4 - ... ) check:
+        // cheapest fills with x: x=4, y=0 -> 8; but x>=1 non-binding. So 8.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(2.0, f64::INFINITY);
+        let y = m.add_var(3.0, f64::INFINITY);
+        m.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0);
+        m.add_constraint(&[(x, 1.0)], Cmp::Ge, 1.0);
+        let s = solve_lp(&m);
+        let s = s.solution().expect("optimal");
+        assert_close(s.objective, 8.0);
+        assert_close(s.value(x), 4.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + y s.t. x + y = 3, x - y = 1 -> unique point (2, 1).
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var(1.0, f64::INFINITY);
+        let y = m.add_var(1.0, f64::INFINITY);
+        m.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Eq, 3.0);
+        m.add_constraint(&[(x, 1.0), (y, -1.0)], Cmp::Eq, 1.0);
+        let s = solve_lp(&m);
+        let s = s.solution().expect("optimal");
+        assert_close(s.value(x), 2.0);
+        assert_close(s.value(y), 1.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var(1.0, f64::INFINITY);
+        m.add_constraint(&[(x, 1.0)], Cmp::Ge, 5.0);
+        m.add_constraint(&[(x, 1.0)], Cmp::Le, 3.0);
+        assert_eq!(solve_lp(&m), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var(1.0, f64::INFINITY);
+        let y = m.add_var(0.0, f64::INFINITY);
+        m.add_constraint(&[(x, 1.0), (y, -1.0)], Cmp::Le, 1.0);
+        assert_eq!(solve_lp(&m), LpResult::Unbounded);
+    }
+
+    #[test]
+    fn upper_bounds_respected() {
+        // max x + y with x <= 1.5 (bound), x + y <= 10, y <= 4 (bound).
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var(1.0, 1.5);
+        let y = m.add_var(1.0, 4.0);
+        m.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Le, 10.0);
+        let s = solve_lp(&m);
+        let s = s.solution().expect("optimal");
+        assert_close(s.objective, 5.5);
+    }
+
+    #[test]
+    fn negative_rhs_normalised() {
+        // x - y <= -2  with max x, x <= 10  ->  x = 10 requires y >= 12;
+        // y unbounded above so fine, optimum x = 10.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var(1.0, 10.0);
+        let y = m.add_var(0.0, f64::INFINITY);
+        m.add_constraint(&[(x, 1.0), (y, -1.0)], Cmp::Le, -2.0);
+        let s = solve_lp(&m);
+        let s = s.solution().expect("optimal");
+        assert_close(s.objective, 10.0);
+        assert!(s.value(y) >= 12.0 - 1e-6);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Klee-Minty-ish degenerate instance; mostly a termination test.
+        let mut m = Model::new(Sense::Maximize);
+        let n = 8;
+        let vars: Vec<_> = (0..n).map(|j| m.add_var(2f64.powi((n - 1 - j) as i32), f64::INFINITY)).collect();
+        for i in 0..n {
+            let mut coeffs: Vec<_> = (0..i).map(|j| (vars[j], 2f64.powi((i - j + 1) as i32))).collect();
+            coeffs.push((vars[i], 1.0));
+            m.add_constraint(&coeffs, Cmp::Le, 5f64.powi(i as i32 + 1));
+        }
+        let s = solve_lp(&m);
+        assert!(s.solution().is_some());
+    }
+
+    #[test]
+    fn zero_variable_model() {
+        let m = Model::new(Sense::Maximize);
+        let s = solve_lp(&m);
+        let s = s.solution().expect("optimal");
+        assert_eq!(s.objective, 0.0);
+    }
+
+    #[test]
+    fn assignment_lp_is_integral() {
+        // 3x3 assignment polytope: LP optimum is integral (Birkhoff).
+        let w = [[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]];
+        let mut m = Model::new(Sense::Maximize);
+        let mut xs = vec![];
+        for i in 0..3 {
+            for j in 0..3 {
+                xs.push(m.add_var(w[i][j], 1.0));
+            }
+        }
+        for i in 0..3 {
+            let row: Vec<_> = (0..3).map(|j| (xs[i * 3 + j], 1.0)).collect();
+            m.add_constraint(&row, Cmp::Eq, 1.0);
+            let col: Vec<_> = (0..3).map(|j| (xs[j * 3 + i], 1.0)).collect();
+            m.add_constraint(&col, Cmp::Eq, 1.0);
+        }
+        let s = solve_lp(&m);
+        let s = s.solution().expect("optimal");
+        assert_close(s.objective, 4.0 + 5.0 + 2.0); // rows: 4, 5, 2
+        for v in &s.values {
+            assert!(v.abs() < 1e-6 || (v - 1.0).abs() < 1e-6, "fractional {v}");
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests: the branch-and-bound ILP against independent oracles
+//! (dynamic-programming knapsack, exhaustive subset search), and structural
+//! LP facts.
+
+use proptest::prelude::*;
+use wgrap_solver::{solve_ilp, solve_lp, Cmp, IlpOptions, Model, Sense};
+
+/// 0/1 knapsack oracle by dynamic programming over integer weights.
+fn knapsack_dp(values: &[u32], weights: &[u32], cap: u32) -> u32 {
+    let mut best = vec![0u32; cap as usize + 1];
+    for (v, w) in values.iter().zip(weights) {
+        for c in (*w..=cap).rev() {
+            best[c as usize] = best[c as usize].max(best[(c - w) as usize] + v);
+        }
+    }
+    best[cap as usize]
+}
+
+fn knapsack_model(values: &[u32], weights: &[u32], cap: u32) -> Model {
+    let mut m = Model::new(Sense::Maximize);
+    let coeffs: Vec<_> = values
+        .iter()
+        .zip(weights)
+        .map(|(&v, &w)| (m.add_binary(v as f64), w as f64))
+        .collect();
+    m.add_constraint(&coeffs, Cmp::Le, cap as f64);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ilp_matches_knapsack_dp(
+        items in proptest::collection::vec((1u32..50, 1u32..15), 1..10),
+        cap in 1u32..40,
+    ) {
+        let values: Vec<u32> = items.iter().map(|(v, _)| *v).collect();
+        let weights: Vec<u32> = items.iter().map(|(_, w)| *w).collect();
+        let model = knapsack_model(&values, &weights, cap);
+        let res = solve_ilp(&model, &IlpOptions::default());
+        let dp = knapsack_dp(&values, &weights, cap);
+        let got = res.best.map(|s| s.objective.round() as u32).unwrap_or(0);
+        prop_assert_eq!(got, dp);
+    }
+
+    #[test]
+    fn lp_relaxation_bounds_ilp(
+        items in proptest::collection::vec((1u32..50, 1u32..15), 1..8),
+        cap in 1u32..40,
+    ) {
+        let values: Vec<u32> = items.iter().map(|(v, _)| *v).collect();
+        let weights: Vec<u32> = items.iter().map(|(_, w)| *w).collect();
+        let model = knapsack_model(&values, &weights, cap);
+        let lp = solve_lp(&model);
+        let ilp = solve_ilp(&model, &IlpOptions::default());
+        if let (Some(lp_sol), Some(ilp_sol)) = (lp.solution(), ilp.best) {
+            prop_assert!(lp_sol.objective >= ilp_sol.objective - 1e-6,
+                "LP bound {} below ILP {}", lp_sol.objective, ilp_sol.objective);
+        }
+    }
+
+    #[test]
+    fn ilp_solution_is_feasible(
+        items in proptest::collection::vec((1u32..50, 1u32..15), 1..10),
+        cap in 1u32..40,
+    ) {
+        let values: Vec<u32> = items.iter().map(|(v, _)| *v).collect();
+        let weights: Vec<u32> = items.iter().map(|(_, w)| *w).collect();
+        let model = knapsack_model(&values, &weights, cap);
+        if let Some(sol) = solve_ilp(&model, &IlpOptions::default()).best {
+            prop_assert!(model.is_feasible(&sol.values, 1e-6));
+        }
+    }
+
+    #[test]
+    fn lp_optimum_dominates_random_feasible_corners(
+        costs in proptest::collection::vec(0.1..5.0f64, 3),
+        rhs in proptest::collection::vec(1.0..10.0f64, 3),
+    ) {
+        // max c'x s.t. x_i <= rhs_i and sum x <= sum(rhs)*0.8.
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = costs.iter().map(|&c| m.add_var(c, f64::INFINITY)).collect();
+        for (v, &b) in vars.iter().zip(&rhs) {
+            m.add_constraint(&[(*v, 1.0)], Cmp::Le, b);
+        }
+        let budget: f64 = rhs.iter().sum::<f64>() * 0.8;
+        let all: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        m.add_constraint(&all, Cmp::Le, budget);
+        let sol = solve_lp(&m);
+        let opt = sol.solution().expect("bounded & feasible").objective;
+        // Every single-variable corner is feasible: x_i = min(rhs_i, budget).
+        for (i, &c) in costs.iter().enumerate() {
+            let corner = c * rhs[i].min(budget);
+            prop_assert!(opt >= corner - 1e-7);
+        }
+    }
+}
+
+#[test]
+fn subset_cp_matches_exhaustive_oracle() {
+    // Randomised (seeded) comparison against a plain combinations scan.
+    let vals: Vec<f64> = (0..12).map(|i| ((i * 2654435761u64 % 97) as f64) / 9.7).collect();
+    let forb: Vec<bool> = (0..12).map(|i| i % 5 == 4).collect();
+    let objective = |s: &[usize]| -> f64 { s.iter().map(|&i| vals[i] * (i as f64 + 1.0).sqrt()).sum() };
+    for k in 1..=4 {
+        let cp = wgrap_solver::SubsetCp::new(12, k, &forb, None);
+        let got = cp.maximize(&mut |s| objective(s), &mut |_, _| f64::INFINITY);
+        // Oracle: enumerate combinations recursively.
+        fn combos(n: usize, k: usize, start: usize, cur: &mut Vec<usize>, best: &mut f64, f: &dyn Fn(&[usize]) -> f64, forb: &[bool]) {
+            if cur.len() == k {
+                *best = best.max(f(cur));
+                return;
+            }
+            for i in start..n {
+                if forb[i] {
+                    continue;
+                }
+                cur.push(i);
+                combos(n, k, i + 1, cur, best, f, forb);
+                cur.pop();
+            }
+        }
+        let mut best = f64::NEG_INFINITY;
+        combos(12, k, 0, &mut Vec::new(), &mut best, &objective, &forb);
+        assert!((got.objective - best).abs() < 1e-9, "k={k}");
+    }
+}

@@ -1,0 +1,266 @@
+//! Collapsed Gibbs sampling for the Author-Topic Model (paper Appendix A,
+//! after Rosen-Zvi et al. 2004).
+//!
+//! Generative story (Figure 13 of the paper): each reviewer has a topic
+//! mixture `θ_a ~ Dir(α)`, each topic a word distribution `φ_t ~ Dir(β)`;
+//! every token of a document picks an author uniformly from the document's
+//! author set, a topic from that author's mixture, and a word from that
+//! topic. The collapsed sampler draws `(author, topic)` per token from
+//!
+//! ```text
+//! p(x=a, z=t | rest) ∝ (C_at + α) / (C_a + Tα) · (C_tw + β) / (C_t + Vβ)
+//! ```
+//!
+//! and the point estimates after the final sweep are the reviewer vectors
+//! `θ_a` and topic-word distributions `φ_t` the rest of the pipeline uses.
+
+use crate::corpus::Corpus;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Hyper-parameters and sampler settings.
+#[derive(Debug, Clone)]
+pub struct AtmOptions {
+    /// Number of topics `T` (the paper fixes 30).
+    pub num_topics: usize,
+    /// Dirichlet prior on author-topic mixtures.
+    pub alpha: f64,
+    /// Dirichlet prior on topic-word distributions.
+    pub beta: f64,
+    /// Gibbs sweeps.
+    pub iterations: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AtmOptions {
+    fn default() -> Self {
+        Self { num_topics: 30, alpha: 50.0 / 30.0, beta: 0.01, iterations: 200, seed: 0 }
+    }
+}
+
+/// A fitted Author-Topic Model.
+#[derive(Debug, Clone)]
+pub struct AtmModel {
+    /// `theta[a][t]`: author `a`'s weight on topic `t` (rows sum to 1).
+    pub theta: Vec<Vec<f64>>,
+    /// `phi[t][w]`: topic `t`'s weight on word `w` (rows sum to 1).
+    pub phi: Vec<Vec<f64>>,
+}
+
+impl AtmModel {
+    /// Number of topics.
+    pub fn num_topics(&self) -> usize {
+        self.phi.len()
+    }
+
+    /// The `k` highest-probability words of a topic (for the keyword tables
+    /// of the paper's case studies, Tables 8–9).
+    pub fn top_words(&self, topic: usize, k: usize) -> Vec<u32> {
+        let mut idx: Vec<u32> = (0..self.phi[topic].len() as u32).collect();
+        idx.sort_by(|&a, &b| {
+            self.phi[topic][b as usize].total_cmp(&self.phi[topic][a as usize])
+        });
+        idx.truncate(k);
+        idx
+    }
+}
+
+/// Fit the ATM on a corpus by collapsed Gibbs sampling.
+pub fn fit(corpus: &Corpus, opts: &AtmOptions) -> AtmModel {
+    let t_count = opts.num_topics;
+    let v = corpus.vocab_size;
+    let a_count = corpus.num_authors;
+    assert!(t_count >= 1 && v >= 1 && a_count >= 1);
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+
+    // Count matrices (dense; T and V are modest in this domain).
+    let mut c_at = vec![0u32; a_count * t_count]; // author-topic
+    let mut c_a = vec![0u32; a_count];
+    let mut c_tw = vec![0u32; t_count * v]; // topic-word
+    let mut c_t = vec![0u32; t_count];
+
+    // Token state: (author, topic) per token, flattened per doc.
+    let mut state: Vec<Vec<(u32, u32)>> = Vec::with_capacity(corpus.docs.len());
+    for doc in &corpus.docs {
+        let mut s = Vec::with_capacity(doc.words.len());
+        for &w in &doc.words {
+            let a = doc.authors[rng.random_range(0..doc.authors.len())];
+            let z = rng.random_range(0..t_count) as u32;
+            c_at[a as usize * t_count + z as usize] += 1;
+            c_a[a as usize] += 1;
+            c_tw[z as usize * v + w as usize] += 1;
+            c_t[z as usize] += 1;
+            s.push((a, z));
+        }
+        state.push(s);
+    }
+
+    let alpha = opts.alpha;
+    let beta = opts.beta;
+    let t_alpha = t_count as f64 * alpha;
+    let v_beta = v as f64 * beta;
+    let mut weights: Vec<f64> = Vec::new();
+
+    for _sweep in 0..opts.iterations {
+        for (doc, s) in corpus.docs.iter().zip(state.iter_mut()) {
+            let n_authors = doc.authors.len();
+            for (i, &w) in doc.words.iter().enumerate() {
+                let (a_old, z_old) = s[i];
+                // Remove the token from the counts.
+                c_at[a_old as usize * t_count + z_old as usize] -= 1;
+                c_a[a_old as usize] -= 1;
+                c_tw[z_old as usize * v + w as usize] -= 1;
+                c_t[z_old as usize] -= 1;
+
+                // Joint (author, topic) proposal weights.
+                weights.clear();
+                weights.reserve(n_authors * t_count);
+                let mut total = 0.0;
+                for &a in &doc.authors {
+                    let denom_a = c_a[a as usize] as f64 + t_alpha;
+                    for z in 0..t_count {
+                        let w_az = (c_at[a as usize * t_count + z] as f64 + alpha) / denom_a
+                            * (c_tw[z * v + w as usize] as f64 + beta)
+                            / (c_t[z] as f64 + v_beta);
+                        total += w_az;
+                        weights.push(w_az);
+                    }
+                }
+                let mut pick = rng.random::<f64>() * total;
+                let mut chosen = weights.len() - 1;
+                for (j, &wt) in weights.iter().enumerate() {
+                    if pick < wt {
+                        chosen = j;
+                        break;
+                    }
+                    pick -= wt;
+                }
+                let a_new = doc.authors[chosen / t_count];
+                let z_new = (chosen % t_count) as u32;
+
+                c_at[a_new as usize * t_count + z_new as usize] += 1;
+                c_a[a_new as usize] += 1;
+                c_tw[z_new as usize * v + w as usize] += 1;
+                c_t[z_new as usize] += 1;
+                s[i] = (a_new, z_new);
+            }
+        }
+    }
+
+    // Point estimates from the final state.
+    let theta = (0..a_count)
+        .map(|a| {
+            let denom = c_a[a] as f64 + t_alpha;
+            (0..t_count)
+                .map(|z| (c_at[a * t_count + z] as f64 + alpha) / denom)
+                .collect()
+        })
+        .collect();
+    let phi = (0..t_count)
+        .map(|z| {
+            let denom = c_t[z] as f64 + v_beta;
+            (0..v).map(|w| (c_tw[z * v + w] as f64 + beta) / denom).collect()
+        })
+        .collect();
+    AtmModel { theta, phi }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Document;
+
+    /// Two disjoint sub-vocabularies, two authors each writing exclusively
+    /// in one: the fitted model must separate them.
+    fn two_cluster_corpus() -> Corpus {
+        let mut corpus = Corpus::new(8, 2);
+        for i in 0..20 {
+            // Author 0: words 0..4; author 1: words 4..8.
+            let w0: Vec<u32> = (0..30).map(|j| ((i + j) % 4) as u32).collect();
+            let w1: Vec<u32> = (0..30).map(|j| (4 + (i + j) % 4) as u32).collect();
+            corpus.push(Document::new(w0, vec![0]));
+            corpus.push(Document::new(w1, vec![1]));
+        }
+        corpus
+    }
+
+    #[test]
+    fn recovers_two_clusters() {
+        let corpus = two_cluster_corpus();
+        let opts = AtmOptions {
+            num_topics: 2,
+            alpha: 0.5,
+            beta: 0.01,
+            iterations: 100,
+            seed: 7,
+        };
+        let model = fit(&corpus, &opts);
+        // Each author concentrates on one topic, and they differ.
+        let dom0 = if model.theta[0][0] > model.theta[0][1] { 0 } else { 1 };
+        let dom1 = if model.theta[1][0] > model.theta[1][1] { 0 } else { 1 };
+        assert_ne!(dom0, dom1, "authors should specialise in different topics");
+        assert!(model.theta[0][dom0] > 0.8, "theta0 = {:?}", model.theta[0]);
+        assert!(model.theta[1][dom1] > 0.8, "theta1 = {:?}", model.theta[1]);
+        // The dominant topic of author 0 puts its mass on words 0..4.
+        let mass_low: f64 = model.phi[dom0][..4].iter().sum();
+        assert!(mass_low > 0.8, "phi[{dom0}] low-word mass = {mass_low}");
+    }
+
+    #[test]
+    fn distributions_are_normalised() {
+        let corpus = two_cluster_corpus();
+        let model = fit(
+            &corpus,
+            &AtmOptions { num_topics: 3, iterations: 20, seed: 1, ..Default::default() },
+        );
+        for row in model.theta.iter().chain(model.phi.iter()) {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "row sums to {s}");
+            assert!(row.iter().all(|&x| x > 0.0)); // smoothing keeps support
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let corpus = two_cluster_corpus();
+        let opts = AtmOptions { num_topics: 2, iterations: 15, seed: 42, ..Default::default() };
+        let m1 = fit(&corpus, &opts);
+        let m2 = fit(&corpus, &opts);
+        assert_eq!(m1.theta, m2.theta);
+        assert_eq!(m1.phi, m2.phi);
+    }
+
+    #[test]
+    fn multi_author_documents_split_credit() {
+        // One shared document only: both authors must receive identical
+        // (symmetric) topic mass in expectation; check they both moved away
+        // from the prior.
+        let mut corpus = Corpus::new(4, 2);
+        for _ in 0..10 {
+            corpus.push(Document::new(vec![0, 1, 2, 3, 0, 1], vec![0, 1]));
+        }
+        let model = fit(
+            &corpus,
+            &AtmOptions { num_topics: 2, iterations: 30, seed: 3, ..Default::default() },
+        );
+        for a in 0..2 {
+            let s: f64 = model.theta[a].iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn top_words_sorted_by_probability() {
+        let corpus = two_cluster_corpus();
+        let model = fit(
+            &corpus,
+            &AtmOptions { num_topics: 2, iterations: 50, seed: 11, ..Default::default() },
+        );
+        let top = model.top_words(0, 3);
+        assert_eq!(top.len(), 3);
+        for w in top.windows(2) {
+            assert!(model.phi[0][w[0] as usize] >= model.phi[0][w[1] as usize]);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Documents with author sets — the ATM's observed variables.
+
+/// One document: a bag of word ids and the ids of its authors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// Word ids (duplicates = term frequency).
+    pub words: Vec<u32>,
+    /// Author ids (ATM samples one author per token uniformly from these).
+    pub authors: Vec<u32>,
+}
+
+impl Document {
+    /// Construct, validating that the author list is non-empty.
+    pub fn new(words: Vec<u32>, authors: Vec<u32>) -> Self {
+        assert!(!authors.is_empty(), "ATM requires at least one author per document");
+        Self { words, authors }
+    }
+}
+
+/// A publication corpus.
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    /// Vocabulary size `V` (word ids must be `< vocab_size`).
+    pub vocab_size: usize,
+    /// Number of authors `R` (author ids must be `< num_authors`).
+    pub num_authors: usize,
+    /// The documents.
+    pub docs: Vec<Document>,
+}
+
+impl Corpus {
+    /// An empty corpus over the given vocabulary / author-pool sizes.
+    pub fn new(vocab_size: usize, num_authors: usize) -> Self {
+        Self { vocab_size, num_authors, docs: Vec::new() }
+    }
+
+    /// Append a document, validating id ranges.
+    pub fn push(&mut self, doc: Document) {
+        assert!(doc.words.iter().all(|&w| (w as usize) < self.vocab_size));
+        assert!(doc.authors.iter().all(|&a| (a as usize) < self.num_authors));
+        self.docs.push(doc);
+    }
+
+    /// Total token count across all documents.
+    pub fn num_tokens(&self) -> usize {
+        self.docs.iter().map(|d| d.words.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_validates_ranges() {
+        let mut c = Corpus::new(10, 2);
+        c.push(Document::new(vec![0, 9], vec![1]));
+        assert_eq!(c.num_tokens(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_word_rejected() {
+        let mut c = Corpus::new(3, 1);
+        c.push(Document::new(vec![3], vec![0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one author")]
+    fn empty_author_list_rejected() {
+        Document::new(vec![0], vec![]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Gamma and Dirichlet sampling (only `rand` is available offline, so the
+//! Marsaglia–Tsang Gamma sampler is implemented here).
+
+use rand::{Rng, RngExt};
+
+/// Sample `Gamma(shape, 1)` via Marsaglia–Tsang (2000). For `shape < 1` the
+/// standard boosting identity `Gamma(a) = Gamma(a+1) · U^{1/a}` is applied.
+pub fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    assert!(shape > 0.0 && shape.is_finite());
+    if shape < 1.0 {
+        let boost: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE).powf(1.0 / shape);
+        return sample_gamma(rng, shape + 1.0) * boost;
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        // Standard normal via Box-Muller.
+        let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.random();
+        let x = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Sample from `Dirichlet(alphas)`.
+pub fn sample_dirichlet<R: Rng + ?Sized>(rng: &mut R, alphas: &[f64]) -> Vec<f64> {
+    assert!(!alphas.is_empty());
+    let gammas: Vec<f64> = alphas.iter().map(|&a| sample_gamma(rng, a)).collect();
+    let total: f64 = gammas.iter().sum();
+    if total <= 0.0 {
+        // Numerically degenerate (tiny alphas): fall back to one-hot at a
+        // uniformly random coordinate, the limit behaviour of Dir(α→0).
+        let mut out = vec![0.0; alphas.len()];
+        out[rng.random_range(0..alphas.len())] = 1.0;
+        return out;
+    }
+    gammas.into_iter().map(|g| g / total).collect()
+}
+
+/// Sample from the symmetric `Dirichlet(alpha, …, alpha)` of dimension `dim`.
+pub fn sample_symmetric_dirichlet<R: Rng + ?Sized>(
+    rng: &mut R,
+    dim: usize,
+    alpha: f64,
+) -> Vec<f64> {
+    sample_dirichlet(rng, &vec![alpha; dim])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gamma_mean_matches_shape() {
+        // E[Gamma(k, 1)] = k.
+        let mut rng = StdRng::seed_from_u64(1);
+        for &shape in &[0.5f64, 1.0, 2.5, 10.0] {
+            let n = 20_000;
+            let mean: f64 =
+                (0..n).map(|_| sample_gamma(&mut rng, shape)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - shape).abs() < 0.1 * shape.max(1.0),
+                "shape {shape}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one_and_is_nonnegative() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let v = sample_dirichlet(&mut rng, &[0.2, 1.0, 3.0, 0.7]);
+            assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert!(v.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn dirichlet_mean_proportional_to_alphas() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let alphas = [1.0, 2.0, 5.0];
+        let n = 20_000;
+        let mut mean = [0.0f64; 3];
+        for _ in 0..n {
+            let v = sample_dirichlet(&mut rng, &alphas);
+            for (m, x) in mean.iter_mut().zip(&v) {
+                *m += x;
+            }
+        }
+        let total: f64 = alphas.iter().sum();
+        for (m, a) in mean.iter().zip(&alphas) {
+            let expected = a / total;
+            assert!(
+                (m / n as f64 - expected).abs() < 0.02,
+                "mean {} vs expected {expected}",
+                m / n as f64
+            );
+        }
+    }
+
+    #[test]
+    fn small_alpha_concentrates_mass() {
+        // Dir(0.05) samples should usually put most mass on one coordinate.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut peaked = 0;
+        for _ in 0..200 {
+            let v = sample_symmetric_dirichlet(&mut rng, 10, 0.05);
+            if v.iter().cloned().fold(0.0f64, f64::max) > 0.7 {
+                peaked += 1;
+            }
+        }
+        assert!(peaked > 120, "only {peaked}/200 samples were peaked");
+    }
+}

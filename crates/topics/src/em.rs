@@ -1,0 +1,133 @@
+//! EM folding-in of a new paper over fitted topics (paper Eq. 11, after
+//! Zhai et al.).
+//!
+//! Given the topic-word distributions `φ` from the ATM, the topic vector of
+//! a submitted paper maximises `Π_i Σ_j p(w_i | t_j) · p[t_j]` — a mixture
+//! whose weights are fit by EM:
+//!
+//! ```text
+//! E: q_i(t) ∝ φ_t[w_i] · θ[t]        M: θ[t] = Σ_i q_i(t) / W
+//! ```
+
+/// Estimate the topic mixture of a word bag given `phi[t][w]`.
+///
+/// Runs at most `max_iters` EM steps, stopping early when the mixture moves
+/// less than `tol` in L1. Returns the uniform vector for an empty document.
+pub fn infer_document(phi: &[Vec<f64>], words: &[u32], max_iters: usize, tol: f64) -> Vec<f64> {
+    let t = phi.len();
+    assert!(t > 0);
+    let uniform = 1.0 / t as f64;
+    if words.is_empty() {
+        return vec![uniform; t];
+    }
+    let mut theta = vec![uniform; t];
+    let mut next = vec![0.0f64; t];
+    let mut resp = vec![0.0f64; t];
+    for _ in 0..max_iters {
+        next.fill(0.0);
+        for &w in words {
+            let mut denom = 0.0;
+            for (j, row) in phi.iter().enumerate() {
+                let q = row[w as usize] * theta[j];
+                resp[j] = q;
+                denom += q;
+            }
+            if denom <= 0.0 {
+                // Word unseen by every topic (possible without smoothing):
+                // it carries no information, skip it.
+                continue;
+            }
+            for (n, q) in next.iter_mut().zip(&resp) {
+                *n += q / denom;
+            }
+        }
+        let total: f64 = next.iter().sum();
+        if total <= 0.0 {
+            return theta;
+        }
+        let mut delta = 0.0;
+        for (t_old, n) in theta.iter_mut().zip(&next) {
+            let t_new = n / total;
+            delta += (t_new - *t_old).abs();
+            *t_old = t_new;
+        }
+        if delta < tol {
+            break;
+        }
+    }
+    theta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two disjoint topics over four words.
+    fn phi() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.48, 0.48, 0.02, 0.02],
+            vec![0.02, 0.02, 0.48, 0.48],
+        ]
+    }
+
+    #[test]
+    fn pure_document_concentrates() {
+        let theta = infer_document(&phi(), &[0, 1, 0, 1, 0], 100, 1e-9);
+        assert!(theta[0] > 0.95, "theta = {theta:?}");
+        assert!((theta.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_document_splits() {
+        let theta = infer_document(&phi(), &[0, 1, 2, 3], 200, 1e-12);
+        assert!((theta[0] - 0.5).abs() < 0.05, "theta = {theta:?}");
+    }
+
+    #[test]
+    fn empty_document_is_uniform() {
+        let theta = infer_document(&phi(), &[], 10, 1e-9);
+        assert_eq!(theta, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn unseen_word_is_ignored() {
+        let degenerate = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        // Word 0 only in topic 0; word 1 has zero mass nowhere... craft a
+        // truly unseen word by zeroing both rows at index 1:
+        let phi0 = vec![vec![1.0, 0.0], vec![1.0, 0.0]];
+        let theta = infer_document(&phi0, &[1, 1, 1], 10, 1e-9);
+        assert_eq!(theta, vec![0.5, 0.5]); // no information -> prior
+        let theta2 = infer_document(&degenerate, &[0, 0, 1], 50, 1e-9);
+        assert!(theta2[0] > 0.6);
+    }
+
+    #[test]
+    fn likelihood_never_decreases() {
+        // EM property check on a small random-ish input.
+        let phi = vec![
+            vec![0.5, 0.3, 0.1, 0.1],
+            vec![0.1, 0.1, 0.4, 0.4],
+            vec![0.25, 0.25, 0.25, 0.25],
+        ];
+        let words = [0u32, 2, 3, 1, 2, 0, 3, 3];
+        let loglik = |theta: &[f64]| -> f64 {
+            words
+                .iter()
+                .map(|&w| {
+                    phi.iter()
+                        .zip(theta)
+                        .map(|(row, t)| row[w as usize] * t)
+                        .sum::<f64>()
+                        .ln()
+                })
+                .sum()
+        };
+        let mut prev = loglik(&[1.0 / 3.0; 3]);
+        for iters in 1..=20 {
+            let theta = infer_document(&phi, &words, iters, 0.0);
+            let ll = loglik(&theta);
+            assert!(ll >= prev - 1e-9, "iteration {iters}: {ll} < {prev}");
+            prev = ll;
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Topic-model quality evaluation: held-out perplexity.
+//!
+//! The paper treats topic extraction quality as orthogonal (§2.4, App. A),
+//! but a reproduction needs a way to check that the Gibbs sampler actually
+//! fits — perplexity on held-out documents is the standard instrument
+//! (Rosen-Zvi et al. report it for the ATM).
+
+use crate::atm::AtmModel;
+use crate::corpus::Document;
+
+/// Per-word log-likelihood of held-out documents under the fitted model:
+/// each token's probability is averaged over the document's authors,
+/// `p(w | d) = (1/|A_d|) Σ_{a∈A_d} Σ_t θ_a[t] φ_t[w]`.
+///
+/// Returns `None` for an empty document set (or all-empty documents).
+pub fn heldout_log_likelihood(model: &AtmModel, docs: &[Document]) -> Option<f64> {
+    let mut total = 0.0;
+    let mut tokens = 0usize;
+    for doc in docs {
+        // Mixture over the document's authors.
+        let author_mix: Vec<&Vec<f64>> =
+            doc.authors.iter().map(|&a| &model.theta[a as usize]).collect();
+        for &w in &doc.words {
+            let mut p = 0.0;
+            for theta in &author_mix {
+                for (t, phi_t) in model.phi.iter().enumerate() {
+                    p += theta[t] * phi_t[w as usize];
+                }
+            }
+            p /= author_mix.len() as f64;
+            if p <= 0.0 {
+                // Smoothed estimates keep full support, so this indicates a
+                // word id outside the training vocabulary: skip it.
+                continue;
+            }
+            total += p.ln();
+            tokens += 1;
+        }
+    }
+    if tokens == 0 {
+        return None;
+    }
+    Some(total / tokens as f64)
+}
+
+/// Held-out perplexity: `exp(−mean per-word log-likelihood)`. Lower is
+/// better; a uniform model over a vocabulary of `V` words scores `V`.
+pub fn perplexity(model: &AtmModel, docs: &[Document]) -> Option<f64> {
+    heldout_log_likelihood(model, docs).map(|ll| (-ll).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atm::{fit, AtmOptions};
+    use crate::corpus::Corpus;
+
+    fn clustered_corpus(docs_per_author: usize) -> Corpus {
+        let mut corpus = Corpus::new(8, 2);
+        for i in 0..docs_per_author {
+            let w0: Vec<u32> = (0..40).map(|j| ((i + j) % 4) as u32).collect();
+            let w1: Vec<u32> = (0..40).map(|j| (4 + (i + j) % 4) as u32).collect();
+            corpus.push(Document::new(w0, vec![0]));
+            corpus.push(Document::new(w1, vec![1]));
+        }
+        corpus
+    }
+
+    #[test]
+    fn fitted_model_beats_uniform_baseline() {
+        let train = clustered_corpus(15);
+        let test = clustered_corpus(3);
+        let model = fit(
+            &train,
+            &AtmOptions { num_topics: 2, iterations: 80, seed: 5, ..Default::default() },
+        );
+        let ppl = perplexity(&model, &test.docs).unwrap();
+        // A structure-blind model scores ~V = 8 (or ~4 knowing each author
+        // uses only half the vocabulary); the fitted model must beat 8 and
+        // approach 4.
+        assert!(ppl < 6.0, "perplexity {ppl}");
+        assert!(ppl >= 3.5, "perplexity {ppl} suspiciously below the entropy floor");
+    }
+
+    #[test]
+    fn more_training_does_not_hurt() {
+        let test = clustered_corpus(3);
+        let small = fit(
+            &clustered_corpus(2),
+            &AtmOptions { num_topics: 2, iterations: 60, seed: 1, ..Default::default() },
+        );
+        let large = fit(
+            &clustered_corpus(20),
+            &AtmOptions { num_topics: 2, iterations: 60, seed: 1, ..Default::default() },
+        );
+        let p_small = perplexity(&small, &test.docs).unwrap();
+        let p_large = perplexity(&large, &test.docs).unwrap();
+        assert!(p_large <= p_small + 0.5, "small {p_small} vs large {p_large}");
+    }
+
+    #[test]
+    fn empty_input_is_none() {
+        let model = fit(
+            &clustered_corpus(2),
+            &AtmOptions { num_topics: 2, iterations: 10, ..Default::default() },
+        );
+        assert!(perplexity(&model, &[]).is_none());
+    }
+}

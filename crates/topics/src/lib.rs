@@ -1,0 +1,30 @@
+//! # wgrap-topics — topic-model substrate
+//!
+//! The paper (§2.4, Appendix A) extracts reviewer topic vectors with the
+//! Author-Topic Model of Rosen-Zvi et al. (estimated by Gibbs sampling) and
+//! paper topic vectors by EM folding-in over the learned topics (Eq. 11).
+//! The authors used an external C++ ATM tool; this crate implements the same
+//! model from scratch:
+//!
+//! * [`vocab`] — string interning for word ids.
+//! * [`corpus`] — documents with author sets.
+//! * [`atm`] — collapsed Gibbs sampler for the Author-Topic Model, yielding
+//!   reviewer vectors `θ_a` and topic-word distributions `φ_t`.
+//! * [`em`] — EM estimation of a new paper's topic vector given `φ`
+//!   (Eq. 11).
+//! * [`dirichlet`] — Gamma/Dirichlet sampling (Marsaglia–Tsang), used here
+//!   and by the synthetic corpus generator in `wgrap-datagen`.
+#![warn(missing_docs)]
+
+
+pub mod atm;
+pub mod corpus;
+pub mod dirichlet;
+pub mod em;
+pub mod eval;
+pub mod vocab;
+
+pub use atm::{AtmModel, AtmOptions};
+pub use corpus::{Corpus, Document};
+pub use em::infer_document;
+pub use vocab::Vocabulary;

@@ -1,0 +1,86 @@
+//! Word interning.
+
+use std::collections::HashMap;
+
+/// A bidirectional word ↔ id mapping.
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    words: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Vocabulary {
+    /// An empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `word`, returning its stable id.
+    pub fn intern(&mut self, word: &str) -> u32 {
+        if let Some(&id) = self.index.get(word) {
+            return id;
+        }
+        let id = self.words.len() as u32;
+        self.words.push(word.to_string());
+        self.index.insert(word.to_string(), id);
+        id
+    }
+
+    /// Look up a word's id without interning.
+    pub fn get(&self, word: &str) -> Option<u32> {
+        self.index.get(word).copied()
+    }
+
+    /// The word behind an id.
+    pub fn word(&self, id: u32) -> &str {
+        &self.words[id as usize]
+    }
+
+    /// Number of distinct words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when no words are interned.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Tokenise and intern a whitespace-separated text.
+    pub fn intern_text(&mut self, text: &str) -> Vec<u32> {
+        text.split_whitespace().map(|w| self.intern(w)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("spatial");
+        let b = v.intern("spatial");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.word(a), "spatial");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut v = Vocabulary::new();
+        assert_eq!(v.get("x"), None);
+        v.intern("x");
+        assert_eq!(v.get("x"), Some(0));
+    }
+
+    #[test]
+    fn intern_text_tokenises() {
+        let mut v = Vocabulary::new();
+        let ids = v.intern_text("graph mining graph");
+        assert_eq!(ids.len(), 3);
+        assert_eq!(ids[0], ids[2]);
+        assert_ne!(ids[0], ids[1]);
+        assert_eq!(v.len(), 2);
+    }
+}

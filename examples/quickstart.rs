@@ -1,0 +1,53 @@
+//! Quickstart: assign reviewers to a six-paper "workshop" in ~40 lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use wgrap::core::cra::{sdga, sra};
+use wgrap::prelude::*;
+
+fn main() -> Result<()> {
+    // Topic space: [databases, data mining, theory].
+    let papers = vec![
+        TopicVector::new(vec![0.7, 0.2, 0.1]), // a systems paper
+        TopicVector::new(vec![0.1, 0.8, 0.1]), // a mining paper
+        TopicVector::new(vec![0.4, 0.4, 0.2]), // interdisciplinary
+        TopicVector::new(vec![0.0, 0.3, 0.7]), // theory-flavoured
+        TopicVector::new(vec![0.5, 0.0, 0.5]),
+        TopicVector::new(vec![0.2, 0.6, 0.2]),
+    ];
+    let reviewers = vec![
+        TopicVector::new(vec![0.9, 0.1, 0.0]),
+        TopicVector::new(vec![0.1, 0.9, 0.0]),
+        TopicVector::new(vec![0.0, 0.2, 0.8]),
+        TopicVector::new(vec![0.4, 0.4, 0.2]),
+        TopicVector::new(vec![0.3, 0.3, 0.4]),
+    ];
+
+    // Each paper gets 2 reviewers; each reviewer at most 3 papers.
+    let mut instance = Instance::new(papers, reviewers, 2, 3)?;
+    instance.add_coi(0, 0); // reviewer 0 authored paper 0
+
+    // SDGA (1/2-approximation) + stochastic refinement.
+    let initial = sdga::solve(&instance, Scoring::WeightedCoverage)?;
+    let refined = sra::refine(
+        &instance,
+        Scoring::WeightedCoverage,
+        initial,
+        &sra::SraOptions::default(),
+    );
+    let assignment = refined.assignment;
+    assignment.validate(&instance)?;
+
+    println!("total weighted coverage: {:.3}", refined.score);
+    for p in 0..instance.num_papers() {
+        println!(
+            "  {} <- {:?} (coverage {:.3})",
+            instance.paper_name(p),
+            assignment.group(p),
+            assignment.paper_score(&instance, Scoring::WeightedCoverage, p),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,195 @@
+//! `wgrap` — command-line reviewer assignment over `.wgrap` instance files.
+//!
+//! ```text
+//! wgrap assign  <instance-file> [--method sdga-sra] [--seed N] [--scoring weighted]
+//!     Solve the instance and print the assignment (paper <TAB> reviewer).
+//! wgrap check   <instance-file> <assignment-file>
+//!     Validate an assignment and report its quality metrics.
+//! wgrap journal <instance-file> <paper-name> [--top-k K]
+//!     Exact best reviewer group(s) for a single paper (BBA).
+//! wgrap gen     <papers> <reviewers> <delta_p> [--seed N]
+//!     Emit a synthetic instance in the text format.
+//! ```
+
+use std::process::ExitCode;
+use wgrap::core::cra::ideal::{ideal_assignment, IdealMode};
+use wgrap::core::cra::CraAlgorithm;
+use wgrap::core::io;
+use wgrap::core::jra::{bba, JraProblem};
+use wgrap::core::metrics;
+use wgrap::prelude::*;
+
+fn scoring_by_name(name: &str) -> Option<Scoring> {
+    Some(match name {
+        "weighted" => Scoring::WeightedCoverage,
+        "reviewer" => Scoring::ReviewerCoverage,
+        "paper" => Scoring::PaperCoverage,
+        "dot" => Scoring::DotProduct,
+        _ => return None,
+    })
+}
+
+fn method_by_name(name: &str) -> Option<CraAlgorithm> {
+    Some(match name {
+        "sm" => CraAlgorithm::StableMatching,
+        "ilp" => CraAlgorithm::ArapIlp,
+        "brgg" => CraAlgorithm::Brgg,
+        "greedy" => CraAlgorithm::Greedy,
+        "sdga" => CraAlgorithm::Sdga,
+        "sdga-sra" => CraAlgorithm::SdgaSra,
+        _ => return None,
+    })
+}
+
+struct Flags {
+    positional: Vec<String>,
+    method: CraAlgorithm,
+    scoring: Scoring,
+    seed: u64,
+    top_k: usize,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags> {
+    let mut flags = Flags {
+        positional: Vec::new(),
+        method: CraAlgorithm::SdgaSra,
+        scoring: Scoring::WeightedCoverage,
+        seed: 42,
+        top_k: 1,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| -> Result<String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| Error::InvalidInstance(format!("{what} needs a value")))
+        };
+        match arg.as_str() {
+            "--method" => {
+                let v = value("--method")?;
+                flags.method = method_by_name(&v)
+                    .ok_or_else(|| Error::InvalidInstance(format!("unknown method '{v}'")))?;
+            }
+            "--scoring" => {
+                let v = value("--scoring")?;
+                flags.scoring = scoring_by_name(&v)
+                    .ok_or_else(|| Error::InvalidInstance(format!("unknown scoring '{v}'")))?;
+            }
+            "--seed" => {
+                flags.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| Error::InvalidInstance("--seed needs an integer".into()))?;
+            }
+            "--top-k" => {
+                flags.top_k = value("--top-k")?
+                    .parse()
+                    .map_err(|_| Error::InvalidInstance("--top-k needs an integer".into()))?;
+            }
+            other => flags.positional.push(other.to_string()),
+        }
+    }
+    Ok(flags)
+}
+
+fn read(path: &str) -> Result<String> {
+    std::fs::read_to_string(path)
+        .map_err(|e| Error::InvalidInstance(format!("cannot read {path}: {e}")))
+}
+
+fn cmd_assign(flags: &Flags) -> Result<()> {
+    let [path] = &flags.positional[..] else {
+        return Err(Error::InvalidInstance("assign needs exactly one file".into()));
+    };
+    let inst = io::parse_instance(&read(path)?)?;
+    let a = flags.method.run(&inst, flags.scoring, flags.seed)?;
+    a.validate(&inst)?;
+    print!("{}", io::write_assignment(&inst, &a));
+    eprintln!(
+        "# {}: coverage {:.4}, lowest paper {:.4}",
+        flags.method.label(),
+        a.coverage_score(&inst, flags.scoring),
+        metrics::lowest_coverage(&inst, flags.scoring, &a),
+    );
+    Ok(())
+}
+
+fn cmd_check(flags: &Flags) -> Result<()> {
+    let [inst_path, assign_path] = &flags.positional[..] else {
+        return Err(Error::InvalidInstance("check needs <instance> <assignment>".into()));
+    };
+    let inst = io::parse_instance(&read(inst_path)?)?;
+    let a = io::parse_assignment(&inst, &read(assign_path)?)?;
+    a.validate(&inst)?;
+    let ideal = ideal_assignment(&inst, flags.scoring, IdealMode::Exact)?;
+    println!("valid: yes");
+    println!("coverage: {:.4}", a.coverage_score(&inst, flags.scoring));
+    println!(
+        "optimality ratio vs ideal: {:.2}%",
+        100.0 * metrics::optimality_ratio(&inst, flags.scoring, &a, &ideal)
+    );
+    println!("lowest paper coverage: {:.4}", metrics::lowest_coverage(&inst, flags.scoring, &a));
+    Ok(())
+}
+
+fn cmd_journal(flags: &Flags) -> Result<()> {
+    let [inst_path, paper_name] = &flags.positional[..] else {
+        return Err(Error::InvalidInstance("journal needs <instance> <paper-name>".into()));
+    };
+    let inst = io::parse_instance(&read(inst_path)?)?;
+    let paper = (0..inst.num_papers())
+        .find(|&p| inst.paper_name(p) == *paper_name)
+        .ok_or_else(|| Error::InvalidInstance(format!("unknown paper '{paper_name}'")))?;
+    let problem = JraProblem::from_instance(&inst, paper).with_scoring(flags.scoring);
+    let results = bba::solve_top_k(&problem, flags.top_k)
+        .ok_or_else(|| Error::Infeasible("not enough non-conflicted reviewers".into()))?;
+    for (i, res) in results.iter().enumerate() {
+        let names: Vec<String> = res.group.iter().map(|&r| inst.reviewer_name(r)).collect();
+        println!("#{} score {:.4}: {}", i + 1, res.score, names.join(" "));
+    }
+    Ok(())
+}
+
+fn cmd_gen(flags: &Flags) -> Result<()> {
+    let [p, r, dp] = &flags.positional[..] else {
+        return Err(Error::InvalidInstance("gen needs <papers> <reviewers> <delta_p>".into()));
+    };
+    let parse = |s: &String, what: &str| -> Result<usize> {
+        s.parse().map_err(|_| Error::InvalidInstance(format!("{what} must be an integer")))
+    };
+    let (p, r, dp) = (parse(p, "papers")?, parse(r, "reviewers")?, parse(dp, "delta_p")?);
+    let spec = wgrap::datagen::DatasetSpec {
+        name: "GEN",
+        area: wgrap::datagen::Area::Databases,
+        year: 2026,
+        num_papers: p,
+        num_reviewers: r,
+    };
+    let inst = wgrap::datagen::vectors::area_instance(&spec, dp, flags.seed);
+    print!("{}", io::write_instance(&inst));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("usage: wgrap <assign|check|journal|gen> ... (see --help in source docs)");
+        return ExitCode::from(2);
+    };
+    let run = || -> Result<()> {
+        let flags = parse_flags(rest)?;
+        match cmd.as_str() {
+            "assign" => cmd_assign(&flags),
+            "check" => cmd_check(&flags),
+            "journal" => cmd_journal(&flags),
+            "gen" => cmd_gen(&flags),
+            other => Err(Error::InvalidInstance(format!("unknown command '{other}'"))),
+        }
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

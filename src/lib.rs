@@ -1,0 +1,27 @@
+//! # wgrap — Weighted Coverage based Reviewer Assignment
+//!
+//! Facade crate for the reproduction of *"Weighted Coverage based Reviewer
+//! Assignment"* (Kou, U, Mamoulis, Gong — SIGMOD 2015). It re-exports the
+//! public API of the workspace crates:
+//!
+//! * [`core`](mod@wgrap_core) — problem definitions (WGRAP/JRA/CRA), scoring
+//!   functions, the exact BBA algorithm, SDGA + stochastic refinement, and
+//!   all evaluated baselines.
+//! * [`lap`](mod@wgrap_lap) — linear assignment substrate (Hungarian, min-cost
+//!   flow).
+//! * [`solver`](mod@wgrap_solver) — LP / 0-1 ILP / CP substrate.
+//! * [`topics`](mod@wgrap_topics) — Author-Topic Model and EM folding-in.
+//! * [`datagen`](mod@wgrap_datagen) — synthetic DBLP-style workloads (Table 3
+//!   presets).
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+#![warn(missing_docs)]
+
+
+pub use wgrap_core as core;
+pub use wgrap_datagen as datagen;
+pub use wgrap_lap as lap;
+pub use wgrap_solver as solver;
+pub use wgrap_topics as topics;
+
+pub use wgrap_core::prelude;

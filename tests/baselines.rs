@@ -1,0 +1,119 @@
+//! Cross-method invariants on mid-sized synthetic datasets: every §5.2
+//! method yields a valid assignment, the paper's quality ordering holds in
+//! aggregate, and the metrics behave.
+
+use wgrap::core::cra::arap_ilp::pair_objective;
+use wgrap::core::cra::ideal::{ideal_assignment, IdealMode};
+use wgrap::core::cra::CraAlgorithm;
+use wgrap::core::metrics;
+use wgrap::datagen::areas::DB08;
+use wgrap::datagen::vectors::area_instance;
+use wgrap::datagen::DatasetSpec;
+use wgrap::prelude::*;
+
+fn db08_over(scale: usize, delta_p: usize, seed: u64) -> Instance {
+    let spec = DatasetSpec {
+        num_papers: DB08.num_papers / scale,
+        num_reviewers: DB08.num_reviewers / scale,
+        ..DB08
+    };
+    area_instance(&spec, delta_p, seed)
+}
+
+#[test]
+fn all_methods_valid_on_db08_shape() {
+    let scoring = Scoring::WeightedCoverage;
+    for delta_p in [3usize, 5] {
+        let inst = db08_over(12, delta_p, 3);
+        for algo in CraAlgorithm::ALL {
+            let a = algo.run(&inst, scoring, 3).unwrap();
+            a.validate(&inst)
+                .unwrap_or_else(|e| panic!("{} invalid at delta_p={delta_p}: {e}", algo.label()));
+        }
+    }
+}
+
+#[test]
+fn sdga_sra_wins_on_average() {
+    // Figure 10's ordering, aggregated over seeds: SDGA-SRA ≥ SDGA ≥ the
+    // weak baselines (SM, per-pair ILP) on group coverage.
+    let scoring = Scoring::WeightedCoverage;
+    let mut totals = [0.0f64; 6];
+    for seed in 0..4 {
+        let inst = db08_over(12, 3, seed);
+        for (i, algo) in CraAlgorithm::ALL.iter().enumerate() {
+            let a = algo.run(&inst, scoring, seed).unwrap();
+            totals[i] += a.coverage_score(&inst, scoring);
+        }
+    }
+    let [sm, ilp, _brgg, greedy, sdga, sra] = totals;
+    assert!(sra >= sdga - 1e-9, "SRA {sra} below SDGA {sdga}");
+    assert!(sdga > sm, "SDGA {sdga} not above SM {sm}");
+    assert!(sdga > ilp, "SDGA {sdga} not above per-pair ILP {ilp}");
+    assert!(sra > greedy, "SDGA-SRA {sra} not above Greedy {greedy}");
+}
+
+#[test]
+fn per_pair_ilp_wins_its_own_objective() {
+    // The ARAP baseline must dominate every method on the *pair-sum*
+    // objective even while losing on group coverage.
+    let scoring = Scoring::WeightedCoverage;
+    let inst = db08_over(12, 3, 9);
+    let ilp = CraAlgorithm::ArapIlp.run(&inst, scoring, 9).unwrap();
+    let ilp_obj = pair_objective(&inst, scoring, &ilp);
+    for algo in CraAlgorithm::ALL {
+        let a = algo.run(&inst, scoring, 9).unwrap();
+        assert!(
+            ilp_obj >= pair_objective(&inst, scoring, &a) - 1e-6,
+            "{} beat ILP on ILP's own objective",
+            algo.label()
+        );
+    }
+}
+
+#[test]
+fn optimality_ratio_denominator_dominates_all_methods() {
+    let scoring = Scoring::WeightedCoverage;
+    let inst = db08_over(12, 4, 5);
+    let ideal = ideal_assignment(&inst, scoring, IdealMode::Exact).unwrap();
+    for algo in CraAlgorithm::ALL {
+        let a = algo.run(&inst, scoring, 5).unwrap();
+        let ratio = metrics::optimality_ratio(&inst, scoring, &a, &ideal);
+        assert!(ratio <= 1.0 + 1e-9, "{}: ratio {ratio} > 1", algo.label());
+        assert!(ratio > 0.5, "{}: ratio {ratio} suspiciously low", algo.label());
+    }
+}
+
+#[test]
+fn superiority_against_self_and_lowest_coverage_consistency() {
+    let scoring = Scoring::WeightedCoverage;
+    let inst = db08_over(12, 3, 11);
+    let sra = CraAlgorithm::SdgaSra.run(&inst, scoring, 11).unwrap();
+    let sm = CraAlgorithm::StableMatching.run(&inst, scoring, 11).unwrap();
+    let s = metrics::superiority_ratio(&inst, scoring, &sra, &sm);
+    assert!(s.better_or_equal() > 0.7, "SDGA-SRA vs SM only {}", s.better_or_equal());
+    assert!(
+        metrics::lowest_coverage(&inst, scoring, &sra)
+            >= metrics::lowest_coverage(&inst, scoring, &sm) - 0.2,
+        "SRA's worst paper dramatically below SM's"
+    );
+}
+
+#[test]
+fn coi_respected_across_all_methods() {
+    let scoring = Scoring::WeightedCoverage;
+    let mut inst = db08_over(12, 3, 13);
+    for r in 0..inst.num_reviewers() / 2 {
+        inst.add_coi(r, 0);
+        inst.add_coi(r, 1);
+    }
+    for algo in CraAlgorithm::ALL {
+        let a = algo.run(&inst, scoring, 13).unwrap();
+        a.validate(&inst).unwrap();
+        for p in [0usize, 1] {
+            for &r in a.group(p) {
+                assert!(!inst.is_coi(r, p), "{} placed a COI pair", algo.label());
+            }
+        }
+    }
+}

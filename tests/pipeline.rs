@@ -1,0 +1,87 @@
+//! End-to-end pipeline test: synthetic corpus → ATM → EM → WGRAP instance →
+//! SDGA-SRA assignment, with quality checks against the ground truth the
+//! corpus generator knows.
+
+use wgrap::core::cra::ideal::{ideal_assignment, IdealMode};
+use wgrap::core::cra::CraAlgorithm;
+use wgrap::core::metrics;
+use wgrap::datagen::areas::{Area, DatasetSpec};
+use wgrap::datagen::corpus::CorpusConfig;
+use wgrap::datagen::pipeline::{corpus_to_instance, PipelineConfig};
+use wgrap::prelude::*;
+use wgrap::topics::atm::AtmOptions;
+
+fn demo_pipeline() -> (Instance, wgrap::datagen::corpus::SyntheticCorpus) {
+    let spec = DatasetSpec {
+        name: "IT",
+        area: Area::DataMining,
+        year: 2008,
+        num_papers: 18,
+        num_reviewers: 12,
+    };
+    let cfg = PipelineConfig {
+        corpus: CorpusConfig {
+            vocab_size: 300,
+            num_topics: 9,
+            docs_per_author: (4, 8),
+            words_per_doc: (40, 80),
+            ..Default::default()
+        },
+        atm: AtmOptions { num_topics: 9, iterations: 80, ..Default::default() },
+        em_iters: 80,
+    };
+    corpus_to_instance(&spec, &cfg, 3, 21)
+}
+
+#[test]
+fn full_pipeline_produces_high_quality_assignment() {
+    let (inst, _sc) = demo_pipeline();
+    let scoring = Scoring::WeightedCoverage;
+    let a = CraAlgorithm::SdgaSra.run(&inst, scoring, 21).unwrap();
+    a.validate(&inst).unwrap();
+    let ideal = ideal_assignment(&inst, scoring, IdealMode::Exact).unwrap();
+    let ratio = metrics::optimality_ratio(&inst, scoring, &a, &ideal);
+    assert!(ratio > 0.85, "pipeline assignment quality only {ratio}");
+}
+
+#[test]
+fn recovered_paper_vectors_prefer_matching_reviewers() {
+    // For each paper, the reviewer closest in *true* mixture space should
+    // score above the pool median in *recovered* space most of the time.
+    let (inst, sc) = demo_pipeline();
+    let scoring = Scoring::WeightedCoverage;
+    let l1 = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+    };
+    let mut hits = 0usize;
+    for p in 0..inst.num_papers() {
+        let truth_best = (0..inst.num_reviewers())
+            .min_by(|&i, &j| {
+                l1(&sc.true_reviewer_theta[i], &sc.true_paper_theta[p])
+                    .total_cmp(&l1(&sc.true_reviewer_theta[j], &sc.true_paper_theta[p]))
+            })
+            .unwrap();
+        let mut scores: Vec<f64> = (0..inst.num_reviewers())
+            .map(|r| scoring.pair_score(inst.reviewer(r), inst.paper(p)))
+            .collect();
+        let best_score = scores[truth_best];
+        scores.sort_by(f64::total_cmp);
+        let median = scores[scores.len() / 2];
+        if best_score >= median {
+            hits += 1;
+        }
+    }
+    assert!(
+        hits * 10 >= inst.num_papers() * 6,
+        "true-best reviewer above median for only {hits}/{} papers",
+        inst.num_papers()
+    );
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let (a, _) = demo_pipeline();
+    let (b, _) = demo_pipeline();
+    assert_eq!(a.paper(0).as_slice(), b.paper(0).as_slice());
+    assert_eq!(a.reviewer(3).as_slice(), b.reviewer(3).as_slice());
+}
