@@ -1,9 +1,11 @@
 //! Criterion microbenchmarks for the Table 4 story: the CRA methods on a
-//! scaled-down DB08 instance.
+//! scaled-down DB08 instance, dispatched through the engine's Solver trait
+//! over one shared ScoreContext.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use wgrap_core::cra::{greedy, sdga, sra, stable_matching};
+use wgrap_core::cra::{sdga, sra};
+use wgrap_core::engine::{GreedySolver, ScoreContext, SdgaSolver, Solver, StableMatchingSolver};
 use wgrap_core::prelude::Scoring;
 use wgrap_datagen::areas::DB08;
 use wgrap_datagen::vectors::area_instance;
@@ -19,19 +21,21 @@ fn scaled_db08(factor: usize) -> DatasetSpec {
 
 fn bench_methods(c: &mut Criterion) {
     let inst = area_instance(&scaled_db08(8), 3, 1);
-    let s = Scoring::WeightedCoverage;
+    let ctx = ScoreContext::new(&inst, Scoring::WeightedCoverage).with_seed(0);
     let mut group = c.benchmark_group("cra_methods_db08_over8_dp3");
     group.sample_size(10);
     group.bench_function("stable_matching", |b| {
-        b.iter(|| black_box(stable_matching::solve(&inst, s).unwrap()))
+        b.iter(|| black_box(StableMatchingSolver.solve(&ctx).unwrap()))
     });
-    group.bench_function("greedy", |b| b.iter(|| black_box(greedy::solve(&inst, s).unwrap())));
-    group.bench_function("sdga", |b| b.iter(|| black_box(sdga::solve(&inst, s).unwrap())));
+    group.bench_function("greedy", |b| b.iter(|| black_box(GreedySolver.solve(&ctx).unwrap())));
+    group.bench_function("sdga", |b| {
+        b.iter(|| black_box(SdgaSolver::default().solve(&ctx).unwrap()))
+    });
     group.bench_function("sdga_sra_omega5", |b| {
         b.iter(|| {
-            let a = sdga::solve(&inst, s).unwrap();
+            let a = sdga::solve_ctx(&ctx).unwrap();
             let opts = sra::SraOptions { omega: 5, ..Default::default() };
-            black_box(sra::refine(&inst, s, a, &opts).score)
+            black_box(sra::refine_ctx(&ctx, a, &opts).score)
         })
     });
     group.finish();
@@ -40,17 +44,15 @@ fn bench_methods(c: &mut Criterion) {
 fn bench_sdga_backends(c: &mut Criterion) {
     // DESIGN.md ablation: flow vs Hungarian stage backend.
     let inst = area_instance(&scaled_db08(8), 3, 2);
-    let s = Scoring::WeightedCoverage;
+    let ctx = ScoreContext::new(&inst, Scoring::WeightedCoverage);
     let mut group = c.benchmark_group("sdga_backend_ablation");
     group.sample_size(10);
     group.bench_function("flow", |b| {
-        b.iter(|| {
-            black_box(sdga::solve_with_backend(&inst, s, sdga::LapBackend::Flow).unwrap())
-        })
+        b.iter(|| black_box(sdga::solve_ctx_with_backend(&ctx, sdga::LapBackend::Flow).unwrap()))
     });
     group.bench_function("hungarian", |b| {
         b.iter(|| {
-            black_box(sdga::solve_with_backend(&inst, s, sdga::LapBackend::Hungarian).unwrap())
+            black_box(sdga::solve_ctx_with_backend(&ctx, sdga::LapBackend::Hungarian).unwrap())
         })
     });
     group.finish();

@@ -1,0 +1,105 @@
+//! Old-vs-new scoring path: the ScoreEngine's flat SoA + CSR kernels against
+//! the seed's boxed-`TopicVector` path, on the two hot kernels every solver
+//! shares — the dense P×R pair-score matrix build and one SDGA stage
+//! cost-matrix build (all marginal gains, groups one reviewer deep).
+//!
+//! P=500, R=1000, T=100 with topic-model-shaped papers (mass concentrated
+//! on a few topics, as ATM inference produces): the acceptance bar for the
+//! engine is ≥2× on the stage-matrix build, single-threaded.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use wgrap_core::engine::{GainProvider, GainTable, LegacyGains, PairMatrix, ScoreContext};
+use wgrap_core::prelude::{Instance, Scoring, TopicVector};
+
+const P: usize = 500;
+const R: usize = 1000;
+const T: usize = 100;
+/// Non-zero topics per paper (topic-model posteriors concentrate mass).
+const PAPER_NNZ: usize = 8;
+
+fn bench_instance() -> Instance {
+    let mut rng = StdRng::seed_from_u64(42);
+    let papers: Vec<TopicVector> = (0..P)
+        .map(|_| {
+            let entries: Vec<(usize, f64)> = (0..PAPER_NNZ)
+                .map(|_| (rng.random_range(0..T), rng.random::<f64>().max(1e-3)))
+                .collect();
+            TopicVector::from_sparse(T, &entries).normalized()
+        })
+        .collect();
+    let reviewers: Vec<TopicVector> = (0..R)
+        .map(|_| {
+            let raw: Vec<f64> = (0..T).map(|_| rng.random::<f64>().powi(3)).collect();
+            TopicVector::new(raw).normalized()
+        })
+        .collect();
+    let delta_p = 3;
+    let delta_r = Instance::minimal_delta_r(P, R, delta_p);
+    Instance::new(papers, reviewers, delta_p, delta_r).expect("valid bench instance")
+}
+
+/// One stage-matrix build: every paper's marginal-gain row over all
+/// reviewers, exactly the kernel `solve_stage` runs per SDGA stage.
+fn build_stage_rows<G: GainProvider>(gains: &G, row: &mut [f64]) -> f64 {
+    let mut acc = 0.0;
+    for p in 0..gains.num_papers() {
+        gains.gains_into(p, row);
+        acc += row[0] + row[R - 1];
+    }
+    acc
+}
+
+fn bench_pair_matrix(c: &mut Criterion) {
+    let inst = bench_instance();
+    let ctx = ScoreContext::new(&inst, Scoring::WeightedCoverage);
+    let mut group = c.benchmark_group("pair_matrix_p500_r1000_t100");
+    group.sample_size(10);
+    group.bench_function("legacy_boxed", |b| {
+        b.iter(|| black_box(PairMatrix::from_instance(&inst, Scoring::WeightedCoverage)))
+    });
+    group.bench_function("engine_flat_csr", |b| b.iter(|| black_box(ctx.build_pair_matrix())));
+    group.finish();
+}
+
+fn bench_stage_matrix(c: &mut Criterion) {
+    let inst = bench_instance();
+    let ctx = ScoreContext::new(&inst, Scoring::WeightedCoverage);
+
+    // Stage 2 of SDGA: each paper's group already holds one reviewer.
+    let mut legacy = LegacyGains::new(&inst, Scoring::WeightedCoverage);
+    let mut engine = GainTable::new(&ctx);
+    for p in 0..P {
+        legacy.add(p, p % R);
+        engine.add(p, p % R);
+    }
+
+    // The two paths must agree bit-for-bit before we time them.
+    let mut lrow = vec![0.0; R];
+    let mut erow = vec![0.0; R];
+    for p in [0, P / 2, P - 1] {
+        legacy.gains_into(p, &mut lrow);
+        engine.gains_into(p, &mut erow);
+        assert!(
+            lrow.iter().zip(&erow).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "engine and legacy stage rows diverged at paper {p}"
+        );
+    }
+
+    let mut group = c.benchmark_group("sdga_stage_matrix_p500_r1000_t100");
+    group.sample_size(10);
+    group.bench_function("legacy_boxed", |b| {
+        let mut row = vec![0.0; R];
+        b.iter(|| black_box(build_stage_rows(&legacy, &mut row)))
+    });
+    group.bench_function("engine_flat_csr", |b| {
+        let mut row = vec![0.0; R];
+        b.iter(|| black_box(build_stage_rows(&engine, &mut row)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pair_matrix, bench_stage_matrix);
+criterion_main!(benches);

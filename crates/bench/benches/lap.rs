@@ -42,9 +42,8 @@ fn bench_stage_shape(c: &mut Criterion) {
     });
     group.bench_function("hungarian_slot_expanded", |b| {
         b.iter(|| {
-            let expanded = CostMatrix::from_fn(p, r * cap as usize, |i, s| {
-                w.get(i, s / cap as usize)
-            });
+            let expanded =
+                CostMatrix::from_fn(p, r * cap as usize, |i, s| w.get(i, s / cap as usize));
             black_box(hungarian_max(&expanded))
         })
     });

@@ -83,9 +83,26 @@ fn run(cmd: &str, cfg: &RunConfig) {
         "improved" => quality::improvement_counts(cfg),
         "all" => {
             for c in [
-                "fig7", "table6", "fig9a", "fig9b", "fig9-small", "fig14a", "fig14b",
-                "fig15", "cp-compare", "table4", "fig10", "fig12", "table7", "fig16",
-                "fig17", "fig18", "fig21", "case-study", "ablation", "improved",
+                "fig7",
+                "table6",
+                "fig9a",
+                "fig9b",
+                "fig9-small",
+                "fig14a",
+                "fig14b",
+                "fig15",
+                "cp-compare",
+                "table4",
+                "fig10",
+                "fig12",
+                "table7",
+                "fig16",
+                "fig17",
+                "fig18",
+                "fig21",
+                "case-study",
+                "ablation",
+                "improved",
             ] {
                 run(c, cfg);
             }

@@ -27,11 +27,7 @@ pub fn case_study(cfg: &RunConfig) {
         num_reviewers: (40 / cfg.scale).max(8),
     };
     let pipeline = PipelineConfig {
-        corpus: CorpusConfig {
-            vocab_size: 600,
-            num_topics: 12,
-            ..Default::default()
-        },
+        corpus: CorpusConfig { vocab_size: 600, num_topics: 12, ..Default::default() },
         atm: AtmOptions { num_topics: 12, iterations: 120, ..Default::default() },
         em_iters: 100,
     };
@@ -46,12 +42,9 @@ pub fn case_study(cfg: &RunConfig) {
         .max_by(|&a, &b| entropy(inst.paper(a)).total_cmp(&entropy(inst.paper(b))))
         .expect("non-empty instance");
 
-    for algo in [
-        CraAlgorithm::ArapIlp,
-        CraAlgorithm::Brgg,
-        CraAlgorithm::Greedy,
-        CraAlgorithm::SdgaSra,
-    ] {
+    for algo in
+        [CraAlgorithm::ArapIlp, CraAlgorithm::Brgg, CraAlgorithm::Greedy, CraAlgorithm::SdgaSra]
+    {
         let a = algo.run(&inst, SCORING, cfg.seed).expect("method runs");
         let cs = metrics::case_study(&inst, SCORING, &a, paper, 5);
         println!("\n{} (Score = {:.2})", algo.label(), cs.score);
@@ -84,11 +77,8 @@ pub fn case_study(cfg: &RunConfig) {
     );
     println!("\nTopics and keywords (Tables 8-9 analogue, from the fitted ATM):");
     for t in inst.paper(paper).top_topics(5) {
-        let kws: Vec<String> = atm
-            .top_words(t, 6)
-            .into_iter()
-            .map(|w| words[w as usize].clone())
-            .collect();
+        let kws: Vec<String> =
+            atm.top_words(t, 6).into_iter().map(|w| words[w as usize].clone()).collect();
         println!("  t{t}: {}", kws.join(", "));
     }
 }

@@ -109,7 +109,11 @@ pub fn sweep_delta_p(cfg: &RunConfig, r: usize, delta_ps: &[usize], title: &str)
             average_cell(bba_c),
         ]);
     }
-    println!("R = {r}, {} trial papers, budget {:?} per call", data.papers.len(), cfg.solver_budget);
+    println!(
+        "R = {r}, {} trial papers, budget {:?} per call",
+        data.papers.len(),
+        cfg.solver_budget
+    );
     println!("{}", render_table(&["delta_p", "BFS (s)", "ILP (s)", "BBA (s)"], &rows));
 }
 
@@ -215,10 +219,7 @@ pub fn cp_compare(cfg: &RunConfig) {
             format!("{}", bba_res.nodes),
         ]);
     }
-    println!(
-        "{}",
-        render_table(&["trial", "CP (s)", "CP nodes", "BBA (s)", "BBA nodes"], &rows)
-    );
+    println!("{}", render_table(&["trial", "CP (s)", "CP nodes", "BBA (s)", "BBA nodes"], &rows));
 }
 
 #[cfg(test)]

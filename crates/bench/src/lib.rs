@@ -16,7 +16,6 @@
 //! * [`util`] — timing, table rendering, run configuration.
 #![warn(missing_docs)]
 
-
 pub mod cases;
 pub mod jra;
 pub mod quality;

@@ -39,8 +39,7 @@ fn sample_trace(trace: &[(Duration, f64)], denom: f64, ticks: &[f64]) -> Vec<Str
 /// The paper runs for 50 s; the budget scales down with the instance.
 pub fn fig12(cfg: &RunConfig) {
     let budget = Duration::from_secs_f64(50.0 / cfg.scale as f64).max(Duration::from_secs(2));
-    let ticks: Vec<f64> =
-        (0..=5).map(|i| budget.as_secs_f64() * i as f64 / 5.0).collect();
+    let ticks: Vec<f64> = (0..=5).map(|i| budget.as_secs_f64() * i as f64 / 5.0).collect();
     for spec in [DB08, DM08] {
         banner(&format!(
             "Figure 12 ({}): optimality ratio during refinement (budget {budget:?})",
@@ -80,14 +79,12 @@ pub fn fig12(cfg: &RunConfig) {
         row.extend(sample_trace(&ls_out.trace, denom, &ticks));
         rows.push(row);
 
-        let headers: Vec<String> =
-            std::iter::once("method".to_string()).chain(ticks.iter().map(|t| format!("{t:.0}s"))).collect();
+        let headers: Vec<String> = std::iter::once("method".to_string())
+            .chain(ticks.iter().map(|t| format!("{t:.0}s")))
+            .collect();
         let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
         println!("{}", render_table(&header_refs, &rows));
-        println!(
-            "SRA rounds: {}, LS proposals: {}",
-            sra_out.rounds, ls_out.proposals
-        );
+        println!("SRA rounds: {}, LS proposals: {}", sra_out.rounds, ls_out.proposals);
     }
 }
 
@@ -114,10 +111,7 @@ pub fn fig16(cfg: &RunConfig) {
                 out.rounds.to_string(),
             ]);
         }
-        println!(
-            "{}",
-            render_table(&["omega", "optimality ratio", "time (s)", "rounds"], &rows)
-        );
+        println!("{}", render_table(&["omega", "optimality ratio", "time (s)", "rounds"], &rows));
     }
 }
 

@@ -43,10 +43,7 @@ fn quality_table(cfg: &RunConfig, inst: &Instance, scoring: Scoring, title: &str
         .collect();
     let mut row = vec!["optimality".to_string()];
     for (_, a) in &results {
-        row.push(format!(
-            "{:.1}%",
-            100.0 * metrics::optimality_ratio(inst, scoring, a, &ideal)
-        ));
+        row.push(format!("{:.1}%", 100.0 * metrics::optimality_ratio(inst, scoring, a, &ideal)));
     }
     rows.push(row);
     println!(

@@ -20,12 +20,7 @@ pub struct RunConfig {
 
 impl Default for RunConfig {
     fn default() -> Self {
-        Self {
-            scale: 1,
-            seed: 42,
-            solver_budget: Duration::from_secs(30),
-            trials: 5,
-        }
+        Self { scale: 1, seed: 42, solver_budget: Duration::from_secs(30), trials: 5 }
     }
 }
 
@@ -107,10 +102,7 @@ mod tests {
     fn table_renders_aligned() {
         let t = render_table(
             &["method", "time"],
-            &[
-                vec!["SDGA".into(), "5.9".into()],
-                vec!["Greedy".into(), "0.1".into()],
-            ],
+            &[vec!["SDGA".into(), "5.9".into()], vec!["Greedy".into(), "0.1".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -1,0 +1,221 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API subset the workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`], [`black_box`],
+//! [`criterion_group!`] and [`criterion_main!`] — backed by a simple
+//! wall-clock harness: each benchmark warms up, then runs timed batches
+//! until a time budget is spent, and reports the per-iteration mean and
+//! min. No statistics, plots, or baselines. Vendored because the build
+//! environment has no network access to crates.io.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f` repeatedly; the harness picks the iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and per-iteration cost estimate.
+        let warm = Instant::now();
+        black_box(f());
+        let est = warm.elapsed().max(Duration::from_nanos(1));
+        // Aim for `sample_size` samples inside the budget, ≥1 iter each.
+        let per_sample = self.budget / self.sample_size as u32;
+        let iters = (per_sample.as_nanos() / est.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        while self.samples.len() < self.sample_size && start.elapsed() < self.budget {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed() / iters as u32);
+        }
+        if self.samples.is_empty() {
+            self.samples.push(est);
+        }
+    }
+}
+
+fn run_one(label: &str, sample_size: usize, budget: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples: Vec::new(), budget, sample_size };
+    f(&mut b);
+    let n = b.samples.len().max(1);
+    let mean = b.samples.iter().sum::<Duration>() / n as u32;
+    let min = b.samples.iter().min().copied().unwrap_or(mean);
+    println!(
+        "bench {label:<56} mean {:>12} min {:>12} ({n} samples)",
+        fmt_duration(mean),
+        fmt_duration(min),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    let mut s = String::new();
+    if ns >= 1_000_000_000 {
+        let _ = write!(s, "{:.3} s", ns as f64 / 1e9);
+    } else if ns >= 1_000_000 {
+        let _ = write!(s, "{:.3} ms", ns as f64 / 1e6);
+    } else if ns >= 1_000 {
+        let _ = write!(s, "{:.3} µs", ns as f64 / 1e3);
+    } else {
+        let _ = write!(s, "{ns} ns");
+    }
+    s
+}
+
+/// Benchmark registry and runner (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    budget: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { budget: Duration::from_millis(600), sample_size: 12 }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.into().label, self.sample_size, self.budget, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            budget: self.budget,
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    budget: Duration,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Target number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget = d;
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.sample_size, self.budget, &mut f);
+        self
+    }
+
+    /// Run one parameterised benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.sample_size, self.budget, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (no-op in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier: a name, optionally with a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { label: format!("{}/{parameter}", name.into()) }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { label: s }
+    }
+}
+
+/// Declare a benchmark group function (stand-in for criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the benchmark `main` entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_reports() {
+        let mut c = Criterion { budget: Duration::from_millis(20), sample_size: 3 };
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2)
+            .bench_with_input(BenchmarkId::new("x", 4), &4, |b, &n| b.iter(|| black_box(n * 2)));
+        g.finish();
+    }
+}

@@ -1,0 +1,341 @@
+//! Value-generation strategies (no shrinking).
+
+use crate::test_runner::TestRng;
+use rand::Standard;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of values for property tests.
+///
+/// Unlike real proptest there is no value tree: `generate` samples one value
+/// and failing cases are not shrunk.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Sample one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build a dependent strategy from each generated value.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Filter generated values; exhausting the retry budget panics.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, whence, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter retry budget exhausted: {}", self.whence);
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u64, u32, u16, u8, i64, i32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),*) => {
+        impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+            type Value = ($($name::Value,)*);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)*) = self;
+                ($($name.generate(rng),)*)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// `Just`-style constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `any::<T>()` — the standard distribution of `T`.
+pub fn any<T: Standard>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Standard> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.random()
+    }
+}
+
+/// String strategies from a character-class pattern: `&str` implements
+/// `Strategy<Value = String>` for patterns built from literal characters and
+/// `[...]` classes (with `a-z` ranges), each optionally quantified by
+/// `{n}` / `{n,m}`. This covers the patterns used in this workspace (e.g.
+/// `"[a-z][a-z0-9_-]{0,10}"`); anything fancier panics loudly.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = rng.random_range(atom.min..=atom.max);
+            for _ in 0..n {
+                let i = rng.random_range(0..atom.chars.len());
+                out.push(atom.chars[i]);
+            }
+        }
+        out
+    }
+}
+
+struct Atom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let mut set = Vec::new();
+        match chars[i] {
+            '[' => {
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    // A range like `a-z`, unless `-` is the class's last char.
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        assert!(lo <= hi, "bad range in pattern {pattern}");
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in pattern {pattern}");
+                i += 1; // consume ']'
+            }
+            '\\' => {
+                assert!(i + 1 < chars.len(), "trailing escape in pattern {pattern}");
+                set.push(chars[i + 1]);
+                i += 2;
+            }
+            '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '.' => {
+                panic!("unsupported regex feature at byte {i} in pattern {pattern:?}");
+            }
+            c => {
+                set.push(c);
+                i += 1;
+            }
+        }
+        let (mut min, mut max) = (1usize, 1usize);
+        if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated quantifier in pattern {pattern}"));
+            let body: String = chars[i + 1..i + close].iter().collect();
+            match body.split_once(',') {
+                Some((lo, hi)) => {
+                    min = lo.trim().parse().expect("bad quantifier");
+                    max = hi.trim().parse().expect("bad quantifier");
+                }
+                None => {
+                    min = body.trim().parse().expect("bad quantifier");
+                    max = min;
+                }
+            }
+            i += close + 1;
+        }
+        atoms.push(Atom { chars: set, min, max });
+    }
+    atoms
+}
+
+/// Collection-size specification: a fixed length or a range of lengths.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    max_inclusive: usize,
+}
+
+impl SizeRange {
+    /// Sample a size.
+    pub fn sample(&self, rng: &mut TestRng) -> usize {
+        rng.random_range(self.min..=self.max_inclusive)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { min: n, max_inclusive: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self { min: r.start, max_inclusive: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        Self { min: *r.start(), max_inclusive: *r.end() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn range_strategies_in_bounds() {
+        let mut rng = TestRng::deterministic("range_strategies_in_bounds");
+        for _ in 0..100 {
+            let v = (1usize..5).generate(&mut rng);
+            assert!((1..5).contains(&v));
+            let f = (0.0..1.0f64).generate(&mut rng);
+            assert!((0.0..1.0).contains(&f));
+            let t = (1u32..50, 1u32..15).generate(&mut rng);
+            assert!(t.0 < 50 && t.1 < 15);
+        }
+    }
+
+    #[test]
+    fn string_pattern_matches_shape() {
+        let mut rng = TestRng::deterministic("string_pattern_matches_shape");
+        for _ in 0..50 {
+            let s = "[a-z][a-z0-9_-]{0,10}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 11);
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-'));
+        }
+    }
+
+    #[test]
+    fn vec_and_flat_map_compose() {
+        let mut rng = TestRng::deterministic("vec_and_flat_map_compose");
+        let strat = (1usize..=4).prop_flat_map(|n| {
+            crate::collection::vec(0.0..10.0f64, n * n).prop_map(move |v| (n, v))
+        });
+        for _ in 0..50 {
+            let (n, v) = strat.generate(&mut rng);
+            assert_eq!(v.len(), n * n);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Deterministic test runner state: configuration, RNG, and case outcomes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SampleRange, SeedableRng, Standard};
+
+/// Runner configuration (`proptest::test_runner::ProptestConfig` subset).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 128 }
+    }
+}
+
+/// Outcome of one sampled case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` guard failed: skip the case.
+    Reject,
+    /// `prop_assert*` failed: abort the test with a message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure outcome.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// The RNG strategies sample from. Deterministic per test name, so failures
+/// reproduce across runs without persisted seeds.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// RNG whose stream is a pure function of `name`.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the test name.
+        let mut h = 0xcbf29ce484222325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        Self { inner: StdRng::seed_from_u64(h) }
+    }
+
+    /// Draw a standard-distribution value.
+    pub fn random<T: Standard>(&mut self) -> T {
+        self.inner.random()
+    }
+
+    /// Draw uniformly from a range.
+    pub fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        self.inner.random_range(range)
+    }
+}
+
+impl Rng for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

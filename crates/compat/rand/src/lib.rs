@@ -1,0 +1,276 @@
+//! Offline stand-in for the `rand` crate (0.9-era API subset).
+//!
+//! The workspace's build environment cannot reach crates.io, so this crate
+//! vendors exactly the surface the code uses:
+//!
+//! * [`rngs::StdRng`] — a deterministic xoshiro256++ generator,
+//! * [`SeedableRng::seed_from_u64`],
+//! * [`Rng`] (the core `next_u64` trait) and [`RngExt`] with
+//!   [`RngExt::random`] / [`RngExt::random_range`].
+//!
+//! Streams are deterministic given a seed but do NOT match upstream `rand`
+//! bit-for-bit; everything in this workspace only relies on seeded
+//! self-consistency, never on a specific stream.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random source: a 64-bit generator.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types samplable uniformly from raw bits (the `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for usize {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types with a uniform sampler over an interval (`rand::distr::uniform`
+/// stand-in). A single blanket [`SampleRange`] impl per range shape keeps
+/// integer-literal inference working (`random_range(0..n)` with a `usize`
+/// context must unify the literal to `usize`).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_half_open<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+#[inline]
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, bound: u128) -> u128 {
+    assert!(bound > 0, "cannot sample from an empty range");
+    // Rejection sampling over the largest multiple of `bound`.
+    let bound64 = u64::try_from(bound).expect("range span exceeds u64");
+    let zone = u64::MAX - (u64::MAX % bound64);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return (v % bound64) as u128;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                (lo as i128 + uniform_below(rng, span) as i128) as $t
+            }
+
+            #[inline]
+            fn sample_inclusive<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + uniform_below(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_half_open<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        lo + f64::sample(rng) * (hi - lo)
+    }
+
+    #[inline]
+    fn sample_inclusive<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        lo + f64::sample(rng) * (hi - lo)
+    }
+}
+
+/// Ranges samplable by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range. Panics on empty ranges.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty range");
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "empty range");
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// A value of `T` from its standard distribution (`f64` in `[0, 1)`).
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A value uniform in `range`.
+    #[inline]
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::sample(self) < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Generators constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stand-in for `rand::rngs::StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            Self {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: f64 = rng.random();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = rng.random_range(0..5usize);
+            seen[v] = true;
+            let w = rng.random_range(10..=12u32);
+            assert!((10..=12).contains(&w));
+            let f = rng.random_range(-1.0..1.0f64);
+            assert!((-1.0..1.0).contains(&f));
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets of 0..5 should be hit");
+    }
+}

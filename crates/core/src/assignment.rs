@@ -56,10 +56,7 @@ impl Assignment {
 
     /// All `(reviewer, paper)` pairs.
     pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.groups
-            .iter()
-            .enumerate()
-            .flat_map(|(p, g)| g.iter().map(move |&r| (r, p)))
+        self.groups.iter().enumerate().flat_map(|(p, g)| g.iter().map(move |&r| (r, p)))
     }
 
     /// Per-reviewer load vector (`|A[r]|` for each reviewer).
@@ -84,16 +81,12 @@ impl Assignment {
 
     /// The objective `c(A) = Σ_p c(A[p], p)` (Definition 3).
     pub fn coverage_score(&self, inst: &Instance, scoring: Scoring) -> f64 {
-        (0..self.groups.len())
-            .map(|p| self.paper_score(inst, scoring, p))
-            .sum()
+        (0..self.groups.len()).map(|p| self.paper_score(inst, scoring, p)).sum()
     }
 
     /// Per-paper scores, in paper order.
     pub fn paper_scores(&self, inst: &Instance, scoring: Scoring) -> Vec<f64> {
-        (0..self.groups.len())
-            .map(|p| self.paper_score(inst, scoring, p))
-            .collect()
+        (0..self.groups.len()).map(|p| self.paper_score(inst, scoring, p)).collect()
     }
 
     /// Validate against an instance: exact group sizes, workload bounds, no
@@ -118,9 +111,7 @@ impl Assignment {
             sorted.sort_unstable();
             sorted.dedup();
             if sorted.len() != g.len() {
-                return Err(Error::InvalidInstance(format!(
-                    "paper {p} has a duplicate reviewer"
-                )));
+                return Err(Error::InvalidInstance(format!("paper {p} has a duplicate reviewer")));
             }
             for &r in g {
                 if r >= inst.num_reviewers() {

@@ -10,13 +10,24 @@
 //! the ILP, which is why the paper's label is kept.
 
 use crate::assignment::Assignment;
+use crate::engine::{PairMatrix, ScoreContext};
 use crate::error::{Error, Result};
 use crate::problem::Instance;
 use crate::score::Scoring;
 use wgrap_lap::flow::{MinCostFlow, COST_SCALE};
 
-/// Exactly maximise the per-pair objective subject to the WGRAP constraints.
+/// Exactly maximise the per-pair objective subject to the WGRAP constraints,
+/// with pair scores from the legacy boxed-vector path (engine reference).
 pub fn solve(inst: &Instance, scoring: Scoring) -> Result<Assignment> {
+    solve_impl(inst, &PairMatrix::from_instance(inst, scoring))
+}
+
+/// The same flow solve over a [`ScoreContext`]'s flat pair-score matrix.
+pub fn solve_ctx(ctx: &ScoreContext<'_>) -> Result<Assignment> {
+    solve_impl(ctx.instance(), ctx.pair_matrix())
+}
+
+fn solve_impl(inst: &Instance, pairs: &PairMatrix) -> Result<Assignment> {
     let (num_p, num_r) = (inst.num_papers(), inst.num_reviewers());
     if num_p == 0 {
         return Ok(Assignment::empty(0));
@@ -33,7 +44,7 @@ pub fn solve(inst: &Instance, scoring: Scoring) -> Result<Assignment> {
     let mut weights = vec![0.0; num_p * num_r];
     for p in 0..num_p {
         for r in 0..num_r {
-            let w = scoring.pair_score(inst.reviewer(r), inst.paper(p));
+            let w = pairs.get(r, p);
             weights[p * num_r + r] = w;
             shift = shift.max(w);
         }
@@ -74,9 +85,7 @@ pub fn solve(inst: &Instance, scoring: Scoring) -> Result<Assignment> {
 
 /// The pair-sum objective this baseline optimises (not the group coverage!).
 pub fn pair_objective(inst: &Instance, scoring: Scoring, a: &Assignment) -> f64 {
-    a.pairs()
-        .map(|(r, p)| scoring.pair_score(inst.reviewer(r), inst.paper(p)))
-        .sum()
+    a.pairs().map(|(r, p)| scoring.pair_score(inst.reviewer(r), inst.paper(p))).sum()
 }
 
 #[cfg(test)]

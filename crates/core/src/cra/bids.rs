@@ -19,9 +19,10 @@
 
 use super::sdga::{solve_stage_with_bonus, LapBackend};
 use crate::assignment::Assignment;
+use crate::engine::{GainProvider, GainTable, LegacyGains, ScoreContext};
 use crate::error::Result;
 use crate::problem::Instance;
-use crate::score::{RunningGroup, Scoring};
+use crate::score::Scoring;
 
 /// A reviewer's declared preference for a paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -105,14 +106,26 @@ pub fn solve_sdga(
     bids: &Bids,
     lambda: f64,
 ) -> Result<Assignment> {
+    solve_sdga_impl(inst, &mut LegacyGains::new(inst, scoring), bids, lambda)
+}
+
+/// [`solve_sdga`] over a [`ScoreContext`] (flat engine gains).
+pub fn solve_sdga_ctx(ctx: &ScoreContext<'_>, bids: &Bids, lambda: f64) -> Result<Assignment> {
+    solve_sdga_impl(ctx.instance(), &mut GainTable::new(ctx), bids, lambda)
+}
+
+fn solve_sdga_impl<P: GainProvider + Sync>(
+    inst: &Instance,
+    gains: &mut P,
+    bids: &Bids,
+    lambda: f64,
+) -> Result<Assignment> {
     assert!(lambda >= 0.0, "negative preference weights are not supported");
     let num_p = inst.num_papers();
     let mut assignment = Assignment::empty(num_p);
     if num_p == 0 {
         return Ok(assignment);
     }
-    let mut groups: Vec<RunningGroup> =
-        (0..num_p).map(|p| RunningGroup::new(scoring, inst.paper(p))).collect();
     let mut loads = vec![0usize; inst.num_reviewers()];
     let stage_cap = inst.delta_r().div_ceil(inst.delta_p());
     let bonus = move |r: usize, p: usize| lambda * bids.get(r, p).value();
@@ -121,7 +134,7 @@ pub fn solve_sdga(
         let papers: Vec<usize> = (0..num_p).collect();
         let pairs = solve_stage_with_bonus(
             inst,
-            &groups,
+            gains,
             &loads,
             &assignment,
             &papers,
@@ -131,7 +144,7 @@ pub fn solve_sdga(
         )?;
         for (r, p) in pairs {
             assignment.assign(r, p);
-            groups[p].add(inst.reviewer(r));
+            gains.add(p, r);
             loads[r] += 1;
         }
     }
@@ -201,8 +214,8 @@ mod tests {
         bids.set(1, 2, BidLevel::Yes);
         let a = solve_sdga(&inst, Scoring::WeightedCoverage, &bids, 0.3).unwrap();
         let total = combined_score(&inst, Scoring::WeightedCoverage, &bids, 0.3, &a);
-        let parts = a.coverage_score(&inst, Scoring::WeightedCoverage)
-            + 0.3 * bids.satisfaction(&a);
+        let parts =
+            a.coverage_score(&inst, Scoring::WeightedCoverage) + 0.3 * bids.satisfaction(&a);
         assert!((total - parts).abs() < 1e-12);
     }
 

@@ -13,8 +13,9 @@
 //! here naturally.
 
 use crate::assignment::Assignment;
+use crate::engine::{group_score_view, JraView, ScoreContext};
 use crate::error::{Error, Result};
-use crate::jra::{bba, JraProblem};
+use crate::jra::bba;
 use crate::problem::Instance;
 use crate::score::Scoring;
 use std::cmp::Ordering;
@@ -44,8 +45,23 @@ impl Ord for Cached {
     }
 }
 
-/// Run BRGG to a complete assignment.
+/// Run BRGG to a complete assignment on the legacy boxed-vector JRA views
+/// (the engine reference).
 pub fn solve(inst: &Instance, scoring: Scoring) -> Result<Assignment> {
+    solve_impl(inst, |p, forbidden| {
+        JraView::from_boxed(inst.paper(p), inst.reviewers(), forbidden, inst.delta_p(), scoring)
+    })
+}
+
+/// Run BRGG over a [`ScoreContext`] (flat engine JRA views).
+pub fn solve_ctx(ctx: &ScoreContext<'_>) -> Result<Assignment> {
+    solve_impl(ctx.instance(), |p, forbidden| ctx.jra_view_with_forbidden(p, forbidden))
+}
+
+fn solve_impl<'v, F>(inst: &Instance, make_view: F) -> Result<Assignment>
+where
+    F: Fn(usize, Vec<bool>) -> JraView<'v>,
+{
     let num_p = inst.num_papers();
     let mut assignment = Assignment::empty(num_p);
     let mut loads = vec![0usize; inst.num_reviewers()];
@@ -55,10 +71,8 @@ pub fn solve(inst: &Instance, scoring: Scoring) -> Result<Assignment> {
         let forbidden: Vec<bool> = (0..inst.num_reviewers())
             .map(|r| loads[r] >= inst.delta_r() || inst.is_coi(r, p))
             .collect();
-        let problem = JraProblem::from_instance(inst, p)
-            .with_scoring(scoring)
-            .with_forbidden(forbidden);
-        if problem.num_feasible() < inst.delta_p() {
+        let view = make_view(p, forbidden);
+        if view.num_feasible() < inst.delta_p() {
             return Err(Error::Infeasible(format!(
                 "paper {p}: not enough reviewers with capacity"
             )));
@@ -66,25 +80,17 @@ pub fn solve(inst: &Instance, scoring: Scoring) -> Result<Assignment> {
         // Seed BBA's bound with a greedy group: on depleted pools (mid-run,
         // every candidate mediocre) Eq. 3 prunes poorly from a cold start,
         // and BRGG re-solves JRA thousands of times.
-        let seed_group = super::ideal::greedy_group(&problem)?;
-        let seed_score = scoring.group_score(
-            seed_group.iter().map(|&r| &problem.reviewers[r]),
-            problem.paper,
-        );
-        let opts = bba::BbaOptions {
-            initial_bound: seed_score - 1e-9,
-            ..Default::default()
-        };
-        let res = bba::solve_with_options(&problem, &opts)
+        let seed_group = super::ideal::greedy_group_view(&view)?;
+        let seed_score = group_score_view(&view, &seed_group);
+        let opts = bba::BbaOptions { initial_bound: seed_score - 1e-9, ..Default::default() };
+        let res = bba::solve_view(&view, &opts)
             .ok_or_else(|| {
                 Error::Infeasible(format!("paper {p}: not enough reviewers with capacity"))
             })?
             .into_iter()
             .next();
         Ok(match res {
-            Some(r) if r.score >= seed_score => {
-                Cached { score: r.score, paper: p, group: r.group }
-            }
+            Some(r) if r.score >= seed_score => Cached { score: r.score, paper: p, group: r.group },
             // Everything pruned against the seed: the greedy group is optimal.
             _ => Cached { score: seed_score, paper: p, group: seed_group },
         })
@@ -99,10 +105,7 @@ pub fn solve(inst: &Instance, scoring: Scoring) -> Result<Assignment> {
         if assigned[top.paper] {
             continue;
         }
-        let still_available = top
-            .group
-            .iter()
-            .all(|&r| loads[r] < inst.delta_r());
+        let still_available = top.group.iter().all(|&r| loads[r] < inst.delta_r());
         if !still_available {
             match best_group(top.paper, &loads) {
                 Ok(c) => heap.push(c),
@@ -140,6 +143,7 @@ pub fn solve(inst: &Instance, scoring: Scoring) -> Result<Assignment> {
 mod tests {
     use super::*;
     use crate::cra::testutil::random_instance;
+    use crate::jra::JraProblem;
 
     #[test]
     fn produces_valid_assignments() {

@@ -97,7 +97,16 @@ pub fn solve(inst: &Instance, scoring: Scoring) -> Result<Assignment> {
                 loads[r] += 1;
             }
             groups[p] = g.clone();
-            recurse(inst, scoring, p + 1, score_so_far + rg.score(), ub_suffix, loads, groups, best);
+            recurse(
+                inst,
+                scoring,
+                p + 1,
+                score_so_far + rg.score(),
+                ub_suffix,
+                loads,
+                groups,
+                best,
+            );
             for &r in &g {
                 loads[r] -= 1;
             }
@@ -165,9 +174,7 @@ mod tests {
         let opt = solve(&inst, Scoring::WeightedCoverage).unwrap();
         let problem = crate::jra::JraProblem::from_instance(&inst, 0);
         let jra = crate::jra::bba::solve(&problem).unwrap();
-        assert!(
-            (opt.coverage_score(&inst, Scoring::WeightedCoverage) - jra.score).abs() < 1e-9
-        );
+        assert!((opt.coverage_score(&inst, Scoring::WeightedCoverage) - jra.score).abs() < 1e-9);
     }
 
     #[test]

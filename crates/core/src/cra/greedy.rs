@@ -11,72 +11,47 @@
 
 use super::pair_feasible;
 use crate::assignment::Assignment;
+use crate::engine::celf::CelfQueue;
+use crate::engine::{GainProvider, GainTable, LegacyGains, ScoreContext};
 use crate::error::{Error, Result};
 use crate::problem::Instance;
-use crate::score::{RunningGroup, Scoring};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use crate::score::Scoring;
 
-#[derive(Debug)]
-struct HeapPair {
-    gain: f64,
-    reviewer: u32,
-    paper: u32,
-    /// Group version of `paper` when `gain` was computed.
-    stamp: u32,
-}
-
-impl PartialEq for HeapPair {
-    fn eq(&self, other: &Self) -> bool {
-        self.gain == other.gain
-    }
-}
-impl Eq for HeapPair {}
-impl PartialOrd for HeapPair {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapPair {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Deterministic tie-breaking (lowest reviewer, then lowest paper):
-        // equal gains are common once groups saturate their papers' topics,
-        // and which zero-gain pair goes first changes reviewer loads and
-        // hence later picks.
-        self.gain
-            .total_cmp(&other.gain)
-            .then(other.reviewer.cmp(&self.reviewer))
-            .then(other.paper.cmp(&self.paper))
-    }
-}
-
-/// Run the greedy algorithm to a complete assignment.
+/// Run the greedy algorithm on the legacy boxed-vector gain path (the
+/// engine reference).
 pub fn solve(inst: &Instance, scoring: Scoring) -> Result<Assignment> {
+    solve_impl(inst, &mut LegacyGains::new(inst, scoring))
+}
+
+/// Run the greedy algorithm over a [`ScoreContext`] (flat engine gains).
+pub fn solve_ctx(ctx: &ScoreContext<'_>) -> Result<Assignment> {
+    solve_impl(ctx.instance(), &mut GainTable::new(ctx))
+}
+
+fn solve_impl<P: GainProvider>(inst: &Instance, gains: &mut P) -> Result<Assignment> {
     let (num_p, num_r) = (inst.num_papers(), inst.num_reviewers());
     let mut assignment = Assignment::empty(num_p);
     if num_p == 0 {
         return Ok(assignment);
     }
 
-    let mut groups: Vec<RunningGroup> =
-        (0..num_p).map(|p| RunningGroup::new(scoring, inst.paper(p))).collect();
     let mut loads = vec![0usize; num_r];
-    let mut versions = vec![0u32; num_p];
     let mut remaining = num_p * inst.delta_p();
 
-    let mut heap = BinaryHeap::with_capacity(num_p * num_r);
+    let mut heap = CelfQueue::with_capacity(num_p * num_r);
+    let mut row = vec![0.0f64; num_r];
     for p in 0..num_p {
-        for r in 0..num_r {
+        // Row kernel rather than per-pair scalar calls: the initial fill is
+        // the single largest gain sweep the algorithm does (P·R pairs).
+        gains.gains_into(p, &mut row);
+        let version = gains.version(p);
+        for (r, &g) in row.iter().enumerate() {
             if !inst.is_coi(r, p) {
-                heap.push(HeapPair {
-                    gain: groups[p].gain(inst.reviewer(r)),
-                    reviewer: r as u32,
-                    paper: p as u32,
-                    stamp: 0,
-                });
+                heap.push(g, r, p, version);
             }
         }
     }
+    drop(row);
 
     while remaining > 0 {
         let Some(top) = heap.pop() else {
@@ -94,21 +69,11 @@ pub fn solve(inst: &Instance, scoring: Scoring) -> Result<Assignment> {
                 // The repair may have edited other groups: rebuild all
                 // incremental state so future gains stay exact.
                 for q in 0..num_p {
-                    let mut rg = RunningGroup::new(scoring, inst.paper(q));
-                    for &r in assignment.group(q) {
-                        rg.add(inst.reviewer(r));
-                    }
-                    groups[q] = rg;
-                    versions[q] += 1;
+                    gains.rebuild(q, assignment.group(q));
                 }
                 for r in 0..num_r {
                     if pair_feasible(inst, assignment.group(p), &loads, r, p) {
-                        heap.push(HeapPair {
-                            gain: groups[p].gain(inst.reviewer(r)),
-                            reviewer: r as u32,
-                            paper: p as u32,
-                            stamp: versions[p],
-                        });
+                        heap.push(gains.gain(p, r), r, p, gains.version(p));
                         progressed = true;
                     }
                 }
@@ -126,20 +91,19 @@ pub fn solve(inst: &Instance, scoring: Scoring) -> Result<Assignment> {
         {
             continue;
         }
-        if top.stamp != versions[p] {
+        if top.stamp != gains.version(p) {
             // Stale: the group of p changed since this gain was computed.
-            heap.push(HeapPair {
-                gain: groups[p].gain(inst.reviewer(r)),
-                reviewer: top.reviewer,
-                paper: top.paper,
-                stamp: versions[p],
-            });
+            // While groups only grow, submodularity makes the cached value
+            // an upper bound, so re-scoring just the popped entry (CELF) is
+            // exact. A capacity repair can *shrink* a group, after which
+            // stale entries may under-estimate — same heuristic behaviour
+            // as the seed; see `CelfQueue`'s docs.
+            heap.push(gains.gain(p, r), r, p, gains.version(p));
             continue;
         }
         assignment.assign(r, p);
-        groups[p].add(inst.reviewer(r));
+        gains.add(p, r);
         loads[r] += 1;
-        versions[p] += 1;
         remaining -= 1;
     }
 
@@ -150,6 +114,7 @@ pub fn solve(inst: &Instance, scoring: Scoring) -> Result<Assignment> {
 mod tests {
     use super::*;
     use crate::cra::testutil::random_instance;
+    use crate::score::RunningGroup;
     use crate::topic::TopicVector;
 
     fn tv(v: &[f64]) -> TopicVector {
@@ -188,8 +153,7 @@ mod tests {
                         if pair_feasible(inst, a.group(p), &loads, r, p) {
                             let g = rg.gain(inst.reviewer(r));
                             let better = g > best.0
-                                || (g == best.0
-                                    && (r < best.1 || (r == best.1 && p < best.2)));
+                                || (g == best.0 && (r < best.1 || (r == best.1 && p < best.2)));
                             if better {
                                 best = (g, r, p);
                             }
@@ -210,10 +174,7 @@ mod tests {
             let slow = naive(&inst, Scoring::WeightedCoverage);
             // Tie-breaking may differ, but total greedy value must agree
             // whenever gains are distinct; allow tiny slack for ties.
-            assert!(
-                (fast - slow).abs() < 1e-9,
-                "seed={seed}: lazy={fast} naive={slow}"
-            );
+            assert!((fast - slow).abs() < 1e-9, "seed={seed}: lazy={fast} naive={slow}");
         }
     }
 
@@ -234,13 +195,9 @@ mod tests {
 
     #[test]
     fn starved_instance_errors() {
-        let mut inst = Instance::new(
-            vec![tv(&[1.0, 0.0])],
-            vec![tv(&[0.5, 0.5]), tv(&[0.2, 0.8])],
-            2,
-            1,
-        )
-        .unwrap();
+        let mut inst =
+            Instance::new(vec![tv(&[1.0, 0.0])], vec![tv(&[0.5, 0.5]), tv(&[0.2, 0.8])], 2, 1)
+                .unwrap();
         inst.add_coi(0, 0);
         let e = solve(&inst, Scoring::WeightedCoverage);
         assert!(matches!(e, Err(Error::Infeasible(_))));
@@ -262,8 +219,6 @@ mod tests {
             chosen[best_r] = true;
             rg.add(inst.reviewer(best_r));
         }
-        assert!(
-            (a.coverage_score(&inst, Scoring::WeightedCoverage) - rg.score()).abs() < 1e-9
-        );
+        assert!((a.coverage_score(&inst, Scoring::WeightedCoverage) - rg.score()).abs() < 1e-9);
     }
 }

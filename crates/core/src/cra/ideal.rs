@@ -10,7 +10,7 @@ use crate::assignment::Assignment;
 use crate::error::{Error, Result};
 use crate::jra::{bba, JraProblem};
 use crate::problem::Instance;
-use crate::score::{RunningGroup, Scoring};
+use crate::score::Scoring;
 
 /// How each paper's workload-free best group is computed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -45,20 +45,27 @@ pub fn ideal_assignment(inst: &Instance, scoring: Scoring, mode: IdealMode) -> R
 }
 
 pub(crate) fn greedy_group(problem: &JraProblem<'_>) -> Result<Vec<usize>> {
-    if problem.num_feasible() < problem.delta_p {
+    greedy_group_view(&problem.view())
+}
+
+/// Greedy max-marginal-gain group over any [`JraView`] (shared by the
+/// legacy and [`ScoreContext`](crate::engine::ScoreContext) paths of BRGG's
+/// BBA seeding).
+pub(crate) fn greedy_group_view(view: &crate::engine::JraView<'_>) -> Result<Vec<usize>> {
+    if view.num_feasible() < view.delta_p {
         return Err(Error::Infeasible("too few candidates".into()));
     }
-    let mut rg = RunningGroup::new(problem.scoring, problem.paper);
-    let mut chosen = Vec::with_capacity(problem.delta_p);
-    let mut used = problem.forbidden.clone();
-    for _ in 0..problem.delta_p {
-        let (best, _) = (0..problem.reviewers.len())
+    let mut pg = crate::engine::PaperGain::new(view);
+    let mut chosen = Vec::with_capacity(view.delta_p);
+    let mut used = view.forbidden.clone();
+    for _ in 0..view.delta_p {
+        let (best, _) = (0..view.num_reviewers())
             .filter(|&r| !used[r])
-            .map(|r| (r, rg.gain(&problem.reviewers[r])))
+            .map(|r| (r, pg.gain(view, r)))
             .max_by(|a, b| a.1.total_cmp(&b.1))
             .expect("feasible count checked above");
         used[best] = true;
-        rg.add(&problem.reviewers[best]);
+        pg.add(view, best);
         chosen.push(best);
     }
     chosen.sort_unstable();

@@ -102,12 +102,7 @@ pub fn refine(
 
 /// Exchange reviewers between two random papers; returns the improvement
 /// (0.0 when rejected).
-fn try_swap(
-    inst: &Instance,
-    scoring: Scoring,
-    a: &mut Assignment,
-    rng: &mut StdRng,
-) -> f64 {
+fn try_swap(inst: &Instance, scoring: Scoring, a: &mut Assignment, rng: &mut StdRng) -> f64 {
     let num_p = inst.num_papers();
     let p1 = rng.random_range(0..num_p);
     let p2 = rng.random_range(0..num_p);
@@ -125,14 +120,13 @@ fn try_swap(
     {
         return 0.0;
     }
-    let before = paper_score(inst, scoring, a.group(p1), p1)
-        + paper_score(inst, scoring, a.group(p2), p2);
+    let before =
+        paper_score(inst, scoring, a.group(p1), p1) + paper_score(inst, scoring, a.group(p2), p2);
     let mut g1 = a.group(p1).to_vec();
     let mut g2 = a.group(p2).to_vec();
     g1[i1] = r2;
     g2[i2] = r1;
-    let after =
-        paper_score(inst, scoring, &g1, p1) + paper_score(inst, scoring, &g2, p2);
+    let after = paper_score(inst, scoring, &g1, p1) + paper_score(inst, scoring, &g2, p2);
     if after > before + 1e-12 {
         a.group_mut(p1)[i1] = r2;
         a.group_mut(p2)[i2] = r1;
@@ -182,8 +176,8 @@ fn try_replace(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cra::testutil::random_instance;
     use crate::cra::sdga;
+    use crate::cra::testutil::random_instance;
 
     #[test]
     fn never_worse_and_stays_valid() {

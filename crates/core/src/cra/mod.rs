@@ -85,9 +85,19 @@ impl CraAlgorithm {
         }
     }
 
-    /// Run the algorithm with its default parameters. `seed` feeds the
+    /// Run the algorithm with its default parameters through the engine
+    /// ([`Solver`](crate::engine::Solver) dispatch over a fresh
+    /// [`ScoreContext`](crate::engine::ScoreContext)). `seed` feeds the
     /// stochastic refinement (ignored by deterministic methods).
     pub fn run(self, inst: &Instance, scoring: Scoring, seed: u64) -> Result<Assignment> {
+        let ctx = crate::engine::ScoreContext::new(inst, scoring).with_seed(seed);
+        self.solver().solve(&ctx)
+    }
+
+    /// Run the algorithm on the legacy boxed-vector scoring path — the
+    /// reference implementation the engine is proptested against
+    /// (bit-identical assignments).
+    pub fn run_legacy(self, inst: &Instance, scoring: Scoring, seed: u64) -> Result<Assignment> {
         match self {
             CraAlgorithm::StableMatching => stable_matching::solve(inst, scoring),
             CraAlgorithm::ArapIlp => arap_ilp::solve(inst, scoring),
@@ -130,6 +140,16 @@ pub(crate) fn repair_capacity(
     paper: usize,
     need: usize,
 ) -> Result<()> {
+    // Reviewer → committed papers index, maintained across swap iterations.
+    // The seed version rescanned every group for every candidate reviewer
+    // (O(R·P·δp) per freed unit); the index makes each swap probe touch only
+    // the papers the reviewer actually serves.
+    let mut rev_papers: Vec<Vec<usize>> = vec![Vec::new(); inst.num_reviewers()];
+    for q in 0..inst.num_papers() {
+        for &r in assignment.group(q) {
+            rev_papers[r].push(q);
+        }
+    }
     loop {
         let usable = (0..inst.num_reviewers())
             .filter(|&r| {
@@ -149,13 +169,16 @@ pub(crate) fn repair_capacity(
             {
                 continue; // only saturated reviewers usable by `paper` help
             }
-            for q in 0..inst.num_papers() {
+            for qi in 0..rev_papers[r].len() {
+                let q = rev_papers[r][qi];
                 if q == paper {
                     continue;
                 }
-                let Some(pos) = assignment.group(q).iter().position(|&x| x == r) else {
-                    continue;
-                };
+                let pos = assignment
+                    .group(q)
+                    .iter()
+                    .position(|&x| x == r)
+                    .expect("reviewer->papers index out of sync with assignment");
                 // Substitute r with a reviewer that has spare capacity. The
                 // substitute must not itself drop out of `paper`'s usable
                 // set by saturating (unless it was never usable), otherwise
@@ -172,6 +195,8 @@ pub(crate) fn repair_capacity(
                     assignment.group_mut(q)[pos] = r2;
                     loads[r] -= 1;
                     loads[r2] += 1;
+                    rev_papers[r].remove(qi);
+                    rev_papers[r2].push(q);
                     freed = true;
                     break 'outer;
                 }

@@ -17,9 +17,10 @@
 //! slot columns. Their equality is an ablation bench (`benches/lap.rs`).
 
 use crate::assignment::Assignment;
+use crate::engine::{par, GainProvider, GainTable, LegacyGains, ScoreContext};
 use crate::error::{Error, Result};
 use crate::problem::Instance;
-use crate::score::{RunningGroup, Scoring};
+use crate::score::Scoring;
 use wgrap_lap::{hungarian_max, CapacitatedAssignment, CostMatrix};
 
 /// Which linear-assignment solver runs each stage.
@@ -52,10 +53,29 @@ pub fn solve(inst: &Instance, scoring: Scoring) -> Result<Assignment> {
     solve_with_backend(inst, scoring, LapBackend::Flow)
 }
 
-/// Run SDGA with an explicit LAP backend.
+/// Run SDGA with an explicit LAP backend, on the legacy boxed-vector gain
+/// path (the engine reference).
 pub fn solve_with_backend(
     inst: &Instance,
     scoring: Scoring,
+    backend: LapBackend,
+) -> Result<Assignment> {
+    solve_impl(inst, &mut LegacyGains::new(inst, scoring), backend)
+}
+
+/// Run SDGA over a [`ScoreContext`] (flat engine gains, default backend).
+pub fn solve_ctx(ctx: &ScoreContext<'_>) -> Result<Assignment> {
+    solve_ctx_with_backend(ctx, LapBackend::Flow)
+}
+
+/// Run SDGA over a [`ScoreContext`] with an explicit LAP backend.
+pub fn solve_ctx_with_backend(ctx: &ScoreContext<'_>, backend: LapBackend) -> Result<Assignment> {
+    solve_impl(ctx.instance(), &mut GainTable::new(ctx), backend)
+}
+
+fn solve_impl<P: GainProvider + Sync>(
+    inst: &Instance,
+    gains: &mut P,
     backend: LapBackend,
 ) -> Result<Assignment> {
     let num_p = inst.num_papers();
@@ -63,17 +83,15 @@ pub fn solve_with_backend(
     if num_p == 0 {
         return Ok(assignment);
     }
-    let mut groups: Vec<RunningGroup> =
-        (0..num_p).map(|p| RunningGroup::new(scoring, inst.paper(p))).collect();
     let mut loads = vec![0usize; inst.num_reviewers()];
     let stage_cap = inst.delta_r().div_ceil(inst.delta_p());
 
     for _stage in 0..inst.delta_p() {
         let papers: Vec<usize> = (0..num_p).collect();
-        let pairs = solve_stage(inst, &groups, &loads, &assignment, &papers, stage_cap, backend)?;
+        let pairs = solve_stage(inst, gains, &loads, &assignment, &papers, stage_cap, backend)?;
         for (r, p) in pairs {
             assignment.assign(r, p);
-            groups[p].add(inst.reviewer(r));
+            gains.add(p, r);
             loads[r] += 1;
         }
     }
@@ -87,59 +105,64 @@ pub fn solve_with_backend(
 /// Shared with the stochastic refinement (§4.4), whose refill step "can be
 /// completed by a linear assignment (similarly to the process at the last
 /// stage of SDGA)".
-pub(crate) fn solve_stage(
+pub(crate) fn solve_stage<P: GainProvider + Sync>(
     inst: &Instance,
-    groups: &[RunningGroup],
+    gains: &P,
     loads: &[usize],
     assignment: &Assignment,
     papers: &[usize],
     stage_cap: usize,
     backend: LapBackend,
 ) -> Result<Vec<(usize, usize)>> {
-    solve_stage_with_bonus(inst, groups, loads, assignment, papers, stage_cap, backend, &|_, _| {
-        0.0
-    })
+    solve_stage_with_bonus(inst, gains, loads, assignment, papers, stage_cap, backend, &|_, _| 0.0)
 }
 
 /// [`solve_stage`] with an additive per-pair bonus on every marginal gain.
 /// A *modular* bonus (constant per `(reviewer, paper)` pair) keeps the
 /// combined objective submodular, so the SDGA guarantee carries over — this
 /// is how the bid-aware extension of [`super::bids`] plugs in.
+///
+/// The cost matrix is built one paper-row at a time; rows are independent
+/// and written positionally, so with the `rayon` feature they build in
+/// parallel with bit-identical output.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn solve_stage_with_bonus(
+pub(crate) fn solve_stage_with_bonus<P: GainProvider + Sync>(
     inst: &Instance,
-    groups: &[RunningGroup],
+    gains: &P,
     loads: &[usize],
     assignment: &Assignment,
     papers: &[usize],
     stage_cap: usize,
     backend: LapBackend,
-    bonus: &dyn Fn(usize, usize) -> f64,
+    bonus: &(dyn Fn(usize, usize) -> f64 + Sync),
 ) -> Result<Vec<(usize, usize)>> {
     let num_r = inst.num_reviewers();
-    let weights = CostMatrix::from_fn(papers.len(), num_r, |i, r| {
+    let rows = par::map_indexed(papers.len(), |i| {
         let p = papers[i];
-        if loads[r] >= inst.delta_r() || inst.is_coi(r, p) || assignment.group(p).contains(&r) {
-            f64::NEG_INFINITY
-        } else {
-            groups[p].gain(inst.reviewer(r)) + bonus(r, p)
+        let mut row = vec![0.0f64; num_r];
+        gains.gains_into(p, &mut row);
+        for (r, w) in row.iter_mut().enumerate() {
+            if loads[r] >= inst.delta_r() || inst.is_coi(r, p) || assignment.group(p).contains(&r) {
+                *w = f64::NEG_INFINITY;
+            } else {
+                *w += bonus(r, p);
+            }
         }
+        row
     });
-    let mut caps: Vec<i64> = (0..num_r)
-        .map(|r| stage_cap.min(inst.delta_r().saturating_sub(loads[r])) as i64)
-        .collect();
+    let weights = CostMatrix::from_flat(papers.len(), num_r, rows.concat());
+    let mut caps: Vec<i64> =
+        (0..num_r).map(|r| stage_cap.min(inst.delta_r().saturating_sub(loads[r])) as i64).collect();
     // When δr is not divisible by δp, earlier stages can skew the load
     // profile so the capped slot total falls short of P (the Lemma 3
     // confinement only provably works out in the integral case; §4.3.2
     // derives the general-case ratio ignoring the last stage anyway).
     // Relax the per-stage cap toward the remaining global workload, most
     // slack first, until every paper can be placed.
-    let mut deficit =
-        papers.len() as i64 - caps.iter().sum::<i64>();
+    let mut deficit = papers.len() as i64 - caps.iter().sum::<i64>();
     if deficit > 0 {
         let mut order: Vec<usize> = (0..num_r).collect();
-        let headroom =
-            |r: usize, caps: &[i64]| inst.delta_r() as i64 - loads[r] as i64 - caps[r];
+        let headroom = |r: usize, caps: &[i64]| inst.delta_r() as i64 - loads[r] as i64 - caps[r];
         order.sort_by_key(|&r| std::cmp::Reverse(headroom(r, &caps)));
         'relax: loop {
             let mut progressed = false;
@@ -188,15 +211,10 @@ fn hungarian_slots(weights: &CostMatrix, caps: &[i64]) -> Vec<Option<usize>> {
             slot_owner.push(r);
         }
     }
-    let expanded = CostMatrix::from_fn(weights.rows(), slot_owner.len(), |i, s| {
-        weights.get(i, slot_owner[s])
-    });
+    let expanded =
+        CostMatrix::from_fn(weights.rows(), slot_owner.len(), |i, s| weights.get(i, slot_owner[s]));
     match hungarian_max(&expanded) {
-        Some(sol) => sol
-            .row_to_col
-            .into_iter()
-            .map(|c| c.map(|s| slot_owner[s]))
-            .collect(),
+        Some(sol) => sol.row_to_col.into_iter().map(|c| c.map(|s| slot_owner[s])).collect(),
         None => vec![None; weights.rows()],
     }
 }
@@ -241,10 +259,9 @@ mod tests {
             let flow = solve_with_backend(&inst, Scoring::WeightedCoverage, LapBackend::Flow)
                 .unwrap()
                 .coverage_score(&inst, Scoring::WeightedCoverage);
-            let hung =
-                solve_with_backend(&inst, Scoring::WeightedCoverage, LapBackend::Hungarian)
-                    .unwrap()
-                    .coverage_score(&inst, Scoring::WeightedCoverage);
+            let hung = solve_with_backend(&inst, Scoring::WeightedCoverage, LapBackend::Hungarian)
+                .unwrap()
+                .coverage_score(&inst, Scoring::WeightedCoverage);
             // Stage optima are equal; accumulated groups may differ on ties,
             // so compare with modest slack.
             assert!((flow - hung).abs() < 1e-6, "seed={seed}: {flow} vs {hung}");
@@ -256,16 +273,8 @@ mod tests {
     /// of r1's workload so topic t3 of p1 stays coverable.
     #[test]
     fn stage_confinement_example() {
-        let reviewers = vec![
-            tv(&[0.1, 0.5, 0.4]),
-            tv(&[1.0, 0.0, 0.0]),
-            tv(&[0.0, 1.0, 0.0]),
-        ];
-        let papers = vec![
-            tv(&[0.6, 0.0, 0.4]),
-            tv(&[0.5, 0.5, 0.0]),
-            tv(&[0.5, 0.5, 0.0]),
-        ];
+        let reviewers = vec![tv(&[0.1, 0.5, 0.4]), tv(&[1.0, 0.0, 0.0]), tv(&[0.0, 1.0, 0.0])];
+        let papers = vec![tv(&[0.6, 0.0, 0.4]), tv(&[0.5, 0.5, 0.0]), tv(&[0.5, 0.5, 0.0])];
         let inst = Instance::new(papers, reviewers, 2, 2).unwrap();
         let a = solve(&inst, Scoring::WeightedCoverage).unwrap();
         a.validate(&inst).unwrap();

@@ -14,8 +14,9 @@
 
 use super::sdga::{solve_stage, LapBackend};
 use crate::assignment::Assignment;
+use crate::engine::{par, GainProvider, GainTable, LegacyGains, ScoreContext};
 use crate::problem::Instance;
-use crate::score::{RunningGroup, Scoring};
+use crate::score::Scoring;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::time::{Duration, Instant};
@@ -48,6 +49,10 @@ pub struct SraOptions {
     pub seed: u64,
     /// LAP backend for the refill stage.
     pub backend: LapBackend,
+    /// Independent refinement chains to run, seeded `seed + t`; the best
+    /// outcome wins (ties to the lowest chain index, so the reduction is
+    /// deterministic). With the `rayon` feature the chains run in parallel.
+    pub trials: usize,
 }
 
 impl Default for SraOptions {
@@ -60,6 +65,7 @@ impl Default for SraOptions {
             max_rounds: 10_000,
             seed: 0,
             backend: LapBackend::Flow,
+            trials: 1,
         }
     }
 }
@@ -78,40 +84,80 @@ pub struct SraOutcome {
     pub trace: Vec<(Duration, f64)>,
 }
 
-/// Refine `initial` (typically an SDGA result). The search walks through
-/// possibly-worse intermediate assignments — that is what lets it escape the
-/// local maxima that plain local search gets stuck in (Figure 12) — but the
-/// returned assignment is the best one seen.
+/// Refine `initial` (typically an SDGA result) on the legacy boxed-vector
+/// gain path. The search walks through possibly-worse intermediate
+/// assignments — that is what lets it escape the local maxima that plain
+/// local search gets stuck in (Figure 12) — but the returned assignment is
+/// the best one seen. With `opts.trials > 1`, independent chains run (in
+/// parallel under the `rayon` feature) and the best one wins.
 pub fn refine(
     inst: &Instance,
     scoring: Scoring,
     initial: Assignment,
     opts: &SraOptions,
 ) -> SraOutcome {
+    refine_trials(opts, |o| {
+        refine_impl(inst, &mut LegacyGains::new(inst, scoring), initial.clone(), o)
+    })
+}
+
+/// Refine over a [`ScoreContext`] (flat engine gains): the engine
+/// counterpart of [`refine`], bit-identical given the same options.
+pub fn refine_ctx(ctx: &ScoreContext<'_>, initial: Assignment, opts: &SraOptions) -> SraOutcome {
+    refine_trials(opts, |o| {
+        refine_impl(ctx.instance(), &mut GainTable::new(ctx), initial.clone(), o)
+    })
+}
+
+/// Fan out `opts.trials` independent chains (seeds `seed + t`) and keep the
+/// best outcome; ties go to the lowest trial index, so the reduction order
+/// is deterministic regardless of thread scheduling.
+fn refine_trials(opts: &SraOptions, run: impl Fn(&SraOptions) -> SraOutcome + Sync) -> SraOutcome {
+    let trials = opts.trials.max(1);
+    if trials == 1 {
+        return run(opts);
+    }
+    let outcomes = par::map_indexed(trials, |t| {
+        run(&SraOptions { seed: opts.seed.wrapping_add(t as u64), ..opts.clone() })
+    });
+    outcomes
+        .into_iter()
+        .reduce(|best, cand| if cand.score > best.score { cand } else { best })
+        .expect("trials >= 1")
+}
+
+fn refine_impl<P: GainProvider + Sync>(
+    inst: &Instance,
+    gains: &mut P,
+    initial: Assignment,
+    opts: &SraOptions,
+) -> SraOutcome {
     let start = Instant::now();
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let (num_p, num_r) = (inst.num_papers(), inst.num_reviewers());
+    let scoring_score = |gains: &mut P, a: &Assignment| -> f64 {
+        (0..num_p)
+            .map(|p| {
+                gains.rebuild(p, a.group(p));
+                gains.score(p)
+            })
+            .sum()
+    };
 
     let mut current = initial;
     let mut best = current.clone();
-    let mut best_score = best.coverage_score(inst, scoring);
+    let mut best_score = scoring_score(gains, &best);
     let mut trace = vec![(start.elapsed(), best_score)];
     if num_p == 0 || inst.delta_p() == 0 {
         return SraOutcome { assignment: best, score: best_score, rounds: 0, trace };
     }
 
     // Pairwise coverage c(r, p) and each reviewer's mass Σ_{p'} c(r, p')
-    // (Algorithm 3 lines 1-2; O(P·R·T) once).
-    let pair_cov: Vec<Vec<f64>> = (0..num_p)
-        .map(|p| {
-            (0..num_r)
-                .map(|r| scoring.pair_score(inst.reviewer(r), inst.paper(p)))
-                .collect()
-        })
-        .collect();
+    // (Algorithm 3 lines 1-2; O(P·R·T) once, row-parallel under `rayon`).
+    let pair_cov = gains.pair_matrix();
     let mut reviewer_mass = vec![0.0f64; num_r];
-    for row in &pair_cov {
-        for (r, &c) in row.iter().enumerate() {
+    for p in 0..num_p {
+        for (r, &c) in pair_cov.paper_row(p).iter().enumerate() {
             reviewer_mass[r] += c;
         }
     }
@@ -141,7 +187,7 @@ pub fn refine(
                     RemovalModel::Uniform => 1.0 / num_r as f64,
                     RemovalModel::Coverage => {
                         let rel = if reviewer_mass[r] > 0.0 {
-                            pair_cov[p][r] / reviewer_mass[r]
+                            pair_cov.get(r, p) / reviewer_mass[r]
                         } else {
                             0.0
                         };
@@ -150,10 +196,8 @@ pub fn refine(
                 }
             };
             let z: f64 = (0..num_r).map(u).sum();
-            let removal_weight: Vec<f64> = group
-                .iter()
-                .map(|&r| (1.0 - u(r) / z).max(1e-12))
-                .collect();
+            let removal_weight: Vec<f64> =
+                group.iter().map(|&r| (1.0 - u(r) / z).max(1e-12)).collect();
             let total: f64 = removal_weight.iter().sum();
             let mut pick = rng.random::<f64>() * total;
             let mut idx = group.len() - 1;
@@ -170,17 +214,11 @@ pub fn refine(
 
         // Refill step: one Stage-WGRAP over all papers; per-reviewer cap is
         // the remaining global workload (this is the "last stage of SDGA").
-        let groups: Vec<RunningGroup> = (0..num_p)
-            .map(|p| {
-                let mut rg = RunningGroup::new(scoring, inst.paper(p));
-                for &r in current.group(p) {
-                    rg.add(inst.reviewer(r));
-                }
-                rg
-            })
-            .collect();
+        for p in 0..num_p {
+            gains.rebuild(p, current.group(p));
+        }
         let papers: Vec<usize> = (0..num_p).collect();
-        match solve_stage(inst, &groups, &loads, &current, &papers, inst.delta_r(), opts.backend) {
+        match solve_stage(inst, gains, &loads, &current, &papers, inst.delta_r(), opts.backend) {
             Ok(pairs) => {
                 for (r, p) in pairs {
                     current.assign(r, p);
@@ -193,7 +231,7 @@ pub fn refine(
             }
         }
 
-        let score = current.coverage_score(inst, scoring);
+        let score = scoring_score(gains, &current);
         if score > best_score + 1e-12 {
             best_score = score;
             best = current.clone();
@@ -223,10 +261,10 @@ mod tests {
             let out = refine(&inst, Scoring::WeightedCoverage, initial, &opts);
             assert!(out.score >= before - 1e-12);
             out.assignment.validate(&inst).unwrap();
-            assert!((out.assignment.coverage_score(&inst, Scoring::WeightedCoverage)
-                - out.score)
-                .abs()
-                < 1e-9);
+            assert!(
+                (out.assignment.coverage_score(&inst, Scoring::WeightedCoverage) - out.score).abs()
+                    < 1e-9
+            );
         }
     }
 
@@ -282,11 +320,7 @@ mod tests {
     fn uniform_model_runs() {
         let inst = random_instance(6, 5, 4, 2, 9);
         let initial = sdga::solve(&inst, Scoring::WeightedCoverage).unwrap();
-        let opts = SraOptions {
-            omega: 4,
-            model: RemovalModel::Uniform,
-            ..Default::default()
-        };
+        let opts = SraOptions { omega: 4, model: RemovalModel::Uniform, ..Default::default() };
         let out = refine(&inst, Scoring::WeightedCoverage, initial, &opts);
         out.assignment.validate(&inst).unwrap();
     }

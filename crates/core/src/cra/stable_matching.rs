@@ -11,25 +11,32 @@
 //! capacity already serve the paper; a greedy completion pass fills those.
 
 use crate::assignment::Assignment;
+use crate::engine::{PairMatrix, ScoreContext};
 use crate::error::{Error, Result};
 use crate::problem::Instance;
 use crate::score::Scoring;
 use std::collections::VecDeque;
 
-/// Run paper-proposing deferred acceptance, then complete any stranded slots.
+/// Run paper-proposing deferred acceptance on the legacy boxed-vector pair
+/// scores (the engine reference), then complete any stranded slots.
 pub fn solve(inst: &Instance, scoring: Scoring) -> Result<Assignment> {
+    solve_impl(inst, &PairMatrix::from_instance(inst, scoring))
+}
+
+/// Deferred acceptance over a [`ScoreContext`]'s flat pair-score matrix.
+pub fn solve_ctx(ctx: &ScoreContext<'_>) -> Result<Assignment> {
+    solve_impl(ctx.instance(), ctx.pair_matrix())
+}
+
+fn solve_impl(inst: &Instance, pair: &PairMatrix) -> Result<Assignment> {
     let (num_p, num_r) = (inst.num_papers(), inst.num_reviewers());
     // Preference lists: reviewers by descending pair score (COI excluded).
     let mut prefs: Vec<Vec<usize>> = Vec::with_capacity(num_p);
-    let mut pair: Vec<Vec<f64>> = Vec::with_capacity(num_p);
     for p in 0..num_p {
-        let scores: Vec<f64> = (0..num_r)
-            .map(|r| scoring.pair_score(inst.reviewer(r), inst.paper(p)))
-            .collect();
+        let scores = pair.paper_row(p);
         let mut order: Vec<usize> = (0..num_r).filter(|&r| !inst.is_coi(r, p)).collect();
         order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
         prefs.push(order);
-        pair.push(scores);
     }
 
     // held[r] = papers currently accepted by reviewer r.
@@ -55,9 +62,9 @@ pub fn solve(inst: &Instance, scoring: Scoring) -> Result<Assignment> {
                     .iter()
                     .copied()
                     .enumerate()
-                    .min_by(|a, b| pair[a.1][r].total_cmp(&pair[b.1][r]))
+                    .min_by(|a, b| pair.get(r, a.1).total_cmp(&pair.get(r, b.1)))
                     .expect("reviewer at capacity holds at least one paper");
-                if pair[p][r] > pair[worst_p][r] {
+                if pair.get(r, p) > pair.get(r, worst_p) {
                     held[r][worst_idx] = p;
                     missing[p] -= 1;
                     missing[worst_p] += 1;
@@ -87,7 +94,7 @@ pub fn solve(inst: &Instance, scoring: Scoring) -> Result<Assignment> {
                         && !assignment.group(p).contains(&r)
                         && !inst.is_coi(r, p)
                 })
-                .max_by(|&a, &b| pair[p][a].total_cmp(&pair[p][b]));
+                .max_by(|&a, &b| pair.get(a, p).total_cmp(&pair.get(b, p)));
             match candidate {
                 Some(r) => {
                     assignment.assign(r, p);

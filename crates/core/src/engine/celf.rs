@@ -1,0 +1,110 @@
+//! CELF-style lazy gain queue (Leskovec et al.'s Cost-Effective Lazy
+//! Forward selection, specialised to reviewer assignment).
+//!
+//! Greedy selection over a submodular objective never needs a full R×P
+//! rescan per step: as long as groups only **grow**, a cached gain computed
+//! against an older group state can only over-estimate the true gain
+//! (diminishing returns, Lemma 4), so it is a sound upper bound. The queue
+//! stores `(gain, reviewer, paper)` entries stamped with the paper's group
+//! version; consumers pop the top, and if the stamp is stale re-score just
+//! that entry and push it back — the true maximum can never hide below a
+//! stale top.
+//!
+//! **Caveat:** the bound argument assumes monotone-growing groups. A
+//! consumer that also *removes* reviewers (e.g. greedy's capacity repair)
+//! makes stale entries potential under-estimates; popped-entry re-scoring
+//! then degrades from exact to heuristic for the affected papers. The
+//! greedy solver accepts this (it matches the seed's behaviour); do not
+//! build new exactness arguments on the queue without re-establishing
+//! monotonicity.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One cached-gain entry. Ordering: highest gain first, ties broken toward
+/// the lowest reviewer then lowest paper — equal gains are common once
+/// groups saturate their papers' topics, and the tie order changes reviewer
+/// loads and hence later picks, so it must be deterministic.
+#[derive(Debug, Clone, Copy)]
+pub struct CelfEntry {
+    /// Cached marginal gain (an upper bound once stale).
+    pub gain: f64,
+    /// Reviewer index.
+    pub reviewer: u32,
+    /// Paper index.
+    pub paper: u32,
+    /// The paper's group version when `gain` was computed.
+    pub stamp: u32,
+}
+
+impl PartialEq for CelfEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for CelfEntry {}
+impl PartialOrd for CelfEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for CelfEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.gain
+            .total_cmp(&other.gain)
+            .then(other.reviewer.cmp(&self.reviewer))
+            .then(other.paper.cmp(&self.paper))
+    }
+}
+
+/// Max-queue of cached gains with version-stamped staleness.
+#[derive(Debug, Default)]
+pub struct CelfQueue {
+    heap: BinaryHeap<CelfEntry>,
+}
+
+impl CelfQueue {
+    /// Empty queue with room for `cap` entries.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { heap: BinaryHeap::with_capacity(cap) }
+    }
+
+    /// Insert a cached gain.
+    #[inline]
+    pub fn push(&mut self, gain: f64, reviewer: usize, paper: usize, stamp: u32) {
+        self.heap.push(CelfEntry { gain, reviewer: reviewer as u32, paper: paper as u32, stamp });
+    }
+
+    /// Remove and return the top cached gain, if any.
+    #[inline]
+    pub fn pop(&mut self) -> Option<CelfEntry> {
+        self.heap.pop()
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_highest_gain_with_deterministic_ties() {
+        let mut q = CelfQueue::with_capacity(4);
+        q.push(0.5, 3, 0, 0);
+        q.push(0.9, 1, 2, 0);
+        q.push(0.5, 2, 9, 0);
+        q.push(0.5, 2, 4, 0);
+        let order: Vec<(u32, u32)> =
+            std::iter::from_fn(|| q.pop().map(|e| (e.reviewer, e.paper))).collect();
+        assert_eq!(order, vec![(1, 2), (2, 4), (2, 9), (3, 0)]);
+    }
+}

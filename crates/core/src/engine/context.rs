@@ -1,0 +1,421 @@
+//! [`ScoreContext`]: the flat structure-of-arrays view of an instance.
+
+use super::par;
+use crate::problem::Instance;
+use crate::score::Scoring;
+use crate::topic::TopicVector;
+
+/// Flat scoring context shared by every solver.
+///
+/// Holds row-major copies of the reviewer expertise matrix (`R × T`) and the
+/// paper matrix (`P × T`), per-paper normalisers, and a CSR view over each
+/// paper's non-zero topics. Construction is `O((R + P)·T)` once; afterwards
+/// every kernel works on contiguous `&[f64]` rows with no boxed-slice
+/// pointer chasing and no per-call allocation.
+///
+/// All kernels are **bit-identical** to the legacy
+/// [`Scoring`]/[`RunningGroup`](crate::score::RunningGroup) arithmetic: same
+/// iteration order, same `/ total` vs `* (1/total)` convention per call
+/// site, and the sparse view is only used for scorings where skipping a
+/// zero paper weight is an exact no-op ([`Scoring::sparse_safe`]).
+#[derive(Debug, Clone)]
+pub struct ScoreContext<'a> {
+    inst: &'a Instance,
+    scoring: Scoring,
+    seed: u64,
+    dim: usize,
+    reviewers: Vec<f64>,
+    papers: Vec<f64>,
+    paper_totals: Vec<f64>,
+    /// `1/total` (or `0` for a zero paper), the `RunningGroup` convention.
+    paper_inv_totals: Vec<f64>,
+    csr_ptr: Vec<usize>,
+    csr_idx: Vec<u32>,
+    csr_val: Vec<f64>,
+    /// Lazily-built `P × R` pair-score matrix, shared by every solver that
+    /// runs on this context (SM, ARAP-ILP, SRA) so the O(P·R·T) build
+    /// happens once per context, not once per solve.
+    pair_cache: std::sync::OnceLock<PairMatrix>,
+}
+
+impl<'a> ScoreContext<'a> {
+    /// Build the flat view of `inst` under `scoring` (seed 0).
+    pub fn new(inst: &'a Instance, scoring: Scoring) -> Self {
+        let dim = inst.num_topics();
+        let flatten = |vs: &[TopicVector]| -> Vec<f64> {
+            let mut out = Vec::with_capacity(vs.len() * dim);
+            for v in vs {
+                out.extend_from_slice(v.as_slice());
+            }
+            out
+        };
+        let papers = flatten(inst.papers());
+        let reviewers = flatten(inst.reviewers());
+        let paper_totals: Vec<f64> = inst.papers().iter().map(TopicVector::total).collect();
+        let paper_inv_totals: Vec<f64> =
+            paper_totals.iter().map(|&t| if t > 0.0 { 1.0 / t } else { 0.0 }).collect();
+        let mut csr_ptr = Vec::with_capacity(inst.num_papers() + 1);
+        let mut csr_idx = Vec::new();
+        let mut csr_val = Vec::new();
+        csr_ptr.push(0);
+        for p in 0..inst.num_papers() {
+            let row = &papers[p * dim..(p + 1) * dim];
+            for (t, &w) in row.iter().enumerate() {
+                if w > 0.0 {
+                    csr_idx.push(t as u32);
+                    csr_val.push(w);
+                }
+            }
+            csr_ptr.push(csr_idx.len());
+        }
+        Self {
+            inst,
+            scoring,
+            seed: 0,
+            dim,
+            reviewers,
+            papers,
+            paper_totals,
+            paper_inv_totals,
+            csr_ptr,
+            csr_idx,
+            csr_val,
+            pair_cache: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Set the seed consumed by stochastic solvers (SDGA-SRA).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The underlying instance.
+    pub fn instance(&self) -> &'a Instance {
+        self.inst
+    }
+
+    /// The scoring function every kernel applies.
+    pub fn scoring(&self) -> Scoring {
+        self.scoring
+    }
+
+    /// Seed for stochastic solvers.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Topic dimension `T`.
+    pub fn num_topics(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of papers `P`.
+    pub fn num_papers(&self) -> usize {
+        self.paper_totals.len()
+    }
+
+    /// Number of reviewers `R`.
+    pub fn num_reviewers(&self) -> usize {
+        // `dim == 0` collapses every flat row to nothing — fall back to the
+        // instance's count.
+        self.reviewers.len().checked_div(self.dim).unwrap_or(self.inst.num_reviewers())
+    }
+
+    /// Reviewer `r`'s expertise row.
+    #[inline]
+    pub fn reviewer_row(&self, r: usize) -> &[f64] {
+        &self.reviewers[r * self.dim..(r + 1) * self.dim]
+    }
+
+    /// Paper `p`'s topic row.
+    #[inline]
+    pub fn paper_row(&self, p: usize) -> &[f64] {
+        &self.papers[p * self.dim..(p + 1) * self.dim]
+    }
+
+    /// Paper `p`'s normaliser `Σ_t p[t]`.
+    #[inline]
+    pub fn paper_total(&self, p: usize) -> f64 {
+        self.paper_totals[p]
+    }
+
+    /// Paper `p`'s `1/total` (0 for a zero paper), the incremental-gain
+    /// convention shared with [`RunningGroup`](crate::score::RunningGroup).
+    #[inline]
+    pub fn paper_inv_total(&self, p: usize) -> f64 {
+        self.paper_inv_totals[p]
+    }
+
+    /// Paper `p`'s non-zero topics as `(indices, weights)`.
+    #[inline]
+    pub fn paper_sparse(&self, p: usize) -> (&[u32], &[f64]) {
+        let lo = self.csr_ptr[p];
+        let hi = self.csr_ptr[p + 1];
+        (&self.csr_idx[lo..hi], &self.csr_val[lo..hi])
+    }
+
+    /// May kernels use the CSR view under this context's scoring?
+    #[inline]
+    pub fn sparse(&self) -> bool {
+        self.scoring.sparse_safe()
+    }
+
+    /// `c(r, p)` — bit-identical to
+    /// [`Scoring::pair_score`](crate::score::Scoring::pair_score) on the
+    /// boxed vectors (numerator summed in ascending topic order, then one
+    /// division by the paper total).
+    pub fn pair_score(&self, r: usize, p: usize) -> f64 {
+        let total = self.paper_totals[p];
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let row = self.reviewer_row(r);
+        let mut raw = 0.0;
+        if self.sparse() {
+            let (idx, val) = self.paper_sparse(p);
+            for (&t, &w) in idx.iter().zip(val) {
+                raw += self.scoring.topic_contribution(row[t as usize], w);
+            }
+        } else {
+            for (&e, &w) in row.iter().zip(self.paper_row(p)) {
+                raw += self.scoring.topic_contribution(e, w);
+            }
+        }
+        raw / total
+    }
+
+    /// The dense `P × R` pair-score matrix, built once per context (rows in
+    /// parallel when the `rayon` feature is enabled — bit-identical either
+    /// way) and cached for every subsequent solver.
+    pub fn pair_matrix(&self) -> &PairMatrix {
+        self.pair_cache.get_or_init(|| self.build_pair_matrix())
+    }
+
+    /// Build the pair matrix unconditionally (no cache) — the kernel behind
+    /// [`ScoreContext::pair_matrix`], exposed for benchmarking.
+    pub fn build_pair_matrix(&self) -> PairMatrix {
+        let num_r = self.num_reviewers();
+        let rows = par::map_indexed(self.num_papers(), |p| {
+            let mut row = Vec::with_capacity(num_r);
+            for r in 0..num_r {
+                row.push(self.pair_score(r, p));
+            }
+            row
+        });
+        PairMatrix::from_rows(num_r, rows)
+    }
+
+    /// A single-paper JRA view over this context's flat rows, with the
+    /// instance's COI mask for `p`.
+    pub fn jra_view(&self, p: usize) -> JraView<'_> {
+        let forbidden = (0..self.num_reviewers()).map(|r| self.inst.is_coi(r, p)).collect();
+        self.jra_view_with_forbidden(p, forbidden)
+    }
+
+    /// A single-paper JRA view with an explicit candidate mask (BRGG feeds
+    /// in capacity exhaustion on top of COIs).
+    pub fn jra_view_with_forbidden(&self, p: usize, forbidden: Vec<bool>) -> JraView<'_> {
+        JraView {
+            paper: self.paper_row(p),
+            total: self.paper_totals[p],
+            inv_total: self.paper_inv_totals[p],
+            rows: Rows::Flat { data: &self.reviewers, dim: self.dim, len: self.num_reviewers() },
+            forbidden,
+            delta_p: self.inst.delta_p(),
+            scoring: self.scoring,
+        }
+    }
+}
+
+/// Dense `P × R` pair-score matrix (`c(r, p)` per cell).
+#[derive(Debug, Clone)]
+pub struct PairMatrix {
+    num_reviewers: usize,
+    data: Vec<f64>,
+}
+
+impl PairMatrix {
+    fn from_rows(num_reviewers: usize, rows: Vec<Vec<f64>>) -> Self {
+        let mut data = Vec::with_capacity(rows.len() * num_reviewers);
+        for row in rows {
+            debug_assert_eq!(row.len(), num_reviewers);
+            data.extend(row);
+        }
+        Self { num_reviewers, data }
+    }
+
+    /// Build from the legacy boxed-vector scoring path (the reference
+    /// implementation the engine path is tested against).
+    pub fn from_instance(inst: &Instance, scoring: Scoring) -> Self {
+        let num_r = inst.num_reviewers();
+        let rows = par::map_indexed(inst.num_papers(), |p| {
+            (0..num_r).map(|r| scoring.pair_score(inst.reviewer(r), inst.paper(p))).collect()
+        });
+        Self::from_rows(num_r, rows)
+    }
+
+    /// `c(r, p)`.
+    #[inline]
+    pub fn get(&self, r: usize, p: usize) -> f64 {
+        self.data[p * self.num_reviewers + r]
+    }
+
+    /// Paper `p`'s scores over all reviewers.
+    #[inline]
+    pub fn paper_row(&self, p: usize) -> &[f64] {
+        &self.data[p * self.num_reviewers..(p + 1) * self.num_reviewers]
+    }
+
+    /// Number of papers.
+    pub fn num_papers(&self) -> usize {
+        self.data.len().checked_div(self.num_reviewers).unwrap_or(0)
+    }
+
+    /// Number of reviewers.
+    pub fn num_reviewers(&self) -> usize {
+        self.num_reviewers
+    }
+}
+
+/// Reviewer-row storage behind a [`JraView`]: boxed legacy vectors or the
+/// engine's flat matrix. One enum dispatch per row access keeps the exact
+/// JRA machinery (BBA, greedy seeding) generic over both without
+/// monomorphisation or trait objects in the hot loop.
+#[derive(Debug, Clone, Copy)]
+enum Rows<'a> {
+    Boxed(&'a [TopicVector]),
+    Flat { data: &'a [f64], dim: usize, len: usize },
+}
+
+/// A single-paper reviewer-selection view: the common substrate the exact
+/// JRA solvers run on, whether fed from a legacy
+/// [`JraProblem`](crate::jra::JraProblem) or a [`ScoreContext`].
+#[derive(Debug, Clone)]
+pub struct JraView<'a> {
+    /// The paper's topic weights.
+    pub paper: &'a [f64],
+    /// `Σ_t paper[t]`.
+    pub total: f64,
+    /// `1/total`, or 0 for a zero paper.
+    pub inv_total: f64,
+    rows: Rows<'a>,
+    /// Conflicted / unavailable candidates.
+    pub forbidden: Vec<bool>,
+    /// Group size `δp`.
+    pub delta_p: usize,
+    /// Scoring function.
+    pub scoring: Scoring,
+}
+
+impl<'a> JraView<'a> {
+    /// View over boxed legacy vectors (the reference path).
+    pub fn from_boxed(
+        paper: &'a TopicVector,
+        reviewers: &'a [TopicVector],
+        forbidden: Vec<bool>,
+        delta_p: usize,
+        scoring: Scoring,
+    ) -> Self {
+        let total = paper.total();
+        Self {
+            paper: paper.as_slice(),
+            total,
+            inv_total: if total > 0.0 { 1.0 / total } else { 0.0 },
+            rows: Rows::Boxed(reviewers),
+            forbidden,
+            delta_p,
+            scoring,
+        }
+    }
+
+    /// Candidate count (including forbidden entries).
+    #[inline]
+    pub fn num_reviewers(&self) -> usize {
+        match self.rows {
+            Rows::Boxed(v) => v.len(),
+            Rows::Flat { len, .. } => len,
+        }
+    }
+
+    /// Reviewer `r`'s expertise row.
+    #[inline]
+    pub fn row(&self, r: usize) -> &'a [f64] {
+        match self.rows {
+            Rows::Boxed(v) => v[r].as_slice(),
+            Rows::Flat { data, dim, .. } => &data[r * dim..(r + 1) * dim],
+        }
+    }
+
+    /// Number of non-forbidden candidates.
+    pub fn num_feasible(&self) -> usize {
+        self.forbidden.iter().filter(|f| !**f).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cra::testutil::random_instance;
+
+    #[test]
+    fn flat_rows_match_boxed_vectors() {
+        let inst = random_instance(6, 5, 4, 2, 9);
+        let ctx = ScoreContext::new(&inst, Scoring::WeightedCoverage);
+        for r in 0..5 {
+            assert_eq!(ctx.reviewer_row(r), inst.reviewer(r).as_slice());
+        }
+        for p in 0..6 {
+            assert_eq!(ctx.paper_row(p), inst.paper(p).as_slice());
+            assert_eq!(ctx.paper_total(p), inst.paper(p).total());
+            let (idx, val) = ctx.paper_sparse(p);
+            for (&t, &w) in idx.iter().zip(val) {
+                assert_eq!(inst.paper(p)[t as usize], w);
+            }
+        }
+    }
+
+    #[test]
+    fn pair_scores_bit_identical_for_all_scorings() {
+        let inst = random_instance(7, 6, 5, 2, 3);
+        for scoring in Scoring::ALL {
+            let ctx = ScoreContext::new(&inst, scoring);
+            let m = ctx.pair_matrix();
+            let legacy = PairMatrix::from_instance(&inst, scoring);
+            for p in 0..7 {
+                for r in 0..6 {
+                    let want = scoring.pair_score(inst.reviewer(r), inst.paper(p));
+                    // Bit-identical, not approximately equal.
+                    assert_eq!(ctx.pair_score(r, p).to_bits(), want.to_bits());
+                    assert_eq!(m.get(r, p).to_bits(), want.to_bits());
+                    assert_eq!(legacy.get(r, p).to_bits(), want.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_view_skips_zero_topics() {
+        use crate::topic::TopicVector;
+        let papers = vec![TopicVector::from_sparse(6, &[(1, 0.7), (4, 0.3)])];
+        let reviewers = vec![
+            TopicVector::new(vec![0.2, 0.3, 0.1, 0.1, 0.2, 0.1]),
+            TopicVector::new(vec![0.0, 0.9, 0.0, 0.0, 0.1, 0.0]),
+        ];
+        let inst = Instance::new(papers, reviewers, 1, 1).unwrap();
+        let ctx = ScoreContext::new(&inst, Scoring::WeightedCoverage);
+        let (idx, _) = ctx.paper_sparse(0);
+        assert_eq!(idx, &[1, 4]);
+        for r in 0..2 {
+            let want = Scoring::WeightedCoverage.pair_score(inst.reviewer(r), inst.paper(0));
+            assert_eq!(ctx.pair_score(r, 0).to_bits(), want.to_bits());
+        }
+        // Reviewer coverage is not sparse-safe and must use the dense path.
+        let dense_ctx = ScoreContext::new(&inst, Scoring::ReviewerCoverage);
+        assert!(!dense_ctx.sparse());
+        for r in 0..2 {
+            let want = Scoring::ReviewerCoverage.pair_score(inst.reviewer(r), inst.paper(0));
+            assert_eq!(dense_ctx.pair_score(r, 0).to_bits(), want.to_bits());
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! The **ScoreEngine**: one shared, flat, optionally-parallel scoring/gain
+//! layer under every CRA and JRA solver.
+//!
+//! Every algorithm in this crate reduces to the same hot kernel — evaluating
+//! weighted-coverage marginal gains `gain(g, r, p)` (Definition 8) over
+//! feasible (reviewer, paper) pairs, stage after stage. The seed
+//! implementation re-derived those numbers per call from boxed
+//! [`TopicVector`](crate::topic::TopicVector)s; the engine instead
+//! precomputes one compact shared representation and updates it
+//! incrementally:
+//!
+//! * [`ScoreContext`] — a structure-of-arrays view of an
+//!   [`Instance`](crate::problem::Instance): flat row-major reviewer and
+//!   paper matrices plus a CSR sparse view over each paper's non-zero
+//!   topics. For scorings with `f(e, 0) = 0`
+//!   ([`Scoring::sparse_safe`](crate::score::Scoring::sparse_safe)) the
+//!   sparse kernels skip zero-weight topics **bit-exactly**: skipped terms
+//!   would add exactly `0.0` to a non-negative sum.
+//! * [`GainTable`] — all per-paper running-group states (`gmax`, raw score)
+//!   in two flat arrays, with per-paper version counters that power
+//!   CELF-style lazy greedy evaluation ([`celf::CelfQueue`]): a stale cached
+//!   gain is an upper bound by submodularity (Lemma 4), so the greedy loop
+//!   re-scores only heap tops instead of rescanning R×P.
+//! * [`par`] — deterministic parallel maps over papers, feature-gated behind
+//!   `rayon` (offline builds substitute the vendored `wgrap-par` scoped
+//!   thread pool). Outputs are positionally ordered, so parallel and serial
+//!   runs are bit-identical.
+//! * [`Solver`] — the uniform dispatch surface: every CRA baseline, SDGA(-SRA)
+//!   and the exact JRA branch-and-bound run as `solver.solve(&ctx)`.
+//!
+//! The legacy boxed-vector path is kept (each algorithm module's
+//! `solve(inst, scoring)` entry) as the reference implementation;
+//! `crates/core/tests/proptests.rs` asserts both paths produce
+//! **bit-identical assignments** on random instances for every algorithm
+//! and every scoring function.
+
+pub mod celf;
+mod context;
+mod gain;
+pub mod par;
+mod solver;
+
+pub use context::{JraView, PairMatrix, ScoreContext};
+pub use gain::{group_score_view, GainProvider, GainTable, LegacyGains, PaperGain};
+pub use solver::{
+    solver_by_label, BrggSolver, GreedySolver, IlpSolver, JraBbaSolver, SdgaSolver, SdgaSraSolver,
+    Solver, StableMatchingSolver,
+};

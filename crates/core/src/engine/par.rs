@@ -1,0 +1,25 @@
+//! Deterministic parallelism for engine kernels, feature-gated on `rayon`.
+//!
+//! Engine kernels fan out over *papers* (pair-score rows, stage cost-matrix
+//! rows, SRA trials). Each unit is a pure function of its index writing to a
+//! distinct output slot, and reduction is positional — so results are
+//! bit-identical with the feature on or off, across any thread count. With
+//! the feature disabled the helpers degrade to plain serial maps and the
+//! crate has no threading dependency at all.
+
+/// Parallel (or serial) `(0..n).map(f).collect()`, output in index order.
+#[cfg(feature = "rayon")]
+pub fn map_indexed<U: Send, F: Fn(usize) -> U + Sync>(n: usize, f: F) -> Vec<U> {
+    wgrap_par::par_map_indexed(n, f)
+}
+
+/// Parallel (or serial) `(0..n).map(f).collect()`, output in index order.
+#[cfg(not(feature = "rayon"))]
+pub fn map_indexed<U, F: Fn(usize) -> U>(n: usize, f: F) -> Vec<U> {
+    (0..n).map(f).collect()
+}
+
+/// Is the parallel substrate compiled in?
+pub fn is_parallel() -> bool {
+    cfg!(feature = "rayon")
+}

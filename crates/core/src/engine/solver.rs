@@ -1,0 +1,174 @@
+//! The unified [`Solver`] trait: every assignment algorithm as
+//! `solver.solve(&ctx)`.
+
+use super::context::ScoreContext;
+use crate::assignment::Assignment;
+use crate::cra::sdga::LapBackend;
+use crate::cra::sra::SraOptions;
+use crate::cra::{arap_ilp, brgg, greedy, sdga, sra, stable_matching, CraAlgorithm};
+use crate::error::{Error, Result};
+use crate::jra::bba;
+
+/// A reviewer-assignment algorithm dispatchable over a [`ScoreContext`].
+///
+/// All six §5.2 CRA methods and the exact JRA branch-and-bound implement
+/// this; the CLI, benches and examples dispatch through it, so adding an
+/// algorithm means implementing one trait, not threading a new enum variant
+/// through every harness.
+pub trait Solver: Sync {
+    /// The label used in the paper's tables and figures.
+    fn name(&self) -> &'static str;
+
+    /// Solve the context's instance into a complete assignment.
+    fn solve(&self, ctx: &ScoreContext<'_>) -> Result<Assignment>;
+}
+
+/// Gale–Shapley stable matching on pair scores (§5.2 "SM").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StableMatchingSolver;
+
+impl Solver for StableMatchingSolver {
+    fn name(&self) -> &'static str {
+        "SM"
+    }
+
+    fn solve(&self, ctx: &ScoreContext<'_>) -> Result<Assignment> {
+        stable_matching::solve_ctx(ctx)
+    }
+}
+
+/// Exact optimiser of the per-pair ARAP objective (§5.2 "ILP").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IlpSolver;
+
+impl Solver for IlpSolver {
+    fn name(&self) -> &'static str {
+        "ILP"
+    }
+
+    fn solve(&self, ctx: &ScoreContext<'_>) -> Result<Assignment> {
+        arap_ilp::solve_ctx(ctx)
+    }
+}
+
+/// Best Reviewer Group Greedy (§5.2 "BRGG").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BrggSolver;
+
+impl Solver for BrggSolver {
+    fn name(&self) -> &'static str {
+        "BRGG"
+    }
+
+    fn solve(&self, ctx: &ScoreContext<'_>) -> Result<Assignment> {
+        brgg::solve_ctx(ctx)
+    }
+}
+
+/// The 1/3-approximation greedy of Long et al. (§4.1), CELF-accelerated.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedySolver;
+
+impl Solver for GreedySolver {
+    fn name(&self) -> &'static str {
+        "Greedy"
+    }
+
+    fn solve(&self, ctx: &ScoreContext<'_>) -> Result<Assignment> {
+        greedy::solve_ctx(ctx)
+    }
+}
+
+/// Stage Deepening Greedy Algorithm (§4.2) with a configurable LAP backend.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SdgaSolver {
+    /// The linear-assignment backend each stage runs on.
+    pub backend: LapBackend,
+}
+
+impl Solver for SdgaSolver {
+    fn name(&self) -> &'static str {
+        "SDGA"
+    }
+
+    fn solve(&self, ctx: &ScoreContext<'_>) -> Result<Assignment> {
+        sdga::solve_ctx_with_backend(ctx, self.backend)
+    }
+}
+
+/// SDGA followed by stochastic refinement (§4.4). The SRA seed is taken
+/// from the context at solve time.
+#[derive(Debug, Clone, Default)]
+pub struct SdgaSraSolver {
+    /// Refinement knobs; the `seed` field is overridden by the context's.
+    pub sra: SraOptions,
+}
+
+impl Solver for SdgaSraSolver {
+    fn name(&self) -> &'static str {
+        "SDGA-SRA"
+    }
+
+    fn solve(&self, ctx: &ScoreContext<'_>) -> Result<Assignment> {
+        let initial = sdga::solve_ctx_with_backend(ctx, self.sra.backend)?;
+        let opts = SraOptions { seed: ctx.seed(), ..self.sra.clone() };
+        Ok(sra::refine_ctx(ctx, initial, &opts).assignment)
+    }
+}
+
+/// Exact JRA via branch-and-bound (Algorithm 1) on a single-paper context
+/// (e.g. built with [`Instance::journal`](crate::problem::Instance::journal)).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JraBbaSolver;
+
+impl Solver for JraBbaSolver {
+    fn name(&self) -> &'static str {
+        "BBA"
+    }
+
+    fn solve(&self, ctx: &ScoreContext<'_>) -> Result<Assignment> {
+        if ctx.num_papers() != 1 {
+            return Err(Error::InvalidInstance(format!(
+                "JRA solves one paper at a time; context has {}",
+                ctx.num_papers()
+            )));
+        }
+        let results = bba::solve_ctx(ctx, 0, &bba::BbaOptions::default())
+            .ok_or_else(|| Error::Infeasible("fewer than δp non-conflicted reviewers".into()))?;
+        let best = results
+            .into_iter()
+            .next()
+            .ok_or_else(|| Error::Infeasible("branch-and-bound returned no group".into()))?;
+        Ok(Assignment::from_groups(vec![best.group]))
+    }
+}
+
+impl CraAlgorithm {
+    /// The engine solver implementing this algorithm.
+    pub fn solver(self) -> Box<dyn Solver> {
+        match self {
+            CraAlgorithm::StableMatching => Box::new(StableMatchingSolver),
+            CraAlgorithm::ArapIlp => Box::new(IlpSolver),
+            CraAlgorithm::Brgg => Box::new(BrggSolver),
+            CraAlgorithm::Greedy => Box::new(GreedySolver),
+            CraAlgorithm::Sdga => Box::new(SdgaSolver::default()),
+            CraAlgorithm::SdgaSra => Box::new(SdgaSraSolver::default()),
+        }
+    }
+}
+
+/// Look a solver up by its paper label (`"SM"`, `"ILP"`, `"BRGG"`,
+/// `"Greedy"`, `"SDGA"`, `"SDGA-SRA"`, `"BBA"`), case-insensitively.
+pub fn solver_by_label(label: &str) -> Option<Box<dyn Solver>> {
+    let l = label.to_ascii_lowercase();
+    Some(match l.as_str() {
+        "sm" | "stable-matching" => Box::new(StableMatchingSolver),
+        "ilp" => Box::new(IlpSolver),
+        "brgg" => Box::new(BrggSolver),
+        "greedy" => Box::new(GreedySolver),
+        "sdga" => Box::new(SdgaSolver::default()),
+        "sdga-sra" => Box::new(SdgaSraSolver::default()),
+        "bba" => Box::new(JraBbaSolver),
+        _ => return None,
+    })
+}

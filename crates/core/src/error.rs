@@ -36,14 +36,8 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(
-            Error::InvalidInstance("x".into()).to_string(),
-            "invalid instance: x"
-        );
+        assert_eq!(Error::InvalidInstance("x".into()).to_string(), "invalid instance: x");
         assert_eq!(Error::Infeasible("y".into()).to_string(), "infeasible: y");
-        assert_eq!(
-            Error::LimitReached("z".into()).to_string(),
-            "limit reached: z"
-        );
+        assert_eq!(Error::LimitReached("z".into()).to_string(), "limit reached: z");
     }
 }

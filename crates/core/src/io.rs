@@ -72,8 +72,8 @@ pub fn parse_instance(text: &str) -> Result<Instance> {
                 }
             }
             "reviewer" | "paper" => {
-                let t = topics
-                    .ok_or_else(|| parse_err(line_no, "topics header must come first"))?;
+                let t =
+                    topics.ok_or_else(|| parse_err(line_no, "topics header must come first"))?;
                 let name = parts
                     .next()
                     .ok_or_else(|| parse_err(line_no, format!("{keyword} needs a name")))?
@@ -116,15 +116,16 @@ pub fn parse_instance(text: &str) -> Result<Instance> {
     let delta_p = delta_p.ok_or_else(|| Error::InvalidInstance("missing delta_p".into()))?;
     let delta_r = delta_r.ok_or_else(|| Error::InvalidInstance("missing delta_r".into()))?;
 
-    let index_of = |items: &[(String, TopicVector)], kind: &str| -> Result<HashMap<String, usize>> {
-        let mut map = HashMap::new();
-        for (i, (name, _)) in items.iter().enumerate() {
-            if map.insert(name.clone(), i).is_some() {
-                return Err(Error::InvalidInstance(format!("duplicate {kind} name '{name}'")));
+    let index_of =
+        |items: &[(String, TopicVector)], kind: &str| -> Result<HashMap<String, usize>> {
+            let mut map = HashMap::new();
+            for (i, (name, _)) in items.iter().enumerate() {
+                if map.insert(name.clone(), i).is_some() {
+                    return Err(Error::InvalidInstance(format!("duplicate {kind} name '{name}'")));
+                }
             }
-        }
-        Ok(map)
-    };
+            Ok(map)
+        };
     let r_index = index_of(&reviewers, "reviewer")?;
     let p_index = index_of(&papers, "paper")?;
 
@@ -211,12 +212,14 @@ pub fn parse_assignment(inst: &Instance, text: &str) -> Result<Assignment> {
         let (Some(pn), Some(rn), None) = (parts.next(), parts.next(), parts.next()) else {
             return Err(parse_err(idx + 1, "expected 'paper reviewer'"));
         };
-        let p = *p_index
-            .get(pn)
-            .ok_or_else(|| parse_err(idx + 1, format!("unknown paper '{pn}'")))?;
+        let p =
+            *p_index.get(pn).ok_or_else(|| parse_err(idx + 1, format!("unknown paper '{pn}'")))?;
         let r = *r_index
             .get(rn)
             .ok_or_else(|| parse_err(idx + 1, format!("unknown reviewer '{rn}'")))?;
+        if a.group(p).contains(&r) {
+            return Err(parse_err(idx + 1, format!("duplicate pair '{pn} {rn}'")));
+        }
         a.assign(r, p);
     }
     Ok(a)
@@ -312,7 +315,8 @@ coi alice p-17
 
     #[test]
     fn comments_and_blanks_ignored() {
-        let text = "\n# c\ntopics 1\n\ndelta_p 1 # inline\ndelta_r 2\nreviewer a 1.0\npaper p 0.5\n";
+        let text =
+            "\n# c\ntopics 1\n\ndelta_p 1 # inline\ndelta_r 2\nreviewer a 1.0\npaper p 0.5\n";
         let inst = parse_instance(text).unwrap();
         assert_eq!(inst.delta_r(), 2);
     }

@@ -19,7 +19,7 @@
 //! (the paper notes this extension at the end of §3; Figure 15 evaluates it).
 
 use super::{JraProblem, JraResult};
-use crate::score::RunningGroup;
+use crate::engine::{JraView, PaperGain, ScoreContext};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -135,10 +135,27 @@ impl TopK {
 /// Full BBA with options. Returns `None` when fewer than `δp` non-conflicted
 /// candidates exist; otherwise at least one and at most `top_k` results.
 pub fn solve_with_options(problem: &JraProblem<'_>, opts: &BbaOptions) -> Option<Vec<JraResult>> {
-    let r_total = problem.reviewers.len();
-    let t_dim = problem.paper.dim();
-    let k = problem.delta_p;
-    if problem.num_feasible() < k {
+    solve_view(&problem.view(), opts)
+}
+
+/// BBA for paper `p` of a [`ScoreContext`] — identical search over the
+/// engine's flat expertise rows instead of boxed vectors.
+pub fn solve_ctx(
+    ctx: &ScoreContext<'_>,
+    paper: usize,
+    opts: &BbaOptions,
+) -> Option<Vec<JraResult>> {
+    solve_view(&ctx.jra_view(paper), opts)
+}
+
+/// The branch-and-bound search over any [`JraView`] (legacy boxed vectors or
+/// the engine's flat matrix — both expose identical `f64` rows, so results
+/// are bit-identical).
+pub fn solve_view(view: &JraView<'_>, opts: &BbaOptions) -> Option<Vec<JraResult>> {
+    let r_total = view.num_reviewers();
+    let t_dim = view.paper.len();
+    let k = view.delta_p;
+    if view.num_feasible() < k {
         return None;
     }
     assert!(opts.top_k >= 1);
@@ -147,30 +164,25 @@ pub fn solve_with_options(problem: &JraProblem<'_>, opts: &BbaOptions) -> Option
     let mut sorted_lists: Vec<Vec<(f64, u32)>> = Vec::with_capacity(t_dim);
     for t in 0..t_dim {
         let mut list: Vec<(f64, u32)> = (0..r_total)
-            .filter(|&r| !problem.forbidden[r])
-            .map(|r| (problem.reviewers[r][t], r as u32))
+            .filter(|&r| !view.forbidden[r])
+            .map(|r| (view.row(r)[t], r as u32))
             .collect();
         list.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         sorted_lists.push(list);
     }
     let list_len = sorted_lists.first().map_or(0, Vec::len);
 
-    let paper_weights = problem.paper.as_slice();
-    let inv_total = {
-        let total = problem.paper.total();
-        if total > 0.0 {
-            1.0 / total
-        } else {
-            0.0
-        }
-    };
+    let paper_weights = view.paper;
+    let inv_total = view.inv_total;
 
-    // Per-stage state.
+    // Per-stage state. The gain states stack one `PaperGain` per deepened
+    // stage — each level owns only its `gmax` row (no paper clone, no
+    // allocation on `expertise()` reads, unlike the boxed RunningGroup).
     let mut cursors: Vec<Vec<usize>> = vec![vec![0usize; t_dim]; k];
     let mut visited: Vec<Vec<u32>> = vec![Vec::new(); k];
     let mut blocked: Vec<u32> = vec![0; r_total];
-    let mut rg_stack: Vec<RunningGroup> = Vec::with_capacity(k + 1);
-    rg_stack.push(RunningGroup::new(problem.scoring, problem.paper));
+    let mut rg_stack: Vec<PaperGain> = Vec::with_capacity(k + 1);
+    rg_stack.push(PaperGain::new(view));
     let mut path: Vec<usize> = Vec::with_capacity(k);
 
     let mut results = TopK::new(opts.top_k, opts.initial_bound);
@@ -198,13 +210,11 @@ pub fn solve_with_options(problem: &JraProblem<'_>, opts: &BbaOptions) -> Option
             for t in 0..t_dim {
                 let head = cursors[s][t];
                 let head_val = if head < list_len { sorted_lists[t][head].0 } else { 0.0 };
-                ub_raw += problem
-                    .scoring
-                    .topic_contribution(gmax[t].max(head_val), paper_weights[t]);
+                ub_raw += view.scoring.topic_contribution(gmax[t].max(head_val), paper_weights[t]);
                 if head < list_len {
                     let r = sorted_lists[t][head].1 as usize;
                     if best_r != Some(r) {
-                        let gain = rg.gain(&problem.reviewers[r]);
+                        let gain = rg.gain(view, r);
                         if gain > best_gain {
                             best_gain = gain;
                             best_r = Some(r);
@@ -239,7 +249,7 @@ pub fn solve_with_options(problem: &JraProblem<'_>, opts: &BbaOptions) -> Option
 
         if s + 1 == k {
             // Complete assignment (lines 13-15): record, stay at this stage.
-            let score = rg_stack[s].score() + best_gain;
+            let score = rg_stack[s].score(view) + best_gain;
             let mut group = path.clone();
             group.sort_unstable();
             results.offer(score, group);
@@ -248,7 +258,7 @@ pub fn solve_with_options(problem: &JraProblem<'_>, opts: &BbaOptions) -> Option
             let (head, tail) = cursors.split_at_mut(s + 1);
             tail[0].copy_from_slice(&head[s]);
             let mut next = rg_stack[s].clone();
-            next.add(&problem.reviewers[r]);
+            next.add(view, r);
             rg_stack.push(next);
             s += 1;
         }
@@ -280,11 +290,7 @@ mod tests {
     #[test]
     fn paper_running_example() {
         let p = tv(&[0.35, 0.45, 0.2]);
-        let rs = vec![
-            tv(&[0.15, 0.75, 0.1]),
-            tv(&[0.75, 0.15, 0.1]),
-            tv(&[0.1, 0.35, 0.55]),
-        ];
+        let rs = vec![tv(&[0.15, 0.75, 0.1]), tv(&[0.75, 0.15, 0.1]), tv(&[0.1, 0.35, 0.55])];
         let problem = JraProblem::new(&p, &rs, 2);
         let res = solve(&problem).unwrap();
         assert_eq!(res.group, vec![0, 1]);
@@ -351,8 +357,11 @@ mod tests {
         let (paper, reviewers) = vecs.split_first().unwrap();
         let problem = JraProblem::new(paper, reviewers, 3);
         let with = solve_with_options(&problem, &BbaOptions::default()).unwrap();
-        let without =
-            solve_with_options(&problem, &BbaOptions { top_k: 1, use_bound: false, ..Default::default() }).unwrap();
+        let without = solve_with_options(
+            &problem,
+            &BbaOptions { top_k: 1, use_bound: false, ..Default::default() },
+        )
+        .unwrap();
         assert!((with[0].score - without[0].score).abs() < 1e-9);
         assert!(
             with[0].nodes < without[0].nodes,
@@ -374,9 +383,7 @@ mod tests {
         let mut all: Vec<(f64, Vec<usize>)> = vec![];
         for i in 0..reviewers.len() {
             for j in i + 1..reviewers.len() {
-                let s = problem
-                    .scoring
-                    .group_score([&reviewers[i], &reviewers[j]], paper);
+                let s = problem.scoring.group_score([&reviewers[i], &reviewers[j]], paper);
                 all.push((s, vec![i, j]));
             }
         }

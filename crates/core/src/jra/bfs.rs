@@ -10,9 +10,8 @@ use crate::score::RunningGroup;
 /// Cost is `C(R, δp)` score evaluations — the paper reports 5.1 hours for
 /// `R = 200, δp = 5`; use [`super::bba`] for anything non-trivial.
 pub fn solve(problem: &JraProblem<'_>) -> Option<JraResult> {
-    let candidates: Vec<usize> = (0..problem.reviewers.len())
-        .filter(|&r| !problem.forbidden[r])
-        .collect();
+    let candidates: Vec<usize> =
+        (0..problem.reviewers.len()).filter(|&r| !problem.forbidden[r]).collect();
     if candidates.len() < problem.delta_p {
         return None;
     }
@@ -86,11 +85,7 @@ mod tests {
     fn paper_running_example_best_pair() {
         // Figure 5: p = (0.35, 0.45, 0.2); best pair of {r1, r2, r3}.
         let p = tv(&[0.35, 0.45, 0.2]);
-        let rs = vec![
-            tv(&[0.15, 0.75, 0.1]),
-            tv(&[0.75, 0.15, 0.1]),
-            tv(&[0.1, 0.35, 0.55]),
-        ];
+        let rs = vec![tv(&[0.15, 0.75, 0.1]), tv(&[0.75, 0.15, 0.1]), tv(&[0.1, 0.35, 0.55])];
         let problem = JraProblem::new(&p, &rs, 2);
         let res = solve(&problem).unwrap();
         // {r1, r2}: min(0.75,0.35)+min(0.75,0.45)+min(0.1,0.2) = 0.9
@@ -103,8 +98,7 @@ mod tests {
     fn forbidden_candidates_excluded() {
         let p = tv(&[0.5, 0.5]);
         let rs = vec![tv(&[1.0, 0.0]), tv(&[0.0, 1.0]), tv(&[0.4, 0.4])];
-        let problem =
-            JraProblem::new(&p, &rs, 2).with_forbidden(vec![false, true, false]);
+        let problem = JraProblem::new(&p, &rs, 2).with_forbidden(vec![false, true, false]);
         let res = solve(&problem).unwrap();
         assert_eq!(res.group, vec![0, 2]);
     }

@@ -24,10 +24,7 @@ pub fn solve(problem: &JraProblem<'_>, time_limit: Option<Duration>) -> Option<J
     }
     // Static per-topic maximum over the feasible pool: the naive bound.
     let feasible = (0..n).filter(|&r| !problem.forbidden[r]);
-    let global_max = group_expertise(
-        problem.paper.dim(),
-        feasible.map(|r| &problem.reviewers[r]),
-    );
+    let global_max = group_expertise(problem.paper.dim(), feasible.map(|r| &problem.reviewers[r]));
 
     let scoring = problem.scoring;
     let paper = problem.paper;

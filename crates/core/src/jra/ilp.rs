@@ -40,9 +40,8 @@ pub fn solve(problem: &JraProblem<'_>, time_limit: Option<Duration>) -> Option<J
     let inv_total = if total > 0.0 { 1.0 / total } else { 0.0 };
 
     let mut model = Model::new(Sense::Maximize);
-    let candidates: Vec<usize> = (0..problem.reviewers.len())
-        .filter(|&r| !problem.forbidden[r])
-        .collect();
+    let candidates: Vec<usize> =
+        (0..problem.reviewers.len()).filter(|&r| !problem.forbidden[r]).collect();
     let xs: Vec<_> = candidates.iter().map(|_| model.add_binary(0.0)).collect();
 
     // Group size constraint.
@@ -84,9 +83,8 @@ pub fn solve(problem: &JraProblem<'_>, time_limit: Option<Duration>) -> Option<J
         .collect();
     group.sort_unstable();
     // Recompute the score from the group to shed LP round-off.
-    let score = problem
-        .scoring
-        .group_score(group.iter().map(|&r| &problem.reviewers[r]), problem.paper);
+    let score =
+        problem.scoring.group_score(group.iter().map(|&r| &problem.reviewers[r]), problem.paper);
     Some(JraResult { group, score, nodes: res.nodes })
 }
 

@@ -80,6 +80,20 @@ impl<'a> JraProblem<'a> {
     pub fn num_feasible(&self) -> usize {
         self.forbidden.iter().filter(|f| !**f).count()
     }
+
+    /// This problem as an engine [`JraView`](crate::engine::JraView) over
+    /// the boxed legacy vectors — the exact solvers all run on the view, so
+    /// the legacy and [`ScoreContext`](crate::engine::ScoreContext) entry
+    /// points share one implementation.
+    pub fn view(&self) -> crate::engine::JraView<'_> {
+        crate::engine::JraView::from_boxed(
+            self.paper,
+            self.reviewers,
+            self.forbidden.clone(),
+            self.delta_p,
+            self.scoring,
+        )
+    }
 }
 
 /// Result of an exact JRA solve.

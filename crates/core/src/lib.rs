@@ -16,6 +16,44 @@
 //!   evaluates (Greedy, BRGG, stable matching, the per-pair ILP objective,
 //!   local search).
 //!
+//! ## The ScoreEngine layer
+//!
+//! Every solver runs on the shared [`engine`]: a flat structure-of-arrays
+//! [`engine::ScoreContext`] (row-major expertise/paper matrices + a CSR
+//! sparse view over each paper's non-zero topics), an incremental
+//! [`engine::GainTable`] of all per-paper running-group states with
+//! CELF-style lazy gain re-evaluation ([`engine::celf`]), and the unified
+//! [`engine::Solver`] trait the CLI, benches and examples dispatch through:
+//!
+//! ```
+//! use wgrap_core::engine::{ScoreContext, SdgaSolver, Solver};
+//! use wgrap_core::prelude::*;
+//!
+//! let inst = Instance::new(
+//!     vec![TopicVector::new(vec![0.6, 0.4])],
+//!     vec![TopicVector::new(vec![0.9, 0.1]), TopicVector::new(vec![0.2, 0.8])],
+//!     2,
+//!     1,
+//! )?;
+//! let ctx = ScoreContext::new(&inst, Scoring::WeightedCoverage);
+//! let assignment = SdgaSolver::default().solve(&ctx)?;
+//! assert!(assignment.validate(&inst).is_ok());
+//! # Ok::<(), wgrap_core::error::Error>(())
+//! ```
+//!
+//! The engine is an *exact* refactoring: every kernel reproduces the legacy
+//! boxed-vector arithmetic bit for bit (see `tests/proptests.rs`'s
+//! `engine_equivalence` module), and each algorithm module keeps its
+//! `solve(inst, scoring)` entry as the reference path.
+//!
+//! ### Feature flags
+//!
+//! * `rayon` — deterministic parallelism for the engine's paper-parallel
+//!   kernels (pair-score matrices, SDGA stage cost matrices, SRA trials).
+//!   Outputs are positionally reduced and therefore identical with the
+//!   feature on or off. Offline builds back this with the vendored
+//!   `wgrap-par` scoped-thread substrate instead of crates.io `rayon`.
+//!
 //! [`metrics`] implements the paper's §5 quality measures (optimality ratio
 //! against the ideal assignment, superiority ratio, lowest coverage score)
 //! and [`reductions`] the §2.3 mappings from RRAP/ARAP/SGRAP into WGRAP.
@@ -23,9 +61,9 @@
 #![warn(missing_docs)]
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod assignment;
 pub mod cra;
+pub mod engine;
 pub mod error;
 pub mod io;
 pub mod jra;

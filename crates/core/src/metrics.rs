@@ -66,31 +66,19 @@ pub fn superiority_ratio(
             better += 1;
         }
     }
-    Superiority {
-        strictly_better: better as f64 / n as f64,
-        tied: tied as f64 / n as f64,
-    }
+    Superiority { strictly_better: better as f64 / n as f64, tied: tied as f64 / n as f64 }
 }
 
 /// `min_p c(A[p], p)` — the worst-served paper (Table 7).
 pub fn lowest_coverage(inst: &Instance, scoring: Scoring, a: &Assignment) -> f64 {
-    (0..a.num_papers())
-        .map(|p| a.paper_score(inst, scoring, p))
-        .fold(f64::INFINITY, f64::min)
+    (0..a.num_papers()).map(|p| a.paper_score(inst, scoring, p)).fold(f64::INFINITY, f64::min)
 }
 
 /// Number of papers where X's group strictly improves on Y's (the "389 out
 /// of 617 papers" style of count in §5.2).
-pub fn papers_improved(
-    inst: &Instance,
-    scoring: Scoring,
-    x: &Assignment,
-    y: &Assignment,
-) -> usize {
+pub fn papers_improved(inst: &Instance, scoring: Scoring, x: &Assignment, y: &Assignment) -> usize {
     (0..x.num_papers())
-        .filter(|&p| {
-            x.paper_score(inst, scoring, p) > y.paper_score(inst, scoring, p) + 1e-9
-        })
+        .filter(|&p| x.paper_score(inst, scoring, p) > y.paper_score(inst, scoring, p) + 1e-9)
         .count()
 }
 
@@ -140,11 +128,7 @@ pub fn case_study(
 /// expert to support topic t5").
 pub fn topic_supported(cs: &CaseStudy, topic_pos: usize) -> bool {
     cs.reviewers.iter().any(|(_, w)| {
-        let best = w
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i);
+        let best = w.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i);
         best == Some(topic_pos)
     })
 }
@@ -157,10 +141,7 @@ pub fn group_topic_coverage(
     paper: usize,
     topics: &[usize],
 ) -> Vec<f64> {
-    let g = group_expertise(
-        inst.num_topics(),
-        a.group(paper).iter().map(|&r| inst.reviewer(r)),
-    );
+    let g = group_expertise(inst.num_topics(), a.group(paper).iter().map(|&r| inst.reviewer(r)));
     topics.iter().map(|&t| g[t].min(inst.paper(paper)[t])).collect()
 }
 

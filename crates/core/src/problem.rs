@@ -34,11 +34,7 @@ impl Instance {
         delta_p: usize,
         delta_r: usize,
     ) -> Result<Self> {
-        let dim = reviewers
-            .first()
-            .or(papers.first())
-            .map(TopicVector::dim)
-            .unwrap_or(0);
+        let dim = reviewers.first().or(papers.first()).map(TopicVector::dim).unwrap_or(0);
         if papers.iter().chain(&reviewers).any(|v| v.dim() != dim) {
             return Err(Error::InvalidInstance(
                 "all topic vectors must share one dimension".into(),
@@ -77,7 +73,11 @@ impl Instance {
 
     /// Single-paper instance for Journal Reviewer Assignment (Definition 6);
     /// the reviewer workload is irrelevant and set to 1.
-    pub fn journal(paper: TopicVector, reviewers: Vec<TopicVector>, delta_p: usize) -> Result<Self> {
+    pub fn journal(
+        paper: TopicVector,
+        reviewers: Vec<TopicVector>,
+        delta_p: usize,
+    ) -> Result<Self> {
         Self::new(vec![paper], reviewers, delta_p, 1)
     }
 
@@ -156,10 +156,7 @@ impl Instance {
 
     /// Display name of paper `p`.
     pub fn paper_name(&self, p: usize) -> String {
-        self.paper_names
-            .as_ref()
-            .map(|n| n[p].clone())
-            .unwrap_or_else(|| format!("paper-{p}"))
+        self.paper_names.as_ref().map(|n| n[p].clone()).unwrap_or_else(|| format!("paper-{p}"))
     }
 
     /// Display name of reviewer `r`.
@@ -186,12 +183,7 @@ impl Instance {
 
     /// Restrict to a different `(δp, δr)` pair, revalidating capacity.
     pub fn with_constraints(&self, delta_p: usize, delta_r: usize) -> Result<Self> {
-        let mut inst = Self::new(
-            self.papers.clone(),
-            self.reviewers.clone(),
-            delta_p,
-            delta_r,
-        )?;
+        let mut inst = Self::new(self.papers.clone(), self.reviewers.clone(), delta_p, delta_r)?;
         inst.coi = self.coi.clone();
         inst.paper_names = self.paper_names.clone();
         inst.reviewer_names = self.reviewer_names.clone();
@@ -268,18 +260,16 @@ mod tests {
 
     #[test]
     fn journal_constructor() {
-        let inst = Instance::journal(tv(&[0.5, 0.5]), vec![tv(&[1.0, 0.0]), tv(&[0.0, 1.0])], 2)
-            .unwrap();
+        let inst =
+            Instance::journal(tv(&[0.5, 0.5]), vec![tv(&[1.0, 0.0]), tv(&[0.0, 1.0])], 2).unwrap();
         assert_eq!(inst.num_papers(), 1);
         assert_eq!(inst.delta_p(), 2);
     }
 
     #[test]
     fn names_roundtrip() {
-        let inst = tiny().with_names(
-            vec!["p0".into(), "p1".into()],
-            vec!["a".into(), "b".into(), "c".into()],
-        );
+        let inst = tiny()
+            .with_names(vec!["p0".into(), "p1".into()], vec!["a".into(), "b".into(), "c".into()]);
         assert_eq!(inst.paper_name(1), "p1");
         assert_eq!(inst.reviewer_name(2), "c");
         let unnamed = tiny();

@@ -45,10 +45,8 @@ pub fn set_coverage(group_topics: &[&Vec<usize>], paper_topics: &[usize]) -> f64
     if paper_topics.is_empty() {
         return 0.0;
     }
-    let covered = paper_topics
-        .iter()
-        .filter(|t| group_topics.iter().any(|g| g.contains(t)))
-        .count();
+    let covered =
+        paper_topics.iter().filter(|t| group_topics.iter().any(|g| g.contains(t))).count();
     covered as f64 / paper_topics.len() as f64
 }
 
@@ -87,10 +85,7 @@ pub fn extend_for_arap(inst: &Instance) -> Result<Instance> {
 /// The ARAP pair-sum objective on the original instance (Definition 5's
 /// inner sum for one paper).
 pub fn arap_paper_objective(inst: &Instance, scoring: Scoring, group: &[usize], p: usize) -> f64 {
-    group
-        .iter()
-        .map(|&r| scoring.pair_score(inst.reviewer(r), inst.paper(p)))
-        .sum()
+    group.iter().map(|&r| scoring.pair_score(inst.reviewer(r), inst.paper(p))).sum()
 }
 
 #[cfg(test)]
@@ -141,8 +136,7 @@ mod tests {
             for i in 0..inst.num_reviewers() {
                 for j in i + 1..inst.num_reviewers() {
                     let pair_sum = arap_paper_objective(&inst, s, &[i, j], p);
-                    let grouped =
-                        s.group_score([ext.reviewer(i), ext.reviewer(j)], ext.paper(p));
+                    let grouped = s.group_score([ext.reviewer(i), ext.reviewer(j)], ext.paper(p));
                     assert!(
                         (grouped - pair_sum / r_count).abs() < 1e-9,
                         "extension broke: {grouped} vs {}",

@@ -38,6 +38,19 @@ impl Scoring {
         Scoring::DotProduct,
     ];
 
+    /// Does a zero paper weight force a zero contribution, `f(e, 0) = 0`?
+    ///
+    /// When true, the engine may skip a paper's zero-weight topics entirely
+    /// (its CSR sparse view) without changing any score bit: omitted terms
+    /// would add exactly `0.0` to a non-negative partial sum, which is an
+    /// exact no-op in IEEE-754. Reviewer coverage returns `e` at `p = 0`
+    /// (any expertise "covers" a topic the paper lacks), so it must use the
+    /// dense path.
+    #[inline]
+    pub fn sparse_safe(self) -> bool {
+        !matches!(self, Scoring::ReviewerCoverage)
+    }
+
     /// Per-topic contribution `f(expertise, paper_weight)`.
     #[inline]
     pub fn topic_contribution(self, expertise: f64, paper: f64) -> f64 {
@@ -65,11 +78,7 @@ impl Scoring {
     #[inline]
     pub fn raw_score(self, expertise: &[f64], paper: &[f64]) -> f64 {
         debug_assert_eq!(expertise.len(), paper.len());
-        expertise
-            .iter()
-            .zip(paper)
-            .map(|(&e, &p)| self.topic_contribution(e, p))
-            .sum()
+        expertise.iter().zip(paper).map(|(&e, &p)| self.topic_contribution(e, p)).sum()
     }
 
     /// `c(r, p)` for a single reviewer (Eq. 1 with the normalising
@@ -168,8 +177,8 @@ impl RunningGroup {
         let mut delta = 0.0;
         for ((&g, &r), &p) in self.gmax.iter().zip(reviewer.as_slice()).zip(&self.paper) {
             if r > g {
-                delta += self.scoring.topic_contribution(r, p)
-                    - self.scoring.topic_contribution(g, p);
+                delta +=
+                    self.scoring.topic_contribution(r, p) - self.scoring.topic_contribution(g, p);
             }
         }
         delta * self.inv_total
@@ -181,8 +190,8 @@ impl RunningGroup {
         for (i, (&r, &p)) in reviewer.as_slice().iter().zip(&self.paper).enumerate() {
             let g = self.gmax[i];
             if r > g {
-                self.raw += self.scoring.topic_contribution(r, p)
-                    - self.scoring.topic_contribution(g, p);
+                self.raw +=
+                    self.scoring.topic_contribution(r, p) - self.scoring.topic_contribution(g, p);
                 self.gmax[i] = r;
             }
         }
@@ -234,8 +243,10 @@ mod tests {
         assert!(close(Scoring::WeightedCoverage.pair_score(&r1, &p), 0.7));
         assert!(close(Scoring::WeightedCoverage.pair_score(&r2, &p), 0.9));
         // Only the weighted coverage prefers r2.
-        assert!(Scoring::WeightedCoverage.pair_score(&r2, &p)
-            > Scoring::WeightedCoverage.pair_score(&r1, &p));
+        assert!(
+            Scoring::WeightedCoverage.pair_score(&r2, &p)
+                > Scoring::WeightedCoverage.pair_score(&r1, &p)
+        );
         for s in [Scoring::ReviewerCoverage, Scoring::PaperCoverage, Scoring::DotProduct] {
             assert!(s.pair_score(&r1, &p) > s.pair_score(&r2, &p));
         }

@@ -66,9 +66,7 @@ impl TopicVector {
         if total <= 0.0 {
             return Self::uniform(self.dim().max(1));
         }
-        Self {
-            weights: self.weights.iter().map(|w| w / total).collect(),
-        }
+        Self { weights: self.weights.iter().map(|w| w / total).collect() }
     }
 
     /// Scale every weight by `factor ≥ 0` (used by the h-index scaling of

@@ -157,6 +157,148 @@ proptest! {
     }
 }
 
+/// Engine / legacy equivalence: every solver must produce **bit-identical
+/// assignments** whether it runs on the flat [`ScoreContext`] engine path or
+/// the seed's boxed-`TopicVector` reference path. The engine's SoA layout,
+/// CSR sparse kernels and (feature-gated) parallelism are all designed to be
+/// exact refactorings — these tests are the contract.
+mod engine_equivalence {
+    use proptest::prelude::*;
+    use wgrap_core::cra::CraAlgorithm;
+    use wgrap_core::engine::ScoreContext;
+    use wgrap_core::jra::{bba, JraProblem};
+    use wgrap_core::prelude::*;
+
+    fn topic_vector(dim: usize) -> impl Strategy<Value = TopicVector> {
+        proptest::collection::vec(0.0..1.0f64, dim).prop_map(|mut v| {
+            if v.iter().sum::<f64>() <= 0.0 {
+                v[0] = 1.0;
+            }
+            TopicVector::new(v).normalized()
+        })
+    }
+
+    /// A sparse-ish topic vector: a dense draw with some topics zeroed, so
+    /// the CSR path actually skips entries.
+    fn sparse_topic_vector(dim: usize) -> impl Strategy<Value = TopicVector> {
+        (proptest::collection::vec(0.0..1.0f64, dim), proptest::collection::vec(any::<bool>(), dim))
+            .prop_map(|(mut v, mask)| {
+                for (w, drop) in v.iter_mut().zip(mask) {
+                    if drop {
+                        *w = 0.0;
+                    }
+                }
+                if v.iter().sum::<f64>() <= 0.0 {
+                    v[0] = 1.0;
+                }
+                TopicVector::new(v).normalized()
+            })
+    }
+
+    fn instance_strategy(dim: usize) -> impl Strategy<Value = (Instance, u64)> {
+        (
+            proptest::collection::vec(sparse_topic_vector(dim), 2..6),
+            proptest::collection::vec(topic_vector(dim), 4..8),
+            1usize..4,
+            0u64..1_000,
+            proptest::collection::vec(any::<bool>(), 48),
+        )
+            .prop_map(move |(papers, reviewers, delta_p, seed, coi)| {
+                let delta_p = delta_p.min(reviewers.len() - 1).max(1);
+                let delta_r = Instance::minimal_delta_r(papers.len(), reviewers.len(), delta_p);
+                // Leave headroom so COIs cannot make the instance infeasible.
+                let mut inst =
+                    Instance::new(papers, reviewers, delta_p, delta_r + 1).expect("valid");
+                let mut k = 0usize;
+                for r in 0..inst.num_reviewers() {
+                    for p in 0..inst.num_papers() {
+                        // Sparse COIs, never more than one per paper.
+                        if coi[k % coi.len()] && r == p % inst.num_reviewers() {
+                            inst.add_coi(r, p);
+                        }
+                        k += 1;
+                    }
+                }
+                (inst, seed)
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// All six CRA algorithms, engine vs legacy, all four scorings:
+        /// identical groups, reviewer for reviewer, in order.
+        #[test]
+        fn cra_algorithms_bit_identical((inst, seed) in instance_strategy(5)) {
+            for scoring in Scoring::ALL {
+                for algo in CraAlgorithm::ALL {
+                    let engine = algo.run(&inst, scoring, seed);
+                    let legacy = algo.run_legacy(&inst, scoring, seed);
+                    match (engine, legacy) {
+                        (Ok(e), Ok(l)) => {
+                            prop_assert_eq!(
+                                &e, &l,
+                                "{:?}/{:?} diverged: engine {:?} vs legacy {:?}",
+                                algo, scoring, &e, &l
+                            );
+                            prop_assert!(e.validate(&inst).is_ok());
+                        }
+                        (Err(_), Err(_)) => {} // both infeasible is agreement
+                        (e, l) => prop_assert!(
+                            false,
+                            "{algo:?}/{scoring:?}: engine {e:?} vs legacy {l:?}"
+                        ),
+                    }
+                }
+            }
+        }
+
+        /// Solver-trait dispatch equals the enum entry point.
+        #[test]
+        fn solver_trait_matches_run((inst, seed) in instance_strategy(4)) {
+            let ctx = ScoreContext::new(&inst, Scoring::WeightedCoverage).with_seed(seed);
+            for algo in CraAlgorithm::ALL {
+                let via_trait = algo.solver().solve(&ctx);
+                let via_run = algo.run(&inst, Scoring::WeightedCoverage, seed);
+                match (via_trait, via_run) {
+                    (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                    (Err(_), Err(_)) => {}
+                    (a, b) => prop_assert!(false, "{algo:?}: {a:?} vs {b:?}"),
+                }
+            }
+        }
+
+        /// JRA BBA through the engine context equals the legacy problem
+        /// path: same groups, same scores, same node counts.
+        #[test]
+        fn jra_bba_bit_identical(
+            paper in sparse_topic_vector(5),
+            pool in proptest::collection::vec(topic_vector(5), 4..10),
+            delta_p in 1usize..4,
+            top_k in 1usize..4,
+        ) {
+            prop_assume!(delta_p <= pool.len());
+            for scoring in Scoring::ALL {
+                let problem = JraProblem::new(&paper, &pool, delta_p).with_scoring(scoring);
+                let opts = bba::BbaOptions { top_k, ..Default::default() };
+                let legacy = bba::solve_with_options(&problem, &opts).expect("feasible");
+
+                let journal = Instance::journal(paper.clone(), pool.clone(), delta_p)
+                    .expect("valid journal instance");
+                let ctx = ScoreContext::new(&journal, scoring);
+                let engine = bba::solve_ctx(&ctx, 0, &opts).expect("feasible");
+
+                prop_assert_eq!(legacy.len(), engine.len());
+                for (l, e) in legacy.iter().zip(&engine) {
+                    prop_assert_eq!(&l.group, &e.group, "{:?}", scoring);
+                    prop_assert_eq!(l.score.to_bits(), e.score.to_bits());
+                    prop_assert_eq!(l.nodes, e.nodes);
+                }
+            }
+        }
+    }
+}
+
 mod io_roundtrip {
     use proptest::prelude::*;
     use wgrap_core::io;

@@ -50,23 +50,53 @@ pub struct DatasetSpec {
 }
 
 /// DM 2008: 545 papers, SIGKDD'08 PC of 203.
-pub const DM08: DatasetSpec =
-    DatasetSpec { name: "DM08", area: Area::DataMining, year: 2008, num_papers: 545, num_reviewers: 203 };
+pub const DM08: DatasetSpec = DatasetSpec {
+    name: "DM08",
+    area: Area::DataMining,
+    year: 2008,
+    num_papers: 545,
+    num_reviewers: 203,
+};
 /// DM 2009: 648 papers, SIGKDD'09 PC of 145.
-pub const DM09: DatasetSpec =
-    DatasetSpec { name: "DM09", area: Area::DataMining, year: 2009, num_papers: 648, num_reviewers: 145 };
+pub const DM09: DatasetSpec = DatasetSpec {
+    name: "DM09",
+    area: Area::DataMining,
+    year: 2009,
+    num_papers: 648,
+    num_reviewers: 145,
+};
 /// DB 2008: 617 papers, SIGMOD'08 PC of 105.
-pub const DB08: DatasetSpec =
-    DatasetSpec { name: "DB08", area: Area::Databases, year: 2008, num_papers: 617, num_reviewers: 105 };
+pub const DB08: DatasetSpec = DatasetSpec {
+    name: "DB08",
+    area: Area::Databases,
+    year: 2008,
+    num_papers: 617,
+    num_reviewers: 105,
+};
 /// DB 2009: 513 papers, SIGMOD'09 PC of 90.
-pub const DB09: DatasetSpec =
-    DatasetSpec { name: "DB09", area: Area::Databases, year: 2009, num_papers: 513, num_reviewers: 90 };
+pub const DB09: DatasetSpec = DatasetSpec {
+    name: "DB09",
+    area: Area::Databases,
+    year: 2009,
+    num_papers: 513,
+    num_reviewers: 90,
+};
 /// Theory 2008: 281 papers, STOC'08 PC of 228.
-pub const T08: DatasetSpec =
-    DatasetSpec { name: "T08", area: Area::Theory, year: 2008, num_papers: 281, num_reviewers: 228 };
+pub const T08: DatasetSpec = DatasetSpec {
+    name: "T08",
+    area: Area::Theory,
+    year: 2008,
+    num_papers: 281,
+    num_reviewers: 228,
+};
 /// Theory 2009: 226 papers, STOC'09 PC of 222.
-pub const T09: DatasetSpec =
-    DatasetSpec { name: "T09", area: Area::Theory, year: 2009, num_papers: 226, num_reviewers: 222 };
+pub const T09: DatasetSpec = DatasetSpec {
+    name: "T09",
+    area: Area::Theory,
+    year: 2009,
+    num_papers: 226,
+    num_reviewers: 222,
+};
 
 /// All six datasets in Table 7 order.
 pub fn all_datasets() -> [DatasetSpec; 6] {

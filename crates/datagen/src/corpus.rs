@@ -120,9 +120,8 @@ pub fn generate(spec: &DatasetSpec, cfg: &CorpusConfig, seed: u64) -> SyntheticC
     let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
     let true_phi = ground_truth_phi(&mut rng, cfg);
 
-    let true_reviewer_theta: Vec<Vec<f64>> = (0..spec.num_reviewers)
-        .map(|_| area_mixture(&mut rng, spec.area, cfg))
-        .collect();
+    let true_reviewer_theta: Vec<Vec<f64>> =
+        (0..spec.num_reviewers).map(|_| area_mixture(&mut rng, spec.area, cfg)).collect();
 
     let mut publications = Corpus::new(cfg.vocab_size, spec.num_reviewers);
     for a in 0..spec.num_reviewers {
@@ -150,9 +149,8 @@ pub fn generate(spec: &DatasetSpec, cfg: &CorpusConfig, seed: u64) -> SyntheticC
         }
     }
 
-    let true_paper_theta: Vec<Vec<f64>> = (0..spec.num_papers)
-        .map(|_| area_mixture(&mut rng, spec.area, cfg))
-        .collect();
+    let true_paper_theta: Vec<Vec<f64>> =
+        (0..spec.num_papers).map(|_| area_mixture(&mut rng, spec.area, cfg)).collect();
     let submissions: Vec<Vec<u32>> = true_paper_theta
         .iter()
         .map(|theta| {
@@ -161,13 +159,7 @@ pub fn generate(spec: &DatasetSpec, cfg: &CorpusConfig, seed: u64) -> SyntheticC
         })
         .collect();
 
-    SyntheticCorpus {
-        publications,
-        submissions,
-        true_phi,
-        true_reviewer_theta,
-        true_paper_theta,
-    }
+    SyntheticCorpus { publications, submissions, true_phi, true_reviewer_theta, true_paper_theta }
 }
 
 #[cfg(test)]
@@ -211,12 +203,7 @@ mod tests {
     #[test]
     fn ground_truth_is_normalised() {
         let sc = generate(&tiny_spec(), &tiny_cfg(), 2);
-        for row in sc
-            .true_phi
-            .iter()
-            .chain(&sc.true_reviewer_theta)
-            .chain(&sc.true_paper_theta)
-        {
+        for row in sc.true_phi.iter().chain(&sc.true_reviewer_theta).chain(&sc.true_paper_theta) {
             assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         }
     }

@@ -35,11 +35,7 @@ pub fn scale_by_hindex(reviewers: &[TopicVector], hindices: &[u32]) -> Vec<Topic
         .iter()
         .zip(hindices)
         .map(|(r, &h)| {
-            let factor = if span > 0.0 {
-                1.0 + (h - h_min) as f64 / span
-            } else {
-                1.0
-            };
+            let factor = if span > 0.0 { 1.0 + (h - h_min) as f64 / span } else { 1.0 };
             r.scaled(factor)
         })
         .collect()

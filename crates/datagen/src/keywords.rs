@@ -8,41 +8,164 @@ use crate::areas::Area;
 pub fn area_keywords(area: Area) -> &'static [&'static str] {
     match area {
         Area::DataMining => &[
-            "clustering", "classification", "mining", "pattern", "frequent", "anomaly",
-            "outlier", "ensemble", "feature", "kernel", "boosting", "regression",
-            "recommendation", "collaborative", "matrix", "factorization", "embedding",
-            "social", "network", "community", "influence", "diffusion", "stream",
-            "temporal", "sequence", "timeseries", "forecasting", "privacy", "anonymity",
-            "sampling", "sketch", "association", "rule", "itemset", "label",
-            "supervised", "unsupervised", "semisupervised", "transfer", "topic",
+            "clustering",
+            "classification",
+            "mining",
+            "pattern",
+            "frequent",
+            "anomaly",
+            "outlier",
+            "ensemble",
+            "feature",
+            "kernel",
+            "boosting",
+            "regression",
+            "recommendation",
+            "collaborative",
+            "matrix",
+            "factorization",
+            "embedding",
+            "social",
+            "network",
+            "community",
+            "influence",
+            "diffusion",
+            "stream",
+            "temporal",
+            "sequence",
+            "timeseries",
+            "forecasting",
+            "privacy",
+            "anonymity",
+            "sampling",
+            "sketch",
+            "association",
+            "rule",
+            "itemset",
+            "label",
+            "supervised",
+            "unsupervised",
+            "semisupervised",
+            "transfer",
+            "topic",
         ],
         Area::Databases => &[
-            "query", "optimization", "index", "join", "transaction", "concurrency",
-            "recovery", "storage", "buffer", "plan", "relational", "schema", "xml",
-            "xpath", "xquery", "spatial", "keyword", "ranking", "view", "materialized",
-            "partition", "distributed", "parallel", "column", "compression", "skyline",
-            "nearest", "neighbor", "graph", "rdf", "provenance", "uncertain",
-            "probabilistic", "stream", "continuous", "window", "cardinality",
-            "selectivity", "benchmark", "workload",
+            "query",
+            "optimization",
+            "index",
+            "join",
+            "transaction",
+            "concurrency",
+            "recovery",
+            "storage",
+            "buffer",
+            "plan",
+            "relational",
+            "schema",
+            "xml",
+            "xpath",
+            "xquery",
+            "spatial",
+            "keyword",
+            "ranking",
+            "view",
+            "materialized",
+            "partition",
+            "distributed",
+            "parallel",
+            "column",
+            "compression",
+            "skyline",
+            "nearest",
+            "neighbor",
+            "graph",
+            "rdf",
+            "provenance",
+            "uncertain",
+            "probabilistic",
+            "stream",
+            "continuous",
+            "window",
+            "cardinality",
+            "selectivity",
+            "benchmark",
+            "workload",
         ],
         Area::Theory => &[
-            "approximation", "hardness", "complexity", "algorithm", "randomized",
-            "deterministic", "lower", "bound", "reduction", "np", "polynomial",
-            "logarithmic", "combinatorial", "graph", "matching", "flow", "cut",
-            "expander", "spectral", "lattice", "cryptography", "protocol", "game",
-            "equilibrium", "mechanism", "auction", "online", "competitive", "streaming",
-            "sketching", "sparsification", "sampling", "concentration", "entropy",
-            "coding", "locally", "testable", "pcp", "interactive", "proof",
+            "approximation",
+            "hardness",
+            "complexity",
+            "algorithm",
+            "randomized",
+            "deterministic",
+            "lower",
+            "bound",
+            "reduction",
+            "np",
+            "polynomial",
+            "logarithmic",
+            "combinatorial",
+            "graph",
+            "matching",
+            "flow",
+            "cut",
+            "expander",
+            "spectral",
+            "lattice",
+            "cryptography",
+            "protocol",
+            "game",
+            "equilibrium",
+            "mechanism",
+            "auction",
+            "online",
+            "competitive",
+            "streaming",
+            "sketching",
+            "sparsification",
+            "sampling",
+            "concentration",
+            "entropy",
+            "coding",
+            "locally",
+            "testable",
+            "pcp",
+            "interactive",
+            "proof",
         ],
     }
 }
 
 /// Shared filler vocabulary (function-ish words every topic emits).
 pub const FILLER: &[&str] = &[
-    "propose", "novel", "efficient", "scalable", "framework", "approach", "evaluate",
-    "experiments", "results", "demonstrate", "significantly", "outperforms", "existing",
-    "state", "art", "problem", "method", "technique", "analysis", "model", "data",
-    "large", "real", "synthetic", "study", "present", "show", "performance",
+    "propose",
+    "novel",
+    "efficient",
+    "scalable",
+    "framework",
+    "approach",
+    "evaluate",
+    "experiments",
+    "results",
+    "demonstrate",
+    "significantly",
+    "outperforms",
+    "existing",
+    "state",
+    "art",
+    "problem",
+    "method",
+    "technique",
+    "analysis",
+    "model",
+    "data",
+    "large",
+    "real",
+    "synthetic",
+    "study",
+    "present",
+    "show",
+    "performance",
 ];
 
 /// Build a vocabulary of `size` word strings for an area-bearing corpus:
@@ -51,11 +174,7 @@ pub const FILLER: &[&str] = &[
 pub fn build_word_list(size: usize) -> Vec<String> {
     let mut seen = std::collections::HashSet::new();
     let mut words: Vec<String> = Vec::with_capacity(size);
-    for w in Area::ALL
-        .iter()
-        .flat_map(|&a| area_keywords(a).iter())
-        .chain(FILLER.iter())
-    {
+    for w in Area::ALL.iter().flat_map(|&a| area_keywords(a).iter()).chain(FILLER.iter()) {
         // A few keywords appear in several area pools ("graph", "stream"):
         // keep the first occurrence only.
         if seen.insert(*w) {

@@ -19,7 +19,6 @@
 //! Every generator is deterministic given its seed.
 #![warn(missing_docs)]
 
-
 pub mod areas;
 pub mod corpus;
 pub mod hindex;

@@ -38,19 +38,13 @@ pub fn corpus_to_instance(
     delta_p: usize,
     seed: u64,
 ) -> (Instance, SyntheticCorpus) {
-    assert_eq!(
-        cfg.corpus.num_topics, cfg.atm.num_topics,
-        "corpus and ATM topic counts must match"
-    );
+    assert_eq!(cfg.corpus.num_topics, cfg.atm.num_topics, "corpus and ATM topic counts must match");
     let sc = generate(spec, &cfg.corpus, seed);
     let atm_opts = AtmOptions { seed, ..cfg.atm.clone() };
     let model = fit(&sc.publications, &atm_opts);
 
-    let reviewers: Vec<TopicVector> = model
-        .theta
-        .iter()
-        .map(|row| TopicVector::new(row.clone()).normalized())
-        .collect();
+    let reviewers: Vec<TopicVector> =
+        model.theta.iter().map(|row| TopicVector::new(row.clone()).normalized()).collect();
     let papers: Vec<TopicVector> = sc
         .submissions
         .iter()

@@ -51,12 +51,7 @@ pub fn area_topics(area: Area, num_topics: usize) -> std::ops::Range<usize> {
     start..end.min(num_topics)
 }
 
-fn sample_member(
-    rng: &mut StdRng,
-    area: Area,
-    cfg: &VectorConfig,
-    alpha: f64,
-) -> TopicVector {
+fn sample_member(rng: &mut StdRng, area: Area, cfg: &VectorConfig, alpha: f64) -> TopicVector {
     let t = cfg.num_topics;
     let core = area_topics(area, t);
     let mut weights = vec![0.0f64; t];
@@ -218,9 +213,8 @@ mod tests {
         let pool = jra_pool(30, &cfg, 5);
         assert_eq!(pool.len(), 30);
         // Reviewers cycle areas; adjacent ones concentrate on different blocks.
-        let mass = |v: &TopicVector, a: Area| {
-            area_topics(a, cfg.num_topics).map(|t| v[t]).sum::<f64>()
-        };
+        let mass =
+            |v: &TopicVector, a: Area| area_topics(a, cfg.num_topics).map(|t| v[t]).sum::<f64>();
         assert!(mass(&pool[0], Area::DataMining) > mass(&pool[0], Area::Theory));
         assert!(mass(&pool[2], Area::Theory) > mass(&pool[2], Area::DataMining));
     }
@@ -231,11 +225,9 @@ mod tests {
         let ps = papers(&DB08, &cfg, 13);
         // Blended papers keep visible mass outside their home block.
         let core = area_topics(Area::Databases, cfg.num_topics);
-        let outside: f64 = ps
-            .iter()
-            .map(|p| 1.0 - core.clone().map(|t| p[t]).sum::<f64>())
-            .sum::<f64>()
-            / ps.len() as f64;
+        let outside: f64 =
+            ps.iter().map(|p| 1.0 - core.clone().map(|t| p[t]).sum::<f64>()).sum::<f64>()
+                / ps.len() as f64;
         assert!(outside > 0.2, "outside-block mass {outside}");
     }
 }

@@ -53,11 +53,8 @@ mod tests {
 
     #[test]
     fn identity_is_optimal_when_diagonal_cheap() {
-        let m = CostMatrix::from_rows(&[
-            vec![0.0, 9.0, 9.0],
-            vec![9.0, 0.0, 9.0],
-            vec![9.0, 9.0, 0.0],
-        ]);
+        let m =
+            CostMatrix::from_rows(&[vec![0.0, 9.0, 9.0], vec![9.0, 0.0, 9.0], vec![9.0, 9.0, 0.0]]);
         let (cost, perm) = brute_force_min(&m).unwrap();
         assert_eq!(cost, 0.0);
         assert_eq!(perm, vec![0, 1, 2]);

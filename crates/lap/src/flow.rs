@@ -91,7 +91,10 @@ impl MinCostFlow {
                         continue;
                     }
                     let nd = d + e.cost + potential[u] - potential[e.to];
-                    debug_assert!(e.cost + potential[u] - potential[e.to] >= 0, "negative reduced cost");
+                    debug_assert!(
+                        e.cost + potential[u] - potential[e.to] >= 0,
+                        "negative reduced cost"
+                    );
                     if nd < dist[e.to] {
                         dist[e.to] = nd;
                         prev_edge[e.to] = eid;

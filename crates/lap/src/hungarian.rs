@@ -154,11 +154,8 @@ mod tests {
     #[test]
     fn square_min_hand_example() {
         // Small instance cross-checked against exhaustive enumeration.
-        let m = CostMatrix::from_rows(&[
-            vec![4.0, 1.0, 3.0],
-            vec![2.0, 0.0, 5.0],
-            vec![3.0, 2.0, 2.0],
-        ]);
+        let m =
+            CostMatrix::from_rows(&[vec![4.0, 1.0, 3.0], vec![2.0, 0.0, 5.0], vec![3.0, 2.0, 2.0]]);
         let sol = hungarian_min(&m).unwrap();
         let (bf_cost, _) = brute_force_min(&m).unwrap();
         assert!((sol.cost - bf_cost).abs() < 1e-12);
@@ -173,10 +170,7 @@ mod tests {
     #[test]
     fn forbidden_entries_avoided() {
         let inf = f64::INFINITY;
-        let m = CostMatrix::from_rows(&[
-            vec![inf, 1.0],
-            vec![1.0, inf],
-        ]);
+        let m = CostMatrix::from_rows(&[vec![inf, 1.0], vec![1.0, inf]]);
         let sol = hungarian_min(&m).unwrap();
         assert_eq!(sol.col_of_row, vec![1, 0]);
         assert!((sol.cost - 2.0).abs() < 1e-12);
@@ -185,19 +179,13 @@ mod tests {
     #[test]
     fn infeasible_returns_none() {
         let inf = f64::INFINITY;
-        let m = CostMatrix::from_rows(&[
-            vec![inf, inf],
-            vec![1.0, 2.0],
-        ]);
+        let m = CostMatrix::from_rows(&[vec![inf, inf], vec![1.0, 2.0]]);
         assert!(hungarian_min(&m).is_none());
     }
 
     #[test]
     fn max_rectangular_rows_lt_cols() {
-        let m = CostMatrix::from_rows(&[
-            vec![5.0, 3.0, 9.0],
-            vec![8.0, 9.0, 1.0],
-        ]);
+        let m = CostMatrix::from_rows(&[vec![5.0, 3.0, 9.0], vec![8.0, 9.0, 1.0]]);
         let sol = hungarian_max(&m).unwrap();
         assert_eq!(sol.matched(), 2);
         assert!((sol.objective - 18.0).abs() < 1e-12); // 9 + 9

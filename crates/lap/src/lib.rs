@@ -20,7 +20,6 @@
 #![warn(missing_docs)]
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod brute;
 pub mod flow;
 pub mod hungarian;
@@ -49,9 +48,6 @@ impl Assignment {
 
     /// Iterate over `(row, col)` matched pairs.
     pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.row_to_col
-            .iter()
-            .enumerate()
-            .filter_map(|(r, c)| c.map(|c| (r, c)))
+        self.row_to_col.iter().enumerate().filter_map(|(r, c)| c.map(|c| (r, c)))
     }
 }

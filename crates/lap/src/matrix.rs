@@ -33,6 +33,14 @@ impl CostMatrix {
         Self { rows, cols, data }
     }
 
+    /// Build from a pre-filled row-major buffer; panics on a size mismatch.
+    /// Lets callers assemble rows in parallel and hand the buffer over
+    /// without the per-cell closure dispatch of [`CostMatrix::from_fn`].
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "flat buffer does not match rows*cols");
+        Self { rows, cols, data }
+    }
+
     /// Build from nested slices; panics if the rows are ragged.
     pub fn from_rows(rows: &[Vec<f64>]) -> Self {
         let r = rows.len();

@@ -1,0 +1,90 @@
+//! Deterministic data parallelism over `std::thread::scope`.
+//!
+//! Offline stand-in for the rayon dependency the engine's `rayon` feature
+//! would normally pull in: the build environment cannot reach crates.io, so
+//! `wgrap-core` gates this crate behind its `rayon` feature instead.
+//!
+//! Work is split into contiguous index chunks, one per worker; each worker
+//! writes results for its own chunk and chunks are laid out in input order,
+//! so the output is **bit-identical to the serial map regardless of thread
+//! count or scheduling** (a requirement for the engine's equivalence
+//! guarantees). Only the wall-clock varies.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker count used by the `par_*` helpers: `WGRAP_THREADS` if set,
+/// otherwise the machine's available parallelism.
+pub fn num_threads() -> usize {
+    static CACHED: AtomicUsize = AtomicUsize::new(0);
+    let cached = CACHED.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::env::var("WGRAP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+        });
+    CACHED.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Parallel `(0..n).map(f).collect()`, deterministic in output order.
+///
+/// `f` must be a pure function of its index for the determinism guarantee to
+/// mean anything; the engine only passes such closures.
+pub fn par_map_indexed<U: Send, F: Fn(usize) -> U + Sync>(n: usize, f: F) -> Vec<U> {
+    let workers = num_threads().min(n.max(1));
+    if workers <= 1 || n < 2 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<U>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let f = &f;
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                scope.spawn(move || (lo..hi).map(f).collect::<Vec<U>>())
+            })
+            .collect();
+        for h in handles {
+            chunks.push(h.join().expect("wgrap-par worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
+/// Parallel `items.iter().map(f).collect()`, deterministic in output order.
+pub fn par_map<T: Sync, U: Send, F: Fn(&T) -> U + Sync>(items: &[T], f: F) -> Vec<U> {
+    par_map_indexed(items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_map() {
+        let inputs: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = inputs.iter().map(|&x| x * x + 1).collect();
+        let parallel = par_map(&inputs, |&x| x * x + 1);
+        assert_eq!(serial, parallel);
+        let indexed = par_map_indexed(1000, |i| (i as u64) * (i as u64) + 1);
+        assert_eq!(serial, indexed);
+    }
+
+    #[test]
+    fn tiny_and_empty_inputs() {
+        assert_eq!(par_map_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_indexed(1, |i| i), vec![0]);
+    }
+}

@@ -136,10 +136,7 @@ mod tests {
         let vals = [3.0, 1.0, 4.0, 1.0, 5.0];
         let forb = no_forbidden(5);
         let cp = SubsetCp::new(5, 2, &forb, None);
-        let res = cp.maximize(
-            &mut |s| s.iter().map(|&i| vals[i]).sum(),
-            &mut |_, _| f64::INFINITY,
-        );
+        let res = cp.maximize(&mut |s| s.iter().map(|&i| vals[i]).sum(), &mut |_, _| f64::INFINITY);
         assert_eq!(res.best, vec![2, 4]);
         assert!((res.objective - 9.0).abs() < 1e-12);
         assert!(res.complete);
@@ -151,10 +148,7 @@ mod tests {
         let mut forb = no_forbidden(5);
         forb[4] = true;
         let cp = SubsetCp::new(5, 2, &forb, None);
-        let res = cp.maximize(
-            &mut |s| s.iter().map(|&i| vals[i]).sum(),
-            &mut |_, _| f64::INFINITY,
-        );
+        let res = cp.maximize(&mut |s| s.iter().map(|&i| vals[i]).sum(), &mut |_, _| f64::INFINITY);
         assert_eq!(res.best, vec![0, 2]);
     }
 
@@ -164,20 +158,15 @@ mod tests {
         let forb = no_forbidden(14);
         let cp = SubsetCp::new(14, 4, &forb, None);
         let v2 = vals.clone();
-        let unpruned = cp.maximize(
-            &mut |s| s.iter().map(|&i| vals[i]).sum(),
-            &mut |_, _| f64::INFINITY,
-        );
+        let unpruned =
+            cp.maximize(&mut |s| s.iter().map(|&i| vals[i]).sum(), &mut |_, _| f64::INFINITY);
         // Sound bound: partial sum + (k - |partial|) * max remaining value.
         let max_val = v2.iter().cloned().fold(0.0f64, f64::max);
         let cp2 = SubsetCp::new(14, 4, &forb, None);
-        let pruned = cp2.maximize(
-            &mut |s| s.iter().map(|&i| v2[i]).sum(),
-            &mut |partial, _| {
-                let have: f64 = partial.iter().map(|&i| v2[i]).sum();
-                have + (4 - partial.len()) as f64 * max_val
-            },
-        );
+        let pruned = cp2.maximize(&mut |s| s.iter().map(|&i| v2[i]).sum(), &mut |partial, _| {
+            let have: f64 = partial.iter().map(|&i| v2[i]).sum();
+            have + (4 - partial.len()) as f64 * max_val
+        });
         assert_eq!(unpruned.best, pruned.best);
         assert!(pruned.nodes <= unpruned.nodes);
     }

@@ -105,11 +105,7 @@ pub fn solve_ilp(model: &Model, opts: &IlpOptions) -> IlpResult {
         for &(j, lo, hi) in &frame.bounds {
             node.upper[j] = node.upper[j].min(hi);
             if lo > 0.0 {
-                node.rows.push(crate::model::Row {
-                    coeffs: vec![(j, 1.0)],
-                    cmp: Cmp::Ge,
-                    rhs: lo,
-                });
+                node.rows.push(crate::model::Row { coeffs: vec![(j, 1.0)], cmp: Cmp::Ge, rhs: lo });
             }
         }
 

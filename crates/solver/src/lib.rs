@@ -20,7 +20,6 @@
 #![warn(missing_docs)]
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod cp;
 pub mod ilp;
 pub mod model;

@@ -89,11 +89,7 @@ impl Model {
         for (v, _) in coeffs {
             assert!(v.0 < self.objective.len(), "unknown variable in constraint");
         }
-        self.rows.push(Row {
-            coeffs: coeffs.iter().map(|&(v, c)| (v.0, c)).collect(),
-            cmp,
-            rhs,
-        });
+        self.rows.push(Row { coeffs: coeffs.iter().map(|&(v, c)| (v.0, c)).collect(), cmp, rhs });
     }
 
     /// Number of variables.

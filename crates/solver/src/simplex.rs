@@ -190,13 +190,8 @@ pub fn solve_lp(model: &Model) -> LpResult {
 
     let cols = n + n_slack + n_art;
     let stride = cols + 1;
-    let mut tab = Tableau {
-        data: vec![0.0; (m + 1) * stride],
-        stride,
-        m,
-        cols,
-        basis: vec![usize::MAX; m],
-    };
+    let mut tab =
+        Tableau { data: vec![0.0; (m + 1) * stride], stride, m, cols, basis: vec![usize::MAX; m] };
 
     let mut slack_at = n;
     let mut art_at = n + n_slack;
@@ -415,9 +410,11 @@ mod tests {
         // Klee-Minty-ish degenerate instance; mostly a termination test.
         let mut m = Model::new(Sense::Maximize);
         let n = 8;
-        let vars: Vec<_> = (0..n).map(|j| m.add_var(2f64.powi((n - 1 - j) as i32), f64::INFINITY)).collect();
+        let vars: Vec<_> =
+            (0..n).map(|j| m.add_var(2f64.powi((n - 1 - j) as i32), f64::INFINITY)).collect();
         for i in 0..n {
-            let mut coeffs: Vec<_> = (0..i).map(|j| (vars[j], 2f64.powi((i - j + 1) as i32))).collect();
+            let mut coeffs: Vec<_> =
+                (0..i).map(|j| (vars[j], 2f64.powi((i - j + 1) as i32))).collect();
             coeffs.push((vars[i], 1.0));
             m.add_constraint(&coeffs, Cmp::Le, 5f64.powi(i as i32 + 1));
         }

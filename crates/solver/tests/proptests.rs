@@ -18,11 +18,8 @@ fn knapsack_dp(values: &[u32], weights: &[u32], cap: u32) -> u32 {
 
 fn knapsack_model(values: &[u32], weights: &[u32], cap: u32) -> Model {
     let mut m = Model::new(Sense::Maximize);
-    let coeffs: Vec<_> = values
-        .iter()
-        .zip(weights)
-        .map(|(&v, &w)| (m.add_binary(v as f64), w as f64))
-        .collect();
+    let coeffs: Vec<_> =
+        values.iter().zip(weights).map(|(&v, &w)| (m.add_binary(v as f64), w as f64)).collect();
     m.add_constraint(&coeffs, Cmp::Le, cap as f64);
     m
 }
@@ -102,12 +99,21 @@ fn subset_cp_matches_exhaustive_oracle() {
     // Randomised (seeded) comparison against a plain combinations scan.
     let vals: Vec<f64> = (0..12).map(|i| ((i * 2654435761u64 % 97) as f64) / 9.7).collect();
     let forb: Vec<bool> = (0..12).map(|i| i % 5 == 4).collect();
-    let objective = |s: &[usize]| -> f64 { s.iter().map(|&i| vals[i] * (i as f64 + 1.0).sqrt()).sum() };
+    let objective =
+        |s: &[usize]| -> f64 { s.iter().map(|&i| vals[i] * (i as f64 + 1.0).sqrt()).sum() };
     for k in 1..=4 {
         let cp = wgrap_solver::SubsetCp::new(12, k, &forb, None);
         let got = cp.maximize(&mut |s| objective(s), &mut |_, _| f64::INFINITY);
         // Oracle: enumerate combinations recursively.
-        fn combos(n: usize, k: usize, start: usize, cur: &mut Vec<usize>, best: &mut f64, f: &dyn Fn(&[usize]) -> f64, forb: &[bool]) {
+        fn combos(
+            n: usize,
+            k: usize,
+            start: usize,
+            cur: &mut Vec<usize>,
+            best: &mut f64,
+            f: &dyn Fn(&[usize]) -> f64,
+            forb: &[bool],
+        ) {
             if cur.len() == k {
                 *best = best.max(f(cur));
                 return;

@@ -58,9 +58,7 @@ impl AtmModel {
     /// of the paper's case studies, Tables 8–9).
     pub fn top_words(&self, topic: usize, k: usize) -> Vec<u32> {
         let mut idx: Vec<u32> = (0..self.phi[topic].len() as u32).collect();
-        idx.sort_by(|&a, &b| {
-            self.phi[topic][b as usize].total_cmp(&self.phi[topic][a as usize])
-        });
+        idx.sort_by(|&a, &b| self.phi[topic][b as usize].total_cmp(&self.phi[topic][a as usize]));
         idx.truncate(k);
         idx
     }
@@ -152,9 +150,7 @@ pub fn fit(corpus: &Corpus, opts: &AtmOptions) -> AtmModel {
     let theta = (0..a_count)
         .map(|a| {
             let denom = c_a[a] as f64 + t_alpha;
-            (0..t_count)
-                .map(|z| (c_at[a * t_count + z] as f64 + alpha) / denom)
-                .collect()
+            (0..t_count).map(|z| (c_at[a * t_count + z] as f64 + alpha) / denom).collect()
         })
         .collect();
     let phi = (0..t_count)
@@ -188,13 +184,7 @@ mod tests {
     #[test]
     fn recovers_two_clusters() {
         let corpus = two_cluster_corpus();
-        let opts = AtmOptions {
-            num_topics: 2,
-            alpha: 0.5,
-            beta: 0.01,
-            iterations: 100,
-            seed: 7,
-        };
+        let opts = AtmOptions { num_topics: 2, alpha: 0.5, beta: 0.01, iterations: 100, seed: 7 };
         let model = fit(&corpus, &opts);
         // Each author concentrates on one topic, and they differ.
         let dom0 = if model.theta[0][0] > model.theta[0][1] { 0 } else { 1 };

@@ -65,12 +65,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for &shape in &[0.5f64, 1.0, 2.5, 10.0] {
             let n = 20_000;
-            let mean: f64 =
-                (0..n).map(|_| sample_gamma(&mut rng, shape)).sum::<f64>() / n as f64;
-            assert!(
-                (mean - shape).abs() < 0.1 * shape.max(1.0),
-                "shape {shape}: mean {mean}"
-            );
+            let mean: f64 = (0..n).map(|_| sample_gamma(&mut rng, shape)).sum::<f64>() / n as f64;
+            assert!((mean - shape).abs() < 0.1 * shape.max(1.0), "shape {shape}: mean {mean}");
         }
     }
 

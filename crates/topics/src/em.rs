@@ -64,10 +64,7 @@ mod tests {
 
     /// Two disjoint topics over four words.
     fn phi() -> Vec<Vec<f64>> {
-        vec![
-            vec![0.48, 0.48, 0.02, 0.02],
-            vec![0.02, 0.02, 0.48, 0.48],
-        ]
+        vec![vec![0.48, 0.48, 0.02, 0.02], vec![0.02, 0.02, 0.48, 0.48]]
     }
 
     #[test]
@@ -104,21 +101,14 @@ mod tests {
     #[test]
     fn likelihood_never_decreases() {
         // EM property check on a small random-ish input.
-        let phi = vec![
-            vec![0.5, 0.3, 0.1, 0.1],
-            vec![0.1, 0.1, 0.4, 0.4],
-            vec![0.25, 0.25, 0.25, 0.25],
-        ];
+        let phi =
+            vec![vec![0.5, 0.3, 0.1, 0.1], vec![0.1, 0.1, 0.4, 0.4], vec![0.25, 0.25, 0.25, 0.25]];
         let words = [0u32, 2, 3, 1, 2, 0, 3, 3];
         let loglik = |theta: &[f64]| -> f64 {
             words
                 .iter()
                 .map(|&w| {
-                    phi.iter()
-                        .zip(theta)
-                        .map(|(row, t)| row[w as usize] * t)
-                        .sum::<f64>()
-                        .ln()
+                    phi.iter().zip(theta).map(|(row, t)| row[w as usize] * t).sum::<f64>().ln()
                 })
                 .sum()
         };

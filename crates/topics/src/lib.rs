@@ -16,7 +16,6 @@
 //!   and by the synthetic corpus generator in `wgrap-datagen`.
 #![warn(missing_docs)]
 
-
 pub mod atm;
 pub mod corpus;
 pub mod dirichlet;

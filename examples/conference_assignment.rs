@@ -11,6 +11,7 @@
 
 use wgrap::core::cra::ideal::{ideal_assignment, IdealMode};
 use wgrap::core::cra::CraAlgorithm;
+use wgrap::core::engine::ScoreContext;
 use wgrap::core::metrics;
 use wgrap::datagen::areas::DB08;
 use wgrap::datagen::vectors::area_instance;
@@ -35,10 +36,12 @@ fn main() -> Result<()> {
     let scoring = Scoring::WeightedCoverage;
     let ideal = ideal_assignment(&inst, scoring, IdealMode::Exact)?;
 
+    // One flat ScoreContext shared by all six solvers.
+    let ctx = ScoreContext::new(&inst, scoring).with_seed(7);
     let mut results = Vec::new();
     for algo in CraAlgorithm::ALL {
         let start = std::time::Instant::now();
-        let a = algo.run(&inst, scoring, 7)?;
+        let a = algo.solver().solve(&ctx)?;
         let elapsed = start.elapsed();
         a.validate(&inst)?;
         println!(

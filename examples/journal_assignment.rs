@@ -7,7 +7,10 @@
 //! ```
 
 use std::time::Instant;
+use wgrap::core::engine::{JraBbaSolver, ScoreContext, Solver};
 use wgrap::core::jra::{bba, bfs, cp, ilp, JraProblem};
+use wgrap::core::problem::Instance;
+use wgrap::core::score::Scoring;
 use wgrap::datagen::vectors::{jra_paper, jra_pool, VectorConfig};
 
 fn main() {
@@ -27,6 +30,15 @@ fn main() {
         t.elapsed(),
         best.nodes
     );
+
+    // The same search through the engine's Solver dispatch: a journal
+    // instance (one paper) scored via a flat ScoreContext.
+    let journal = Instance::journal(paper.clone(), pool.clone(), delta_p).expect("valid");
+    let ctx = ScoreContext::new(&journal, Scoring::WeightedCoverage);
+    let t = Instant::now();
+    let via_engine = JraBbaSolver.solve(&ctx).expect("feasible");
+    println!("engine: group {:?} in {:?} (Solver dispatch)", via_engine.group(0), t.elapsed());
+    assert_eq!(via_engine.group(0), &best.group[..]);
 
     let t = Instant::now();
     let brute = bfs::solve(&problem).expect("pool is large enough");

@@ -4,7 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use wgrap::core::cra::{sdga, sra};
+use wgrap::core::engine::{ScoreContext, SdgaSraSolver, Solver};
 use wgrap::prelude::*;
 
 fn main() -> Result<()> {
@@ -29,18 +29,16 @@ fn main() -> Result<()> {
     let mut instance = Instance::new(papers, reviewers, 2, 3)?;
     instance.add_coi(0, 0); // reviewer 0 authored paper 0
 
-    // SDGA (1/2-approximation) + stochastic refinement.
-    let initial = sdga::solve(&instance, Scoring::WeightedCoverage)?;
-    let refined = sra::refine(
-        &instance,
-        Scoring::WeightedCoverage,
-        initial,
-        &sra::SraOptions::default(),
-    );
-    let assignment = refined.assignment;
+    // SDGA (1/2-approximation) + stochastic refinement, dispatched through
+    // the engine: one flat ScoreContext, one Solver.
+    let ctx = ScoreContext::new(&instance, Scoring::WeightedCoverage).with_seed(0);
+    let assignment = SdgaSraSolver::default().solve(&ctx)?;
     assignment.validate(&instance)?;
 
-    println!("total weighted coverage: {:.3}", refined.score);
+    println!(
+        "total weighted coverage: {:.3}",
+        assignment.coverage_score(&instance, Scoring::WeightedCoverage)
+    );
     for p in 0..instance.num_papers() {
         println!(
             "  {} <- {:?} (coverage {:.3})",

@@ -14,8 +14,9 @@
 use std::process::ExitCode;
 use wgrap::core::cra::ideal::{ideal_assignment, IdealMode};
 use wgrap::core::cra::CraAlgorithm;
+use wgrap::core::engine::ScoreContext;
 use wgrap::core::io;
-use wgrap::core::jra::{bba, JraProblem};
+use wgrap::core::jra::bba;
 use wgrap::core::metrics;
 use wgrap::prelude::*;
 
@@ -101,12 +102,16 @@ fn cmd_assign(flags: &Flags) -> Result<()> {
         return Err(Error::InvalidInstance("assign needs exactly one file".into()));
     };
     let inst = io::parse_instance(&read(path)?)?;
-    let a = flags.method.run(&inst, flags.scoring, flags.seed)?;
+    // One flat ScoreContext serves every solver; dispatch is through the
+    // engine's Solver trait.
+    let ctx = ScoreContext::new(&inst, flags.scoring).with_seed(flags.seed);
+    let solver = flags.method.solver();
+    let a = solver.solve(&ctx)?;
     a.validate(&inst)?;
     print!("{}", io::write_assignment(&inst, &a));
     eprintln!(
         "# {}: coverage {:.4}, lowest paper {:.4}",
-        flags.method.label(),
+        solver.name(),
         a.coverage_score(&inst, flags.scoring),
         metrics::lowest_coverage(&inst, flags.scoring, &a),
     );
@@ -139,8 +144,9 @@ fn cmd_journal(flags: &Flags) -> Result<()> {
     let paper = (0..inst.num_papers())
         .find(|&p| inst.paper_name(p) == *paper_name)
         .ok_or_else(|| Error::InvalidInstance(format!("unknown paper '{paper_name}'")))?;
-    let problem = JraProblem::from_instance(&inst, paper).with_scoring(flags.scoring);
-    let results = bba::solve_top_k(&problem, flags.top_k)
+    let ctx = ScoreContext::new(&inst, flags.scoring);
+    let opts = bba::BbaOptions { top_k: flags.top_k, ..Default::default() };
+    let results = bba::solve_ctx(&ctx, paper, &opts)
         .ok_or_else(|| Error::Infeasible("not enough non-conflicted reviewers".into()))?;
     for (i, res) in results.iter().enumerate() {
         let names: Vec<String> = res.group.iter().map(|&r| inst.reviewer_name(r)).collect();

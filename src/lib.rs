@@ -17,7 +17,6 @@
 //! See `examples/quickstart.rs` for a five-minute tour.
 #![warn(missing_docs)]
 
-
 pub use wgrap_core as core;
 pub use wgrap_datagen as datagen;
 pub use wgrap_lap as lap;

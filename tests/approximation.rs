@@ -5,11 +5,11 @@
 //! * §4.1: Greedy ≥ 1/3 of the optimum (Long et al.'s bound).
 //! * SDGA-SRA is between SDGA and the optimum.
 
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use wgrap::core::cra::sdga::approx_ratio_general;
 use wgrap::core::cra::{exact, greedy, sdga, sra};
 use wgrap::prelude::*;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 fn random_instance(p: usize, r: usize, dim: usize, delta_p: usize, seed: u64) -> Instance {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -89,11 +89,7 @@ fn guarantee_holds_for_alternative_scorings() {
                 continue;
             }
             let got = sdga::solve(&inst, scoring).unwrap().coverage_score(&inst, scoring);
-            assert!(
-                got / opt >= 0.5 - 1e-9,
-                "{scoring:?} seed {seed}: ratio {}",
-                got / opt
-            );
+            assert!(got / opt >= 0.5 - 1e-9, "{scoring:?} seed {seed}: ratio {}", got / opt);
         }
     }
 }

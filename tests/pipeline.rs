@@ -50,9 +50,7 @@ fn recovered_paper_vectors_prefer_matching_reviewers() {
     // score above the pool median in *recovered* space most of the time.
     let (inst, sc) = demo_pipeline();
     let scoring = Scoring::WeightedCoverage;
-    let l1 = |a: &[f64], b: &[f64]| -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
-    };
+    let l1 = |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum() };
     let mut hits = 0usize;
     for p in 0..inst.num_papers() {
         let truth_best = (0..inst.num_reviewers())

@@ -4,7 +4,9 @@
 //! the ARAP extension linearising the objective.
 
 use wgrap::core::cra::{exact, sdga};
-use wgrap::core::reductions::{arap_paper_objective, extend_for_arap, set_coverage, sgrap_to_wgrap};
+use wgrap::core::reductions::{
+    arap_paper_objective, extend_for_arap, set_coverage, sgrap_to_wgrap,
+};
 use wgrap::prelude::*;
 
 /// A small SGRAP instance: topic sets over 6 topics.
@@ -23,8 +25,7 @@ fn sgrap_solved_as_wgrap_matches_set_semantics() {
 
     // Every group's vector score equals the set coverage ratio.
     for p in 0..papers.len() {
-        let group_sets: Vec<&Vec<usize>> =
-            a.group(p).iter().map(|&r| &reviewers[r]).collect();
+        let group_sets: Vec<&Vec<usize>> = a.group(p).iter().map(|&r| &reviewers[r]).collect();
         let via_sets = set_coverage(&group_sets, &papers[p]);
         let via_vectors = a.paper_score(&inst, Scoring::WeightedCoverage, p);
         assert!(
