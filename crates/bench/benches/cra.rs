@@ -27,7 +27,9 @@ fn bench_methods(c: &mut Criterion) {
     group.bench_function("stable_matching", |b| {
         b.iter(|| black_box(StableMatchingSolver.solve(&ctx).unwrap()))
     });
-    group.bench_function("greedy", |b| b.iter(|| black_box(GreedySolver.solve(&ctx).unwrap())));
+    group.bench_function("greedy", |b| {
+        b.iter(|| black_box(GreedySolver::default().solve(&ctx).unwrap()))
+    });
     group.bench_function("sdga", |b| {
         b.iter(|| black_box(SdgaSolver::default().solve(&ctx).unwrap()))
     });

@@ -18,6 +18,7 @@
 //!   table6      toy scoring example
 //!   fig21       alternative scorings + h-index scaling
 //!   ablation    SRA removal-model ablation
+//!   trials      SRA trials-vs-omega trade-off grid
 //!   improved    papers improved by SDGA-SRA over Greedy
 //!   all         everything above
 //!
@@ -80,6 +81,7 @@ fn run(cmd: &str, cfg: &RunConfig) {
             scoring_exp::fig21_hindex(cfg);
         }
         "ablation" => refinement::sra_model_ablation(cfg),
+        "trials" => refinement::trials_tradeoff(cfg),
         "improved" => quality::improvement_counts(cfg),
         "all" => {
             for c in [
@@ -102,6 +104,7 @@ fn run(cmd: &str, cfg: &RunConfig) {
                 "fig21",
                 "case-study",
                 "ablation",
+                "trials",
                 "improved",
             ] {
                 run(c, cfg);

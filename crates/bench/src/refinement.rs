@@ -115,6 +115,52 @@ pub fn fig16(cfg: &RunConfig) {
     }
 }
 
+/// `SraOptions::trials` vs ω on Table-4-style datasets: is it better to run
+/// one long chain (large ω) or several independent chains (trials > 1,
+/// seeds `seed + t`, best outcome wins) at the same total round budget?
+///
+/// Each grid cell reports the optimality ratio, wall-clock, and total
+/// rounds across chains. The chains run in parallel under the `rayon`
+/// feature, so trials also convert cores into quality at roughly the
+/// single-chain latency.
+pub fn trials_tradeoff(cfg: &RunConfig) {
+    for spec in [DB08, DM08] {
+        banner(&format!(
+            "SRA trials x omega trade-off ({}, delta_p=3, equal chain budgets)",
+            spec.name
+        ));
+        let (inst, denom) = setup(cfg, &spec, 3);
+        let initial = sdga::solve(&inst, SCORING).expect("sdga");
+        let mut rows = Vec::new();
+        for &(trials, omega) in
+            &[(1usize, 5usize), (1, 10), (1, 20), (2, 5), (2, 10), (4, 5), (4, 10), (8, 5)]
+        {
+            let (out, t) = crate::util::timeit(|| {
+                sra::refine(
+                    &inst,
+                    SCORING,
+                    initial.clone(),
+                    &sra::SraOptions { omega, trials, seed: cfg.seed, ..Default::default() },
+                )
+            });
+            rows.push(vec![
+                trials.to_string(),
+                omega.to_string(),
+                format!("{:.3}%", 100.0 * out.score / denom),
+                format!("{:.2}", t.as_secs_f64()),
+                out.rounds.to_string(),
+            ]);
+        }
+        println!(
+            "{}",
+            render_table(
+                &["trials", "omega", "optimality ratio", "time (s)", "winning-chain rounds"],
+                &rows
+            )
+        );
+    }
+}
+
 /// Ablation (DESIGN.md §7): Eq. 10's coverage-based removal model vs the
 /// uniform `1/R` model the paper dismisses in §4.4.
 pub fn sra_model_ablation(cfg: &RunConfig) {
@@ -166,5 +212,31 @@ mod tests {
     fn fig16_smoke() {
         let cfg = RunConfig { scale: 60, seed: 1, ..Default::default() };
         fig16(&cfg);
+    }
+
+    #[test]
+    fn trials_tradeoff_smoke() {
+        let cfg = RunConfig { scale: 80, seed: 5, ..Default::default() };
+        trials_tradeoff(&cfg);
+    }
+
+    #[test]
+    fn more_trials_never_hurt_quality() {
+        // The multi-chain reduction keeps the best outcome, and trial 0
+        // reuses the single-chain seed — so trials=4 dominates trials=1 at
+        // equal omega by construction.
+        let cfg = RunConfig { scale: 80, seed: 9, ..Default::default() };
+        let (inst, _) = setup(&cfg, &DB08, 3);
+        let initial = sdga::solve(&inst, SCORING).expect("sdga");
+        let run = |trials: usize| {
+            sra::refine(
+                &inst,
+                SCORING,
+                initial.clone(),
+                &sra::SraOptions { omega: 4, trials, seed: cfg.seed, ..Default::default() },
+            )
+            .score
+        };
+        assert!(run(4) >= run(1) - 1e-12);
     }
 }

@@ -13,7 +13,7 @@
 //! here naturally.
 
 use crate::assignment::Assignment;
-use crate::engine::{group_score_view, JraView, ScoreContext};
+use crate::engine::{group_score_view, CandidateSet, JraView, PruningPolicy, ScoreContext};
 use crate::error::{Error, Result};
 use crate::jra::bba;
 use crate::problem::Instance;
@@ -48,17 +48,43 @@ impl Ord for Cached {
 /// Run BRGG to a complete assignment on the legacy boxed-vector JRA views
 /// (the engine reference).
 pub fn solve(inst: &Instance, scoring: Scoring) -> Result<Assignment> {
-    solve_impl(inst, |p, forbidden| {
-        JraView::from_boxed(inst.paper(p), inst.reviewers(), forbidden, inst.delta_p(), scoring)
-    })
+    solve_impl(
+        inst,
+        |p, forbidden| {
+            JraView::from_boxed(inst.paper(p), inst.reviewers(), forbidden, inst.delta_p(), scoring)
+        },
+        None,
+    )
 }
 
 /// Run BRGG over a [`ScoreContext`] (flat engine JRA views).
 pub fn solve_ctx(ctx: &ScoreContext<'_>) -> Result<Assignment> {
-    solve_impl(ctx.instance(), |p, forbidden| ctx.jra_view_with_forbidden(p, forbidden))
+    solve_ctx_with(ctx, PruningPolicy::Exact)
 }
 
-fn solve_impl<'v, F>(inst: &Instance, make_view: F) -> Result<Assignment>
+/// Run BRGG over a [`ScoreContext`] with candidate pruning.
+///
+/// Under [`PruningPolicy::TopK`] each per-paper exact JRA searches only the
+/// paper's candidates (the branch-and-bound pool shrinks from `R` to at
+/// most `k`), falling back to the full pool for a paper whose feasible
+/// candidates dip below `δp`. [`PruningPolicy::Auto`] runs the dense path:
+/// BBA may return any of several equally-scoring optimal groups and its
+/// choice depends on pool order, so pruning cannot be certified
+/// bit-identical even with a zero exclusion bound.
+pub fn solve_ctx_with(ctx: &ScoreContext<'_>, pruning: PruningPolicy) -> Result<Assignment> {
+    let cands = pruning.resolve_lossy(ctx);
+    solve_impl(
+        ctx.instance(),
+        |p, forbidden| ctx.jra_view_with_forbidden(p, forbidden),
+        cands.as_ref(),
+    )
+}
+
+fn solve_impl<'v, F>(
+    inst: &Instance,
+    make_view: F,
+    cands: Option<&CandidateSet>,
+) -> Result<Assignment>
 where
     F: Fn(usize, Vec<bool>) -> JraView<'v>,
 {
@@ -67,10 +93,7 @@ where
     let mut loads = vec![0usize; inst.num_reviewers()];
     let mut assigned = vec![false; num_p];
 
-    let best_group = |p: usize, loads: &[usize]| -> Result<Cached> {
-        let forbidden: Vec<bool> = (0..inst.num_reviewers())
-            .map(|r| loads[r] >= inst.delta_r() || inst.is_coi(r, p))
-            .collect();
+    let solve_jra = |p: usize, forbidden: Vec<bool>| -> Result<Cached> {
         let view = make_view(p, forbidden);
         if view.num_feasible() < inst.delta_p() {
             return Err(Error::Infeasible(format!(
@@ -94,6 +117,27 @@ where
             // Everything pruned against the seed: the greedy group is optimal.
             _ => Cached { score: seed_score, paper: p, group: seed_group },
         })
+    };
+
+    let best_group = |p: usize, loads: &[usize]| -> Result<Cached> {
+        let forbidden: Vec<bool> = (0..inst.num_reviewers())
+            .map(|r| loads[r] >= inst.delta_r() || inst.is_coi(r, p))
+            .collect();
+        if let Some(cs) = cands {
+            // Search the candidate pool first; a paper starved of feasible
+            // candidates (capacity knots outside the top-k list) falls back
+            // to the full pool below.
+            let mut restricted = forbidden.clone();
+            for (r, f) in restricted.iter_mut().enumerate() {
+                if !cs.contains(p, r) {
+                    *f = true;
+                }
+            }
+            if restricted.iter().filter(|f| !**f).count() >= inst.delta_p() {
+                return solve_jra(p, restricted);
+            }
+        }
+        solve_jra(p, forbidden)
     };
 
     let mut heap = BinaryHeap::with_capacity(num_p);
@@ -172,6 +216,20 @@ mod tests {
             (best_achieved - best_jra).abs() < 1e-9,
             "no paper achieved the global JRA optimum: {best_achieved} vs {best_jra}"
         );
+    }
+
+    #[test]
+    fn topk_pruned_is_valid_and_auto_is_exact() {
+        use crate::engine::{PruningPolicy, ScoreContext};
+        for seed in 0..4 {
+            let inst = random_instance(8, 6, 4, 2, seed);
+            let ctx = ScoreContext::new(&inst, Scoring::WeightedCoverage);
+            let exact = solve_ctx(&ctx).unwrap();
+            let auto = solve_ctx_with(&ctx, PruningPolicy::Auto).unwrap();
+            assert_eq!(exact, auto, "seed={seed}: Auto must run the dense path");
+            let pruned = solve_ctx_with(&ctx, PruningPolicy::TopK(3)).unwrap();
+            pruned.validate(&inst).unwrap();
+        }
     }
 
     #[test]

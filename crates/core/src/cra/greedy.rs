@@ -12,7 +12,9 @@
 use super::pair_feasible;
 use crate::assignment::Assignment;
 use crate::engine::celf::CelfQueue;
-use crate::engine::{GainProvider, GainTable, LegacyGains, ScoreContext};
+use crate::engine::{
+    CandidateSet, GainProvider, GainTable, LegacyGains, PruningPolicy, ScoreContext,
+};
 use crate::error::{Error, Result};
 use crate::problem::Instance;
 use crate::score::Scoring;
@@ -20,15 +22,38 @@ use crate::score::Scoring;
 /// Run the greedy algorithm on the legacy boxed-vector gain path (the
 /// engine reference).
 pub fn solve(inst: &Instance, scoring: Scoring) -> Result<Assignment> {
-    solve_impl(inst, &mut LegacyGains::new(inst, scoring))
+    solve_impl(inst, &mut LegacyGains::new(inst, scoring), None)
 }
 
 /// Run the greedy algorithm over a [`ScoreContext`] (flat engine gains).
 pub fn solve_ctx(ctx: &ScoreContext<'_>) -> Result<Assignment> {
-    solve_impl(ctx.instance(), &mut GainTable::new(ctx))
+    solve_ctx_with(ctx, PruningPolicy::Exact)
 }
 
-fn solve_impl<P: GainProvider>(inst: &Instance, gains: &mut P) -> Result<Assignment> {
+/// Run the greedy algorithm over a [`ScoreContext`] with candidate pruning.
+///
+/// Under [`PruningPolicy::Auto`] the initial heap holds only each paper's
+/// positive-score candidates; the moment the zero-gain regime begins (a
+/// fresh heap top at gain `≤ 0`, or the candidate heap running dry) the
+/// remaining excluded pairs are *spilled* into the heap. Because an excluded
+/// reviewer's gain is identically zero under every group state (the `Auto`
+/// certificate), the spill restores the exact heap content the dense path
+/// would have at that decision step — so `Auto` assignments are
+/// **bit-identical** to [`PruningPolicy::Exact`] while the positive regime
+/// (where nearly all the work happens) scans only candidates.
+/// [`PruningPolicy::TopK`] prunes the same way but may exclude
+/// positive-score reviewers, losing at most
+/// [`bound(p)`](CandidateSet::bound) per decision until the spill.
+pub fn solve_ctx_with(ctx: &ScoreContext<'_>, pruning: PruningPolicy) -> Result<Assignment> {
+    let cands = pruning.resolve(ctx);
+    solve_impl(ctx.instance(), &mut GainTable::new(ctx), cands.as_deref())
+}
+
+fn solve_impl<P: GainProvider>(
+    inst: &Instance,
+    gains: &mut P,
+    cands: Option<&CandidateSet>,
+) -> Result<Assignment> {
     let (num_p, num_r) = (inst.num_papers(), inst.num_reviewers());
     let mut assignment = Assignment::empty(num_p);
     if num_p == 0 {
@@ -38,23 +63,74 @@ fn solve_impl<P: GainProvider>(inst: &Instance, gains: &mut P) -> Result<Assignm
     let mut loads = vec![0usize; num_r];
     let mut remaining = num_p * inst.delta_p();
 
-    let mut heap = CelfQueue::with_capacity(num_p * num_r);
-    let mut row = vec![0.0f64; num_r];
-    for p in 0..num_p {
-        // Row kernel rather than per-pair scalar calls: the initial fill is
-        // the single largest gain sweep the algorithm does (P·R pairs).
-        gains.gains_into(p, &mut row);
-        let version = gains.version(p);
-        for (r, &g) in row.iter().enumerate() {
-            if !inst.is_coi(r, p) {
-                heap.push(g, r, p, version);
+    let mut heap = CelfQueue::with_capacity(match cands {
+        Some(cs) => (0..num_p).map(|p| cs.len(p)).sum(),
+        None => num_p * num_r,
+    });
+    match cands {
+        None => {
+            let mut row = vec![0.0f64; num_r];
+            for p in 0..num_p {
+                // Row kernel rather than per-pair scalar calls: the initial
+                // fill is the single largest gain sweep the algorithm does
+                // (P·R pairs).
+                gains.gains_into(p, &mut row);
+                let version = gains.version(p);
+                for (r, &g) in row.iter().enumerate() {
+                    if !inst.is_coi(r, p) {
+                        heap.push(g, r, p, version);
+                    }
+                }
+            }
+        }
+        Some(cs) => {
+            let mut row = Vec::new();
+            for p in 0..num_p {
+                let (rs, _) = cs.candidates(p);
+                row.resize(rs.len(), 0.0);
+                gains.gains_for(p, rs, &mut row);
+                let version = gains.version(p);
+                for (&r, &g) in rs.iter().zip(&row) {
+                    if !inst.is_coi(r as usize, p) {
+                        heap.push(g, r as usize, p, version);
+                    }
+                }
             }
         }
     }
-    drop(row);
+    // Once the zero-gain regime begins, excluded pairs become pickable by
+    // the dense path; spill them (once) to restore heap parity.
+    let mut spilled = cands.is_none();
+    let spill = |heap: &mut CelfQueue, gains: &P| {
+        let cs = cands.expect("spill only runs with a candidate set");
+        let mut row = vec![0.0f64; num_r];
+        for p in 0..num_p {
+            gains.gains_into(p, &mut row);
+            let version = gains.version(p);
+            // Merge against the (reviewer-sorted) candidate list: push only
+            // the excluded pairs, with the row kernel's (bit-identical)
+            // gains instead of per-pair scalar calls.
+            let (rs, _) = cs.candidates(p);
+            let mut j = 0usize;
+            for (r, &g) in row.iter().enumerate() {
+                if j < rs.len() && rs[j] as usize == r {
+                    j += 1;
+                    continue;
+                }
+                if !inst.is_coi(r, p) {
+                    heap.push(g, r, p, version);
+                }
+            }
+        }
+    };
 
     while remaining > 0 {
         let Some(top) = heap.pop() else {
+            if !spilled {
+                spill(&mut heap, gains);
+                spilled = true;
+                continue;
+            }
             // Feasible pairs exhausted with groups still open: greedy has no
             // lookahead, so tight capacity plus COIs can strand a tail paper
             // whose only spare-capacity reviewers already serve it. Free
@@ -99,6 +175,17 @@ fn solve_impl<P: GainProvider>(inst: &Instance, gains: &mut P) -> Result<Assignm
             // stale entries may under-estimate — same heuristic behaviour
             // as the seed; see `CelfQueue`'s docs.
             heap.push(gains.gain(p, r), r, p, gains.version(p));
+            continue;
+        }
+        if !spilled && top.gain <= 0.0 {
+            // Fresh top at zero gain: every remaining true gain is zero
+            // (cached values upper-bound true gains while groups only
+            // grow), and the dense path would now tie-break over *all*
+            // reviewers. Spill the excluded pairs before assigning any
+            // zero-gain pair, then re-offer this entry.
+            spill(&mut heap, gains);
+            spilled = true;
+            heap.push(top.gain, r, p, top.stamp);
             continue;
         }
         assignment.assign(r, p);

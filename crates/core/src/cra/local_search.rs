@@ -8,6 +8,7 @@
 //! stochastic refinement escapes.
 
 use crate::assignment::Assignment;
+use crate::engine::{CandidateSet, PruningPolicy, ScoreContext};
 use crate::problem::Instance;
 use crate::score::{RunningGroup, Scoring};
 use rand::rngs::StdRng;
@@ -60,6 +61,34 @@ pub fn refine(
     initial: Assignment,
     opts: &LocalSearchOptions,
 ) -> LsOutcome {
+    refine_impl(inst, scoring, initial, opts, None)
+}
+
+/// [`refine`] over a [`ScoreContext`] with candidate pruning.
+///
+/// Under [`PruningPolicy::TopK`] the *replace* move samples its substitute
+/// from the paper's candidate list instead of all `R` reviewers, so far
+/// fewer proposals are wasted on zero-score substitutes. Any restriction
+/// changes the RNG trajectory, so even a certified set cannot be
+/// bit-identical to the dense search — [`PruningPolicy::Auto`] therefore
+/// runs the exact (unrestricted) sampler.
+pub fn refine_ctx(
+    ctx: &ScoreContext<'_>,
+    initial: Assignment,
+    opts: &LocalSearchOptions,
+    pruning: PruningPolicy,
+) -> LsOutcome {
+    let cands = pruning.resolve_lossy(ctx);
+    refine_impl(ctx.instance(), ctx.scoring(), initial, opts, cands.as_ref())
+}
+
+fn refine_impl(
+    inst: &Instance,
+    scoring: Scoring,
+    initial: Assignment,
+    opts: &LocalSearchOptions,
+    cands: Option<&CandidateSet>,
+) -> LsOutcome {
     let start = Instant::now();
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let num_p = inst.num_papers();
@@ -86,7 +115,7 @@ pub fn refine(
         let improved = if num_p >= 2 && rng.random::<f64>() < 0.5 {
             try_swap(inst, scoring, &mut current, &mut rng)
         } else {
-            try_replace(inst, scoring, &mut current, &mut loads, &mut rng)
+            try_replace(inst, scoring, &mut current, &mut loads, &mut rng, cands)
         };
         if improved > 1e-12 {
             score += improved;
@@ -137,13 +166,15 @@ fn try_swap(inst: &Instance, scoring: Scoring, a: &mut Assignment, rng: &mut Std
 }
 
 /// Replace one assigned reviewer with a random reviewer that has spare
-/// capacity; returns the improvement (0.0 when rejected).
+/// capacity; returns the improvement (0.0 when rejected). With a candidate
+/// set, the substitute is drawn from the paper's candidate list.
 fn try_replace(
     inst: &Instance,
     scoring: Scoring,
     a: &mut Assignment,
     loads: &mut [usize],
     rng: &mut StdRng,
+    cands: Option<&CandidateSet>,
 ) -> f64 {
     let p = rng.random_range(0..inst.num_papers());
     if a.group(p).is_empty() {
@@ -151,7 +182,16 @@ fn try_replace(
     }
     let i = rng.random_range(0..a.group(p).len());
     let r_old = a.group(p)[i];
-    let r_new = rng.random_range(0..inst.num_reviewers());
+    let r_new = match cands {
+        Some(cs) => {
+            let (rs, _) = cs.candidates(p);
+            if rs.is_empty() {
+                return 0.0;
+            }
+            rs[rng.random_range(0..rs.len())] as usize
+        }
+        None => rng.random_range(0..inst.num_reviewers()),
+    };
     if r_new == r_old
         || loads[r_new] >= inst.delta_r()
         || a.group(p).contains(&r_new)
@@ -221,6 +261,25 @@ mod tests {
             assert!(w[1].1 > w[0].1);
         }
         assert!(out.trace.len() > 1, "round-robin start should be improvable");
+    }
+
+    #[test]
+    fn candidate_proposals_stay_monotone_and_valid() {
+        use crate::engine::{PruningPolicy, ScoreContext};
+        let inst = random_instance(8, 6, 4, 2, 4);
+        let ctx = ScoreContext::new(&inst, Scoring::WeightedCoverage);
+        let initial = sdga::solve(&inst, Scoring::WeightedCoverage).unwrap();
+        let before = initial.coverage_score(&inst, Scoring::WeightedCoverage);
+        let opts = LocalSearchOptions { patience: 2_000, seed: 4, ..Default::default() };
+        let out = refine_ctx(&ctx, initial.clone(), &opts, PruningPolicy::TopK(4));
+        assert!(out.score >= before - 1e-9);
+        out.assignment.validate(&inst).unwrap();
+        // Auto keeps the exact sampler: identical to the plain refine.
+        let auto = refine_ctx(&ctx, initial.clone(), &opts, PruningPolicy::Auto);
+        let plain = refine(&inst, Scoring::WeightedCoverage, initial, &opts);
+        assert_eq!(auto.score, plain.score);
+        assert_eq!(auto.proposals, plain.proposals);
+        assert_eq!(auto.assignment, plain.assignment);
     }
 
     #[test]

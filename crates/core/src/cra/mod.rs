@@ -94,6 +94,21 @@ impl CraAlgorithm {
         self.solver().solve(&ctx)
     }
 
+    /// [`CraAlgorithm::run`] under a candidate pruning policy
+    /// ([`PruningPolicy::Auto`](crate::engine::PruningPolicy::Auto) is
+    /// certified bit-identical to the default dense run; `TopK` trades
+    /// bounded loss for sparse score state).
+    pub fn run_pruned(
+        self,
+        inst: &Instance,
+        scoring: Scoring,
+        seed: u64,
+        pruning: crate::engine::PruningPolicy,
+    ) -> Result<Assignment> {
+        let ctx = crate::engine::ScoreContext::new(inst, scoring).with_seed(seed);
+        self.solver_with(pruning).solve(&ctx)
+    }
+
     /// Run the algorithm on the legacy boxed-vector scoring path — the
     /// reference implementation the engine is proptested against
     /// (bit-identical assignments).

@@ -17,11 +17,13 @@
 //! slot columns. Their equality is an ablation bench (`benches/lap.rs`).
 
 use crate::assignment::Assignment;
-use crate::engine::{par, GainProvider, GainTable, LegacyGains, ScoreContext};
+use crate::engine::{
+    par, CandidateSet, GainProvider, GainTable, LegacyGains, PruningPolicy, ScoreContext,
+};
 use crate::error::{Error, Result};
 use crate::problem::Instance;
 use crate::score::Scoring;
-use wgrap_lap::{hungarian_max, CapacitatedAssignment, CostMatrix};
+use wgrap_lap::{hungarian_max, CapacitatedAssignment, CostMatrix, SparseMatrix};
 
 /// Which linear-assignment solver runs each stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -60,7 +62,7 @@ pub fn solve_with_backend(
     scoring: Scoring,
     backend: LapBackend,
 ) -> Result<Assignment> {
-    solve_impl(inst, &mut LegacyGains::new(inst, scoring), backend)
+    solve_impl(inst, &mut LegacyGains::new(inst, scoring), backend, None)
 }
 
 /// Run SDGA over a [`ScoreContext`] (flat engine gains, default backend).
@@ -70,13 +72,46 @@ pub fn solve_ctx(ctx: &ScoreContext<'_>) -> Result<Assignment> {
 
 /// Run SDGA over a [`ScoreContext`] with an explicit LAP backend.
 pub fn solve_ctx_with_backend(ctx: &ScoreContext<'_>, backend: LapBackend) -> Result<Assignment> {
-    solve_impl(ctx.instance(), &mut GainTable::new(ctx), backend)
+    solve_ctx_pruned(ctx, backend, PruningPolicy::Exact)
+}
+
+/// Run SDGA over a [`ScoreContext`] with candidate pruning.
+///
+/// Stage assignments are linear assignment solves whose tie-breaking
+/// depends on the solver's internal edge order, so no static certificate
+/// can promise a pruned stage equals the dense one — under
+/// [`PruningPolicy::Auto`] SDGA therefore runs the dense (exact) stages.
+/// Under [`PruningPolicy::TopK`] each stage solves over candidate edges
+/// only ([`SparseMatrix`], `O(P·k)` instead of `O(P·R)` score state): lossy,
+/// but each stage objective is within
+/// [`Σ_p bound(p)`](CandidateSet::stage_loss_bound) of the dense stage
+/// optimum, and a stage that cannot place every paper inside the candidate
+/// edges falls back to the dense stage.
+pub fn solve_ctx_pruned(
+    ctx: &ScoreContext<'_>,
+    backend: LapBackend,
+    pruning: PruningPolicy,
+) -> Result<Assignment> {
+    // Auto certifies only the dense stage (see above); Exact is exact.
+    let cands = pruning.resolve_lossy(ctx);
+    solve_ctx_with_cands(ctx, backend, cands.as_ref())
+}
+
+/// [`solve_ctx_pruned`] with a pre-built candidate set, so callers running
+/// several pruned phases over one context (SDGA-SRA) build the set once.
+pub(crate) fn solve_ctx_with_cands(
+    ctx: &ScoreContext<'_>,
+    backend: LapBackend,
+    cands: Option<&CandidateSet>,
+) -> Result<Assignment> {
+    solve_impl(ctx.instance(), &mut GainTable::new(ctx), backend, cands)
 }
 
 fn solve_impl<P: GainProvider + Sync>(
     inst: &Instance,
     gains: &mut P,
     backend: LapBackend,
+    cands: Option<&CandidateSet>,
 ) -> Result<Assignment> {
     let num_p = inst.num_papers();
     let mut assignment = Assignment::empty(num_p);
@@ -88,7 +123,27 @@ fn solve_impl<P: GainProvider + Sync>(
 
     for _stage in 0..inst.delta_p() {
         let papers: Vec<usize> = (0..num_p).collect();
-        let pairs = solve_stage(inst, gains, &loads, &assignment, &papers, stage_cap, backend)?;
+        let pairs = match cands {
+            Some(cs) => {
+                solve_stage_sparse(
+                    inst,
+                    gains,
+                    &loads,
+                    &assignment,
+                    &papers,
+                    stage_cap,
+                    backend,
+                    cs,
+                )
+                .or_else(|_| {
+                    // Candidate edges could not place every paper
+                    // (capacity knots outside the top-k lists): fall
+                    // back to the dense stage, which sees all pairs.
+                    solve_stage(inst, gains, &loads, &assignment, &papers, stage_cap, backend)
+                })?
+            }
+            None => solve_stage(inst, gains, &loads, &assignment, &papers, stage_cap, backend)?,
+        };
         for (r, p) in pairs {
             assignment.assign(r, p);
             gains.add(p, r);
@@ -151,15 +206,40 @@ pub(crate) fn solve_stage_with_bonus<P: GainProvider + Sync>(
         row
     });
     let weights = CostMatrix::from_flat(papers.len(), num_r, rows.concat());
+    let caps = stage_caps(inst, loads, papers.len(), stage_cap);
+
+    let row_to_col = match backend {
+        LapBackend::Flow => CapacitatedAssignment::new(&weights, &caps).solve().row_to_col,
+        LapBackend::Hungarian => hungarian_slots(&weights, &caps),
+    };
+
+    let mut out = Vec::with_capacity(papers.len());
+    for (i, col) in row_to_col.into_iter().enumerate() {
+        match col {
+            Some(r) => out.push((r, papers[i])),
+            None => {
+                return Err(Error::Infeasible(format!(
+                    "stage assignment could not place paper {}",
+                    papers[i]
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Per-reviewer slot capacities for one stage: `min(stage_cap, δr − load)`,
+/// relaxed toward the remaining global workload when δr is not divisible by
+/// δp. When earlier stages skew the load profile the capped slot total can
+/// fall short of P (the Lemma 3 confinement only provably works out in the
+/// integral case; §4.3.2 derives the general-case ratio ignoring the last
+/// stage anyway): relax per-reviewer caps, most slack first, until every
+/// paper can be placed.
+fn stage_caps(inst: &Instance, loads: &[usize], num_papers: usize, stage_cap: usize) -> Vec<i64> {
+    let num_r = inst.num_reviewers();
     let mut caps: Vec<i64> =
         (0..num_r).map(|r| stage_cap.min(inst.delta_r().saturating_sub(loads[r])) as i64).collect();
-    // When δr is not divisible by δp, earlier stages can skew the load
-    // profile so the capped slot total falls short of P (the Lemma 3
-    // confinement only provably works out in the integral case; §4.3.2
-    // derives the general-case ratio ignoring the last stage anyway).
-    // Relax the per-stage cap toward the remaining global workload, most
-    // slack first, until every paper can be placed.
-    let mut deficit = papers.len() as i64 - caps.iter().sum::<i64>();
+    let mut deficit = num_papers as i64 - caps.iter().sum::<i64>();
     if deficit > 0 {
         let mut order: Vec<usize> = (0..num_r).collect();
         let headroom = |r: usize, caps: &[i64]| inst.delta_r() as i64 - loads[r] as i64 - caps[r];
@@ -181,19 +261,55 @@ pub(crate) fn solve_stage_with_bonus<P: GainProvider + Sync>(
             }
         }
     }
+    caps
+}
 
-    let row_to_col = match backend {
-        LapBackend::Flow => CapacitatedAssignment::new(&weights, &caps).solve().row_to_col,
-        LapBackend::Hungarian => hungarian_slots(&weights, &caps),
+/// [`solve_stage`] over candidate edges only: each paper's row holds its
+/// feasible [`CandidateSet`] entries (marginal gain as weight) and the
+/// linear assignment runs on the [`SparseMatrix`] entry point — `O(Σ_p k_p)`
+/// edges and score state instead of `O(P·R)`. Errors when some paper cannot
+/// be placed inside the candidate edges (the caller falls back to the dense
+/// stage); by submodularity the stage objective is within
+/// [`CandidateSet::stage_loss_bound`] of the dense stage optimum.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn solve_stage_sparse<P: GainProvider + Sync>(
+    inst: &Instance,
+    gains: &P,
+    loads: &[usize],
+    assignment: &Assignment,
+    papers: &[usize],
+    stage_cap: usize,
+    backend: LapBackend,
+    cands: &CandidateSet,
+) -> Result<Vec<(usize, usize)>> {
+    let num_r = inst.num_reviewers();
+    let rows: Vec<Vec<(u32, f64)>> = par::map_indexed(papers.len(), |i| {
+        let p = papers[i];
+        let (rs, _) = cands.candidates(p);
+        let mut row = vec![0.0f64; rs.len()];
+        gains.gains_for(p, rs, &mut row);
+        rs.iter()
+            .zip(&row)
+            .filter(|&(&r, _)| {
+                let r = r as usize;
+                loads[r] < inst.delta_r() && !inst.is_coi(r, p) && !assignment.group(p).contains(&r)
+            })
+            .map(|(&r, &g)| (r, g))
+            .collect()
+    });
+    let caps = stage_caps(inst, loads, papers.len(), stage_cap);
+    let sparse = SparseMatrix::from_rows(num_r, rows);
+    let sol = match backend {
+        LapBackend::Flow => sparse.solve_capacitated(&caps),
+        LapBackend::Hungarian => sparse.solve_hungarian(&caps),
     };
-
     let mut out = Vec::with_capacity(papers.len());
-    for (i, col) in row_to_col.into_iter().enumerate() {
+    for (i, col) in sol.row_to_col.into_iter().enumerate() {
         match col {
             Some(r) => out.push((r, papers[i])),
             None => {
                 return Err(Error::Infeasible(format!(
-                    "stage assignment could not place paper {}",
+                    "sparse stage could not place paper {} within its candidates",
                     papers[i]
                 )))
             }
@@ -285,6 +401,43 @@ mod tests {
             "stage confinement should reserve r1 for p1, got {:?}",
             a.group(0)
         );
+    }
+
+    #[test]
+    fn full_density_topk_matches_dense_stage_bitwise() {
+        // With k ≥ R no positive-score reviewer is excluded; on these dense
+        // random instances every pair scores positive, so the sparse stage
+        // solves the very same network as the dense stage and the whole
+        // assignment must be identical, reviewer for reviewer.
+        use crate::engine::ScoreContext;
+        for seed in 0..6 {
+            let inst = random_instance(9, 6, 4, 2, seed);
+            let ctx = ScoreContext::new(&inst, Scoring::WeightedCoverage);
+            for backend in [LapBackend::Flow, LapBackend::Hungarian] {
+                let dense = solve_ctx_with_backend(&ctx, backend).unwrap();
+                let pruned = solve_ctx_pruned(&ctx, backend, PruningPolicy::TopK(1000)).unwrap();
+                assert_eq!(dense, pruned, "seed={seed} {backend:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_topk_stays_valid_and_auto_is_exact() {
+        use crate::engine::ScoreContext;
+        for seed in 0..6 {
+            let inst = random_instance(10, 7, 5, 3, seed);
+            let ctx = ScoreContext::new(&inst, Scoring::WeightedCoverage);
+            let exact = solve_ctx(&ctx).unwrap();
+            // Auto never prunes SDGA stages (LAP tie-breaks are not
+            // certifiable), so it is the exact assignment.
+            let auto = solve_ctx_pruned(&ctx, LapBackend::Flow, PruningPolicy::Auto).unwrap();
+            assert_eq!(exact, auto, "seed={seed}");
+            // Aggressive top-k stays feasible (dense-stage fallback covers
+            // capacity knots) and cannot beat the dense score by much more
+            // than floating noise... it simply must be valid.
+            let pruned = solve_ctx_pruned(&ctx, LapBackend::Flow, PruningPolicy::TopK(3)).unwrap();
+            pruned.validate(&inst).unwrap();
+        }
     }
 
     #[test]

@@ -12,9 +12,12 @@
 //! damped toward uniform `1/R` by the decay `e^{−λI}` as rounds accumulate.
 //! The paper does not print its λ; we default to 0.1 and expose it.
 
-use super::sdga::{solve_stage, LapBackend};
+use super::sdga::{solve_stage, solve_stage_sparse, LapBackend};
 use crate::assignment::Assignment;
-use crate::engine::{par, GainProvider, GainTable, LegacyGains, ScoreContext};
+use crate::engine::{
+    par, CandidateSet, GainProvider, GainTable, LegacyGains, PairMatrix, PruningPolicy,
+    ScoreContext,
+};
 use crate::problem::Instance;
 use crate::score::Scoring;
 use rand::rngs::StdRng;
@@ -97,15 +100,63 @@ pub fn refine(
     opts: &SraOptions,
 ) -> SraOutcome {
     refine_trials(opts, |o| {
-        refine_impl(inst, &mut LegacyGains::new(inst, scoring), initial.clone(), o)
+        refine_impl(inst, &mut LegacyGains::new(inst, scoring), initial.clone(), o, None)
     })
 }
 
 /// Refine over a [`ScoreContext`] (flat engine gains): the engine
 /// counterpart of [`refine`], bit-identical given the same options.
 pub fn refine_ctx(ctx: &ScoreContext<'_>, initial: Assignment, opts: &SraOptions) -> SraOutcome {
+    refine_ctx_pruned(ctx, initial, opts, PruningPolicy::Exact)
+}
+
+/// [`refine_ctx`] with candidate pruning of the Eq. 10 removal model.
+///
+/// The removal step's only use of the `P × R` pair matrix is TF-IDF-style
+/// relevance (`c(r,p)` against reviewer mass `Σ_{p'} c(r,p')`). With a
+/// certified candidate set (always the case under [`PruningPolicy::Auto`])
+/// every excluded pair score is exactly `0.0`, so masses, normalisers and
+/// removal probabilities computed from candidate lists alone are
+/// **bit-identical** to the dense ones (skipping a `+ 0.0` term is an IEEE
+/// no-op on these non-negative sums) — while the `P × R` matrix is never
+/// materialised. Under [`PruningPolicy::TopK`] truncated scores read as `0`
+/// (lossy), and the refill stage also solves over candidate edges with a
+/// dense fallback; under `Auto` the refill stays dense (stage-LAP
+/// tie-breaking is not certifiable — see [`super::sdga::solve_ctx_pruned`]).
+pub fn refine_ctx_pruned(
+    ctx: &ScoreContext<'_>,
+    initial: Assignment,
+    opts: &SraOptions,
+    pruning: PruningPolicy,
+) -> SraOutcome {
+    let topk = pruning.resolve_lossy(ctx);
+    let removal = match pruning {
+        PruningPolicy::Exact => None,
+        PruningPolicy::Auto => Some(ctx.auto_candidates()),
+        PruningPolicy::TopK(_) => topk.as_ref(),
+    };
+    refine_ctx_with_cands(ctx, initial, opts, removal, topk.is_some())
+}
+
+/// [`refine_ctx_pruned`] with pre-resolved candidate sets (`removal` feeds
+/// the Eq. 10 model; `sparse_refill` additionally routes the refill stage
+/// through the same set), so callers running several pruned phases over one
+/// context (SDGA-SRA) build a `TopK` set once.
+pub(crate) fn refine_ctx_with_cands(
+    ctx: &ScoreContext<'_>,
+    initial: Assignment,
+    opts: &SraOptions,
+    removal: Option<&CandidateSet>,
+    sparse_refill: bool,
+) -> SraOutcome {
     refine_trials(opts, |o| {
-        refine_impl(ctx.instance(), &mut GainTable::new(ctx), initial.clone(), o)
+        refine_impl(
+            ctx.instance(),
+            &mut GainTable::new(ctx),
+            initial.clone(),
+            o,
+            removal.map(|cs| (cs, sparse_refill)),
+        )
     })
 }
 
@@ -126,11 +177,29 @@ fn refine_trials(opts: &SraOptions, run: impl Fn(&SraOptions) -> SraOutcome + Sy
         .expect("trials >= 1")
 }
 
+/// Relevance surface behind Eq. 10: the dense `P × R` pair matrix, or a
+/// candidate set serving `0.0` for excluded pairs (exact when certified).
+enum Relevance<'a> {
+    Dense(PairMatrix),
+    Sparse(&'a CandidateSet),
+}
+
+impl Relevance<'_> {
+    #[inline]
+    fn get(&self, r: usize, p: usize) -> f64 {
+        match self {
+            Relevance::Dense(m) => m.get(r, p),
+            Relevance::Sparse(cs) => cs.score_of(p, r),
+        }
+    }
+}
+
 fn refine_impl<P: GainProvider + Sync>(
     inst: &Instance,
     gains: &mut P,
     initial: Assignment,
     opts: &SraOptions,
+    pruning: Option<(&CandidateSet, bool)>,
 ) -> SraOutcome {
     let start = Instant::now();
     let mut rng = StdRng::seed_from_u64(opts.seed);
@@ -154,11 +223,30 @@ fn refine_impl<P: GainProvider + Sync>(
 
     // Pairwise coverage c(r, p) and each reviewer's mass Σ_{p'} c(r, p')
     // (Algorithm 3 lines 1-2; O(P·R·T) once, row-parallel under `rayon`).
-    let pair_cov = gains.pair_matrix();
+    // With a candidate set, mass accumulates over candidate scores only —
+    // for each reviewer still in ascending-paper order, and skipped terms
+    // are exactly `+ 0.0` when the set is certified, so the sums are
+    // bit-identical to the dense ones without the P × R matrix.
+    let pair_cov = match pruning {
+        Some((cs, _)) => Relevance::Sparse(cs),
+        None => Relevance::Dense(gains.pair_matrix()),
+    };
     let mut reviewer_mass = vec![0.0f64; num_r];
-    for p in 0..num_p {
-        for (r, &c) in pair_cov.paper_row(p).iter().enumerate() {
-            reviewer_mass[r] += c;
+    match &pair_cov {
+        Relevance::Dense(m) => {
+            for p in 0..num_p {
+                for (r, &c) in m.paper_row(p).iter().enumerate() {
+                    reviewer_mass[r] += c;
+                }
+            }
+        }
+        Relevance::Sparse(cs) => {
+            for p in 0..num_p {
+                let (rs, ss) = cs.candidates(p);
+                for (&r, &s) in rs.iter().zip(ss) {
+                    reviewer_mass[r as usize] += s;
+                }
+            }
         }
     }
 
@@ -181,21 +269,41 @@ fn refine_impl<P: GainProvider + Sync>(
             if group.is_empty() {
                 continue;
             }
-            // Per-paper normaliser of Eq. 10 over the whole pool.
-            let u = |r: usize| -> f64 {
+            // Eq. 10's per-pair probability from a raw relevance score.
+            let u_of = |r: usize, score: f64| -> f64 {
                 match opts.model {
                     RemovalModel::Uniform => 1.0 / num_r as f64,
                     RemovalModel::Coverage => {
-                        let rel = if reviewer_mass[r] > 0.0 {
-                            pair_cov.get(r, p) / reviewer_mass[r]
-                        } else {
-                            0.0
-                        };
+                        let rel =
+                            if reviewer_mass[r] > 0.0 { score / reviewer_mass[r] } else { 0.0 };
                         (decay * rel).max(1.0 / num_r as f64)
                     }
                 }
             };
-            let z: f64 = (0..num_r).map(u).sum();
+            let u = |r: usize| -> f64 { u_of(r, pair_cov.get(r, p)) };
+            // Per-paper normaliser of Eq. 10 over the whole pool. On the
+            // pruned path a two-pointer merge over the (reviewer-sorted)
+            // candidate list replaces a binary search per reviewer; the
+            // summands and their order are unchanged, so `z` stays
+            // bit-identical to the dense loop.
+            let z: f64 = match &pair_cov {
+                Relevance::Dense(_) => (0..num_r).map(u).sum(),
+                Relevance::Sparse(cs) => {
+                    let (rs, ss) = cs.candidates(p);
+                    let mut j = 0usize;
+                    let mut z = 0.0;
+                    for r in 0..num_r {
+                        let score = if j < rs.len() && rs[j] as usize == r {
+                            j += 1;
+                            ss[j - 1]
+                        } else {
+                            0.0
+                        };
+                        z += u_of(r, score);
+                    }
+                    z
+                }
+            };
             let removal_weight: Vec<f64> =
                 group.iter().map(|&r| (1.0 - u(r) / z).max(1e-12)).collect();
             let total: f64 = removal_weight.iter().sum();
@@ -218,7 +326,23 @@ fn refine_impl<P: GainProvider + Sync>(
             gains.rebuild(p, current.group(p));
         }
         let papers: Vec<usize> = (0..num_p).collect();
-        match solve_stage(inst, gains, &loads, &current, &papers, inst.delta_r(), opts.backend) {
+        let refilled = match pruning {
+            Some((cs, true)) => solve_stage_sparse(
+                inst,
+                gains,
+                &loads,
+                &current,
+                &papers,
+                inst.delta_r(),
+                opts.backend,
+                cs,
+            )
+            .or_else(|_| {
+                solve_stage(inst, gains, &loads, &current, &papers, inst.delta_r(), opts.backend)
+            }),
+            _ => solve_stage(inst, gains, &loads, &current, &papers, inst.delta_r(), opts.backend),
+        };
+        match refilled {
             Ok(pairs) => {
                 for (r, p) in pairs {
                     current.assign(r, p);
@@ -314,6 +438,35 @@ mod tests {
             assert!(out.score <= opt + 1e-9);
         }
         assert!(hits >= 3, "SRA found the optimum on only {hits}/{total} tiny instances");
+    }
+
+    #[test]
+    fn pruned_auto_refine_is_bit_identical() {
+        use crate::engine::ScoreContext;
+        for seed in 0..4 {
+            let inst = random_instance(8, 6, 4, 2, seed);
+            let ctx = ScoreContext::new(&inst, Scoring::WeightedCoverage).with_seed(seed);
+            let initial = sdga::solve(&inst, Scoring::WeightedCoverage).unwrap();
+            let opts = SraOptions { omega: 6, seed, ..Default::default() };
+            let dense = refine_ctx(&ctx, initial.clone(), &opts);
+            let pruned = refine_ctx_pruned(&ctx, initial, &opts, PruningPolicy::Auto);
+            assert_eq!(dense.assignment, pruned.assignment, "seed={seed}");
+            assert_eq!(dense.score.to_bits(), pruned.score.to_bits());
+            assert_eq!(dense.rounds, pruned.rounds);
+        }
+    }
+
+    #[test]
+    fn topk_refine_stays_monotone_and_valid() {
+        use crate::engine::ScoreContext;
+        let inst = random_instance(8, 6, 4, 2, 13);
+        let ctx = ScoreContext::new(&inst, Scoring::WeightedCoverage).with_seed(13);
+        let initial = sdga::solve(&inst, Scoring::WeightedCoverage).unwrap();
+        let before = initial.coverage_score(&inst, Scoring::WeightedCoverage);
+        let opts = SraOptions { omega: 5, seed: 13, ..Default::default() };
+        let out = refine_ctx_pruned(&ctx, initial, &opts, PruningPolicy::TopK(3));
+        assert!(out.score >= before - 1e-12);
+        out.assignment.validate(&inst).unwrap();
     }
 
     #[test]

@@ -10,6 +10,16 @@
 //! that entry and push it back — the true maximum can never hide below a
 //! stale top.
 //!
+//! The queue is also how [`CandidateSet`](super::CandidateSet) lists stay
+//! valid *incrementally* as groups grow: consumers seed the queue with
+//! candidate pairs only (their initial gains are the candidate scores'
+//! gain-kernel values), and the version stamps re-certify each candidate
+//! lazily on pop — no per-stage rebuild of any dense structure. Excluded
+//! pairs never need re-scoring while their exclusion bound is `0.0`
+//! (their gain is pinned at zero by submodularity), which is exactly the
+//! certified-pruning contract of
+//! [`PruningPolicy::Auto`](super::PruningPolicy::Auto).
+//!
 //! **Caveat:** the bound argument assumes monotone-growing groups. A
 //! consumer that also *removes* reviewers (e.g. greedy's capacity repair)
 //! makes stale entries potential under-estimates; popped-entry re-scoring

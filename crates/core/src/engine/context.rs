@@ -36,6 +36,11 @@ pub struct ScoreContext<'a> {
     /// runs on this context (SM, ARAP-ILP, SRA) so the O(P·R·T) build
     /// happens once per context, not once per solve.
     pair_cache: std::sync::OnceLock<PairMatrix>,
+    /// Lazily-built untruncated candidate set (the [`PruningPolicy::Auto`]
+    /// lists), shared by every solver pruning under `Auto` on this context.
+    ///
+    /// [`PruningPolicy::Auto`]: super::candidates::PruningPolicy::Auto
+    auto_candidates: std::sync::OnceLock<super::candidates::CandidateSet>,
 }
 
 impl<'a> ScoreContext<'a> {
@@ -81,6 +86,7 @@ impl<'a> ScoreContext<'a> {
             csr_idx,
             csr_val,
             pair_cache: std::sync::OnceLock::new(),
+            auto_candidates: std::sync::OnceLock::new(),
         }
     }
 
@@ -204,6 +210,15 @@ impl<'a> ScoreContext<'a> {
             row
         });
         PairMatrix::from_rows(num_r, rows)
+    }
+
+    /// The untruncated candidate set (every positive-score reviewer per
+    /// paper — the [`PruningPolicy::Auto`] lists), built once per context
+    /// and shared by every solver pruning under `Auto`. Always certified.
+    ///
+    /// [`PruningPolicy::Auto`]: super::candidates::PruningPolicy::Auto
+    pub fn auto_candidates(&self) -> &super::candidates::CandidateSet {
+        self.auto_candidates.get_or_init(|| super::candidates::CandidateSet::build(self, None))
     }
 
     /// A single-paper JRA view over this context's flat rows, with the

@@ -35,6 +35,17 @@ pub trait GainProvider {
             out[r] = self.gain(p, r);
         }
     }
+    /// Write `gain(p, r)` for exactly the listed reviewers into `out`
+    /// (`out[i]` for `reviewers[i]`; `out.len() == reviewers.len()`). The
+    /// candidate-row kernel behind every
+    /// [`CandidateSet`](super::CandidateSet)-pruned solver — values are
+    /// bit-identical to [`GainProvider::gain`] per entry.
+    fn gains_for(&self, p: usize, reviewers: &[u32], out: &mut [f64]) {
+        debug_assert_eq!(reviewers.len(), out.len());
+        for (&r, slot) in reviewers.iter().zip(out) {
+            *slot = self.gain(p, r as usize);
+        }
+    }
     /// Add reviewer `r` to paper `p`'s group.
     fn add(&mut self, p: usize, r: usize);
     /// Reset paper `p`'s group to exactly `group`, added in order.
@@ -148,6 +159,44 @@ impl GainProvider for GainTable<'_, '_> {
             let paper = self.ctx.paper_row(p);
             for (r, slot) in out.iter_mut().enumerate() {
                 let row = self.ctx.reviewer_row(r);
+                let mut delta = 0.0;
+                for ((&g, &e), &w) in gmax.iter().zip(row).zip(paper) {
+                    if e > g {
+                        delta +=
+                            scoring.topic_contribution(e, w) - scoring.topic_contribution(g, w);
+                    }
+                }
+                *slot = delta * inv_total;
+            }
+        }
+    }
+
+    /// Candidate-row kernel: the [`GainTable::gains_into`] arithmetic with
+    /// the reviewer loop confined to the listed candidates (bit-identical
+    /// per entry, CSR row and `gmax` hoisted).
+    fn gains_for(&self, p: usize, reviewers: &[u32], out: &mut [f64]) {
+        debug_assert_eq!(reviewers.len(), out.len());
+        let scoring = self.ctx.scoring();
+        let gmax = self.gmax_row(p);
+        let inv_total = self.ctx.paper_inv_total(p);
+        if self.ctx.sparse() {
+            let (idx, val) = self.ctx.paper_sparse(p);
+            for (&r, slot) in reviewers.iter().zip(out) {
+                let row = self.ctx.reviewer_row(r as usize);
+                let mut delta = 0.0;
+                for (&t, &w) in idx.iter().zip(val) {
+                    let (g, e) = (gmax[t as usize], row[t as usize]);
+                    if e > g {
+                        delta +=
+                            scoring.topic_contribution(e, w) - scoring.topic_contribution(g, w);
+                    }
+                }
+                *slot = delta * inv_total;
+            }
+        } else {
+            let paper = self.ctx.paper_row(p);
+            for (&r, slot) in reviewers.iter().zip(out) {
+                let row = self.ctx.reviewer_row(r as usize);
                 let mut delta = 0.0;
                 for ((&g, &e), &w) in gmax.iter().zip(row).zip(paper) {
                     if e > g {

@@ -21,6 +21,14 @@
 //!   CELF-style lazy greedy evaluation ([`celf::CelfQueue`]): a stale cached
 //!   gain is an upper bound by submodularity (Lemma 4), so the greedy loop
 //!   re-scores only heap tops instead of rescanning R×P.
+//! * [`CandidateSet`] — per-paper top-k reviewer candidate lists (CSR over
+//!   positive pair scores) with a CELF-style upper bound on every excluded
+//!   reviewer, dialled by [`PruningPolicy`]: `Exact` scans all reviewers,
+//!   `Auto` prunes only where a zero bound *certifies* bit-identical
+//!   results (and falls back to the dense path elsewhere — the per-solver
+//!   certification rules live in [`candidates`]' module docs), `TopK(k)`
+//!   trades bounded objective loss (`Σ_p bound(p)` per stage) for
+//!   `O(P·k)` instead of `O(P·R)` score state.
 //! * [`par`] — deterministic parallel maps over papers, feature-gated behind
 //!   `rayon` (offline builds substitute the vendored `wgrap-par` scoped
 //!   thread pool). Outputs are positionally ordered, so parallel and serial
@@ -34,12 +42,14 @@
 //! **bit-identical assignments** on random instances for every algorithm
 //! and every scoring function.
 
+pub mod candidates;
 pub mod celf;
 mod context;
 mod gain;
 pub mod par;
 mod solver;
 
+pub use candidates::{CandidateSet, CoverageStats, PruningPolicy};
 pub use context::{JraView, PairMatrix, ScoreContext};
 pub use gain::{group_score_view, GainProvider, GainTable, LegacyGains, PaperGain};
 pub use solver::{

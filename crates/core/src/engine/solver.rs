@@ -1,6 +1,7 @@
 //! The unified [`Solver`] trait: every assignment algorithm as
 //! `solver.solve(&ctx)`.
 
+use super::candidates::{CandidateSet, PruningPolicy};
 use super::context::ScoreContext;
 use crate::assignment::Assignment;
 use crate::cra::sdga::LapBackend;
@@ -53,7 +54,11 @@ impl Solver for IlpSolver {
 
 /// Best Reviewer Group Greedy (§5.2 "BRGG").
 #[derive(Debug, Clone, Copy, Default)]
-pub struct BrggSolver;
+pub struct BrggSolver {
+    /// Candidate pruning (`TopK` shrinks each per-paper BBA pool; `Auto`
+    /// falls back to the dense pool — see [`brgg::solve_ctx_with`]).
+    pub pruning: PruningPolicy,
+}
 
 impl Solver for BrggSolver {
     fn name(&self) -> &'static str {
@@ -61,13 +66,17 @@ impl Solver for BrggSolver {
     }
 
     fn solve(&self, ctx: &ScoreContext<'_>) -> Result<Assignment> {
-        brgg::solve_ctx(ctx)
+        brgg::solve_ctx_with(ctx, self.pruning)
     }
 }
 
 /// The 1/3-approximation greedy of Long et al. (§4.1), CELF-accelerated.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct GreedySolver;
+pub struct GreedySolver {
+    /// Candidate pruning (`Auto` is certified bit-identical to `Exact`
+    /// here — see [`greedy::solve_ctx_with`]).
+    pub pruning: PruningPolicy,
+}
 
 impl Solver for GreedySolver {
     fn name(&self) -> &'static str {
@@ -75,7 +84,7 @@ impl Solver for GreedySolver {
     }
 
     fn solve(&self, ctx: &ScoreContext<'_>) -> Result<Assignment> {
-        greedy::solve_ctx(ctx)
+        greedy::solve_ctx_with(ctx, self.pruning)
     }
 }
 
@@ -84,6 +93,10 @@ impl Solver for GreedySolver {
 pub struct SdgaSolver {
     /// The linear-assignment backend each stage runs on.
     pub backend: LapBackend,
+    /// Candidate pruning (`TopK` solves each stage over sparse candidate
+    /// edges; `Auto` keeps the dense stage — see
+    /// [`sdga::solve_ctx_pruned`]).
+    pub pruning: PruningPolicy,
 }
 
 impl Solver for SdgaSolver {
@@ -92,7 +105,7 @@ impl Solver for SdgaSolver {
     }
 
     fn solve(&self, ctx: &ScoreContext<'_>) -> Result<Assignment> {
-        sdga::solve_ctx_with_backend(ctx, self.backend)
+        sdga::solve_ctx_pruned(ctx, self.backend, self.pruning)
     }
 }
 
@@ -102,6 +115,10 @@ impl Solver for SdgaSolver {
 pub struct SdgaSraSolver {
     /// Refinement knobs; the `seed` field is overridden by the context's.
     pub sra: SraOptions,
+    /// Candidate pruning, applied to the SDGA stages (under `TopK`) and the
+    /// SRA removal model (under `TopK` and `Auto`; `Auto` is certified
+    /// bit-identical — see [`sra::refine_ctx_pruned`]).
+    pub pruning: PruningPolicy,
 }
 
 impl Solver for SdgaSraSolver {
@@ -110,9 +127,18 @@ impl Solver for SdgaSraSolver {
     }
 
     fn solve(&self, ctx: &ScoreContext<'_>) -> Result<Assignment> {
-        let initial = sdga::solve_ctx_with_backend(ctx, self.sra.backend)?;
+        // Resolve the candidate set once and share it between the SDGA
+        // stages and the SRA refinement (a TopK build is a full positive-
+        // score scan — worth paying a single time per solve).
+        let topk = self.pruning.resolve_lossy(ctx);
+        let initial = sdga::solve_ctx_with_cands(ctx, self.sra.backend, topk.as_ref())?;
+        let removal: Option<&CandidateSet> = match self.pruning {
+            PruningPolicy::Exact => None,
+            PruningPolicy::Auto => Some(ctx.auto_candidates()),
+            PruningPolicy::TopK(_) => topk.as_ref(),
+        };
         let opts = SraOptions { seed: ctx.seed(), ..self.sra.clone() };
-        Ok(sra::refine_ctx(ctx, initial, &opts).assignment)
+        Ok(sra::refine_ctx_with_cands(ctx, initial, &opts, removal, topk.is_some()).assignment)
     }
 }
 
@@ -144,15 +170,22 @@ impl Solver for JraBbaSolver {
 }
 
 impl CraAlgorithm {
-    /// The engine solver implementing this algorithm.
+    /// The engine solver implementing this algorithm (no pruning).
     pub fn solver(self) -> Box<dyn Solver> {
+        self.solver_with(PruningPolicy::Exact)
+    }
+
+    /// The engine solver implementing this algorithm under a candidate
+    /// [`PruningPolicy`]. SM and ILP rank whole `P × R` objectives and take
+    /// no pruning knob; they ignore the policy.
+    pub fn solver_with(self, pruning: PruningPolicy) -> Box<dyn Solver> {
         match self {
             CraAlgorithm::StableMatching => Box::new(StableMatchingSolver),
             CraAlgorithm::ArapIlp => Box::new(IlpSolver),
-            CraAlgorithm::Brgg => Box::new(BrggSolver),
-            CraAlgorithm::Greedy => Box::new(GreedySolver),
-            CraAlgorithm::Sdga => Box::new(SdgaSolver::default()),
-            CraAlgorithm::SdgaSra => Box::new(SdgaSraSolver::default()),
+            CraAlgorithm::Brgg => Box::new(BrggSolver { pruning }),
+            CraAlgorithm::Greedy => Box::new(GreedySolver { pruning }),
+            CraAlgorithm::Sdga => Box::new(SdgaSolver { pruning, ..Default::default() }),
+            CraAlgorithm::SdgaSra => Box::new(SdgaSraSolver { pruning, ..Default::default() }),
         }
     }
 }
@@ -164,8 +197,8 @@ pub fn solver_by_label(label: &str) -> Option<Box<dyn Solver>> {
     Some(match l.as_str() {
         "sm" | "stable-matching" => Box::new(StableMatchingSolver),
         "ilp" => Box::new(IlpSolver),
-        "brgg" => Box::new(BrggSolver),
-        "greedy" => Box::new(GreedySolver),
+        "brgg" => Box::new(BrggSolver::default()),
+        "greedy" => Box::new(GreedySolver::default()),
         "sdga" => Box::new(SdgaSolver::default()),
         "sdga-sra" => Box::new(SdgaSraSolver::default()),
         "bba" => Box::new(JraBbaSolver),

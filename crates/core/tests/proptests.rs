@@ -299,6 +299,156 @@ mod engine_equivalence {
     }
 }
 
+/// CandidateSet pruning equivalence: [`PruningPolicy::Auto`] must produce
+/// **bit-identical assignments** to the dense (`Exact`) path for every CRA
+/// solver, every scoring, and for JRA BBA — the `Auto` contract. For the
+/// gain-ranking solvers (greedy, the SRA removal model) this exercises real
+/// pruning plus the zero-spill reconciliation; for the solvers whose
+/// tie-breaking cannot be certified (SDGA stages, BRGG, SM, ILP) it pins
+/// down that `Auto` falls back to the dense path rather than drifting.
+mod pruning_equivalence {
+    use proptest::prelude::*;
+    use wgrap_core::cra::CraAlgorithm;
+    use wgrap_core::engine::{CandidateSet, PruningPolicy, ScoreContext};
+    use wgrap_core::jra::bba;
+    use wgrap_core::prelude::*;
+
+    /// Aggressively sparse vectors so candidate lists genuinely exclude
+    /// reviewers and greedy hits the zero-gain spill.
+    fn sparse_topic_vector(dim: usize) -> impl Strategy<Value = TopicVector> {
+        (proptest::collection::vec(0.0..1.0f64, dim), proptest::collection::vec(any::<bool>(), dim))
+            .prop_map(|(mut v, mask)| {
+                for (w, drop) in v.iter_mut().zip(mask) {
+                    if drop {
+                        *w = 0.0;
+                    }
+                }
+                if v.iter().sum::<f64>() <= 0.0 {
+                    v[0] = 1.0;
+                }
+                TopicVector::new(v).normalized()
+            })
+    }
+
+    fn instance_strategy(dim: usize) -> impl Strategy<Value = (Instance, u64)> {
+        (
+            proptest::collection::vec(sparse_topic_vector(dim), 2..6),
+            proptest::collection::vec(sparse_topic_vector(dim), 4..8),
+            1usize..4,
+            0u64..1_000,
+            proptest::collection::vec(any::<bool>(), 48),
+        )
+            .prop_map(move |(papers, reviewers, delta_p, seed, coi)| {
+                let delta_p = delta_p.min(reviewers.len() - 1).max(1);
+                let delta_r = Instance::minimal_delta_r(papers.len(), reviewers.len(), delta_p);
+                let mut inst =
+                    Instance::new(papers, reviewers, delta_p, delta_r + 1).expect("valid");
+                let mut k = 0usize;
+                for r in 0..inst.num_reviewers() {
+                    for p in 0..inst.num_papers() {
+                        if coi[k % coi.len()] && r == p % inst.num_reviewers() {
+                            inst.add_coi(r, p);
+                        }
+                        k += 1;
+                    }
+                }
+                (inst, seed)
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The acceptance contract: `Auto` vs the dense path, all six CRA
+        /// solvers, all four scorings — identical groups, reviewer for
+        /// reviewer, in order.
+        #[test]
+        fn auto_bit_identical_for_all_cra_solvers((inst, seed) in instance_strategy(5)) {
+            for scoring in Scoring::ALL {
+                for algo in CraAlgorithm::ALL {
+                    let dense = algo.run(&inst, scoring, seed);
+                    let auto = algo.run_pruned(&inst, scoring, seed, PruningPolicy::Auto);
+                    match (dense, auto) {
+                        (Ok(d), Ok(a)) => prop_assert_eq!(
+                            &d, &a,
+                            "{:?}/{:?} diverged under Auto pruning", algo, scoring
+                        ),
+                        (Err(_), Err(_)) => {}
+                        (d, a) => prop_assert!(
+                            false,
+                            "{algo:?}/{scoring:?}: dense {d:?} vs auto {a:?}"
+                        ),
+                    }
+                }
+            }
+        }
+
+        /// `TopK` with `k ≥ R` truncates nothing, so it carries the same
+        /// certificate as `Auto` for the gain-ranking greedy — and must be
+        /// exact too.
+        #[test]
+        fn huge_topk_greedy_is_exact((inst, seed) in instance_strategy(5)) {
+            for scoring in Scoring::ALL {
+                let dense = CraAlgorithm::Greedy.run(&inst, scoring, seed);
+                let topk = CraAlgorithm::Greedy.run_pruned(
+                    &inst, scoring, seed, PruningPolicy::TopK(1_000));
+                match (dense, topk) {
+                    (Ok(d), Ok(t)) => prop_assert_eq!(&d, &t, "{:?}", scoring),
+                    (Err(_), Err(_)) => {}
+                    (d, t) => prop_assert!(false, "{scoring:?}: {d:?} vs {t:?}"),
+                }
+            }
+        }
+
+        /// Small `TopK` is lossy but must stay feasible on every solver
+        /// (dense fallbacks cover candidate starvation).
+        #[test]
+        fn small_topk_stays_feasible((inst, seed) in instance_strategy(4)) {
+            for algo in CraAlgorithm::ALL {
+                if let Ok(a) = algo.run_pruned(
+                    &inst, Scoring::WeightedCoverage, seed, PruningPolicy::TopK(2)) {
+                    prop_assert!(a.validate(&inst).is_ok(), "{:?}", algo);
+                }
+            }
+        }
+
+        /// JRA BBA: restricting the branch-and-bound pool to the certified
+        /// candidate list never changes the optimal score (excluded
+        /// reviewers contribute exactly nothing to any group), whenever the
+        /// restricted pool is large enough to field a group at all.
+        #[test]
+        fn bba_candidate_pool_preserves_optimum(
+            paper in sparse_topic_vector(5),
+            pool in proptest::collection::vec(sparse_topic_vector(5), 4..10),
+            delta_p in 1usize..4,
+        ) {
+            prop_assume!(delta_p <= pool.len());
+            for scoring in Scoring::ALL {
+                let journal = Instance::journal(paper.clone(), pool.clone(), delta_p)
+                    .expect("valid journal instance");
+                let ctx = ScoreContext::new(&journal, scoring);
+                let opts = bba::BbaOptions::default();
+                let dense = bba::solve_ctx(&ctx, 0, &opts).expect("feasible");
+
+                let cands = CandidateSet::build(&ctx, None);
+                prop_assert!(cands.certified());
+                let mut forbidden = vec![false; pool.len()];
+                for (r, f) in forbidden.iter_mut().enumerate() {
+                    *f = !cands.contains(0, r);
+                }
+                if forbidden.iter().filter(|f| !**f).count() >= delta_p {
+                    let view = ctx.jra_view_with_forbidden(0, forbidden);
+                    let pruned = bba::solve_view(&view, &opts).expect("feasible");
+                    prop_assert_eq!(
+                        dense[0].score.to_bits(), pruned[0].score.to_bits(),
+                        "{:?}: dense {} vs pruned {}", scoring, dense[0].score, pruned[0].score
+                    );
+                }
+            }
+        }
+    }
+}
+
 mod io_roundtrip {
     use proptest::prelude::*;
     use wgrap_core::io;

@@ -11,6 +11,10 @@
 //! * [`flow`] — a successive-shortest-paths minimum-cost maximum-flow solver
 //!   with Johnson potentials, which natively supports node capacities (the
 //!   per-stage reviewer workload `⌈δr/δp⌉`).
+//! * [`sparse`] — the same capacitated assignment over an explicit candidate
+//!   edge list ([`SparseMatrix`], CSR) instead of a dense `P × R` matrix,
+//!   with flow and Hungarian dispatch; the entry point for top-k-pruned
+//!   SDGA stages.
 //!
 //! Both backends treat `f64::INFINITY` entries as forbidden pairs (conflicts
 //! of interest, already-assigned reviewers). The flow backend internally
@@ -24,10 +28,12 @@ pub mod brute;
 pub mod flow;
 pub mod hungarian;
 pub mod matrix;
+pub mod sparse;
 
 pub use flow::{CapacitatedAssignment, MinCostFlow};
 pub use hungarian::{hungarian_max, hungarian_min, HungarianResult};
 pub use matrix::CostMatrix;
+pub use sparse::SparseMatrix;
 
 /// Outcome of an assignment solve: `pairs[i] = Some(j)` means row `i`
 /// (paper) was matched to column `j` (reviewer slot).

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use wgrap_lap::brute::brute_force_max;
-use wgrap_lap::{hungarian_max, CapacitatedAssignment, CostMatrix};
+use wgrap_lap::{hungarian_max, CapacitatedAssignment, CostMatrix, SparseMatrix};
 
 fn square_matrix(max_n: usize) -> impl Strategy<Value = CostMatrix> {
     (1..=max_n).prop_flat_map(|n| {
@@ -50,6 +50,48 @@ proptest! {
                 prop_assert!(sol.objective <= base.objective + 1e-9);
             }
         }
+    }
+
+    /// The sparse edge-list solver is the dense capacitated solver: with the
+    /// full edge set it reproduces the dense flow assignment exactly, and
+    /// with a random sparsity pattern it matches the dense matrix that has
+    /// `NEG_INFINITY` in the absent cells.
+    #[test]
+    fn sparse_flow_equals_dense_flow(
+        m in square_matrix(6),
+        keep in proptest::collection::vec(any::<bool>(), 36),
+        cap in 1i64..3,
+    ) {
+        let (r, c) = (m.rows(), m.cols());
+        let caps = vec![cap; c];
+
+        // Full density: bit-identical assignment.
+        let full_rows: Vec<Vec<(u32, f64)>> = (0..r)
+            .map(|i| (0..c).map(|j| (j as u32, m.get(i, j))).collect())
+            .collect();
+        let full = SparseMatrix::from_rows(c, full_rows);
+        let dense = CapacitatedAssignment::new(&m, &caps).solve();
+        let sparse = full.solve_capacitated(&caps);
+        prop_assert_eq!(&sparse.row_to_col, &dense.row_to_col);
+        prop_assert_eq!(sparse.objective.to_bits(), dense.objective.to_bits());
+
+        // Random pattern: equals the dense solve over the masked matrix.
+        let masked = CostMatrix::from_fn(r, c, |i, j| {
+            if keep[(i * c + j) % keep.len()] { m.get(i, j) } else { f64::NEG_INFINITY }
+        });
+        let masked_rows: Vec<Vec<(u32, f64)>> = (0..r)
+            .map(|i| {
+                (0..c)
+                    .filter(|&j| masked.get(i, j) != f64::NEG_INFINITY)
+                    .map(|j| (j as u32, masked.get(i, j)))
+                    .collect()
+            })
+            .collect();
+        let sp = SparseMatrix::from_rows(c, masked_rows);
+        let a = sp.solve_capacitated(&caps);
+        let b = CapacitatedAssignment::new(&masked, &caps).solve();
+        prop_assert_eq!(&a.row_to_col, &b.row_to_col);
+        prop_assert!((a.objective - b.objective).abs() < 1e-9);
     }
 
     #[test]

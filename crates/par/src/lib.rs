@@ -4,12 +4,21 @@
 //! would normally pull in: the build environment cannot reach crates.io, so
 //! `wgrap-core` gates this crate behind its `rayon` feature instead.
 //!
-//! Work is split into contiguous index chunks, one per worker; each worker
-//! writes results for its own chunk and chunks are laid out in input order,
-//! so the output is **bit-identical to the serial map regardless of thread
-//! count or scheduling** (a requirement for the engine's equivalence
-//! guarantees). Only the wall-clock varies.
+//! Scheduling is an atomic-counter **work-stealing loop**: workers claim
+//! small index batches from a shared counter and write each result into its
+//! own pre-allocated output slot. Earlier versions split the range into one
+//! contiguous chunk per worker, which goes pathological when per-index cost
+//! is skewed — e.g. papers with fat candidate lists next to fully pruned
+//! ones after top-k sparsification — leaving all but one worker idle while
+//! the unlucky one drains its chunk. With self-scheduling the remaining
+//! batches flow to whichever worker is free.
+//!
+//! Because every result is written **positionally** (slot `i` holds `f(i)`),
+//! the output is bit-identical to the serial map regardless of thread
+//! count, batch size, or scheduling order — the determinism requirement the
+//! engine's equivalence guarantees rest on. Only the wall-clock varies.
 
+use std::mem::{ManuallyDrop, MaybeUninit};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -34,33 +43,70 @@ pub fn num_threads() -> usize {
 
 /// Parallel `(0..n).map(f).collect()`, deterministic in output order.
 ///
-/// `f` must be a pure function of its index for the determinism guarantee to
-/// mean anything; the engine only passes such closures.
+/// `f` must be a pure function of its index for the determinism guarantee
+/// to mean anything; the engine only passes such closures. If `f` panics the
+/// panic propagates after all workers stop; results already produced are
+/// leaked (never dropped) in that case.
 pub fn par_map_indexed<U: Send, F: Fn(usize) -> U + Sync>(n: usize, f: F) -> Vec<U> {
     let workers = num_threads().min(n.max(1));
     if workers <= 1 || n < 2 {
         return (0..n).map(f).collect();
     }
-    let chunk = n.div_ceil(workers);
-    let mut chunks: Vec<Vec<U>> = Vec::with_capacity(workers);
+
+    // A provenance-preserving Send wrapper for the output base pointer
+    // (a usize round-trip would defeat Miri / strict-provenance checks).
+    struct SendPtr<T>(*mut T);
+    unsafe impl<T> Send for SendPtr<T> {}
+    impl<T> Clone for SendPtr<T> {
+        fn clone(&self) -> Self {
+            Self(self.0)
+        }
+    }
+
+    // Small batches so skewed per-index cost redistributes; large enough
+    // that the shared counter is not contended per index.
+    let batch = (n / (workers * 8)).clamp(1, 1024);
+    let mut slots: Vec<MaybeUninit<U>> = Vec::with_capacity(n);
+    // SAFETY: MaybeUninit<U> requires no initialisation.
+    unsafe { slots.set_len(n) };
+    let base = SendPtr(slots.as_mut_ptr());
+    let next = AtomicUsize::new(0);
+
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let f = &f;
-                let lo = w * chunk;
-                let hi = ((w + 1) * chunk).min(n);
-                scope.spawn(move || (lo..hi).map(f).collect::<Vec<U>>())
-            })
-            .collect();
-        for h in handles {
-            chunks.push(h.join().expect("wgrap-par worker panicked"));
+        for _ in 0..workers {
+            let f = &f;
+            let next = &next;
+            let base = base.clone();
+            scope.spawn(move || {
+                // Move the whole wrapper, not just its pointer field —
+                // edition-2021 disjoint capture would otherwise capture the
+                // raw `*mut`, which is not Send.
+                let base = base;
+                loop {
+                    let lo = next.fetch_add(batch, Ordering::Relaxed);
+                    if lo >= n {
+                        break;
+                    }
+                    for i in lo..(lo + batch).min(n) {
+                        let v = f(i);
+                        // SAFETY: `fetch_add` hands out disjoint index
+                        // ranges, so this worker is the only writer of slot
+                        // `i`, and `slots` outlives the scope.
+                        unsafe { (*base.0.add(i)).write(v) };
+                    }
+                }
+            });
         }
     });
-    let mut out = Vec::with_capacity(n);
-    for c in chunks {
-        out.extend(c);
-    }
-    out
+
+    // Every index in 0..n was claimed exactly once and the scope joined all
+    // workers, so all n slots are initialised.
+    let mut slots = ManuallyDrop::new(slots);
+    let (ptr, len, cap) = (slots.as_mut_ptr(), slots.len(), slots.capacity());
+    debug_assert_eq!(len, n);
+    // SAFETY: `MaybeUninit<U>` has the same layout as `U` and all `len`
+    // elements are initialised; ownership transfers to the new Vec.
+    unsafe { Vec::from_raw_parts(ptr as *mut U, len, cap) }
 }
 
 /// Parallel `items.iter().map(f).collect()`, deterministic in output order.
@@ -86,5 +132,31 @@ mod tests {
     fn tiny_and_empty_inputs() {
         assert_eq!(par_map_indexed(0, |i| i), Vec::<usize>::new());
         assert_eq!(par_map_indexed(1, |i| i), vec![0]);
+    }
+
+    #[test]
+    fn skewed_costs_keep_positional_order() {
+        // A pathological skew for static chunking: the first indices are
+        // thousands of times more expensive than the rest. Output must
+        // still be the serial map, element for element.
+        let work = |i: usize| -> u64 {
+            let spins = if i < 8 { 20_000 } else { 10 };
+            let mut acc = i as u64;
+            for k in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            acc
+        };
+        let serial: Vec<u64> = (0..300).map(work).collect();
+        assert_eq!(par_map_indexed(300, work), serial);
+    }
+
+    #[test]
+    fn non_copy_results_are_moved_correctly() {
+        let out = par_map_indexed(257, |i| vec![i; i % 5]);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v.len(), i % 5);
+            assert!(v.iter().all(|&x| x == i));
+        }
     }
 }

@@ -2,9 +2,15 @@
 //!
 //! ```text
 //! wgrap assign  <instance-file> [--method sdga-sra] [--seed N] [--scoring weighted]
+//!               [--pruning exact|auto|topk:K] [--topk K]
 //!     Solve the instance and print the assignment (paper <TAB> reviewer).
+//!     `--pruning auto` prunes reviewer scans wherever that is certified
+//!     exact; `--topk K` (short for `--pruning topk:K`) trades bounded
+//!     objective loss for O(P·k) score state.
 //! wgrap check   <instance-file> <assignment-file>
-//!     Validate an assignment and report its quality metrics.
+//!     Validate an assignment, report its quality metrics, and print
+//!     per-paper candidate-coverage stats (how many reviewers score
+//!     positively per paper) to guide the choice of k.
 //! wgrap journal <instance-file> <paper-name> [--top-k K]
 //!     Exact best reviewer group(s) for a single paper (BBA).
 //! wgrap gen     <papers> <reviewers> <delta_p> [--seed N]
@@ -14,7 +20,7 @@
 use std::process::ExitCode;
 use wgrap::core::cra::ideal::{ideal_assignment, IdealMode};
 use wgrap::core::cra::CraAlgorithm;
-use wgrap::core::engine::ScoreContext;
+use wgrap::core::engine::{CandidateSet, PruningPolicy, ScoreContext};
 use wgrap::core::io;
 use wgrap::core::jra::bba;
 use wgrap::core::metrics;
@@ -47,7 +53,8 @@ struct Flags {
     method: CraAlgorithm,
     scoring: Scoring,
     seed: u64,
-    top_k: usize,
+    top_k: Option<usize>,
+    pruning: Option<PruningPolicy>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags> {
@@ -56,7 +63,8 @@ fn parse_flags(args: &[String]) -> Result<Flags> {
         method: CraAlgorithm::SdgaSra,
         scoring: Scoring::WeightedCoverage,
         seed: 42,
-        top_k: 1,
+        top_k: None,
+        pruning: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -82,9 +90,24 @@ fn parse_flags(args: &[String]) -> Result<Flags> {
                     .map_err(|_| Error::InvalidInstance("--seed needs an integer".into()))?;
             }
             "--top-k" => {
-                flags.top_k = value("--top-k")?
+                flags.top_k = Some(
+                    value("--top-k")?
+                        .parse()
+                        .map_err(|_| Error::InvalidInstance("--top-k needs an integer".into()))?,
+                );
+            }
+            "--pruning" => {
+                let v = value("--pruning")?;
+                flags.pruning = Some(v.parse().map_err(Error::InvalidInstance)?);
+            }
+            "--topk" => {
+                let k: usize = value("--topk")?
                     .parse()
-                    .map_err(|_| Error::InvalidInstance("--top-k needs an integer".into()))?;
+                    .map_err(|_| Error::InvalidInstance("--topk needs an integer".into()))?;
+                if k == 0 {
+                    return Err(Error::InvalidInstance("--topk must be positive".into()));
+                }
+                flags.pruning = Some(PruningPolicy::TopK(k));
             }
             other => flags.positional.push(other.to_string()),
         }
@@ -101,11 +124,18 @@ fn cmd_assign(flags: &Flags) -> Result<()> {
     let [path] = &flags.positional[..] else {
         return Err(Error::InvalidInstance("assign needs exactly one file".into()));
     };
+    if flags.top_k.is_some() {
+        // --top-k (journal's best-group count) is one character away from
+        // --topk (candidate pruning); refuse rather than silently ignore.
+        return Err(Error::InvalidInstance(
+            "--top-k selects the journal command's group count; did you mean --topk K?".into(),
+        ));
+    }
     let inst = io::parse_instance(&read(path)?)?;
     // One flat ScoreContext serves every solver; dispatch is through the
     // engine's Solver trait.
     let ctx = ScoreContext::new(&inst, flags.scoring).with_seed(flags.seed);
-    let solver = flags.method.solver();
+    let solver = flags.method.solver_with(flags.pruning.unwrap_or_default());
     let a = solver.solve(&ctx)?;
     a.validate(&inst)?;
     print!("{}", io::write_assignment(&inst, &a));
@@ -122,6 +152,13 @@ fn cmd_check(flags: &Flags) -> Result<()> {
     let [inst_path, assign_path] = &flags.positional[..] else {
         return Err(Error::InvalidInstance("check needs <instance> <assignment>".into()));
     };
+    if flags.pruning.is_some() || flags.top_k.is_some() {
+        // Same policy as assign/journal: refuse foreign flags rather than
+        // silently ignoring them.
+        return Err(Error::InvalidInstance(
+            "--pruning/--topk/--top-k do not apply to check (it reports stats for all k)".into(),
+        ));
+    }
     let inst = io::parse_instance(&read(inst_path)?)?;
     let a = io::parse_assignment(&inst, &read(assign_path)?)?;
     a.validate(&inst)?;
@@ -133,6 +170,28 @@ fn cmd_check(flags: &Flags) -> Result<()> {
         100.0 * metrics::optimality_ratio(&inst, flags.scoring, &a, &ideal)
     );
     println!("lowest paper coverage: {:.4}", metrics::lowest_coverage(&inst, flags.scoring, &a));
+
+    // Candidate-coverage stats: how many reviewers score positively per
+    // paper. Picking --topk at or above the p75 keeps pruning near-lossless
+    // for most papers; the min flags papers where any truncation bites.
+    let ctx = ScoreContext::new(&inst, flags.scoring);
+    let cands = CandidateSet::build(&ctx, None);
+    if let Some(s) = cands.coverage_stats() {
+        println!(
+            "candidate support (reviewers with positive score per paper): \
+             min {} / p25 {} / median {} / p75 {} / max {} (of {} reviewers)",
+            s.min,
+            s.p25,
+            s.median,
+            s.p75,
+            s.max,
+            inst.num_reviewers()
+        );
+        println!(
+            "suggested --topk: {} (p75; lossless for >=75% of papers), exact pruning via --pruning auto",
+            s.p75.max(inst.delta_p())
+        );
+    }
     Ok(())
 }
 
@@ -140,12 +199,18 @@ fn cmd_journal(flags: &Flags) -> Result<()> {
     let [inst_path, paper_name] = &flags.positional[..] else {
         return Err(Error::InvalidInstance("journal needs <instance> <paper-name>".into()));
     };
+    if flags.pruning.is_some() {
+        return Err(Error::InvalidInstance(
+            "--pruning/--topk apply to assign; journal takes --top-k K (number of best groups)"
+                .into(),
+        ));
+    }
     let inst = io::parse_instance(&read(inst_path)?)?;
     let paper = (0..inst.num_papers())
         .find(|&p| inst.paper_name(p) == *paper_name)
         .ok_or_else(|| Error::InvalidInstance(format!("unknown paper '{paper_name}'")))?;
     let ctx = ScoreContext::new(&inst, flags.scoring);
-    let opts = bba::BbaOptions { top_k: flags.top_k, ..Default::default() };
+    let opts = bba::BbaOptions { top_k: flags.top_k.unwrap_or(1), ..Default::default() };
     let results = bba::solve_ctx(&ctx, paper, &opts)
         .ok_or_else(|| Error::Infeasible("not enough non-conflicted reviewers".into()))?;
     for (i, res) in results.iter().enumerate() {
