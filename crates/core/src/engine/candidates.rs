@@ -159,19 +159,23 @@ impl CandidateSet {
     /// pairs positively) scan all reviewers. Rows build in parallel under
     /// the `rayon` feature, bit-identically to the serial build.
     pub fn build(ctx: &ScoreContext<'_>, k: Option<usize>) -> Self {
-        let (num_p, num_r, dim) = (ctx.num_papers(), ctx.num_reviewers(), ctx.num_topics());
-        // Inverted index: topic -> reviewers with positive expertise.
-        let by_topic: Option<Vec<Vec<u32>>> = ctx.sparse().then(|| {
-            let mut idx = vec![Vec::new(); dim];
-            for r in 0..num_r {
-                for (t, &e) in ctx.reviewer_row(r).iter().enumerate() {
-                    if e > 0.0 {
-                        idx[t].push(r as u32);
-                    }
-                }
-            }
-            idx
-        });
+        let by_topic = ctx.sparse().then(|| reviewer_topic_index(ctx));
+        Self::build_with_index(ctx, k, by_topic.as_deref())
+    }
+
+    /// [`CandidateSet::build`] with a caller-supplied topic → reviewers
+    /// index (as produced by [`reviewer_topic_index`]) for sparse-safe
+    /// scorings — the service store maintains that index incrementally
+    /// anyway, so sharing it avoids a second `O(R·T)` derivation pass on
+    /// every rebuild. Pass `None` to scan all reviewers (the dense path
+    /// non-sparse-safe scorings always take).
+    pub fn build_with_index(
+        ctx: &ScoreContext<'_>,
+        k: Option<usize>,
+        by_topic: Option<&[Vec<u32>]>,
+    ) -> Self {
+        let (num_p, num_r) = (ctx.num_papers(), ctx.num_reviewers());
+        debug_assert!(by_topic.is_none() || ctx.sparse(), "index probing needs sparse safety");
 
         // (candidates sorted by reviewer asc, bound, positive support).
         type PaperRow = (Vec<(u32, f64)>, f64, u32);
@@ -204,15 +208,10 @@ impl CandidateSet {
                 }
             }
             let support = cands.len() as u32;
-            let mut bound = 0.0f64;
-            if let Some(k) = k {
-                if cands.len() > k {
-                    cands.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-                    bound = cands[k].1;
-                    cands.truncate(k);
-                }
-            }
-            cands.sort_by_key(|&(r, _)| r);
+            let bound = match k {
+                Some(k) => truncate_row(&mut cands, k),
+                None => 0.0,
+            };
             (cands, bound, support)
         });
 
@@ -317,6 +316,92 @@ impl CandidateSet {
             + self.support.len() * std::mem::size_of::<u32>()
     }
 
+    /// Append one paper's candidate row to an **untruncated** (Auto) set:
+    /// `row` must list every reviewer with positive pair score for the new
+    /// paper, ascending by id, with the scores [`ScoreContext::pair_score`]
+    /// would produce — exactly what [`CandidateSet::build`] computes, which
+    /// is what keeps incremental maintenance bit-identical to a rebuild.
+    /// The new paper's bound is `0.0` (nothing excluded) and its support is
+    /// the row length, so the set stays certified.
+    pub fn append_paper(&mut self, row: &[(u32, f64)]) {
+        debug_assert!(row.windows(2).all(|w| w[0].0 < w[1].0), "row must be ascending by id");
+        debug_assert!(row.iter().all(|&(_, s)| s > 0.0), "auto rows hold positive scores only");
+        for &(r, s) in row {
+            self.reviewer.push(r);
+            self.score.push(s);
+        }
+        self.ptr.push(self.reviewer.len());
+        self.bound.push(0.0);
+        self.support.push(row.len() as u32);
+    }
+
+    /// Patch reviewer `r` across every paper of an **untruncated** (Auto)
+    /// set in one pass: `scores` lists `(paper, new pair score)` for exactly
+    /// the papers where `r` now scores positive (ascending by paper id);
+    /// `r` is removed everywhere else. Growing the pool is allowed — `r`
+    /// may be one past the current reviewer count (a freshly appended
+    /// reviewer).
+    ///
+    /// This is the shared kernel behind `AddReviewer` (empty old presence),
+    /// `RetireReviewer` (empty `scores`) and `PatchScores`: affected papers
+    /// get their one entry spliced in or out, unaffected papers' entries are
+    /// copied verbatim — never re-scored — so the result is bit-identical
+    /// to [`CandidateSet::build`] on the patched context.
+    pub fn patch_reviewer(&mut self, r: u32, scores: &[(u32, f64)]) {
+        debug_assert!(scores.windows(2).all(|w| w[0].0 < w[1].0), "scores ascending by paper");
+        debug_assert!(scores.iter().all(|&(_, s)| s > 0.0));
+        assert!(
+            (r as usize) <= self.num_reviewers,
+            "reviewer {r} more than one past the pool ({})",
+            self.num_reviewers
+        );
+        self.num_reviewers = self.num_reviewers.max(r as usize + 1);
+        let num_p = self.num_papers();
+        let mut ptr = Vec::with_capacity(num_p + 1);
+        let mut reviewer = Vec::with_capacity(self.reviewer.len() + scores.len());
+        let mut score = Vec::with_capacity(reviewer.capacity());
+        ptr.push(0);
+        let mut next = scores.iter().copied().peekable();
+        for p in 0..num_p {
+            let (lo, hi) = (self.ptr[p], self.ptr[p + 1]);
+            let insert = match next.peek() {
+                Some(&(sp, s)) if sp as usize == p => {
+                    next.next();
+                    Some(s)
+                }
+                _ => None,
+            };
+            let mut inserted = false;
+            for i in lo..hi {
+                let id = self.reviewer[i];
+                if id == r {
+                    continue; // old entry for `r`: superseded or removed
+                }
+                if let Some(s) = insert {
+                    if !inserted && id > r {
+                        reviewer.push(r);
+                        score.push(s);
+                        inserted = true;
+                    }
+                }
+                reviewer.push(id);
+                score.push(self.score[i]);
+            }
+            if let Some(s) = insert {
+                if !inserted {
+                    reviewer.push(r);
+                    score.push(s);
+                }
+            }
+            ptr.push(reviewer.len());
+            self.support[p] = (ptr[p + 1] - ptr[p]) as u32;
+        }
+        debug_assert!(next.peek().is_none(), "scores reference papers beyond the set");
+        self.ptr = ptr;
+        self.reviewer = reviewer;
+        self.score = score;
+    }
+
     /// Distribution of per-paper positive support, for picking `k`.
     /// `None` for an instance with no papers.
     pub fn coverage_stats(&self) -> Option<CoverageStats> {
@@ -334,6 +419,42 @@ impl CandidateSet {
             max: s[s.len() - 1] as usize,
         })
     }
+}
+
+/// The topic → reviewers inverted index over `ctx`'s expertise rows: per
+/// topic, the reviewers with positive expertise, ids ascending. This is the
+/// probe structure [`CandidateSet::build`] walks for sparse-safe scorings;
+/// it is exposed so long-lived callers (the service store, which maintains
+/// the index incrementally across updates) can hand a prebuilt copy to
+/// [`CandidateSet::build_with_index`] instead of paying the `O(R·T)`
+/// derivation twice.
+pub fn reviewer_topic_index(ctx: &ScoreContext<'_>) -> Vec<Vec<u32>> {
+    let mut idx = vec![Vec::new(); ctx.num_topics()];
+    for r in 0..ctx.num_reviewers() {
+        for (t, &e) in ctx.reviewer_row(r).iter().enumerate() {
+            if e > 0.0 {
+                idx[t].push(r as u32);
+            }
+        }
+    }
+    idx
+}
+
+/// The `TopK(k)` truncation of one candidate row, in place: rank by
+/// `(score desc, reviewer asc)`, keep `k`, restore ascending-id order, and
+/// return the best excluded score (the paper's bound; `0.0` when nothing
+/// was cut). This is [`CandidateSet::build`]'s own truncation kernel,
+/// exposed for single-row consumers (the routed JRA BBA setup, the service
+/// batch executor) so every `TopK` path shares one comparator.
+pub fn truncate_row(row: &mut Vec<(u32, f64)>, k: usize) -> f64 {
+    if row.len() <= k {
+        return 0.0;
+    }
+    row.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    let bound = row[k].1;
+    row.truncate(k);
+    row.sort_by_key(|&(r, _)| r);
+    bound
 }
 
 #[cfg(test)]

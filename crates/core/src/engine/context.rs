@@ -1,9 +1,11 @@
 //! [`ScoreContext`]: the flat structure-of-arrays view of an instance.
 
 use super::par;
+use crate::error::{Error, Result};
 use crate::problem::Instance;
 use crate::score::Scoring;
 use crate::topic::TopicVector;
+use std::borrow::Cow;
 
 /// Flat scoring context shared by every solver.
 ///
@@ -18,9 +20,26 @@ use crate::topic::TopicVector;
 /// iteration order, same `/ total` vs `* (1/total)` convention per call
 /// site, and the sparse view is only used for scorings where skipping a
 /// zero paper weight is an exact no-op ([`Scoring::sparse_safe`]).
+///
+/// # Borrowed and owned storage
+///
+/// The instance behind a context is a [`Cow`]: [`ScoreContext::new`] borrows
+/// (the zero-copy one-shot path every solver uses), while
+/// [`ScoreContext::from_owned`] / [`ScoreContext::into_owned`] produce a
+/// `ScoreContext<'static>` that owns its instance. Owned contexts are the
+/// substrate of the `wgrap-service` versioned store: they can live inside
+/// long-lived snapshots and accept **incremental instance updates**
+/// ([`push_paper`](ScoreContext::push_paper),
+/// [`push_reviewer`](ScoreContext::push_reviewer),
+/// [`set_reviewer_row`](ScoreContext::set_reviewer_row)) that extend or
+/// patch the flat arrays in place — bit-identical to a from-scratch rebuild
+/// of the final instance — instead of paying `O((R + P)·T)` again. Every
+/// mutation drops the lazily-built caches (pair matrix, auto candidates);
+/// the caller may re-install an incrementally maintained candidate set via
+/// [`install_auto_candidates`](ScoreContext::install_auto_candidates).
 #[derive(Debug, Clone)]
 pub struct ScoreContext<'a> {
-    inst: &'a Instance,
+    inst: Cow<'a, Instance>,
     scoring: Scoring,
     seed: u64,
     dim: usize,
@@ -43,9 +62,21 @@ pub struct ScoreContext<'a> {
     auto_candidates: std::sync::OnceLock<super::candidates::CandidateSet>,
 }
 
+impl ScoreContext<'static> {
+    /// Build a context that owns its instance (no borrow, `'static`) — the
+    /// storage mode behind long-lived service snapshots.
+    pub fn from_owned(inst: Instance, scoring: Scoring) -> Self {
+        Self::from_cow(Cow::Owned(inst), scoring)
+    }
+}
+
 impl<'a> ScoreContext<'a> {
     /// Build the flat view of `inst` under `scoring` (seed 0).
     pub fn new(inst: &'a Instance, scoring: Scoring) -> Self {
+        Self::from_cow(Cow::Borrowed(inst), scoring)
+    }
+
+    fn from_cow(inst: Cow<'a, Instance>, scoring: Scoring) -> Self {
         let dim = inst.num_topics();
         let flatten = |vs: &[TopicVector]| -> Vec<f64> {
             let mut out = Vec::with_capacity(vs.len() * dim);
@@ -96,9 +127,29 @@ impl<'a> ScoreContext<'a> {
         self
     }
 
+    /// Convert into a context that owns its instance (cloning it if it was
+    /// borrowed); flat arrays, caches and the seed carry over as-is.
+    pub fn into_owned(self) -> ScoreContext<'static> {
+        ScoreContext {
+            inst: Cow::Owned(self.inst.into_owned()),
+            scoring: self.scoring,
+            seed: self.seed,
+            dim: self.dim,
+            reviewers: self.reviewers,
+            papers: self.papers,
+            paper_totals: self.paper_totals,
+            paper_inv_totals: self.paper_inv_totals,
+            csr_ptr: self.csr_ptr,
+            csr_idx: self.csr_idx,
+            csr_val: self.csr_val,
+            pair_cache: self.pair_cache,
+            auto_candidates: self.auto_candidates,
+        }
+    }
+
     /// The underlying instance.
-    pub fn instance(&self) -> &'a Instance {
-        self.inst
+    pub fn instance(&self) -> &Instance {
+        &self.inst
     }
 
     /// The scoring function every kernel applies.
@@ -221,6 +272,153 @@ impl<'a> ScoreContext<'a> {
         self.auto_candidates.get_or_init(|| super::candidates::CandidateSet::build(self, None))
     }
 
+    /// The auto candidate set if it has already been built or installed —
+    /// never triggers a build. Single-paper consumers (the routed JRA BBA
+    /// setup) use this to reuse a maintained set when one exists without
+    /// forcing an all-papers build when one does not.
+    pub fn cached_auto_candidates(&self) -> Option<&super::candidates::CandidateSet> {
+        self.auto_candidates.get()
+    }
+
+    /// Take the cached auto candidate set out of the context (if it was ever
+    /// built or installed), leaving the cache empty. Incremental-update
+    /// callers take the set, patch it alongside the context, and
+    /// [re-install](ScoreContext::install_auto_candidates) it.
+    pub fn take_auto_candidates(&mut self) -> Option<super::candidates::CandidateSet> {
+        self.auto_candidates.take()
+    }
+
+    /// Clone for a copy-on-write update: the instance and flat arrays are
+    /// copied and the auto candidate set carries over (incremental
+    /// maintenance patches it), but the cached dense `P × R` pair matrix is
+    /// **not** — the first mutation would drop it anyway, and at service
+    /// scale it can dwarf everything else the clone copies.
+    pub fn clone_for_update(&self) -> ScoreContext<'static> {
+        let auto_candidates = std::sync::OnceLock::new();
+        if let Some(cands) = self.auto_candidates.get() {
+            let _ = auto_candidates.set(cands.clone());
+        }
+        ScoreContext {
+            inst: Cow::Owned(self.inst.as_ref().clone()),
+            scoring: self.scoring,
+            seed: self.seed,
+            dim: self.dim,
+            reviewers: self.reviewers.clone(),
+            papers: self.papers.clone(),
+            paper_totals: self.paper_totals.clone(),
+            paper_inv_totals: self.paper_inv_totals.clone(),
+            csr_ptr: self.csr_ptr.clone(),
+            csr_idx: self.csr_idx.clone(),
+            csr_val: self.csr_val.clone(),
+            pair_cache: std::sync::OnceLock::new(),
+            auto_candidates,
+        }
+    }
+
+    /// Install a pre-built untruncated candidate set as this context's
+    /// [`auto_candidates`](ScoreContext::auto_candidates) cache. The caller
+    /// asserts the set matches what [`CandidateSet::build`] would produce on
+    /// the current context — the service store's update proptests certify
+    /// exactly that (bit-identity to a from-scratch rebuild).
+    ///
+    /// [`CandidateSet::build`]: super::candidates::CandidateSet::build
+    pub fn install_auto_candidates(&mut self, cands: super::candidates::CandidateSet) {
+        assert_eq!(cands.num_papers(), self.num_papers(), "candidate set has wrong paper count");
+        assert_eq!(
+            cands.num_reviewers(),
+            self.num_reviewers(),
+            "candidate set has wrong reviewer count"
+        );
+        self.auto_candidates = std::sync::OnceLock::new();
+        let _ = self.auto_candidates.set(cands);
+    }
+
+    /// Drop the lazily-built caches (pair matrix, auto candidates). Called
+    /// by every mutation; also available to callers that patch state
+    /// externally.
+    fn invalidate_caches(&mut self) {
+        self.pair_cache = std::sync::OnceLock::new();
+        self.auto_candidates = std::sync::OnceLock::new();
+    }
+
+    /// Append a paper, extending the flat matrix, the normalisers and the
+    /// CSR sparse view in place — bit-identical to rebuilding the context
+    /// from the extended instance, at `O(T)` instead of `O((R + P)·T)`.
+    /// Returns the new paper's index. Fails (leaving the context untouched)
+    /// if the dimension mismatches or capacity `R·δr ≥ (P+1)·δp` breaks.
+    ///
+    /// Drops the cached pair matrix and auto candidate set; incremental
+    /// candidate maintenance lives in the service store, which re-installs
+    /// the patched set.
+    pub fn push_paper(&mut self, name: Option<String>, paper: TopicVector) -> Result<usize> {
+        if paper.dim() != self.dim {
+            return Err(Error::InvalidInstance(format!(
+                "paper dimension {} != context dimension {}",
+                paper.dim(),
+                self.dim
+            )));
+        }
+        let p = self.inst.to_mut().push_paper(name, paper)?;
+        let row = self.inst.paper(p);
+        // Mirror `from_cow` exactly: flat row, total, 1/total, CSR row.
+        self.papers.extend_from_slice(row.as_slice());
+        let total = row.total();
+        self.paper_totals.push(total);
+        self.paper_inv_totals.push(if total > 0.0 { 1.0 / total } else { 0.0 });
+        for (t, &w) in row.as_slice().iter().enumerate() {
+            if w > 0.0 {
+                self.csr_idx.push(t as u32);
+                self.csr_val.push(w);
+            }
+        }
+        self.csr_ptr.push(self.csr_idx.len());
+        self.invalidate_caches();
+        Ok(p)
+    }
+
+    /// Append a reviewer, extending the flat expertise matrix in place.
+    /// Returns the new reviewer's index. See
+    /// [`push_paper`](ScoreContext::push_paper) for the cache contract.
+    pub fn push_reviewer(&mut self, name: Option<String>, reviewer: TopicVector) -> Result<usize> {
+        if reviewer.dim() != self.dim {
+            return Err(Error::InvalidInstance(format!(
+                "reviewer dimension {} != context dimension {}",
+                reviewer.dim(),
+                self.dim
+            )));
+        }
+        let r = self.inst.to_mut().push_reviewer(name, reviewer)?;
+        self.reviewers.extend_from_slice(self.inst.reviewer(r).as_slice());
+        self.invalidate_caches();
+        Ok(r)
+    }
+
+    /// Replace reviewer `r`'s expertise row in place (the `PatchScores` /
+    /// `RetireReviewer` kernel — retiring is patching to the zero vector,
+    /// after which every pair score involving `r` is exactly `0.0`). See
+    /// [`push_paper`](ScoreContext::push_paper) for the cache contract.
+    pub fn set_reviewer_row(&mut self, r: usize, expertise: TopicVector) -> Result<()> {
+        if expertise.dim() != self.dim {
+            return Err(Error::InvalidInstance(format!(
+                "reviewer dimension {} != context dimension {}",
+                expertise.dim(),
+                self.dim
+            )));
+        }
+        self.inst.to_mut().set_reviewer_vector(r, expertise)?;
+        self.reviewers[r * self.dim..(r + 1) * self.dim]
+            .copy_from_slice(self.inst.reviewer(r).as_slice());
+        self.invalidate_caches();
+        Ok(())
+    }
+
+    /// Declare `(reviewer, paper)` a conflict of interest on the underlying
+    /// instance. COIs feed [`jra_view`](ScoreContext::jra_view) masks only —
+    /// no score or candidate state depends on them, so caches survive.
+    pub fn add_coi(&mut self, reviewer: usize, paper: usize) {
+        self.inst.to_mut().add_coi(reviewer, paper);
+    }
+
     /// A single-paper JRA view over this context's flat rows, with the
     /// instance's COI mask for `p`.
     pub fn jra_view(&self, p: usize) -> JraView<'_> {
@@ -238,6 +436,32 @@ impl<'a> ScoreContext<'a> {
             rows: Rows::Flat { data: &self.reviewers, dim: self.dim, len: self.num_reviewers() },
             forbidden,
             delta_p: self.inst.delta_p(),
+            scoring: self.scoring,
+        }
+    }
+
+    /// A JRA view for a paper that is **not** part of the instance — the
+    /// online journal scenario, where a query paper arrives against the
+    /// standing reviewer pool. The view scores `paper` against this
+    /// context's flat reviewer rows under its scoring; `forbidden` masks
+    /// per-query conflicts (no stored COI applies to an unknown paper) and
+    /// `delta_p` is the requested group size.
+    pub fn jra_view_adhoc<'v>(
+        &'v self,
+        paper: &'v TopicVector,
+        forbidden: Vec<bool>,
+        delta_p: usize,
+    ) -> JraView<'v> {
+        assert_eq!(paper.dim(), self.dim, "query paper dimension mismatch");
+        assert_eq!(forbidden.len(), self.num_reviewers());
+        let total = paper.total();
+        JraView {
+            paper: paper.as_slice(),
+            total,
+            inv_total: if total > 0.0 { 1.0 / total } else { 0.0 },
+            rows: Rows::Flat { data: &self.reviewers, dim: self.dim, len: self.num_reviewers() },
+            forbidden,
+            delta_p,
             scoring: self.scoring,
         }
     }
@@ -406,6 +630,50 @@ mod tests {
                     assert_eq!(legacy.get(r, p).to_bits(), want.to_bits());
                 }
             }
+        }
+    }
+
+    #[test]
+    fn incremental_mutations_match_rebuild_bitwise() {
+        let inst = random_instance(3, 4, 5, 1, 13);
+        for scoring in Scoring::ALL {
+            let mut ctx = ScoreContext::new(&inst, scoring).into_owned();
+            // Warm the caches so invalidation is exercised.
+            let _ = ctx.pair_matrix();
+            let _ = ctx.auto_candidates();
+            let extra_r = inst.reviewer(0).scaled(0.5);
+            let extra_p = inst.paper(1).scaled(2.0);
+            let r = ctx.push_reviewer(None, extra_r.clone()).unwrap();
+            let p = ctx.push_paper(None, extra_p.clone()).unwrap();
+            ctx.set_reviewer_row(1, extra_r.clone()).unwrap();
+            ctx.add_coi(r, p);
+
+            let mut want = inst.clone();
+            want.push_reviewer(None, extra_r.clone()).unwrap();
+            want.push_paper(None, extra_p.clone()).unwrap();
+            want.set_reviewer_vector(1, extra_r.clone()).unwrap();
+            want.add_coi(r, p);
+            let rebuilt = ScoreContext::new(&want, scoring);
+
+            assert_eq!(ctx.num_papers(), rebuilt.num_papers());
+            assert_eq!(ctx.num_reviewers(), rebuilt.num_reviewers());
+            for q in 0..ctx.num_papers() {
+                assert_eq!(ctx.paper_row(q), rebuilt.paper_row(q));
+                assert_eq!(ctx.paper_total(q).to_bits(), rebuilt.paper_total(q).to_bits());
+                assert_eq!(ctx.paper_inv_total(q).to_bits(), rebuilt.paper_inv_total(q).to_bits());
+                assert_eq!(ctx.paper_sparse(q), rebuilt.paper_sparse(q));
+                for c in 0..ctx.num_reviewers() {
+                    assert_eq!(
+                        ctx.pair_score(c, q).to_bits(),
+                        rebuilt.pair_score(c, q).to_bits(),
+                        "{scoring:?} pair ({c},{q})"
+                    );
+                }
+            }
+            assert!(ctx.instance().is_coi(r, p));
+            // The invalidated pair cache rebuilds to the new shape.
+            assert_eq!(ctx.pair_matrix().num_papers(), 4);
+            assert_eq!(ctx.pair_matrix().num_reviewers(), 5);
         }
     }
 

@@ -36,6 +36,18 @@
 //! * [`Solver`] — the uniform dispatch surface: every CRA baseline, SDGA(-SRA)
 //!   and the exact JRA branch-and-bound run as `solver.solve(&ctx)`.
 //!
+//! [`ScoreContext`] storage is a `Cow`: solvers normally borrow an
+//! [`Instance`](crate::problem::Instance) (zero-copy one-shot solves),
+//! while [`ScoreContext::from_owned`] yields a `'static` context that owns
+//! its instance and accepts **incremental updates**
+//! ([`ScoreContext::push_paper`] / [`ScoreContext::push_reviewer`] /
+//! [`ScoreContext::set_reviewer_row`]) that extend the flat arrays and CSR
+//! view in place, bit-identically to a from-scratch rebuild. The
+//! `wgrap-service` crate stacks epoch-numbered copy-on-write snapshots,
+//! incremental [`CandidateSet`] maintenance
+//! ([`CandidateSet::append_paper`] / [`CandidateSet::patch_reviewer`]) and
+//! batched JRA serving on top of exactly this surface.
+//!
 //! The legacy boxed-vector path is kept (each algorithm module's
 //! `solve(inst, scoring)` entry) as the reference implementation;
 //! `crates/core/tests/proptests.rs` asserts both paths produce
@@ -49,7 +61,9 @@ mod gain;
 pub mod par;
 mod solver;
 
-pub use candidates::{CandidateSet, CoverageStats, PruningPolicy};
+pub use candidates::{
+    reviewer_topic_index, truncate_row, CandidateSet, CoverageStats, PruningPolicy,
+};
 pub use context::{JraView, PairMatrix, ScoreContext};
 pub use gain::{group_score_view, GainProvider, GainTable, LegacyGains, PaperGain};
 pub use solver::{

@@ -145,7 +145,13 @@ impl Solver for SdgaSraSolver {
 /// Exact JRA via branch-and-bound (Algorithm 1) on a single-paper context
 /// (e.g. built with [`Instance::journal`](crate::problem::Instance::journal)).
 #[derive(Debug, Clone, Copy, Default)]
-pub struct JraBbaSolver;
+pub struct JraBbaSolver {
+    /// Candidate pruning for the per-paper setup (`Auto` restricts the
+    /// branch-and-bound pool to the certified candidate list, preserving
+    /// the optimal score bit-for-bit whenever the pool can field a group —
+    /// see [`bba::solve_ctx_pruned`]).
+    pub pruning: PruningPolicy,
+}
 
 impl Solver for JraBbaSolver {
     fn name(&self) -> &'static str {
@@ -159,7 +165,7 @@ impl Solver for JraBbaSolver {
                 ctx.num_papers()
             )));
         }
-        let results = bba::solve_ctx(ctx, 0, &bba::BbaOptions::default())
+        let results = bba::solve_ctx_pruned(ctx, 0, &bba::BbaOptions::default(), self.pruning)
             .ok_or_else(|| Error::Infeasible("fewer than δp non-conflicted reviewers".into()))?;
         let best = results
             .into_iter()
@@ -201,7 +207,7 @@ pub fn solver_by_label(label: &str) -> Option<Box<dyn Solver>> {
         "greedy" => Box::new(GreedySolver::default()),
         "sdga" => Box::new(SdgaSolver::default()),
         "sdga-sra" => Box::new(SdgaSraSolver::default()),
-        "bba" => Box::new(JraBbaSolver),
+        "bba" => Box::new(JraBbaSolver::default()),
         _ => return None,
     })
 }

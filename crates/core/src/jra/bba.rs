@@ -19,7 +19,7 @@
 //! (the paper notes this extension at the end of §3; Figure 15 evaluates it).
 
 use super::{JraProblem, JraResult};
-use crate::engine::{JraView, PaperGain, ScoreContext};
+use crate::engine::{truncate_row, JraView, PaperGain, PruningPolicy, ScoreContext};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -148,29 +148,109 @@ pub fn solve_ctx(
     solve_view(&ctx.jra_view(paper), opts)
 }
 
+/// BBA for paper `p` under a candidate [`PruningPolicy`]: the per-paper
+/// setup (the `T` topic-sorted lists, normally an `O(R·T log R)` scan over
+/// the dense reviewer range) runs over the paper's candidate row instead.
+/// When the context already carries a maintained
+/// [`CandidateSet`](crate::engine::CandidateSet) (a service snapshot) its
+/// row is reused; otherwise only *this* paper's row is scored — never an
+/// all-papers candidate build for a single query.
+///
+/// Under [`PruningPolicy::Auto`] the pool is the certified positive-score
+/// candidate list: every excluded reviewer's gain is identically `+0.0`
+/// under any group state, so whenever the pool can field a full group the
+/// optimal *score* is preserved bit-for-bit (the returned group may differ
+/// from the dense search's only among zero-gain-tied completions — the
+/// `bba_candidate_routing` proptest pins the score contract). With
+/// `top_k > 1` the certificate covers the best score only: deeper ranks
+/// may omit groups padded with zero-gain reviewers the pool excludes.
+/// Under [`PruningPolicy::TopK`] the pool is additionally truncated
+/// ([`truncate_row`]), which is lossy but bounded by the paper's exclusion
+/// bound. Either way, a pool with fewer than `δp` non-conflicted members
+/// falls back to the dense scan, so the entry point is total wherever
+/// [`solve_ctx`] is.
+pub fn solve_ctx_pruned(
+    ctx: &ScoreContext<'_>,
+    paper: usize,
+    opts: &BbaOptions,
+    pruning: PruningPolicy,
+) -> Option<Vec<JraResult>> {
+    let view = ctx.jra_view(paper);
+    let pool: Option<Vec<u32>> = match pruning {
+        PruningPolicy::Exact => None,
+        PruningPolicy::Auto | PruningPolicy::TopK(_) => {
+            let mut row: Vec<(u32, f64)> = match ctx.cached_auto_candidates() {
+                Some(cs) => {
+                    let (rs, ss) = cs.candidates(paper);
+                    rs.iter().copied().zip(ss.iter().copied()).collect()
+                }
+                None => (0..ctx.num_reviewers())
+                    .filter_map(|r| {
+                        let s = ctx.pair_score(r, paper);
+                        (s > 0.0).then_some((r as u32, s))
+                    })
+                    .collect(),
+            };
+            if let PruningPolicy::TopK(k) = pruning {
+                truncate_row(&mut row, k);
+            }
+            Some(row.into_iter().map(|(r, _)| r).collect())
+        }
+    };
+    match pool {
+        Some(pool)
+            if pool.iter().filter(|&&r| !view.forbidden[r as usize]).count() >= view.delta_p =>
+        {
+            solve_view_pool(&view, &pool, opts)
+        }
+        // Candidate starvation (or Exact): the best group may need
+        // zero-score reviewers — only the dense scan sees them.
+        _ => solve_view(&view, opts),
+    }
+}
+
 /// The branch-and-bound search over any [`JraView`] (legacy boxed vectors or
 /// the engine's flat matrix — both expose identical `f64` rows, so results
 /// are bit-identical).
 pub fn solve_view(view: &JraView<'_>, opts: &BbaOptions) -> Option<Vec<JraResult>> {
+    search(view, None, opts)
+}
+
+/// [`solve_view`] restricted to an explicit reviewer pool (ascending ids):
+/// the topic-sorted lists are built over `pool ∩ ¬forbidden` only, so setup
+/// is `O(|pool|·T log |pool|)` instead of `O(R·T log R)`. Exactness is
+/// relative to the pool — see [`solve_ctx_pruned`] for when a candidate
+/// pool preserves the dense optimum.
+pub fn solve_view_pool(
+    view: &JraView<'_>,
+    pool: &[u32],
+    opts: &BbaOptions,
+) -> Option<Vec<JraResult>> {
+    search(view, Some(pool), opts)
+}
+
+fn search(view: &JraView<'_>, pool: Option<&[u32]>, opts: &BbaOptions) -> Option<Vec<JraResult>> {
     let r_total = view.num_reviewers();
     let t_dim = view.paper.len();
     let k = view.delta_p;
-    if view.num_feasible() < k {
+    let eligible: Vec<u32> = match pool {
+        Some(ids) => ids.iter().copied().filter(|&r| !view.forbidden[r as usize]).collect(),
+        None => (0..r_total as u32).filter(|&r| !view.forbidden[r as usize]).collect(),
+    };
+    if eligible.len() < k {
         return None;
     }
     assert!(opts.top_k >= 1);
 
-    // T sorted lists over the feasible pool (paper Figure 5(b)).
+    // T sorted lists over the eligible pool (paper Figure 5(b)).
     let mut sorted_lists: Vec<Vec<(f64, u32)>> = Vec::with_capacity(t_dim);
     for t in 0..t_dim {
-        let mut list: Vec<(f64, u32)> = (0..r_total)
-            .filter(|&r| !view.forbidden[r])
-            .map(|r| (view.row(r)[t], r as u32))
-            .collect();
+        let mut list: Vec<(f64, u32)> =
+            eligible.iter().map(|&r| (view.row(r as usize)[t], r)).collect();
         list.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         sorted_lists.push(list);
     }
-    let list_len = sorted_lists.first().map_or(0, Vec::len);
+    let list_len = eligible.len();
 
     let paper_weights = view.paper;
     let inv_total = view.inv_total;

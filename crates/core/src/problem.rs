@@ -181,6 +181,93 @@ impl Instance {
         Ok(self)
     }
 
+    /// Append a paper, revalidating capacity (`R·δr ≥ (P+1)·δp`). Returns
+    /// the new paper's index. If the instance carries display names, `name`
+    /// (or the `paper-{p}` default) is appended alongside; the name is
+    /// dropped on unnamed instances unless given explicitly.
+    ///
+    /// This is the instance-level half of an incremental
+    /// [`AddPaper`-style update](crate::engine::ScoreContext::push_paper):
+    /// it mutates only the paper list, so every derived view can extend
+    /// itself without rebuilding.
+    pub fn push_paper(&mut self, name: Option<String>, paper: TopicVector) -> Result<usize> {
+        if paper.dim() != self.num_topics() {
+            return Err(Error::InvalidInstance(format!(
+                "paper dimension {} != instance dimension {}",
+                paper.dim(),
+                self.num_topics()
+            )));
+        }
+        if self.reviewers.len() * self.delta_r < (self.papers.len() + 1) * self.delta_p {
+            return Err(Error::InvalidInstance(format!(
+                "capacity shortfall after adding a paper: R*delta_r = {} < (P+1)*delta_p = {}",
+                self.reviewers.len() * self.delta_r,
+                (self.papers.len() + 1) * self.delta_p
+            )));
+        }
+        let p = self.papers.len();
+        self.attach_name(false, name, p);
+        self.papers.push(paper);
+        Ok(p)
+    }
+
+    /// Append a reviewer (never a capacity problem — capacity only grows).
+    /// Returns the new reviewer's index. Name handling as in
+    /// [`Instance::push_paper`].
+    pub fn push_reviewer(&mut self, name: Option<String>, reviewer: TopicVector) -> Result<usize> {
+        if reviewer.dim() != self.num_topics() {
+            return Err(Error::InvalidInstance(format!(
+                "reviewer dimension {} != instance dimension {}",
+                reviewer.dim(),
+                self.num_topics()
+            )));
+        }
+        let r = self.reviewers.len();
+        self.attach_name(true, name, r);
+        self.reviewers.push(reviewer);
+        Ok(r)
+    }
+
+    /// Replace reviewer `r`'s expertise vector (same dimension required).
+    /// Setting it to [`TopicVector::zeros`] retires the reviewer: every pair
+    /// score becomes 0, so no solver will prefer them over any positive
+    /// candidate.
+    pub fn set_reviewer_vector(&mut self, r: usize, expertise: TopicVector) -> Result<()> {
+        if r >= self.reviewers.len() {
+            return Err(Error::InvalidInstance(format!(
+                "reviewer {r} out of range (R = {})",
+                self.reviewers.len()
+            )));
+        }
+        if expertise.dim() != self.num_topics() {
+            return Err(Error::InvalidInstance(format!(
+                "reviewer dimension {} != instance dimension {}",
+                expertise.dim(),
+                self.num_topics()
+            )));
+        }
+        self.reviewers[r] = expertise;
+        Ok(())
+    }
+
+    /// Append a display name for the entity about to occupy index `idx`,
+    /// materialising the default names first if an explicit name arrives on
+    /// a so-far-unnamed side.
+    fn attach_name(&mut self, reviewer_side: bool, name: Option<String>, idx: usize) {
+        let default: fn(usize) -> String =
+            if reviewer_side { |i| format!("reviewer-{i}") } else { |i| format!("paper-{i}") };
+        let names = if reviewer_side { &mut self.reviewer_names } else { &mut self.paper_names };
+        match (names.as_mut(), name) {
+            (Some(ns), name) => ns.push(name.unwrap_or_else(|| default(idx))),
+            (None, Some(name)) => {
+                let mut ns: Vec<String> = (0..idx).map(default).collect();
+                ns.push(name);
+                *names = Some(ns);
+            }
+            (None, None) => {}
+        }
+    }
+
     /// Restrict to a different `(δp, δr)` pair, revalidating capacity.
     pub fn with_constraints(&self, delta_p: usize, delta_r: usize) -> Result<Self> {
         let mut inst = Self::new(self.papers.clone(), self.reviewers.clone(), delta_p, delta_r)?;
@@ -274,6 +361,33 @@ mod tests {
         assert_eq!(inst.reviewer_name(2), "c");
         let unnamed = tiny();
         assert_eq!(unnamed.paper_name(0), "paper-0");
+    }
+
+    #[test]
+    fn push_paper_validates_and_names() {
+        let mut inst = tiny(); // P=2, R=3, delta_p=2, delta_r=2 -> max 3 papers
+        let p = inst.push_paper(Some("p-new".into()), tv(&[0.1, 0.9])).unwrap();
+        assert_eq!(p, 2);
+        assert_eq!(inst.num_papers(), 3);
+        // Explicit name on an unnamed instance materialises defaults.
+        assert_eq!(inst.paper_name(0), "paper-0");
+        assert_eq!(inst.paper_name(2), "p-new");
+        // Capacity is now exhausted (3*2 = 3*2).
+        assert!(inst.push_paper(None, tv(&[1.0, 0.0])).is_err());
+        // Dimension mismatch rejected.
+        assert!(inst.push_reviewer(None, tv(&[1.0])).is_err());
+    }
+
+    #[test]
+    fn push_and_patch_reviewer() {
+        let mut inst = tiny();
+        let r = inst.push_reviewer(None, tv(&[0.5, 0.5])).unwrap();
+        assert_eq!(r, 3);
+        assert_eq!(inst.num_reviewers(), 4);
+        inst.set_reviewer_vector(3, tv(&[0.0, 0.0])).unwrap();
+        assert_eq!(inst.reviewer(3).total(), 0.0);
+        assert!(inst.set_reviewer_vector(9, tv(&[0.5, 0.5])).is_err());
+        assert!(inst.set_reviewer_vector(0, tv(&[0.5])).is_err());
     }
 
     #[test]

@@ -446,6 +446,57 @@ mod pruning_equivalence {
                 }
             }
         }
+
+        /// The routed per-paper setup ([`bba::solve_ctx_pruned`], which the
+        /// [`JraBbaSolver`] and the service's batch executor dispatch
+        /// through): under `Auto` the optimal score is bit-identical to the
+        /// dense scan on every paper, including starved ones (dense
+        /// fallback) and conflicted pools; under a huge `TopK` likewise
+        /// (nothing truncated). The returned group must always be feasible
+        /// against the view's mask.
+        #[test]
+        fn bba_candidate_routing(
+            paper in sparse_topic_vector(5),
+            pool in proptest::collection::vec(sparse_topic_vector(5), 4..10),
+            delta_p in 1usize..4,
+            coi in proptest::collection::vec(any::<bool>(), 10),
+        ) {
+            prop_assume!(delta_p < pool.len());
+            for scoring in Scoring::ALL {
+                let journal = Instance::journal(paper.clone(), pool.clone(), delta_p)
+                    .expect("valid journal instance");
+                let mut journal = journal;
+                // Sparse COIs, always leaving delta_p + 1 reviewers free.
+                let mut conflicted = 0usize;
+                for r in 0..journal.num_reviewers() {
+                    if coi[r % coi.len()] && conflicted + delta_p + 1 < journal.num_reviewers() {
+                        journal.add_coi(r, 0);
+                        conflicted += 1;
+                    }
+                }
+                let ctx = ScoreContext::new(&journal, scoring);
+                // top_k = 1: the Auto certificate covers the *best* score
+                // only (deeper ranks may include zero-gain-padded groups
+                // the candidate pool cannot express).
+                let opts = bba::BbaOptions::default();
+                let dense = bba::solve_ctx_pruned(&ctx, 0, &opts, PruningPolicy::Exact)
+                    .expect("feasible");
+                for pruning in [PruningPolicy::Auto, PruningPolicy::TopK(1_000)] {
+                    let routed = bba::solve_ctx_pruned(&ctx, 0, &opts, pruning)
+                        .expect("feasible");
+                    prop_assert_eq!(dense.len(), routed.len(), "{:?}/{:?}", scoring, pruning);
+                    for (d, r) in dense.iter().zip(&routed) {
+                        prop_assert_eq!(
+                            d.score.to_bits(), r.score.to_bits(),
+                            "{:?}/{:?}: dense {} vs routed {}", scoring, pruning, d.score, r.score
+                        );
+                        for &rev in &r.group {
+                            prop_assert!(!journal.is_coi(rev, 0));
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 

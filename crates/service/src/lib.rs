@@ -1,0 +1,71 @@
+//! # wgrap-service — WGRAP as a long-running assignment service
+//!
+//! The paper's JRA scenario is inherently *online*: journal queries arrive
+//! one at a time against a standing reviewer pool, papers and reviewers
+//! come and go, and a batch CRA run is an occasional heavyweight consumer
+//! of the same data. This crate turns the one-shot
+//! [`wgrap_core::engine`] into that service, in three layers:
+//!
+//! 1. **Versioned store** ([`store`]) — epoch-numbered copy-on-write
+//!    snapshots over an owned [`ScoreContext`](wgrap_core::engine::ScoreContext)
+//!    plus its untruncated candidate set. An [`Update`] batch (add paper,
+//!    add reviewer, retire reviewer, patch scores) is applied
+//!    *incrementally* — new papers extend the flat CSR paper view and get
+//!    their candidate row through the topic → reviewers inverted index;
+//!    reviewer changes splice exactly the affected candidate lists —
+//!    and the result is proptested **bit-identical** to rebuilding from
+//!    the final instance, for every scoring.
+//! 2. **Query executor** ([`batch`]) — a [`JraBatch`] admits a group of
+//!    JRA queries at one epoch and fans them out on the engine's
+//!    deterministic work-stealing substrate (`rayon` feature). Positional
+//!    writes keep batched answers bit-identical to one-at-a-time solves
+//!    under any worker count. CRA runs admit-at-epoch the same way, so a
+//!    long solve never blocks updates.
+//! 3. **Front-end** ([`server`]) — `wgrap serve`: newline-delimited JSON
+//!    over stdin/stdout or plain `std::net` TCP (offline-friendly, no new
+//!    dependencies), exposing `jra`, `batch`, `update`, `assign` and
+//!    `stats` with the CLI's `--pruning`/`--topk` knobs.
+//!
+//! ```
+//! use wgrap_core::prelude::*;
+//! use wgrap_core::topic::TopicVector;
+//! use wgrap_service::{JraBatch, JraQuery, QueryPaper, Update, VersionedStore};
+//! use wgrap_core::engine::PruningPolicy;
+//!
+//! let inst = Instance::new(
+//!     vec![TopicVector::new(vec![0.6, 0.4])],
+//!     vec![TopicVector::new(vec![0.9, 0.1]), TopicVector::new(vec![0.2, 0.8])],
+//!     1,
+//!     2,
+//! )?;
+//! let mut store = VersionedStore::new(inst, Scoring::WeightedCoverage, 42);
+//!
+//! // An online query against epoch 0 ...
+//! let mut batch = JraBatch::new(store.snapshot(), PruningPolicy::Auto);
+//! batch.push(JraQuery::new(QueryPaper::Adhoc(TopicVector::new(vec![0.1, 0.9]))));
+//! let answers = batch.run();
+//! assert_eq!(answers[0].as_ref().unwrap()[0].group, vec![1]);
+//!
+//! // ... an incremental update publishes epoch 1; the old snapshot lives
+//! // on for any in-flight work.
+//! let epoch = store.apply(&[Update::AddReviewer {
+//!     name: None,
+//!     expertise: TopicVector::new(vec![0.0, 1.0]),
+//! }])?;
+//! assert_eq!(epoch, 1);
+//! # Ok::<(), wgrap_core::error::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod json;
+pub mod server;
+pub mod store;
+#[doc(hidden)]
+pub mod testutil;
+
+pub use batch::{JraBatch, JraQuery, QueryPaper};
+pub use server::{serve_connection, serve_stdio, serve_tcp, ServeOptions};
+pub use store::{Snapshot, Update, VersionedStore};
+pub use wgrap_core::error::{Error, Result};

@@ -1,0 +1,611 @@
+//! The `wgrap serve` front-end: newline-delimited JSON over stdin/stdout or
+//! `std::net` TCP.
+//!
+//! One request per line, one response line per request, in request order —
+//! offline-friendly (no TLS, no HTTP, no registry dependencies), trivially
+//! scriptable (`wgrap serve inst.wgrap < requests.ndjson`), and
+//! deterministic: the same request stream against the same instance
+//! produces byte-identical responses, which the golden-file CI smoke test
+//! relies on.
+//!
+//! # Operations
+//!
+//! ```text
+//! {"op":"jra","paper":[0.2,0.8],"delta_p":2,"top_k":3,"exclude":[4]}
+//! {"op":"jra","paper_id":0}            |  {"op":"jra","paper_name":"p-17"}
+//! {"op":"batch","queries":[{...},...]} -- many jra queries, one snapshot
+//! {"op":"update","updates":[{"kind":"add_reviewer","name":"dave","expertise":[...]},
+//!                           {"kind":"add_paper","topics":[...],"coi":[0]},
+//!                           {"kind":"retire_reviewer","reviewer":3},
+//!                           {"kind":"patch_scores","reviewer":0,"expertise":[...]}]}
+//! {"op":"assign","method":"sdga-sra"}  -- full CRA at the admitted epoch
+//! {"op":"stats"}
+//! ```
+//!
+//! Responses always carry `"ok"` and, on success, the `"epoch"` the
+//! operation was admitted at. `jra`/`batch`/`assign` accept a per-request
+//! `"pruning"` override (`"exact" | "auto" | "topk:K"`); the serve-level
+//! default comes from the CLI's `--pruning`/`--topk` knobs.
+//!
+//! # Concurrency
+//!
+//! The store sits behind an `RwLock`. Queries and CRA runs take the read
+//! lock only long enough to clone an `Arc<Snapshot>` — they **admit at an
+//! epoch** and then solve lock-free on their snapshot, so a long `assign`
+//! on one TCP connection never blocks an `update` on another; the update
+//! simply publishes a newer epoch. Updates serialize with each other under
+//! the write lock, which covers the copy-on-write build (tens of
+//! milliseconds at P=5k/R=10k): *new* admissions wait that long behind an
+//! in-flight update, while everything already admitted keeps running.
+//! Splitting publish from build (so admissions only ever wait on the `Arc`
+//! swap) is a named ROADMAP follow-up.
+
+use crate::batch::{JraBatch, JraQuery, QueryPaper};
+use crate::json::{self, Json};
+use crate::store::{Snapshot, Update, VersionedStore};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::sync::{Arc, RwLock};
+use wgrap_core::engine::PruningPolicy;
+use wgrap_core::jra::JraResult;
+use wgrap_core::prelude::{CraAlgorithm, Scoring};
+use wgrap_core::topic::TopicVector;
+
+/// Serve-level configuration (the CLI's knobs).
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Default candidate pruning for `jra`/`batch`/`assign` (per-request
+    /// `"pruning"` overrides it).
+    pub pruning: PruningPolicy,
+    /// Default CRA method for `assign`.
+    pub method: CraAlgorithm,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self { pruning: PruningPolicy::default(), method: CraAlgorithm::SdgaSra }
+    }
+}
+
+/// Run a request/response session: one JSON request per input line, one
+/// JSON response per line on `out`, until EOF. Malformed lines produce an
+/// `{"ok":false,...}` response and the session continues.
+pub fn serve_connection<R: BufRead, W: Write>(
+    store: &RwLock<VersionedStore>,
+    input: R,
+    mut out: W,
+    opts: &ServeOptions,
+) -> io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle_line(store, &line, opts);
+        writeln!(out, "{response}")?;
+        out.flush()?;
+    }
+    Ok(())
+}
+
+/// Serve a single session over stdin/stdout (the piping mode).
+pub fn serve_stdio(store: &RwLock<VersionedStore>, opts: &ServeOptions) -> io::Result<()> {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    serve_connection(store, stdin.lock(), stdout.lock(), opts)
+}
+
+/// Accept TCP connections forever, one thread per connection, all sharing
+/// the store (updates from any connection are visible to all at the next
+/// epoch). The listener is bound by the caller so tests can pick port 0.
+pub fn serve_tcp(
+    listener: TcpListener,
+    store: Arc<RwLock<VersionedStore>>,
+    opts: ServeOptions,
+) -> io::Result<()> {
+    loop {
+        let (socket, _) = listener.accept()?;
+        let store = Arc::clone(&store);
+        let opts = opts.clone();
+        std::thread::spawn(move || {
+            let reader = BufReader::new(match socket.try_clone() {
+                Ok(s) => s,
+                Err(_) => return,
+            });
+            let _ = serve_connection(&store, reader, socket, &opts);
+        });
+    }
+}
+
+/// Handle one request line and render the response (never panics on bad
+/// input — every error becomes an `{"ok":false,...}` response).
+pub fn handle_line(store: &RwLock<VersionedStore>, line: &str, opts: &ServeOptions) -> Json {
+    let request = match json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return error_response(&format!("bad JSON: {e}")),
+    };
+    let Some(op) = request.get("op").and_then(Json::as_str) else {
+        return error_response("missing \"op\"");
+    };
+    match op {
+        "jra" => match handle_jra(store, &request, opts, false) {
+            Ok(v) => v,
+            Err(e) => error_response(&e),
+        },
+        "batch" => match handle_jra(store, &request, opts, true) {
+            Ok(v) => v,
+            Err(e) => error_response(&e),
+        },
+        "update" => match handle_update(store, &request) {
+            Ok(v) => v,
+            Err(e) => error_response(&e),
+        },
+        "assign" => match handle_assign(store, &request, opts) {
+            Ok(v) => v,
+            Err(e) => error_response(&e),
+        },
+        "stats" => handle_stats(&store.read().expect("store lock").snapshot()),
+        other => error_response(&format!("unknown op '{other}'")),
+    }
+}
+
+fn error_response(message: &str) -> Json {
+    Json::obj([("ok", Json::Bool(false)), ("error", Json::Str(message.into()))])
+}
+
+fn request_pruning(request: &Json, opts: &ServeOptions) -> Result<PruningPolicy, String> {
+    match request.get("pruning") {
+        None => Ok(opts.pruning),
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| "\"pruning\" must be a string".to_string())?
+            .parse::<PruningPolicy>(),
+    }
+}
+
+fn parse_topics(value: &Json, what: &str) -> Result<TopicVector, String> {
+    let arr = value.as_arr().ok_or_else(|| format!("\"{what}\" must be an array of numbers"))?;
+    let mut weights = Vec::with_capacity(arr.len());
+    for v in arr {
+        let n = v.as_f64().ok_or_else(|| format!("\"{what}\" must be an array of numbers"))?;
+        if !n.is_finite() || n < 0.0 {
+            return Err(format!("\"{what}\" weights must be finite and >= 0"));
+        }
+        weights.push(n);
+    }
+    Ok(TopicVector::new(weights))
+}
+
+fn parse_ids(value: Option<&Json>, what: &str) -> Result<Vec<u32>, String> {
+    match value {
+        None => Ok(Vec::new()),
+        Some(v) => v
+            .as_arr()
+            .ok_or_else(|| format!("\"{what}\" must be an array of ids"))?
+            .iter()
+            .map(|x| {
+                x.as_usize()
+                    .map(|n| n as u32)
+                    .ok_or_else(|| format!("\"{what}\" must be an array of ids"))
+            })
+            .collect(),
+    }
+}
+
+fn parse_query(snapshot: &Snapshot, request: &Json) -> Result<JraQuery, String> {
+    let paper = match (request.get("paper"), request.get("paper_id"), request.get("paper_name")) {
+        (Some(topics), None, None) => QueryPaper::Adhoc(parse_topics(topics, "paper")?),
+        (None, Some(id), None) => {
+            QueryPaper::Stored(id.as_usize().ok_or("\"paper_id\" must be an integer")?)
+        }
+        (None, None, Some(name)) => {
+            let name = name.as_str().ok_or("\"paper_name\" must be a string")?;
+            let inst = snapshot.instance();
+            let p = (0..inst.num_papers())
+                .find(|&p| inst.paper_name(p) == name)
+                .ok_or_else(|| format!("unknown paper '{name}'"))?;
+            QueryPaper::Stored(p)
+        }
+        _ => return Err("give exactly one of \"paper\", \"paper_id\", \"paper_name\"".into()),
+    };
+    let delta_p = match request.get("delta_p") {
+        None => None,
+        Some(v) => Some(v.as_usize().ok_or("\"delta_p\" must be a positive integer")?),
+    };
+    let top_k = match request.get("top_k") {
+        None => 1,
+        Some(v) => v.as_usize().ok_or("\"top_k\" must be a positive integer")?,
+    };
+    Ok(JraQuery { paper, delta_p, top_k, exclude: parse_ids(request.get("exclude"), "exclude")? })
+}
+
+fn render_results(snapshot: &Snapshot, results: &[JraResult]) -> Json {
+    let inst = snapshot.instance();
+    Json::Arr(
+        results
+            .iter()
+            .map(|res| {
+                Json::obj([
+                    ("group", Json::nums(res.group.iter().map(|&r| r as f64))),
+                    (
+                        "reviewers",
+                        Json::Arr(
+                            res.group.iter().map(|&r| Json::Str(inst.reviewer_name(r))).collect(),
+                        ),
+                    ),
+                    ("score", Json::Num(res.score)),
+                    ("nodes", Json::Num(res.nodes as f64)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn handle_jra(
+    store: &RwLock<VersionedStore>,
+    request: &Json,
+    opts: &ServeOptions,
+    batched: bool,
+) -> Result<Json, String> {
+    let pruning = request_pruning(request, opts)?;
+    let snapshot = store.read().expect("store lock").snapshot();
+    let mut batch = JraBatch::new(Arc::clone(&snapshot), pruning);
+    // Per-entry failure independence holds at parse time too: a malformed
+    // query gets its own error entry while its neighbours still run.
+    let mut parse_errors: Vec<Option<String>> = Vec::new();
+    if batched {
+        let queries =
+            request.get("queries").and_then(Json::as_arr).ok_or("\"queries\" must be an array")?;
+        for q in queries {
+            match parse_query(&snapshot, q) {
+                Ok(query) => {
+                    batch.push(query);
+                    parse_errors.push(None);
+                }
+                Err(e) => parse_errors.push(Some(e)),
+            }
+        }
+    } else {
+        batch.push(parse_query(&snapshot, request)?);
+        parse_errors.push(None);
+    }
+    let mut outcomes = batch.run().into_iter();
+    let epoch = Json::Num(snapshot.epoch() as f64);
+    if batched {
+        let results: Vec<Json> = parse_errors
+            .iter()
+            .map(|parse_error| match parse_error {
+                Some(e) => error_response(e),
+                None => match outcomes.next().expect("one outcome per parsed query") {
+                    Ok(results) => Json::obj([
+                        ("ok", Json::Bool(true)),
+                        ("results", render_results(&snapshot, &results)),
+                    ]),
+                    Err(e) => error_response(&e.to_string()),
+                },
+            })
+            .collect();
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("op", Json::Str("batch".into())),
+            ("epoch", epoch),
+            ("results", Json::Arr(results)),
+        ]))
+    } else {
+        match outcomes.next().expect("one query, one outcome") {
+            Ok(results) => Ok(Json::obj([
+                ("ok", Json::Bool(true)),
+                ("op", Json::Str("jra".into())),
+                ("epoch", epoch),
+                ("results", render_results(&snapshot, &results)),
+            ])),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+}
+
+fn parse_update(value: &Json) -> Result<Update, String> {
+    let kind = value.get("kind").and_then(Json::as_str).ok_or("update needs a \"kind\"")?;
+    let name = match value.get("name") {
+        None => None,
+        Some(v) => Some(v.as_str().ok_or("\"name\" must be a string")?.to_string()),
+    };
+    match kind {
+        "add_paper" => Ok(Update::AddPaper {
+            name,
+            topics: parse_topics(
+                value.get("topics").ok_or("add_paper needs \"topics\"")?,
+                "topics",
+            )?,
+            coi: parse_ids(value.get("coi"), "coi")?,
+        }),
+        "add_reviewer" => Ok(Update::AddReviewer {
+            name,
+            expertise: parse_topics(
+                value.get("expertise").ok_or("add_reviewer needs \"expertise\"")?,
+                "expertise",
+            )?,
+        }),
+        "retire_reviewer" => Ok(Update::RetireReviewer {
+            reviewer: value
+                .get("reviewer")
+                .and_then(Json::as_usize)
+                .ok_or("retire_reviewer needs a \"reviewer\" id")? as u32,
+        }),
+        "patch_scores" => Ok(Update::PatchScores {
+            reviewer: value
+                .get("reviewer")
+                .and_then(Json::as_usize)
+                .ok_or("patch_scores needs a \"reviewer\" id")? as u32,
+            expertise: parse_topics(
+                value.get("expertise").ok_or("patch_scores needs \"expertise\"")?,
+                "expertise",
+            )?,
+        }),
+        other => Err(format!("unknown update kind '{other}'")),
+    }
+}
+
+fn handle_update(store: &RwLock<VersionedStore>, request: &Json) -> Result<Json, String> {
+    let items =
+        request.get("updates").and_then(Json::as_arr).ok_or("\"updates\" must be an array")?;
+    let updates: Vec<Update> = items.iter().map(parse_update).collect::<Result<_, _>>()?;
+    let mut guard = store.write().expect("store lock");
+    let epoch = guard.apply(&updates).map_err(|e| e.to_string())?;
+    let snapshot = guard.snapshot();
+    drop(guard);
+    Ok(Json::obj([
+        ("ok", Json::Bool(true)),
+        ("op", Json::Str("update".into())),
+        ("epoch", Json::Num(epoch as f64)),
+        ("applied", Json::Num(updates.len() as f64)),
+        ("papers", Json::Num(snapshot.instance().num_papers() as f64)),
+        ("reviewers", Json::Num(snapshot.instance().num_reviewers() as f64)),
+    ]))
+}
+
+fn handle_assign(
+    store: &RwLock<VersionedStore>,
+    request: &Json,
+    opts: &ServeOptions,
+) -> Result<Json, String> {
+    let pruning = request_pruning(request, opts)?;
+    let method = match request.get("method") {
+        None => opts.method,
+        Some(v) => {
+            let label = v.as_str().ok_or("\"method\" must be a string")?;
+            CraAlgorithm::ALL
+                .into_iter()
+                .find(|m| m.label().eq_ignore_ascii_case(label))
+                .ok_or_else(|| format!("unknown method '{label}'"))?
+        }
+    };
+    // Admit at the current epoch; the solve below holds no lock, so
+    // updates landing meanwhile simply publish newer epochs.
+    let snapshot = store.read().expect("store lock").snapshot();
+    let ctx = snapshot.ctx();
+    let solver = method.solver_with(pruning);
+    let assignment = solver.solve(ctx).map_err(|e| e.to_string())?;
+    assignment.validate(snapshot.instance()).map_err(|e| e.to_string())?;
+    let scoring = ctx.scoring();
+    let groups: Vec<Json> = (0..assignment.num_papers())
+        .map(|p| Json::nums(assignment.group(p).iter().map(|&r| r as f64)))
+        .collect();
+    Ok(Json::obj([
+        ("ok", Json::Bool(true)),
+        ("op", Json::Str("assign".into())),
+        ("epoch", Json::Num(snapshot.epoch() as f64)),
+        ("method", Json::Str(method.label().into())),
+        ("coverage", Json::Num(assignment.coverage_score(snapshot.instance(), scoring))),
+        ("groups", Json::Arr(groups)),
+    ]))
+}
+
+fn scoring_label(scoring: Scoring) -> &'static str {
+    match scoring {
+        Scoring::WeightedCoverage => "weighted",
+        Scoring::ReviewerCoverage => "reviewer",
+        Scoring::PaperCoverage => "paper",
+        Scoring::DotProduct => "dot",
+    }
+}
+
+fn handle_stats(snapshot: &Snapshot) -> Json {
+    let inst = snapshot.instance();
+    let mut members = vec![
+        ("ok", Json::Bool(true)),
+        ("op", Json::Str("stats".into())),
+        ("epoch", Json::Num(snapshot.epoch() as f64)),
+        ("papers", Json::Num(inst.num_papers() as f64)),
+        ("reviewers", Json::Num(inst.num_reviewers() as f64)),
+        ("topics", Json::Num(inst.num_topics() as f64)),
+        ("delta_p", Json::Num(inst.delta_p() as f64)),
+        ("delta_r", Json::Num(inst.delta_r() as f64)),
+        ("scoring", Json::Str(scoring_label(snapshot.ctx().scoring()).into())),
+    ];
+    if let Some(s) = snapshot.candidates().coverage_stats() {
+        members.push((
+            "candidate_support",
+            Json::obj([
+                ("min", Json::Num(s.min as f64)),
+                ("p25", Json::Num(s.p25 as f64)),
+                ("median", Json::Num(s.median as f64)),
+                ("p75", Json::Num(s.p75 as f64)),
+                ("max", Json::Num(s.max as f64)),
+            ]),
+        ));
+    }
+    Json::obj(members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_store() -> RwLock<VersionedStore> {
+        let text = "\
+topics 3
+delta_p 2
+delta_r 3
+reviewer alice 0.7 0.2 0.1
+reviewer bob   0.1 0.8 0.1
+reviewer carol 0.2 0.2 0.6
+paper p-17 0.5 0.4 0.1
+paper p-23 0.0 0.3 0.7
+coi alice p-17
+";
+        let inst = wgrap_core::io::parse_instance(text).unwrap();
+        RwLock::new(VersionedStore::new(inst, Scoring::WeightedCoverage, 42))
+    }
+
+    fn respond(store: &RwLock<VersionedStore>, line: &str) -> Json {
+        handle_line(store, line, &ServeOptions::default())
+    }
+
+    fn ok(v: &Json) -> bool {
+        v.get("ok").and_then(Json::as_bool) == Some(true)
+    }
+
+    #[test]
+    fn jra_by_name_id_and_adhoc_agree() {
+        let store = test_store();
+        let by_name = respond(&store, r#"{"op":"jra","paper_name":"p-23"}"#);
+        let by_id = respond(&store, r#"{"op":"jra","paper_id":1}"#);
+        assert!(ok(&by_name) && ok(&by_id));
+        assert_eq!(by_name.get("results"), by_id.get("results"));
+        // The same vector as an ad-hoc query scores identically (no COI on
+        // p-23, so the masks agree too).
+        let adhoc = respond(&store, r#"{"op":"jra","paper":[0.0,0.3,0.7]}"#);
+        assert!(ok(&adhoc));
+        let score = |v: &Json| {
+            v.get("results").unwrap().as_arr().unwrap()[0].get("score").unwrap().as_f64().unwrap()
+        };
+        assert_eq!(score(&by_id).to_bits(), score(&adhoc).to_bits());
+    }
+
+    #[test]
+    fn coi_respected_in_stored_queries() {
+        let store = test_store();
+        let v = respond(&store, r#"{"op":"jra","paper_name":"p-17"}"#);
+        assert!(ok(&v));
+        let group = v.get("results").unwrap().as_arr().unwrap()[0].get("group").unwrap().clone();
+        // alice (id 0) is conflicted with p-17.
+        assert!(!group.as_arr().unwrap().iter().any(|r| r.as_usize() == Some(0)));
+    }
+
+    #[test]
+    fn update_then_query_sees_new_epoch() {
+        let store = test_store();
+        let up = respond(
+            &store,
+            r#"{"op":"update","updates":[{"kind":"add_reviewer","name":"dave","expertise":[0.0,0.0,1.0]}]}"#,
+        );
+        assert!(ok(&up), "{up}");
+        assert_eq!(up.get("epoch").and_then(Json::as_usize), Some(1));
+        assert_eq!(up.get("reviewers").and_then(Json::as_usize), Some(4));
+        // dave now dominates topic-3-heavy queries.
+        let v = respond(&store, r#"{"op":"jra","paper":[0.0,0.0,1.0],"delta_p":1}"#);
+        let group = v.get("results").unwrap().as_arr().unwrap()[0].get("group").unwrap().clone();
+        assert_eq!(group.as_arr().unwrap()[0].as_usize(), Some(3));
+    }
+
+    #[test]
+    fn batch_reports_per_query_errors() {
+        let store = test_store();
+        let v = respond(
+            &store,
+            r#"{"op":"batch","queries":[{"paper_id":0},{"paper_id":99},{"paper_name":"p-23","top_k":2}]}"#,
+        );
+        assert!(ok(&v), "{v}");
+        let results = v.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 3);
+        assert!(ok(&results[0]));
+        assert!(!ok(&results[1]));
+        assert!(ok(&results[2]));
+        assert_eq!(results[2].get("results").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn batch_parse_errors_stay_per_entry() {
+        // A query that fails at *parse* time (bad delta_p type) must not
+        // poison its positional neighbours.
+        let store = test_store();
+        let v = respond(
+            &store,
+            r#"{"op":"batch","queries":[{"paper_id":0},{"paper_id":1,"delta_p":"two"},{"paper_id":1}]}"#,
+        );
+        assert!(ok(&v), "{v}");
+        let results = v.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 3);
+        assert!(ok(&results[0]));
+        assert!(!ok(&results[1]));
+        assert!(results[1].get("error").unwrap().as_str().unwrap().contains("delta_p"));
+        assert!(ok(&results[2]));
+        // Positional integrity: entries 0 and 2 carry real results.
+        assert!(results[0].get("results").is_some());
+        assert!(results[2].get("results").is_some());
+    }
+
+    #[test]
+    fn assign_and_stats_roundtrip() {
+        let store = test_store();
+        let a = respond(&store, r#"{"op":"assign","method":"SDGA"}"#);
+        assert!(ok(&a), "{a}");
+        assert_eq!(a.get("groups").unwrap().as_arr().unwrap().len(), 2);
+        let s = respond(&store, r#"{"op":"stats"}"#);
+        assert!(ok(&s));
+        assert_eq!(s.get("papers").and_then(Json::as_usize), Some(2));
+        assert_eq!(s.get("scoring").and_then(Json::as_str), Some("weighted"));
+        assert!(s.get("candidate_support").is_some());
+    }
+
+    #[test]
+    fn malformed_lines_do_not_kill_the_session() {
+        let store = test_store();
+        let input =
+            "not json\n{\"op\":\"nope\"}\n{\"op\":\"jra\",\"paper_id\":0}\n\n{\"op\":\"stats\"}\n";
+        let mut out = Vec::new();
+        serve_connection(&store, input.as_bytes(), &mut out, &ServeOptions::default()).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().trim_end().lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("\"ok\":false"));
+        assert!(lines[1].contains("unknown op"));
+        assert!(lines[2].contains("\"ok\":true"));
+        assert!(lines[3].contains("\"ok\":true"));
+    }
+
+    #[test]
+    fn pruning_override_parses_and_bad_values_error() {
+        let store = test_store();
+        let v = respond(&store, r#"{"op":"jra","paper_id":0,"pruning":"topk:2"}"#);
+        assert!(ok(&v), "{v}");
+        let bad = respond(&store, r#"{"op":"jra","paper_id":0,"pruning":"bogus"}"#);
+        assert!(!ok(&bad));
+    }
+
+    #[test]
+    fn tcp_session_roundtrips() {
+        use std::io::{BufRead, BufReader, Write};
+        let store = Arc::new(test_store());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                // Accept exactly one connection for the test.
+                let (socket, _) = listener.accept().unwrap();
+                let reader = BufReader::new(socket.try_clone().unwrap());
+                serve_connection(&store, reader, socket, &ServeOptions::default()).unwrap();
+            })
+        };
+        let mut client = std::net::TcpStream::connect(addr).unwrap();
+        client.write_all(b"{\"op\":\"stats\"}\n").unwrap();
+        let mut reader = BufReader::new(client.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"ok\":true"), "{line}");
+        drop(client);
+        drop(reader);
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,535 @@
+//! The versioned store: epoch-numbered copy-on-write snapshots over an
+//! owned [`ScoreContext`] + [`CandidateSet`], with incremental instance
+//! updates.
+//!
+//! # Snapshot / epoch model
+//!
+//! A [`Snapshot`] is an immutable, self-contained view of one instance
+//! version: the owned flat scoring context, its untruncated (Auto)
+//! candidate set, and the two inverted indexes (topic → reviewers,
+//! topic → papers) that make incremental maintenance cheap. Snapshots are
+//! shared as `Arc<Snapshot>`; readers (JRA batches, CRA solves) **admit at
+//! an epoch** by cloning the `Arc` and then run entirely lock-free against
+//! that version — a long CRA solve never blocks updates, it just keeps an
+//! old epoch alive until it finishes.
+//!
+//! [`VersionedStore::apply`] is the write path: it clones the current
+//! snapshot's state (the copy in copy-on-write — a flat `memcpy`, never a
+//! re-score), patches it incrementally, and publishes the result under
+//! `epoch + 1`. A batch of [`Update`]s is atomic: any failure discards the
+//! scratch copy and the published state is unchanged.
+//!
+//! # Incremental updates, bit-identically
+//!
+//! Each [`Update`] patches exactly the state it touches:
+//!
+//! * [`Update::AddPaper`] extends the flat paper matrix and the CSR view
+//!   ([`ScoreContext::push_paper`]) and computes the one new candidate row
+//!   through the topic → reviewers inverted index — reviewers with no
+//!   overlap are never even scored.
+//! * [`Update::AddReviewer`] appends one expertise row and splices the new
+//!   reviewer into exactly the candidate lists of papers it scores
+//!   positively on (found through topic → papers); unaffected papers'
+//!   entries are copied verbatim, never re-scored.
+//! * [`Update::RetireReviewer`] zeroes the expertise row (every pair score
+//!   involving the reviewer becomes exactly `0.0`, so no solver prefers
+//!   them over any positive candidate — ids stay stable) and removes the
+//!   reviewer from every candidate list.
+//! * [`Update::PatchScores`] replaces an expertise row and re-scores only
+//!   papers overlapping the old or new topic support.
+//!
+//! The contract — certified by this crate's `apply ≡ rebuild` proptests
+//! across all four scorings — is that after **any** update sequence the
+//! snapshot is **bit-identical** to [`Snapshot::build`] on the final
+//! instance: same flat arrays, same CSR, same candidate rows, score for
+//! score. Updates are therefore invisible to every solver guarantee the
+//! engine makes.
+
+use crate::{Error, Result};
+use std::sync::Arc;
+use wgrap_core::engine::{CandidateSet, ScoreContext};
+use wgrap_core::prelude::{Instance, Scoring};
+use wgrap_core::topic::TopicVector;
+
+/// One incremental change to the served instance.
+#[derive(Debug, Clone)]
+pub enum Update {
+    /// Add a paper to the standing instance (it becomes queryable by id and
+    /// participates in future `assign` runs). Fails if capacity
+    /// `R·δr ≥ (P+1)·δp` would break.
+    AddPaper {
+        /// Optional display name.
+        name: Option<String>,
+        /// The paper's topic vector (instance dimension).
+        topics: TopicVector,
+        /// Conflicted reviewer ids.
+        coi: Vec<u32>,
+    },
+    /// Add a reviewer to the standing pool.
+    AddReviewer {
+        /// Optional display name.
+        name: Option<String>,
+        /// The reviewer's expertise vector (instance dimension).
+        expertise: TopicVector,
+    },
+    /// Retire a reviewer: their expertise is zeroed (ids stay stable, every
+    /// pair score becomes exactly `0.0`) and they leave every candidate
+    /// list.
+    RetireReviewer {
+        /// The reviewer to retire.
+        reviewer: u32,
+    },
+    /// Replace a reviewer's expertise vector (profile re-scoring).
+    PatchScores {
+        /// The reviewer to patch.
+        reviewer: u32,
+        /// The new expertise vector (instance dimension).
+        expertise: TopicVector,
+    },
+}
+
+/// An immutable instance version: owned context + candidate set + the
+/// inverted indexes incremental maintenance runs on. See the module docs
+/// for the epoch model.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    epoch: u64,
+    ctx: ScoreContext<'static>,
+    /// topic → reviewers with positive expertise, ids ascending.
+    topic_reviewers: Vec<Vec<u32>>,
+    /// topic → papers with positive weight, ids ascending.
+    topic_papers: Vec<Vec<u32>>,
+}
+
+impl Snapshot {
+    /// Build epoch-0 state from scratch — also the reference the
+    /// incremental path is proptested bit-identical against.
+    pub fn build(inst: Instance, scoring: Scoring, seed: u64) -> Self {
+        let mut ctx = ScoreContext::from_owned(inst, scoring).with_seed(seed);
+        // One O(R·T) index derivation feeds both the stored index and the
+        // candidate build's probe structure, and the built Auto set is
+        // installed now so every clone carries it and `apply` can patch
+        // instead of rebuild.
+        let topic_reviewers = wgrap_core::engine::reviewer_topic_index(&ctx);
+        let cands = CandidateSet::build_with_index(
+            &ctx,
+            None,
+            ctx.sparse().then_some(topic_reviewers.as_slice()),
+        );
+        ctx.install_auto_candidates(cands);
+        let mut topic_papers = vec![Vec::new(); ctx.num_topics()];
+        for p in 0..ctx.num_papers() {
+            let (idx, _) = ctx.paper_sparse(p);
+            for &t in idx {
+                topic_papers[t as usize].push(p as u32);
+            }
+        }
+        Self { epoch: 0, ctx, topic_reviewers, topic_papers }
+    }
+
+    /// The epoch this snapshot was published under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The owned scoring context (solvers run directly on this).
+    pub fn ctx(&self) -> &ScoreContext<'static> {
+        &self.ctx
+    }
+
+    /// The instance behind the context.
+    pub fn instance(&self) -> &Instance {
+        self.ctx.instance()
+    }
+
+    /// The maintained untruncated (Auto) candidate set.
+    pub fn candidates(&self) -> &CandidateSet {
+        self.ctx.auto_candidates()
+    }
+
+    /// The maintained inverted indexes `(topic → reviewers,
+    /// topic → papers)` — exposed so the equivalence proptests can compare
+    /// the *entire* incremental state against a rebuild, not just the
+    /// solver-visible parts.
+    #[doc(hidden)]
+    pub fn indexes(&self) -> (&[Vec<u32>], &[Vec<u32>]) {
+        (&self.topic_reviewers, &self.topic_papers)
+    }
+
+    /// The certified candidate pool for a paper that is *not* part of the
+    /// instance (an ad-hoc JRA query): every reviewer with positive pair
+    /// score against `paper`, as `(id, pair score)` ascending by id — the
+    /// scores are computed once here (the `raw / total` form
+    /// [`ScoreContext::pair_score`] uses), so `TopK` consumers rank without
+    /// a second scoring pass. Probes the shared topic → reviewers index, so
+    /// only overlapping reviewers are scored. `None` when the scoring is
+    /// not sparse-safe (zero-overlap reviewers can score positively, so no
+    /// index-driven pool exists — callers fall back to the dense scan).
+    pub fn candidate_pool_adhoc(&self, paper: &TopicVector) -> Option<Vec<(u32, f64)>> {
+        if !self.ctx.sparse() {
+            return None;
+        }
+        let total = paper.total();
+        if total <= 0.0 {
+            return Some(Vec::new());
+        }
+        let scoring = self.ctx.scoring();
+        let weights = paper.as_slice();
+        let mut hits: Vec<u32> = weights
+            .iter()
+            .enumerate()
+            .filter(|&(_, &w)| w > 0.0)
+            .flat_map(|(t, _)| self.topic_reviewers[t].iter().copied())
+            .collect();
+        hits.sort_unstable();
+        hits.dedup();
+        Some(
+            hits.into_iter()
+                .filter_map(|r| {
+                    let s = scoring.raw_score(self.ctx.reviewer_row(r as usize), weights) / total;
+                    (s > 0.0).then_some((r, s))
+                })
+                .collect(),
+        )
+    }
+}
+
+/// The mutable front of the snapshot chain: holds the current
+/// `Arc<Snapshot>` and applies updates copy-on-write. See the module docs.
+#[derive(Debug)]
+pub struct VersionedStore {
+    current: Arc<Snapshot>,
+}
+
+impl VersionedStore {
+    /// Serve `inst` under `scoring`; `seed` feeds stochastic CRA solvers.
+    pub fn new(inst: Instance, scoring: Scoring, seed: u64) -> Self {
+        Self { current: Arc::new(Snapshot::build(inst, scoring, seed)) }
+    }
+
+    /// Admit at the current epoch: an `Arc` to the live snapshot, safe to
+    /// hold across long solves while updates continue.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.current)
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.current.epoch
+    }
+
+    /// Apply a batch of updates atomically and publish `epoch + 1`.
+    /// Returns the new epoch. On error nothing is published: readers keep
+    /// seeing the old epoch and the scratch copy is dropped. An empty batch
+    /// is a no-op: no copy, no new epoch.
+    pub fn apply(&mut self, updates: &[Update]) -> Result<u64> {
+        if updates.is_empty() {
+            return Ok(self.current.epoch);
+        }
+        let cur = &*self.current;
+        // The copy in copy-on-write: flat arrays + instance + candidate set,
+        // but never a cached dense pair matrix (a reader may have built one
+        // through the shared snapshot; mutation would drop it unused).
+        let mut ctx = cur.ctx.clone_for_update();
+        let mut cands =
+            ctx.take_auto_candidates().unwrap_or_else(|| CandidateSet::build(&ctx, None));
+        let mut topic_reviewers = cur.topic_reviewers.clone();
+        let mut topic_papers = cur.topic_papers.clone();
+        for update in updates {
+            apply_one(&mut ctx, &mut cands, &mut topic_reviewers, &mut topic_papers, update)?;
+        }
+        ctx.install_auto_candidates(cands);
+        let epoch = cur.epoch + 1;
+        self.current = Arc::new(Snapshot { epoch, ctx, topic_reviewers, topic_papers });
+        Ok(epoch)
+    }
+}
+
+fn apply_one(
+    ctx: &mut ScoreContext<'static>,
+    cands: &mut CandidateSet,
+    topic_reviewers: &mut [Vec<u32>],
+    topic_papers: &mut [Vec<u32>],
+    update: &Update,
+) -> Result<()> {
+    match update {
+        Update::AddPaper { name, topics, coi } => {
+            for &r in coi {
+                if r as usize >= ctx.num_reviewers() {
+                    return Err(Error::InvalidInstance(format!(
+                        "coi reviewer {r} out of range (R = {})",
+                        ctx.num_reviewers()
+                    )));
+                }
+            }
+            let p = ctx.push_paper(name.clone(), topics.clone())?;
+            // The new candidate row, probed through topic → reviewers for
+            // sparse-safe scorings — bit-identical to what a full
+            // `CandidateSet::build` computes for this paper.
+            let mut row: Vec<(u32, f64)> = Vec::new();
+            if ctx.sparse() {
+                let (tidx, _) = ctx.paper_sparse(p);
+                let mut hits: Vec<u32> = tidx
+                    .iter()
+                    .flat_map(|&t| topic_reviewers[t as usize].iter().copied())
+                    .collect();
+                hits.sort_unstable();
+                hits.dedup();
+                for r in hits {
+                    let s = ctx.pair_score(r as usize, p);
+                    if s > 0.0 {
+                        row.push((r, s));
+                    }
+                }
+            } else {
+                for r in 0..ctx.num_reviewers() {
+                    let s = ctx.pair_score(r, p);
+                    if s > 0.0 {
+                        row.push((r as u32, s));
+                    }
+                }
+            }
+            cands.append_paper(&row);
+            let (tidx, _) = ctx.paper_sparse(p);
+            for &t in tidx {
+                topic_papers[t as usize].push(p as u32);
+            }
+            for &r in coi {
+                ctx.add_coi(r as usize, p);
+            }
+        }
+        Update::AddReviewer { name, expertise } => {
+            let r = ctx.push_reviewer(name.clone(), expertise.clone())?;
+            let scores = scores_against_papers(ctx, topic_papers, r, None);
+            cands.patch_reviewer(r as u32, &scores);
+            for (t, &e) in ctx.reviewer_row(r).iter().enumerate() {
+                if e > 0.0 {
+                    topic_reviewers[t].push(r as u32);
+                }
+            }
+        }
+        Update::RetireReviewer { reviewer } => {
+            let dim = ctx.num_topics();
+            patch_reviewer_row(
+                ctx,
+                cands,
+                topic_reviewers,
+                topic_papers,
+                *reviewer,
+                TopicVector::zeros(dim),
+            )?;
+        }
+        Update::PatchScores { reviewer, expertise } => {
+            patch_reviewer_row(
+                ctx,
+                cands,
+                topic_reviewers,
+                topic_papers,
+                *reviewer,
+                expertise.clone(),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Shared kernel of `RetireReviewer` / `PatchScores`: swap reviewer `r`'s
+/// expertise row, fix the topic → reviewers index, and re-score exactly the
+/// papers overlapping the old or new topic support.
+fn patch_reviewer_row(
+    ctx: &mut ScoreContext<'static>,
+    cands: &mut CandidateSet,
+    topic_reviewers: &mut [Vec<u32>],
+    topic_papers: &[Vec<u32>],
+    reviewer: u32,
+    expertise: TopicVector,
+) -> Result<()> {
+    let r = reviewer as usize;
+    if r >= ctx.num_reviewers() {
+        return Err(Error::InvalidInstance(format!(
+            "reviewer {r} out of range (R = {})",
+            ctx.num_reviewers()
+        )));
+    }
+    let old: Vec<f64> = ctx.reviewer_row(r).to_vec();
+    ctx.set_reviewer_row(r, expertise)?;
+    let new = ctx.reviewer_row(r);
+    for t in 0..old.len() {
+        let (was, is) = (old[t] > 0.0, new[t] > 0.0);
+        if was != is {
+            let list = &mut topic_reviewers[t];
+            match list.binary_search(&reviewer) {
+                Ok(i) if !is => {
+                    list.remove(i);
+                }
+                Err(i) if is => list.insert(i, reviewer),
+                _ => {}
+            }
+        }
+    }
+    let scores = scores_against_papers(ctx, topic_papers, r, Some(&old));
+    cands.patch_reviewer(reviewer, &scores);
+    Ok(())
+}
+
+/// `(paper, pair score)` for every paper reviewer `r` now scores positive
+/// on, ascending by paper id. For sparse-safe scorings only papers
+/// overlapping the old or new topic support are probed (via
+/// topic → papers); otherwise all papers are scanned. `old_row` is the
+/// pre-patch expertise (None for a freshly appended reviewer).
+fn scores_against_papers(
+    ctx: &ScoreContext<'static>,
+    topic_papers: &[Vec<u32>],
+    r: usize,
+    old_row: Option<&[f64]>,
+) -> Vec<(u32, f64)> {
+    let mut scores: Vec<(u32, f64)> = Vec::new();
+    if ctx.sparse() {
+        let row = ctx.reviewer_row(r);
+        let mut affected: Vec<u32> = (0..ctx.num_topics())
+            .filter(|&t| row[t] > 0.0 || old_row.is_some_and(|o| o[t] > 0.0))
+            .flat_map(|t| topic_papers[t].iter().copied())
+            .collect();
+        affected.sort_unstable();
+        affected.dedup();
+        for p in affected {
+            let s = ctx.pair_score(r, p as usize);
+            if s > 0.0 {
+                scores.push((p, s));
+            }
+        }
+    } else {
+        for p in 0..ctx.num_papers() {
+            let s = ctx.pair_score(r, p);
+            if s > 0.0 {
+                scores.push((p as u32, s));
+            }
+        }
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tv(v: &[f64]) -> TopicVector {
+        TopicVector::new(v.to_vec())
+    }
+
+    fn base() -> Instance {
+        Instance::new(
+            vec![tv(&[0.5, 0.5, 0.0]), tv(&[1.0, 0.0, 0.0])],
+            vec![tv(&[0.3, 0.7, 0.0]), tv(&[0.6, 0.4, 0.0]), tv(&[0.0, 0.0, 1.0])],
+            1,
+            2,
+        )
+        .unwrap()
+    }
+
+    use crate::testutil::{assert_snapshot_bit_eq, reference_apply};
+
+    #[test]
+    fn epochs_advance_and_old_snapshots_survive() {
+        let mut store = VersionedStore::new(base(), Scoring::WeightedCoverage, 0);
+        let before = store.snapshot();
+        assert_eq!(before.epoch(), 0);
+        let e = store
+            .apply(&[Update::AddReviewer { name: None, expertise: tv(&[0.9, 0.1, 0.0]) }])
+            .unwrap();
+        assert_eq!(e, 1);
+        // The admitted snapshot still sees the old pool.
+        assert_eq!(before.instance().num_reviewers(), 3);
+        assert_eq!(store.snapshot().instance().num_reviewers(), 4);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut store = VersionedStore::new(base(), Scoring::WeightedCoverage, 0);
+        let before = store.snapshot();
+        assert_eq!(store.apply(&[]).unwrap(), 0);
+        assert_eq!(store.epoch(), 0);
+        // No copy was made: the published Arc is still the same snapshot.
+        assert!(Arc::ptr_eq(&before, &store.snapshot()));
+    }
+
+    #[test]
+    fn failed_batch_is_atomic() {
+        let mut store = VersionedStore::new(base(), Scoring::WeightedCoverage, 0);
+        let err = store.apply(&[
+            Update::AddReviewer { name: None, expertise: tv(&[0.9, 0.1, 0.0]) },
+            Update::RetireReviewer { reviewer: 99 },
+        ]);
+        assert!(err.is_err());
+        assert_eq!(store.epoch(), 0);
+        assert_eq!(store.snapshot().instance().num_reviewers(), 3);
+    }
+
+    #[test]
+    fn add_paper_capacity_check() {
+        // base: R=3, delta_r=2, delta_p=1 -> at most 6 papers.
+        let mut store = VersionedStore::new(base(), Scoring::WeightedCoverage, 0);
+        for _ in 0..4 {
+            store
+                .apply(&[Update::AddPaper {
+                    name: None,
+                    topics: tv(&[0.2, 0.8, 0.0]),
+                    coi: vec![],
+                }])
+                .unwrap();
+        }
+        let err = store.apply(&[Update::AddPaper {
+            name: None,
+            topics: tv(&[0.2, 0.8, 0.0]),
+            coi: vec![],
+        }]);
+        assert!(err.is_err(), "7th paper must break R*delta_r >= P*delta_p");
+    }
+
+    #[test]
+    fn update_sequence_matches_rebuild_for_all_scorings() {
+        for scoring in Scoring::ALL {
+            let updates = vec![
+                Update::AddReviewer { name: Some("dave".into()), expertise: tv(&[0.2, 0.2, 0.6]) },
+                Update::AddPaper {
+                    name: Some("p-new".into()),
+                    topics: tv(&[0.0, 0.4, 0.6]),
+                    coi: vec![1],
+                },
+                Update::PatchScores { reviewer: 0, expertise: tv(&[0.0, 0.9, 0.1]) },
+                Update::RetireReviewer { reviewer: 2 },
+                Update::AddPaper { name: None, topics: tv(&[0.1, 0.0, 0.9]), coi: vec![] },
+            ];
+            let mut store = VersionedStore::new(base(), scoring, 7);
+            let epoch = store.apply(&updates).unwrap();
+            assert_eq!(epoch, 1);
+            let want = reference_apply(&base(), scoring, 7, &updates).unwrap();
+            assert_snapshot_bit_eq(&store.snapshot(), &want);
+            // COIs carried over.
+            let snap = store.snapshot();
+            assert!(snap.instance().is_coi(1, 2));
+            assert_eq!(snap.instance().paper_name(2), "p-new");
+        }
+    }
+
+    #[test]
+    fn adhoc_pool_matches_stored_candidates() {
+        let store = VersionedStore::new(base(), Scoring::WeightedCoverage, 0);
+        let snap = store.snapshot();
+        // Query with paper 0's exact vector: the ad-hoc pool must equal the
+        // stored paper's candidate list, score for score (the dense raw sum
+        // only adds exact 0.0 terms over the CSR sum, so bits match).
+        let paper = snap.instance().paper(0).clone();
+        let pool = snap.candidate_pool_adhoc(&paper).unwrap();
+        let (stored, scores) = snap.candidates().candidates(0);
+        assert_eq!(pool.iter().map(|&(r, _)| r).collect::<Vec<_>>(), stored);
+        for (&(_, got), want) in pool.iter().zip(scores) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+        // Zero paper -> empty pool, not dense fallback.
+        assert!(snap.candidate_pool_adhoc(&tv(&[0.0, 0.0, 0.0])).unwrap().is_empty());
+        // Non-sparse-safe scoring -> None.
+        let dense_store = VersionedStore::new(base(), Scoring::ReviewerCoverage, 0);
+        assert!(dense_store.snapshot().candidate_pool_adhoc(&paper).is_none());
+    }
+}

@@ -1,0 +1,232 @@
+//! The service-layer contracts:
+//!
+//! 1. **`apply(updates) ≡ rebuild(final_instance)`** — after any update
+//!    sequence, the incrementally-patched snapshot is bit-identical to a
+//!    from-scratch [`Snapshot::build`] of the final instance (flat arrays,
+//!    CSR, candidate rows, inverted indexes), for all four scorings, whether
+//!    the updates land as one atomic batch or as one epoch each.
+//! 2. **Batched JRA determinism** — a [`JraBatch`] returns bit-identical
+//!    answers to solving its queries one at a time, under skewed per-query
+//!    cost, with the parallel feature on or off (positional writes).
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use wgrap_core::engine::PruningPolicy;
+use wgrap_core::prelude::{Instance, Scoring};
+use wgrap_core::topic::TopicVector;
+use wgrap_service::testutil::{assert_snapshot_bit_eq, reference_apply};
+use wgrap_service::{JraBatch, JraQuery, QueryPaper, Update, VersionedStore};
+
+fn sparse_topic_vector(dim: usize) -> impl Strategy<Value = TopicVector> {
+    (proptest::collection::vec(0.0..1.0f64, dim), proptest::collection::vec(any::<bool>(), dim))
+        .prop_map(|(mut v, mask)| {
+            for (w, drop) in v.iter_mut().zip(mask) {
+                if drop {
+                    *w = 0.0;
+                }
+            }
+            if v.iter().sum::<f64>() <= 0.0 {
+                v[0] = 1.0;
+            }
+            TopicVector::new(v).normalized()
+        })
+}
+
+/// An update before id resolution: ids become concrete only while replaying
+/// (the pool grows and shrinks as the sequence applies).
+#[derive(Debug, Clone)]
+enum RawUpdate {
+    AddPaper { topics: TopicVector, coi_seed: u32 },
+    AddReviewer { expertise: TopicVector },
+    RetireReviewer { seed: u32 },
+    PatchScores { seed: u32, expertise: TopicVector },
+}
+
+fn raw_update(dim: usize) -> impl Strategy<Value = RawUpdate> {
+    (0u32..4, sparse_topic_vector(dim), any::<u32>()).prop_map(|(kind, v, seed)| match kind {
+        0 => RawUpdate::AddPaper { topics: v, coi_seed: seed },
+        1 => RawUpdate::AddReviewer { expertise: v },
+        2 => RawUpdate::RetireReviewer { seed },
+        _ => RawUpdate::PatchScores { seed, expertise: v },
+    })
+}
+
+/// Resolve raw updates into concrete ones against the evolving counts, so
+/// both the incremental and the reference path replay the *same* sequence.
+fn resolve(inst: &Instance, raws: &[RawUpdate]) -> Vec<Update> {
+    let (mut num_p, mut num_r) = (inst.num_papers(), inst.num_reviewers());
+    let capacity_left = |num_p: usize, num_r: usize, inst: &Instance| {
+        num_r * inst.delta_r() >= (num_p + 1) * inst.delta_p()
+    };
+    let mut out = Vec::new();
+    for raw in raws {
+        match raw {
+            RawUpdate::AddPaper { topics, coi_seed } => {
+                if !capacity_left(num_p, num_r, inst) {
+                    continue; // would be rejected; keep the sequence applying
+                }
+                let coi = if coi_seed % 3 == 0 && num_r > 0 {
+                    vec![(coi_seed / 3) % num_r as u32]
+                } else {
+                    Vec::new()
+                };
+                out.push(Update::AddPaper { name: None, topics: topics.clone(), coi });
+                num_p += 1;
+            }
+            RawUpdate::AddReviewer { expertise } => {
+                out.push(Update::AddReviewer { name: None, expertise: expertise.clone() });
+                num_r += 1;
+            }
+            RawUpdate::RetireReviewer { seed } => {
+                out.push(Update::RetireReviewer { reviewer: seed % num_r as u32 });
+            }
+            RawUpdate::PatchScores { seed, expertise } => {
+                out.push(Update::PatchScores {
+                    reviewer: seed % num_r as u32,
+                    expertise: expertise.clone(),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn instance_strategy(dim: usize) -> impl Strategy<Value = Instance> {
+    (
+        proptest::collection::vec(sparse_topic_vector(dim), 2..5),
+        proptest::collection::vec(sparse_topic_vector(dim), 4..8),
+        1usize..3,
+    )
+        .prop_map(move |(papers, reviewers, delta_p)| {
+            let delta_p = delta_p.min(reviewers.len());
+            // Generous workload headroom so AddPaper updates mostly apply.
+            let delta_r = Instance::minimal_delta_r(papers.len(), reviewers.len(), delta_p) + 2;
+            Instance::new(papers, reviewers, delta_p, delta_r).expect("valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The acceptance contract: any update sequence, applied incrementally
+    /// (one atomic batch AND one epoch per update), yields a snapshot
+    /// bit-identical to a from-scratch rebuild of the final instance —
+    /// across all four scorings.
+    #[test]
+    fn apply_equals_rebuild(
+        inst in instance_strategy(5),
+        raws in proptest::collection::vec(raw_update(5), 1..8),
+        seed in 0u64..1_000,
+    ) {
+        let updates = resolve(&inst, &raws);
+        for scoring in Scoring::ALL {
+            let want = reference_apply(&inst, scoring, seed, &updates).expect("reference applies");
+
+            // One atomic batch.
+            let mut store = VersionedStore::new(inst.clone(), scoring, seed);
+            store.apply(&updates).expect("resolved updates apply");
+            assert_snapshot_bit_eq(&store.snapshot(), &want);
+            prop_assert_eq!(store.epoch(), 1);
+
+            // One epoch per update: same final state, epoch per step.
+            let mut step_store = VersionedStore::new(inst.clone(), scoring, seed);
+            for u in &updates {
+                step_store.apply(std::slice::from_ref(u)).expect("applies");
+            }
+            assert_snapshot_bit_eq(&step_store.snapshot(), &want);
+            prop_assert_eq!(step_store.epoch(), updates.len() as u64);
+        }
+    }
+
+    /// Ad-hoc candidate pools computed against an updated snapshot match
+    /// pools computed against the rebuilt one (the index the batch executor
+    /// probes is part of the bit-identity contract).
+    #[test]
+    fn adhoc_pools_match_after_updates(
+        inst in instance_strategy(4),
+        raws in proptest::collection::vec(raw_update(4), 1..6),
+        query in sparse_topic_vector(4),
+    ) {
+        let updates = resolve(&inst, &raws);
+        let rebuilt =
+            reference_apply(&inst, Scoring::WeightedCoverage, 0, &updates).expect("applies");
+        let mut store = VersionedStore::new(inst, Scoring::WeightedCoverage, 0);
+        store.apply(&updates).expect("applies");
+        prop_assert_eq!(
+            store.snapshot().candidate_pool_adhoc(&query),
+            rebuilt.candidate_pool_adhoc(&query)
+        );
+    }
+}
+
+/// Batched JRA under deliberately skewed per-query cost: some queries are
+/// `δp = 3` searches over the full pool (expensive), some are `δp = 1`
+/// lookups (cheap). Under the `rayon` feature the batch self-schedules on
+/// the work-stealing pool; output must be the one-at-a-time sequence,
+/// query for query, bit for bit, under any worker count.
+#[test]
+fn skewed_batch_matches_one_at_a_time() {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(9);
+    let dim = 10;
+    let mut gen = |n: usize| -> Vec<TopicVector> {
+        (0..n)
+            .map(|_| {
+                let raw: Vec<f64> = (0..dim)
+                    .map(|_| if rng.random::<f64>() < 0.5 { 0.0 } else { rng.random() })
+                    .collect();
+                if raw.iter().sum::<f64>() <= 0.0 {
+                    TopicVector::uniform(dim)
+                } else {
+                    TopicVector::new(raw).normalized()
+                }
+            })
+            .collect()
+    };
+    let papers = gen(6);
+    let reviewers = gen(36);
+    let inst = Instance::new(papers, reviewers, 2, 1).unwrap();
+    let store = VersionedStore::new(inst, Scoring::WeightedCoverage, 0);
+    let snap = store.snapshot();
+
+    let query_papers = gen(30);
+    for pruning in [PruningPolicy::Exact, PruningPolicy::Auto] {
+        let mut batch = JraBatch::new(Arc::clone(&snap), pruning);
+        let mut queries = Vec::new();
+        for (i, qp) in query_papers.iter().enumerate() {
+            let q = JraQuery {
+                // Skew: every 5th query is a heavy δp=3 search, the rest
+                // are cheap δp=1 lookups; sprinkle stored papers in too.
+                delta_p: Some(if i % 5 == 0 { 3 } else { 1 }),
+                top_k: 1 + i % 3,
+                ..JraQuery::new(if i % 7 == 0 {
+                    QueryPaper::Stored(i % 6)
+                } else {
+                    QueryPaper::Adhoc(qp.clone())
+                })
+            };
+            queries.push(q.clone());
+            batch.push(q);
+        }
+        let batched = batch.run();
+        assert_eq!(batched.len(), queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            let mut single = JraBatch::new(Arc::clone(&snap), pruning);
+            single.push(q.clone());
+            let alone = single.run().pop().unwrap();
+            match (&batched[i], &alone) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.len(), b.len(), "{pruning:?} query {i}");
+                    for (x, y) in a.iter().zip(b) {
+                        assert_eq!(x.group, y.group, "{pruning:?} query {i}");
+                        assert_eq!(x.score.to_bits(), y.score.to_bits(), "{pruning:?} query {i}");
+                        assert_eq!(x.nodes, y.nodes, "{pruning:?} query {i}");
+                    }
+                }
+                (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
+                (a, b) => panic!("{pruning:?} query {i}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}

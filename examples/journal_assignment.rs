@@ -36,7 +36,7 @@ fn main() {
     let journal = Instance::journal(paper.clone(), pool.clone(), delta_p).expect("valid");
     let ctx = ScoreContext::new(&journal, Scoring::WeightedCoverage);
     let t = Instant::now();
-    let via_engine = JraBbaSolver.solve(&ctx).expect("feasible");
+    let via_engine = JraBbaSolver::default().solve(&ctx).expect("feasible");
     println!("engine: group {:?} in {:?} (Solver dispatch)", via_engine.group(0), t.elapsed());
     assert_eq!(via_engine.group(0), &best.group[..]);
 

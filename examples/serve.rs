@@ -1,0 +1,58 @@
+//! A complete `wgrap serve` session, in-process: the same
+//! newline-delimited JSON protocol `wgrap serve <file>` speaks on
+//! stdin/stdout (and over `--listen HOST:PORT` TCP), run against an
+//! in-memory pipe so the transcript prints as `>>> request` / `<<< response`
+//! pairs.
+//!
+//! ```text
+//! cargo run --example serve
+//! ```
+
+use std::sync::RwLock;
+use wgrap::core::io;
+use wgrap::prelude::*;
+use wgrap::service::server::handle_line;
+use wgrap::service::{ServeOptions, VersionedStore};
+
+const INSTANCE: &str = "\
+topics 3
+delta_p 2
+delta_r 3
+reviewer alice 0.7 0.2 0.1
+reviewer bob   0.1 0.8 0.1
+reviewer carol 0.2 0.2 0.6
+paper p-17 0.5 0.4 0.1
+paper p-23 0.0 0.3 0.7
+coi alice p-17
+";
+
+const SESSION: &[&str] = &[
+    // Who's here?
+    r#"{"op":"stats"}"#,
+    // Online JRA: best group for a stored paper (alice is conflicted)...
+    r#"{"op":"jra","paper_name":"p-17"}"#,
+    // ... and for a brand-new submission that is not in the instance.
+    r#"{"op":"jra","paper":[0.1,0.1,0.8],"delta_p":1,"top_k":2}"#,
+    // Many queries, one snapshot, one epoch: the batch runs on the
+    // work-stealing pool under --features rayon, bit-identically.
+    r#"{"op":"batch","queries":[{"paper_id":0},{"paper_id":1},{"paper":[0.9,0.1,0.0],"delta_p":1}]}"#,
+    // The pool changes: dave joins, a new paper lands (with a COI), and
+    // alice's profile is re-scored — one atomic epoch bump, applied
+    // incrementally (no rebuild), bit-identical to one.
+    r#"{"op":"update","updates":[{"kind":"add_reviewer","name":"dave","expertise":[0.0,0.1,0.9]},{"kind":"add_paper","name":"p-31","topics":[0.2,0.0,0.8],"coi":[1]},{"kind":"patch_scores","reviewer":0,"expertise":[0.9,0.1,0.0]}]}"#,
+    // Queries now admit at epoch 1.
+    r#"{"op":"jra","paper_name":"p-31"}"#,
+    // A full conference assignment over the standing instance.
+    r#"{"op":"assign","method":"SDGA"}"#,
+];
+
+fn main() -> Result<()> {
+    let inst = io::parse_instance(INSTANCE)?;
+    let store = RwLock::new(VersionedStore::new(inst, Scoring::WeightedCoverage, 42));
+    let opts = ServeOptions::default();
+    for request in SESSION {
+        println!(">>> {request}");
+        println!("<<< {}", handle_line(&store, request, &opts));
+    }
+    Ok(())
+}

@@ -11,10 +11,15 @@
 //!     Validate an assignment, report its quality metrics, and print
 //!     per-paper candidate-coverage stats (how many reviewers score
 //!     positively per paper) to guide the choice of k.
-//! wgrap journal <instance-file> <paper-name> [--top-k K]
+//! wgrap journal <instance-file> <paper-name> [--top-k K] [--pruning ...]
 //!     Exact best reviewer group(s) for a single paper (BBA).
 //! wgrap gen     <papers> <reviewers> <delta_p> [--seed N]
 //!     Emit a synthetic instance in the text format.
+//! wgrap serve   <instance-file> [--listen ADDR] [--scoring ...] [--seed N]
+//!               [--method sdga-sra] [--pruning ...] [--topk K]
+//!     Serve the instance: newline-delimited JSON requests on stdin (one
+//!     response line each) or, with --listen HOST:PORT, over TCP. Ops:
+//!     jra, batch, update, assign, stats — see wgrap_service::server.
 //! ```
 
 use std::process::ExitCode;
@@ -25,6 +30,7 @@ use wgrap::core::io;
 use wgrap::core::jra::bba;
 use wgrap::core::metrics;
 use wgrap::prelude::*;
+use wgrap::service::{ServeOptions, VersionedStore};
 
 fn scoring_by_name(name: &str) -> Option<Scoring> {
     Some(match name {
@@ -48,6 +54,34 @@ fn method_by_name(name: &str) -> Option<CraAlgorithm> {
     })
 }
 
+/// Which flags each subcommand accepts — the single source of truth the
+/// parser validates against, so every subcommand shares one rejection path
+/// (and one error message for the confusable `--topk` / `--top-k` pair)
+/// instead of re-implementing its own checks.
+const SUBCOMMAND_FLAGS: &[(&str, &[&str])] = &[
+    ("assign", &["--method", "--scoring", "--seed", "--pruning", "--topk"]),
+    ("check", &["--scoring"]),
+    ("journal", &["--scoring", "--top-k", "--pruning", "--topk"]),
+    ("gen", &["--seed"]),
+    ("serve", &["--method", "--scoring", "--seed", "--pruning", "--topk", "--listen"]),
+];
+
+/// The one shared error for a flag a subcommand does not take. Mentions the
+/// `--topk` (candidate pruning) vs `--top-k` (journal's best-group count)
+/// confusion whenever either is involved, instead of silently ignoring the
+/// flag or failing differently per subcommand.
+fn unknown_flag(cmd: &str, flag: &str, allowed: &[&str]) -> Error {
+    let hint = match flag {
+        "--top-k" => " (--top-k counts best groups for journal; candidate pruning is --topk K)",
+        "--topk" => " (--topk K is candidate pruning, shorthand for --pruning topk:K; journal's best-group count is --top-k)",
+        _ => "",
+    };
+    Error::InvalidInstance(format!(
+        "'{cmd}' does not take {flag}{hint}; allowed flags: {}",
+        if allowed.is_empty() { "none".to_string() } else { allowed.join(", ") }
+    ))
+}
+
 struct Flags {
     positional: Vec<String>,
     method: CraAlgorithm,
@@ -55,9 +89,15 @@ struct Flags {
     seed: u64,
     top_k: Option<usize>,
     pruning: Option<PruningPolicy>,
+    listen: Option<String>,
 }
 
-fn parse_flags(args: &[String]) -> Result<Flags> {
+fn parse_flags(cmd: &str, args: &[String]) -> Result<Flags> {
+    let allowed = SUBCOMMAND_FLAGS
+        .iter()
+        .find(|(name, _)| *name == cmd)
+        .map(|(_, flags)| *flags)
+        .unwrap_or(&[]);
     let mut flags = Flags {
         positional: Vec::new(),
         method: CraAlgorithm::SdgaSra,
@@ -65,9 +105,13 @@ fn parse_flags(args: &[String]) -> Result<Flags> {
         seed: 42,
         top_k: None,
         pruning: None,
+        listen: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
+        if arg.starts_with("--") && !allowed.contains(&arg.as_str()) {
+            return Err(unknown_flag(cmd, arg, allowed));
+        }
         let mut value = |what: &str| -> Result<String> {
             it.next()
                 .cloned()
@@ -109,6 +153,7 @@ fn parse_flags(args: &[String]) -> Result<Flags> {
                 }
                 flags.pruning = Some(PruningPolicy::TopK(k));
             }
+            "--listen" => flags.listen = Some(value("--listen")?),
             other => flags.positional.push(other.to_string()),
         }
     }
@@ -124,13 +169,6 @@ fn cmd_assign(flags: &Flags) -> Result<()> {
     let [path] = &flags.positional[..] else {
         return Err(Error::InvalidInstance("assign needs exactly one file".into()));
     };
-    if flags.top_k.is_some() {
-        // --top-k (journal's best-group count) is one character away from
-        // --topk (candidate pruning); refuse rather than silently ignore.
-        return Err(Error::InvalidInstance(
-            "--top-k selects the journal command's group count; did you mean --topk K?".into(),
-        ));
-    }
     let inst = io::parse_instance(&read(path)?)?;
     // One flat ScoreContext serves every solver; dispatch is through the
     // engine's Solver trait.
@@ -152,13 +190,6 @@ fn cmd_check(flags: &Flags) -> Result<()> {
     let [inst_path, assign_path] = &flags.positional[..] else {
         return Err(Error::InvalidInstance("check needs <instance> <assignment>".into()));
     };
-    if flags.pruning.is_some() || flags.top_k.is_some() {
-        // Same policy as assign/journal: refuse foreign flags rather than
-        // silently ignoring them.
-        return Err(Error::InvalidInstance(
-            "--pruning/--topk/--top-k do not apply to check (it reports stats for all k)".into(),
-        ));
-    }
     let inst = io::parse_instance(&read(inst_path)?)?;
     let a = io::parse_assignment(&inst, &read(assign_path)?)?;
     a.validate(&inst)?;
@@ -199,19 +230,13 @@ fn cmd_journal(flags: &Flags) -> Result<()> {
     let [inst_path, paper_name] = &flags.positional[..] else {
         return Err(Error::InvalidInstance("journal needs <instance> <paper-name>".into()));
     };
-    if flags.pruning.is_some() {
-        return Err(Error::InvalidInstance(
-            "--pruning/--topk apply to assign; journal takes --top-k K (number of best groups)"
-                .into(),
-        ));
-    }
     let inst = io::parse_instance(&read(inst_path)?)?;
     let paper = (0..inst.num_papers())
         .find(|&p| inst.paper_name(p) == *paper_name)
         .ok_or_else(|| Error::InvalidInstance(format!("unknown paper '{paper_name}'")))?;
     let ctx = ScoreContext::new(&inst, flags.scoring);
     let opts = bba::BbaOptions { top_k: flags.top_k.unwrap_or(1), ..Default::default() };
-    let results = bba::solve_ctx(&ctx, paper, &opts)
+    let results = bba::solve_ctx_pruned(&ctx, paper, &opts, flags.pruning.unwrap_or_default())
         .ok_or_else(|| Error::Infeasible("not enough non-conflicted reviewers".into()))?;
     for (i, res) in results.iter().enumerate() {
         let names: Vec<String> = res.group.iter().map(|&r| inst.reviewer_name(r)).collect();
@@ -240,19 +265,40 @@ fn cmd_gen(flags: &Flags) -> Result<()> {
     Ok(())
 }
 
+fn cmd_serve(flags: &Flags) -> Result<()> {
+    let [path] = &flags.positional[..] else {
+        return Err(Error::InvalidInstance("serve needs exactly one instance file".into()));
+    };
+    let inst = io::parse_instance(&read(path)?)?;
+    let store = std::sync::RwLock::new(VersionedStore::new(inst, flags.scoring, flags.seed));
+    let opts = ServeOptions { pruning: flags.pruning.unwrap_or_default(), method: flags.method };
+    match &flags.listen {
+        None => wgrap::service::serve_stdio(&store, &opts)
+            .map_err(|e| Error::InvalidInstance(format!("serve I/O error: {e}"))),
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(addr)
+                .map_err(|e| Error::InvalidInstance(format!("cannot listen on {addr}: {e}")))?;
+            eprintln!("# wgrap serve listening on {}", listener.local_addr().unwrap());
+            wgrap::service::serve_tcp(listener, std::sync::Arc::new(store), opts)
+                .map_err(|e| Error::InvalidInstance(format!("serve I/O error: {e}")))
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("usage: wgrap <assign|check|journal|gen> ... (see --help in source docs)");
+        eprintln!("usage: wgrap <assign|check|journal|gen|serve> ... (see --help in source docs)");
         return ExitCode::from(2);
     };
     let run = || -> Result<()> {
-        let flags = parse_flags(rest)?;
+        let flags = parse_flags(cmd, rest)?;
         match cmd.as_str() {
             "assign" => cmd_assign(&flags),
             "check" => cmd_check(&flags),
             "journal" => cmd_journal(&flags),
             "gen" => cmd_gen(&flags),
+            "serve" => cmd_serve(&flags),
             other => Err(Error::InvalidInstance(format!("unknown command '{other}'"))),
         }
     };

@@ -20,6 +20,7 @@
 pub use wgrap_core as core;
 pub use wgrap_datagen as datagen;
 pub use wgrap_lap as lap;
+pub use wgrap_service as service;
 pub use wgrap_solver as solver;
 pub use wgrap_topics as topics;
 

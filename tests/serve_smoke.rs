@@ -1,0 +1,67 @@
+//! Golden-file smoke test for `wgrap serve`: pipe the fixture request
+//! stream through the real binary and require byte-identical responses.
+//!
+//! The same fixture pair drives the CI workflow's shell-level smoke step
+//! (rayon on and off share one golden file — serve responses are part of
+//! the engine's bit-determinism contract).
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const FIXTURES: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
+
+#[test]
+fn serve_stdin_matches_golden_responses() {
+    let requests = std::fs::read_to_string(format!("{FIXTURES}/serve_requests.ndjson")).unwrap();
+    let golden = std::fs::read_to_string(format!("{FIXTURES}/serve_golden.ndjson")).unwrap();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_wgrap"))
+        .arg("serve")
+        .arg(format!("{FIXTURES}/serve.wgrap"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn wgrap serve");
+    child.stdin.take().unwrap().write_all(requests.as_bytes()).unwrap();
+    let out = child.wait_with_output().expect("wgrap serve runs to EOF");
+    assert!(out.status.success(), "serve exited with {:?}", out.status);
+
+    let got = String::from_utf8(out.stdout).expect("responses are UTF-8");
+    for (i, (g, w)) in got.lines().zip(golden.lines()).enumerate() {
+        assert_eq!(g, w, "response line {} diverged from golden", i + 1);
+    }
+    assert_eq!(
+        got.lines().count(),
+        golden.lines().count(),
+        "one response line per request, golden count must match"
+    );
+}
+
+#[test]
+fn serve_rejects_missing_instance() {
+    let out = Command::new(env!("CARGO_BIN_EXE_wgrap"))
+        .args(["serve", "/nonexistent/instance.wgrap"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn confusable_flag_rejections_share_one_message_shape() {
+    // Satellite contract: every subcommand rejects a foreign flag through
+    // the same path, and the --topk/--top-k confusion is always explained.
+    let cases = [
+        (vec!["assign", "x.wgrap", "--top-k", "3"], "--top-k counts best groups"),
+        (vec!["check", "x.wgrap", "y.txt", "--topk", "3"], "--topk K is candidate pruning"),
+        (vec!["check", "x.wgrap", "y.txt", "--pruning", "auto"], "does not take --pruning"),
+        (vec!["gen", "3", "4", "1", "--listen", ":1"], "does not take --listen"),
+    ];
+    for (args, needle) in cases {
+        let out = Command::new(env!("CARGO_BIN_EXE_wgrap")).args(&args).output().unwrap();
+        assert!(!out.status.success(), "{args:?} must fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("allowed flags:"), "{args:?} -> {err}");
+        assert!(err.contains(needle), "{args:?} -> {err}");
+    }
+}
