@@ -23,10 +23,12 @@
 //! The harness also asserts the ≥5× peak score-state memory reduction
 //! (~377× at k=16) and prints the exact byte counts.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::Criterion;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::hint::black_box;
+use std::time::Instant;
+use wgrap_bench::report::BenchReport;
 use wgrap_core::engine::{
     CandidateSet, GainProvider, GainTable, PruningPolicy, ScoreContext, SdgaSolver, Solver,
 };
@@ -95,11 +97,13 @@ fn dense_stage_matrix(inst: &Instance, gains: &GainTable<'_, '_>) -> CostMatrix 
     CostMatrix::from_flat(inst.num_papers(), num_r, flat)
 }
 
-fn bench_full_scale(c: &mut Criterion) {
+fn bench_full_scale(c: &mut Criterion, report: &mut BenchReport) {
     let inst = sparse_instance(P, R, T, 42);
     let ctx = ScoreContext::new(&inst, Scoring::WeightedCoverage);
     let gains = GainTable::new(&ctx);
+    let build_start = Instant::now();
     let cands = CandidateSet::build(&ctx, Some(K));
+    let build_t = build_start.elapsed();
 
     // Acceptance gate: >=5x lower peak score-state memory than the dense
     // P x R stage matrix (in practice hundreds of times at k=16).
@@ -112,6 +116,15 @@ fn bench_full_scale(c: &mut Criterion) {
         sparse_bytes as f64 / 1e6,
     );
     assert!(ratio >= 5.0, "candidate pruning must cut score-state memory >=5x, got {ratio:.1}x");
+    let params = [
+        ("papers", P as f64),
+        ("reviewers", R as f64),
+        ("topics", T as f64),
+        ("k", K as f64),
+        ("memory_bytes", sparse_bytes as f64),
+        ("dense_memory_bytes", dense_bytes as f64),
+    ];
+    report.record("candidate_build_k16", &params, &[build_t], None);
     let stats = cands.coverage_stats().expect("papers exist");
     println!(
         "candidate support before truncation: min {} / median {} / max {} (k = {K})",
@@ -131,27 +144,47 @@ fn bench_full_scale(c: &mut Criterion) {
     });
     group.finish();
 
-    // Sanity: the sparse stage actually places papers.
+    // Sanity: the sparse stage actually places papers — timed once for the
+    // machine-readable record.
+    let stage_start = Instant::now();
     let (matched, _) = sparse_stage(&inst, &gains, &cands);
+    report.record("sparse_stage_build_plus_solve_k16", &params, &[stage_start.elapsed()], None);
     assert!(matched == P, "sparse stage left {} of {P} papers unplaced", P - matched);
+    let dense_start = Instant::now();
+    black_box(dense_stage_matrix(&inst, &gains));
+    report.record("dense_stage_build_only", &params, &[dense_start.elapsed()], None);
 }
 
-fn bench_mid_scale_end_to_end(c: &mut Criterion) {
+fn bench_mid_scale_end_to_end(c: &mut Criterion, report: &mut BenchReport) {
     let inst = sparse_instance(500, 1_000, 120, 7);
     let ctx = ScoreContext::new(&inst, Scoring::WeightedCoverage);
 
     // Cross-check quality before timing: top-k SDGA must stay feasible and
-    // land close to the dense objective.
+    // land close to the dense objective. The two timed runs double as the
+    // machine-readable records.
+    let dense_start = Instant::now();
     let dense = SdgaSolver::default().solve(&ctx).expect("dense sdga");
+    let dense_t = dense_start.elapsed();
+    let pruned_start = Instant::now();
     let pruned = SdgaSolver { pruning: PruningPolicy::TopK(K), ..Default::default() }
         .solve(&ctx)
         .expect("pruned sdga");
+    let pruned_t = pruned_start.elapsed();
     pruned.validate(&inst).expect("pruned assignment valid");
     let (ds, ps) = (
         dense.coverage_score(&inst, Scoring::WeightedCoverage),
         pruned.coverage_score(&inst, Scoring::WeightedCoverage),
     );
     println!("sdga_p500_r1000 coverage: dense {ds:.4} vs topk16 {ps:.4} ({:.2}%)", 100.0 * ps / ds);
+    let params = [
+        ("papers", 500.0),
+        ("reviewers", 1_000.0),
+        ("topics", 120.0),
+        ("k", K as f64),
+        ("coverage_vs_dense", ps / ds),
+    ];
+    report.record("sdga_dense_build_plus_solve", &params, &[dense_t], None);
+    report.record("sdga_topk16_build_plus_solve", &params, &[pruned_t], None);
 
     let mut group = c.benchmark_group("sdga_end_to_end_p500_r1000");
     group.sample_size(10);
@@ -170,5 +203,13 @@ fn bench_mid_scale_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_full_scale, bench_mid_scale_end_to_end);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    let mut report = BenchReport::new("pruning");
+    bench_full_scale(&mut c, &mut report);
+    bench_mid_scale_end_to_end(&mut c, &mut report);
+    match report.write() {
+        Ok(path) => println!("bench records -> {}", path.display()),
+        Err(e) => eprintln!("could not write bench records: {e}"),
+    }
+}

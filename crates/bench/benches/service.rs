@@ -25,12 +25,13 @@
 //! 328 ms full rebuild (~5–8×) — apply cost is dominated by the
 //! copy-on-write memcpy of the owned context, not the splice.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::Criterion;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
+use wgrap_bench::report::BenchReport;
 use wgrap_core::engine::PruningPolicy;
 use wgrap_core::prelude::{Instance, Scoring};
 use wgrap_core::topic::TopicVector;
@@ -70,7 +71,7 @@ fn run_batch(snapshot: &Arc<Snapshot>, queries: &[JraQuery], pruning: PruningPol
     batch.run().into_iter().filter(|r| r.is_ok()).count()
 }
 
-fn bench_batched_jra(c: &mut Criterion) {
+fn bench_batched_jra(c: &mut Criterion, report: &mut BenchReport) {
     let (store, mut rng) = build_store(42);
     let snapshot = store.snapshot();
     let query_papers = sparse_vectors(128, T, PAPER_NNZ, &mut rng);
@@ -86,8 +87,9 @@ fn bench_batched_jra(c: &mut Criterion) {
         assert_eq!(auto[0].to_bits(), dense[0].to_bits(), "Auto must stay score-exact");
     }
 
-    // Throughput summary (the measured numbers the module docs quote).
-    let throughput = |label: &str, pruning: PruningPolicy, chunk: usize, total: usize| {
+    // Throughput summary (the measured numbers the module docs quote),
+    // recorded into BENCH_service.json as it prints.
+    let mut throughput = |label: &str, pruning: PruningPolicy, chunk: usize, total: usize| {
         let start = Instant::now();
         let mut solved = 0usize;
         for queries in queries[..total].chunks(chunk) {
@@ -97,6 +99,18 @@ fn bench_batched_jra(c: &mut Criterion) {
         let qps = solved as f64 / elapsed.as_secs_f64();
         println!(
             "service_jra_p{P}_r{R}_t{T}: {label:<24} {solved:>4} queries in {elapsed:<12.2?} ({qps:.2} q/s)"
+        );
+        report.record(
+            &format!("jra_{label}"),
+            &[
+                ("papers", P as f64),
+                ("reviewers", R as f64),
+                ("topics", T as f64),
+                ("batch", chunk as f64),
+                ("queries", total as f64),
+            ],
+            &[elapsed],
+            Some(qps),
         );
         qps
     };
@@ -129,7 +143,7 @@ fn run_scores(snapshot: &Arc<Snapshot>, queries: &[JraQuery], pruning: PruningPo
     batch.run().into_iter().map(|r| r.expect("feasible")[0].score).collect()
 }
 
-fn bench_updates_vs_rebuild(c: &mut Criterion) {
+fn bench_updates_vs_rebuild(c: &mut Criterion, report: &mut BenchReport) {
     let (store, mut rng) = build_store(7);
     let base = store.snapshot();
     let new_paper = sparse_vectors(1, T, PAPER_NNZ, &mut rng).pop().unwrap();
@@ -144,8 +158,7 @@ fn bench_updates_vs_rebuild(c: &mut Criterion) {
     // Measured summary: per-update apply latency vs a full rebuild of the
     // same final instance.
     for (label, update) in &updates {
-        let mut scratch =
-            VersionedStore::new(base.instance().clone(), Scoring::WeightedCoverage, 7);
+        let scratch = VersionedStore::new(base.instance().clone(), Scoring::WeightedCoverage, 7);
         let start = Instant::now();
         scratch.apply(std::slice::from_ref(update)).expect("applies");
         let apply_t = start.elapsed();
@@ -159,6 +172,9 @@ fn bench_updates_vs_rebuild(c: &mut Criterion) {
              {rebuild_t:<12.2?} ({:.1}x)",
             rebuild_t.as_secs_f64() / apply_t.as_secs_f64()
         );
+        let params = [("papers", P as f64), ("reviewers", R as f64), ("topics", T as f64)];
+        report.record(&format!("update_apply_{label}"), &params, &[apply_t], None);
+        report.record(&format!("update_rebuild_after_{label}"), &params, &[rebuild_t], None);
     }
 
     let mut group = c.benchmark_group("service_update_p5000_r10000");
@@ -167,7 +183,7 @@ fn bench_updates_vs_rebuild(c: &mut Criterion) {
         let update = update.clone();
         let base_inst = base.instance().clone();
         group.bench_function(format!("apply_{label}"), |b| {
-            let mut store = VersionedStore::new(base_inst.clone(), Scoring::WeightedCoverage, 7);
+            let store = VersionedStore::new(base_inst.clone(), Scoring::WeightedCoverage, 7);
             b.iter(|| {
                 black_box(store.apply(std::slice::from_ref(&update)).expect("applies"));
             })
@@ -180,5 +196,53 @@ fn bench_updates_vs_rebuild(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_batched_jra, bench_updates_vs_rebuild);
-criterion_main!(benches);
+/// The per-epoch result cache: cold solve vs cache hit on the same
+/// canonical request, through the typed `Service::execute` entry point.
+fn bench_result_cache(report: &mut BenchReport) {
+    use wgrap_service::api::{JraSpec, PaperRef, Service, SolveRequest};
+    let mut rng = StdRng::seed_from_u64(99);
+    let papers = sparse_vectors(P, T, PAPER_NNZ, &mut rng);
+    let reviewers = sparse_vectors(R, T, REVIEWER_NNZ, &mut rng);
+    let delta_r = Instance::minimal_delta_r(P, R, DELTA_P) + 2;
+    let inst = Instance::new(papers, reviewers, DELTA_P, delta_r).expect("valid bench instance");
+    let service = Service::new(inst, Scoring::WeightedCoverage, 99);
+    let query = sparse_vectors(1, T, PAPER_NNZ, &mut rng).pop().unwrap();
+    let request = SolveRequest::Jra(JraSpec {
+        pruning: Some(PruningPolicy::Auto),
+        ..JraSpec::new(PaperRef::Adhoc(query))
+    });
+    let params = [("papers", P as f64), ("reviewers", R as f64), ("topics", T as f64)];
+
+    let start = Instant::now();
+    let cold = service.execute(&request).expect("solves");
+    let cold_t = start.elapsed();
+    assert!(!cold.diag.cache.is_hit());
+    report.record("cache_cold_single_query", &params, &[cold_t], None);
+
+    const HITS: usize = 1_000;
+    let start = Instant::now();
+    for _ in 0..HITS {
+        let warm = service.execute(&request).expect("solves");
+        assert!(warm.diag.cache.is_hit());
+    }
+    let hit_t = start.elapsed() / HITS as u32;
+    let hit_qps = 1.0 / hit_t.as_secs_f64();
+    println!(
+        "service_cache_p{P}_r{R}_t{T}: cold {cold_t:.2?} vs hit {hit_t:.2?} \
+         ({hit_qps:.0} q/s from cache, {:.0}x)",
+        cold_t.as_secs_f64() / hit_t.as_secs_f64()
+    );
+    report.record("cache_hit_single_query", &params, &[hit_t], Some(hit_qps));
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    let mut report = BenchReport::new("service");
+    bench_batched_jra(&mut c, &mut report);
+    bench_updates_vs_rebuild(&mut c, &mut report);
+    bench_result_cache(&mut report);
+    match report.write() {
+        Ok(path) => println!("bench records -> {}", path.display()),
+        Err(e) => eprintln!("could not write bench records: {e}"),
+    }
+}

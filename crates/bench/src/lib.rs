@@ -20,5 +20,6 @@ pub mod cases;
 pub mod jra;
 pub mod quality;
 pub mod refinement;
+pub mod report;
 pub mod scoring_exp;
 pub mod util;

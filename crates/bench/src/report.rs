@@ -1,0 +1,89 @@
+//! Machine-readable benchmark results: `BENCH_<name>.json` at the
+//! workspace root, so the perf trajectory is tracked across PRs instead of
+//! living only in scrollback.
+//!
+//! Each record is `{name, params, samples, median_ns, throughput_per_s?}`:
+//! the median is computed here over however many timing samples the bench
+//! took (expensive kernels report a single sample — the `samples` field
+//! says so). The file is rewritten wholesale on every bench run; diffing
+//! two commits' files is the intended workflow.
+
+use std::path::PathBuf;
+use std::time::Duration;
+use wgrap_service::json::Json;
+
+/// Accumulates records for one bench binary and writes them as
+/// `BENCH_<name>.json` at the workspace root.
+#[derive(Debug)]
+pub struct BenchReport {
+    bench: &'static str,
+    records: Vec<Json>,
+}
+
+impl BenchReport {
+    /// A report for the bench binary `bench` (the file name suffix).
+    pub fn new(bench: &'static str) -> Self {
+        Self { bench, records: Vec::new() }
+    }
+
+    /// Record one measurement. `params` are the workload knobs (sizes,
+    /// batch widths, k); `samples` are raw wall-clock timings (must be
+    /// non-empty — the median is taken here); `throughput` is an optional
+    /// items-per-second figure for rate-style measurements.
+    pub fn record(
+        &mut self,
+        name: &str,
+        params: &[(&'static str, f64)],
+        samples: &[Duration],
+        throughput: Option<f64>,
+    ) {
+        assert!(!samples.is_empty(), "record '{name}' needs at least one sample");
+        let mut sorted = samples.to_vec();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let mut members = vec![
+            ("name", Json::Str(name.into())),
+            ("params", Json::obj(params.iter().map(|&(k, v)| (k, Json::Num(v))))),
+            ("samples", Json::Num(samples.len() as f64)),
+            ("median_ns", Json::Num(median.as_nanos() as f64)),
+        ];
+        if let Some(t) = throughput {
+            members.push(("throughput_per_s", Json::Num(t)));
+        }
+        self.records.push(Json::obj(members));
+    }
+
+    /// Write `BENCH_<bench>.json` at the workspace root and return its
+    /// path. Call once, after all records are in.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(format!("BENCH_{}.json", self.bench));
+        let doc = Json::obj([
+            ("bench", Json::Str(self.bench.into())),
+            ("records", Json::Arr(self.records.clone())),
+        ]);
+        std::fs::write(&path, format!("{doc}\n"))?;
+        Ok(path.canonicalize().unwrap_or(path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_shape() {
+        let mut report = BenchReport::new("test-shape");
+        report.record(
+            "k1",
+            &[("n", 5.0)],
+            &[Duration::from_nanos(30), Duration::from_nanos(10), Duration::from_nanos(20)],
+            Some(1.5),
+        );
+        let doc = format!("{}", Json::obj([("records", Json::Arr(report.records.clone()))]));
+        assert!(doc.contains("\"median_ns\":20"), "{doc}");
+        assert!(doc.contains("\"throughput_per_s\":1.5"), "{doc}");
+        assert!(doc.contains("\"params\":{\"n\":5}"), "{doc}");
+    }
+}

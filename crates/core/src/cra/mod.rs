@@ -98,6 +98,14 @@ impl CraAlgorithm {
     /// ([`PruningPolicy::Auto`](crate::engine::PruningPolicy::Auto) is
     /// certified bit-identical to the default dense run; `TopK` trades
     /// bounded loss for sparse score state).
+    ///
+    /// Thin shim kept for source compatibility; the typed request layer
+    /// subsumes it.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use self.solver_with(pruning).solve(&ScoreContext::new(inst, scoring)\
+                .with_seed(seed)) — or route through wgrap_service::api::SolveRequest"
+    )]
     pub fn run_pruned(
         self,
         inst: &Instance,

@@ -86,6 +86,18 @@ impl PruningPolicy {
     }
 }
 
+impl std::fmt::Display for PruningPolicy {
+    /// The canonical spelling [`FromStr`](std::str::FromStr) round-trips:
+    /// `exact`, `auto`, `topk:K`. Request keys and wire responses use this.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PruningPolicy::Exact => f.write_str("exact"),
+            PruningPolicy::Auto => f.write_str("auto"),
+            PruningPolicy::TopK(k) => write!(f, "topk:{k}"),
+        }
+    }
+}
+
 impl std::str::FromStr for PruningPolicy {
     type Err = String;
 

@@ -35,6 +35,13 @@
 //!   runs are bit-identical.
 //! * [`Solver`] — the uniform dispatch surface: every CRA baseline, SDGA(-SRA)
 //!   and the exact JRA branch-and-bound run as `solver.solve(&ctx)`.
+//! * [`spec`] — the **one** solver-label registry ([`spec::METHOD_REGISTRY`])
+//!   behind [`spec::method_by_label`], the CLI's `--method` and the serve
+//!   protocol's `"method"` field, with one shared unknown-method message.
+//!   The typed request layer (`wgrap_service::api::SolveRequest`) dispatches
+//!   through [`spec::MethodKind`]; the old per-surface lookups
+//!   (`solver_by_label`, `CraAlgorithm::run_pruned`) survive as deprecated
+//!   shims.
 //!
 //! [`ScoreContext`] storage is a `Cow`: solvers normally borrow an
 //! [`Instance`](crate::problem::Instance) (zero-copy one-shot solves),
@@ -60,13 +67,17 @@ mod context;
 mod gain;
 pub mod par;
 mod solver;
+pub mod spec;
 
 pub use candidates::{
     reviewer_topic_index, truncate_row, CandidateSet, CoverageStats, PruningPolicy,
 };
 pub use context::{JraView, PairMatrix, ScoreContext};
 pub use gain::{group_score_view, GainProvider, GainTable, LegacyGains, PaperGain};
+#[allow(deprecated)]
+pub use solver::solver_by_label;
 pub use solver::{
-    solver_by_label, BrggSolver, GreedySolver, IlpSolver, JraBbaSolver, SdgaSolver, SdgaSraSolver,
-    Solver, StableMatchingSolver,
+    BrggSolver, GreedySolver, IlpSolver, JraBbaSolver, SdgaSolver, SdgaSraSolver, Solver,
+    StableMatchingSolver,
 };
+pub use spec::{method_by_label, method_labels, MethodEntry, MethodKind, METHOD_REGISTRY};

@@ -198,16 +198,14 @@ impl CraAlgorithm {
 
 /// Look a solver up by its paper label (`"SM"`, `"ILP"`, `"BRGG"`,
 /// `"Greedy"`, `"SDGA"`, `"SDGA-SRA"`, `"BBA"`), case-insensitively.
+///
+/// Thin shim over the one [`spec::METHOD_REGISTRY`](super::spec) table; kept
+/// for source compatibility only.
+#[deprecated(
+    since = "0.1.0",
+    note = "use engine::spec::method_by_label(label)?.solver_with(pruning) — or route \
+            through wgrap_service::api::SolveRequest, the one typed entry point"
+)]
 pub fn solver_by_label(label: &str) -> Option<Box<dyn Solver>> {
-    let l = label.to_ascii_lowercase();
-    Some(match l.as_str() {
-        "sm" | "stable-matching" => Box::new(StableMatchingSolver),
-        "ilp" => Box::new(IlpSolver),
-        "brgg" => Box::new(BrggSolver::default()),
-        "greedy" => Box::new(GreedySolver::default()),
-        "sdga" => Box::new(SdgaSolver::default()),
-        "sdga-sra" => Box::new(SdgaSraSolver::default()),
-        "bba" => Box::new(JraBbaSolver::default()),
-        _ => return None,
-    })
+    super::spec::method_by_label(label).ok().map(|k| k.solver_with(PruningPolicy::Exact))
 }

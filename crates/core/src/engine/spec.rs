@@ -1,0 +1,155 @@
+//! The solver-label registry: **one** table mapping wire/CLI labels to
+//! solvers, shared by every entry point.
+//!
+//! Before this module, three copies of the label → solver mapping could
+//! drift apart: [`solver_by_label`](super::solver_by_label), the CLI's
+//! `--method` parser, and `wgrap serve`'s `"method"` field each re-encoded
+//! the same names with their own error messages. [`METHOD_REGISTRY`] is now
+//! the single source of truth; [`method_by_label`] is the one lookup, and
+//! its error message — listing every valid label — is shared verbatim by
+//! all three surfaces.
+//!
+//! [`MethodKind`] widens [`CraAlgorithm`] by the exact JRA branch-and-bound
+//! (`"bba"`), so a journal query and a conference run dispatch through the
+//! same vocabulary. The typed request layer (`wgrap_service::api`) builds
+//! on exactly this: a `SolveRequest`'s `method` field is a `MethodKind`.
+
+use super::candidates::PruningPolicy;
+use super::solver::{JraBbaSolver, Solver};
+use crate::cra::CraAlgorithm;
+use crate::error::Error;
+
+/// A solver selectable by label: one of the six §5.2 CRA methods, or the
+/// exact JRA branch-and-bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodKind {
+    /// A conference (all-papers) assignment method.
+    Cra(CraAlgorithm),
+    /// The exact single-paper branch-and-bound (Algorithm 1).
+    JraBba,
+}
+
+impl MethodKind {
+    /// The canonical label (the paper's table name; `"BBA"` for the JRA
+    /// solver).
+    pub fn label(self) -> &'static str {
+        match self {
+            MethodKind::Cra(a) => a.label(),
+            MethodKind::JraBba => "BBA",
+        }
+    }
+
+    /// The engine solver implementing this method under a candidate
+    /// pruning policy.
+    pub fn solver_with(self, pruning: PruningPolicy) -> Box<dyn Solver> {
+        match self {
+            MethodKind::Cra(a) => a.solver_with(pruning),
+            MethodKind::JraBba => Box::new(JraBbaSolver { pruning }),
+        }
+    }
+}
+
+/// One row of the registry: a method, its canonical label, and accepted
+/// aliases. Lookups are case-insensitive over both.
+#[derive(Debug, Clone, Copy)]
+pub struct MethodEntry {
+    /// The method this row names.
+    pub kind: MethodKind,
+    /// Canonical label (also what [`MethodKind::label`] returns).
+    pub label: &'static str,
+    /// Additional accepted spellings.
+    pub aliases: &'static [&'static str],
+}
+
+/// The one label → solver table. Every consumer — [`method_by_label`], the
+/// CLI's `--method`, `wgrap serve`'s `"method"` field and the deprecated
+/// [`solver_by_label`](super::solver_by_label) shim — reads this table, so
+/// adding a method here is the complete wiring job.
+pub const METHOD_REGISTRY: &[MethodEntry] = &[
+    MethodEntry {
+        kind: MethodKind::Cra(CraAlgorithm::StableMatching),
+        label: "SM",
+        aliases: &["stable-matching"],
+    },
+    MethodEntry { kind: MethodKind::Cra(CraAlgorithm::ArapIlp), label: "ILP", aliases: &[] },
+    MethodEntry { kind: MethodKind::Cra(CraAlgorithm::Brgg), label: "BRGG", aliases: &[] },
+    MethodEntry { kind: MethodKind::Cra(CraAlgorithm::Greedy), label: "Greedy", aliases: &[] },
+    MethodEntry { kind: MethodKind::Cra(CraAlgorithm::Sdga), label: "SDGA", aliases: &[] },
+    MethodEntry { kind: MethodKind::Cra(CraAlgorithm::SdgaSra), label: "SDGA-SRA", aliases: &[] },
+    MethodEntry { kind: MethodKind::JraBba, label: "BBA", aliases: &[] },
+];
+
+/// Comma-separated canonical labels (lowercase), for error messages and
+/// usage strings: `"sm, ilp, brgg, greedy, sdga, sdga-sra, bba"`.
+pub fn method_labels() -> String {
+    METHOD_REGISTRY.iter().map(|e| e.label.to_ascii_lowercase()).collect::<Vec<_>>().join(", ")
+}
+
+/// Look a method up by label or alias, case-insensitively. The `Err` is
+/// **the** shared unknown-method message (it lists every valid label) —
+/// CLI, serve and library callers all surface this exact text.
+pub fn method_by_label(label: &str) -> Result<MethodKind, Error> {
+    METHOD_REGISTRY
+        .iter()
+        .find(|e| {
+            e.label.eq_ignore_ascii_case(label)
+                || e.aliases.iter().any(|a| a.eq_ignore_ascii_case(label))
+        })
+        .map(|e| e.kind)
+        .ok_or_else(|| {
+            Error::InvalidInstance(format!("unknown method '{label}' (valid: {})", method_labels()))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_cra_algorithm_is_registered_once() {
+        for algo in CraAlgorithm::ALL {
+            let hits = METHOD_REGISTRY.iter().filter(|e| e.kind == MethodKind::Cra(algo)).count();
+            assert_eq!(hits, 1, "{algo:?} must appear exactly once");
+            assert_eq!(method_by_label(algo.label()).unwrap(), MethodKind::Cra(algo));
+        }
+        assert_eq!(method_by_label("bba").unwrap(), MethodKind::JraBba);
+    }
+
+    #[test]
+    fn labels_are_unique_case_insensitively() {
+        let mut seen: Vec<String> = Vec::new();
+        for e in METHOD_REGISTRY {
+            for name in std::iter::once(&e.label).chain(e.aliases) {
+                let l = name.to_ascii_lowercase();
+                assert!(!seen.contains(&l), "duplicate label '{l}'");
+                seen.push(l);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive_and_alias_aware() {
+        assert_eq!(method_by_label("sdga-SRA").unwrap().label(), "SDGA-SRA");
+        assert_eq!(
+            method_by_label("Stable-Matching").unwrap(),
+            MethodKind::Cra(CraAlgorithm::StableMatching)
+        );
+    }
+
+    #[test]
+    fn unknown_method_error_lists_all_labels() {
+        let err = method_by_label("simplex").unwrap_err().to_string();
+        assert!(err.contains("unknown method 'simplex'"), "{err}");
+        for e in METHOD_REGISTRY {
+            assert!(err.contains(&e.label.to_ascii_lowercase()), "{err} missing {}", e.label);
+        }
+    }
+
+    #[test]
+    fn solver_with_dispatches_every_kind() {
+        for e in METHOD_REGISTRY {
+            let solver = e.kind.solver_with(PruningPolicy::Exact);
+            assert_eq!(solver.name(), e.kind.label());
+        }
+    }
+}

@@ -38,6 +38,29 @@ impl Scoring {
         Scoring::DotProduct,
     ];
 
+    /// The stable wire/CLI label (`"weighted"`, `"reviewer"`, `"paper"`,
+    /// `"dot"`) — the one vocabulary `--scoring`, `wgrap serve` responses
+    /// and request keys share.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scoring::WeightedCoverage => "weighted",
+            Scoring::ReviewerCoverage => "reviewer",
+            Scoring::PaperCoverage => "paper",
+            Scoring::DotProduct => "dot",
+        }
+    }
+
+    /// Look a scoring up by its [`label`](Scoring::label). The `Err` is the
+    /// shared unknown-scoring message listing every valid label.
+    pub fn by_label(label: &str) -> Result<Scoring, crate::error::Error> {
+        Scoring::ALL.into_iter().find(|s| s.label() == label).ok_or_else(|| {
+            crate::error::Error::InvalidInstance(format!(
+                "unknown scoring '{label}' (valid: {})",
+                Scoring::ALL.map(Scoring::label).join(", ")
+            ))
+        })
+    }
+
     /// Does a zero paper weight force a zero contribution, `f(e, 0) = 0`?
     ///
     /// When true, the engine may skip a paper's zero-weight topics entirely

@@ -313,6 +313,18 @@ mod pruning_equivalence {
     use wgrap_core::jra::bba;
     use wgrap_core::prelude::*;
 
+    /// The non-deprecated spelling of the old `run_pruned` shim: solver
+    /// dispatch through the engine under a pruning policy.
+    fn run_pruned(
+        algo: CraAlgorithm,
+        inst: &Instance,
+        scoring: Scoring,
+        seed: u64,
+        pruning: PruningPolicy,
+    ) -> wgrap_core::error::Result<wgrap_core::assignment::Assignment> {
+        algo.solver_with(pruning).solve(&ScoreContext::new(inst, scoring).with_seed(seed))
+    }
+
     /// Aggressively sparse vectors so candidate lists genuinely exclude
     /// reviewers and greedy hits the zero-gain spill.
     fn sparse_topic_vector(dim: usize) -> impl Strategy<Value = TopicVector> {
@@ -367,7 +379,7 @@ mod pruning_equivalence {
             for scoring in Scoring::ALL {
                 for algo in CraAlgorithm::ALL {
                     let dense = algo.run(&inst, scoring, seed);
-                    let auto = algo.run_pruned(&inst, scoring, seed, PruningPolicy::Auto);
+                    let auto = run_pruned(algo, &inst, scoring, seed, PruningPolicy::Auto);
                     match (dense, auto) {
                         (Ok(d), Ok(a)) => prop_assert_eq!(
                             &d, &a,
@@ -390,8 +402,8 @@ mod pruning_equivalence {
         fn huge_topk_greedy_is_exact((inst, seed) in instance_strategy(5)) {
             for scoring in Scoring::ALL {
                 let dense = CraAlgorithm::Greedy.run(&inst, scoring, seed);
-                let topk = CraAlgorithm::Greedy.run_pruned(
-                    &inst, scoring, seed, PruningPolicy::TopK(1_000));
+                let topk = run_pruned(
+                    CraAlgorithm::Greedy, &inst, scoring, seed, PruningPolicy::TopK(1_000));
                 match (dense, topk) {
                     (Ok(d), Ok(t)) => prop_assert_eq!(&d, &t, "{:?}", scoring),
                     (Err(_), Err(_)) => {}
@@ -405,8 +417,8 @@ mod pruning_equivalence {
         #[test]
         fn small_topk_stays_feasible((inst, seed) in instance_strategy(4)) {
             for algo in CraAlgorithm::ALL {
-                if let Ok(a) = algo.run_pruned(
-                    &inst, Scoring::WeightedCoverage, seed, PruningPolicy::TopK(2)) {
+                if let Ok(a) = run_pruned(
+                    algo, &inst, Scoring::WeightedCoverage, seed, PruningPolicy::TopK(2)) {
                     prop_assert!(a.validate(&inst).is_ok(), "{:?}", algo);
                 }
             }

@@ -1,0 +1,1100 @@
+//! The typed Request/Plan/Outcome API: **one entry point** from the CLI to
+//! `wgrap serve`.
+//!
+//! Every consumer of the engine used to re-encode the same knobs (method,
+//! scoring, pruning, seed, per-query overrides) through its own entry
+//! point — `CraAlgorithm::solver_with`/`run_pruned`, `solver_by_label`, the
+//! CLI flag table, `serve`'s stringly `match op` — each with its own
+//! validation and defaults. This module replaces all of them with one
+//! three-stage pipeline:
+//!
+//! 1. **[`SolveRequest`]** — the typed request: a CRA run, a single JRA
+//!    query, a JRA batch, an update batch, or a stats probe, with
+//!    per-request overrides. Requests are plain values: build them from
+//!    CLI flags, NDJSON fields, or library code, identically.
+//! 2. **[`Service::plan`]** — admission + canonicalization: the request is
+//!    admitted at the store's current epoch (an `Arc<Snapshot>` clone —
+//!    never blocked by an in-flight update build) and canonicalized into a
+//!    stable, hashable [`RequestKey`]: names resolve to ids, excludes sort
+//!    and dedup, defaulted knobs resolve to their effective values. Two
+//!    semantically equal requests — however spelled — get **identical**
+//!    keys (proptested).
+//! 3. **[`Service::execute`]** — the [`Plan`] runs against its admitted
+//!    snapshot and returns an [`Outcome`]: the answer plus structured
+//!    [`Diagnostics`] (epoch, cache hit/miss, plan/exec timings, candidate
+//!    support stats, `TopK` stage-loss bound).
+//!
+//! # The per-epoch result cache
+//!
+//! Solves are deterministic functions of `(snapshot, canonical request)`,
+//! so the service memoizes them: a [`RequestKey`] that was answered at the
+//! current epoch is served from the cache, **bit-identical** to a cold
+//! solve (proptested across all four scorings — the cache stores the
+//! actual result values, and publishes invalidate it wholesale). CRA
+//! answers and individual JRA queries are cached — a batch probes per
+//! query, so a repeated query hits even when the surrounding batch differs.
+//! [`Service::cache_counters`] (surfaced by the `stats` op) reports
+//! size/hit/miss.
+//!
+//! ```
+//! use wgrap_core::prelude::*;
+//! use wgrap_core::topic::TopicVector;
+//! use wgrap_service::api::{Answer, PaperRef, Service, SolveRequest};
+//!
+//! let inst = Instance::new(
+//!     vec![TopicVector::new(vec![0.6, 0.4])],
+//!     vec![TopicVector::new(vec![0.9, 0.1]), TopicVector::new(vec![0.2, 0.8])],
+//!     1,
+//!     2,
+//! )?;
+//! let service = Service::new(inst, Scoring::WeightedCoverage, 42);
+//! let request = SolveRequest::jra(PaperRef::Adhoc(TopicVector::new(vec![0.1, 0.9])));
+//! let outcome = service.execute(&request)?;
+//! let Answer::Jra(answers) = &outcome.answer else { unreachable!() };
+//! assert_eq!(answers[0].as_ref().unwrap().results[0].group, vec![1]);
+//! // The same request again is a cache hit — bit-identical by contract.
+//! let again = service.execute(&request)?;
+//! assert!(again.diag.cache.is_hit());
+//! # Ok::<(), wgrap_core::error::Error>(())
+//! ```
+
+use crate::batch::{JraBatch, JraQuery, QueryPaper};
+use crate::store::{Snapshot, StoreStats, Update, VersionedStore};
+use crate::Result;
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use wgrap_core::engine::candidates::CoverageStats;
+use wgrap_core::engine::spec::MethodKind;
+use wgrap_core::engine::{truncate_row, PruningPolicy};
+use wgrap_core::jra::JraResult;
+use wgrap_core::prelude::{Assignment, CraAlgorithm, Instance, Scoring};
+use wgrap_core::topic::TopicVector;
+
+/// Service-level defaults (the CLI's knobs): what a request that does not
+/// override them resolves against during planning.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Default candidate pruning for CRA and JRA solves.
+    pub pruning: PruningPolicy,
+    /// Default method for CRA solves.
+    pub method: MethodKind,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self { pruning: PruningPolicy::default(), method: MethodKind::Cra(CraAlgorithm::SdgaSra) }
+    }
+}
+
+/// How a JRA request names its paper. Names and ids resolve against the
+/// admitted snapshot during planning; ad-hoc vectors are the classic
+/// journal query (a fresh submission against the standing pool).
+#[derive(Debug, Clone)]
+pub enum PaperRef {
+    /// A stored paper by id (its COI mask applies).
+    Id(usize),
+    /// A stored paper by display name (resolved to an id at plan time).
+    Name(String),
+    /// A paper not in the instance.
+    Adhoc(TopicVector),
+}
+
+/// One typed JRA query (the `jra` op, or one entry of a `batch`).
+#[derive(Debug, Clone)]
+pub struct JraSpec {
+    /// The paper to find reviewers for.
+    pub paper: PaperRef,
+    /// Group size override (default: the instance's `δp`).
+    pub delta_p: Option<usize>,
+    /// Number of best groups to return.
+    pub top_k: usize,
+    /// Extra conflicted reviewer ids (order and duplicates are
+    /// canonicalized away).
+    pub exclude: Vec<u32>,
+    /// Per-query pruning override (default: the service's).
+    pub pruning: Option<PruningPolicy>,
+}
+
+impl JraSpec {
+    /// A query with every knob defaulted.
+    pub fn new(paper: PaperRef) -> Self {
+        Self { paper, delta_p: None, top_k: 1, exclude: Vec::new(), pruning: None }
+    }
+}
+
+/// The one typed request every entry point builds: CLI subcommands, both
+/// NDJSON protocol versions, benches and examples all plan and execute
+/// exactly this.
+#[derive(Debug, Clone)]
+pub enum SolveRequest {
+    /// A full conference assignment at the admitted epoch.
+    Cra {
+        /// Method override (default: the service's).
+        method: Option<MethodKind>,
+        /// Pruning override (default: the service's).
+        pruning: Option<PruningPolicy>,
+        /// Seed override for stochastic refinement (default: the store's).
+        seed: Option<u64>,
+    },
+    /// One JRA query.
+    Jra(JraSpec),
+    /// Many JRA queries admitted at one epoch, answered positionally.
+    JraBatch(Vec<JraSpec>),
+    /// An atomic update batch (publishes `epoch + 1`).
+    Update(Vec<Update>),
+    /// Instance + cache + store statistics at the admitted epoch.
+    Stats,
+}
+
+impl SolveRequest {
+    /// A CRA request with every knob defaulted.
+    pub fn cra() -> Self {
+        SolveRequest::Cra { method: None, pruning: None, seed: None }
+    }
+
+    /// A single-query JRA request with every knob defaulted.
+    pub fn jra(paper: PaperRef) -> Self {
+        SolveRequest::Jra(JraSpec::new(paper))
+    }
+}
+
+/// The canonical identity of a solve: stable across semantically equal
+/// spellings (reordered/duplicated excludes, defaulted vs explicit knobs,
+/// paper named vs paper id), distinct whenever any effective knob differs.
+/// Hashable — this is the result-cache key — and `Display`s as a compact
+/// diagnostic string (`jra|s=weighted|seed=42|prune=auto|p=#3|dp=2|k=1|ex=`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestKey(String);
+
+impl RequestKey {
+    /// The canonical string form.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for RequestKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A canonicalized, admitted JRA query, ready to execute.
+#[derive(Debug, Clone)]
+pub struct PlannedQuery {
+    /// The query's own cache key (batches probe per query).
+    pub key: RequestKey,
+    /// The resolved executor form (name → id, defaults filled, excludes
+    /// canonical, effective pruning pinned).
+    pub query: JraQuery,
+    /// Upper bound on the objective loss `TopK` truncation can cause for
+    /// this query (`0.0` when nothing was truncated; `None` for stored
+    /// papers only under `Exact`/`Auto`, and for ad-hoc papers, where the
+    /// pool is not known until execution).
+    pub loss_bound: Option<f64>,
+}
+
+/// What [`Service::plan`] resolved a request into.
+#[derive(Debug)]
+pub enum PlanAction {
+    /// Run a full assignment.
+    Cra {
+        /// The resolved method.
+        method: MethodKind,
+        /// The resolved pruning policy.
+        pruning: PruningPolicy,
+        /// The resolved seed.
+        seed: u64,
+    },
+    /// Run JRA queries (one per entry, positionally). Entries that failed
+    /// canonicalization (unknown paper name) carry their error and fail
+    /// independently.
+    Jra {
+        /// Per-entry planned queries or canonicalization errors.
+        queries: Vec<std::result::Result<PlannedQuery, String>>,
+        /// Was this a `JraBatch` request (affects only response shape)?
+        batched: bool,
+    },
+    /// Apply an update batch.
+    Update(Vec<Update>),
+    /// Report statistics.
+    Stats,
+}
+
+/// An admitted, canonicalized request: the epoch is pinned (solves run
+/// lock-free on the snapshot even while updates build), the effective
+/// knobs are resolved, and the [`RequestKey`] identifies the work.
+#[derive(Debug)]
+pub struct Plan {
+    /// The request's canonical identity (`None` for `Update`/`Stats`,
+    /// which are not cacheable).
+    pub key: Option<RequestKey>,
+    /// The snapshot the request was admitted at.
+    pub snapshot: Arc<Snapshot>,
+    /// The resolved action.
+    pub action: PlanAction,
+    /// Wall time spent planning (admission + canonicalization).
+    pub plan_time: Duration,
+}
+
+impl Plan {
+    /// The epoch this plan was admitted at.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot.epoch()
+    }
+}
+
+/// Did the result cache answer this solve?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Served from the per-epoch cache (bit-identical to a cold solve).
+    Hit,
+    /// Solved cold (and stored for the next identical request).
+    Miss,
+    /// Not a cacheable request (updates, stats, mixed batches).
+    Uncacheable,
+}
+
+impl CacheStatus {
+    /// Is this a hit?
+    pub fn is_hit(self) -> bool {
+        matches!(self, CacheStatus::Hit)
+    }
+
+    /// The wire label (`"hit"` / `"miss"` / `"uncacheable"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+            CacheStatus::Uncacheable => "uncacheable",
+        }
+    }
+}
+
+/// Structured diagnostics every [`Outcome`] carries.
+#[derive(Debug, Clone)]
+pub struct Diagnostics {
+    /// The epoch the request was admitted (for updates: published) at.
+    pub epoch: u64,
+    /// The request's canonical identity, when it has one.
+    pub key: Option<RequestKey>,
+    /// Cache disposition for the request as a whole (a batch is `Hit` only
+    /// if every entry hit).
+    pub cache: CacheStatus,
+    /// Wall time spent planning (admission + canonicalization).
+    pub plan_time: Duration,
+    /// Wall time spent executing (zero-ish on a pure cache hit).
+    pub exec_time: Duration,
+    /// Per-paper candidate-support stats of the admitted snapshot.
+    pub support: Option<CoverageStats>,
+    /// Upper bound on the objective loss `TopK` pruning can cause for this
+    /// request (`None` under `Exact`/`Auto`, or when no bound is known
+    /// pre-execution).
+    pub loss_bound: Option<f64>,
+}
+
+/// One JRA query's answer, with its own cache disposition.
+#[derive(Debug, Clone)]
+pub struct JraAnswer {
+    /// The best group(s), best first.
+    pub results: Vec<JraResult>,
+    /// Whether this particular query hit the cache.
+    pub cache: CacheStatus,
+    /// This query's canonical identity.
+    pub key: RequestKey,
+}
+
+/// A CRA run's answer.
+#[derive(Debug, Clone)]
+pub struct CraAnswer {
+    /// The method that ran.
+    pub method: MethodKind,
+    /// The complete assignment (validated).
+    pub assignment: Assignment,
+    /// Its coverage under the store's scoring.
+    pub coverage: f64,
+}
+
+/// An update batch's answer.
+#[derive(Debug, Clone, Copy)]
+pub struct UpdateAnswer {
+    /// Updates applied.
+    pub applied: usize,
+    /// Papers after the batch.
+    pub papers: usize,
+    /// Reviewers after the batch.
+    pub reviewers: usize,
+    /// How long the copy-on-write build took (off the read path).
+    pub build_time: Duration,
+}
+
+/// Result-cache counters ([`Service::cache_counters`], the `stats` op).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Entries cached at the current epoch.
+    pub size: usize,
+    /// Lifetime cache hits.
+    pub hits: u64,
+    /// Lifetime cache misses (cacheable requests that solved cold).
+    pub misses: u64,
+}
+
+/// The `stats` answer: instance shape plus cache and store accounting.
+#[derive(Debug, Clone)]
+pub struct StatsAnswer {
+    /// Papers in the admitted snapshot.
+    pub papers: usize,
+    /// Reviewers in the admitted snapshot.
+    pub reviewers: usize,
+    /// Topic dimension.
+    pub topics: usize,
+    /// Reviewers per paper.
+    pub delta_p: usize,
+    /// Papers per reviewer.
+    pub delta_r: usize,
+    /// The store's scoring function.
+    pub scoring: Scoring,
+    /// Per-paper candidate support.
+    pub support: Option<CoverageStats>,
+    /// Result-cache counters.
+    pub cache: CacheCounters,
+    /// Store write-path accounting (build vs publish).
+    pub store: StoreStats,
+}
+
+/// The answer payload of an [`Outcome`].
+#[derive(Debug, Clone)]
+pub enum Answer {
+    /// A CRA run.
+    Cra(CraAnswer),
+    /// JRA answers, positional with the request's queries; entries fail
+    /// independently (the `String` is the per-entry error message).
+    Jra(Vec<std::result::Result<JraAnswer, String>>),
+    /// An applied update batch.
+    Update(UpdateAnswer),
+    /// A statistics probe.
+    Stats(StatsAnswer),
+}
+
+/// What a request executed into: the answer plus diagnostics.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The answer payload.
+    pub answer: Answer,
+    /// Epoch, cache disposition, timings, support stats, loss bound.
+    pub diag: Diagnostics,
+}
+
+/// What the per-epoch cache stores: the actual result values, so a hit is
+/// bit-identical to the solve that populated it.
+#[derive(Debug, Clone)]
+enum CachedAnswer {
+    Jra(Vec<JraResult>),
+    Cra { method: MethodKind, assignment: Assignment, coverage: f64, loss_bound: Option<f64> },
+}
+
+#[derive(Debug, Default)]
+struct ResultCache {
+    /// The epoch every entry (and the memoized `support`) belongs to.
+    /// Advances monotonically — see [`ResultCache::roll_to`].
+    epoch: u64,
+    entries: HashMap<RequestKey, CachedAnswer>,
+    /// Memoized per-epoch candidate-support stats: identical for every
+    /// request admitted at one epoch, so computed (an `O(P log P)` sort)
+    /// at most once per epoch instead of per request.
+    support: Option<Option<CoverageStats>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResultCache {
+    /// Advance to a newer epoch, dropping everything the old one cached.
+    /// Never regresses: a straggler request admitted at an older epoch
+    /// must not wipe entries the *current* epoch already paid to solve.
+    fn roll_to(&mut self, epoch: u64) {
+        if epoch > self.epoch {
+            self.entries.clear();
+            self.support = None;
+            self.epoch = epoch;
+        }
+    }
+
+    /// Probe for a cached answer at `epoch`. Counts a hit or miss. A probe
+    /// from an older epoch than the cache holds is always a miss (its
+    /// result will also not be stored): old-epoch answers must never be
+    /// served at a newer epoch, and vice versa.
+    fn probe(&mut self, epoch: u64, key: &RequestKey) -> Option<CachedAnswer> {
+        self.roll_to(epoch);
+        match (epoch == self.epoch).then(|| self.entries.get(key)).flatten() {
+            Some(v) => {
+                self.hits += 1;
+                Some(v.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store a cold result — only if the cache still holds this epoch
+    /// (a publish may have raced the solve; never mix epochs).
+    fn store(&mut self, epoch: u64, key: RequestKey, value: CachedAnswer) {
+        if self.epoch == epoch {
+            self.entries.insert(key, value);
+        }
+    }
+}
+
+/// The service: a [`VersionedStore`] plus the per-epoch result cache and
+/// the request defaults, behind the one typed entry point
+/// ([`plan`](Service::plan) / [`execute`](Service::execute)). Internally
+/// synchronized — share it behind an `Arc` across connections/threads.
+#[derive(Debug)]
+pub struct Service {
+    store: VersionedStore,
+    cache: Mutex<ResultCache>,
+    options: ServeOptions,
+}
+
+impl Service {
+    /// Serve `inst` under `scoring` with default options; `seed` feeds
+    /// stochastic CRA solvers.
+    pub fn new(inst: Instance, scoring: Scoring, seed: u64) -> Self {
+        Self::with_options(inst, scoring, seed, ServeOptions::default())
+    }
+
+    /// [`Service::new`] with explicit request defaults.
+    pub fn with_options(
+        inst: Instance,
+        scoring: Scoring,
+        seed: u64,
+        options: ServeOptions,
+    ) -> Self {
+        Self::from_store(VersionedStore::new(inst, scoring, seed), options)
+    }
+
+    /// Wrap an existing store.
+    pub fn from_store(store: VersionedStore, options: ServeOptions) -> Self {
+        Self { store, cache: Mutex::new(ResultCache::default()), options }
+    }
+
+    /// The underlying versioned store (snapshots, two-phase updates).
+    pub fn store(&self) -> &VersionedStore {
+        &self.store
+    }
+
+    /// The request defaults.
+    pub fn options(&self) -> &ServeOptions {
+        &self.options
+    }
+
+    /// Admit at the current epoch (see [`VersionedStore::snapshot`]).
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.store.snapshot()
+    }
+
+    /// Result-cache counters.
+    pub fn cache_counters(&self) -> CacheCounters {
+        let cache = self.cache.lock().expect("cache lock");
+        CacheCounters { size: cache.entries.len(), hits: cache.hits, misses: cache.misses }
+    }
+
+    /// The snapshot's candidate-support stats, memoized per epoch in the
+    /// result cache (every request at one epoch shares the same stats, so
+    /// the `O(P log P)` computation runs once, not per request — cache
+    /// hits stay microseconds). A straggler snapshot from an older epoch
+    /// computes directly rather than disturb the memo.
+    fn support_stats(&self, epoch: u64, snapshot: &Snapshot) -> Option<CoverageStats> {
+        let mut cache = self.cache.lock().expect("cache lock");
+        cache.roll_to(epoch);
+        if cache.epoch != epoch {
+            drop(cache);
+            return snapshot.candidates().coverage_stats();
+        }
+        *cache.support.get_or_insert_with(|| snapshot.candidates().coverage_stats())
+    }
+
+    /// Stage 2 of the pipeline: admit the request at the current epoch and
+    /// canonicalize it into a [`Plan`]. Planning never solves anything and
+    /// never blocks on an in-flight update build.
+    pub fn plan(&self, request: &SolveRequest) -> Plan {
+        let start = Instant::now();
+        let snapshot = self.store.snapshot();
+        let (key, action) = match request {
+            SolveRequest::Cra { method, pruning, seed } => {
+                let method = method.unwrap_or(self.options.method);
+                let pruning = pruning.unwrap_or(self.options.pruning);
+                let seed = seed.unwrap_or_else(|| snapshot.ctx().seed());
+                let key = RequestKey(format!(
+                    "cra|s={}|seed={seed}|prune={pruning}|m={}",
+                    snapshot.ctx().scoring().label(),
+                    method.label(),
+                ));
+                (Some(key), PlanAction::Cra { method, pruning, seed })
+            }
+            SolveRequest::Jra(spec) => {
+                let planned = self.plan_query(&snapshot, spec);
+                let key = planned.as_ref().ok().map(|p| p.key.clone());
+                (key, PlanAction::Jra { queries: vec![planned], batched: false })
+            }
+            SolveRequest::JraBatch(specs) => {
+                let queries: Vec<_> =
+                    specs.iter().map(|spec| self.plan_query(&snapshot, spec)).collect();
+                // A batch's identity is the ordered tuple of its entries'
+                // identities; any unresolvable entry makes the batch (but
+                // not its resolvable neighbours) uncacheable as a whole.
+                let key = queries
+                    .iter()
+                    .map(|q| q.as_ref().ok().map(|p| p.key.as_str()))
+                    .collect::<Option<Vec<_>>>()
+                    .map(|keys| RequestKey(format!("batch[{}]", keys.join(";"))));
+                (key, PlanAction::Jra { queries, batched: true })
+            }
+            SolveRequest::Update(updates) => (None, PlanAction::Update(updates.clone())),
+            SolveRequest::Stats => (None, PlanAction::Stats),
+        };
+        Plan { key, snapshot, action, plan_time: start.elapsed() }
+    }
+
+    /// Canonicalize one JRA query against the admitted snapshot: resolve
+    /// the paper reference, fill defaults, sort+dedup excludes, pin the
+    /// effective pruning, and derive the query's [`RequestKey`].
+    fn plan_query(
+        &self,
+        snapshot: &Snapshot,
+        spec: &JraSpec,
+    ) -> std::result::Result<PlannedQuery, String> {
+        let inst = snapshot.instance();
+        let (paper, paper_key) = match &spec.paper {
+            PaperRef::Id(p) => (QueryPaper::Stored(*p), format!("#{p}")),
+            PaperRef::Name(name) => {
+                let p = (0..inst.num_papers())
+                    .find(|&p| inst.paper_name(p) == *name)
+                    .ok_or_else(|| format!("unknown paper '{name}'"))?;
+                (QueryPaper::Stored(p), format!("#{p}"))
+            }
+            PaperRef::Adhoc(v) => {
+                // Exact canonical form: the non-zero entries' bit patterns.
+                // Explicit zeros are dropped — adding `±0.0` terms is an
+                // exact no-op in every scoring, so vectors differing only
+                // in zeros solve bit-identically.
+                let mut key = String::from("@");
+                for (t, &w) in v.as_slice().iter().enumerate() {
+                    if w != 0.0 {
+                        let _ = write!(key, "{t}:{:016x},", w.to_bits());
+                    }
+                }
+                (QueryPaper::Adhoc(v.clone()), key)
+            }
+        };
+        let delta_p = spec.delta_p.unwrap_or_else(|| inst.delta_p());
+        let mut exclude = spec.exclude.clone();
+        exclude.sort_unstable();
+        exclude.dedup();
+        let pruning = spec.pruning.unwrap_or(self.options.pruning);
+        // The loss bound is known pre-execution for stored papers: replay
+        // the `TopK` truncation of the paper's candidate row and take the
+        // dropped maximum (the same CELF-style bound `CandidateSet` keeps).
+        let loss_bound = match (&paper, pruning) {
+            (QueryPaper::Stored(p), PruningPolicy::TopK(k)) if *p < inst.num_papers() => {
+                let (ids, scores) = snapshot.candidates().candidates(*p);
+                let mut row: Vec<(u32, f64)> =
+                    ids.iter().copied().zip(scores.iter().copied()).collect();
+                Some(truncate_row(&mut row, k))
+            }
+            _ => None,
+        };
+        let excludes = exclude.iter().map(u32::to_string).collect::<Vec<_>>().join(",");
+        let key = RequestKey(format!(
+            "jra|s={}|seed={}|prune={pruning}|p={paper_key}|dp={delta_p}|k={}|ex={excludes}",
+            snapshot.ctx().scoring().label(),
+            snapshot.ctx().seed(),
+            spec.top_k,
+        ));
+        Ok(PlannedQuery {
+            key,
+            query: JraQuery {
+                paper,
+                delta_p: Some(delta_p),
+                top_k: spec.top_k,
+                exclude,
+                pruning: Some(pruning),
+            },
+            loss_bound,
+        })
+    }
+
+    /// Stage 2 + 3 in one call: plan, then execute.
+    pub fn execute(&self, request: &SolveRequest) -> Result<Outcome> {
+        self.execute_plan(self.plan(request))
+    }
+
+    /// Stage 3 of the pipeline: run a plan against its admitted snapshot.
+    /// Cacheable work (CRA runs, individual JRA queries) is served from the
+    /// per-epoch result cache when possible. `Err` is reserved for
+    /// request-level failures (a CRA solve or update batch failing);
+    /// per-query JRA failures stay inside [`Answer::Jra`].
+    pub fn execute_plan(&self, plan: Plan) -> Result<Outcome> {
+        let start = Instant::now();
+        let epoch = plan.epoch();
+        let support = self.support_stats(epoch, &plan.snapshot);
+        match plan.action {
+            PlanAction::Cra { method, pruning, seed } => {
+                let key = plan.key.expect("CRA plans always carry a key");
+                let cached = self.cache.lock().expect("cache lock").probe(epoch, &key);
+                let (answer, cache, loss_bound) = match cached {
+                    Some(CachedAnswer::Cra { method, assignment, coverage, loss_bound }) => {
+                        (CraAnswer { method, assignment, coverage }, CacheStatus::Hit, loss_bound)
+                    }
+                    Some(CachedAnswer::Jra(_)) => unreachable!("jra entry under a cra key"),
+                    None => {
+                        let ctx = plan.snapshot.ctx();
+                        let solver = method.solver_with(pruning);
+                        let assignment = if seed == ctx.seed() {
+                            solver.solve(ctx)?
+                        } else {
+                            // Seed overrides re-key the context; the clone
+                            // is the price of a per-request seed.
+                            solver.solve(&ctx.clone_for_update().with_seed(seed))?
+                        };
+                        assignment.validate(plan.snapshot.instance())?;
+                        let coverage =
+                            assignment.coverage_score(plan.snapshot.instance(), ctx.scoring());
+                        // The TopK stage-loss bound is an O(P·support)
+                        // scan, so it is computed once per cold solve and
+                        // rides the cache entry — hits return it for free.
+                        let loss_bound = match pruning {
+                            PruningPolicy::TopK(k) => {
+                                Some(topk_stage_loss_bound(&plan.snapshot, k))
+                            }
+                            _ => None,
+                        };
+                        self.cache.lock().expect("cache lock").store(
+                            epoch,
+                            key.clone(),
+                            CachedAnswer::Cra {
+                                method,
+                                assignment: assignment.clone(),
+                                coverage,
+                                loss_bound,
+                            },
+                        );
+                        (CraAnswer { method, assignment, coverage }, CacheStatus::Miss, loss_bound)
+                    }
+                };
+                Ok(Outcome {
+                    answer: Answer::Cra(answer),
+                    diag: Diagnostics {
+                        epoch,
+                        key: Some(key),
+                        cache,
+                        plan_time: plan.plan_time,
+                        exec_time: start.elapsed(),
+                        support,
+                        loss_bound,
+                    },
+                })
+            }
+            PlanAction::Jra { queries, batched: _ } => {
+                let answers = self.exec_jra(&plan.snapshot, &queries);
+                // The request-level disposition: Hit only if every entry
+                // hit; Miss if any solved cold; Uncacheable if nothing was
+                // cacheable (e.g. every entry failed canonicalization).
+                let cache = {
+                    let ok: Vec<_> = answers.iter().filter_map(|a| a.as_ref().ok()).collect();
+                    if ok.is_empty() {
+                        CacheStatus::Uncacheable
+                    } else if ok.iter().all(|a| a.cache.is_hit()) {
+                        CacheStatus::Hit
+                    } else {
+                        CacheStatus::Miss
+                    }
+                };
+                let loss_bound = queries
+                    .iter()
+                    .filter_map(|q| q.as_ref().ok().and_then(|p| p.loss_bound))
+                    .reduce(f64::max);
+                Ok(Outcome {
+                    answer: Answer::Jra(answers),
+                    diag: Diagnostics {
+                        epoch,
+                        key: plan.key,
+                        cache,
+                        plan_time: plan.plan_time,
+                        exec_time: start.elapsed(),
+                        support,
+                        loss_bound,
+                    },
+                })
+            }
+            PlanAction::Update(updates) => {
+                let pending = self.store.begin_update(&updates)?;
+                let build_time = pending.build_time();
+                // Counts come from the snapshot this publish installs — a
+                // fresh `store.snapshot()` after `publish` returns could
+                // already belong to a later writer, decoupling the
+                // reported epoch from the reported counts.
+                let after = pending.built().unwrap_or(&plan.snapshot).instance();
+                let answer = UpdateAnswer {
+                    applied: updates.len(),
+                    papers: after.num_papers(),
+                    reviewers: after.num_reviewers(),
+                    build_time,
+                };
+                let epoch = pending.publish();
+                // Publish invalidation: entries from older epochs can never
+                // answer again (the probe's epoch check also enforces this
+                // lazily), so free them now.
+                self.cache.lock().expect("cache lock").roll_to(epoch);
+                Ok(Outcome {
+                    answer: Answer::Update(answer),
+                    diag: Diagnostics {
+                        epoch,
+                        key: None,
+                        cache: CacheStatus::Uncacheable,
+                        plan_time: plan.plan_time,
+                        exec_time: start.elapsed(),
+                        support,
+                        loss_bound: None,
+                    },
+                })
+            }
+            PlanAction::Stats => {
+                let inst = plan.snapshot.instance();
+                let answer = StatsAnswer {
+                    papers: inst.num_papers(),
+                    reviewers: inst.num_reviewers(),
+                    topics: inst.num_topics(),
+                    delta_p: inst.delta_p(),
+                    delta_r: inst.delta_r(),
+                    scoring: plan.snapshot.ctx().scoring(),
+                    support,
+                    cache: self.cache_counters(),
+                    store: self.store.stats(),
+                };
+                Ok(Outcome {
+                    answer: Answer::Stats(answer),
+                    diag: Diagnostics {
+                        epoch,
+                        key: None,
+                        cache: CacheStatus::Uncacheable,
+                        plan_time: plan.plan_time,
+                        exec_time: start.elapsed(),
+                        support,
+                        loss_bound: None,
+                    },
+                })
+            }
+        }
+    }
+
+    /// Execute planned JRA queries: probe the cache per query, solve the
+    /// misses as one positional [`JraBatch`] (bit-identical to solving
+    /// them one at a time — the batch contract), then store the cold
+    /// results.
+    fn exec_jra(
+        &self,
+        snapshot: &Arc<Snapshot>,
+        queries: &[std::result::Result<PlannedQuery, String>],
+    ) -> Vec<std::result::Result<JraAnswer, String>> {
+        let epoch = snapshot.epoch();
+        // Probe phase (one lock acquisition for the whole batch).
+        let mut probed: Vec<Option<CachedAnswer>> = Vec::with_capacity(queries.len());
+        {
+            let mut cache = self.cache.lock().expect("cache lock");
+            for q in queries {
+                probed.push(match q {
+                    Ok(p) => cache.probe(epoch, &p.key),
+                    Err(_) => None,
+                });
+            }
+        }
+        // Solve phase: the misses, positionally, lock-free.
+        let mut batch = JraBatch::new(Arc::clone(snapshot), self.options.pruning);
+        let mut miss_slots: Vec<usize> = Vec::new();
+        for (i, (q, hit)) in queries.iter().zip(&probed).enumerate() {
+            if let (Ok(p), None) = (q, hit) {
+                batch.push(p.query.clone());
+                miss_slots.push(i);
+            }
+        }
+        let mut solved = batch.run().into_iter();
+        // Merge phase: hits, cold results, and per-entry errors, positional.
+        let mut cold: HashMap<usize, crate::Result<Vec<JraResult>>> = miss_slots
+            .iter()
+            .map(|&i| (i, solved.next().expect("one result per pushed query")))
+            .collect();
+        let mut to_store: Vec<(RequestKey, CachedAnswer)> = Vec::new();
+        let answers: Vec<std::result::Result<JraAnswer, String>> = queries
+            .iter()
+            .zip(probed)
+            .enumerate()
+            .map(|(i, (q, hit))| {
+                let planned = q.as_ref().map_err(|e| e.clone())?;
+                match hit {
+                    Some(CachedAnswer::Jra(results)) => {
+                        Ok(JraAnswer { results, cache: CacheStatus::Hit, key: planned.key.clone() })
+                    }
+                    Some(CachedAnswer::Cra { .. }) => unreachable!("cra entry under a jra key"),
+                    None => match cold.remove(&i).expect("miss slot solved") {
+                        Ok(results) => {
+                            to_store
+                                .push((planned.key.clone(), CachedAnswer::Jra(results.clone())));
+                            Ok(JraAnswer {
+                                results,
+                                cache: CacheStatus::Miss,
+                                key: planned.key.clone(),
+                            })
+                        }
+                        Err(e) => Err(e.to_string()),
+                    },
+                }
+            })
+            .collect();
+        if !to_store.is_empty() {
+            let mut cache = self.cache.lock().expect("cache lock");
+            for (key, value) in to_store {
+                cache.store(epoch, key, value);
+            }
+        }
+        answers
+    }
+}
+
+/// The total `TopK(k)` stage-loss bound over the snapshot's papers:
+/// `Σ_p max_{r dropped}(score)` — what one SDGA stage can lose to
+/// truncation (each paper's bound is the same CELF-style dropped maximum
+/// `CandidateSet::build(ctx, Some(k))` would record). Computed from the
+/// maintained Auto rows, so no rebuild.
+fn topk_stage_loss_bound(snapshot: &Snapshot, k: usize) -> f64 {
+    let cands = snapshot.candidates();
+    (0..cands.num_papers())
+        .map(|p| {
+            let (ids, scores) = cands.candidates(p);
+            if ids.len() <= k {
+                return 0.0;
+            }
+            let mut row: Vec<(u32, f64)> =
+                ids.iter().copied().zip(scores.iter().copied()).collect();
+            truncate_row(&mut row, k)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tv(v: &[f64]) -> TopicVector {
+        TopicVector::new(v.to_vec())
+    }
+
+    fn service() -> Service {
+        let inst = Instance::new(
+            vec![tv(&[0.5, 0.5, 0.0]), tv(&[0.0, 0.3, 0.7])],
+            vec![
+                tv(&[0.3, 0.7, 0.0]),
+                tv(&[0.6, 0.4, 0.0]),
+                tv(&[0.0, 0.2, 0.8]),
+                tv(&[0.1, 0.1, 0.8]),
+            ],
+            2,
+            2,
+        )
+        .unwrap();
+        Service::new(inst, Scoring::WeightedCoverage, 7)
+    }
+
+    fn jra_results(outcome: &Outcome) -> &[JraResult] {
+        let Answer::Jra(answers) = &outcome.answer else { panic!("not a jra answer") };
+        &answers[0].as_ref().unwrap().results
+    }
+
+    #[test]
+    fn canonicalization_makes_equal_requests_equal() {
+        let service = service();
+        let spelled_out = SolveRequest::Jra(JraSpec {
+            paper: PaperRef::Name("paper-0".into()),
+            delta_p: Some(2), // the instance default, explicit
+            top_k: 1,
+            exclude: vec![3, 1, 3],              // unsorted, duplicated
+            pruning: Some(PruningPolicy::Exact), // the service default, explicit
+        });
+        let defaulted = SolveRequest::Jra(JraSpec {
+            paper: PaperRef::Id(0),
+            delta_p: None,
+            top_k: 1,
+            exclude: vec![1, 3],
+            pruning: None,
+        });
+        let (a, b) = (service.plan(&spelled_out), service.plan(&defaulted));
+        assert_eq!(a.key, b.key);
+        assert!(a.key.is_some());
+        // A genuinely different knob must change the key.
+        let different = SolveRequest::Jra(JraSpec {
+            paper: PaperRef::Id(0),
+            delta_p: None,
+            top_k: 2,
+            exclude: vec![1, 3],
+            pruning: None,
+        });
+        assert_ne!(service.plan(&different).key, b.key);
+    }
+
+    #[test]
+    fn default_paper_names_resolve_and_unknown_names_fail_per_entry() {
+        let service = service();
+        let plan = service.plan(&SolveRequest::JraBatch(vec![
+            JraSpec::new(PaperRef::Id(0)),
+            JraSpec::new(PaperRef::Name("no-such-paper".into())),
+        ]));
+        // Batch with an unresolvable entry: no batch-level key, the good
+        // entry still planned.
+        assert!(plan.key.is_none());
+        let PlanAction::Jra { queries, batched: true } = &plan.action else { panic!() };
+        assert!(queries[0].is_ok());
+        assert_eq!(queries[1].as_ref().unwrap_err(), "unknown paper 'no-such-paper'");
+        let outcome = service.execute_plan(plan).unwrap();
+        let Answer::Jra(answers) = &outcome.answer else { panic!() };
+        assert!(answers[0].is_ok());
+        assert!(answers[1].is_err());
+    }
+
+    #[test]
+    fn cache_hits_are_bit_identical_and_counted() {
+        let service = service();
+        let request = SolveRequest::jra(PaperRef::Id(1));
+        let cold = service.execute(&request).unwrap();
+        assert_eq!(cold.diag.cache, CacheStatus::Miss);
+        let warm = service.execute(&request).unwrap();
+        assert!(warm.diag.cache.is_hit());
+        let (c, w) = (jra_results(&cold), jra_results(&warm));
+        assert_eq!(c.len(), w.len());
+        for (x, y) in c.iter().zip(w) {
+            assert_eq!(x.group, y.group);
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+            assert_eq!(x.nodes, y.nodes);
+        }
+        let counters = service.cache_counters();
+        assert_eq!((counters.hits, counters.misses, counters.size), (1, 1, 1));
+    }
+
+    #[test]
+    fn publish_invalidates_the_cache() {
+        let service = service();
+        let request = SolveRequest::jra(PaperRef::Adhoc(tv(&[0.0, 0.0, 1.0])));
+        service.execute(&request).unwrap();
+        assert_eq!(service.cache_counters().size, 1);
+        service
+            .execute(&SolveRequest::Update(vec![Update::AddReviewer {
+                name: None,
+                expertise: tv(&[0.0, 0.0, 1.0]),
+            }]))
+            .unwrap();
+        // The old entry must not answer at the new epoch.
+        let after = service.execute(&request).unwrap();
+        assert_eq!(after.diag.cache, CacheStatus::Miss);
+        assert_eq!(after.diag.epoch, 1);
+    }
+
+    #[test]
+    fn stale_epoch_probe_does_not_wipe_current_entries() {
+        let service = service();
+        // A plan admitted at epoch 0, executed only after the world moves on.
+        let straggler = service.plan(&SolveRequest::jra(PaperRef::Id(0)));
+        service
+            .execute(&SolveRequest::Update(vec![Update::RetireReviewer { reviewer: 3 }]))
+            .unwrap();
+        service.execute(&SolveRequest::jra(PaperRef::Id(1))).unwrap();
+        assert_eq!(service.cache_counters().size, 1);
+        // The straggler solves against its own admitted snapshot, misses,
+        // and must not clear (or be stored into) the epoch-1 cache.
+        let outcome = service.execute_plan(straggler).unwrap();
+        assert_eq!(outcome.diag.epoch, 0);
+        assert_eq!(outcome.diag.cache, CacheStatus::Miss);
+        assert_eq!(service.cache_counters().size, 1, "epoch-1 entries must survive");
+        let warm = service.execute(&SolveRequest::jra(PaperRef::Id(1))).unwrap();
+        assert!(warm.diag.cache.is_hit(), "current-epoch entry still answers");
+    }
+
+    #[test]
+    fn batches_probe_per_query() {
+        let service = service();
+        service.execute(&SolveRequest::jra(PaperRef::Id(0))).unwrap();
+        // The same query inside a batch hits; its neighbour misses.
+        let outcome = service
+            .execute(&SolveRequest::JraBatch(vec![
+                JraSpec::new(PaperRef::Id(0)),
+                JraSpec::new(PaperRef::Id(1)),
+            ]))
+            .unwrap();
+        let Answer::Jra(answers) = &outcome.answer else { panic!() };
+        assert!(answers[0].as_ref().unwrap().cache.is_hit());
+        assert_eq!(answers[1].as_ref().unwrap().cache, CacheStatus::Miss);
+        assert_eq!(outcome.diag.cache, CacheStatus::Miss);
+    }
+
+    #[test]
+    fn cra_runs_cache_and_validate() {
+        let service = service();
+        let cold = service.execute(&SolveRequest::cra()).unwrap();
+        let warm = service.execute(&SolveRequest::cra()).unwrap();
+        let (Answer::Cra(c), Answer::Cra(w)) = (&cold.answer, &warm.answer) else { panic!() };
+        assert_eq!(c.assignment, w.assignment);
+        assert_eq!(c.coverage.to_bits(), w.coverage.to_bits());
+        assert!(warm.diag.cache.is_hit());
+        assert_eq!(c.method.label(), "SDGA-SRA");
+        // A different method is a different key.
+        let sm = service
+            .execute(&SolveRequest::Cra {
+                method: Some(MethodKind::Cra(CraAlgorithm::StableMatching)),
+                pruning: None,
+                seed: None,
+            })
+            .unwrap();
+        assert_eq!(sm.diag.cache, CacheStatus::Miss);
+    }
+
+    #[test]
+    fn stats_reports_cache_and_store_accounting() {
+        let service = service();
+        service.execute(&SolveRequest::jra(PaperRef::Id(0))).unwrap();
+        service.execute(&SolveRequest::jra(PaperRef::Id(0))).unwrap();
+        service
+            .execute(&SolveRequest::Update(vec![Update::RetireReviewer { reviewer: 3 }]))
+            .unwrap();
+        let outcome = service.execute(&SolveRequest::Stats).unwrap();
+        let Answer::Stats(stats) = &outcome.answer else { panic!() };
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.cache.misses, 1);
+        assert_eq!(stats.store.batches, 1);
+        assert_eq!(stats.store.updates, 1);
+        assert!(stats.store.total_build >= stats.store.last_publish);
+        assert_eq!(outcome.diag.epoch, 1);
+    }
+
+    #[test]
+    fn topk_loss_bound_is_reported_and_zero_when_lossless() {
+        let service = service();
+        let lossy = service
+            .execute(&SolveRequest::Jra(JraSpec {
+                pruning: Some(PruningPolicy::TopK(1)),
+                ..JraSpec::new(PaperRef::Id(0))
+            }))
+            .unwrap();
+        assert!(lossy.diag.loss_bound.unwrap() > 0.0);
+        let lossless = service
+            .execute(&SolveRequest::Jra(JraSpec {
+                pruning: Some(PruningPolicy::TopK(100)),
+                ..JraSpec::new(PaperRef::Id(0))
+            }))
+            .unwrap();
+        assert_eq!(lossless.diag.loss_bound.unwrap(), 0.0);
+        let auto = service.execute(&SolveRequest::jra(PaperRef::Id(0))).unwrap();
+        assert!(auto.diag.loss_bound.is_none());
+    }
+}

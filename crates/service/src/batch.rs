@@ -40,12 +40,15 @@ pub struct JraQuery {
     pub top_k: usize,
     /// Per-query conflicted reviewer ids (on top of stored COIs).
     pub exclude: Vec<u32>,
+    /// Per-query candidate pruning override (default: the batch's policy).
+    pub pruning: Option<PruningPolicy>,
 }
 
 impl JraQuery {
-    /// Query with defaults: instance `δp`, single best group, no excludes.
+    /// Query with defaults: instance `δp`, single best group, no excludes,
+    /// the batch's pruning policy.
     pub fn new(paper: QueryPaper) -> Self {
-        Self { paper, delta_p: None, top_k: 1, exclude: Vec::new() }
+        Self { paper, delta_p: None, top_k: 1, exclude: Vec::new(), pruning: None }
     }
 }
 
@@ -96,6 +99,7 @@ impl JraBatch {
     }
 
     fn solve_one(&self, query: &JraQuery) -> Result<Vec<JraResult>> {
+        let pruning = query.pruning.unwrap_or(self.pruning);
         let ctx = self.snapshot.ctx();
         let num_r = ctx.num_reviewers();
         let delta_p = query.delta_p.unwrap_or_else(|| ctx.instance().delta_p());
@@ -127,7 +131,7 @@ impl JraBatch {
                 }
                 let mut view = ctx.jra_view(p);
                 view.delta_p = delta_p;
-                let pool = match self.pruning {
+                let pool = match pruning {
                     PruningPolicy::Exact => None,
                     PruningPolicy::Auto => {
                         Some(self.snapshot.candidates().candidates(p).0.to_vec())
@@ -151,7 +155,7 @@ impl JraBatch {
                 // tie-breaks — exactly like the same vector stored as a
                 // paper (scores are the `raw / total` pair-score form), so
                 // `TopK` truncates without a second scoring pass.
-                let pool: Option<Vec<u32>> = match self.pruning {
+                let pool: Option<Vec<u32>> = match pruning {
                     PruningPolicy::Exact => None,
                     PruningPolicy::Auto => self
                         .snapshot

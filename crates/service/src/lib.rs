@@ -4,7 +4,7 @@
 //! one at a time against a standing reviewer pool, papers and reviewers
 //! come and go, and a batch CRA run is an occasional heavyweight consumer
 //! of the same data. This crate turns the one-shot
-//! [`wgrap_core::engine`] into that service, in three layers:
+//! [`wgrap_core::engine`] into that service, in four layers:
 //!
 //! 1. **Versioned store** ([`store`]) — epoch-numbered copy-on-write
 //!    snapshots over an owned [`ScoreContext`](wgrap_core::engine::ScoreContext)
@@ -14,17 +14,30 @@
 //!    their candidate row through the topic → reviewers inverted index;
 //!    reviewer changes splice exactly the affected candidate lists —
 //!    and the result is proptested **bit-identical** to rebuilding from
-//!    the final instance, for every scoring.
+//!    the final instance, for every scoring. The write path is two-phase:
+//!    [`VersionedStore::begin_update`] builds off the read path,
+//!    [`PendingUpdate::publish`] is a bare `Arc` swap — so admissions
+//!    never wait on a build.
 //! 2. **Query executor** ([`batch`]) — a [`JraBatch`] admits a group of
 //!    JRA queries at one epoch and fans them out on the engine's
 //!    deterministic work-stealing substrate (`rayon` feature). Positional
 //!    writes keep batched answers bit-identical to one-at-a-time solves
 //!    under any worker count. CRA runs admit-at-epoch the same way, so a
 //!    long solve never blocks updates.
-//! 3. **Front-end** ([`server`]) — `wgrap serve`: newline-delimited JSON
+//! 3. **Typed request API** ([`api`]) — the one entry point everything
+//!    else routes through: a [`SolveRequest`] canonicalizes to a stable,
+//!    hashable [`RequestKey`], plans into a [`Plan`] (resolved solver,
+//!    admitted epoch, pruning bounds) and executes to an [`Outcome`]
+//!    (answer + epoch/cache/timing/support diagnostics), with a
+//!    **per-epoch result cache** whose hits are bit-identical to cold
+//!    solves and which every publish invalidates.
+//! 4. **Front-end** ([`server`]) — `wgrap serve`: newline-delimited JSON
 //!    over stdin/stdout or plain `std::net` TCP (offline-friendly, no new
 //!    dependencies), exposing `jra`, `batch`, `update`, `assign` and
-//!    `stats` with the CLI's `--pruning`/`--topk` knobs.
+//!    `stats` in two protocol versions: v1 (byte-identical to the
+//!    pre-`api` server, golden-tested) and v2 (`"v":2` — cache/key/loss
+//!    diagnostics and stats counters). See `src/README.md` for the
+//!    migration guide.
 //!
 //! ```
 //! use wgrap_core::prelude::*;
@@ -58,6 +71,7 @@
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod batch;
 pub mod json;
 pub mod server;
@@ -65,7 +79,11 @@ pub mod store;
 #[doc(hidden)]
 pub mod testutil;
 
+pub use api::{
+    Answer, CraAnswer, Diagnostics, JraAnswer, JraSpec, Outcome, PaperRef, Plan, RequestKey,
+    ServeOptions, Service, SolveRequest, StatsAnswer, UpdateAnswer,
+};
 pub use batch::{JraBatch, JraQuery, QueryPaper};
-pub use server::{serve_connection, serve_stdio, serve_tcp, ServeOptions};
-pub use store::{Snapshot, Update, VersionedStore};
+pub use server::{serve_connection, serve_stdio, serve_tcp};
+pub use store::{PendingUpdate, Snapshot, StoreStats, Update, VersionedStore};
 pub use wgrap_core::error::{Error, Result};

@@ -5,12 +5,24 @@
 //! offline-friendly (no TLS, no HTTP, no registry dependencies), trivially
 //! scriptable (`wgrap serve inst.wgrap < requests.ndjson`), and
 //! deterministic: the same request stream against the same instance
-//! produces byte-identical responses, which the golden-file CI smoke test
-//! relies on.
+//! produces byte-identical responses, which the golden-file CI smoke tests
+//! rely on (one golden per protocol version, shared by rayon on/off).
 //!
-//! # Operations
+//! Every op is a thin JSON skin over the typed
+//! [`api`](crate::api) layer: requests parse into a
+//! [`SolveRequest`], plan and execute through [`Service`], and the
+//! [`Outcome`](crate::api::Outcome) renders in the wire shape of the requested protocol
+//! version. The server owns **no** solving or defaulting logic of its own.
+//!
+//! # Protocol versions
+//!
+//! A request opts into version 2 with `"v":2`; requests without a `"v"`
+//! field (or with `"v":1`) speak version 1, whose responses are
+//! byte-identical to the pre-`api` server — v1 sessions replay exactly
+//! against their existing goldens.
 //!
 //! ```text
+//! v1 (implicit):
 //! {"op":"jra","paper":[0.2,0.8],"delta_p":2,"top_k":3,"exclude":[4]}
 //! {"op":"jra","paper_id":0}            |  {"op":"jra","paper_name":"p-17"}
 //! {"op":"batch","queries":[{...},...]} -- many jra queries, one snapshot
@@ -20,68 +32,59 @@
 //!                           {"kind":"patch_scores","reviewer":0,"expertise":[...]}]}
 //! {"op":"assign","method":"sdga-sra"}  -- full CRA at the admitted epoch
 //! {"op":"stats"}
+//!
+//! v2 (same ops and fields, plus):
+//! {"v":2,"op":"jra","paper_id":0}      -- response carries "cache" and "key"
+//! {"v":2,"op":"batch","queries":[{"paper_id":0,"pruning":"exact"},...]}
+//!                                      -- per-entry pruning override + per-entry
+//!                                         "cache"/"key" in the response
+//! {"v":2,"op":"stats"}                 -- adds result-cache counters and the
+//!                                         store's build-vs-publish batch counts
+//! {"v":2,"op":"stats","timings":true}  -- adds wall-clock build/publish timings
+//!                                         (non-deterministic; excluded from goldens)
 //! ```
 //!
-//! Responses always carry `"ok"` and, on success, the `"epoch"` the
-//! operation was admitted at. `jra`/`batch`/`assign` accept a per-request
-//! `"pruning"` override (`"exact" | "auto" | "topk:K"`); the serve-level
-//! default comes from the CLI's `--pruning`/`--topk` knobs.
+//! v2 responses add `"cache"` (`"hit"`/`"miss"` — a hit is **bit-identical**
+//! to the cold solve by the cache contract), the request's canonical
+//! `"key"`, and `"loss_bound"` under `TopK` pruning. Wall-clock timings from
+//! [`Diagnostics`](crate::api::Diagnostics) are deliberately **not** rendered on solve responses:
+//! responses stay byte-deterministic (library consumers read
+//! [`Outcome::diag`](crate::api::Outcome) instead; `stats` exposes timings only
+//! on request).
 //!
 //! # Concurrency
 //!
-//! The store sits behind an `RwLock`. Queries and CRA runs take the read
-//! lock only long enough to clone an `Arc<Snapshot>` — they **admit at an
-//! epoch** and then solve lock-free on their snapshot, so a long `assign`
-//! on one TCP connection never blocks an `update` on another; the update
-//! simply publishes a newer epoch. Updates serialize with each other under
-//! the write lock, which covers the copy-on-write build (tens of
-//! milliseconds at P=5k/R=10k): *new* admissions wait that long behind an
-//! in-flight update, while everything already admitted keeps running.
-//! Splitting publish from build (so admissions only ever wait on the `Arc`
-//! swap) is a named ROADMAP follow-up.
+//! The [`Service`] is internally synchronized. Queries and CRA runs admit
+//! at an epoch (an `Arc<Snapshot>` clone) and solve lock-free; updates
+//! build copy-on-write off the read path and publish with a bare `Arc`
+//! swap ([`VersionedStore`](crate::store::VersionedStore)'s build/publish
+//! split), so a `jra` admission on one TCP connection proceeds even while
+//! an update batch is mid-build on another.
 
-use crate::batch::{JraBatch, JraQuery, QueryPaper};
+use crate::api::{Answer, CacheStatus, JraAnswer, JraSpec, PaperRef, Service, SolveRequest};
 use crate::json::{self, Json};
-use crate::store::{Snapshot, Update, VersionedStore};
+use crate::store::Update;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpListener;
-use std::sync::{Arc, RwLock};
-use wgrap_core::engine::PruningPolicy;
+use std::sync::Arc;
+use wgrap_core::engine::{spec, PruningPolicy};
 use wgrap_core::jra::JraResult;
-use wgrap_core::prelude::{CraAlgorithm, Scoring};
 use wgrap_core::topic::TopicVector;
-
-/// Serve-level configuration (the CLI's knobs).
-#[derive(Debug, Clone)]
-pub struct ServeOptions {
-    /// Default candidate pruning for `jra`/`batch`/`assign` (per-request
-    /// `"pruning"` overrides it).
-    pub pruning: PruningPolicy,
-    /// Default CRA method for `assign`.
-    pub method: CraAlgorithm,
-}
-
-impl Default for ServeOptions {
-    fn default() -> Self {
-        Self { pruning: PruningPolicy::default(), method: CraAlgorithm::SdgaSra }
-    }
-}
 
 /// Run a request/response session: one JSON request per input line, one
 /// JSON response per line on `out`, until EOF. Malformed lines produce an
 /// `{"ok":false,...}` response and the session continues.
 pub fn serve_connection<R: BufRead, W: Write>(
-    store: &RwLock<VersionedStore>,
+    service: &Service,
     input: R,
     mut out: W,
-    opts: &ServeOptions,
 ) -> io::Result<()> {
     for line in input.lines() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let response = handle_line(store, &line, opts);
+        let response = handle_line(service, &line);
         writeln!(out, "{response}")?;
         out.flush()?;
     }
@@ -89,63 +92,65 @@ pub fn serve_connection<R: BufRead, W: Write>(
 }
 
 /// Serve a single session over stdin/stdout (the piping mode).
-pub fn serve_stdio(store: &RwLock<VersionedStore>, opts: &ServeOptions) -> io::Result<()> {
+pub fn serve_stdio(service: &Service) -> io::Result<()> {
     let stdin = io::stdin();
     let stdout = io::stdout();
-    serve_connection(store, stdin.lock(), stdout.lock(), opts)
+    serve_connection(service, stdin.lock(), stdout.lock())
 }
 
 /// Accept TCP connections forever, one thread per connection, all sharing
-/// the store (updates from any connection are visible to all at the next
+/// the service (updates from any connection are visible to all at the next
 /// epoch). The listener is bound by the caller so tests can pick port 0.
-pub fn serve_tcp(
-    listener: TcpListener,
-    store: Arc<RwLock<VersionedStore>>,
-    opts: ServeOptions,
-) -> io::Result<()> {
+pub fn serve_tcp(listener: TcpListener, service: Arc<Service>) -> io::Result<()> {
     loop {
         let (socket, _) = listener.accept()?;
-        let store = Arc::clone(&store);
-        let opts = opts.clone();
+        let service = Arc::clone(&service);
         std::thread::spawn(move || {
             let reader = BufReader::new(match socket.try_clone() {
                 Ok(s) => s,
                 Err(_) => return,
             });
-            let _ = serve_connection(&store, reader, socket, &opts);
+            let _ = serve_connection(&service, reader, socket);
         });
     }
 }
 
+/// The protocol version a request speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Protocol {
+    V1,
+    V2,
+}
+
 /// Handle one request line and render the response (never panics on bad
 /// input — every error becomes an `{"ok":false,...}` response).
-pub fn handle_line(store: &RwLock<VersionedStore>, line: &str, opts: &ServeOptions) -> Json {
+pub fn handle_line(service: &Service, line: &str) -> Json {
     let request = match json::parse(line) {
         Ok(v) => v,
         Err(e) => return error_response(&format!("bad JSON: {e}")),
     };
-    let Some(op) = request.get("op").and_then(Json::as_str) else {
-        return error_response("missing \"op\"");
+    let proto = match request.get("v") {
+        None => Protocol::V1,
+        Some(v) => match v.as_usize() {
+            Some(1) => Protocol::V1,
+            Some(2) => Protocol::V2,
+            _ => return error_response("unsupported protocol version (valid: 1, 2)"),
+        },
     };
-    match op {
-        "jra" => match handle_jra(store, &request, opts, false) {
-            Ok(v) => v,
-            Err(e) => error_response(&e),
-        },
-        "batch" => match handle_jra(store, &request, opts, true) {
-            Ok(v) => v,
-            Err(e) => error_response(&e),
-        },
-        "update" => match handle_update(store, &request) {
-            Ok(v) => v,
-            Err(e) => error_response(&e),
-        },
-        "assign" => match handle_assign(store, &request, opts) {
-            Ok(v) => v,
-            Err(e) => error_response(&e),
-        },
-        "stats" => handle_stats(&store.read().expect("store lock").snapshot()),
-        other => error_response(&format!("unknown op '{other}'")),
+    let Some(op) = request.get("op").and_then(Json::as_str) else {
+        return versioned_error(proto, "missing \"op\"");
+    };
+    let result = match op {
+        "jra" => handle_jra(service, &request, proto, false),
+        "batch" => handle_jra(service, &request, proto, true),
+        "update" => handle_update(service, &request, proto),
+        "assign" => handle_assign(service, &request, proto),
+        "stats" => handle_stats(service, &request, proto),
+        other => Err(format!("unknown op '{other}'")),
+    };
+    match result {
+        Ok(v) => v,
+        Err(e) => versioned_error(proto, &e),
     }
 }
 
@@ -153,13 +158,25 @@ fn error_response(message: &str) -> Json {
     Json::obj([("ok", Json::Bool(false)), ("error", Json::Str(message.into()))])
 }
 
-fn request_pruning(request: &Json, opts: &ServeOptions) -> Result<PruningPolicy, String> {
+fn versioned_error(proto: Protocol, message: &str) -> Json {
+    match proto {
+        Protocol::V1 => error_response(message),
+        Protocol::V2 => Json::obj([
+            ("ok", Json::Bool(false)),
+            ("v", Json::Num(2.0)),
+            ("error", Json::Str(message.into())),
+        ]),
+    }
+}
+
+fn request_pruning(request: &Json) -> Result<Option<PruningPolicy>, String> {
     match request.get("pruning") {
-        None => Ok(opts.pruning),
+        None => Ok(None),
         Some(v) => v
             .as_str()
             .ok_or_else(|| "\"pruning\" must be a string".to_string())?
-            .parse::<PruningPolicy>(),
+            .parse::<PruningPolicy>()
+            .map(Some),
     }
 }
 
@@ -192,19 +209,17 @@ fn parse_ids(value: Option<&Json>, what: &str) -> Result<Vec<u32>, String> {
     }
 }
 
-fn parse_query(snapshot: &Snapshot, request: &Json) -> Result<JraQuery, String> {
+/// Parse one JRA query's fields into a typed [`JraSpec`]. Purely
+/// structural — paper *names* resolve later, during planning, so an
+/// unknown name fails its own entry, not the parse.
+fn parse_jra_spec(request: &Json, pruning: Option<PruningPolicy>) -> Result<JraSpec, String> {
     let paper = match (request.get("paper"), request.get("paper_id"), request.get("paper_name")) {
-        (Some(topics), None, None) => QueryPaper::Adhoc(parse_topics(topics, "paper")?),
+        (Some(topics), None, None) => PaperRef::Adhoc(parse_topics(topics, "paper")?),
         (None, Some(id), None) => {
-            QueryPaper::Stored(id.as_usize().ok_or("\"paper_id\" must be an integer")?)
+            PaperRef::Id(id.as_usize().ok_or("\"paper_id\" must be an integer")?)
         }
         (None, None, Some(name)) => {
-            let name = name.as_str().ok_or("\"paper_name\" must be a string")?;
-            let inst = snapshot.instance();
-            let p = (0..inst.num_papers())
-                .find(|&p| inst.paper_name(p) == name)
-                .ok_or_else(|| format!("unknown paper '{name}'"))?;
-            QueryPaper::Stored(p)
+            PaperRef::Name(name.as_str().ok_or("\"paper_name\" must be a string")?.to_string())
         }
         _ => return Err("give exactly one of \"paper\", \"paper_id\", \"paper_name\"".into()),
     };
@@ -216,11 +231,18 @@ fn parse_query(snapshot: &Snapshot, request: &Json) -> Result<JraQuery, String> 
         None => 1,
         Some(v) => v.as_usize().ok_or("\"top_k\" must be a positive integer")?,
     };
-    Ok(JraQuery { paper, delta_p, top_k, exclude: parse_ids(request.get("exclude"), "exclude")? })
+    // An entry-level "pruning" overrides the request-level override.
+    let pruning = request_pruning(request)?.or(pruning);
+    Ok(JraSpec {
+        paper,
+        delta_p,
+        top_k,
+        exclude: parse_ids(request.get("exclude"), "exclude")?,
+        pruning,
+    })
 }
 
-fn render_results(snapshot: &Snapshot, results: &[JraResult]) -> Json {
-    let inst = snapshot.instance();
+fn render_results(names: &dyn Fn(usize) -> String, results: &[JraResult]) -> Json {
     Json::Arr(
         results
             .iter()
@@ -229,9 +251,7 @@ fn render_results(snapshot: &Snapshot, results: &[JraResult]) -> Json {
                     ("group", Json::nums(res.group.iter().map(|&r| r as f64))),
                     (
                         "reviewers",
-                        Json::Arr(
-                            res.group.iter().map(|&r| Json::Str(inst.reviewer_name(r))).collect(),
-                        ),
+                        Json::Arr(res.group.iter().map(|&r| Json::Str(names(r))).collect()),
                     ),
                     ("score", Json::Num(res.score)),
                     ("nodes", Json::Num(res.nodes as f64)),
@@ -241,66 +261,120 @@ fn render_results(snapshot: &Snapshot, results: &[JraResult]) -> Json {
     )
 }
 
+/// The v2 diagnostic members shared by solve responses: `"cache"`, the
+/// canonical `"key"`, and (under `TopK`) `"loss_bound"`.
+fn v2_diag_members(
+    cache: CacheStatus,
+    key: Option<&crate::api::RequestKey>,
+    loss_bound: Option<f64>,
+) -> Vec<(&'static str, Json)> {
+    let mut members = vec![("cache", Json::Str(cache.label().into()))];
+    if let Some(key) = key {
+        members.push(("key", Json::Str(key.to_string())));
+    }
+    if let Some(bound) = loss_bound {
+        members.push(("loss_bound", Json::Num(bound)));
+    }
+    members
+}
+
 fn handle_jra(
-    store: &RwLock<VersionedStore>,
+    service: &Service,
     request: &Json,
-    opts: &ServeOptions,
+    proto: Protocol,
     batched: bool,
 ) -> Result<Json, String> {
-    let pruning = request_pruning(request, opts)?;
-    let snapshot = store.read().expect("store lock").snapshot();
-    let mut batch = JraBatch::new(Arc::clone(&snapshot), pruning);
+    let pruning = request_pruning(request)?;
     // Per-entry failure independence holds at parse time too: a malformed
-    // query gets its own error entry while its neighbours still run.
-    let mut parse_errors: Vec<Option<String>> = Vec::new();
+    // batch entry gets its own error entry while its neighbours still run.
+    // `slots` maps each positional entry to its parsed spec or parse error.
+    let mut specs: Vec<JraSpec> = Vec::new();
+    let mut slots: Vec<Result<usize, String>> = Vec::new();
     if batched {
         let queries =
             request.get("queries").and_then(Json::as_arr).ok_or("\"queries\" must be an array")?;
         for q in queries {
-            match parse_query(&snapshot, q) {
-                Ok(query) => {
-                    batch.push(query);
-                    parse_errors.push(None);
+            match parse_jra_spec(q, pruning) {
+                Ok(spec) => {
+                    slots.push(Ok(specs.len()));
+                    specs.push(spec);
                 }
-                Err(e) => parse_errors.push(Some(e)),
+                Err(e) => slots.push(Err(e)),
             }
         }
     } else {
-        batch.push(parse_query(&snapshot, request)?);
-        parse_errors.push(None);
+        slots.push(Ok(0));
+        specs.push(parse_jra_spec(request, pruning)?);
     }
-    let mut outcomes = batch.run().into_iter();
+
+    let typed = if batched {
+        SolveRequest::JraBatch(specs)
+    } else {
+        SolveRequest::Jra(specs.into_iter().next().expect("single query parsed"))
+    };
+    let plan = service.plan(&typed);
+    let snapshot = Arc::clone(&plan.snapshot);
+    let outcome = service.execute_plan(plan).map_err(|e| e.to_string())?;
+    let Answer::Jra(answers) = &outcome.answer else { unreachable!("jra request, jra answer") };
+    let names = |r: usize| snapshot.instance().reviewer_name(r);
+
+    let entry = |slot: &Result<usize, String>| -> Result<&JraAnswer, String> {
+        match slot {
+            Ok(i) => answers[*i].as_ref().map_err(Clone::clone),
+            Err(e) => Err(e.clone()),
+        }
+    };
     let epoch = Json::Num(snapshot.epoch() as f64);
     if batched {
-        let results: Vec<Json> = parse_errors
+        let results: Vec<Json> = slots
             .iter()
-            .map(|parse_error| match parse_error {
-                Some(e) => error_response(e),
-                None => match outcomes.next().expect("one outcome per parsed query") {
-                    Ok(results) => Json::obj([
-                        ("ok", Json::Bool(true)),
-                        ("results", render_results(&snapshot, &results)),
-                    ]),
-                    Err(e) => error_response(&e.to_string()),
+            .map(|slot| match entry(slot) {
+                Err(e) => match proto {
+                    Protocol::V1 => error_response(&e),
+                    Protocol::V2 => Json::obj([("ok", Json::Bool(false)), ("error", Json::Str(e))]),
                 },
+                Ok(answer) => {
+                    let mut members = vec![("ok", Json::Bool(true))];
+                    if proto == Protocol::V2 {
+                        members.extend(v2_diag_members(answer.cache, Some(&answer.key), None));
+                    }
+                    members.push(("results", render_results(&names, &answer.results)));
+                    Json::obj(members)
+                }
             })
             .collect();
-        Ok(Json::obj([
-            ("ok", Json::Bool(true)),
-            ("op", Json::Str("batch".into())),
-            ("epoch", epoch),
-            ("results", Json::Arr(results)),
-        ]))
-    } else {
-        match outcomes.next().expect("one query, one outcome") {
-            Ok(results) => Ok(Json::obj([
-                ("ok", Json::Bool(true)),
-                ("op", Json::Str("jra".into())),
-                ("epoch", epoch),
-                ("results", render_results(&snapshot, &results)),
-            ])),
-            Err(e) => Err(e.to_string()),
+        let mut members = vec![("ok", Json::Bool(true))];
+        if proto == Protocol::V2 {
+            members.push(("v", Json::Num(2.0)));
         }
+        members.push(("op", Json::Str("batch".into())));
+        members.push(("epoch", epoch));
+        if proto == Protocol::V2 {
+            members.extend(v2_diag_members(
+                outcome.diag.cache,
+                outcome.diag.key.as_ref(),
+                outcome.diag.loss_bound,
+            ));
+        }
+        members.push(("results", Json::Arr(results)));
+        Ok(Json::obj(members))
+    } else {
+        let answer = entry(&slots[0])?;
+        let mut members = vec![("ok", Json::Bool(true))];
+        if proto == Protocol::V2 {
+            members.push(("v", Json::Num(2.0)));
+        }
+        members.push(("op", Json::Str("jra".into())));
+        members.push(("epoch", epoch));
+        if proto == Protocol::V2 {
+            members.extend(v2_diag_members(
+                answer.cache,
+                Some(&answer.key),
+                outcome.diag.loss_bound,
+            ));
+        }
+        members.push(("results", render_results(&names, &answer.results)));
+        Ok(Json::obj(members))
     }
 }
 
@@ -346,84 +420,83 @@ fn parse_update(value: &Json) -> Result<Update, String> {
     }
 }
 
-fn handle_update(store: &RwLock<VersionedStore>, request: &Json) -> Result<Json, String> {
+fn handle_update(service: &Service, request: &Json, proto: Protocol) -> Result<Json, String> {
     let items =
         request.get("updates").and_then(Json::as_arr).ok_or("\"updates\" must be an array")?;
     let updates: Vec<Update> = items.iter().map(parse_update).collect::<Result<_, _>>()?;
-    let mut guard = store.write().expect("store lock");
-    let epoch = guard.apply(&updates).map_err(|e| e.to_string())?;
-    let snapshot = guard.snapshot();
-    drop(guard);
-    Ok(Json::obj([
-        ("ok", Json::Bool(true)),
+    let outcome = service.execute(&SolveRequest::Update(updates)).map_err(|e| e.to_string())?;
+    let Answer::Update(answer) = &outcome.answer else { unreachable!("update answer") };
+    let mut members = vec![("ok", Json::Bool(true))];
+    if proto == Protocol::V2 {
+        members.push(("v", Json::Num(2.0)));
+    }
+    members.extend([
         ("op", Json::Str("update".into())),
-        ("epoch", Json::Num(epoch as f64)),
-        ("applied", Json::Num(updates.len() as f64)),
-        ("papers", Json::Num(snapshot.instance().num_papers() as f64)),
-        ("reviewers", Json::Num(snapshot.instance().num_reviewers() as f64)),
-    ]))
+        ("epoch", Json::Num(outcome.diag.epoch as f64)),
+        ("applied", Json::Num(answer.applied as f64)),
+        ("papers", Json::Num(answer.papers as f64)),
+        ("reviewers", Json::Num(answer.reviewers as f64)),
+    ]);
+    Ok(Json::obj(members))
 }
 
-fn handle_assign(
-    store: &RwLock<VersionedStore>,
-    request: &Json,
-    opts: &ServeOptions,
-) -> Result<Json, String> {
-    let pruning = request_pruning(request, opts)?;
+fn handle_assign(service: &Service, request: &Json, proto: Protocol) -> Result<Json, String> {
+    let pruning = request_pruning(request)?;
     let method = match request.get("method") {
-        None => opts.method,
+        None => None,
         Some(v) => {
             let label = v.as_str().ok_or("\"method\" must be a string")?;
-            CraAlgorithm::ALL
-                .into_iter()
-                .find(|m| m.label().eq_ignore_ascii_case(label))
-                .ok_or_else(|| format!("unknown method '{label}'"))?
+            Some(spec::method_by_label(label).map_err(|e| e.to_string())?)
         }
     };
-    // Admit at the current epoch; the solve below holds no lock, so
-    // updates landing meanwhile simply publish newer epochs.
-    let snapshot = store.read().expect("store lock").snapshot();
-    let ctx = snapshot.ctx();
-    let solver = method.solver_with(pruning);
-    let assignment = solver.solve(ctx).map_err(|e| e.to_string())?;
-    assignment.validate(snapshot.instance()).map_err(|e| e.to_string())?;
-    let scoring = ctx.scoring();
-    let groups: Vec<Json> = (0..assignment.num_papers())
-        .map(|p| Json::nums(assignment.group(p).iter().map(|&r| r as f64)))
+    let outcome = service
+        .execute(&SolveRequest::Cra { method, pruning, seed: None })
+        .map_err(|e| e.to_string())?;
+    let Answer::Cra(answer) = &outcome.answer else { unreachable!("cra answer") };
+    let groups: Vec<Json> = (0..answer.assignment.num_papers())
+        .map(|p| Json::nums(answer.assignment.group(p).iter().map(|&r| r as f64)))
         .collect();
-    Ok(Json::obj([
-        ("ok", Json::Bool(true)),
-        ("op", Json::Str("assign".into())),
-        ("epoch", Json::Num(snapshot.epoch() as f64)),
-        ("method", Json::Str(method.label().into())),
-        ("coverage", Json::Num(assignment.coverage_score(snapshot.instance(), scoring))),
-        ("groups", Json::Arr(groups)),
-    ]))
-}
-
-fn scoring_label(scoring: Scoring) -> &'static str {
-    match scoring {
-        Scoring::WeightedCoverage => "weighted",
-        Scoring::ReviewerCoverage => "reviewer",
-        Scoring::PaperCoverage => "paper",
-        Scoring::DotProduct => "dot",
+    let mut members = vec![("ok", Json::Bool(true))];
+    if proto == Protocol::V2 {
+        members.push(("v", Json::Num(2.0)));
     }
+    members.extend([
+        ("op", Json::Str("assign".into())),
+        ("epoch", Json::Num(outcome.diag.epoch as f64)),
+    ]);
+    if proto == Protocol::V2 {
+        members.extend(v2_diag_members(
+            outcome.diag.cache,
+            outcome.diag.key.as_ref(),
+            outcome.diag.loss_bound,
+        ));
+    }
+    members.extend([
+        ("method", Json::Str(answer.method.label().into())),
+        ("coverage", Json::Num(answer.coverage)),
+        ("groups", Json::Arr(groups)),
+    ]);
+    Ok(Json::obj(members))
 }
 
-fn handle_stats(snapshot: &Snapshot) -> Json {
-    let inst = snapshot.instance();
-    let mut members = vec![
-        ("ok", Json::Bool(true)),
+fn handle_stats(service: &Service, request: &Json, proto: Protocol) -> Result<Json, String> {
+    let outcome = service.execute(&SolveRequest::Stats).map_err(|e| e.to_string())?;
+    let Answer::Stats(stats) = &outcome.answer else { unreachable!("stats answer") };
+    let mut members = vec![("ok", Json::Bool(true))];
+    if proto == Protocol::V2 {
+        members.push(("v", Json::Num(2.0)));
+    }
+    members.extend([
         ("op", Json::Str("stats".into())),
-        ("epoch", Json::Num(snapshot.epoch() as f64)),
-        ("papers", Json::Num(inst.num_papers() as f64)),
-        ("reviewers", Json::Num(inst.num_reviewers() as f64)),
-        ("topics", Json::Num(inst.num_topics() as f64)),
-        ("delta_p", Json::Num(inst.delta_p() as f64)),
-        ("delta_r", Json::Num(inst.delta_r() as f64)),
-        ("scoring", Json::Str(scoring_label(snapshot.ctx().scoring()).into())),
-    ];
-    if let Some(s) = snapshot.candidates().coverage_stats() {
+        ("epoch", Json::Num(outcome.diag.epoch as f64)),
+        ("papers", Json::Num(stats.papers as f64)),
+        ("reviewers", Json::Num(stats.reviewers as f64)),
+        ("topics", Json::Num(stats.topics as f64)),
+        ("delta_p", Json::Num(stats.delta_p as f64)),
+        ("delta_r", Json::Num(stats.delta_r as f64)),
+        ("scoring", Json::Str(stats.scoring.label().into())),
+    ]);
+    if let Some(s) = stats.support {
         members.push((
             "candidate_support",
             Json::obj([
@@ -435,14 +508,45 @@ fn handle_stats(snapshot: &Snapshot) -> Json {
             ]),
         ));
     }
-    Json::obj(members)
+    if proto == Protocol::V2 {
+        members.push((
+            "cache",
+            Json::obj([
+                ("size", Json::Num(stats.cache.size as f64)),
+                ("hits", Json::Num(stats.cache.hits as f64)),
+                ("misses", Json::Num(stats.cache.misses as f64)),
+            ]),
+        ));
+        members.push((
+            "store",
+            Json::obj([
+                ("batches", Json::Num(stats.store.batches as f64)),
+                ("updates", Json::Num(stats.store.updates as f64)),
+            ]),
+        ));
+        // Wall-clock timings are non-deterministic, so they are opt-in:
+        // golden sessions never request them.
+        if request.get("timings").and_then(Json::as_bool) == Some(true) {
+            members.push((
+                "timings",
+                Json::obj([
+                    ("last_build_us", Json::Num(stats.store.last_build.as_micros() as f64)),
+                    ("total_build_us", Json::Num(stats.store.total_build.as_micros() as f64)),
+                    ("last_publish_us", Json::Num(stats.store.last_publish.as_micros() as f64)),
+                    ("total_publish_us", Json::Num(stats.store.total_publish.as_micros() as f64)),
+                ]),
+            ));
+        }
+    }
+    Ok(Json::obj(members))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wgrap_core::prelude::Scoring;
 
-    fn test_store() -> RwLock<VersionedStore> {
+    fn test_service() -> Service {
         let text = "\
 topics 3
 delta_p 2
@@ -455,11 +559,11 @@ paper p-23 0.0 0.3 0.7
 coi alice p-17
 ";
         let inst = wgrap_core::io::parse_instance(text).unwrap();
-        RwLock::new(VersionedStore::new(inst, Scoring::WeightedCoverage, 42))
+        Service::new(inst, Scoring::WeightedCoverage, 42)
     }
 
-    fn respond(store: &RwLock<VersionedStore>, line: &str) -> Json {
-        handle_line(store, line, &ServeOptions::default())
+    fn respond(service: &Service, line: &str) -> Json {
+        handle_line(service, line)
     }
 
     fn ok(v: &Json) -> bool {
@@ -468,14 +572,14 @@ coi alice p-17
 
     #[test]
     fn jra_by_name_id_and_adhoc_agree() {
-        let store = test_store();
-        let by_name = respond(&store, r#"{"op":"jra","paper_name":"p-23"}"#);
-        let by_id = respond(&store, r#"{"op":"jra","paper_id":1}"#);
+        let service = test_service();
+        let by_name = respond(&service, r#"{"op":"jra","paper_name":"p-23"}"#);
+        let by_id = respond(&service, r#"{"op":"jra","paper_id":1}"#);
         assert!(ok(&by_name) && ok(&by_id));
         assert_eq!(by_name.get("results"), by_id.get("results"));
         // The same vector as an ad-hoc query scores identically (no COI on
         // p-23, so the masks agree too).
-        let adhoc = respond(&store, r#"{"op":"jra","paper":[0.0,0.3,0.7]}"#);
+        let adhoc = respond(&service, r#"{"op":"jra","paper":[0.0,0.3,0.7]}"#);
         assert!(ok(&adhoc));
         let score = |v: &Json| {
             v.get("results").unwrap().as_arr().unwrap()[0].get("score").unwrap().as_f64().unwrap()
@@ -485,8 +589,8 @@ coi alice p-17
 
     #[test]
     fn coi_respected_in_stored_queries() {
-        let store = test_store();
-        let v = respond(&store, r#"{"op":"jra","paper_name":"p-17"}"#);
+        let service = test_service();
+        let v = respond(&service, r#"{"op":"jra","paper_name":"p-17"}"#);
         assert!(ok(&v));
         let group = v.get("results").unwrap().as_arr().unwrap()[0].get("group").unwrap().clone();
         // alice (id 0) is conflicted with p-17.
@@ -495,25 +599,25 @@ coi alice p-17
 
     #[test]
     fn update_then_query_sees_new_epoch() {
-        let store = test_store();
+        let service = test_service();
         let up = respond(
-            &store,
+            &service,
             r#"{"op":"update","updates":[{"kind":"add_reviewer","name":"dave","expertise":[0.0,0.0,1.0]}]}"#,
         );
         assert!(ok(&up), "{up}");
         assert_eq!(up.get("epoch").and_then(Json::as_usize), Some(1));
         assert_eq!(up.get("reviewers").and_then(Json::as_usize), Some(4));
         // dave now dominates topic-3-heavy queries.
-        let v = respond(&store, r#"{"op":"jra","paper":[0.0,0.0,1.0],"delta_p":1}"#);
+        let v = respond(&service, r#"{"op":"jra","paper":[0.0,0.0,1.0],"delta_p":1}"#);
         let group = v.get("results").unwrap().as_arr().unwrap()[0].get("group").unwrap().clone();
         assert_eq!(group.as_arr().unwrap()[0].as_usize(), Some(3));
     }
 
     #[test]
     fn batch_reports_per_query_errors() {
-        let store = test_store();
+        let service = test_service();
         let v = respond(
-            &store,
+            &service,
             r#"{"op":"batch","queries":[{"paper_id":0},{"paper_id":99},{"paper_name":"p-23","top_k":2}]}"#,
         );
         assert!(ok(&v), "{v}");
@@ -529,9 +633,9 @@ coi alice p-17
     fn batch_parse_errors_stay_per_entry() {
         // A query that fails at *parse* time (bad delta_p type) must not
         // poison its positional neighbours.
-        let store = test_store();
+        let service = test_service();
         let v = respond(
-            &store,
+            &service,
             r#"{"op":"batch","queries":[{"paper_id":0},{"paper_id":1,"delta_p":"two"},{"paper_id":1}]}"#,
         );
         assert!(ok(&v), "{v}");
@@ -547,25 +651,44 @@ coi alice p-17
     }
 
     #[test]
+    fn batch_name_resolution_errors_stay_per_entry() {
+        // A name that fails at *plan* time behaves exactly like a parse
+        // failure: its own error entry, neighbours unharmed.
+        let service = test_service();
+        let v = respond(
+            &service,
+            r#"{"op":"batch","queries":[{"paper_id":0},{"paper_name":"p-99"},{"paper_id":1}]}"#,
+        );
+        assert!(ok(&v), "{v}");
+        let results = v.get("results").unwrap().as_arr().unwrap();
+        assert!(ok(&results[0]));
+        assert_eq!(results[1].get("error").unwrap().as_str().unwrap(), "unknown paper 'p-99'");
+        assert!(ok(&results[2]));
+    }
+
+    #[test]
     fn assign_and_stats_roundtrip() {
-        let store = test_store();
-        let a = respond(&store, r#"{"op":"assign","method":"SDGA"}"#);
+        let service = test_service();
+        let a = respond(&service, r#"{"op":"assign","method":"SDGA"}"#);
         assert!(ok(&a), "{a}");
         assert_eq!(a.get("groups").unwrap().as_arr().unwrap().len(), 2);
-        let s = respond(&store, r#"{"op":"stats"}"#);
+        let s = respond(&service, r#"{"op":"stats"}"#);
         assert!(ok(&s));
         assert_eq!(s.get("papers").and_then(Json::as_usize), Some(2));
         assert_eq!(s.get("scoring").and_then(Json::as_str), Some("weighted"));
         assert!(s.get("candidate_support").is_some());
+        // v1 stats stay free of the v2-only members.
+        assert!(s.get("cache").is_none());
+        assert!(s.get("store").is_none());
     }
 
     #[test]
     fn malformed_lines_do_not_kill_the_session() {
-        let store = test_store();
+        let service = test_service();
         let input =
             "not json\n{\"op\":\"nope\"}\n{\"op\":\"jra\",\"paper_id\":0}\n\n{\"op\":\"stats\"}\n";
         let mut out = Vec::new();
-        serve_connection(&store, input.as_bytes(), &mut out, &ServeOptions::default()).unwrap();
+        serve_connection(&service, input.as_bytes(), &mut out).unwrap();
         let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().trim_end().lines().collect();
         assert_eq!(lines.len(), 4);
         assert!(lines[0].contains("\"ok\":false"));
@@ -576,26 +699,94 @@ coi alice p-17
 
     #[test]
     fn pruning_override_parses_and_bad_values_error() {
-        let store = test_store();
-        let v = respond(&store, r#"{"op":"jra","paper_id":0,"pruning":"topk:2"}"#);
+        let service = test_service();
+        let v = respond(&service, r#"{"op":"jra","paper_id":0,"pruning":"topk:2"}"#);
         assert!(ok(&v), "{v}");
-        let bad = respond(&store, r#"{"op":"jra","paper_id":0,"pruning":"bogus"}"#);
+        let bad = respond(&service, r#"{"op":"jra","paper_id":0,"pruning":"bogus"}"#);
         assert!(!ok(&bad));
+    }
+
+    #[test]
+    fn v2_responses_carry_cache_and_key() {
+        let service = test_service();
+        let cold = respond(&service, r#"{"v":2,"op":"jra","paper_id":0}"#);
+        assert!(ok(&cold), "{cold}");
+        assert_eq!(cold.get("v").and_then(Json::as_usize), Some(2));
+        assert_eq!(cold.get("cache").and_then(Json::as_str), Some("miss"));
+        assert!(cold.get("key").and_then(Json::as_str).unwrap().starts_with("jra|"));
+        let warm = respond(&service, r#"{"v":2,"op":"jra","paper_id":0}"#);
+        assert_eq!(warm.get("cache").and_then(Json::as_str), Some("hit"));
+        // Identical answers, hit or miss — the cache contract.
+        assert_eq!(cold.get("results"), warm.get("results"));
+        // And a v1 spelling of the same query also hits the shared cache.
+        let v1 = respond(&service, r#"{"op":"jra","paper_id":0}"#);
+        assert_eq!(v1.get("results"), warm.get("results"));
+        assert!(v1.get("cache").is_none(), "v1 responses stay v1-shaped");
+    }
+
+    #[test]
+    fn v2_batch_reports_per_entry_cache() {
+        let service = test_service();
+        respond(&service, r#"{"op":"jra","paper_id":1}"#);
+        let v =
+            respond(&service, r#"{"v":2,"op":"batch","queries":[{"paper_id":1},{"paper_id":0}]}"#);
+        assert!(ok(&v), "{v}");
+        let results = v.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results[0].get("cache").and_then(Json::as_str), Some("hit"));
+        assert_eq!(results[1].get("cache").and_then(Json::as_str), Some("miss"));
+        assert_eq!(v.get("cache").and_then(Json::as_str), Some("miss"));
+    }
+
+    #[test]
+    fn v2_stats_reports_cache_and_store_counters() {
+        let service = test_service();
+        respond(&service, r#"{"op":"jra","paper_id":0}"#);
+        respond(&service, r#"{"op":"jra","paper_id":0}"#);
+        respond(&service, r#"{"op":"update","updates":[{"kind":"retire_reviewer","reviewer":2}]}"#);
+        let s = respond(&service, r#"{"v":2,"op":"stats"}"#);
+        assert!(ok(&s), "{s}");
+        let cache = s.get("cache").unwrap();
+        assert_eq!(cache.get("hits").and_then(Json::as_usize), Some(1));
+        assert_eq!(cache.get("misses").and_then(Json::as_usize), Some(1));
+        assert_eq!(cache.get("size").and_then(Json::as_usize), Some(0), "publish cleared");
+        let store = s.get("store").unwrap();
+        assert_eq!(store.get("batches").and_then(Json::as_usize), Some(1));
+        assert!(s.get("timings").is_none(), "timings are opt-in");
+        let t = respond(&service, r#"{"v":2,"op":"stats","timings":true}"#);
+        assert!(t.get("timings").is_some());
+    }
+
+    #[test]
+    fn v2_loss_bound_appears_under_topk() {
+        let service = test_service();
+        let v = respond(&service, r#"{"v":2,"op":"jra","paper_id":0,"pruning":"topk:1"}"#);
+        assert!(ok(&v), "{v}");
+        assert!(v.get("loss_bound").and_then(Json::as_f64).unwrap() > 0.0);
+        let exact = respond(&service, r#"{"v":2,"op":"jra","paper_id":0}"#);
+        assert!(exact.get("loss_bound").is_none());
+    }
+
+    #[test]
+    fn unsupported_protocol_version_errors() {
+        let service = test_service();
+        let v = respond(&service, r#"{"v":3,"op":"stats"}"#);
+        assert!(!ok(&v));
+        assert!(v.get("error").unwrap().as_str().unwrap().contains("protocol version"));
     }
 
     #[test]
     fn tcp_session_roundtrips() {
         use std::io::{BufRead, BufReader, Write};
-        let store = Arc::new(test_store());
+        let service = Arc::new(test_service());
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let server = {
-            let store = Arc::clone(&store);
+            let service = Arc::clone(&service);
             std::thread::spawn(move || {
                 // Accept exactly one connection for the test.
                 let (socket, _) = listener.accept().unwrap();
                 let reader = BufReader::new(socket.try_clone().unwrap());
-                serve_connection(&store, reader, socket, &ServeOptions::default()).unwrap();
+                serve_connection(&service, reader, socket).unwrap();
             })
         };
         let mut client = std::net::TcpStream::connect(addr).unwrap();

@@ -19,6 +19,21 @@
 //! `epoch + 1`. A batch of [`Update`]s is atomic: any failure discards the
 //! scratch copy and the published state is unchanged.
 //!
+//! # Build / publish split (non-blocking admissions)
+//!
+//! The store is internally synchronized and its write path is **two-phase**:
+//! [`VersionedStore::begin_update`] performs the whole copy-on-write build
+//! (tens of milliseconds at P=5k/R=10k) while holding only a *builder gate*
+//! that serializes writers with each other; [`PendingUpdate::publish`] then
+//! swaps the `Arc` under the snapshot lock — a pointer store. Readers
+//! ([`VersionedStore::snapshot`], i.e. every `jra`/`batch`/`assign`
+//! admission) share that lock only with the swap, never with the build, so
+//! a concurrent admission waits at most an `Arc` clone even while an update
+//! batch is mid-build. [`VersionedStore::apply`] is the one-call spelling
+//! (`begin_update` + `publish`), and [`VersionedStore::stats`] reports the
+//! measured build-vs-publish timings so the split is observable from the
+//! `stats` op.
+//!
 //! # Incremental updates, bit-identically
 //!
 //! Each [`Update`] patches exactly the state it touches:
@@ -46,7 +61,8 @@
 //! engine makes.
 
 use crate::{Error, Result};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::time::{Duration, Instant};
 use wgrap_core::engine::{CandidateSet, ScoreContext};
 use wgrap_core::prelude::{Instance, Scoring};
 use wgrap_core::topic::TopicVector;
@@ -194,39 +210,112 @@ impl Snapshot {
     }
 }
 
+/// Cumulative write-path accounting: how long builds take vs how long the
+/// published swap takes. The gap between the two is exactly what the
+/// build/publish split buys concurrent admissions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreStats {
+    /// Published update batches.
+    pub batches: u64,
+    /// Individual [`Update`]s across all published batches.
+    pub updates: u64,
+    /// Wall time of the most recent copy-on-write build.
+    pub last_build: Duration,
+    /// Total wall time spent in copy-on-write builds.
+    pub total_build: Duration,
+    /// Wall time of the most recent publish (`Arc` swap under the lock).
+    pub last_publish: Duration,
+    /// Total wall time spent publishing.
+    pub total_publish: Duration,
+}
+
 /// The mutable front of the snapshot chain: holds the current
-/// `Arc<Snapshot>` and applies updates copy-on-write. See the module docs.
+/// `Arc<Snapshot>` and applies updates copy-on-write, build split from
+/// publish. Internally synchronized — `&self` everywhere, share it behind a
+/// plain `Arc`. See the module docs.
 #[derive(Debug)]
 pub struct VersionedStore {
-    current: Arc<Snapshot>,
+    /// Readers hold this only for an `Arc` clone; publish holds it only for
+    /// the pointer swap.
+    current: RwLock<Arc<Snapshot>>,
+    /// Serializes writers with each other across the whole build+publish
+    /// window (held by [`PendingUpdate`]), so epochs are assigned in
+    /// publish order and builds never race.
+    builder: Mutex<()>,
+    stats: Mutex<StoreStats>,
 }
 
 impl VersionedStore {
     /// Serve `inst` under `scoring`; `seed` feeds stochastic CRA solvers.
     pub fn new(inst: Instance, scoring: Scoring, seed: u64) -> Self {
-        Self { current: Arc::new(Snapshot::build(inst, scoring, seed)) }
+        Self {
+            current: RwLock::new(Arc::new(Snapshot::build(inst, scoring, seed))),
+            builder: Mutex::new(()),
+            stats: Mutex::new(StoreStats::default()),
+        }
     }
 
     /// Admit at the current epoch: an `Arc` to the live snapshot, safe to
-    /// hold across long solves while updates continue.
+    /// hold across long solves while updates continue. Never waits on a
+    /// build — only on an in-flight publish's pointer swap.
     pub fn snapshot(&self) -> Arc<Snapshot> {
-        Arc::clone(&self.current)
+        Arc::clone(&self.current.read().expect("store snapshot lock"))
     }
 
     /// The current epoch.
     pub fn epoch(&self) -> u64 {
-        self.current.epoch
+        self.snapshot().epoch
+    }
+
+    /// Write-path timing counters (build vs publish).
+    pub fn stats(&self) -> StoreStats {
+        *self.stats.lock().expect("store stats lock")
     }
 
     /// Apply a batch of updates atomically and publish `epoch + 1`.
     /// Returns the new epoch. On error nothing is published: readers keep
     /// seeing the old epoch and the scratch copy is dropped. An empty batch
     /// is a no-op: no copy, no new epoch.
-    pub fn apply(&mut self, updates: &[Update]) -> Result<u64> {
+    ///
+    /// One-call spelling of [`begin_update`](VersionedStore::begin_update) +
+    /// [`publish`](PendingUpdate::publish).
+    pub fn apply(&self, updates: &[Update]) -> Result<u64> {
+        Ok(self.begin_update(updates)?.publish())
+    }
+
+    /// Phase one of the write path: perform the whole copy-on-write build
+    /// off the read path. Holds the builder gate (serializing only against
+    /// other writers) until the returned [`PendingUpdate`] is published or
+    /// dropped; concurrent [`snapshot`](VersionedStore::snapshot) admissions
+    /// proceed untouched for the entire build. Dropping the pending update
+    /// abandons the build: nothing is published.
+    pub fn begin_update(&self, updates: &[Update]) -> Result<PendingUpdate<'_>> {
+        self.begin_update_hooked(updates, || ())
+    }
+
+    /// [`begin_update`](VersionedStore::begin_update) with a mid-build hook,
+    /// called after the copy-on-write clone while the builder gate is held —
+    /// the deterministic window the concurrent-admission tests park a build
+    /// in to prove admissions never wait on it.
+    #[doc(hidden)]
+    pub fn begin_update_hooked(
+        &self,
+        updates: &[Update],
+        mid_build: impl FnOnce(),
+    ) -> Result<PendingUpdate<'_>> {
+        let gate = self.builder.lock().expect("store builder lock");
         if updates.is_empty() {
-            return Ok(self.current.epoch);
+            mid_build();
+            return Ok(PendingUpdate {
+                store: self,
+                _gate: gate,
+                built: None,
+                build: Duration::ZERO,
+                applied: 0,
+            });
         }
-        let cur = &*self.current;
+        let start = Instant::now();
+        let cur = self.snapshot();
         // The copy in copy-on-write: flat arrays + instance + candidate set,
         // but never a cached dense pair matrix (a reader may have built one
         // through the shared snapshot; mutation would drop it unused).
@@ -235,13 +324,82 @@ impl VersionedStore {
             ctx.take_auto_candidates().unwrap_or_else(|| CandidateSet::build(&ctx, None));
         let mut topic_reviewers = cur.topic_reviewers.clone();
         let mut topic_papers = cur.topic_papers.clone();
+        mid_build();
         for update in updates {
             apply_one(&mut ctx, &mut cands, &mut topic_reviewers, &mut topic_papers, update)?;
         }
         ctx.install_auto_candidates(cands);
         let epoch = cur.epoch + 1;
-        self.current = Arc::new(Snapshot { epoch, ctx, topic_reviewers, topic_papers });
-        Ok(epoch)
+        Ok(PendingUpdate {
+            store: self,
+            _gate: gate,
+            built: Some(Snapshot { epoch, ctx, topic_reviewers, topic_papers }),
+            build: start.elapsed(),
+            applied: updates.len(),
+        })
+    }
+}
+
+/// A fully built but not yet visible snapshot — phase two of the write
+/// path. [`publish`](PendingUpdate::publish) makes it the store's current
+/// epoch with a bare `Arc` swap; dropping it instead abandons the build
+/// with nothing published. Holds the store's builder gate, so at most one
+/// pending update exists per store at a time.
+#[must_use = "a pending update publishes nothing until .publish() is called"]
+#[derive(Debug)]
+pub struct PendingUpdate<'a> {
+    store: &'a VersionedStore,
+    _gate: MutexGuard<'a, ()>,
+    built: Option<Snapshot>,
+    build: Duration,
+    applied: usize,
+}
+
+impl PendingUpdate<'_> {
+    /// The epoch [`publish`](PendingUpdate::publish) will return: `current
+    /// + 1`, or the unchanged current epoch for an empty (no-op) batch.
+    pub fn epoch(&self) -> u64 {
+        match &self.built {
+            Some(s) => s.epoch,
+            None => self.store.epoch(),
+        }
+    }
+
+    /// Wall time the copy-on-write build took (off the read path).
+    pub fn build_time(&self) -> Duration {
+        self.build
+    }
+
+    /// The snapshot [`publish`](PendingUpdate::publish) will install
+    /// (`None` for an empty, no-op batch). Lets callers read the
+    /// post-update state **consistently with the epoch they are about to
+    /// publish** — a fresh [`VersionedStore::snapshot`] taken after
+    /// `publish` returns may already belong to a later writer.
+    pub fn built(&self) -> Option<&Snapshot> {
+        self.built.as_ref()
+    }
+
+    /// Make the built snapshot current. This is the only write-path step
+    /// readers can ever wait on, and it is a pointer swap.
+    pub fn publish(self) -> u64 {
+        let Some(snapshot) = self.built else {
+            return self.store.epoch();
+        };
+        let epoch = snapshot.epoch;
+        let start = Instant::now();
+        {
+            let mut cur = self.store.current.write().expect("store publish lock");
+            *cur = Arc::new(snapshot);
+        }
+        let publish = start.elapsed();
+        let mut stats = self.store.stats.lock().expect("store stats lock");
+        stats.batches += 1;
+        stats.updates += self.applied as u64;
+        stats.last_build = self.build;
+        stats.total_build += self.build;
+        stats.last_publish = publish;
+        stats.total_publish += publish;
+        epoch
     }
 }
 
@@ -431,7 +589,7 @@ mod tests {
 
     #[test]
     fn epochs_advance_and_old_snapshots_survive() {
-        let mut store = VersionedStore::new(base(), Scoring::WeightedCoverage, 0);
+        let store = VersionedStore::new(base(), Scoring::WeightedCoverage, 0);
         let before = store.snapshot();
         assert_eq!(before.epoch(), 0);
         let e = store
@@ -445,7 +603,7 @@ mod tests {
 
     #[test]
     fn empty_batch_is_a_no_op() {
-        let mut store = VersionedStore::new(base(), Scoring::WeightedCoverage, 0);
+        let store = VersionedStore::new(base(), Scoring::WeightedCoverage, 0);
         let before = store.snapshot();
         assert_eq!(store.apply(&[]).unwrap(), 0);
         assert_eq!(store.epoch(), 0);
@@ -455,7 +613,7 @@ mod tests {
 
     #[test]
     fn failed_batch_is_atomic() {
-        let mut store = VersionedStore::new(base(), Scoring::WeightedCoverage, 0);
+        let store = VersionedStore::new(base(), Scoring::WeightedCoverage, 0);
         let err = store.apply(&[
             Update::AddReviewer { name: None, expertise: tv(&[0.9, 0.1, 0.0]) },
             Update::RetireReviewer { reviewer: 99 },
@@ -468,7 +626,7 @@ mod tests {
     #[test]
     fn add_paper_capacity_check() {
         // base: R=3, delta_r=2, delta_p=1 -> at most 6 papers.
-        let mut store = VersionedStore::new(base(), Scoring::WeightedCoverage, 0);
+        let store = VersionedStore::new(base(), Scoring::WeightedCoverage, 0);
         for _ in 0..4 {
             store
                 .apply(&[Update::AddPaper {
@@ -500,7 +658,7 @@ mod tests {
                 Update::RetireReviewer { reviewer: 2 },
                 Update::AddPaper { name: None, topics: tv(&[0.1, 0.0, 0.9]), coi: vec![] },
             ];
-            let mut store = VersionedStore::new(base(), scoring, 7);
+            let store = VersionedStore::new(base(), scoring, 7);
             let epoch = store.apply(&updates).unwrap();
             assert_eq!(epoch, 1);
             let want = reference_apply(&base(), scoring, 7, &updates).unwrap();
@@ -510,6 +668,87 @@ mod tests {
             assert!(snap.instance().is_coi(1, 2));
             assert_eq!(snap.instance().paper_name(2), "p-new");
         }
+    }
+
+    #[test]
+    fn begin_update_is_invisible_until_publish() {
+        let store = VersionedStore::new(base(), Scoring::WeightedCoverage, 0);
+        let before = store.snapshot();
+        let pending = store
+            .begin_update(&[Update::AddReviewer { name: None, expertise: tv(&[0.9, 0.1, 0.0]) }])
+            .unwrap();
+        // Fully built, nothing published: readers still see epoch 0.
+        assert_eq!(pending.epoch(), 1);
+        assert_eq!(store.epoch(), 0);
+        assert_eq!(store.snapshot().instance().num_reviewers(), 3);
+        assert!(Arc::ptr_eq(&before, &store.snapshot()));
+        assert_eq!(pending.publish(), 1);
+        assert_eq!(store.epoch(), 1);
+        assert_eq!(store.snapshot().instance().num_reviewers(), 4);
+        let stats = store.stats();
+        assert_eq!((stats.batches, stats.updates), (1, 1));
+        assert!(stats.total_build >= stats.last_build);
+    }
+
+    #[test]
+    fn dropped_pending_update_publishes_nothing() {
+        let store = VersionedStore::new(base(), Scoring::WeightedCoverage, 0);
+        let pending = store
+            .begin_update(&[Update::AddReviewer { name: None, expertise: tv(&[0.9, 0.1, 0.0]) }])
+            .unwrap();
+        drop(pending);
+        assert_eq!(store.epoch(), 0);
+        assert_eq!(store.stats().batches, 0);
+        // The gate was released on drop: the next writer proceeds.
+        assert_eq!(
+            store
+                .apply(&[Update::AddReviewer { name: None, expertise: tv(&[0.9, 0.1, 0.0]) }])
+                .unwrap(),
+            1
+        );
+    }
+
+    /// The acceptance-criteria scenario: a `jra` request is admitted and
+    /// fully solved while an update batch is parked **mid-build**. Under the
+    /// old design (build under the snapshot write lock) this test would
+    /// deadlock; under the split it passes because admissions only ever
+    /// share a lock with the publish swap.
+    #[test]
+    fn jra_admitted_while_update_is_mid_build() {
+        use crate::batch::{JraBatch, JraQuery, QueryPaper};
+        use std::sync::mpsc;
+        use wgrap_core::engine::PruningPolicy;
+
+        let store = Arc::new(VersionedStore::new(base(), Scoring::WeightedCoverage, 0));
+        let (in_build_tx, in_build_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let builder = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                let pending = store
+                    .begin_update_hooked(
+                        &[Update::AddReviewer { name: None, expertise: tv(&[0.9, 0.1, 0.0]) }],
+                        || {
+                            in_build_tx.send(()).expect("test channel");
+                            release_rx.recv().expect("test channel"); // park mid-build
+                        },
+                    )
+                    .expect("update builds");
+                pending.publish()
+            })
+        };
+        in_build_rx.recv().expect("builder reached mid-build");
+        // The build is parked right now. Admission + solve must complete.
+        let snap = store.snapshot();
+        assert_eq!(snap.epoch(), 0, "admitted at the still-current epoch");
+        let mut batch = JraBatch::new(Arc::clone(&snap), PruningPolicy::Auto);
+        batch.push(JraQuery::new(QueryPaper::Stored(0)));
+        let results = batch.run();
+        assert!(results[0].is_ok(), "jra solved during the in-flight build");
+        release_tx.send(()).expect("test channel");
+        assert_eq!(builder.join().expect("builder thread"), 1);
+        assert_eq!(store.epoch(), 1);
+        assert_eq!(store.stats().batches, 1);
     }
 
     #[test]

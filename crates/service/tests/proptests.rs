@@ -8,6 +8,11 @@
 //! 2. **Batched JRA determinism** — a [`JraBatch`] returns bit-identical
 //!    answers to solving its queries one at a time, under skewed per-query
 //!    cost, with the parallel feature on or off (positional writes).
+//! 3. **Request canonicalization** (`api_contracts`) — semantically equal
+//!    [`SolveRequest`]s (reordered/duplicated excludes, defaulted vs
+//!    explicit knobs, paper by name vs by id) plan to identical
+//!    `RequestKey`s, and a per-epoch cache hit is **bit-identical** to a
+//!    cold solve, for all four scorings.
 
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -123,13 +128,13 @@ proptest! {
             let want = reference_apply(&inst, scoring, seed, &updates).expect("reference applies");
 
             // One atomic batch.
-            let mut store = VersionedStore::new(inst.clone(), scoring, seed);
+            let store = VersionedStore::new(inst.clone(), scoring, seed);
             store.apply(&updates).expect("resolved updates apply");
             assert_snapshot_bit_eq(&store.snapshot(), &want);
             prop_assert_eq!(store.epoch(), 1);
 
             // One epoch per update: same final state, epoch per step.
-            let mut step_store = VersionedStore::new(inst.clone(), scoring, seed);
+            let step_store = VersionedStore::new(inst.clone(), scoring, seed);
             for u in &updates {
                 step_store.apply(std::slice::from_ref(u)).expect("applies");
             }
@@ -150,7 +155,7 @@ proptest! {
         let updates = resolve(&inst, &raws);
         let rebuilt =
             reference_apply(&inst, Scoring::WeightedCoverage, 0, &updates).expect("applies");
-        let mut store = VersionedStore::new(inst, Scoring::WeightedCoverage, 0);
+        let store = VersionedStore::new(inst, Scoring::WeightedCoverage, 0);
         store.apply(&updates).expect("applies");
         prop_assert_eq!(
             store.snapshot().candidate_pool_adhoc(&query),
@@ -226,6 +231,154 @@ fn skewed_batch_matches_one_at_a_time() {
                 }
                 (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
                 (a, b) => panic!("{pruning:?} query {i}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}
+
+/// Typed-request contracts: canonical keys and the result-cache
+/// bit-identity guarantee.
+mod api_contracts {
+    use super::{instance_strategy, sparse_topic_vector};
+    use proptest::prelude::*;
+    use wgrap_core::engine::PruningPolicy;
+    use wgrap_core::jra::JraResult;
+    use wgrap_core::prelude::Scoring;
+    use wgrap_service::api::{Answer, JraSpec, PaperRef, Service, SolveRequest};
+
+    fn assert_results_bit_eq(a: &[JraResult], b: &[JraResult]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.group, y.group);
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+            assert_eq!(x.nodes, y.nodes);
+        }
+    }
+
+    fn jra_results(outcome: &wgrap_service::api::Outcome) -> Vec<&JraResult> {
+        let Answer::Jra(answers) = &outcome.answer else { panic!("jra answer expected") };
+        answers.iter().flat_map(|a| a.as_ref().expect("query solves").results.iter()).collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Semantically equal requests — however spelled — get identical
+        /// keys; genuinely different knobs get different keys.
+        #[test]
+        fn equal_requests_plan_to_equal_keys(
+            inst in instance_strategy(5),
+            paper_sel in any::<u32>(),
+            raw_excludes in proptest::collection::vec(any::<u32>(), 0..5),
+            delta_p_explicit in any::<bool>(),
+            top_k in 1usize..4,
+        ) {
+            let service = Service::new(inst.clone(), Scoring::WeightedCoverage, 3);
+            let p = paper_sel as usize % inst.num_papers();
+            let excludes: Vec<u32> =
+                raw_excludes.iter().map(|&r| r % inst.num_reviewers() as u32).collect();
+
+            // Spelling A: defaults left implicit, excludes as generated.
+            let a = SolveRequest::Jra(JraSpec {
+                paper: PaperRef::Id(p),
+                delta_p: None,
+                top_k,
+                exclude: excludes.clone(),
+                pruning: None,
+            });
+            // Spelling B: paper by display name, every default explicit,
+            // excludes reversed and with a duplicated head.
+            let mut spelled_excludes: Vec<u32> = excludes.iter().rev().copied().collect();
+            if let Some(&first) = excludes.first() {
+                spelled_excludes.push(first);
+            }
+            let b = SolveRequest::Jra(JraSpec {
+                paper: PaperRef::Name(inst.paper_name(p)),
+                delta_p: delta_p_explicit.then(|| inst.delta_p()),
+                top_k,
+                exclude: spelled_excludes,
+                pruning: Some(PruningPolicy::Exact), // the service default
+            });
+            let (ka, kb) = (service.plan(&a).key, service.plan(&b).key);
+            prop_assert!(ka.is_some());
+            prop_assert_eq!(&ka, &kb);
+
+            // Different effective knobs must not collide.
+            let c = SolveRequest::Jra(JraSpec {
+                paper: PaperRef::Id(p),
+                delta_p: None,
+                top_k: top_k + 1,
+                exclude: excludes.clone(),
+                pruning: None,
+            });
+            prop_assert_ne!(&service.plan(&c).key, &ka);
+            let d = SolveRequest::Jra(JraSpec {
+                paper: PaperRef::Id(p),
+                delta_p: None,
+                top_k,
+                exclude: excludes,
+                pruning: Some(PruningPolicy::Auto),
+            });
+            prop_assert_ne!(&service.plan(&d).key, &ka);
+        }
+
+        /// The acceptance contract: a cache hit is bit-identical to a cold
+        /// solve — same groups, same score bits, same node counts — across
+        /// all four scorings, for stored and ad-hoc papers, single and
+        /// batched, and for CRA runs.
+        #[test]
+        fn cache_hits_are_bit_identical_to_cold_solves(
+            inst in instance_strategy(4),
+            adhoc in sparse_topic_vector(4),
+            seed in 0u64..500,
+        ) {
+            let requests = vec![
+                SolveRequest::jra(PaperRef::Id(0)),
+                SolveRequest::Jra(JraSpec {
+                    pruning: Some(PruningPolicy::Auto),
+                    ..JraSpec::new(PaperRef::Adhoc(adhoc.clone()))
+                }),
+                SolveRequest::JraBatch(vec![
+                    JraSpec::new(PaperRef::Id(1)),
+                    JraSpec::new(PaperRef::Adhoc(adhoc.clone())),
+                ]),
+                SolveRequest::cra(),
+            ];
+            for scoring in Scoring::ALL {
+                // `warm` answers every request twice (second time from
+                // cache); `fresh` is a brand-new service whose answers are
+                // all cold — the reference the hits must match bitwise.
+                let warm = Service::new(inst.clone(), scoring, seed);
+                let fresh = Service::new(inst.clone(), scoring, seed);
+                for request in &requests {
+                    let cold = warm.execute(request).expect("cold solve");
+                    let hit = warm.execute(request).expect("warm solve");
+                    let reference = fresh.execute(request).expect("fresh solve");
+                    prop_assert!(hit.diag.cache.is_hit(), "{scoring:?}: second solve must hit");
+                    match (&hit.answer, &reference.answer, &cold.answer) {
+                        (Answer::Jra(_), Answer::Jra(_), Answer::Jra(_)) => {
+                            let (h, r, c) =
+                                (jra_results(&hit), jra_results(&reference), jra_results(&cold));
+                            for ((h, r), c) in h.iter().zip(&r).zip(&c) {
+                                assert_results_bit_eq(
+                                    std::slice::from_ref(h),
+                                    std::slice::from_ref(r),
+                                );
+                                assert_results_bit_eq(
+                                    std::slice::from_ref(h),
+                                    std::slice::from_ref(c),
+                                );
+                            }
+                        }
+                        (Answer::Cra(h), Answer::Cra(r), Answer::Cra(c)) => {
+                            prop_assert_eq!(&h.assignment, &r.assignment);
+                            prop_assert_eq!(&h.assignment, &c.assignment);
+                            prop_assert_eq!(h.coverage.to_bits(), r.coverage.to_bits());
+                            prop_assert_eq!(h.coverage.to_bits(), c.coverage.to_bits());
+                        }
+                        _ => prop_assert!(false, "answer kinds diverged"),
+                    }
+                }
             }
         }
     }

@@ -2,17 +2,19 @@
 //! newline-delimited JSON protocol `wgrap serve <file>` speaks on
 //! stdin/stdout (and over `--listen HOST:PORT` TCP), run against an
 //! in-memory pipe so the transcript prints as `>>> request` / `<<< response`
-//! pairs.
+//! pairs. The tail of the session switches to protocol v2 (`"v":2`) to show
+//! the cache/key diagnostics the typed request layer adds — including a
+//! repeated query coming back as a `"cache":"hit"`, bit-identical to its
+//! cold solve.
 //!
 //! ```text
 //! cargo run --example serve
 //! ```
 
-use std::sync::RwLock;
 use wgrap::core::io;
 use wgrap::prelude::*;
+use wgrap::service::api::Service;
 use wgrap::service::server::handle_line;
-use wgrap::service::{ServeOptions, VersionedStore};
 
 const INSTANCE: &str = "\
 topics 3
@@ -37,22 +39,29 @@ const SESSION: &[&str] = &[
     // work-stealing pool under --features rayon, bit-identically.
     r#"{"op":"batch","queries":[{"paper_id":0},{"paper_id":1},{"paper":[0.9,0.1,0.0],"delta_p":1}]}"#,
     // The pool changes: dave joins, a new paper lands (with a COI), and
-    // alice's profile is re-scored — one atomic epoch bump, applied
-    // incrementally (no rebuild), bit-identical to one.
+    // alice's profile is re-scored — one atomic epoch bump, built
+    // copy-on-write off the read path and published with a bare Arc swap.
     r#"{"op":"update","updates":[{"kind":"add_reviewer","name":"dave","expertise":[0.0,0.1,0.9]},{"kind":"add_paper","name":"p-31","topics":[0.2,0.0,0.8],"coi":[1]},{"kind":"patch_scores","reviewer":0,"expertise":[0.9,0.1,0.0]}]}"#,
     // Queries now admit at epoch 1.
     r#"{"op":"jra","paper_name":"p-31"}"#,
     // A full conference assignment over the standing instance.
     r#"{"op":"assign","method":"SDGA"}"#,
+    // Protocol v2: same ops, typed through the same SolveRequest layer,
+    // with cache/key diagnostics in the response...
+    r#"{"v":2,"op":"jra","paper_name":"p-31"}"#,
+    // ... so the repeat is visibly a per-epoch cache hit (bit-identical).
+    r#"{"v":2,"op":"jra","paper_name":"p-31"}"#,
+    // And v2 stats expose the result cache and the store's
+    // build-vs-publish accounting.
+    r#"{"v":2,"op":"stats"}"#,
 ];
 
 fn main() -> Result<()> {
     let inst = io::parse_instance(INSTANCE)?;
-    let store = RwLock::new(VersionedStore::new(inst, Scoring::WeightedCoverage, 42));
-    let opts = ServeOptions::default();
+    let service = Service::new(inst, Scoring::WeightedCoverage, 42);
     for request in SESSION {
         println!(">>> {request}");
-        println!("<<< {}", handle_line(&store, request, &opts));
+        println!("<<< {}", handle_line(&service, request));
     }
     Ok(())
 }

@@ -20,39 +20,27 @@
 //!     Serve the instance: newline-delimited JSON requests on stdin (one
 //!     response line each) or, with --listen HOST:PORT, over TCP. Ops:
 //!     jra, batch, update, assign, stats — see wgrap_service::server.
+//!     Protocol v2 ({"v":2,...}) adds cache/key diagnostics; v1 requests
+//!     keep their exact pre-v2 response bytes.
 //! ```
+//!
+//! Every solving subcommand — `assign`, `journal`, `check`'s candidate
+//! stats, and all of `serve` — builds a typed
+//! [`SolveRequest`](wgrap::service::api::SolveRequest) and routes through
+//! [`Service`](wgrap::service::api::Service) planning: the CLI owns flag
+//! parsing and printing, nothing else. `--method` and `--scoring` resolve
+//! through the same registries (`wgrap_core::engine::spec`,
+//! [`Scoring::by_label`]) as the serve protocol, so every surface shares
+//! one set of labels and one unknown-label error message.
 
 use std::process::ExitCode;
 use wgrap::core::cra::ideal::{ideal_assignment, IdealMode};
-use wgrap::core::cra::CraAlgorithm;
-use wgrap::core::engine::{CandidateSet, PruningPolicy, ScoreContext};
+use wgrap::core::engine::spec::{self, MethodKind};
+use wgrap::core::engine::PruningPolicy;
 use wgrap::core::io;
-use wgrap::core::jra::bba;
 use wgrap::core::metrics;
 use wgrap::prelude::*;
-use wgrap::service::{ServeOptions, VersionedStore};
-
-fn scoring_by_name(name: &str) -> Option<Scoring> {
-    Some(match name {
-        "weighted" => Scoring::WeightedCoverage,
-        "reviewer" => Scoring::ReviewerCoverage,
-        "paper" => Scoring::PaperCoverage,
-        "dot" => Scoring::DotProduct,
-        _ => return None,
-    })
-}
-
-fn method_by_name(name: &str) -> Option<CraAlgorithm> {
-    Some(match name {
-        "sm" => CraAlgorithm::StableMatching,
-        "ilp" => CraAlgorithm::ArapIlp,
-        "brgg" => CraAlgorithm::Brgg,
-        "greedy" => CraAlgorithm::Greedy,
-        "sdga" => CraAlgorithm::Sdga,
-        "sdga-sra" => CraAlgorithm::SdgaSra,
-        _ => return None,
-    })
-}
+use wgrap::service::api::{Answer, Outcome, PaperRef, ServeOptions, Service, SolveRequest};
 
 /// Which flags each subcommand accepts — the single source of truth the
 /// parser validates against, so every subcommand shares one rejection path
@@ -84,7 +72,7 @@ fn unknown_flag(cmd: &str, flag: &str, allowed: &[&str]) -> Error {
 
 struct Flags {
     positional: Vec<String>,
-    method: CraAlgorithm,
+    method: Option<MethodKind>,
     scoring: Scoring,
     seed: u64,
     top_k: Option<usize>,
@@ -100,7 +88,7 @@ fn parse_flags(cmd: &str, args: &[String]) -> Result<Flags> {
         .unwrap_or(&[]);
     let mut flags = Flags {
         positional: Vec::new(),
-        method: CraAlgorithm::SdgaSra,
+        method: None,
         scoring: Scoring::WeightedCoverage,
         seed: 42,
         top_k: None,
@@ -119,14 +107,11 @@ fn parse_flags(cmd: &str, args: &[String]) -> Result<Flags> {
         };
         match arg.as_str() {
             "--method" => {
-                let v = value("--method")?;
-                flags.method = method_by_name(&v)
-                    .ok_or_else(|| Error::InvalidInstance(format!("unknown method '{v}'")))?;
+                // The shared registry: same labels, same error as serve.
+                flags.method = Some(spec::method_by_label(&value("--method")?)?);
             }
             "--scoring" => {
-                let v = value("--scoring")?;
-                flags.scoring = scoring_by_name(&v)
-                    .ok_or_else(|| Error::InvalidInstance(format!("unknown scoring '{v}'")))?;
+                flags.scoring = Scoring::by_label(&value("--scoring")?)?;
             }
             "--seed" => {
                 flags.seed = value("--seed")?
@@ -165,24 +150,52 @@ fn read(path: &str) -> Result<String> {
         .map_err(|e| Error::InvalidInstance(format!("cannot read {path}: {e}")))
 }
 
+/// Build the [`Service`] a subcommand plans its requests against.
+fn service_for(inst: Instance, flags: &Flags) -> Service {
+    let options = ServeOptions {
+        pruning: flags.pruning.unwrap_or_default(),
+        method: flags.method.unwrap_or(MethodKind::Cra(CraAlgorithm::SdgaSra)),
+    };
+    Service::with_options(inst, flags.scoring, flags.seed, options)
+}
+
+/// One shared diagnostics line (stderr, comment-prefixed so piped stdout
+/// stays machine-readable).
+fn eprint_diag(outcome: &Outcome) {
+    let d = &outcome.diag;
+    let loss = match d.loss_bound {
+        Some(b) => format!(", topk loss bound {b:.4}"),
+        None => String::new(),
+    };
+    eprintln!(
+        "# epoch {} | cache {} | plan {:.1?} | exec {:.1?}{loss}",
+        d.epoch,
+        d.cache.label(),
+        d.plan_time,
+        d.exec_time,
+    );
+}
+
 fn cmd_assign(flags: &Flags) -> Result<()> {
     let [path] = &flags.positional[..] else {
         return Err(Error::InvalidInstance("assign needs exactly one file".into()));
     };
     let inst = io::parse_instance(&read(path)?)?;
-    // One flat ScoreContext serves every solver; dispatch is through the
-    // engine's Solver trait.
-    let ctx = ScoreContext::new(&inst, flags.scoring).with_seed(flags.seed);
-    let solver = flags.method.solver_with(flags.pruning.unwrap_or_default());
-    let a = solver.solve(&ctx)?;
-    a.validate(&inst)?;
-    print!("{}", io::write_assignment(&inst, &a));
+    let service = service_for(inst, flags);
+    // The one typed entry point: defaults (method/pruning/seed) resolve in
+    // planning, identically to a serve-side "assign" op.
+    let outcome = service.execute(&SolveRequest::cra())?;
+    let Answer::Cra(answer) = &outcome.answer else { unreachable!("cra answer") };
+    let inst = service.snapshot();
+    let inst = inst.instance();
+    print!("{}", io::write_assignment(inst, &answer.assignment));
     eprintln!(
         "# {}: coverage {:.4}, lowest paper {:.4}",
-        solver.name(),
-        a.coverage_score(&inst, flags.scoring),
-        metrics::lowest_coverage(&inst, flags.scoring, &a),
+        answer.method.label(),
+        answer.coverage,
+        metrics::lowest_coverage(inst, flags.scoring, &answer.assignment),
     );
+    eprint_diag(&outcome);
     Ok(())
 }
 
@@ -202,25 +215,23 @@ fn cmd_check(flags: &Flags) -> Result<()> {
     );
     println!("lowest paper coverage: {:.4}", metrics::lowest_coverage(&inst, flags.scoring, &a));
 
-    // Candidate-coverage stats: how many reviewers score positively per
-    // paper. Picking --topk at or above the p75 keeps pruning near-lossless
-    // for most papers; the min flags papers where any truncation bites.
-    let ctx = ScoreContext::new(&inst, flags.scoring);
-    let cands = CandidateSet::build(&ctx, None);
-    if let Some(s) = cands.coverage_stats() {
+    // Candidate-coverage stats, through the same Stats request serve
+    // answers: how many reviewers score positively per paper. Picking
+    // --topk at or above the p75 keeps pruning near-lossless for most
+    // papers; the min flags papers where any truncation bites.
+    let delta_p = inst.delta_p();
+    let service = service_for(inst, flags);
+    let outcome = service.execute(&SolveRequest::Stats)?;
+    let Answer::Stats(stats) = &outcome.answer else { unreachable!("stats answer") };
+    if let Some(s) = stats.support {
         println!(
             "candidate support (reviewers with positive score per paper): \
              min {} / p25 {} / median {} / p75 {} / max {} (of {} reviewers)",
-            s.min,
-            s.p25,
-            s.median,
-            s.p75,
-            s.max,
-            inst.num_reviewers()
+            s.min, s.p25, s.median, s.p75, s.max, stats.reviewers
         );
         println!(
             "suggested --topk: {} (p75; lossless for >=75% of papers), exact pruning via --pruning auto",
-            s.p75.max(inst.delta_p())
+            s.p75.max(delta_p)
         );
     }
     Ok(())
@@ -231,17 +242,19 @@ fn cmd_journal(flags: &Flags) -> Result<()> {
         return Err(Error::InvalidInstance("journal needs <instance> <paper-name>".into()));
     };
     let inst = io::parse_instance(&read(inst_path)?)?;
-    let paper = (0..inst.num_papers())
-        .find(|&p| inst.paper_name(p) == *paper_name)
-        .ok_or_else(|| Error::InvalidInstance(format!("unknown paper '{paper_name}'")))?;
-    let ctx = ScoreContext::new(&inst, flags.scoring);
-    let opts = bba::BbaOptions { top_k: flags.top_k.unwrap_or(1), ..Default::default() };
-    let results = bba::solve_ctx_pruned(&ctx, paper, &opts, flags.pruning.unwrap_or_default())
-        .ok_or_else(|| Error::Infeasible("not enough non-conflicted reviewers".into()))?;
-    for (i, res) in results.iter().enumerate() {
-        let names: Vec<String> = res.group.iter().map(|&r| inst.reviewer_name(r)).collect();
+    let service = service_for(inst, flags);
+    let mut spec = wgrap::service::api::JraSpec::new(PaperRef::Name(paper_name.clone()));
+    spec.top_k = flags.top_k.unwrap_or(1);
+    let outcome = service.execute(&SolveRequest::Jra(spec))?;
+    let Answer::Jra(answers) = &outcome.answer else { unreachable!("jra answer") };
+    let answer = answers[0].as_ref().map_err(|e| Error::InvalidInstance(e.clone()))?;
+    let snapshot = service.snapshot();
+    for (i, res) in answer.results.iter().enumerate() {
+        let names: Vec<String> =
+            res.group.iter().map(|&r| snapshot.instance().reviewer_name(r)).collect();
         println!("#{} score {:.4}: {}", i + 1, res.score, names.join(" "));
     }
+    eprint_diag(&outcome);
     Ok(())
 }
 
@@ -270,16 +283,15 @@ fn cmd_serve(flags: &Flags) -> Result<()> {
         return Err(Error::InvalidInstance("serve needs exactly one instance file".into()));
     };
     let inst = io::parse_instance(&read(path)?)?;
-    let store = std::sync::RwLock::new(VersionedStore::new(inst, flags.scoring, flags.seed));
-    let opts = ServeOptions { pruning: flags.pruning.unwrap_or_default(), method: flags.method };
+    let service = service_for(inst, flags);
     match &flags.listen {
-        None => wgrap::service::serve_stdio(&store, &opts)
+        None => wgrap::service::serve_stdio(&service)
             .map_err(|e| Error::InvalidInstance(format!("serve I/O error: {e}"))),
         Some(addr) => {
             let listener = std::net::TcpListener::bind(addr)
                 .map_err(|e| Error::InvalidInstance(format!("cannot listen on {addr}: {e}")))?;
             eprintln!("# wgrap serve listening on {}", listener.local_addr().unwrap());
-            wgrap::service::serve_tcp(listener, std::sync::Arc::new(store), opts)
+            wgrap::service::serve_tcp(listener, std::sync::Arc::new(service))
                 .map_err(|e| Error::InvalidInstance(format!("serve I/O error: {e}")))
         }
     }

@@ -1,19 +1,23 @@
-//! Golden-file smoke test for `wgrap serve`: pipe the fixture request
-//! stream through the real binary and require byte-identical responses.
+//! Golden-file smoke tests for `wgrap serve`: pipe the fixture request
+//! streams through the real binary and require byte-identical responses.
 //!
-//! The same fixture pair drives the CI workflow's shell-level smoke step
-//! (rayon on and off share one golden file — serve responses are part of
-//! the engine's bit-determinism contract).
+//! Two sessions, one per protocol version: the v1 fixture predates the
+//! typed request layer and pins down that v1 replies are byte-identical
+//! through it; the v2 fixture covers the `"v":2` diagnostics (cache
+//! hit/miss, canonical keys, loss bounds, stats counters). The same
+//! fixture pairs drive the CI workflow's shell-level smoke steps (rayon on
+//! and off share each golden file — serve responses are part of the
+//! engine's bit-determinism contract, and the result cache's hit/miss
+//! sequence is deterministic for a fixed session).
 
 use std::io::Write;
 use std::process::{Command, Stdio};
 
 const FIXTURES: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
 
-#[test]
-fn serve_stdin_matches_golden_responses() {
-    let requests = std::fs::read_to_string(format!("{FIXTURES}/serve_requests.ndjson")).unwrap();
-    let golden = std::fs::read_to_string(format!("{FIXTURES}/serve_golden.ndjson")).unwrap();
+fn replay_session(requests_file: &str, golden_file: &str) {
+    let requests = std::fs::read_to_string(format!("{FIXTURES}/{requests_file}")).unwrap();
+    let golden = std::fs::read_to_string(format!("{FIXTURES}/{golden_file}")).unwrap();
 
     let mut child = Command::new(env!("CARGO_BIN_EXE_wgrap"))
         .arg("serve")
@@ -29,13 +33,23 @@ fn serve_stdin_matches_golden_responses() {
 
     let got = String::from_utf8(out.stdout).expect("responses are UTF-8");
     for (i, (g, w)) in got.lines().zip(golden.lines()).enumerate() {
-        assert_eq!(g, w, "response line {} diverged from golden", i + 1);
+        assert_eq!(g, w, "response line {} diverged from {golden_file}", i + 1);
     }
     assert_eq!(
         got.lines().count(),
         golden.lines().count(),
         "one response line per request, golden count must match"
     );
+}
+
+#[test]
+fn serve_stdin_matches_golden_responses() {
+    replay_session("serve_requests.ndjson", "serve_golden.ndjson");
+}
+
+#[test]
+fn serve_v2_stdin_matches_golden_responses() {
+    replay_session("serve_requests_v2.ndjson", "serve_golden_v2.ndjson");
 }
 
 #[test]
