@@ -1,0 +1,86 @@
+//! Page-size sweep for the paged snapshot storage: how `PagedVec` chunk
+//! geometry trades clone cost against single-row copy-on-write cost.
+//!
+//! The matrix is reviewer-shaped at the service-bench scale (R=10000 rows
+//! of T=300 `f64`s, ~23 MiB). For each target page size we measure:
+//!
+//! * **clone** — `PagedVec::clone` (per-page `Arc` refcount bumps): cost
+//!   grows with the page *count*, so tiny pages make every epoch clone
+//!   slower.
+//! * **row write** — a single-row [`PagedVec::write`] on a fresh clone
+//!   (one page copy-on-write): cost grows with the page *size*, so huge
+//!   pages re-copy more untouched rows per update.
+//!
+//! 64 KiB (the committed [`TARGET_PAGE_BYTES`]) sits where both curves are
+//! flat: clones are thousands of refcount bumps (microseconds) and a CoW
+//! duplicates ~27 rows. Records land in `BENCH_pages.json`; CI runs this
+//! sweep as a smoke check so a geometry regression is visible in the
+//! printed table.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+use wgrap_bench::report::BenchReport;
+use wgrap_core::engine::pages::{PagedVec, TARGET_PAGE_BYTES};
+
+const ROWS: usize = 10_000;
+const DIM: usize = 300;
+
+fn chunk_for(page_bytes: usize, dim: usize) -> usize {
+    let per_page = (page_bytes / std::mem::size_of::<f64>()).max(1);
+    (per_page / dim).max(1) * dim
+}
+
+fn main() {
+    let mut report = BenchReport::new("pages");
+    let mut rng = StdRng::seed_from_u64(5);
+    let flat: Vec<f64> = (0..ROWS * DIM).map(|_| rng.random::<f64>()).collect();
+    let row: Vec<f64> = (0..DIM).map(|_| rng.random::<f64>()).collect();
+
+    const REPS: usize = 200;
+    println!(
+        "pages_sweep rows={ROWS} dim={DIM} ({:.1} MiB matrix)",
+        (ROWS * DIM * 8) as f64 / (1 << 20) as f64
+    );
+    for page_bytes in [4 << 10, 16 << 10, TARGET_PAGE_BYTES, 256 << 10, 1 << 20] {
+        let chunk = chunk_for(page_bytes, DIM);
+        let paged = PagedVec::from_vec(flat.clone(), chunk);
+        let pages = paged.table().num_pages();
+
+        let start = Instant::now();
+        for _ in 0..REPS {
+            black_box(paged.clone());
+        }
+        let clone_t = start.elapsed() / REPS as u32;
+
+        let mut write_t = std::time::Duration::ZERO;
+        for i in 0..REPS {
+            let mut cow = paged.clone();
+            let r = (i * 313) % ROWS;
+            let start = Instant::now();
+            cow.write(r * DIM, &row);
+            write_t += start.elapsed();
+            black_box(&cow);
+        }
+        write_t /= REPS as u32;
+
+        println!(
+            "pages_sweep: {:>4} KiB target ({pages:>5} pages) clone {clone_t:>10.2?}  \
+             row-CoW {write_t:>10.2?}",
+            page_bytes >> 10
+        );
+        let params = [
+            ("page_bytes", page_bytes as f64),
+            ("pages", pages as f64),
+            ("rows", ROWS as f64),
+            ("dim", DIM as f64),
+        ];
+        report.record("page_sweep_clone", &params, &[clone_t], Some(1.0 / clone_t.as_secs_f64()));
+        report.record("page_sweep_row_cow", &params, &[write_t], Some(1.0 / write_t.as_secs_f64()));
+    }
+    match report.write() {
+        Ok(path) => println!("bench records -> {}", path.display()),
+        Err(e) => eprintln!("could not write bench records: {e}"),
+    }
+}

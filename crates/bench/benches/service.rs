@@ -17,13 +17,18 @@
 //! Reference numbers from one container run (release; the container has a
 //! **single core**, so these measure the pruning/amortisation win only —
 //! under `--features rayon` on a multi-core box the batch additionally
-//! fans out on the work-stealing pool): dense one-at-a-time 1.43 q/s vs
-//! batched Auto 1.78 q/s at batch 128 (~1.2×: the pooled `O(|pool|·T)`
+//! fans out on the work-stealing pool): dense one-at-a-time 1.12 q/s vs
+//! batched Auto 1.25–1.50 q/s (~1.1–1.3×: the pooled `O(|pool|·T)`
 //! setup; the exact branch-and-bound search dominates the remainder).
-//! Updates (steady-state criterion means): apply add_paper 64 ms /
-//! add_reviewer 57 ms / patch_scores 41 ms / retire_reviewer 44 ms vs
-//! 328 ms full rebuild (~5–8×) — apply cost is dominated by the
-//! copy-on-write memcpy of the owned context, not the splice.
+//! Updates: apply add_paper 1.6 ms / add_reviewer 4.0 ms /
+//! patch_scores 4.2 ms / retire_reviewer 3.0 ms vs 271 ms–3.8 s full
+//! rebuild (~90–2400×) — the paged snapshot clone copy-on-writes only
+//! the pages an update touches (246 µs vs the 16 ms flat memcpy it
+//! replaced, `update_clone_paged` vs `update_clone_flat`), so apply cost
+//! is now the splice plus one ~64 KiB page copy, not an O(R·T) memcpy.
+//! Pre-paging baseline for the same records: 41–127 ms per apply.
+//! Retaining 17 consecutive epochs costs 196 MiB deduplicated vs
+//! 1344 MiB naive copies (6.9×, `update_epoch_retention`).
 
 use criterion::Criterion;
 use rand::rngs::StdRng;
@@ -173,8 +178,18 @@ fn bench_updates_vs_rebuild(c: &mut Criterion, report: &mut BenchReport) {
             rebuild_t.as_secs_f64() / apply_t.as_secs_f64()
         );
         let params = [("papers", P as f64), ("reviewers", R as f64), ("topics", T as f64)];
-        report.record(&format!("update_apply_{label}"), &params, &[apply_t], None);
-        report.record(&format!("update_rebuild_after_{label}"), &params, &[rebuild_t], None);
+        report.record(
+            &format!("update_apply_{label}"),
+            &params,
+            &[apply_t],
+            Some(1.0 / apply_t.as_secs_f64()),
+        );
+        report.record(
+            &format!("update_rebuild_after_{label}"),
+            &params,
+            &[rebuild_t],
+            Some(1.0 / rebuild_t.as_secs_f64()),
+        );
     }
 
     let mut group = c.benchmark_group("service_update_p5000_r10000");
@@ -194,6 +209,115 @@ fn bench_updates_vs_rebuild(c: &mut Criterion, report: &mut BenchReport) {
         b.iter(|| black_box(Snapshot::build(inst.clone(), Scoring::WeightedCoverage, 7)))
     });
     group.finish();
+}
+
+/// Paged copy-on-write clone vs the flat full-memcpy clone it replaced:
+/// `clone_for_update` is now O(pages) refcount bumps; the flat baseline is
+/// reconstructed honestly by unsharing every matrix page and candidate row
+/// slab after the clone (the exact allocate-and-copy the pre-paging layout
+/// paid on every update).
+fn bench_paged_vs_flat_clone(report: &mut BenchReport) {
+    let (store, _) = build_store(11);
+    let snapshot = store.snapshot();
+    let ctx = snapshot.ctx();
+    // Force the Auto candidate set so both variants clone the same state.
+    let cand_bytes = ctx.auto_candidates().memory_bytes();
+    let params = [
+        ("papers", P as f64),
+        ("reviewers", R as f64),
+        ("topics", T as f64),
+        ("matrix_bytes", ctx.memory_bytes() as f64),
+        ("candidate_bytes", cand_bytes as f64),
+    ];
+
+    const REPS: usize = 10;
+    let mut paged = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let clone = ctx.clone_for_update();
+        paged.push(start.elapsed());
+        black_box(&clone);
+    }
+    let mut flat = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let mut clone = ctx.clone_for_update();
+        clone.unshare_pages();
+        let mut cands = clone.auto_candidates().clone();
+        cands.unshare();
+        clone.install_auto_candidates(cands);
+        flat.push(start.elapsed());
+        black_box(&clone);
+    }
+    let mean =
+        |ts: &[std::time::Duration]| ts.iter().sum::<std::time::Duration>() / ts.len() as u32;
+    let (paged_t, flat_t) = (mean(&paged), mean(&flat));
+    println!(
+        "service_clone_p{P}_r{R}_t{T}: paged {paged_t:<12.2?} vs flat memcpy {flat_t:<12.2?} \
+         ({:.0}x)",
+        flat_t.as_secs_f64() / paged_t.as_secs_f64()
+    );
+    report.record("update_clone_paged", &params, &paged, Some(1.0 / paged_t.as_secs_f64()));
+    report.record("update_clone_flat", &params, &flat, Some(1.0 / flat_t.as_secs_f64()));
+}
+
+/// Memory cost of retaining historical epochs: apply a chain of single-
+/// reviewer patches, hold every published snapshot, and compare the naive
+/// sum of per-snapshot sizes against the deduplicated footprint of the
+/// distinct pages actually resident (shared pages counted once).
+fn bench_epoch_retention(report: &mut BenchReport) {
+    let (store, mut rng) = build_store(13);
+    const EPOCHS: usize = 16;
+    let mut retained: Vec<Arc<Snapshot>> = vec![store.snapshot()];
+    let mut apply_times = Vec::with_capacity(EPOCHS);
+    for i in 0..EPOCHS {
+        let expertise = sparse_vectors(1, T, REVIEWER_NNZ, &mut rng).pop().unwrap();
+        let update = Update::PatchScores { reviewer: ((i * 97) % R) as u32, expertise };
+        let start = Instant::now();
+        store.apply(std::slice::from_ref(&update)).expect("applies");
+        apply_times.push(start.elapsed());
+        retained.push(store.snapshot());
+    }
+
+    let naive_bytes: usize = retained.iter().map(|s| s.memory_bytes()).sum();
+    let mut seen = std::collections::HashMap::new();
+    for snap in &retained {
+        for (addr, bytes) in snap.page_identities() {
+            seen.insert(addr, bytes);
+        }
+    }
+    let deduped_page_bytes: usize = seen.values().sum();
+    // Non-page state (CSR, normalisers, inverted indexes) is still cloned
+    // per epoch; charge it per snapshot so the footprint stays honest.
+    let nonpage_bytes: usize = retained
+        .iter()
+        .map(|s| {
+            let page_bytes: usize = s.page_identities().iter().map(|&(_, b)| b).sum();
+            s.memory_bytes() - page_bytes
+        })
+        .sum();
+    let paged_bytes = deduped_page_bytes + nonpage_bytes;
+    println!(
+        "service_retention_p{P}_r{R}_t{T}: {} epochs retained — naive {:.1} MiB vs \
+         shared {:.1} MiB ({:.1}x smaller)",
+        retained.len(),
+        naive_bytes as f64 / (1 << 20) as f64,
+        paged_bytes as f64 / (1 << 20) as f64,
+        naive_bytes as f64 / paged_bytes as f64
+    );
+    report.record(
+        "update_epoch_retention",
+        &[
+            ("papers", P as f64),
+            ("reviewers", R as f64),
+            ("topics", T as f64),
+            ("epochs_retained", retained.len() as f64),
+            ("naive_bytes", naive_bytes as f64),
+            ("resident_bytes", paged_bytes as f64),
+        ],
+        &apply_times,
+        Some(EPOCHS as f64 / apply_times.iter().map(|t| t.as_secs_f64()).sum::<f64>()),
+    );
 }
 
 /// The per-epoch result cache: cold solve vs cache hit on the same
@@ -240,6 +364,8 @@ fn main() {
     let mut report = BenchReport::new("service");
     bench_batched_jra(&mut c, &mut report);
     bench_updates_vs_rebuild(&mut c, &mut report);
+    bench_paged_vs_flat_clone(&mut report);
+    bench_epoch_retention(&mut report);
     bench_result_cache(&mut report);
     match report.write() {
         Ok(path) => println!("bench records -> {}", path.display()),

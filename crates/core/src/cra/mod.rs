@@ -94,29 +94,6 @@ impl CraAlgorithm {
         self.solver().solve(&ctx)
     }
 
-    /// [`CraAlgorithm::run`] under a candidate pruning policy
-    /// ([`PruningPolicy::Auto`](crate::engine::PruningPolicy::Auto) is
-    /// certified bit-identical to the default dense run; `TopK` trades
-    /// bounded loss for sparse score state).
-    ///
-    /// Thin shim kept for source compatibility; the typed request layer
-    /// subsumes it.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use self.solver_with(pruning).solve(&ScoreContext::new(inst, scoring)\
-                .with_seed(seed)) — or route through wgrap_service::api::SolveRequest"
-    )]
-    pub fn run_pruned(
-        self,
-        inst: &Instance,
-        scoring: Scoring,
-        seed: u64,
-        pruning: crate::engine::PruningPolicy,
-    ) -> Result<Assignment> {
-        let ctx = crate::engine::ScoreContext::new(inst, scoring).with_seed(seed);
-        self.solver_with(pruning).solve(&ctx)
-    }
-
     /// Run the algorithm on the legacy boxed-vector scoring path — the
     /// reference implementation the engine is proptested against
     /// (bit-identical assignments).

@@ -34,9 +34,21 @@
 //! be certified statically (the LAP-based SDGA stages, BRGG's per-paper
 //! branch-and-bound, local search's proposal sampling) treat `Auto` as
 //! `Exact` and only prune under an explicit `TopK`.
+//!
+//! # Storage: one `Arc` slab per paper row
+//!
+//! Each paper's candidate list lives in its own `Arc`-shared slab rather
+//! than one global CSR arena. Cloning a set (the epoch copy-on-write path)
+//! bumps `P` refcounts instead of copying `O(nnz)` entries, and
+//! [`CandidateSet::patch_reviewer`] rewrites only the rows the patched
+//! reviewer actually appears in or enters — every other row stays shared
+//! with the previous epoch. Row granularity (not multi-row pages) matters
+//! here: one reviewer touches a uniform scatter of papers, so pages
+//! spanning many rows would nearly all be copied on every patch.
 
 use super::context::ScoreContext;
 use super::par;
+use std::sync::Arc;
 
 /// How aggressively a solver may prune its reviewer scans.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -137,18 +149,24 @@ pub struct CoverageStats {
     pub max: usize,
 }
 
-/// Per-paper reviewer candidate lists in CSR layout, with pair scores and
-/// exclusion bounds. Built once from a [`ScoreContext`]; see the module docs
-/// for the certification rule.
+/// One paper's candidate slab: reviewer ids ascending, scores aligned.
+/// Shared across epoch clones behind an `Arc`; copied on write by
+/// [`CandidateSet::patch_reviewer`] only when this row changes.
+#[derive(Debug, Clone, Default)]
+struct CandRow {
+    reviewer: Vec<u32>,
+    score: Vec<f64>,
+}
+
+/// Per-paper reviewer candidate lists (one `Arc` slab per paper — see the
+/// module docs' storage section), with pair scores and exclusion bounds.
+/// Built once from a [`ScoreContext`]; see the module docs for the
+/// certification rule.
 #[derive(Debug, Clone)]
 pub struct CandidateSet {
     num_reviewers: usize,
-    /// CSR row pointers, `P + 1` entries.
-    ptr: Vec<usize>,
-    /// Candidate reviewer ids, ascending per paper.
-    reviewer: Vec<u32>,
-    /// `c(r, p)` per candidate, aligned with `reviewer`.
-    score: Vec<f64>,
+    /// Per paper: the candidate slab, `Arc`-shared across epochs.
+    rows: Vec<Arc<CandRow>>,
     /// Per paper: the largest pair score among excluded reviewers
     /// (`0.0` when nothing with positive score was excluded).
     bound: Vec<f64>,
@@ -227,22 +245,16 @@ impl CandidateSet {
             (cands, bound, support)
         });
 
-        let mut ptr = Vec::with_capacity(num_p + 1);
-        let mut reviewer = Vec::new();
-        let mut score = Vec::new();
+        let mut out = Vec::with_capacity(num_p);
         let mut bound = Vec::with_capacity(num_p);
         let mut support = Vec::with_capacity(num_p);
-        ptr.push(0);
         for (cands, b, s) in rows {
-            for (r, c) in cands {
-                reviewer.push(r);
-                score.push(c);
-            }
-            ptr.push(reviewer.len());
+            let (reviewer, score) = cands.into_iter().unzip();
+            out.push(Arc::new(CandRow { reviewer, score }));
             bound.push(b);
             support.push(s);
         }
-        Self { num_reviewers: num_r, ptr, reviewer, score, bound, support }
+        Self { num_reviewers: num_r, rows: out, bound, support }
     }
 
     /// Number of papers.
@@ -258,19 +270,19 @@ impl CandidateSet {
     /// Paper `p`'s candidates as `(reviewer ids ascending, pair scores)`.
     #[inline]
     pub fn candidates(&self, p: usize) -> (&[u32], &[f64]) {
-        let (lo, hi) = (self.ptr[p], self.ptr[p + 1]);
-        (&self.reviewer[lo..hi], &self.score[lo..hi])
+        let row = &self.rows[p];
+        (&row.reviewer, &row.score)
     }
 
     /// Number of candidates kept for paper `p`.
     #[inline]
     pub fn len(&self, p: usize) -> usize {
-        self.ptr[p + 1] - self.ptr[p]
+        self.rows[p].reviewer.len()
     }
 
     /// Are there no candidates at all (e.g. a zero-topic instance)?
     pub fn is_empty(&self) -> bool {
-        self.reviewer.is_empty()
+        self.rows.iter().all(|row| row.reviewer.is_empty())
     }
 
     /// Upper bound on any excluded reviewer's pair score — and therefore,
@@ -319,13 +331,54 @@ impl CandidateSet {
     }
 
     /// Bytes of score-state this set holds — the sparse counterpart of a
-    /// dense `P × R × 8`-byte matrix, for memory accounting in benches.
+    /// dense `P × R × 8`-byte matrix, for memory accounting in benches and
+    /// the store's snapshot-size stats. Content bytes, length-derived,
+    /// deterministic.
     pub fn memory_bytes(&self) -> usize {
-        self.ptr.len() * std::mem::size_of::<usize>()
-            + self.reviewer.len() * std::mem::size_of::<u32>()
-            + self.score.len() * std::mem::size_of::<f64>()
+        self.rows
+            .iter()
+            .map(|row| {
+                row.reviewer.len() * std::mem::size_of::<u32>()
+                    + row.score.len() * std::mem::size_of::<f64>()
+            })
+            .sum::<usize>()
             + self.bound.len() * std::mem::size_of::<f64>()
             + self.support.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Number of row slabs (one per paper) — the candidate side of the
+    /// snapshot page count.
+    pub fn num_pages(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Row slabs physically shared with `other` at the same paper index
+    /// (`Arc::ptr_eq`) — the structural-sharing metric across epochs.
+    pub fn shared_rows_with(&self, other: &CandidateSet) -> usize {
+        self.rows.iter().zip(other.rows.iter()).filter(|(a, b)| Arc::ptr_eq(a, b)).count()
+    }
+
+    /// Append each row slab's `(address, content bytes)` identity for
+    /// cross-epoch retention accounting.
+    pub fn page_identities(&self, out: &mut Vec<(usize, usize)>) {
+        for row in &self.rows {
+            out.push((
+                Arc::as_ptr(row) as usize,
+                row.reviewer.len() * std::mem::size_of::<u32>()
+                    + row.score.len() * std::mem::size_of::<f64>(),
+            ));
+        }
+    }
+
+    /// Copy every shared row slab so this set owns its rows privately —
+    /// the pre-paging full-copy layout, kept for the paged-vs-flat benches
+    /// and the paged≡flat certification tests.
+    pub fn unshare(&mut self) {
+        for row in &mut self.rows {
+            if Arc::strong_count(row) > 1 {
+                *row = Arc::new(row.as_ref().clone());
+            }
+        }
     }
 
     /// Append one paper's candidate row to an **untruncated** (Auto) set:
@@ -334,31 +387,31 @@ impl CandidateSet {
     /// would produce — exactly what [`CandidateSet::build`] computes, which
     /// is what keeps incremental maintenance bit-identical to a rebuild.
     /// The new paper's bound is `0.0` (nothing excluded) and its support is
-    /// the row length, so the set stays certified.
+    /// the row length, so the set stays certified. Existing rows stay
+    /// shared: appending is a new slab, not a rewrite.
     pub fn append_paper(&mut self, row: &[(u32, f64)]) {
         debug_assert!(row.windows(2).all(|w| w[0].0 < w[1].0), "row must be ascending by id");
         debug_assert!(row.iter().all(|&(_, s)| s > 0.0), "auto rows hold positive scores only");
-        for &(r, s) in row {
-            self.reviewer.push(r);
-            self.score.push(s);
-        }
-        self.ptr.push(self.reviewer.len());
+        let (reviewer, score) = row.iter().copied().unzip();
+        self.rows.push(Arc::new(CandRow { reviewer, score }));
         self.bound.push(0.0);
         self.support.push(row.len() as u32);
     }
 
     /// Patch reviewer `r` across every paper of an **untruncated** (Auto)
-    /// set in one pass: `scores` lists `(paper, new pair score)` for exactly
-    /// the papers where `r` now scores positive (ascending by paper id);
-    /// `r` is removed everywhere else. Growing the pool is allowed — `r`
-    /// may be one past the current reviewer count (a freshly appended
-    /// reviewer).
+    /// set: `scores` lists `(paper, new pair score)` for exactly the papers
+    /// where `r` now scores positive (ascending by paper id); `r` is
+    /// removed everywhere else. Growing the pool is allowed — `r` may be
+    /// one past the current reviewer count (a freshly appended reviewer).
     ///
     /// This is the shared kernel behind `AddReviewer` (empty old presence),
-    /// `RetireReviewer` (empty `scores`) and `PatchScores`: affected papers
-    /// get their one entry spliced in or out, unaffected papers' entries are
-    /// copied verbatim — never re-scored — so the result is bit-identical
-    /// to [`CandidateSet::build`] on the patched context.
+    /// `RetireReviewer` (empty `scores`) and `PatchScores`. Only rows whose
+    /// membership or score actually changes are copy-on-written (one
+    /// binary search per paper decides); every other slab stays `Arc`-
+    /// shared with the previous epoch, so the patch costs O(rows touched),
+    /// not O(nnz). Untouched entries are never re-scored, which keeps the
+    /// result bit-identical to [`CandidateSet::build`] on the patched
+    /// context.
     pub fn patch_reviewer(&mut self, r: u32, scores: &[(u32, f64)]) {
         debug_assert!(scores.windows(2).all(|w| w[0].0 < w[1].0), "scores ascending by paper");
         debug_assert!(scores.iter().all(|&(_, s)| s > 0.0));
@@ -368,14 +421,8 @@ impl CandidateSet {
             self.num_reviewers
         );
         self.num_reviewers = self.num_reviewers.max(r as usize + 1);
-        let num_p = self.num_papers();
-        let mut ptr = Vec::with_capacity(num_p + 1);
-        let mut reviewer = Vec::with_capacity(self.reviewer.len() + scores.len());
-        let mut score = Vec::with_capacity(reviewer.capacity());
-        ptr.push(0);
         let mut next = scores.iter().copied().peekable();
-        for p in 0..num_p {
-            let (lo, hi) = (self.ptr[p], self.ptr[p + 1]);
+        for p in 0..self.num_papers() {
             let insert = match next.peek() {
                 Some(&(sp, s)) if sp as usize == p => {
                     next.next();
@@ -383,35 +430,28 @@ impl CandidateSet {
                 }
                 _ => None,
             };
-            let mut inserted = false;
-            for i in lo..hi {
-                let id = self.reviewer[i];
-                if id == r {
-                    continue; // old entry for `r`: superseded or removed
+            match (self.rows[p].reviewer.binary_search(&r), insert) {
+                // Not present, not entering: the slab stays shared.
+                (Err(_), None) => {}
+                (Ok(i), Some(s)) => {
+                    let row = Arc::make_mut(&mut self.rows[p]);
+                    row.score[i] = s;
                 }
-                if let Some(s) = insert {
-                    if !inserted && id > r {
-                        reviewer.push(r);
-                        score.push(s);
-                        inserted = true;
-                    }
+                (Ok(i), None) => {
+                    let row = Arc::make_mut(&mut self.rows[p]);
+                    row.reviewer.remove(i);
+                    row.score.remove(i);
+                    self.support[p] = row.reviewer.len() as u32;
                 }
-                reviewer.push(id);
-                score.push(self.score[i]);
-            }
-            if let Some(s) = insert {
-                if !inserted {
-                    reviewer.push(r);
-                    score.push(s);
+                (Err(i), Some(s)) => {
+                    let row = Arc::make_mut(&mut self.rows[p]);
+                    row.reviewer.insert(i, r);
+                    row.score.insert(i, s);
+                    self.support[p] = row.reviewer.len() as u32;
                 }
             }
-            ptr.push(reviewer.len());
-            self.support[p] = (ptr[p + 1] - ptr[p]) as u32;
         }
         debug_assert!(next.peek().is_none(), "scores reference papers beyond the set");
-        self.ptr = ptr;
-        self.reviewer = reviewer;
-        self.score = score;
     }
 
     /// Distribution of per-paper positive support, for picking `k`.
@@ -564,6 +604,47 @@ mod tests {
             assert_eq!(huge.bound(p), 0.0);
         }
         assert!(huge.certified());
+    }
+
+    #[test]
+    fn patch_reviewer_cows_only_affected_rows() {
+        let inst = random_instance(12, 10, 5, 2, 7);
+        let ctx = ScoreContext::new(&inst, Scoring::WeightedCoverage);
+        let base = CandidateSet::build(&ctx, None);
+        let mut patched = base.clone();
+        assert_eq!(patched.shared_rows_with(&base), base.num_pages());
+
+        // Retire reviewer 3: exactly the rows containing it are rewritten.
+        let containing = (0..12).filter(|&p| base.contains(p, 3)).count();
+        patched.patch_reviewer(3, &[]);
+        assert_eq!(patched.shared_rows_with(&base), base.num_pages() - containing);
+        for p in 0..12 {
+            assert!(!patched.contains(p, 3));
+            // The base set is frozen.
+            assert_eq!(base.contains(p, 3), ctx.pair_score(3, p) > 0.0);
+        }
+
+        // Bit-identity with a from-scratch build on the retired instance.
+        let mut want = inst.clone();
+        want.set_reviewer_vector(3, TopicVector::zeros(5)).unwrap();
+        let wctx = ScoreContext::new(&want, Scoring::WeightedCoverage);
+        let wcs = CandidateSet::build(&wctx, None);
+        for p in 0..12 {
+            let ((grs, gss), (wrs, wss)) = (patched.candidates(p), wcs.candidates(p));
+            assert_eq!(grs, wrs, "paper {p} ids");
+            for (x, y) in gss.iter().zip(wss) {
+                assert_eq!(x.to_bits(), y.to_bits(), "paper {p} scores");
+            }
+            assert_eq!(patched.support(p), wcs.support(p), "paper {p} support");
+        }
+
+        // Unsharing reconstructs private rows, contents unchanged.
+        let mut flat = patched.clone();
+        flat.unshare();
+        assert_eq!(flat.shared_rows_with(&patched), 0);
+        for p in 0..12 {
+            assert_eq!(flat.candidates(p), patched.candidates(p));
+        }
     }
 
     #[test]

@@ -1,5 +1,7 @@
-//! [`ScoreContext`]: the flat structure-of-arrays view of an instance.
+//! [`ScoreContext`]: the flat structure-of-arrays view of an instance,
+//! backed by [`PagedVec`] pages so epoch clones share untouched storage.
 
+use super::pages::PagedVec;
 use super::par;
 use crate::error::{Error, Result};
 use crate::problem::Instance;
@@ -14,6 +16,16 @@ use std::borrow::Cow;
 /// paper's non-zero topics. Construction is `O((R + P)·T)` once; afterwards
 /// every kernel works on contiguous `&[f64]` rows with no boxed-slice
 /// pointer chasing and no per-call allocation.
+///
+/// The two matrices live in [`PagedVec`]s whose pages hold a whole number
+/// of rows ([`PagedVec::row_chunk`]), so row accessors still return
+/// contiguous in-page slices while
+/// [`clone_for_update`](ScoreContext::clone_for_update) shares every
+/// untouched page across
+/// epochs and a single-row patch copy-on-writes exactly one ~64 KiB page.
+/// The normalisers and CSR view stay plain `Vec`s: at service scale they
+/// are a few hundred KB — far below the threshold where paging beats a
+/// straight memcpy — and `push_paper` appends to them in place.
 ///
 /// All kernels are **bit-identical** to the legacy
 /// [`Scoring`]/[`RunningGroup`](crate::score::RunningGroup) arithmetic: same
@@ -43,8 +55,8 @@ pub struct ScoreContext<'a> {
     scoring: Scoring,
     seed: u64,
     dim: usize,
-    reviewers: Vec<f64>,
-    papers: Vec<f64>,
+    reviewers: PagedVec<f64>,
+    papers: PagedVec<f64>,
     paper_totals: Vec<f64>,
     /// `1/total` (or `0` for a zero paper), the `RunningGroup` convention.
     paper_inv_totals: Vec<f64>,
@@ -104,13 +116,14 @@ impl<'a> ScoreContext<'a> {
             }
             csr_ptr.push(csr_idx.len());
         }
+        let chunk = PagedVec::<f64>::row_chunk(dim);
         Self {
             inst,
             scoring,
             seed: 0,
             dim,
-            reviewers,
-            papers,
+            reviewers: PagedVec::from_vec(reviewers, chunk),
+            papers: PagedVec::from_vec(papers, chunk),
             paper_totals,
             paper_inv_totals,
             csr_ptr,
@@ -179,16 +192,17 @@ impl<'a> ScoreContext<'a> {
         self.reviewers.len().checked_div(self.dim).unwrap_or(self.inst.num_reviewers())
     }
 
-    /// Reviewer `r`'s expertise row.
+    /// Reviewer `r`'s expertise row — contiguous because pages hold whole
+    /// rows ([`PagedVec::row_chunk`]).
     #[inline]
     pub fn reviewer_row(&self, r: usize) -> &[f64] {
-        &self.reviewers[r * self.dim..(r + 1) * self.dim]
+        self.reviewers.slice(r * self.dim, self.dim)
     }
 
     /// Paper `p`'s topic row.
     #[inline]
     pub fn paper_row(&self, p: usize) -> &[f64] {
-        &self.papers[p * self.dim..(p + 1) * self.dim]
+        self.papers.slice(p * self.dim, self.dim)
     }
 
     /// Paper `p`'s normaliser `Σ_t p[t]`.
@@ -288,11 +302,14 @@ impl<'a> ScoreContext<'a> {
         self.auto_candidates.take()
     }
 
-    /// Clone for a copy-on-write update: the instance and flat arrays are
-    /// copied and the auto candidate set carries over (incremental
-    /// maintenance patches it), but the cached dense `P × R` pair matrix is
-    /// **not** — the first mutation would drop it anyway, and at service
-    /// scale it can dwarf everything else the clone copies.
+    /// Clone for a copy-on-write update. The paged matrices, the candidate
+    /// rows and the instance's topic-vector slabs are all `Arc`-shared, so
+    /// this is O(pages) refcount bumps plus a memcpy of the small unpaged
+    /// state (normalisers, CSR) — **not** O((R+P)·T). Pages are copied
+    /// lazily, one at a time, by whichever mutations follow. The cached
+    /// dense `P × R` pair matrix does **not** carry over — the first
+    /// mutation would drop it anyway, and at service scale it dwarfs
+    /// everything else.
     pub fn clone_for_update(&self) -> ScoreContext<'static> {
         let auto_candidates = std::sync::OnceLock::new();
         if let Some(cands) = self.auto_candidates.get() {
@@ -406,10 +423,52 @@ impl<'a> ScoreContext<'a> {
             )));
         }
         self.inst.to_mut().set_reviewer_vector(r, expertise)?;
-        self.reviewers[r * self.dim..(r + 1) * self.dim]
-            .copy_from_slice(self.inst.reviewer(r).as_slice());
+        // Copy-on-writes exactly the page holding row `r`.
+        self.reviewers.write(r * self.dim, self.inst.reviewer(r).as_slice());
         self.invalidate_caches();
         Ok(())
+    }
+
+    /// Content bytes of the scoring state (paged matrices plus the unpaged
+    /// normalisers and CSR view). Length-derived and deterministic, so safe
+    /// to surface in golden-tested protocol output.
+    pub fn memory_bytes(&self) -> usize {
+        self.reviewers.memory_bytes()
+            + self.papers.memory_bytes()
+            + (self.paper_totals.len() + self.paper_inv_totals.len() + self.csr_val.len())
+                * std::mem::size_of::<f64>()
+            + self.csr_ptr.len() * std::mem::size_of::<usize>()
+            + self.csr_idx.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Total matrix pages (reviewers + papers).
+    pub fn num_pages(&self) -> usize {
+        self.reviewers.table().num_pages() + self.papers.table().num_pages()
+    }
+
+    /// Matrix pages physically shared with `other` (per-index
+    /// `Arc::ptr_eq`) — the structural-sharing metric between the epoch
+    /// snapshots the service publishes.
+    pub fn shared_pages_with(&self, other: &ScoreContext<'_>) -> usize {
+        self.reviewers.table().shared_pages_with(other.reviewers.table())
+            + self.papers.table().shared_pages_with(other.papers.table())
+    }
+
+    /// Append each matrix page's `(address, bytes)` identity for
+    /// cross-epoch retention accounting (see
+    /// [`PageTable::page_identities`](super::pages::PageTable::page_identities)).
+    pub fn page_identities(&self, out: &mut Vec<(usize, usize)>) {
+        self.reviewers.table().page_identities(out);
+        self.papers.table().page_identities(out);
+    }
+
+    /// Copy every shared matrix page so this context owns its storage
+    /// privately — reconstructing the pre-paging full-memcpy clone. Kept
+    /// for the paged-vs-flat benches and the paged≡flat certification
+    /// tests; reads are unaffected.
+    pub fn unshare_pages(&mut self) {
+        self.reviewers.unshare();
+        self.papers.unshare();
     }
 
     /// Declare `(reviewer, paper)` a conflict of interest on the underlying
@@ -433,7 +492,7 @@ impl<'a> ScoreContext<'a> {
             paper: self.paper_row(p),
             total: self.paper_totals[p],
             inv_total: self.paper_inv_totals[p],
-            rows: Rows::Flat { data: &self.reviewers, dim: self.dim, len: self.num_reviewers() },
+            rows: Rows::Paged { data: &self.reviewers, dim: self.dim, len: self.num_reviewers() },
             forbidden,
             delta_p: self.inst.delta_p(),
             scoring: self.scoring,
@@ -459,7 +518,7 @@ impl<'a> ScoreContext<'a> {
             paper: paper.as_slice(),
             total,
             inv_total: if total > 0.0 { 1.0 / total } else { 0.0 },
-            rows: Rows::Flat { data: &self.reviewers, dim: self.dim, len: self.num_reviewers() },
+            rows: Rows::Paged { data: &self.reviewers, dim: self.dim, len: self.num_reviewers() },
             forbidden,
             delta_p,
             scoring: self.scoring,
@@ -518,13 +577,14 @@ impl PairMatrix {
 }
 
 /// Reviewer-row storage behind a [`JraView`]: boxed legacy vectors or the
-/// engine's flat matrix. One enum dispatch per row access keeps the exact
-/// JRA machinery (BBA, greedy seeding) generic over both without
-/// monomorphisation or trait objects in the hot loop.
+/// engine's paged row-major matrix. One enum dispatch per row access keeps
+/// the exact JRA machinery (BBA, greedy seeding) generic over both without
+/// monomorphisation or trait objects in the hot loop; paged rows are
+/// whole-row in-page slices, so the kernels still see contiguous `&[f64]`.
 #[derive(Debug, Clone, Copy)]
 enum Rows<'a> {
     Boxed(&'a [TopicVector]),
-    Flat { data: &'a [f64], dim: usize, len: usize },
+    Paged { data: &'a PagedVec<f64>, dim: usize, len: usize },
 }
 
 /// A single-paper reviewer-selection view: the common substrate the exact
@@ -573,7 +633,7 @@ impl<'a> JraView<'a> {
     pub fn num_reviewers(&self) -> usize {
         match self.rows {
             Rows::Boxed(v) => v.len(),
-            Rows::Flat { len, .. } => len,
+            Rows::Paged { len, .. } => len,
         }
     }
 
@@ -582,7 +642,7 @@ impl<'a> JraView<'a> {
     pub fn row(&self, r: usize) -> &'a [f64] {
         match self.rows {
             Rows::Boxed(v) => v[r].as_slice(),
-            Rows::Flat { data, dim, .. } => &data[r * dim..(r + 1) * dim],
+            Rows::Paged { data, dim, .. } => data.slice(r * dim, dim),
         }
     }
 
@@ -674,6 +734,33 @@ mod tests {
             // The invalidated pair cache rebuilds to the new shape.
             assert_eq!(ctx.pair_matrix().num_papers(), 4);
             assert_eq!(ctx.pair_matrix().num_reviewers(), 5);
+        }
+    }
+
+    #[test]
+    fn clone_for_update_shares_pages_until_written() {
+        let inst = random_instance(40, 60, 8, 2, 21);
+        let base = ScoreContext::new(&inst, Scoring::WeightedCoverage).into_owned();
+        let mut edited = base.clone_for_update();
+        assert_eq!(edited.shared_pages_with(&base), base.num_pages());
+        assert_eq!(edited.memory_bytes(), base.memory_bytes());
+
+        let patch = inst.reviewer(7).scaled(0.5);
+        edited.set_reviewer_row(7, patch.clone()).unwrap();
+        // dim 8 => thousands of rows per 64 KiB page: everything still fits
+        // in one reviewer page, so exactly one page was copied.
+        assert_eq!(edited.shared_pages_with(&base), base.num_pages() - 1);
+        // The base snapshot is frozen.
+        assert_eq!(base.reviewer_row(7), inst.reviewer(7).as_slice());
+        assert_eq!(edited.reviewer_row(7), patch.as_slice());
+        assert_eq!(base.reviewer_row(3), edited.reviewer_row(3));
+
+        // Unsharing reconstructs the flat full-copy layout bit-identically.
+        let mut flat = edited.clone_for_update();
+        flat.unshare_pages();
+        assert_eq!(flat.shared_pages_with(&edited), 0);
+        for r in 0..flat.num_reviewers() {
+            assert_eq!(flat.reviewer_row(r), edited.reviewer_row(r));
         }
     }
 

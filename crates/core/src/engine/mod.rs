@@ -10,12 +10,18 @@
 //! incrementally:
 //!
 //! * [`ScoreContext`] — a structure-of-arrays view of an
-//!   [`Instance`](crate::problem::Instance): flat row-major reviewer and
+//!   [`Instance`](crate::problem::Instance): row-major reviewer and
 //!   paper matrices plus a CSR sparse view over each paper's non-zero
 //!   topics. For scorings with `f(e, 0) = 0`
 //!   ([`Scoring::sparse_safe`](crate::score::Scoring::sparse_safe)) the
 //!   sparse kernels skip zero-weight topics **bit-exactly**: skipped terms
 //!   would add exactly `0.0` to a non-negative sum.
+//! * [`pages`] — the paged snapshot substrate: [`PagedVec`] backs the
+//!   matrices above with 64 KiB `Arc`-shared pages (a whole number of
+//!   rows per page, so row slices stay contiguous) and per-page
+//!   copy-on-write. Cloning a context for an update shares every page;
+//!   writing one row copies one page — see [`pages`]' module docs for
+//!   the page-size choice, CoW rules, and aliasing invariants.
 //! * [`GainTable`] — all per-paper running-group states (`gmax`, raw score)
 //!   in two flat arrays, with per-paper version counters that power
 //!   CELF-style lazy greedy evaluation ([`celf::CelfQueue`]): a stale cached
@@ -40,8 +46,8 @@
 //!   protocol's `"method"` field, with one shared unknown-method message.
 //!   The typed request layer (`wgrap_service::api::SolveRequest`) dispatches
 //!   through [`spec::MethodKind`]; the old per-surface lookups
-//!   (`solver_by_label`, `CraAlgorithm::run_pruned`) survive as deprecated
-//!   shims.
+//!   (`solver_by_label`, `CraAlgorithm::run_pruned`) are gone — every
+//!   consumer routes through the registry or the typed API.
 //!
 //! [`ScoreContext`] storage is a `Cow`: solvers normally borrow an
 //! [`Instance`](crate::problem::Instance) (zero-copy one-shot solves),
@@ -65,6 +71,7 @@ pub mod candidates;
 pub mod celf;
 mod context;
 mod gain;
+pub mod pages;
 pub mod par;
 mod solver;
 pub mod spec;
@@ -74,8 +81,7 @@ pub use candidates::{
 };
 pub use context::{JraView, PairMatrix, ScoreContext};
 pub use gain::{group_score_view, GainProvider, GainTable, LegacyGains, PaperGain};
-#[allow(deprecated)]
-pub use solver::solver_by_label;
+pub use pages::{PageTable, PagedVec};
 pub use solver::{
     BrggSolver, GreedySolver, IlpSolver, JraBbaSolver, SdgaSolver, SdgaSraSolver, Solver,
     StableMatchingSolver,

@@ -1,0 +1,337 @@
+//! Paged storage with structural sharing — the snapshot substrate.
+//!
+//! [`PagedVec<T>`] behaves like a `Vec<T>` whose backing store is split
+//! into fixed-size chunks ("pages") held behind `Arc`s by a [`PageTable`].
+//! Cloning a `PagedVec` clones only the page *directory* (one `Arc` bump
+//! per page); the element data is shared. Writes go through
+//! `Arc::make_mut`, so the first write to a shared page copies exactly
+//! that page — copy-on-write at page granularity. An update that touches
+//! one row therefore costs O(one page), not O(len): this is what turns
+//! the service's epoch snapshots from full-array memcpys into
+//! O(pages-touched) clones.
+//!
+//! ## Page size choice
+//!
+//! Pages target [`TARGET_PAGE_BYTES`] (64 KiB). For row-major matrices
+//! use [`PagedVec::row_chunk`] to round the chunk down to a whole number
+//! of rows: with `chunk % dim == 0`, a row never straddles a page
+//! boundary, so [`PagedVec::slice`] can hand out a contiguous `&[T]` row
+//! view with zero copying and the SoA kernels (`gain.rs`, `celf.rs`,
+//! `bba`) keep their exact inner loops. 64 KiB is large enough that the
+//! directory stays tiny (a few hundred `Arc`s at bench scale — cloning
+//! it is nanoseconds) and small enough that a single-row copy-on-write
+//! is ~65 KB instead of the whole 24 MB matrix.
+//!
+//! ## CoW rules
+//!
+//! - Readers hold `&PagedVec` and may alias freely across clones; pages
+//!   are immutable while shared.
+//! - Writers hold `&mut PagedVec`; every mutating method CoWs the pages
+//!   it touches via `Arc::make_mut` and leaves every other page shared.
+//! - Nothing ever mutates through a shared `Arc`: a page with refcount
+//!   \> 1 is copied before the write, so clones taken earlier are frozen
+//!   forever — exactly the epoch-snapshot guarantee the service relies
+//!   on.
+//!
+//! ## Aliasing invariants
+//!
+//! - [`PagedVec::slice`] never crosses a page boundary (it panics if
+//!   asked to); callers that need whole-row slices must construct the
+//!   vec with a chunk that is a multiple of the row width
+//!   ([`PagedVec::row_chunk`] does this).
+//! - All full pages hold exactly `chunk` elements; only the last page
+//!   may be partial. Element `i` lives in page `i / chunk` at offset
+//!   `i % chunk`, always.
+
+use std::sync::Arc;
+
+/// Target page footprint in bytes; see the module docs for why 64 KiB.
+pub const TARGET_PAGE_BYTES: usize = 64 * 1024;
+
+/// The page directory: an ordered list of `Arc`-shared pages. Cloning is
+/// O(pages) refcount bumps; element data is never copied by `clone`.
+///
+/// `PageTable` only knows about pages — element addressing (chunk
+/// geometry, lengths, slices) lives in [`PagedVec`], which embeds one.
+#[derive(Debug, Clone, Default)]
+pub struct PageTable<T> {
+    pages: Vec<Arc<Vec<T>>>,
+}
+
+impl<T> PageTable<T> {
+    /// Number of pages in the directory.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Count pages physically shared (same allocation, by `Arc::ptr_eq`)
+    /// with the page at the same index of `other` — the structural-
+    /// sharing metric between two epoch snapshots.
+    pub fn shared_pages_with(&self, other: &Self) -> usize {
+        self.pages.iter().zip(other.pages.iter()).filter(|(a, b)| Arc::ptr_eq(a, b)).count()
+    }
+
+    /// Append each page's `(address, content bytes)` identity — lets
+    /// retention accounting deduplicate shared pages across many
+    /// retained epochs.
+    pub fn page_identities(&self, out: &mut Vec<(usize, usize)>) {
+        for p in &self.pages {
+            out.push((Arc::as_ptr(p) as usize, p.len() * std::mem::size_of::<T>()));
+        }
+    }
+}
+
+impl<T: Clone> PageTable<T> {
+    /// Copy every shared page so this table owns all its pages privately
+    /// — the "flat copy" baseline the paged-vs-flat benches time.
+    pub fn unshare(&mut self) {
+        for p in &mut self.pages {
+            if Arc::strong_count(p) > 1 {
+                *p = Arc::new(p.as_ref().clone());
+            }
+        }
+    }
+}
+
+/// A `Vec<T>`-like container backed by `Arc`-shared fixed-size pages
+/// with per-page copy-on-write. See the module docs for the sharing
+/// contract.
+#[derive(Debug, Clone)]
+pub struct PagedVec<T> {
+    table: PageTable<T>,
+    /// Elements per full page. Only the last page may hold fewer.
+    chunk: usize,
+    len: usize,
+}
+
+impl<T> PagedVec<T> {
+    /// An empty vec whose full pages will hold `chunk` elements each.
+    pub fn new(chunk: usize) -> Self {
+        assert!(chunk > 0, "page chunk must be positive");
+        PagedVec { table: PageTable { pages: Vec::new() }, chunk, len: 0 }
+    }
+
+    /// The chunk (page capacity in elements) that rounds
+    /// [`TARGET_PAGE_BYTES`] down to a whole number of `dim`-wide rows,
+    /// so row slices never straddle pages. `dim == 0` (no topics) and
+    /// oversized rows both degrade safely to one row per page.
+    pub fn row_chunk(dim: usize) -> usize {
+        let dim = dim.max(1);
+        let per_page = TARGET_PAGE_BYTES / std::mem::size_of::<T>().max(1);
+        (per_page / dim).max(1) * dim
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no elements are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Elements per full page.
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+
+    /// The underlying page directory (for sharing metrics).
+    pub fn table(&self) -> &PageTable<T> {
+        &self.table
+    }
+
+    /// Content bytes held (directory overhead excluded) — deterministic,
+    /// so it is safe to surface in golden-tested protocol output.
+    pub fn memory_bytes(&self) -> usize {
+        self.len * std::mem::size_of::<T>()
+    }
+
+    /// A contiguous view of `start..start + len`. The range must lie
+    /// within one page — guaranteed for whole rows when the vec was
+    /// built with [`PagedVec::row_chunk`]. `len == 0` is always fine.
+    pub fn slice(&self, start: usize, len: usize) -> &[T] {
+        if len == 0 {
+            return &[];
+        }
+        assert!(start + len <= self.len, "slice {start}+{len} out of bounds ({})", self.len);
+        let page = start / self.chunk;
+        let off = start - page * self.chunk;
+        assert!(off + len <= self.chunk, "slice {start}+{len} crosses a page boundary");
+        &self.table.pages[page][off..off + len]
+    }
+
+    /// The element at `i`.
+    pub fn get(&self, i: usize) -> &T {
+        assert!(i < self.len, "index {i} out of bounds ({})", self.len);
+        &self.table.pages[i / self.chunk][i % self.chunk]
+    }
+
+    /// Iterate elements in order across pages.
+    pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
+        self.table.pages.iter().flat_map(|p| p.iter())
+    }
+}
+
+impl<T: Clone> PagedVec<T> {
+    /// Page `data` into a fresh vec (every page privately owned).
+    pub fn from_vec(data: Vec<T>, chunk: usize) -> Self {
+        let mut v = PagedVec::new(chunk);
+        v.extend_from_slice(&data);
+        v
+    }
+
+    /// Append elements, filling the last partial page first (CoW if that
+    /// page is shared) and then opening fresh pages.
+    pub fn extend_from_slice(&mut self, mut items: &[T]) {
+        while !items.is_empty() {
+            if self.len.is_multiple_of(self.chunk) {
+                self.table.pages.push(Arc::new(Vec::with_capacity(self.chunk)));
+            }
+            let page = Arc::make_mut(self.table.pages.last_mut().expect("page just ensured"));
+            let take = (self.chunk - page.len()).min(items.len());
+            page.extend_from_slice(&items[..take]);
+            self.len += take;
+            items = &items[take..];
+        }
+    }
+
+    /// Overwrite the existing range starting at `start` with `items`,
+    /// copy-on-writing exactly the pages the range touches.
+    pub fn write(&mut self, start: usize, items: &[T]) {
+        assert!(start + items.len() <= self.len, "write past end");
+        let (mut idx, mut rem) = (start, items);
+        while !rem.is_empty() {
+            let pi = idx / self.chunk;
+            let off = idx - pi * self.chunk;
+            let page = Arc::make_mut(&mut self.table.pages[pi]);
+            let take = (page.len() - off).min(rem.len());
+            page[off..off + take].clone_from_slice(&rem[..take]);
+            idx += take;
+            rem = &rem[take..];
+        }
+    }
+
+    /// Materialise every shared page privately — the full-memcpy clone
+    /// the pre-paging store paid on every update; kept as the honest
+    /// baseline for the paged-vs-flat benches.
+    pub fn unshare(&mut self) {
+        self.table.unshare();
+    }
+
+    /// Copy out into a flat `Vec<T>` (tests and diagnostics).
+    pub fn to_vec(&self) -> Vec<T> {
+        self.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_rows_never_straddle_pages() {
+        for dim in [1usize, 3, 17, 300, 8192, 10_000] {
+            let chunk = PagedVec::<f64>::row_chunk(dim);
+            assert_eq!(chunk % dim, 0, "dim {dim}: chunk {chunk} not row-aligned");
+            assert!(chunk >= dim);
+            if dim * 8 <= TARGET_PAGE_BYTES {
+                assert!(chunk * 8 <= TARGET_PAGE_BYTES, "dim {dim}: page over target");
+            }
+        }
+        // dim == 0 degrades to a positive chunk.
+        assert!(PagedVec::<f64>::row_chunk(0) > 0);
+    }
+
+    #[test]
+    fn roundtrip_matches_flat_vec() {
+        let data: Vec<u32> = (0..1000).collect();
+        for chunk in [1, 7, 64, 1000, 4096] {
+            let v = PagedVec::from_vec(data.clone(), chunk);
+            assert_eq!(v.len(), data.len());
+            assert_eq!(v.to_vec(), data);
+            for (i, x) in data.iter().enumerate() {
+                assert_eq!(v.get(i), x);
+            }
+        }
+    }
+
+    #[test]
+    fn slice_is_row_contiguous_and_panics_across_pages() {
+        let dim = 5;
+        let rows = 40;
+        let data: Vec<f64> = (0..rows * dim).map(|x| x as f64).collect();
+        let v = PagedVec::from_vec(data.clone(), 2 * dim);
+        for r in 0..rows {
+            assert_eq!(v.slice(r * dim, dim), &data[r * dim..(r + 1) * dim]);
+        }
+        assert_eq!(v.slice(0, 0), &[] as &[f64]);
+        let crossing = std::panic::catch_unwind(|| {
+            v.slice(dim, 2 * dim); // spans pages 0 and 1
+        });
+        assert!(crossing.is_err(), "cross-page slice must panic");
+    }
+
+    #[test]
+    fn clone_shares_all_pages_and_write_cows_exactly_one() {
+        let dim = 4;
+        let data: Vec<f64> = (0..32 * dim).map(|x| x as f64).collect();
+        let base = PagedVec::from_vec(data.clone(), 8 * dim); // 4 pages
+        let mut edited = base.clone();
+        assert_eq!(edited.table().shared_pages_with(base.table()), 4);
+
+        edited.write(9 * dim, &[9.0; 4]); // row 9 lives in page 1
+        assert_eq!(edited.table().shared_pages_with(base.table()), 3);
+        // The base is frozen: its row 9 still holds the original values.
+        assert_eq!(base.slice(9 * dim, dim), &data[9 * dim..10 * dim]);
+        assert_eq!(edited.slice(9 * dim, dim), &[9.0; 4]);
+        // Untouched rows read identically through both.
+        assert_eq!(base.slice(20 * dim, dim), edited.slice(20 * dim, dim));
+    }
+
+    #[test]
+    fn extend_cows_only_the_tail_page() {
+        let base = PagedVec::from_vec((0..10u32).collect(), 8); // pages: 8 + 2
+        let mut grown = base.clone();
+        grown.extend_from_slice(&[10, 11]);
+        assert_eq!(grown.len(), 12);
+        assert_eq!(grown.table().shared_pages_with(base.table()), 1); // full page still shared
+        assert_eq!(base.len(), 10);
+        assert_eq!(base.to_vec(), (0..10u32).collect::<Vec<_>>());
+        assert_eq!(grown.to_vec(), (0..12u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unshare_breaks_sharing_but_not_contents() {
+        let base = PagedVec::from_vec((0..100i64).collect(), 16);
+        let mut copy = base.clone();
+        assert_eq!(copy.table().shared_pages_with(base.table()), base.table().num_pages());
+        copy.unshare();
+        assert_eq!(copy.table().shared_pages_with(base.table()), 0);
+        assert_eq!(copy.to_vec(), base.to_vec());
+    }
+
+    #[test]
+    fn page_identities_dedupe_across_clones() {
+        let base = PagedVec::from_vec(vec![1.0f64; 100], 32);
+        let mut edited = base.clone();
+        edited.write(0, &[2.0]);
+        let mut ids = Vec::new();
+        base.table().page_identities(&mut ids);
+        edited.table().page_identities(&mut ids);
+        let unique: std::collections::HashSet<usize> = ids.iter().map(|&(a, _)| a).collect();
+        // 4 pages each; 3 shared => 5 distinct allocations.
+        assert_eq!(unique.len(), 5);
+        let total: usize = ids.iter().map(|&(_, b)| b).sum();
+        assert_eq!(total, 2 * base.memory_bytes());
+    }
+
+    #[test]
+    fn empty_and_zero_chunk_edges() {
+        let v: PagedVec<f64> = PagedVec::new(4);
+        assert!(v.is_empty());
+        assert_eq!(v.slice(0, 0), &[] as &[f64]);
+        assert_eq!(v.table().num_pages(), 0);
+        assert_eq!(v.memory_bytes(), 0);
+    }
+}

@@ -195,17 +195,3 @@ impl CraAlgorithm {
         }
     }
 }
-
-/// Look a solver up by its paper label (`"SM"`, `"ILP"`, `"BRGG"`,
-/// `"Greedy"`, `"SDGA"`, `"SDGA-SRA"`, `"BBA"`), case-insensitively.
-///
-/// Thin shim over the one [`spec::METHOD_REGISTRY`](super::spec) table; kept
-/// for source compatibility only.
-#[deprecated(
-    since = "0.1.0",
-    note = "use engine::spec::method_by_label(label)?.solver_with(pruning) — or route \
-            through wgrap_service::api::SolveRequest, the one typed entry point"
-)]
-pub fn solver_by_label(label: &str) -> Option<Box<dyn Solver>> {
-    super::spec::method_by_label(label).ok().map(|k| k.solver_with(PruningPolicy::Exact))
-}

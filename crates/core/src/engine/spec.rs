@@ -2,7 +2,7 @@
 //! solvers, shared by every entry point.
 //!
 //! Before this module, three copies of the label → solver mapping could
-//! drift apart: [`solver_by_label`](super::solver_by_label), the CLI's
+//! drift apart: the since-removed `solver_by_label` shim, the CLI's
 //! `--method` parser, and `wgrap serve`'s `"method"` field each re-encoded
 //! the same names with their own error messages. [`METHOD_REGISTRY`] is now
 //! the single source of truth; [`method_by_label`] is the one lookup, and
@@ -62,9 +62,8 @@ pub struct MethodEntry {
 }
 
 /// The one label → solver table. Every consumer — [`method_by_label`], the
-/// CLI's `--method`, `wgrap serve`'s `"method"` field and the deprecated
-/// [`solver_by_label`](super::solver_by_label) shim — reads this table, so
-/// adding a method here is the complete wiring job.
+/// CLI's `--method` and `wgrap serve`'s `"method"` field — reads this
+/// table, so adding a method here is the complete wiring job.
 pub const METHOD_REGISTRY: &[MethodEntry] = &[
     MethodEntry {
         kind: MethodKind::Cra(CraAlgorithm::StableMatching),

@@ -6,11 +6,17 @@
 
 use std::fmt;
 use std::ops::Index;
+use std::sync::Arc;
 
 /// A non-negative `T`-dimensional topic vector.
+///
+/// The weights live in a shared immutable `Arc` slab: no method mutates
+/// them in place, so `clone` is an O(1) refcount bump. The paged
+/// snapshots in `engine::pages` rely on this — cloning an `Instance`
+/// with tens of thousands of vectors costs refcounts, not megabytes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TopicVector {
-    weights: Box<[f64]>,
+    weights: Arc<[f64]>,
 }
 
 impl TopicVector {
@@ -20,18 +26,18 @@ impl TopicVector {
             weights.iter().all(|w| w.is_finite() && *w >= 0.0),
             "topic weights must be finite and non-negative"
         );
-        Self { weights: weights.into_boxed_slice() }
+        Self { weights: weights.into() }
     }
 
     /// The all-zeros vector of dimension `t`.
     pub fn zeros(t: usize) -> Self {
-        Self { weights: vec![0.0; t].into_boxed_slice() }
+        Self { weights: vec![0.0; t].into() }
     }
 
     /// A uniform vector of dimension `t` summing to 1.
     pub fn uniform(t: usize) -> Self {
         assert!(t > 0);
-        Self { weights: vec![1.0 / t as f64; t].into_boxed_slice() }
+        Self { weights: vec![1.0 / t as f64; t].into() }
     }
 
     /// Construct from a sparse `(topic, weight)` list.
@@ -182,6 +188,13 @@ mod tests {
         let b = TopicVector::new(vec![0.5, 0.2]);
         let m = a.max_with(&b);
         assert_eq!(m.as_slice(), &[0.5, 0.9]);
+    }
+
+    #[test]
+    fn clone_shares_the_weight_slab() {
+        let a = TopicVector::new(vec![0.1, 0.9]);
+        let b = a.clone();
+        assert_eq!(a.as_slice().as_ptr(), b.as_slice().as_ptr(), "clone must not copy weights");
     }
 
     #[test]

@@ -3,10 +3,10 @@
 //!
 //! Every consumer of the engine used to re-encode the same knobs (method,
 //! scoring, pruning, seed, per-query overrides) through its own entry
-//! point — `CraAlgorithm::solver_with`/`run_pruned`, `solver_by_label`, the
-//! CLI flag table, `serve`'s stringly `match op` — each with its own
-//! validation and defaults. This module replaces all of them with one
-//! three-stage pipeline:
+//! point — `CraAlgorithm::solver_with`, the since-removed `run_pruned` /
+//! `solver_by_label` shims, the CLI flag table, `serve`'s stringly
+//! `match op` — each with its own validation and defaults. This module
+//! replaces all of them with one three-stage pipeline:
 //!
 //! 1. **[`SolveRequest`]** — the typed request: a CRA run, a single JRA
 //!    query, a JRA batch, an update batch, or a stats probe, with
@@ -366,7 +366,12 @@ pub struct StatsAnswer {
 }
 
 /// The answer payload of an [`Outcome`].
+///
+/// `Stats` is the largest variant (the page-metric counters widened
+/// [`StoreStats`]); one `Answer` exists per executed request, so the size
+/// skew costs nothing on any hot path.
 #[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)]
 pub enum Answer {
     /// A CRA run.
     Cra(CraAnswer),

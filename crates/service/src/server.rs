@@ -517,11 +517,20 @@ fn handle_stats(service: &Service, request: &Json, proto: Protocol) -> Result<Js
                 ("misses", Json::Num(stats.cache.misses as f64)),
             ]),
         ));
+        // Page counters and snapshot bytes are deterministic (derived from
+        // update contents, never wall clocks), so unlike `timings` they are
+        // safe in golden sessions and emitted unconditionally.
         members.push((
             "store",
             Json::obj([
                 ("batches", Json::Num(stats.store.batches as f64)),
                 ("updates", Json::Num(stats.store.updates as f64)),
+                ("pages_cloned", Json::Num(stats.store.total_pages_cloned as f64)),
+                ("pages_shared", Json::Num(stats.store.total_pages_shared as f64)),
+                ("last_pages_cloned", Json::Num(stats.store.last_pages_cloned as f64)),
+                ("last_pages_shared", Json::Num(stats.store.last_pages_shared as f64)),
+                ("snapshot_bytes", Json::Num(stats.store.last_snapshot_bytes as f64)),
+                ("peak_snapshot_bytes", Json::Num(stats.store.peak_snapshot_bytes as f64)),
             ]),
         ));
         // Wall-clock timings are non-deterministic, so they are opt-in:
@@ -751,6 +760,15 @@ coi alice p-17
         assert_eq!(cache.get("size").and_then(Json::as_usize), Some(0), "publish cleared");
         let store = s.get("store").unwrap();
         assert_eq!(store.get("batches").and_then(Json::as_usize), Some(1));
+        // Page metrics: the retire patch cloned the reviewer page (and the
+        // candidate rows it left), while the untouched paper page stayed
+        // physically shared with the previous epoch.
+        assert!(store.get("pages_cloned").and_then(Json::as_usize).unwrap() > 0);
+        assert!(store.get("pages_shared").and_then(Json::as_usize).unwrap() > 0);
+        assert_eq!(store.get("last_pages_cloned"), store.get("pages_cloned"));
+        let bytes = store.get("snapshot_bytes").and_then(Json::as_usize).unwrap();
+        assert!(bytes > 0);
+        assert_eq!(store.get("peak_snapshot_bytes").and_then(Json::as_usize), Some(bytes));
         assert!(s.get("timings").is_none(), "timings are opt-in");
         let t = respond(&service, r#"{"v":2,"op":"stats","timings":true}"#);
         assert!(t.get("timings").is_some());

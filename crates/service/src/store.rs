@@ -14,16 +14,24 @@
 //! old epoch alive until it finishes.
 //!
 //! [`VersionedStore::apply`] is the write path: it clones the current
-//! snapshot's state (the copy in copy-on-write — a flat `memcpy`, never a
-//! re-score), patches it incrementally, and publishes the result under
-//! `epoch + 1`. A batch of [`Update`]s is atomic: any failure discards the
-//! scratch copy and the published state is unchanged.
+//! snapshot's state and patches it incrementally. The clone is **paged**
+//! (`wgrap_core::engine::pages`): the flat matrices and candidate rows are
+//! `Arc`-shared slabs, so cloning bumps refcounts and the patch then
+//! copy-on-writes only the pages the batch touches — a single-row update
+//! copies one ~64 KiB matrix page plus the candidate rows the reviewer
+//! appears in, never the whole O(R·T + nnz) state. The result publishes
+//! under `epoch + 1`; untouched pages stay physically shared across
+//! epochs, which makes retaining historical snapshots (time-travel reads)
+//! cost only the per-epoch deltas. A batch of [`Update`]s is atomic: any
+//! failure discards the scratch copy and the published state is unchanged.
+//! Per-update page accounting (cloned vs shared pages, snapshot bytes) is
+//! reported through [`VersionedStore::stats`].
 //!
 //! # Build / publish split (non-blocking admissions)
 //!
 //! The store is internally synchronized and its write path is **two-phase**:
 //! [`VersionedStore::begin_update`] performs the whole copy-on-write build
-//! (tens of milliseconds at P=5k/R=10k) while holding only a *builder gate*
+//! (single-digit milliseconds at P=5k/R=10k) while holding only a *builder gate*
 //! that serializes writers with each other; [`PendingUpdate::publish`] then
 //! swaps the `Arc` under the snapshot lock — a pointer store. Readers
 //! ([`VersionedStore::snapshot`], i.e. every `jra`/`batch`/`assign`
@@ -208,11 +216,54 @@ impl Snapshot {
                 .collect(),
         )
     }
+
+    /// Content bytes this snapshot holds: paged matrices, CSR, candidate
+    /// rows and the inverted indexes. Length-derived and deterministic
+    /// (shared pages count at full size — see
+    /// [`page_delta`](Snapshot::page_delta) for what is actually new per
+    /// epoch), so it is safe to surface in golden-tested protocol output.
+    pub fn memory_bytes(&self) -> usize {
+        let index_bytes = |idx: &[Vec<u32>]| {
+            idx.iter().map(|v| v.len() * std::mem::size_of::<u32>()).sum::<usize>()
+        };
+        self.ctx.memory_bytes()
+            + self.candidates().memory_bytes()
+            + index_bytes(&self.topic_reviewers)
+            + index_bytes(&self.topic_papers)
+    }
+
+    /// `(pages cloned, pages shared)` of this snapshot relative to `prev`:
+    /// matrix pages plus candidate row slabs, compared by physical identity
+    /// (`Arc::ptr_eq`). "Cloned" counts pages this snapshot owns privately
+    /// — including rows appended beyond `prev`'s length.
+    pub fn page_delta(&self, prev: &Snapshot) -> (u64, u64) {
+        let total = (self.ctx.num_pages() + self.candidates().num_pages()) as u64;
+        let shared = (self.ctx.shared_pages_with(&prev.ctx)
+            + self.candidates().shared_rows_with(prev.candidates())) as u64;
+        (total - shared, shared)
+    }
+
+    /// Every page's `(address, content bytes)` identity — the retention
+    /// benches dedupe these across many retained epochs to measure what
+    /// structural sharing actually saves.
+    #[doc(hidden)]
+    pub fn page_identities(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        self.ctx.page_identities(&mut out);
+        self.candidates().page_identities(&mut out);
+        out
+    }
 }
 
 /// Cumulative write-path accounting: how long builds take vs how long the
-/// published swap takes. The gap between the two is exactly what the
-/// build/publish split buys concurrent admissions.
+/// published swap takes (the gap is what the build/publish split buys
+/// concurrent admissions), plus per-update page metrics that make the
+/// structural sharing observable: how many pages each published epoch
+/// cloned vs shared with its predecessor, and how big snapshots are.
+///
+/// The page counters and byte sizes are deterministic (derived from update
+/// contents and lengths, never wall clocks), so protocol v2 surfaces them
+/// unconditionally in golden-tested `stats` responses.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StoreStats {
     /// Published update batches.
@@ -227,6 +278,20 @@ pub struct StoreStats {
     pub last_publish: Duration,
     /// Total wall time spent publishing.
     pub total_publish: Duration,
+    /// Pages (matrix pages + candidate row slabs) the most recent batch
+    /// copied or newly created.
+    pub last_pages_cloned: u64,
+    /// Pages the most recent batch left physically shared with the
+    /// previous epoch.
+    pub last_pages_shared: u64,
+    /// Total pages cloned across all published batches.
+    pub total_pages_cloned: u64,
+    /// Total pages shared across all published batches.
+    pub total_pages_shared: u64,
+    /// [`Snapshot::memory_bytes`] of the most recently published snapshot.
+    pub last_snapshot_bytes: u64,
+    /// Largest [`Snapshot::memory_bytes`] ever published.
+    pub peak_snapshot_bytes: u64,
 }
 
 /// The mutable front of the snapshot chain: holds the current
@@ -312,13 +377,18 @@ impl VersionedStore {
                 built: None,
                 build: Duration::ZERO,
                 applied: 0,
+                pages_cloned: 0,
+                pages_shared: 0,
+                snapshot_bytes: 0,
             });
         }
         let start = Instant::now();
         let cur = self.snapshot();
-        // The copy in copy-on-write: flat arrays + instance + candidate set,
-        // but never a cached dense pair matrix (a reader may have built one
-        // through the shared snapshot; mutation would drop it unused).
+        // The copy in copy-on-write: a paged clone — every matrix page and
+        // candidate row slab is Arc-shared with `cur`, and the patches below
+        // copy only what they touch. The cached dense pair matrix never
+        // carries over (a reader may have built one through the shared
+        // snapshot; mutation would drop it unused).
         let mut ctx = cur.ctx.clone_for_update();
         let mut cands =
             ctx.take_auto_candidates().unwrap_or_else(|| CandidateSet::build(&ctx, None));
@@ -330,12 +400,18 @@ impl VersionedStore {
         }
         ctx.install_auto_candidates(cands);
         let epoch = cur.epoch + 1;
+        let built = Snapshot { epoch, ctx, topic_reviewers, topic_papers };
+        let (pages_cloned, pages_shared) = built.page_delta(&cur);
+        let snapshot_bytes = built.memory_bytes() as u64;
         Ok(PendingUpdate {
             store: self,
             _gate: gate,
-            built: Some(Snapshot { epoch, ctx, topic_reviewers, topic_papers }),
+            built: Some(built),
             build: start.elapsed(),
             applied: updates.len(),
+            pages_cloned,
+            pages_shared,
+            snapshot_bytes,
         })
     }
 }
@@ -353,6 +429,9 @@ pub struct PendingUpdate<'a> {
     built: Option<Snapshot>,
     build: Duration,
     applied: usize,
+    pages_cloned: u64,
+    pages_shared: u64,
+    snapshot_bytes: u64,
 }
 
 impl PendingUpdate<'_> {
@@ -399,6 +478,12 @@ impl PendingUpdate<'_> {
         stats.total_build += self.build;
         stats.last_publish = publish;
         stats.total_publish += publish;
+        stats.last_pages_cloned = self.pages_cloned;
+        stats.last_pages_shared = self.pages_shared;
+        stats.total_pages_cloned += self.pages_cloned;
+        stats.total_pages_shared += self.pages_shared;
+        stats.last_snapshot_bytes = self.snapshot_bytes;
+        stats.peak_snapshot_bytes = stats.peak_snapshot_bytes.max(self.snapshot_bytes);
         epoch
     }
 }
@@ -749,6 +834,72 @@ mod tests {
         assert_eq!(builder.join().expect("builder thread"), 1);
         assert_eq!(store.epoch(), 1);
         assert_eq!(store.stats().batches, 1);
+    }
+
+    #[test]
+    fn page_metrics_track_structural_sharing() {
+        let store = VersionedStore::new(base(), Scoring::WeightedCoverage, 0);
+        let before = store.snapshot();
+        store
+            .apply(&[Update::PatchScores { reviewer: 0, expertise: tv(&[0.1, 0.8, 0.1]) }])
+            .unwrap();
+        let after = store.snapshot();
+        let stats = store.stats();
+        let (cloned, shared) = after.page_delta(&before);
+        assert_eq!((stats.last_pages_cloned, stats.last_pages_shared), (cloned, shared));
+        // The paper matrix is untouched by a reviewer patch: its page must
+        // still be physically shared with the pre-update epoch.
+        assert!(shared > 0, "untouched pages must stay shared");
+        assert!(cloned > 0, "the patched reviewer page must be cloned");
+        assert_eq!(
+            cloned + shared,
+            (after.ctx().num_pages() + after.candidates().num_pages()) as u64
+        );
+        assert_eq!(stats.last_snapshot_bytes, after.memory_bytes() as u64);
+        assert_eq!(stats.peak_snapshot_bytes, stats.last_snapshot_bytes);
+        assert_eq!(
+            (stats.total_pages_cloned, stats.total_pages_shared),
+            (stats.last_pages_cloned, stats.last_pages_shared)
+        );
+    }
+
+    #[test]
+    fn retained_epoch_reads_after_later_publishes() {
+        // Time-travel: hold epoch snapshots while the store moves on; every
+        // retained epoch stays fully readable and frozen.
+        let store = VersionedStore::new(base(), Scoring::WeightedCoverage, 0);
+        let e0 = store.snapshot();
+        store
+            .apply(&[Update::PatchScores { reviewer: 0, expertise: tv(&[0.1, 0.8, 0.1]) }])
+            .unwrap();
+        let e1 = store.snapshot();
+        store.apply(&[Update::RetireReviewer { reviewer: 1 }]).unwrap();
+        let e2 = store.snapshot();
+        store
+            .apply(&[Update::AddPaper { name: None, topics: tv(&[0.0, 0.5, 0.5]), coi: vec![] }])
+            .unwrap();
+        assert_eq!(store.epoch(), 3);
+        // Epoch 0 still serves its original state, bit for bit.
+        assert_eq!(e0.epoch(), 0);
+        assert_eq!(e0.ctx().reviewer_row(0), base().reviewer(0).as_slice());
+        assert_eq!(e0.instance().num_papers(), 2);
+        let want0 = Snapshot::build(base(), Scoring::WeightedCoverage, 0);
+        assert_snapshot_bit_eq(&e0, &want0);
+        // Epoch 1 matches a rebuild of its prefix.
+        let want1 = reference_apply(
+            &base(),
+            Scoring::WeightedCoverage,
+            0,
+            &[Update::PatchScores { reviewer: 0, expertise: tv(&[0.1, 0.8, 0.1]) }],
+        )
+        .unwrap();
+        assert_snapshot_bit_eq(&e1, &want1);
+        // And the retained epoch still shares untouched pages with current:
+        // adding a paper leaves the reviewer matrix page and the existing
+        // candidate rows physically shared with epoch 2.
+        let cur = store.snapshot();
+        let (_, shared) = cur.page_delta(&e2);
+        assert!(shared > 0, "retained epochs share structure with current");
     }
 
     #[test]

@@ -143,6 +143,83 @@ proptest! {
         }
     }
 
+    /// Paged storage certification + time travel. Two halves:
+    ///
+    /// * **Paged ≡ flat** — unsharing every matrix page and candidate row
+    ///   slab of an incrementally-updated snapshot reconstructs the
+    ///   pre-paging flat layout; its contents must be bit-identical to the
+    ///   paged snapshot (per row, per candidate list) with sharing fully
+    ///   severed, for all four scorings. CI runs this with the `rayon`
+    ///   feature on and off.
+    /// * **Time travel** — every retained historical epoch stays readable
+    ///   after later publishes: bit-identical to a reference replay of its
+    ///   update prefix, and an actual JRA solve against the oldest epoch
+    ///   completes crash-free even though newer epochs have since CoW'd
+    ///   pages away from it.
+    #[test]
+    fn paged_equals_flat_and_retained_epochs_stay_readable(
+        inst in instance_strategy(5),
+        raws in proptest::collection::vec(raw_update(5), 1..8),
+        seed in 0u64..1_000,
+    ) {
+        let updates = resolve(&inst, &raws);
+        for scoring in Scoring::ALL {
+            let store = VersionedStore::new(inst.clone(), scoring, seed);
+            let mut retained = vec![store.snapshot()];
+            for u in &updates {
+                store.apply(std::slice::from_ref(u)).expect("applies");
+                retained.push(store.snapshot());
+            }
+
+            let snap = store.snapshot();
+            let ctx = snap.ctx();
+            let mut flat = ctx.clone_for_update();
+            flat.unshare_pages();
+            let mut cands = flat.auto_candidates().clone();
+            cands.unshare();
+            flat.install_auto_candidates(cands);
+            prop_assert_eq!(flat.shared_pages_with(ctx), 0, "{:?}: pages still shared", scoring);
+            prop_assert_eq!(
+                flat.auto_candidates().shared_rows_with(snap.candidates()),
+                0,
+                "{:?}: candidate rows still shared",
+                scoring
+            );
+            for r in 0..ctx.num_reviewers() {
+                let (a, b) = (ctx.reviewer_row(r), flat.reviewer_row(r));
+                prop_assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits(), "{:?}: reviewer {}", scoring, r);
+                }
+            }
+            for p in 0..ctx.num_papers() {
+                let (a, b) = (ctx.paper_row(p), flat.paper_row(p));
+                prop_assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits(), "{:?}: paper {}", scoring, p);
+                }
+                let (ri, rs) = snap.candidates().candidates(p);
+                let (fi, fs) = flat.auto_candidates().candidates(p);
+                prop_assert_eq!(ri, fi, "{:?}: candidate ids for paper {}", scoring, p);
+                prop_assert_eq!(rs.len(), fs.len());
+                for (x, y) in rs.iter().zip(fs) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits(), "{:?}: cand score p{}", scoring, p);
+                }
+            }
+
+            for (k, old) in retained.iter().enumerate() {
+                let want =
+                    reference_apply(&inst, scoring, seed, &updates[..k]).expect("prefix applies");
+                assert_snapshot_bit_eq(old, &want);
+                prop_assert_eq!(old.epoch(), k as u64);
+            }
+            let mut batch = JraBatch::new(Arc::clone(&retained[0]), PruningPolicy::Auto);
+            batch.push(JraQuery::new(QueryPaper::Stored(0)));
+            let solved = batch.run().pop().unwrap();
+            prop_assert!(solved.is_ok(), "{:?}: time-travel solve failed: {:?}", scoring, solved);
+        }
+    }
+
     /// Ad-hoc candidate pools computed against an updated snapshot match
     /// pools computed against the rebuilt one (the index the batch executor
     /// probes is part of the bit-identity contract).
