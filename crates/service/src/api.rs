@@ -61,7 +61,7 @@
 use crate::batch::{JraBatch, JraQuery, QueryPaper};
 use crate::store::{Snapshot, StoreStats, Update, VersionedStore};
 use crate::Result;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
@@ -73,6 +73,10 @@ use wgrap_core::jra::JraResult;
 use wgrap_core::prelude::{Assignment, CraAlgorithm, Instance, Scoring};
 use wgrap_core::topic::TopicVector;
 
+/// Default result-cache capacity ([`ServeOptions::cache_cap`], the CLI's
+/// `--cache-cap`): entries retained per epoch before LRU eviction.
+pub const DEFAULT_CACHE_CAP: usize = 4096;
+
 /// Service-level defaults (the CLI's knobs): what a request that does not
 /// override them resolves against during planning.
 #[derive(Debug, Clone, Copy)]
@@ -81,11 +85,19 @@ pub struct ServeOptions {
     pub pruning: PruningPolicy,
     /// Default method for CRA solves.
     pub method: MethodKind,
+    /// Result-cache capacity: at most this many entries are retained
+    /// (least-recently-used eviction); `0` disables caching entirely. A hot
+    /// epoch can therefore never grow memory without bound.
+    pub cache_cap: usize,
 }
 
 impl Default for ServeOptions {
     fn default() -> Self {
-        Self { pruning: PruningPolicy::default(), method: MethodKind::Cra(CraAlgorithm::SdgaSra) }
+        Self {
+            pruning: PruningPolicy::default(),
+            method: MethodKind::Cra(CraAlgorithm::SdgaSra),
+            cache_cap: DEFAULT_CACHE_CAP,
+        }
     }
 }
 
@@ -336,10 +348,15 @@ pub struct UpdateAnswer {
 pub struct CacheCounters {
     /// Entries cached at the current epoch.
     pub size: usize,
+    /// Capacity bound ([`ServeOptions::cache_cap`]); `size <= capacity`.
+    pub capacity: usize,
     /// Lifetime cache hits.
     pub hits: u64,
     /// Lifetime cache misses (cacheable requests that solved cold).
     pub misses: u64,
+    /// Lifetime LRU evictions (entries dropped for capacity, not by a
+    /// publish — publish invalidation is not an eviction).
+    pub evictions: u64,
 }
 
 /// The `stats` answer: instance shape plus cache and store accounting.
@@ -401,42 +418,68 @@ enum CachedAnswer {
     Cra { method: MethodKind, assignment: Assignment, coverage: f64, loss_bound: Option<f64> },
 }
 
+/// The bounded per-epoch result cache: an LRU keyed on [`RequestKey`].
+///
+/// Recency is tracked with a monotone tick per entry plus a `tick → key`
+/// index, so a probe or insert re-ranks in `O(log n)` and eviction drops
+/// the genuinely least-recently-used entry. Capacity `0` disables storage
+/// entirely (every probe is a miss); any capacity preserves the cache
+/// contract — a hit is bit-identical to the cold solve — because eviction
+/// only ever *removes* entries, it never mutates a stored answer.
 #[derive(Debug, Default)]
 struct ResultCache {
     /// The epoch every entry (and the memoized `support`) belongs to.
     /// Advances monotonically — see [`ResultCache::roll_to`].
     epoch: u64,
-    entries: HashMap<RequestKey, CachedAnswer>,
+    /// Capacity bound; entries never exceed it.
+    cap: usize,
+    entries: HashMap<RequestKey, (CachedAnswer, u64)>,
+    /// Recency index: tick of last use → key. Oldest tick = LRU victim.
+    order: BTreeMap<u64, RequestKey>,
+    tick: u64,
     /// Memoized per-epoch candidate-support stats: identical for every
     /// request admitted at one epoch, so computed (an `O(P log P)` sort)
     /// at most once per epoch instead of per request.
     support: Option<Option<CoverageStats>>,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl ResultCache {
+    fn with_capacity(cap: usize) -> Self {
+        Self { cap, ..Self::default() }
+    }
+
     /// Advance to a newer epoch, dropping everything the old one cached.
     /// Never regresses: a straggler request admitted at an older epoch
     /// must not wipe entries the *current* epoch already paid to solve.
     fn roll_to(&mut self, epoch: u64) {
         if epoch > self.epoch {
             self.entries.clear();
+            self.order.clear();
             self.support = None;
             self.epoch = epoch;
         }
     }
 
-    /// Probe for a cached answer at `epoch`. Counts a hit or miss. A probe
-    /// from an older epoch than the cache holds is always a miss (its
-    /// result will also not be stored): old-epoch answers must never be
-    /// served at a newer epoch, and vice versa.
+    /// Probe for a cached answer at `epoch`. Counts a hit or miss and
+    /// refreshes the hit entry's recency. A probe from an older epoch than
+    /// the cache holds is always a miss (its result will also not be
+    /// stored): old-epoch answers must never be served at a newer epoch,
+    /// and vice versa.
     fn probe(&mut self, epoch: u64, key: &RequestKey) -> Option<CachedAnswer> {
         self.roll_to(epoch);
-        match (epoch == self.epoch).then(|| self.entries.get(key)).flatten() {
-            Some(v) => {
+        let entry = (epoch == self.epoch).then(|| self.entries.get_mut(key)).flatten();
+        match entry {
+            Some((value, tick)) => {
                 self.hits += 1;
-                Some(v.clone())
+                let value = value.clone();
+                let old = std::mem::replace(tick, self.tick + 1);
+                self.tick += 1;
+                let moved = self.order.remove(&old).expect("every entry is indexed");
+                self.order.insert(self.tick, moved);
+                Some(value)
             }
             None => {
                 self.misses += 1;
@@ -446,10 +489,24 @@ impl ResultCache {
     }
 
     /// Store a cold result — only if the cache still holds this epoch
-    /// (a publish may have raced the solve; never mix epochs).
+    /// (a publish may have raced the solve; never mix epochs) — then
+    /// evict least-recently-used entries down to capacity.
     fn store(&mut self, epoch: u64, key: RequestKey, value: CachedAnswer) {
-        if self.epoch == epoch {
-            self.entries.insert(key, value);
+        if self.epoch != epoch || self.cap == 0 {
+            return;
+        }
+        self.tick += 1;
+        if let Some((_, old)) = self.entries.insert(key.clone(), (value, self.tick)) {
+            // A concurrent solve of the same key raced us here: replace its
+            // recency slot rather than leak it (both answers are
+            // bit-identical by determinism, so which value wins is moot).
+            self.order.remove(&old);
+        }
+        self.order.insert(self.tick, key);
+        while self.entries.len() > self.cap {
+            let (_, victim) = self.order.pop_first().expect("order tracks entries");
+            self.entries.remove(&victim);
+            self.evictions += 1;
         }
     }
 }
@@ -484,7 +541,8 @@ impl Service {
 
     /// Wrap an existing store.
     pub fn from_store(store: VersionedStore, options: ServeOptions) -> Self {
-        Self { store, cache: Mutex::new(ResultCache::default()), options }
+        let cache = ResultCache::with_capacity(options.cache_cap);
+        Self { store, cache: Mutex::new(cache), options }
     }
 
     /// The underlying versioned store (snapshots, two-phase updates).
@@ -505,7 +563,13 @@ impl Service {
     /// Result-cache counters.
     pub fn cache_counters(&self) -> CacheCounters {
         let cache = self.cache.lock().expect("cache lock");
-        CacheCounters { size: cache.entries.len(), hits: cache.hits, misses: cache.misses }
+        CacheCounters {
+            size: cache.entries.len(),
+            capacity: cache.cap,
+            hits: cache.hits,
+            misses: cache.misses,
+            evictions: cache.evictions,
+        }
     }
 
     /// The snapshot's candidate-support stats, memoized per epoch in the
@@ -563,6 +627,20 @@ impl Service {
             SolveRequest::Stats => (None, PlanAction::Stats),
         };
         Plan { key, snapshot, action, plan_time: start.elapsed() }
+    }
+
+    /// Admit one JRA spec at the current epoch and canonicalize it — the
+    /// front-end coalescer's planning entry point ([`crate::frontend`]):
+    /// plan *before* queueing, so queue entries always carry a pinned
+    /// snapshot plus a canonical query, and malformed requests fail fast
+    /// without occupying a queue slot.
+    pub(crate) fn plan_jra_one(
+        &self,
+        spec: &JraSpec,
+    ) -> (Arc<Snapshot>, std::result::Result<PlannedQuery, String>) {
+        let snapshot = self.store.snapshot();
+        let planned = self.plan_query(&snapshot, spec);
+        (snapshot, planned)
     }
 
     /// Canonicalize one JRA query against the admitted snapshot: resolve
@@ -801,7 +879,7 @@ impl Service {
     /// misses as one positional [`JraBatch`] (bit-identical to solving
     /// them one at a time — the batch contract), then store the cold
     /// results.
-    fn exec_jra(
+    pub(crate) fn exec_jra(
         &self,
         snapshot: &Arc<Snapshot>,
         queries: &[std::result::Result<PlannedQuery, String>],

@@ -31,13 +31,20 @@
 //!    (answer + epoch/cache/timing/support diagnostics), with a
 //!    **per-epoch result cache** whose hits are bit-identical to cold
 //!    solves and which every publish invalidates.
-//! 4. **Front-end** ([`server`]) — `wgrap serve`: newline-delimited JSON
-//!    over stdin/stdout or plain `std::net` TCP (offline-friendly, no new
-//!    dependencies), exposing `jra`, `batch`, `update`, `assign` and
-//!    `stats` in two protocol versions: v1 (byte-identical to the
-//!    pre-`api` server, golden-tested) and v2 (`"v":2` — cache/key/loss
-//!    diagnostics and stats counters). See `src/README.md` for the
-//!    migration guide.
+//! 4. **Concurrent front-end** ([`frontend`] + [`server`]) — `wgrap
+//!    serve`: newline-delimited JSON over stdin/stdout, plain `std::net`
+//!    TCP (thread per connection), or a deterministic multi-session
+//!    harness ([`serve_multi`]), exposing `jra`, `batch`, `update`,
+//!    `assign` and `stats` in two protocol versions: v1 (byte-identical
+//!    to the pre-`api` server, golden-tested) and v2 (`"v":2` —
+//!    cache/key/loss diagnostics and stats counters). A [`Frontend`]
+//!    adds admission control (bounded in-flight solves + bounded queue,
+//!    structured `"busy"` rejections) and an epoch-coalescing
+//!    auto-batcher that collects concurrent `jra` requests admitted at
+//!    the same epoch into one [`JraBatch`] — a pure perf transform, since
+//!    batched answers are bit-identical to one-at-a-time solves. The
+//!    result cache is LRU-bounded ([`ServeOptions::cache_cap`]). See
+//!    `src/README.md` for the migration guide and tuning flags.
 //!
 //! ```
 //! use wgrap_core::prelude::*;
@@ -73,6 +80,7 @@
 
 pub mod api;
 pub mod batch;
+pub mod frontend;
 pub mod json;
 pub mod server;
 pub mod store;
@@ -84,6 +92,7 @@ pub use api::{
     ServeOptions, Service, SolveRequest, StatsAnswer, UpdateAnswer,
 };
 pub use batch::{JraBatch, JraQuery, QueryPaper};
-pub use server::{serve_connection, serve_stdio, serve_tcp};
+pub use frontend::{Frontend, FrontendCounters, FrontendOptions, JraOutcome};
+pub use server::{serve_connection, serve_multi, serve_stdio, serve_tcp};
 pub use store::{PendingUpdate, Snapshot, StoreStats, Update, VersionedStore};
 pub use wgrap_core::error::{Error, Result};

@@ -10,7 +10,7 @@
 //!
 //! Every op is a thin JSON skin over the typed
 //! [`api`](crate::api) layer: requests parse into a
-//! [`SolveRequest`], plan and execute through [`Service`], and the
+//! [`SolveRequest`], plan and execute through [`Service`](crate::api::Service), and the
 //! [`Outcome`](crate::api::Outcome) renders in the wire shape of the requested protocol
 //! version. The server owns **no** solving or defaulting logic of its own.
 //!
@@ -54,19 +54,27 @@
 //!
 //! # Concurrency
 //!
-//! The [`Service`] is internally synchronized. Queries and CRA runs admit
-//! at an epoch (an `Arc<Snapshot>` clone) and solve lock-free; updates
-//! build copy-on-write off the read path and publish with a bare `Arc`
-//! swap ([`VersionedStore`](crate::store::VersionedStore)'s build/publish
+//! Connections share one [`Frontend`] over the internally synchronized
+//! [`Service`](crate::api::Service). Queries and CRA runs admit at an epoch (an
+//! `Arc<Snapshot>` clone) and solve lock-free; updates build copy-on-write
+//! off the read path and publish with a bare `Arc` swap
+//! ([`VersionedStore`](crate::store::VersionedStore)'s build/publish
 //! split), so a `jra` admission on one TCP connection proceeds even while
-//! an update batch is mid-build on another.
+//! an update batch is mid-build on another. The front-end adds admission
+//! control and epoch-coalescing on top (see [`crate::frontend`]): a
+//! saturated server answers `{"ok":false,"busy":true,...}` instead of
+//! queueing without bound, and concurrent single-query `jra` requests at
+//! one epoch solve as a single [`JraBatch`](crate::batch::JraBatch) —
+//! with byte-identical responses, by the batch contract.
 
-use crate::api::{Answer, CacheStatus, JraAnswer, JraSpec, PaperRef, Service, SolveRequest};
+use crate::api::{Answer, CacheStatus, JraAnswer, JraSpec, PaperRef, SolveRequest};
+use crate::frontend::{Frontend, JraOutcome};
 use crate::json::{self, Json};
 use crate::store::Update;
+use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpListener;
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use wgrap_core::engine::{spec, PruningPolicy};
 use wgrap_core::jra::JraResult;
 use wgrap_core::topic::TopicVector;
@@ -75,16 +83,17 @@ use wgrap_core::topic::TopicVector;
 /// JSON response per line on `out`, until EOF. Malformed lines produce an
 /// `{"ok":false,...}` response and the session continues.
 pub fn serve_connection<R: BufRead, W: Write>(
-    service: &Service,
+    frontend: &Frontend,
     input: R,
     mut out: W,
 ) -> io::Result<()> {
+    frontend.note_connection();
     for line in input.lines() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let response = handle_line(service, &line);
+        let response = handle_line(frontend, &line);
         writeln!(out, "{response}")?;
         out.flush()?;
     }
@@ -92,27 +101,127 @@ pub fn serve_connection<R: BufRead, W: Write>(
 }
 
 /// Serve a single session over stdin/stdout (the piping mode).
-pub fn serve_stdio(service: &Service) -> io::Result<()> {
+pub fn serve_stdio(frontend: &Frontend) -> io::Result<()> {
     let stdin = io::stdin();
     let stdout = io::stdout();
-    serve_connection(service, stdin.lock(), stdout.lock())
+    serve_connection(frontend, stdin.lock(), stdout.lock())
 }
 
 /// Accept TCP connections forever, one thread per connection, all sharing
-/// the service (updates from any connection are visible to all at the next
-/// epoch). The listener is bound by the caller so tests can pick port 0.
-pub fn serve_tcp(listener: TcpListener, service: Arc<Service>) -> io::Result<()> {
+/// the front-end (updates from any connection are visible to all at the
+/// next epoch; admission bounds apply across all connections). The
+/// listener is bound by the caller so tests can pick port 0.
+pub fn serve_tcp(listener: TcpListener, frontend: Arc<Frontend>) -> io::Result<()> {
     loop {
         let (socket, _) = listener.accept()?;
-        let service = Arc::clone(&service);
+        let frontend = Arc::clone(&frontend);
         std::thread::spawn(move || {
             let reader = BufReader::new(match socket.try_clone() {
                 Ok(s) => s,
                 Err(_) => return,
             });
-            let _ = serve_connection(&service, reader, socket);
+            let _ = serve_connection(&frontend, reader, socket);
         });
     }
+}
+
+/// One message to a multi-session connection thread.
+enum MultiMsg {
+    /// A request line to handle.
+    Line(String),
+    /// A barrier marker: drop the sender once every earlier line on this
+    /// connection has been handled (channel FIFO makes that ordering
+    /// free).
+    Sync(mpsc::Sender<()>),
+}
+
+/// The deterministic multi-session harness behind `wgrap serve --multi`:
+/// replay an interleaved N-client session from one input stream, with a
+/// real thread per client hitting the shared front-end concurrently.
+///
+/// Input format, one line each:
+///
+/// - `<cid> <json-request>` — dispatch the request on connection `cid`
+///   (any whitespace-free token; a thread is spawned lazily on first
+///   use). Lines for *different* connections genuinely race: they are
+///   forwarded immediately and handled concurrently.
+/// - `#sync` — a global barrier: wait until every connection has handled
+///   all its earlier lines. Fixtures use this to isolate updates, so the
+///   epoch every phase observes is deterministic.
+/// - `#...` — comment, ignored. Blank lines are ignored.
+///
+/// Output: after EOF, each connection's responses are written in order as
+/// `<cid>\t<response>` lines, grouped by connection in first-seen order —
+/// deterministic regardless of thread scheduling, because each
+/// connection's responses depend only on its own request order and the
+/// barrier-delimited epoch (coalescing never changes response bytes).
+pub fn serve_multi<R: BufRead, W: Write>(
+    frontend: &Arc<Frontend>,
+    input: R,
+    mut out: W,
+) -> io::Result<()> {
+    type Conn = (mpsc::Sender<MultiMsg>, std::thread::JoinHandle<Vec<String>>);
+    let mut order: Vec<String> = Vec::new();
+    let mut conns: HashMap<String, Conn> = HashMap::new();
+    for line in input.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed == "#sync" {
+            let (ack_tx, ack_rx) = mpsc::channel();
+            for cid in &order {
+                let _ = conns[cid].0.send(MultiMsg::Sync(ack_tx.clone()));
+            }
+            drop(ack_tx);
+            // Drained when every connection dropped its clone.
+            while ack_rx.recv().is_ok() {}
+            continue;
+        }
+        if trimmed.starts_with('#') {
+            continue;
+        }
+        let Some((cid, payload)) = trimmed.split_once(char::is_whitespace) else {
+            writeln!(out, "#error\tline needs '<cid> <request>': {trimmed}")?;
+            continue;
+        };
+        let payload = payload.trim().to_string();
+        let tx = match conns.get(cid) {
+            Some((tx, _)) => tx.clone(),
+            None => {
+                let (tx, rx) = mpsc::channel::<MultiMsg>();
+                let frontend = Arc::clone(frontend);
+                let handle = std::thread::spawn(move || {
+                    frontend.note_connection();
+                    let mut responses = Vec::new();
+                    for msg in rx {
+                        match msg {
+                            MultiMsg::Line(l) => {
+                                responses.push(handle_line(&frontend, &l).to_string())
+                            }
+                            MultiMsg::Sync(ack) => drop(ack),
+                        }
+                    }
+                    responses
+                });
+                order.push(cid.to_string());
+                conns.insert(cid.to_string(), (tx.clone(), handle));
+                tx
+            }
+        };
+        let _ = tx.send(MultiMsg::Line(payload));
+    }
+    for cid in &order {
+        let (tx, handle) = conns.remove(cid).expect("order tracks conns");
+        drop(tx);
+        let responses =
+            handle.join().map_err(|_| io::Error::other("connection thread panicked"))?;
+        for r in responses {
+            writeln!(out, "{cid}\t{r}")?;
+        }
+    }
+    out.flush()
 }
 
 /// The protocol version a request speaks.
@@ -124,7 +233,7 @@ enum Protocol {
 
 /// Handle one request line and render the response (never panics on bad
 /// input — every error becomes an `{"ok":false,...}` response).
-pub fn handle_line(service: &Service, line: &str) -> Json {
+pub fn handle_line(frontend: &Frontend, line: &str) -> Json {
     let request = match json::parse(line) {
         Ok(v) => v,
         Err(e) => return error_response(&format!("bad JSON: {e}")),
@@ -141,11 +250,11 @@ pub fn handle_line(service: &Service, line: &str) -> Json {
         return versioned_error(proto, "missing \"op\"");
     };
     let result = match op {
-        "jra" => handle_jra(service, &request, proto, false),
-        "batch" => handle_jra(service, &request, proto, true),
-        "update" => handle_update(service, &request, proto),
-        "assign" => handle_assign(service, &request, proto),
-        "stats" => handle_stats(service, &request, proto),
+        "jra" => handle_jra_single(frontend, &request, proto),
+        "batch" => handle_batch(frontend, &request, proto),
+        "update" => handle_update(frontend, &request, proto),
+        "assign" => handle_assign(frontend, &request, proto),
+        "stats" => handle_stats(frontend, &request, proto),
         other => Err(format!("unknown op '{other}'")),
     };
     match result {
@@ -167,6 +276,19 @@ fn versioned_error(proto: Protocol, message: &str) -> Json {
             ("error", Json::Str(message.into())),
         ]),
     }
+}
+
+/// The structured admission-control rejection: `"busy":true` marks it as
+/// retryable (the request was never queued or solved), distinct from the
+/// plain `"error"` shape that means the request itself was bad.
+fn busy_response(proto: Protocol) -> Json {
+    let mut members = vec![("ok", Json::Bool(false))];
+    if proto == Protocol::V2 {
+        members.push(("v", Json::Num(2.0)));
+    }
+    members.push(("busy", Json::Bool(true)));
+    members.push(("error", Json::Str("busy: server at capacity, retry later".into())));
+    Json::obj(members)
 }
 
 fn request_pruning(request: &Json) -> Result<Option<PruningPolicy>, String> {
@@ -278,41 +400,58 @@ fn v2_diag_members(
     members
 }
 
-fn handle_jra(
-    service: &Service,
-    request: &Json,
-    proto: Protocol,
-    batched: bool,
-) -> Result<Json, String> {
+/// A single `jra`: routed through the front-end coalescer, so concurrent
+/// requests at one epoch solve as one batch. Response bytes are identical
+/// to the direct path — the batch contract guarantees it.
+fn handle_jra_single(frontend: &Frontend, request: &Json, proto: Protocol) -> Result<Json, String> {
+    let pruning = request_pruning(request)?;
+    let spec = parse_jra_spec(request, pruning)?;
+    let (snapshot, answer, loss_bound) = match frontend.jra(&spec) {
+        JraOutcome::Busy => return Ok(busy_response(proto)),
+        JraOutcome::Done { snapshot, answer, loss_bound } => (snapshot, answer, loss_bound),
+    };
+    let answer = answer?;
+    let names = |r: usize| snapshot.instance().reviewer_name(r);
+    let mut members = vec![("ok", Json::Bool(true))];
+    if proto == Protocol::V2 {
+        members.push(("v", Json::Num(2.0)));
+    }
+    members.push(("op", Json::Str("jra".into())));
+    members.push(("epoch", Json::Num(snapshot.epoch() as f64)));
+    if proto == Protocol::V2 {
+        members.extend(v2_diag_members(answer.cache, Some(&answer.key), loss_bound));
+    }
+    members.push(("results", render_results(&names, &answer.results)));
+    Ok(Json::obj(members))
+}
+
+/// An explicit `batch`: already a coalesced unit, so it skips the
+/// auto-batcher and takes one direct solve slot (admission still applies —
+/// a saturated server answers `"busy"`).
+fn handle_batch(frontend: &Frontend, request: &Json, proto: Protocol) -> Result<Json, String> {
     let pruning = request_pruning(request)?;
     // Per-entry failure independence holds at parse time too: a malformed
     // batch entry gets its own error entry while its neighbours still run.
     // `slots` maps each positional entry to its parsed spec or parse error.
     let mut specs: Vec<JraSpec> = Vec::new();
     let mut slots: Vec<Result<usize, String>> = Vec::new();
-    if batched {
-        let queries =
-            request.get("queries").and_then(Json::as_arr).ok_or("\"queries\" must be an array")?;
-        for q in queries {
-            match parse_jra_spec(q, pruning) {
-                Ok(spec) => {
-                    slots.push(Ok(specs.len()));
-                    specs.push(spec);
-                }
-                Err(e) => slots.push(Err(e)),
+    let queries =
+        request.get("queries").and_then(Json::as_arr).ok_or("\"queries\" must be an array")?;
+    for q in queries {
+        match parse_jra_spec(q, pruning) {
+            Ok(spec) => {
+                slots.push(Ok(specs.len()));
+                specs.push(spec);
             }
+            Err(e) => slots.push(Err(e)),
         }
-    } else {
-        slots.push(Ok(0));
-        specs.push(parse_jra_spec(request, pruning)?);
     }
 
-    let typed = if batched {
-        SolveRequest::JraBatch(specs)
-    } else {
-        SolveRequest::Jra(specs.into_iter().next().expect("single query parsed"))
+    let Some(_permit) = frontend.permit() else {
+        return Ok(busy_response(proto));
     };
-    let plan = service.plan(&typed);
+    let service = frontend.service();
+    let plan = service.plan(&SolveRequest::JraBatch(specs));
     let snapshot = Arc::clone(&plan.snapshot);
     let outcome = service.execute_plan(plan).map_err(|e| e.to_string())?;
     let Answer::Jra(answers) = &outcome.answer else { unreachable!("jra request, jra answer") };
@@ -324,58 +463,38 @@ fn handle_jra(
             Err(e) => Err(e.clone()),
         }
     };
-    let epoch = Json::Num(snapshot.epoch() as f64);
-    if batched {
-        let results: Vec<Json> = slots
-            .iter()
-            .map(|slot| match entry(slot) {
-                Err(e) => match proto {
-                    Protocol::V1 => error_response(&e),
-                    Protocol::V2 => Json::obj([("ok", Json::Bool(false)), ("error", Json::Str(e))]),
-                },
-                Ok(answer) => {
-                    let mut members = vec![("ok", Json::Bool(true))];
-                    if proto == Protocol::V2 {
-                        members.extend(v2_diag_members(answer.cache, Some(&answer.key), None));
-                    }
-                    members.push(("results", render_results(&names, &answer.results)));
-                    Json::obj(members)
+    let results: Vec<Json> = slots
+        .iter()
+        .map(|slot| match entry(slot) {
+            Err(e) => match proto {
+                Protocol::V1 => error_response(&e),
+                Protocol::V2 => Json::obj([("ok", Json::Bool(false)), ("error", Json::Str(e))]),
+            },
+            Ok(answer) => {
+                let mut members = vec![("ok", Json::Bool(true))];
+                if proto == Protocol::V2 {
+                    members.extend(v2_diag_members(answer.cache, Some(&answer.key), None));
                 }
-            })
-            .collect();
-        let mut members = vec![("ok", Json::Bool(true))];
-        if proto == Protocol::V2 {
-            members.push(("v", Json::Num(2.0)));
-        }
-        members.push(("op", Json::Str("batch".into())));
-        members.push(("epoch", epoch));
-        if proto == Protocol::V2 {
-            members.extend(v2_diag_members(
-                outcome.diag.cache,
-                outcome.diag.key.as_ref(),
-                outcome.diag.loss_bound,
-            ));
-        }
-        members.push(("results", Json::Arr(results)));
-        Ok(Json::obj(members))
-    } else {
-        let answer = entry(&slots[0])?;
-        let mut members = vec![("ok", Json::Bool(true))];
-        if proto == Protocol::V2 {
-            members.push(("v", Json::Num(2.0)));
-        }
-        members.push(("op", Json::Str("jra".into())));
-        members.push(("epoch", epoch));
-        if proto == Protocol::V2 {
-            members.extend(v2_diag_members(
-                answer.cache,
-                Some(&answer.key),
-                outcome.diag.loss_bound,
-            ));
-        }
-        members.push(("results", render_results(&names, &answer.results)));
-        Ok(Json::obj(members))
+                members.push(("results", render_results(&names, &answer.results)));
+                Json::obj(members)
+            }
+        })
+        .collect();
+    let mut members = vec![("ok", Json::Bool(true))];
+    if proto == Protocol::V2 {
+        members.push(("v", Json::Num(2.0)));
     }
+    members.push(("op", Json::Str("batch".into())));
+    members.push(("epoch", Json::Num(snapshot.epoch() as f64)));
+    if proto == Protocol::V2 {
+        members.extend(v2_diag_members(
+            outcome.diag.cache,
+            outcome.diag.key.as_ref(),
+            outcome.diag.loss_bound,
+        ));
+    }
+    members.push(("results", Json::Arr(results)));
+    Ok(Json::obj(members))
 }
 
 fn parse_update(value: &Json) -> Result<Update, String> {
@@ -420,11 +539,15 @@ fn parse_update(value: &Json) -> Result<Update, String> {
     }
 }
 
-fn handle_update(service: &Service, request: &Json, proto: Protocol) -> Result<Json, String> {
+/// `update` bypasses admission entirely: the write path must never queue
+/// behind reads (the store's build/publish split keeps it cheap), and a
+/// saturated server still has to accept updates.
+fn handle_update(frontend: &Frontend, request: &Json, proto: Protocol) -> Result<Json, String> {
     let items =
         request.get("updates").and_then(Json::as_arr).ok_or("\"updates\" must be an array")?;
     let updates: Vec<Update> = items.iter().map(parse_update).collect::<Result<_, _>>()?;
-    let outcome = service.execute(&SolveRequest::Update(updates)).map_err(|e| e.to_string())?;
+    let outcome =
+        frontend.service().execute(&SolveRequest::Update(updates)).map_err(|e| e.to_string())?;
     let Answer::Update(answer) = &outcome.answer else { unreachable!("update answer") };
     let mut members = vec![("ok", Json::Bool(true))];
     if proto == Protocol::V2 {
@@ -440,7 +563,9 @@ fn handle_update(service: &Service, request: &Json, proto: Protocol) -> Result<J
     Ok(Json::obj(members))
 }
 
-fn handle_assign(service: &Service, request: &Json, proto: Protocol) -> Result<Json, String> {
+/// A full CRA `assign` is the heavyweight consumer: it takes one direct
+/// solve slot under admission control, like an explicit `batch`.
+fn handle_assign(frontend: &Frontend, request: &Json, proto: Protocol) -> Result<Json, String> {
     let pruning = request_pruning(request)?;
     let method = match request.get("method") {
         None => None,
@@ -449,7 +574,11 @@ fn handle_assign(service: &Service, request: &Json, proto: Protocol) -> Result<J
             Some(spec::method_by_label(label).map_err(|e| e.to_string())?)
         }
     };
-    let outcome = service
+    let Some(_permit) = frontend.permit() else {
+        return Ok(busy_response(proto));
+    };
+    let outcome = frontend
+        .service()
         .execute(&SolveRequest::Cra { method, pruning, seed: None })
         .map_err(|e| e.to_string())?;
     let Answer::Cra(answer) = &outcome.answer else { unreachable!("cra answer") };
@@ -479,8 +608,10 @@ fn handle_assign(service: &Service, request: &Json, proto: Protocol) -> Result<J
     Ok(Json::obj(members))
 }
 
-fn handle_stats(service: &Service, request: &Json, proto: Protocol) -> Result<Json, String> {
-    let outcome = service.execute(&SolveRequest::Stats).map_err(|e| e.to_string())?;
+/// `stats` bypasses admission: observability must work precisely when the
+/// server is saturated and everything else answers `"busy"`.
+fn handle_stats(frontend: &Frontend, request: &Json, proto: Protocol) -> Result<Json, String> {
+    let outcome = frontend.service().execute(&SolveRequest::Stats).map_err(|e| e.to_string())?;
     let Answer::Stats(stats) = &outcome.answer else { unreachable!("stats answer") };
     let mut members = vec![("ok", Json::Bool(true))];
     if proto == Protocol::V2 {
@@ -513,8 +644,26 @@ fn handle_stats(service: &Service, request: &Json, proto: Protocol) -> Result<Js
             "cache",
             Json::obj([
                 ("size", Json::Num(stats.cache.size as f64)),
+                ("cap", Json::Num(stats.cache.capacity as f64)),
                 ("hits", Json::Num(stats.cache.hits as f64)),
                 ("misses", Json::Num(stats.cache.misses as f64)),
+                ("evictions", Json::Num(stats.cache.evictions as f64)),
+            ]),
+        ));
+        // Front-end counters: deterministic for a sequential session
+        // (each single jra drains as its own batch of 1); golden
+        // multi-client sessions read v1 stats instead, since batch
+        // grouping under real concurrency depends on arrival order.
+        let front = frontend.counters();
+        members.push((
+            "frontend",
+            Json::obj([
+                ("connections", Json::Num(front.connections as f64)),
+                ("queued", Json::Num(front.queued as f64)),
+                ("rejected", Json::Num(front.rejected as f64)),
+                ("batches", Json::Num(front.batches as f64)),
+                ("batched_requests", Json::Num(front.batched_requests as f64)),
+                ("max_batch", Json::Num(front.max_batch as f64)),
             ]),
         ));
         // Page counters and snapshot bytes are deterministic (derived from
@@ -555,7 +704,7 @@ mod tests {
     use super::*;
     use wgrap_core::prelude::Scoring;
 
-    fn test_service() -> Service {
+    fn test_instance() -> wgrap_core::prelude::Instance {
         let text = "\
 topics 3
 delta_p 2
@@ -567,12 +716,16 @@ paper p-17 0.5 0.4 0.1
 paper p-23 0.0 0.3 0.7
 coi alice p-17
 ";
-        let inst = wgrap_core::io::parse_instance(text).unwrap();
-        Service::new(inst, Scoring::WeightedCoverage, 42)
+        wgrap_core::io::parse_instance(text).unwrap()
     }
 
-    fn respond(service: &Service, line: &str) -> Json {
-        handle_line(service, line)
+    fn test_service() -> Frontend {
+        let service = crate::api::Service::new(test_instance(), Scoring::WeightedCoverage, 42);
+        Frontend::with_defaults(Arc::new(service))
+    }
+
+    fn respond(frontend: &Frontend, line: &str) -> Json {
+        handle_line(frontend, line)
     }
 
     fn ok(v: &Json) -> bool {
@@ -790,6 +943,102 @@ coi alice p-17
         let v = respond(&service, r#"{"v":3,"op":"stats"}"#);
         assert!(!ok(&v));
         assert!(v.get("error").unwrap().as_str().unwrap().contains("protocol version"));
+    }
+
+    #[test]
+    fn busy_response_is_structured_and_versioned() {
+        // Saturate: with the only solve slot held and no waiting room,
+        // every solvable op rejects.
+        let frontend = Frontend::new(
+            Arc::new(crate::api::Service::new(test_instance(), Scoring::WeightedCoverage, 42)),
+            crate::frontend::FrontendOptions { max_inflight: 1, queue_depth: 0, linger: 1 },
+        );
+        let _permit = frontend.permit().expect("first permit");
+        let v1 = respond(&frontend, r#"{"op":"jra","paper_id":0}"#);
+        assert!(!ok(&v1));
+        assert_eq!(v1.get("busy").and_then(Json::as_bool), Some(true));
+        assert!(v1.get("v").is_none());
+        let v2 = respond(&frontend, r#"{"v":2,"op":"assign"}"#);
+        assert_eq!(v2.get("busy").and_then(Json::as_bool), Some(true));
+        assert_eq!(v2.get("v").and_then(Json::as_usize), Some(2));
+        // update and stats bypass admission even while saturated.
+        let up = respond(
+            &frontend,
+            r#"{"op":"update","updates":[{"kind":"add_reviewer","name":"dave","expertise":[0.0,0.0,1.0]}]}"#,
+        );
+        assert!(ok(&up), "{up}");
+        let s = respond(&frontend, r#"{"v":2,"op":"stats"}"#);
+        assert!(ok(&s), "{s}");
+        assert_eq!(s.get("frontend").unwrap().get("rejected").and_then(Json::as_usize), Some(2));
+    }
+
+    #[test]
+    fn v2_stats_reports_frontend_counters() {
+        let frontend = test_service();
+        respond(&frontend, r#"{"op":"jra","paper_id":0}"#);
+        respond(&frontend, r#"{"op":"jra","paper_id":1}"#);
+        let s = respond(&frontend, r#"{"v":2,"op":"stats"}"#);
+        assert!(ok(&s), "{s}");
+        let f = s.get("frontend").unwrap();
+        // Sequential sessions drain each jra as its own batch of 1.
+        assert_eq!(f.get("batches").and_then(Json::as_usize), Some(2));
+        assert_eq!(f.get("batched_requests").and_then(Json::as_usize), Some(2));
+        assert_eq!(f.get("max_batch").and_then(Json::as_usize), Some(1));
+        assert_eq!(f.get("queued").and_then(Json::as_usize), Some(0));
+        assert_eq!(f.get("rejected").and_then(Json::as_usize), Some(0));
+        let cache = s.get("cache").unwrap();
+        assert_eq!(cache.get("cap").and_then(Json::as_usize), Some(crate::api::DEFAULT_CACHE_CAP));
+        assert_eq!(cache.get("evictions").and_then(Json::as_usize), Some(0));
+    }
+
+    #[test]
+    fn multi_session_groups_by_connection_and_syncs() {
+        let frontend = Arc::new(test_service());
+        let input = "\
+# two clients, interleaved; b's lines must come out after all of a's
+a {\"op\":\"jra\",\"paper_id\":0}
+b {\"op\":\"jra\",\"paper_id\":1}
+a {\"op\":\"stats\"}
+#sync
+b {\"op\":\"jra\",\"paper_name\":\"p-17\"}
+";
+        let mut out = Vec::new();
+        serve_multi(&frontend, input.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.trim_end().lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Grouped by first-seen connection order: a, a, b, b.
+        assert!(lines[0].starts_with("a\t") && lines[1].starts_with("a\t"));
+        assert!(lines[2].starts_with("b\t") && lines[3].starts_with("b\t"));
+        for line in &lines {
+            assert!(line.contains("\"ok\":true"), "{line}");
+        }
+        assert_eq!(frontend.counters().connections, 2);
+    }
+
+    #[test]
+    fn multi_session_is_deterministic_run_to_run() {
+        let input = "\
+a {\"op\":\"jra\",\"paper_id\":0}
+b {\"op\":\"jra\",\"paper_id\":1}
+c {\"op\":\"jra\",\"paper\":[0.1,0.1,0.8]}
+#sync
+b {\"op\":\"update\",\"updates\":[{\"kind\":\"retire_reviewer\",\"reviewer\":2}]}
+#sync
+a {\"op\":\"jra\",\"paper_id\":0}
+c {\"v\":2,\"op\":\"jra\",\"paper_id\":1}
+a {\"op\":\"stats\"}
+";
+        let run = || {
+            let frontend = Arc::new(test_service());
+            let mut out = Vec::new();
+            serve_multi(&frontend, input.as_bytes(), &mut out).unwrap();
+            String::from_utf8(out).unwrap()
+        };
+        let first = run();
+        for _ in 0..4 {
+            assert_eq!(run(), first, "multi-session replay must be byte-identical");
+        }
     }
 
     #[test]

@@ -460,3 +460,201 @@ mod api_contracts {
         }
     }
 }
+
+/// The LRU bound is invisible in answers: any capacity — including 0 (no
+/// caching at all) and 1 (every distinct key thrashes the single slot) —
+/// returns answers bit-identical to a cache-less service, across all four
+/// scorings; and eviction under concurrent probing never corrupts a hit.
+mod lru_cache {
+    use super::{instance_strategy, sparse_topic_vector};
+    use proptest::prelude::*;
+    use std::sync::Arc;
+    use wgrap_core::jra::JraResult;
+    use wgrap_core::prelude::Scoring;
+    use wgrap_core::topic::TopicVector;
+    use wgrap_service::api::{
+        Answer, CacheStatus, JraSpec, PaperRef, ServeOptions, Service, SolveRequest,
+    };
+
+    fn capped(inst: &wgrap_core::prelude::Instance, scoring: Scoring, cap: usize) -> Service {
+        Service::with_options(
+            inst.clone(),
+            scoring,
+            9,
+            ServeOptions { cache_cap: cap, ..ServeOptions::default() },
+        )
+    }
+
+    fn results_of(outcome: &wgrap_service::api::Outcome) -> Vec<&JraResult> {
+        let Answer::Jra(answers) = &outcome.answer else { panic!("jra answer expected") };
+        answers.iter().flat_map(|a| a.as_ref().expect("query solves").results.iter()).collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Replay a request sequence with repeats against LRU-capped
+        /// services and a cap-0 (always-cold) reference: answers must be
+        /// bitwise equal at every capacity, the cache must respect its
+        /// bound, and capacity-1 thrashing must actually evict.
+        #[test]
+        fn any_capacity_matches_cold_solves_bitwise(
+            inst in instance_strategy(4),
+            adhoc in sparse_topic_vector(4),
+            picks in proptest::collection::vec((0usize..6, 1usize..3), 4..24),
+        ) {
+            // A pool of 6 spec shapes; `picks` indexes it with repeats, so
+            // sequences re-request hot keys and thrash cold ones.
+            let pool = |sel: usize, k: usize| -> JraSpec {
+                let num_papers = inst.num_papers();
+                match sel {
+                    0..=2 => JraSpec { top_k: k, ..JraSpec::new(PaperRef::Id(sel % num_papers)) },
+                    3 => JraSpec { top_k: k, ..JraSpec::new(PaperRef::Adhoc(adhoc.clone())) },
+                    4 => JraSpec {
+                        exclude: vec![0],
+                        ..JraSpec::new(PaperRef::Id(num_papers - 1))
+                    },
+                    _ => JraSpec::new(PaperRef::Name(inst.paper_name(0))),
+                }
+            };
+            for scoring in Scoring::ALL {
+                let reference = capped(&inst, scoring, 0);
+                for cap in [0usize, 1, 2, 64] {
+                    let service = capped(&inst, scoring, cap);
+                    let mut hits = 0u64;
+                    for &(sel, k) in &picks {
+                        let request = SolveRequest::Jra(pool(sel, k));
+                        let got = service.execute(&request).expect("capped solve");
+                        let want = reference.execute(&request).expect("cold solve");
+                        if got.diag.cache.is_hit() {
+                            hits += 1;
+                        }
+                        let (g, w) = (results_of(&got), results_of(&want));
+                        prop_assert_eq!(g.len(), w.len());
+                        for (x, y) in g.iter().zip(&w) {
+                            prop_assert_eq!(&x.group, &y.group);
+                            prop_assert_eq!(x.score.to_bits(), y.score.to_bits());
+                            prop_assert_eq!(x.nodes, y.nodes);
+                        }
+                        let c = service.cache_counters();
+                        prop_assert!(c.size <= cap, "size {} exceeds cap {cap}", c.size);
+                        prop_assert_eq!(c.capacity, cap);
+                    }
+                    let c = service.cache_counters();
+                    if cap == 0 {
+                        prop_assert_eq!(c.hits, 0, "cap 0 must never hit");
+                        prop_assert_eq!(hits, 0);
+                        prop_assert_eq!(c.evictions, 0, "nothing stored, nothing evicted");
+                    }
+                    // Count canonical keys exactly (spellings collide:
+                    // a by-name spec plans to the same key as its by-id
+                    // twin), via the same planner the cache uses.
+                    let distinct_keys: std::collections::BTreeSet<String> = picks
+                        .iter()
+                        .filter_map(|&(sel, k)| {
+                            reference.plan(&SolveRequest::Jra(pool(sel, k))).key
+                        })
+                        .map(|key| key.to_string())
+                        .collect();
+                    if cap == 1 && distinct_keys.len() > 1 {
+                        prop_assert!(
+                            c.evictions > 0,
+                            "cap 1 with {} distinct keys must evict",
+                            distinct_keys.len()
+                        );
+                    }
+                    // Conservation: every probe is a hit or a miss.
+                    prop_assert_eq!(c.hits + c.misses, picks.len() as u64);
+                }
+            }
+        }
+    }
+
+    /// Recency, not insertion order: probing an old entry protects it, so
+    /// the LRU victim is the genuinely least-recently-used key.
+    #[test]
+    fn probes_refresh_recency() {
+        let text = "\
+topics 2
+delta_p 1
+delta_r 2
+reviewer a 1.0 0.0
+reviewer b 0.0 1.0
+paper p0 0.9 0.1
+paper p1 0.1 0.9
+";
+        let inst = wgrap_core::io::parse_instance(text).unwrap();
+        let service = capped(&inst, Scoring::WeightedCoverage, 2);
+        let req = |p: usize| SolveRequest::Jra(JraSpec::new(PaperRef::Id(p)));
+        let adhoc =
+            SolveRequest::Jra(JraSpec::new(PaperRef::Adhoc(TopicVector::new(vec![0.5, 0.5]))));
+        service.execute(&req(0)).unwrap(); // miss: {0}
+        service.execute(&req(1)).unwrap(); // miss: {0,1}
+        service.execute(&req(0)).unwrap(); // hit — 0 becomes most recent
+        service.execute(&adhoc).unwrap(); // miss — evicts 1, not 0
+        let refreshed = service.execute(&req(0)).unwrap();
+        assert_eq!(refreshed.diag.cache, CacheStatus::Hit, "refreshed entry must survive");
+        let evicted = service.execute(&req(1)).unwrap();
+        assert_eq!(evicted.diag.cache, CacheStatus::Miss, "stale entry must be the victim");
+        assert_eq!(service.cache_counters().evictions, 2);
+    }
+
+    /// Concurrent hits versus constant eviction: with capacity 1, four
+    /// threads round-robin three keys, so nearly every store evicts while
+    /// other threads probe. Every answer — hit, miss, or racing either —
+    /// must stay bit-identical to the precomputed cold solve.
+    #[test]
+    fn eviction_never_corrupts_a_concurrent_hit() {
+        let text = "\
+topics 3
+delta_p 2
+delta_r 3
+reviewer a 0.7 0.2 0.1
+reviewer b 0.1 0.8 0.1
+reviewer c 0.2 0.2 0.6
+paper p0 0.5 0.4 0.1
+paper p1 0.0 0.3 0.7
+paper p2 0.6 0.1 0.3
+";
+        let inst = wgrap_core::io::parse_instance(text).unwrap();
+        let specs: Vec<JraSpec> =
+            (0..3).map(|p| JraSpec { top_k: p % 2 + 1, ..JraSpec::new(PaperRef::Id(p)) }).collect();
+        // Cold reference answers from an uncached service.
+        let reference = capped(&inst, Scoring::WeightedCoverage, 0);
+        let cold: Vec<Vec<(Vec<usize>, u64)>> = specs
+            .iter()
+            .map(|s| {
+                let outcome = reference.execute(&SolveRequest::Jra(s.clone())).unwrap();
+                results_of(&outcome).iter().map(|r| (r.group.clone(), r.score.to_bits())).collect()
+            })
+            .collect();
+        let service = Arc::new(capped(&inst, Scoring::WeightedCoverage, 1));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let service = Arc::clone(&service);
+                let specs = specs.clone();
+                let cold = cold.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        let which = (t + i) % specs.len();
+                        let outcome = service
+                            .execute(&SolveRequest::Jra(specs[which].clone()))
+                            .expect("concurrent solve");
+                        let got: Vec<(Vec<usize>, u64)> = results_of(&outcome)
+                            .iter()
+                            .map(|r| (r.group.clone(), r.score.to_bits()))
+                            .collect();
+                        assert_eq!(got, cold[which], "thread {t} iter {i} diverged");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let c = service.cache_counters();
+        assert!(c.size <= 1);
+        assert!(c.evictions > 0, "cap-1 round-robin must evict constantly");
+        assert_eq!(c.hits + c.misses, 200);
+    }
+}

@@ -7,14 +7,26 @@
 //! repeated query coming back as a `"cache":"hit"`, bit-identical to its
 //! cold solve.
 //!
+//! The second act replays a **two-client interleaved session** through the
+//! concurrent front-end (`serve_multi`, the engine behind
+//! `wgrap serve --multi`): the clients' `jra` requests race on real
+//! threads, the auto-batcher may coalesce same-epoch requests into one
+//! `JraBatch`, and the output is still deterministic — grouped per
+//! connection, byte-identical run-to-run, because batched answers are
+//! bit-identical to one-at-a-time solves. The closing v2 `stats` prints
+//! the new front-end counters (connections, coalesced batches, rejections)
+//! and the LRU result-cache counters (cap, evictions).
+//!
 //! ```text
 //! cargo run --example serve
 //! ```
 
+use std::sync::Arc;
 use wgrap::core::io;
 use wgrap::prelude::*;
 use wgrap::service::api::Service;
 use wgrap::service::server::handle_line;
+use wgrap::service::{serve_multi, Frontend};
 
 const INSTANCE: &str = "\
 topics 3
@@ -51,17 +63,53 @@ const SESSION: &[&str] = &[
     r#"{"v":2,"op":"jra","paper_name":"p-31"}"#,
     // ... so the repeat is visibly a per-epoch cache hit (bit-identical).
     r#"{"v":2,"op":"jra","paper_name":"p-31"}"#,
-    // And v2 stats expose the result cache and the store's
-    // build-vs-publish accounting.
-    r#"{"v":2,"op":"stats"}"#,
 ];
+
+/// Two clients, interleaved on real threads. Lines for different
+/// connections race; `#sync` is a global barrier, so the update's epoch
+/// bump lands deterministically between the phases.
+const MULTI_SESSION: &str = "\
+# phase 1: both clients query epoch 1 concurrently (coalescing candidates)
+ada {\"op\":\"jra\",\"paper_id\":0}
+bob {\"op\":\"jra\",\"paper_id\":1,\"top_k\":2}
+ada {\"v\":2,\"op\":\"jra\",\"paper_name\":\"p-23\"}
+#sync
+# phase 2: ada retires carol -- one epoch bump, isolated by the barriers
+ada {\"op\":\"update\",\"updates\":[{\"kind\":\"retire_reviewer\",\"reviewer\":2}]}
+#sync
+# phase 3: bob's repeat re-solves at the new epoch (publish invalidated it)
+bob {\"op\":\"jra\",\"paper_id\":1,\"top_k\":2}
+";
 
 fn main() -> Result<()> {
     let inst = io::parse_instance(INSTANCE)?;
-    let service = Service::new(inst, Scoring::WeightedCoverage, 42);
+    let service = Arc::new(Service::new(inst, Scoring::WeightedCoverage, 42));
+    let frontend = Arc::new(Frontend::with_defaults(service));
+
+    println!("--- single connection ---");
     for request in SESSION {
         println!(">>> {request}");
-        println!("<<< {}", handle_line(&service, request));
+        println!("<<< {}", handle_line(&frontend, request));
     }
+
+    println!();
+    println!("--- two clients, interleaved (serve --multi) ---");
+    print!("{}", MULTI_SESSION);
+    let mut out = Vec::new();
+    serve_multi(&frontend, MULTI_SESSION.as_bytes(), &mut out)
+        .map_err(|e| Error::InvalidInstance(format!("multi session I/O error: {e}")))?;
+    println!("--- responses, grouped per connection ---");
+    print!("{}", String::from_utf8_lossy(&out));
+
+    // The new counters: "frontend" (connections served, coalesced batches
+    // and their occupancy, busy rejections) and the LRU-bounded "cache"
+    // (cap, evictions). Deterministic values — like batch grouping under
+    // concurrency — vary run to run; the response *bytes* of every solve
+    // above do not.
+    println!();
+    println!("--- closing v2 stats: front-end + LRU cache counters ---");
+    let stats = r#"{"v":2,"op":"stats"}"#;
+    println!(">>> {stats}");
+    println!("<<< {}", handle_line(&frontend, stats));
     Ok(())
 }

@@ -17,11 +17,20 @@
 //!     Emit a synthetic instance in the text format.
 //! wgrap serve   <instance-file> [--listen ADDR] [--scoring ...] [--seed N]
 //!               [--method sdga-sra] [--pruning ...] [--topk K]
+//!               [--threads N] [--max-inflight N] [--queue-depth N]
+//!               [--cache-cap N] [--linger N] [--multi]
 //!     Serve the instance: newline-delimited JSON requests on stdin (one
-//!     response line each) or, with --listen HOST:PORT, over TCP. Ops:
-//!     jra, batch, update, assign, stats — see wgrap_service::server.
-//!     Protocol v2 ({"v":2,...}) adds cache/key diagnostics; v1 requests
-//!     keep their exact pre-v2 response bytes.
+//!     response line each), with --listen HOST:PORT over TCP (thread per
+//!     connection), or with --multi as an interleaved multi-client replay
+//!     ("<cid> <request>" lines, "#sync" barriers — see
+//!     wgrap_service::server::serve_multi). Ops: jra, batch, update,
+//!     assign, stats — see wgrap_service::server. Protocol v2
+//!     ({"v":2,...}) adds cache/key diagnostics; v1 requests keep their
+//!     exact pre-v2 response bytes. Concurrency knobs: --threads N pins
+//!     the solver worker count (WGRAP_THREADS), --max-inflight/
+//!     --queue-depth bound admission (excess answers {"busy":true}),
+//!     --linger caps the auto-batcher's coalesced batch size, and
+//!     --cache-cap bounds the LRU result cache (0 disables caching).
 //! ```
 //!
 //! Every solving subcommand — `assign`, `journal`, `check`'s candidate
@@ -41,6 +50,7 @@ use wgrap::core::io;
 use wgrap::core::metrics;
 use wgrap::prelude::*;
 use wgrap::service::api::{Answer, Outcome, PaperRef, ServeOptions, Service, SolveRequest};
+use wgrap::service::{Frontend, FrontendOptions};
 
 /// Which flags each subcommand accepts — the single source of truth the
 /// parser validates against, so every subcommand shares one rejection path
@@ -51,7 +61,23 @@ const SUBCOMMAND_FLAGS: &[(&str, &[&str])] = &[
     ("check", &["--scoring"]),
     ("journal", &["--scoring", "--top-k", "--pruning", "--topk"]),
     ("gen", &["--seed"]),
-    ("serve", &["--method", "--scoring", "--seed", "--pruning", "--topk", "--listen"]),
+    (
+        "serve",
+        &[
+            "--method",
+            "--scoring",
+            "--seed",
+            "--pruning",
+            "--topk",
+            "--listen",
+            "--threads",
+            "--max-inflight",
+            "--queue-depth",
+            "--cache-cap",
+            "--linger",
+            "--multi",
+        ],
+    ),
 ];
 
 /// The one shared error for a flag a subcommand does not take. Mentions the
@@ -78,6 +104,12 @@ struct Flags {
     top_k: Option<usize>,
     pruning: Option<PruningPolicy>,
     listen: Option<String>,
+    threads: Option<usize>,
+    max_inflight: Option<usize>,
+    queue_depth: Option<usize>,
+    cache_cap: Option<usize>,
+    linger: Option<usize>,
+    multi: bool,
 }
 
 fn parse_flags(cmd: &str, args: &[String]) -> Result<Flags> {
@@ -94,6 +126,12 @@ fn parse_flags(cmd: &str, args: &[String]) -> Result<Flags> {
         top_k: None,
         pruning: None,
         listen: None,
+        threads: None,
+        max_inflight: None,
+        queue_depth: None,
+        cache_cap: None,
+        linger: None,
+        multi: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -139,6 +177,20 @@ fn parse_flags(cmd: &str, args: &[String]) -> Result<Flags> {
                 flags.pruning = Some(PruningPolicy::TopK(k));
             }
             "--listen" => flags.listen = Some(value("--listen")?),
+            "--multi" => flags.multi = true,
+            "--threads" | "--max-inflight" | "--queue-depth" | "--cache-cap" | "--linger" => {
+                let flag = arg.as_str();
+                let n: usize = value(flag)?
+                    .parse()
+                    .map_err(|_| Error::InvalidInstance(format!("{flag} needs an integer")))?;
+                match flag {
+                    "--threads" => flags.threads = Some(n),
+                    "--max-inflight" => flags.max_inflight = Some(n),
+                    "--queue-depth" => flags.queue_depth = Some(n),
+                    "--cache-cap" => flags.cache_cap = Some(n),
+                    _ => flags.linger = Some(n),
+                }
+            }
             other => flags.positional.push(other.to_string()),
         }
     }
@@ -155,6 +207,7 @@ fn service_for(inst: Instance, flags: &Flags) -> Service {
     let options = ServeOptions {
         pruning: flags.pruning.unwrap_or_default(),
         method: flags.method.unwrap_or(MethodKind::Cra(CraAlgorithm::SdgaSra)),
+        cache_cap: flags.cache_cap.unwrap_or(wgrap::service::api::DEFAULT_CACHE_CAP),
     };
     Service::with_options(inst, flags.scoring, flags.seed, options)
 }
@@ -282,17 +335,40 @@ fn cmd_serve(flags: &Flags) -> Result<()> {
     let [path] = &flags.positional[..] else {
         return Err(Error::InvalidInstance("serve needs exactly one instance file".into()));
     };
+    if let Some(n) = flags.threads {
+        // Must happen before anything touches the solver substrate: the
+        // worker count is read from the environment once and cached.
+        std::env::set_var("WGRAP_THREADS", n.to_string());
+    }
     let inst = io::parse_instance(&read(path)?)?;
-    let service = service_for(inst, flags);
-    match &flags.listen {
-        None => wgrap::service::serve_stdio(&service)
-            .map_err(|e| Error::InvalidInstance(format!("serve I/O error: {e}"))),
-        Some(addr) => {
+    let service = std::sync::Arc::new(service_for(inst, flags));
+    let mut options = FrontendOptions::default();
+    if let Some(n) = flags.max_inflight {
+        options.max_inflight = n;
+    }
+    if let Some(n) = flags.queue_depth {
+        options.queue_depth = n;
+    }
+    if let Some(n) = flags.linger {
+        options.linger = n;
+    }
+    let frontend = std::sync::Arc::new(Frontend::new(service, options));
+    let io_err = |e: std::io::Error| Error::InvalidInstance(format!("serve I/O error: {e}"));
+    match (&flags.listen, flags.multi) {
+        (Some(_), true) => {
+            Err(Error::InvalidInstance("--multi replays stdin; drop --listen".into()))
+        }
+        (None, true) => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            wgrap::service::serve_multi(&frontend, stdin.lock(), stdout.lock()).map_err(io_err)
+        }
+        (None, false) => wgrap::service::serve_stdio(&frontend).map_err(io_err),
+        (Some(addr), false) => {
             let listener = std::net::TcpListener::bind(addr)
                 .map_err(|e| Error::InvalidInstance(format!("cannot listen on {addr}: {e}")))?;
             eprintln!("# wgrap serve listening on {}", listener.local_addr().unwrap());
-            wgrap::service::serve_tcp(listener, std::sync::Arc::new(service))
-                .map_err(|e| Error::InvalidInstance(format!("serve I/O error: {e}")))
+            wgrap::service::serve_tcp(listener, frontend).map_err(io_err)
         }
     }
 }

@@ -52,6 +52,55 @@ fn serve_v2_stdin_matches_golden_responses() {
     replay_session("serve_requests_v2.ndjson", "serve_golden_v2.ndjson");
 }
 
+/// Replay the interleaved 3-client session through `serve --multi` and
+/// return its grouped `<cid>\t<response>` output.
+fn replay_multi() -> String {
+    let requests =
+        std::fs::read_to_string(format!("{FIXTURES}/serve_requests_multi.ndjson")).unwrap();
+    let mut child = Command::new(env!("CARGO_BIN_EXE_wgrap"))
+        .args(["serve", &format!("{FIXTURES}/serve.wgrap"), "--multi"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn wgrap serve --multi");
+    child.stdin.take().unwrap().write_all(requests.as_bytes()).unwrap();
+    let out = child.wait_with_output().expect("serve --multi runs to EOF");
+    assert!(out.status.success(), "serve --multi exited with {:?}", out.status);
+    String::from_utf8(out.stdout).expect("responses are UTF-8")
+}
+
+/// The tentpole's determinism contract: N clients race on real threads
+/// (requests within a phase are handled concurrently and may coalesce into
+/// one JraBatch), yet each connection's responses are byte-identical to
+/// its golden, run after run, rayon on or off — because batched answers
+/// are bit-identical to one-at-a-time solves and the fixture isolates
+/// epoch bumps between `#sync` barriers.
+#[test]
+fn serve_multi_matches_per_connection_goldens() {
+    let got = replay_multi();
+    for conn in ["a", "b", "c"] {
+        let golden =
+            std::fs::read_to_string(format!("{FIXTURES}/serve_golden_multi_{conn}.ndjson"))
+                .unwrap();
+        let prefix = format!("{conn}\t");
+        let mine: Vec<&str> = got.lines().filter_map(|l| l.strip_prefix(prefix.as_str())).collect();
+        for (i, (g, w)) in mine.iter().zip(golden.lines()).enumerate() {
+            assert_eq!(g, &w, "connection {conn} line {} diverged", i + 1);
+        }
+        assert_eq!(mine.len(), golden.lines().count(), "connection {conn} response count");
+    }
+    // And nothing beyond the three known connections.
+    assert_eq!(got.lines().count(), 12, "12 responses across a, b, c");
+}
+
+#[test]
+fn serve_multi_is_deterministic_run_to_run() {
+    let first = replay_multi();
+    let second = replay_multi();
+    assert_eq!(first, second, "multi-client replay must be byte-identical across runs");
+}
+
 #[test]
 fn serve_rejects_missing_instance() {
     let out = Command::new(env!("CARGO_BIN_EXE_wgrap"))
