@@ -60,6 +60,8 @@
 
 use crate::batch::{JraBatch, JraQuery, QueryPaper};
 use crate::store::{Snapshot, StoreStats, Update, VersionedStore};
+use crate::telemetry::trace::{FinishedTrace, Trace};
+use crate::telemetry::{Counter, Gauge, Histogram, Telemetry};
 use crate::Result;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
@@ -89,6 +91,13 @@ pub struct ServeOptions {
     /// (least-recently-used eviction); `0` disables caching entirely. A hot
     /// epoch can therefore never grow memory without bound.
     pub cache_cap: usize,
+    /// Record telemetry (metrics + request traces). On by default; `false`
+    /// swaps in [`Telemetry::disabled`] so every counter bump, histogram
+    /// observation, and span record becomes a single-branch no-op — the
+    /// baseline the telemetry-overhead benchmark compares against. Answer
+    /// bytes never depend on this flag; observability surfaces (v2 `stats`
+    /// counters, the `metrics` op, traces) read zeros when off.
+    pub telemetry: bool,
 }
 
 impl Default for ServeOptions {
@@ -97,6 +106,7 @@ impl Default for ServeOptions {
             pruning: PruningPolicy::default(),
             method: MethodKind::Cra(CraAlgorithm::SdgaSra),
             cache_cap: DEFAULT_CACHE_CAP,
+            telemetry: true,
         }
     }
 }
@@ -408,6 +418,37 @@ pub struct Outcome {
     pub answer: Answer,
     /// Epoch, cache disposition, timings, support stats, loss bound.
     pub diag: Diagnostics,
+    /// The request's recorded span tree (also retained in the telemetry
+    /// trace ring and slow-query log). Span names, order, nesting, and
+    /// counts are deterministic for a fixed session; durations are wall
+    /// clock and stay behind the timings opt-in on the wire.
+    pub trace: Option<Arc<FinishedTrace>>,
+}
+
+impl Outcome {
+    /// The one-line stderr diagnostic the CLI prints (`# epoch … |
+    /// cache … | plan … | exec …`). Stage timings come straight from the
+    /// recorded trace — the same spans the trace ring and slow-query log
+    /// retain — so the CLI has no timing code path of its own.
+    pub fn diag_line(&self) -> String {
+        use std::fmt::Write as _;
+        let d = &self.diag;
+        let mut line = format!("# epoch {} | cache {}", d.epoch, d.cache.label());
+        match &self.trace {
+            Some(t) => {
+                for s in t.spans.iter().filter(|s| s.depth == 0) {
+                    let _ = write!(line, " | {} {:.1?}", s.name, s.dur);
+                }
+            }
+            None => {
+                let _ = write!(line, " | plan {:.1?} | exec {:.1?}", d.plan_time, d.exec_time);
+            }
+        }
+        if let Some(b) = d.loss_bound {
+            let _ = write!(line, ", topk loss bound {b:.4}");
+        }
+        line
+    }
 }
 
 /// What the per-epoch cache stores: the actual result values, so a hit is
@@ -426,7 +467,7 @@ enum CachedAnswer {
 /// entirely (every probe is a miss); any capacity preserves the cache
 /// contract — a hit is bit-identical to the cold solve — because eviction
 /// only ever *removes* entries, it never mutates a stored answer.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct ResultCache {
     /// The epoch every entry (and the memoized `support`) belongs to.
     /// Advances monotonically — see [`ResultCache::roll_to`].
@@ -441,14 +482,29 @@ struct ResultCache {
     /// request admitted at one epoch, so computed (an `O(P log P)` sort)
     /// at most once per epoch instead of per request.
     support: Option<Option<CoverageStats>>,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
+    /// Lifetime accounting lives in the telemetry registry (the `stats`
+    /// op and the Prometheus endpoint read the same counters).
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+    /// Live entry count, mirrored after every mutation.
+    size: Arc<Gauge>,
 }
 
 impl ResultCache {
-    fn with_capacity(cap: usize) -> Self {
-        Self { cap, ..Self::default() }
+    fn with_capacity(cap: usize, telemetry: &Telemetry) -> Self {
+        Self {
+            epoch: 0,
+            cap,
+            entries: HashMap::new(),
+            order: BTreeMap::new(),
+            tick: 0,
+            support: None,
+            hits: telemetry.counter("cache_hits_total"),
+            misses: telemetry.counter("cache_misses_total"),
+            evictions: telemetry.counter("cache_evictions_total"),
+            size: telemetry.gauge("cache_size"),
+        }
     }
 
     /// Advance to a newer epoch, dropping everything the old one cached.
@@ -460,6 +516,7 @@ impl ResultCache {
             self.order.clear();
             self.support = None;
             self.epoch = epoch;
+            self.size.set(0);
         }
     }
 
@@ -473,7 +530,7 @@ impl ResultCache {
         let entry = (epoch == self.epoch).then(|| self.entries.get_mut(key)).flatten();
         match entry {
             Some((value, tick)) => {
-                self.hits += 1;
+                self.hits.inc();
                 let value = value.clone();
                 let old = std::mem::replace(tick, self.tick + 1);
                 self.tick += 1;
@@ -482,7 +539,7 @@ impl ResultCache {
                 Some(value)
             }
             None => {
-                self.misses += 1;
+                self.misses.inc();
                 None
             }
         }
@@ -506,8 +563,9 @@ impl ResultCache {
         while self.entries.len() > self.cap {
             let (_, victim) = self.order.pop_first().expect("order tracks entries");
             self.entries.remove(&victim);
-            self.evictions += 1;
+            self.evictions.inc();
         }
+        self.size.set(self.entries.len() as i64);
     }
 }
 
@@ -520,6 +578,50 @@ pub struct Service {
     store: VersionedStore,
     cache: Mutex<ResultCache>,
     options: ServeOptions,
+    telemetry: Arc<Telemetry>,
+    met: SvcMetrics,
+}
+
+/// Pre-resolved telemetry handles for the solve hot path. Looking a
+/// metric up by name takes the registry lock, so the service resolves
+/// each series exactly once at construction.
+#[derive(Debug)]
+struct SvcMetrics {
+    plan: Arc<Histogram>,
+    probe: Arc<Histogram>,
+    solve: Arc<Histogram>,
+    query_solve: Arc<Histogram>,
+    op_cra: Arc<Histogram>,
+    op_jra: Arc<Histogram>,
+    op_batch: Arc<Histogram>,
+    op_update: Arc<Histogram>,
+    op_stats: Arc<Histogram>,
+}
+
+impl SvcMetrics {
+    fn new(t: &Telemetry) -> Self {
+        SvcMetrics {
+            plan: t.histogram("stage_seconds{stage=\"plan\"}"),
+            probe: t.histogram("stage_seconds{stage=\"cache_probe\"}"),
+            solve: t.histogram("stage_seconds{stage=\"solve\"}"),
+            query_solve: t.histogram("query_solve_seconds"),
+            op_cra: t.histogram("op_latency_seconds{op=\"cra\"}"),
+            op_jra: t.histogram("op_latency_seconds{op=\"jra\"}"),
+            op_batch: t.histogram("op_latency_seconds{op=\"batch\"}"),
+            op_update: t.histogram("op_latency_seconds{op=\"update\"}"),
+            op_stats: t.histogram("op_latency_seconds{op=\"stats\"}"),
+        }
+    }
+
+    fn op(&self, op: &str) -> &Histogram {
+        match op {
+            "cra" => &self.op_cra,
+            "jra" => &self.op_jra,
+            "batch" => &self.op_batch,
+            "update" => &self.op_update,
+            _ => &self.op_stats,
+        }
+    }
 }
 
 impl Service {
@@ -541,8 +643,20 @@ impl Service {
 
     /// Wrap an existing store.
     pub fn from_store(store: VersionedStore, options: ServeOptions) -> Self {
-        let cache = ResultCache::with_capacity(options.cache_cap);
-        Self { store, cache: Mutex::new(cache), options }
+        let mut store = store;
+        let telemetry =
+            Arc::new(if options.telemetry { Telemetry::new() } else { Telemetry::disabled() });
+        store.attach_telemetry(&telemetry);
+        let met = SvcMetrics::new(&telemetry);
+        let cache = ResultCache::with_capacity(options.cache_cap, &telemetry);
+        Self { store, cache: Mutex::new(cache), options, telemetry, met }
+    }
+
+    /// The telemetry registry (metrics + trace ring) every layer above
+    /// shares: the frontend, the protocol servers, the `metrics` op, and
+    /// the CLI's Prometheus endpoint all read and record through this.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// The underlying versioned store (snapshots, two-phase updates).
@@ -566,9 +680,9 @@ impl Service {
         CacheCounters {
             size: cache.entries.len(),
             capacity: cache.cap,
-            hits: cache.hits,
-            misses: cache.misses,
-            evictions: cache.evictions,
+            hits: cache.hits.get(),
+            misses: cache.misses.get(),
+            evictions: cache.evictions.get(),
         }
     }
 
@@ -626,7 +740,9 @@ impl Service {
             SolveRequest::Update(updates) => (None, PlanAction::Update(updates.clone())),
             SolveRequest::Stats => (None, PlanAction::Stats),
         };
-        Plan { key, snapshot, action, plan_time: start.elapsed() }
+        let plan_time = start.elapsed();
+        self.met.plan.observe_duration(plan_time);
+        Plan { key, snapshot, action, plan_time }
     }
 
     /// Admit one JRA spec at the current epoch and canonicalize it — the
@@ -638,8 +754,10 @@ impl Service {
         &self,
         spec: &JraSpec,
     ) -> (Arc<Snapshot>, std::result::Result<PlannedQuery, String>) {
+        let start = Instant::now();
         let snapshot = self.store.snapshot();
         let planned = self.plan_query(&snapshot, spec);
+        self.met.plan.observe_duration(start.elapsed());
         (snapshot, planned)
     }
 
@@ -721,14 +839,67 @@ impl Service {
     /// per-epoch result cache when possible. `Err` is reserved for
     /// request-level failures (a CRA solve or update batch failing);
     /// per-query JRA failures stay inside [`Answer::Jra`].
+    ///
+    /// Every successful execution records a span tree — `plan`, then the
+    /// action's stages (`cache_probe`/`solve`/`fanout`, `build`/`publish`)
+    /// nested under a closing `exec` span — into the telemetry trace ring,
+    /// and observes the per-op latency histogram.
     pub fn execute_plan(&self, plan: Plan) -> Result<Outcome> {
+        let op = match &plan.action {
+            PlanAction::Cra { .. } => "cra",
+            PlanAction::Jra { batched, .. } => {
+                if *batched {
+                    "batch"
+                } else {
+                    "jra"
+                }
+            }
+            PlanAction::Update(_) => "update",
+            PlanAction::Stats => "stats",
+        };
+        let nqueries = match &plan.action {
+            PlanAction::Jra { queries, .. } => queries.len() as u64,
+            _ => 1,
+        };
+        // Only pay the key-string allocation when a trace will retain it.
+        let key_str = if self.telemetry.is_enabled() {
+            plan.key.as_ref().map(|k| k.as_str().to_string())
+        } else {
+            None
+        };
+        let plan_time = plan.plan_time;
+        // Spans are recorded on completion (post-order): a depth-1 span's
+        // parent is the next depth-0 span after it.
+        let trace = self.telemetry.new_trace();
+        trace.record("plan", 0, nqueries, plan_time);
+        let exec_start = Instant::now();
+        let mut outcome = self.execute_plan_core(plan, &trace)?;
+        let exec = exec_start.elapsed();
+        trace.record("exec", 0, 1, exec);
+        self.met.op(op).observe_duration(plan_time + exec);
+        if self.telemetry.is_enabled() {
+            let finished = trace.finish(op, key_str);
+            self.telemetry.traces().push(finished.clone());
+            outcome.trace = Some(finished);
+        }
+        Ok(outcome)
+    }
+
+    /// [`Service::execute_plan`]'s action dispatch, recording the per-stage
+    /// spans into `trace` as each stage completes.
+    fn execute_plan_core(&self, plan: Plan, trace: &Trace) -> Result<Outcome> {
         let start = Instant::now();
         let epoch = plan.epoch();
         let support = self.support_stats(epoch, &plan.snapshot);
         match plan.action {
             PlanAction::Cra { method, pruning, seed } => {
                 let key = plan.key.expect("CRA plans always carry a key");
+                let probe_start = Instant::now();
                 let cached = self.cache.lock().expect("cache lock").probe(epoch, &key);
+                let probe_time = probe_start.elapsed();
+                trace.record("cache_probe", 1, 1, probe_time);
+                self.met.probe.observe_duration(probe_time);
+                let solve_start = Instant::now();
                 let (answer, cache, loss_bound) = match cached {
                     Some(CachedAnswer::Cra { method, assignment, coverage, loss_bound }) => {
                         (CraAnswer { method, assignment, coverage }, CacheStatus::Hit, loss_bound)
@@ -766,11 +937,15 @@ impl Service {
                                 loss_bound,
                             },
                         );
+                        let solve_time = solve_start.elapsed();
+                        trace.record("solve", 1, 1, solve_time);
+                        self.met.solve.observe_duration(solve_time);
                         (CraAnswer { method, assignment, coverage }, CacheStatus::Miss, loss_bound)
                     }
                 };
                 Ok(Outcome {
                     answer: Answer::Cra(answer),
+                    trace: None,
                     diag: Diagnostics {
                         epoch,
                         key: Some(key),
@@ -783,7 +958,7 @@ impl Service {
                 })
             }
             PlanAction::Jra { queries, batched: _ } => {
-                let answers = self.exec_jra(&plan.snapshot, &queries);
+                let answers = self.exec_jra(&plan.snapshot, &queries, std::slice::from_ref(trace));
                 // The request-level disposition: Hit only if every entry
                 // hit; Miss if any solved cold; Uncacheable if nothing was
                 // cacheable (e.g. every entry failed canonicalization).
@@ -803,6 +978,7 @@ impl Service {
                     .reduce(f64::max);
                 Ok(Outcome {
                     answer: Answer::Jra(answers),
+                    trace: None,
                     diag: Diagnostics {
                         epoch,
                         key: plan.key,
@@ -817,6 +993,7 @@ impl Service {
             PlanAction::Update(updates) => {
                 let pending = self.store.begin_update(&updates)?;
                 let build_time = pending.build_time();
+                trace.record("build", 1, updates.len() as u64, build_time);
                 // Counts come from the snapshot this publish installs — a
                 // fresh `store.snapshot()` after `publish` returns could
                 // already belong to a later writer, decoupling the
@@ -828,13 +1005,16 @@ impl Service {
                     reviewers: after.num_reviewers(),
                     build_time,
                 };
+                let publish_start = Instant::now();
                 let epoch = pending.publish();
                 // Publish invalidation: entries from older epochs can never
                 // answer again (the probe's epoch check also enforces this
                 // lazily), so free them now.
                 self.cache.lock().expect("cache lock").roll_to(epoch);
+                trace.record("publish", 1, 1, publish_start.elapsed());
                 Ok(Outcome {
                     answer: Answer::Update(answer),
+                    trace: None,
                     diag: Diagnostics {
                         epoch,
                         key: None,
@@ -861,6 +1041,7 @@ impl Service {
                 };
                 Ok(Outcome {
                     answer: Answer::Stats(answer),
+                    trace: None,
                     diag: Diagnostics {
                         epoch,
                         key: None,
@@ -879,13 +1060,25 @@ impl Service {
     /// misses as one positional [`JraBatch`] (bit-identical to solving
     /// them one at a time — the batch contract), then store the cold
     /// results.
+    ///
+    /// Each phase records a depth-1 span (`cache_probe` / `solve` /
+    /// `fanout`) into every trace in `traces` — one per request served by
+    /// this execution, so a coalesced batch's members each see the shared
+    /// stages in their own span tree.
     pub(crate) fn exec_jra(
         &self,
         snapshot: &Arc<Snapshot>,
         queries: &[std::result::Result<PlannedQuery, String>],
+        traces: &[Trace],
     ) -> Vec<std::result::Result<JraAnswer, String>> {
+        let rec_all = |name: &'static str, count: u64, dur: Duration| {
+            for t in traces {
+                t.record(name, 1, count, dur);
+            }
+        };
         let epoch = snapshot.epoch();
         // Probe phase (one lock acquisition for the whole batch).
+        let probe_start = Instant::now();
         let mut probed: Vec<Option<CachedAnswer>> = Vec::with_capacity(queries.len());
         {
             let mut cache = self.cache.lock().expect("cache lock");
@@ -896,8 +1089,12 @@ impl Service {
                 });
             }
         }
+        let probe_time = probe_start.elapsed();
+        rec_all("cache_probe", queries.len() as u64, probe_time);
+        self.met.probe.observe_duration(probe_time);
         // Solve phase: the misses, positionally, lock-free.
         let mut batch = JraBatch::new(Arc::clone(snapshot), self.options.pruning);
+        batch.set_solve_hist(Arc::clone(&self.met.query_solve));
         let mut miss_slots: Vec<usize> = Vec::new();
         for (i, (q, hit)) in queries.iter().zip(&probed).enumerate() {
             if let (Ok(p), None) = (q, hit) {
@@ -905,7 +1102,20 @@ impl Service {
                 miss_slots.push(i);
             }
         }
-        let mut solved = batch.run().into_iter();
+        // A fully cache-served batch records no solve span: trace
+        // structure reflects the work actually done (and the stage
+        // histogram is not polluted with empty runs).
+        let mut solved = if miss_slots.is_empty() {
+            Vec::new().into_iter()
+        } else {
+            let solve_start = Instant::now();
+            let solved = batch.run().into_iter();
+            let solve_time = solve_start.elapsed();
+            rec_all("solve", miss_slots.len() as u64, solve_time);
+            self.met.solve.observe_duration(solve_time);
+            solved
+        };
+        let fanout_start = Instant::now();
         // Merge phase: hits, cold results, and per-entry errors, positional.
         let mut cold: HashMap<usize, crate::Result<Vec<JraResult>>> = miss_slots
             .iter()
@@ -944,6 +1154,7 @@ impl Service {
                 cache.store(epoch, key, value);
             }
         }
+        rec_all("fanout", queries.len() as u64, fanout_start.elapsed());
         answers
     }
 }

@@ -12,8 +12,10 @@
 //! tests pins that down).
 
 use crate::store::Snapshot;
+use crate::telemetry::Histogram;
 use crate::{Error, Result};
 use std::sync::Arc;
+use std::time::Instant;
 use wgrap_core::engine::{par, PruningPolicy};
 use wgrap_core::jra::bba::{self, BbaOptions};
 use wgrap_core::jra::JraResult;
@@ -58,6 +60,11 @@ pub struct JraBatch {
     snapshot: Arc<Snapshot>,
     pruning: PruningPolicy,
     queries: Vec<JraQuery>,
+    /// Optional per-query solve-latency histogram (the service's
+    /// `query_solve_seconds` series). Recorded from the solving worker
+    /// thread — the histogram shards per thread, so the fan-out never
+    /// contends — and never affects results (pure observation).
+    solve_hist: Option<Arc<Histogram>>,
 }
 
 impl JraBatch {
@@ -65,7 +72,16 @@ impl JraBatch {
     /// (`Auto` restricts each search to the certified candidate pool —
     /// score-exact; `TopK(k)` additionally truncates — lossy but bounded).
     pub fn new(snapshot: Arc<Snapshot>, pruning: PruningPolicy) -> Self {
-        Self { snapshot, pruning, queries: Vec::new() }
+        Self { snapshot, pruning, queries: Vec::new(), solve_hist: None }
+    }
+
+    /// Record each query's solve wall time into `hist` during [`run`]
+    /// (nanosecond observations; see the module docs for determinism —
+    /// observation never changes an answer).
+    ///
+    /// [`run`]: JraBatch::run
+    pub fn set_solve_hist(&mut self, hist: Arc<Histogram>) {
+        self.solve_hist = Some(hist);
     }
 
     /// Enqueue a query; answers come back positionally from [`run`].
@@ -95,7 +111,14 @@ impl JraBatch {
     /// answers `queries[i]`; each entry fails independently (a malformed
     /// query never poisons its neighbours).
     pub fn run(&self) -> Vec<Result<Vec<JraResult>>> {
-        par::map_indexed(self.queries.len(), |i| self.solve_one(&self.queries[i]))
+        par::map_indexed(self.queries.len(), |i| {
+            let start = Instant::now();
+            let result = self.solve_one(&self.queries[i]);
+            if let Some(hist) = &self.solve_hist {
+                hist.observe_duration(start.elapsed());
+            }
+            result
+        })
     }
 
     fn solve_one(&self, query: &JraQuery) -> Result<Vec<JraResult>> {

@@ -41,9 +41,12 @@
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 use crate::api::{JraAnswer, JraSpec, PlannedQuery, Service};
 use crate::store::Snapshot;
+use crate::telemetry::trace::{FinishedTrace, Trace};
+use crate::telemetry::{Counter, Gauge, Histogram};
 
 /// Tuning knobs for a [`Frontend`] (the CLI's `--max-inflight`,
 /// `--queue-depth`, `--linger`).
@@ -69,19 +72,24 @@ impl Default for FrontendOptions {
 }
 
 /// A queued single-`jra` request: its pinned snapshot, canonical query,
-/// and the slot its answer is fanned back through.
+/// the slot its answer is fanned back through, and its live span recorder
+/// (the drainer records queue-wait/solve/coalesce stages into it).
 struct Entry {
     snapshot: Arc<Snapshot>,
     planned: PlannedQuery,
     slot: Slot,
+    trace: Trace,
+    enqueued: Instant,
 }
 
-/// Where a drainer deposits one entry's answer. Filled exactly once.
-/// Locked only *after* (or without) the front-end state lock — never the
-/// other way around — so the two locks cannot deadlock.
-type Slot = Arc<Mutex<Option<std::result::Result<JraAnswer, String>>>>;
+/// Where a drainer deposits one entry's answer (and its sealed trace).
+/// Filled exactly once. Locked only *after* (or without) the front-end
+/// state lock — never the other way around — so the two locks cannot
+/// deadlock.
+type Slot = Arc<Mutex<Option<(std::result::Result<JraAnswer, String>, Arc<FinishedTrace>)>>>;
 
-/// Everything guarded by the one front-end mutex.
+/// Everything guarded by the one front-end mutex. The lifetime counters
+/// that used to live here are registry series now ([`FrontMetrics`]).
 #[derive(Default)]
 struct FrontState {
     pending: VecDeque<Entry>,
@@ -89,11 +97,51 @@ struct FrontState {
     inflight: usize,
     /// Direct ops parked waiting for a permit (bounded by `queue_depth`).
     waiting: usize,
-    connections: u64,
-    rejected: u64,
-    batches: u64,
-    batched_requests: u64,
-    max_batch: u64,
+}
+
+/// Registry handles for the front-end's series — the single source of
+/// truth for its counters. [`Frontend::counters`] (the v2 `stats`
+/// `"frontend"` object) reads these, and the same series surface through
+/// the `metrics` op and the Prometheus endpoint.
+struct FrontMetrics {
+    connections: Arc<Counter>,
+    rejected: Arc<Counter>,
+    batches: Arc<Counter>,
+    batched_requests: Arc<Counter>,
+    /// High-water mark of a single coalesced batch (a gauge so `set_max`
+    /// applies; it never decreases).
+    max_batch: Arc<Gauge>,
+    inflight: Arc<Gauge>,
+    queued: Arc<Gauge>,
+    op_jra: Arc<Histogram>,
+    /// Per-op `requests_total` counters, pre-resolved so the protocol
+    /// dispatch never takes the registry lock per request.
+    requests: [(&'static str, Arc<Counter>); 6],
+}
+
+impl FrontMetrics {
+    fn new(service: &Service) -> Self {
+        let t = service.telemetry();
+        let req = |op: &str| t.counter(&format!("requests_total{{op=\"{op}\"}}"));
+        FrontMetrics {
+            connections: t.counter("frontend_connections_total"),
+            rejected: t.counter("frontend_rejected_total"),
+            batches: t.counter("frontend_batches_total"),
+            batched_requests: t.counter("frontend_batched_requests_total"),
+            max_batch: t.gauge("frontend_max_batch"),
+            inflight: t.gauge("frontend_inflight"),
+            queued: t.gauge("frontend_queued"),
+            op_jra: t.histogram("op_latency_seconds{op=\"jra\"}"),
+            requests: [
+                ("jra", req("jra")),
+                ("batch", req("batch")),
+                ("update", req("update")),
+                ("assign", req("assign")),
+                ("stats", req("stats")),
+                ("metrics", req("metrics")),
+            ],
+        }
+    }
 }
 
 /// Front-end counters ([`Frontend::counters`], v2 `stats`'s `"frontend"`
@@ -130,6 +178,9 @@ pub enum JraOutcome {
         answer: std::result::Result<JraAnswer, String>,
         /// The `TopK` stage-loss bound pinned at plan time.
         loss_bound: Option<f64>,
+        /// The request's span tree. Structure (names, order, counts) is
+        /// deterministic; durations stay behind the timings opt-in.
+        trace: Arc<FinishedTrace>,
     },
     /// Rejected by admission control: every solve slot busy and the
     /// pending queue full. The request was never queued or solved.
@@ -155,11 +206,13 @@ pub struct Frontend {
     linger: usize,
     state: Mutex<FrontState>,
     cv: Condvar,
+    met: FrontMetrics,
 }
 
 impl Frontend {
     /// Wrap a service with the given admission/coalescing bounds.
     pub fn new(service: Arc<Service>, options: FrontendOptions) -> Self {
+        let met = FrontMetrics::new(&service);
         Self {
             service,
             max_inflight: options.max_inflight.max(1),
@@ -167,6 +220,7 @@ impl Frontend {
             linger: options.linger.max(1),
             state: Mutex::new(FrontState::default()),
             cv: Condvar::new(),
+            met,
         }
     }
 
@@ -183,19 +237,32 @@ impl Frontend {
 
     /// Count one served session (see [`FrontendCounters::connections`]).
     pub fn note_connection(&self) {
-        self.state.lock().expect("frontend lock").connections += 1;
+        self.met.connections.inc();
     }
 
-    /// Snapshot the front-end counters.
+    /// Count one dispatched protocol request in `requests_total{op=…}`.
+    /// Only known ops count — series names are a fixed whitelist, so
+    /// attacker-controlled op strings can never mint registry entries.
+    pub(crate) fn count_request(&self, op: &str) {
+        if let Some((_, c)) = self.met.requests.iter().find(|(name, _)| *name == op) {
+            c.inc();
+        }
+    }
+
+    /// Snapshot the front-end counters (reads the registry series; the
+    /// instantaneous `queued` comes from the state under its lock).
     pub fn counters(&self) -> FrontendCounters {
-        let state = self.state.lock().expect("frontend lock");
+        let queued = {
+            let state = self.state.lock().expect("frontend lock");
+            state.pending.len() + state.waiting
+        };
         FrontendCounters {
-            connections: state.connections,
-            queued: state.pending.len() + state.waiting,
-            rejected: state.rejected,
-            batches: state.batches,
-            batched_requests: state.batched_requests,
-            max_batch: state.max_batch,
+            connections: self.met.connections.get(),
+            queued,
+            rejected: self.met.rejected.get(),
+            batches: self.met.batches.get(),
+            batched_requests: self.met.batched_requests.get(),
+            max_batch: self.met.max_batch.get() as u64,
         }
     }
 
@@ -204,34 +271,64 @@ impl Frontend {
     /// queues, and either drains a batch itself or parks until a
     /// neighbouring drainer fans the answer back.
     pub fn jra(&self, spec: &JraSpec) -> JraOutcome {
+        let start = Instant::now();
+        let trace = self.service.telemetry().new_trace();
         let (snapshot, planned) = self.service.plan_jra_one(spec);
+        // Adjacent stages share one clock read: each boundary timestamp
+        // ends one span and starts the next.
+        let planned_at = Instant::now();
+        trace.record("plan", 0, 1, planned_at.saturating_duration_since(start));
         let planned = match planned {
             Ok(p) => p,
-            Err(e) => return JraOutcome::Done { snapshot, answer: Err(e), loss_bound: None },
+            Err(e) => {
+                // Plan failures still finish (and publish) their trace —
+                // structure [plan] only, so goldens stay deterministic.
+                let finished = trace.finish("jra", None);
+                if self.service.telemetry().is_enabled() {
+                    self.service.telemetry().traces().push(finished.clone());
+                }
+                self.met.op_jra.observe_duration(start.elapsed());
+                return JraOutcome::Done {
+                    snapshot,
+                    answer: Err(e),
+                    loss_bound: None,
+                    trace: finished,
+                };
+            }
         };
         let loss_bound = planned.loss_bound;
         let slot: Slot = Arc::new(Mutex::new(None));
         let mut state = self.state.lock().expect("frontend lock");
         if state.pending.len() >= self.queue_depth && state.inflight >= self.max_inflight {
-            state.rejected += 1;
+            self.met.rejected.inc();
+            // Rejected requests never queue or solve; their trace is
+            // dropped (the rejection itself is counted).
             return JraOutcome::Busy;
         }
+        let admitted_at = Instant::now();
+        trace.record("admit", 0, 1, admitted_at.saturating_duration_since(planned_at));
         state.pending.push_back(Entry {
             snapshot: Arc::clone(&snapshot),
             planned,
             slot: Arc::clone(&slot),
+            trace,
+            enqueued: admitted_at,
         });
+        self.met.queued.set((state.pending.len() + state.waiting) as i64);
         loop {
             // (a) A drainer (possibly ourselves, one iteration ago)
-            // already fanned our answer back.
-            if let Some(answer) = slot.lock().expect("slot lock").take() {
-                return JraOutcome::Done { snapshot, answer, loss_bound };
+            // already fanned our answer back. The drainer sealed the
+            // trace before filling the slot, so it is always complete.
+            if let Some((answer, trace)) = slot.lock().expect("slot lock").take() {
+                self.met.op_jra.observe_duration(start.elapsed());
+                return JraOutcome::Done { snapshot, answer, loss_bound, trace };
             }
             // (b) A solve slot is free and work is pending: become the
             // drainer. One coalesced group per iteration, then re-check
             // our own slot — keeps latency fair under sustained load.
             if state.inflight < self.max_inflight && !state.pending.is_empty() {
                 state.inflight += 1;
+                self.met.inflight.set(state.inflight as i64);
                 drop(state);
                 self.drain_one();
                 state = self.state.lock().expect("frontend lock");
@@ -266,25 +363,50 @@ impl Frontend {
             if group.is_empty() {
                 // Another drainer got here first; retire the slot.
                 state.inflight -= 1;
+                self.met.inflight.set(state.inflight as i64);
                 drop(state);
                 self.cv.notify_all();
                 return;
             }
-            state.batches += 1;
-            state.batched_requests += group.len() as u64;
-            state.max_batch = state.max_batch.max(group.len() as u64);
+            self.met.batches.inc();
+            self.met.batched_requests.add(group.len() as u64);
+            self.met.max_batch.set_max(group.len() as i64);
+            self.met.queued.set((state.pending.len() + state.waiting) as i64);
             group
         };
+        // The queue wait ends at dequeue: record it before the solve so
+        // every trace reads plan, admit, queue_wait, then the solve's
+        // nested stages. One clock read covers the whole group.
+        let dequeued_at = Instant::now();
+        for e in &group {
+            e.trace.record("queue_wait", 0, 1, dequeued_at.saturating_duration_since(e.enqueued));
+        }
         let snapshot = Arc::clone(&group[0].snapshot);
-        let (slots, queries): (Vec<Slot>, Vec<_>) =
-            group.into_iter().map(|e| (e.slot, Ok(e.planned))).unzip();
+        let batch_size = group.len() as u64;
+        let (entries, queries): (Vec<(Slot, Trace)>, Vec<_>) =
+            group.into_iter().map(|e| ((e.slot, e.trace), Ok(e.planned))).unzip();
+        let traces: Vec<Trace> = entries.iter().map(|(_, t)| t.clone()).collect();
         // The coalesced solve: probes the result cache per query, solves
         // the misses as one positional JraBatch, bit-identical to solving
-        // each alone.
-        let answers = self.service.exec_jra(&snapshot, &queries);
-        self.state.lock().expect("frontend lock").inflight -= 1;
-        for (slot, answer) in slots.iter().zip(answers) {
-            *slot.lock().expect("slot lock") = Some(answer);
+        // each alone. It records cache_probe/solve/fanout (depth 1) into
+        // every entry's trace.
+        let solve_start = Instant::now();
+        let answers = self.service.exec_jra(&snapshot, &queries, &traces);
+        let solve_time = solve_start.elapsed();
+        {
+            let mut state = self.state.lock().expect("frontend lock");
+            state.inflight -= 1;
+            self.met.inflight.set(state.inflight as i64);
+        }
+        // Seal every trace *before* filling its slot: a woken submitter
+        // must never observe a trace still being written.
+        for ((slot, trace), answer) in entries.iter().zip(answers) {
+            trace.record("coalesce", 0, batch_size, solve_time);
+            let finished = trace.finish("jra", None);
+            if self.service.telemetry().is_enabled() {
+                self.service.telemetry().traces().push(finished.clone());
+            }
+            *slot.lock().expect("slot lock") = Some((answer, finished));
         }
         self.cv.notify_all();
     }
@@ -297,25 +419,32 @@ impl Frontend {
         let mut state = self.state.lock().expect("frontend lock");
         if state.inflight < self.max_inflight {
             state.inflight += 1;
+            self.met.inflight.set(state.inflight as i64);
             return Some(Permit(self));
         }
         if state.waiting >= self.queue_depth {
-            state.rejected += 1;
+            self.met.rejected.inc();
             return None;
         }
         state.waiting += 1;
+        self.met.queued.set((state.pending.len() + state.waiting) as i64);
         loop {
             state = self.cv.wait(state).expect("frontend lock");
             if state.inflight < self.max_inflight {
                 state.waiting -= 1;
                 state.inflight += 1;
+                self.met.inflight.set(state.inflight as i64);
+                self.met.queued.set((state.pending.len() + state.waiting) as i64);
                 return Some(Permit(self));
             }
         }
     }
 
     fn release(&self) {
-        self.state.lock().expect("frontend lock").inflight -= 1;
+        let mut state = self.state.lock().expect("frontend lock");
+        state.inflight -= 1;
+        self.met.inflight.set(state.inflight as i64);
+        drop(state);
         self.cv.notify_all();
     }
 }

@@ -84,6 +84,7 @@ pub mod frontend;
 pub mod json;
 pub mod server;
 pub mod store;
+pub mod telemetry;
 #[doc(hidden)]
 pub mod testutil;
 
@@ -93,6 +94,7 @@ pub use api::{
 };
 pub use batch::{JraBatch, JraQuery, QueryPaper};
 pub use frontend::{Frontend, FrontendCounters, FrontendOptions, JraOutcome};
-pub use server::{serve_connection, serve_multi, serve_stdio, serve_tcp};
+pub use server::{serve_connection, serve_metrics, serve_multi, serve_stdio, serve_tcp};
 pub use store::{PendingUpdate, Snapshot, StoreStats, Update, VersionedStore};
+pub use telemetry::{MetricsSnapshot, Telemetry};
 pub use wgrap_core::error::{Error, Result};

@@ -71,6 +71,7 @@ use crate::api::{Answer, CacheStatus, JraAnswer, JraSpec, PaperRef, SolveRequest
 use crate::frontend::{Frontend, JraOutcome};
 use crate::json::{self, Json};
 use crate::store::Update;
+use crate::telemetry::trace::FinishedTrace;
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpListener;
@@ -123,6 +124,57 @@ pub fn serve_tcp(listener: TcpListener, frontend: Arc<Frontend>) -> io::Result<(
             let _ = serve_connection(&frontend, reader, socket);
         });
     }
+}
+
+/// Serve the telemetry registry as Prometheus text exposition over bare
+/// HTTP/1.1 (the CLI's `--metrics-listen` endpoint). Hand-rolled in the
+/// same no-dependency spirit as [`crate::json`]: one thread per request,
+/// read the request line, drain the headers, answer `GET /metrics` (or
+/// `GET /`) with [`MetricsSnapshot::to_prometheus`](crate::telemetry::MetricsSnapshot::to_prometheus)
+/// and anything else with a 404, then close. Loops accepting forever.
+pub fn serve_metrics(
+    listener: TcpListener,
+    telemetry: Arc<crate::telemetry::Telemetry>,
+) -> io::Result<()> {
+    loop {
+        let (socket, _) = listener.accept()?;
+        let telemetry = Arc::clone(&telemetry);
+        std::thread::spawn(move || {
+            let _ = serve_metrics_once(socket, &telemetry);
+        });
+    }
+}
+
+fn serve_metrics_once(
+    mut socket: std::net::TcpStream,
+    telemetry: &crate::telemetry::Telemetry,
+) -> io::Result<()> {
+    let mut reader = BufReader::new(socket.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers up to the blank line; nothing in them matters here.
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header.trim().is_empty() {
+            break;
+        }
+    }
+    let path = request_line.split_whitespace().nth(1).unwrap_or("");
+    let (status, body) = if request_line.starts_with("GET ") && (path == "/metrics" || path == "/")
+    {
+        ("200 OK", telemetry.snapshot().to_prometheus())
+    } else {
+        ("404 Not Found", "not found\n".to_string())
+    };
+    write!(
+        socket,
+        "HTTP/1.1 {status}\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    socket.flush()
 }
 
 /// One message to a multi-session connection thread.
@@ -249,18 +301,35 @@ pub fn handle_line(frontend: &Frontend, line: &str) -> Json {
     let Some(op) = request.get("op").and_then(Json::as_str) else {
         return versioned_error(proto, "missing \"op\"");
     };
+    frontend.count_request(op);
     let result = match op {
         "jra" => handle_jra_single(frontend, &request, proto),
         "batch" => handle_batch(frontend, &request, proto),
         "update" => handle_update(frontend, &request, proto),
         "assign" => handle_assign(frontend, &request, proto),
         "stats" => handle_stats(frontend, &request, proto),
+        "metrics" => handle_metrics(frontend, &request, proto),
         other => Err(format!("unknown op '{other}'")),
     };
     match result {
         Ok(v) => v,
         Err(e) => versioned_error(proto, &e),
     }
+}
+
+/// The opt-in `"trace":true` member (v2 only): the request's span tree,
+/// structure-only unless `"timings":true` is also set — golden sessions
+/// can assert span names/nesting/counts without touching wall clocks.
+fn trace_member(
+    request: &Json,
+    proto: Protocol,
+    trace: Option<&FinishedTrace>,
+) -> Option<(&'static str, Json)> {
+    if proto != Protocol::V2 || request.get("trace").and_then(Json::as_bool) != Some(true) {
+        return None;
+    }
+    let timings = request.get("timings").and_then(Json::as_bool) == Some(true);
+    trace.map(|t| ("trace", t.to_json(timings)))
 }
 
 fn error_response(message: &str) -> Json {
@@ -406,9 +475,11 @@ fn v2_diag_members(
 fn handle_jra_single(frontend: &Frontend, request: &Json, proto: Protocol) -> Result<Json, String> {
     let pruning = request_pruning(request)?;
     let spec = parse_jra_spec(request, pruning)?;
-    let (snapshot, answer, loss_bound) = match frontend.jra(&spec) {
+    let (snapshot, answer, loss_bound, trace) = match frontend.jra(&spec) {
         JraOutcome::Busy => return Ok(busy_response(proto)),
-        JraOutcome::Done { snapshot, answer, loss_bound } => (snapshot, answer, loss_bound),
+        JraOutcome::Done { snapshot, answer, loss_bound, trace } => {
+            (snapshot, answer, loss_bound, trace)
+        }
     };
     let answer = answer?;
     let names = |r: usize| snapshot.instance().reviewer_name(r);
@@ -422,6 +493,7 @@ fn handle_jra_single(frontend: &Frontend, request: &Json, proto: Protocol) -> Re
         members.extend(v2_diag_members(answer.cache, Some(&answer.key), loss_bound));
     }
     members.push(("results", render_results(&names, &answer.results)));
+    members.extend(trace_member(request, proto, Some(&trace)));
     Ok(Json::obj(members))
 }
 
@@ -494,6 +566,7 @@ fn handle_batch(frontend: &Frontend, request: &Json, proto: Protocol) -> Result<
         ));
     }
     members.push(("results", Json::Arr(results)));
+    members.extend(trace_member(request, proto, outcome.trace.as_deref()));
     Ok(Json::obj(members))
 }
 
@@ -560,6 +633,7 @@ fn handle_update(frontend: &Frontend, request: &Json, proto: Protocol) -> Result
         ("papers", Json::Num(answer.papers as f64)),
         ("reviewers", Json::Num(answer.reviewers as f64)),
     ]);
+    members.extend(trace_member(request, proto, outcome.trace.as_deref()));
     Ok(Json::obj(members))
 }
 
@@ -605,6 +679,7 @@ fn handle_assign(frontend: &Frontend, request: &Json, proto: Protocol) -> Result
         ("coverage", Json::Num(answer.coverage)),
         ("groups", Json::Arr(groups)),
     ]);
+    members.extend(trace_member(request, proto, outcome.trace.as_deref()));
     Ok(Json::obj(members))
 }
 
@@ -696,7 +771,39 @@ fn handle_stats(frontend: &Frontend, request: &Json, proto: Protocol) -> Result<
             ));
         }
     }
+    members.extend(trace_member(request, proto, outcome.trace.as_deref()));
     Ok(Json::obj(members))
+}
+
+/// The v2 `metrics` op: a full registry snapshot. The default shape is
+/// deterministic for a fixed session (counters, gauges, histogram
+/// *counts* — golden-tested, rayon on or off); `"timings":true` adds
+/// wall-clock quantiles and `"slow":true` the slow-query log, both
+/// non-deterministic and never golden-diffed. Bypasses admission like
+/// `stats`: observability must work on a saturated server.
+fn handle_metrics(frontend: &Frontend, request: &Json, proto: Protocol) -> Result<Json, String> {
+    if proto != Protocol::V2 {
+        return Err("\"metrics\" requires protocol v2 (send \"v\":2)".into());
+    }
+    let timings = request.get("timings").and_then(Json::as_bool) == Some(true);
+    let telemetry = frontend.service().telemetry();
+    let mut obj = vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("v".to_string(), Json::Num(2.0)),
+        ("op".to_string(), Json::Str("metrics".into())),
+    ];
+    let Json::Obj(body) = telemetry.snapshot().to_json(timings) else {
+        unreachable!("snapshot renders an object")
+    };
+    obj.extend(body);
+    if request.get("slow").and_then(Json::as_bool) == Some(true) {
+        let slow = telemetry.traces().slow();
+        obj.push((
+            "slow".to_string(),
+            Json::Arr(slow.iter().map(|t| t.to_json(timings)).collect()),
+        ));
+    }
+    Ok(Json::Obj(obj))
 }
 
 #[cfg(test)]
@@ -1065,5 +1172,183 @@ a {\"op\":\"stats\"}
         drop(client);
         drop(reader);
         server.join().unwrap();
+    }
+
+    /// The (name, depth) skeleton of a response's inline trace.
+    fn span_shape(v: &Json) -> Vec<(String, usize)> {
+        v.get("trace")
+            .expect("trace member")
+            .get("spans")
+            .expect("spans array")
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|s| {
+                (
+                    s.get("name").unwrap().as_str().unwrap().to_string(),
+                    s.get("depth").unwrap().as_usize().unwrap(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn trace_structure_is_deterministic_for_frontend_jra() {
+        let service = test_service();
+        let shape = |line: &str| span_shape(&respond(&service, line));
+        let expect: Vec<(String, usize)> =
+            ["plan", "admit", "queue_wait", "cache_probe", "solve", "fanout", "coalesce"]
+                .iter()
+                .map(|n| {
+                    (n.to_string(), usize::from(matches!(*n, "cache_probe" | "solve" | "fanout")))
+                })
+                .collect();
+        assert_eq!(shape(r#"{"op":"jra","paper_id":1,"v":2,"trace":true}"#), expect);
+        // A cache hit skips the solve stage — the structure reflects the
+        // work actually done, deterministically.
+        let hit = shape(r#"{"op":"jra","paper_id":1,"v":2,"trace":true}"#);
+        assert_eq!(
+            hit,
+            [
+                ("plan", 0),
+                ("admit", 0),
+                ("queue_wait", 0),
+                ("cache_probe", 1),
+                ("fanout", 1),
+                ("coalesce", 0)
+            ]
+            .map(|(n, d)| (n.to_string(), d))
+        );
+        // Durations stay behind the timings opt-in.
+        let v = respond(&service, r#"{"op":"jra","paper_id":1,"v":2,"trace":true}"#);
+        assert!(!v.to_string().contains("\"us\""), "{v}");
+        let timed =
+            respond(&service, r#"{"op":"jra","paper_id":1,"v":2,"trace":true,"timings":true}"#);
+        assert!(timed.to_string().contains("\"us\""), "{timed}");
+    }
+
+    #[test]
+    fn trace_structure_for_update_and_stats() {
+        let service = test_service();
+        let up = respond(
+            &service,
+            r#"{"op":"update","v":2,"trace":true,"updates":[{"kind":"retire_reviewer","reviewer":2}]}"#,
+        );
+        assert!(ok(&up), "{up}");
+        assert_eq!(
+            span_shape(&up),
+            [("plan", 0), ("build", 1), ("publish", 1), ("exec", 0)]
+                .map(|(n, d)| (n.to_string(), d))
+        );
+        let stats = respond(&service, r#"{"op":"stats","v":2,"trace":true}"#);
+        assert_eq!(span_shape(&stats), [("plan", 0), ("exec", 0)].map(|(n, d)| (n.to_string(), d)));
+    }
+
+    #[test]
+    fn trace_is_v2_only_and_opt_in() {
+        let service = test_service();
+        let v1 = respond(&service, r#"{"op":"jra","paper_id":1,"trace":true}"#);
+        assert!(ok(&v1));
+        assert!(v1.get("trace").is_none(), "v1 must never grow fields: {v1}");
+        let v2_plain = respond(&service, r#"{"op":"jra","paper_id":1,"v":2}"#);
+        assert!(v2_plain.get("trace").is_none(), "trace is opt-in: {v2_plain}");
+    }
+
+    #[test]
+    fn metrics_op_is_deterministic_by_default() {
+        let service = test_service();
+        assert!(ok(&respond(&service, r#"{"op":"jra","paper_id":1,"v":2}"#)));
+        assert!(ok(&respond(&service, r#"{"op":"jra","paper_id":1,"v":2}"#)));
+        let m = respond(&service, r#"{"op":"metrics","v":2}"#);
+        assert!(ok(&m), "{m}");
+        let counters = m.get("counters").expect("counters object");
+        assert_eq!(counters.get("requests_total{op=\"jra\"}").and_then(Json::as_usize), Some(2));
+        assert_eq!(counters.get("cache_hits_total").and_then(Json::as_usize), Some(1));
+        assert_eq!(counters.get("cache_misses_total").and_then(Json::as_usize), Some(1));
+        let hist = m.get("hist").expect("hist object");
+        let jra = hist.get("op_latency_seconds{op=\"jra\"}").expect("jra latency series");
+        assert_eq!(jra.get("count").and_then(Json::as_usize), Some(2));
+        let text = m.to_string();
+        assert!(!text.contains("p50_us"), "quantiles are opt-in: {text}");
+        assert!(!text.contains("\"slow\""), "slow log is opt-in: {text}");
+        // Identical requests replay to an identical metrics body.
+        let service2 = test_service();
+        assert!(ok(&respond(&service2, r#"{"op":"jra","paper_id":1,"v":2}"#)));
+        assert!(ok(&respond(&service2, r#"{"op":"jra","paper_id":1,"v":2}"#)));
+        assert_eq!(text, respond(&service2, r#"{"op":"metrics","v":2}"#).to_string());
+    }
+
+    #[test]
+    fn metrics_op_timings_and_slow_opt_ins() {
+        let service = test_service();
+        assert!(ok(&respond(&service, r#"{"op":"jra","paper_id":1,"v":2}"#)));
+        let timed = respond(&service, r#"{"op":"metrics","v":2,"timings":true}"#);
+        assert!(timed.to_string().contains("p50_us"), "{timed}");
+        let slow = respond(&service, r#"{"op":"metrics","v":2,"slow":true}"#);
+        let log = slow.get("slow").expect("slow log").as_arr().unwrap();
+        assert!(!log.is_empty(), "the jra trace must rank in an empty slow log");
+        assert!(log[0].get("spans").is_some(), "slow entries are span trees: {slow}");
+    }
+
+    #[test]
+    fn metrics_op_rejects_v1() {
+        let service = test_service();
+        let v = respond(&service, r#"{"op":"metrics"}"#);
+        assert!(!ok(&v));
+        assert!(v.to_string().contains("v2"), "{v}");
+    }
+
+    #[test]
+    fn metrics_http_endpoint_serves_prometheus_text() {
+        use std::io::{Read as _, Write as _};
+        let service = test_service();
+        assert!(ok(&respond(&service, r#"{"op":"jra","paper_id":1,"v":2}"#)));
+        let telemetry = Arc::clone(service.service().telemetry());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // The accept loop runs forever; the test thread is detached.
+        std::thread::spawn(move || serve_metrics(listener, telemetry));
+        let scrape = |path: &str| {
+            let mut client = std::net::TcpStream::connect(addr).unwrap();
+            write!(client, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+            let mut response = String::new();
+            client.read_to_string(&mut response).unwrap();
+            response
+        };
+        let response = scrape("/metrics");
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        assert!(response.contains("text/plain; version=0.0.4"), "{response}");
+        let body = response.split("\r\n\r\n").nth(1).unwrap();
+        assert!(body.contains("# TYPE wgrap_requests_total counter"), "{body}");
+        assert!(body.contains("wgrap_requests_total{op=\"jra\"} 1"), "{body}");
+        assert!(body.contains("wgrap_op_latency_seconds{op=\"jra\",quantile=\"0.5\"}"), "{body}");
+        assert!(body.contains("wgrap_op_latency_seconds_count{op=\"jra\"} 1"), "{body}");
+        assert!(scrape("/nope").starts_with("HTTP/1.1 404"), "unknown paths 404");
+    }
+
+    #[test]
+    fn disabled_telemetry_records_nothing_and_changes_no_bytes() {
+        use crate::api::{ServeOptions, Service};
+        let quiet = Frontend::with_defaults(Arc::new(Service::with_options(
+            test_instance(),
+            Scoring::WeightedCoverage,
+            42,
+            ServeOptions { telemetry: false, ..ServeOptions::default() },
+        )));
+        let loud = test_service();
+        // Answer bytes are telemetry-independent (counter-reporting ops
+        // like v2 stats/metrics read zeros instead — observability is the
+        // one thing the flag is allowed to change).
+        for line in [r#"{"op":"jra","paper_id":1}"#, r#"{"op":"jra","paper_id":1,"v":2}"#] {
+            assert_eq!(
+                respond(&quiet, line).to_string(),
+                respond(&loud, line).to_string(),
+                "telemetry must never change answer bytes"
+            );
+        }
+        let t = quiet.service().telemetry();
+        assert_eq!(t.counter("requests_total{op=\"jra\"}").get(), 0);
+        assert_eq!(t.traces().pushed(), 0);
+        assert_eq!(t.histogram("op_latency_seconds{op=\"jra\"}").snapshot().count(), 0);
     }
 }

@@ -68,6 +68,7 @@
 //! score. Updates are therefore invisible to every solver guarantee the
 //! engine makes.
 
+use crate::telemetry::{Counter, Gauge, Histogram, Telemetry};
 use crate::{Error, Result};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::time::{Duration, Instant};
@@ -308,6 +309,25 @@ pub struct VersionedStore {
     /// publish order and builds never race.
     builder: Mutex<()>,
     stats: Mutex<StoreStats>,
+    /// Registry handles, present once a [`Telemetry`] is attached (the
+    /// [`Service`](crate::api::Service) attaches its registry; standalone
+    /// stores record nothing). Updated alongside [`StoreStats`] at publish
+    /// time, so the `stats` op and the metrics endpoint always agree.
+    met: Option<StoreMetrics>,
+}
+
+/// Pre-resolved write-path series of the telemetry registry.
+#[derive(Debug)]
+struct StoreMetrics {
+    batches: Arc<Counter>,
+    updates: Arc<Counter>,
+    pages_cloned: Arc<Counter>,
+    pages_shared: Arc<Counter>,
+    epoch: Arc<Gauge>,
+    snapshot_bytes: Arc<Gauge>,
+    peak_snapshot_bytes: Arc<Gauge>,
+    build: Arc<Histogram>,
+    publish: Arc<Histogram>,
 }
 
 impl VersionedStore {
@@ -317,7 +337,32 @@ impl VersionedStore {
             current: RwLock::new(Arc::new(Snapshot::build(inst, scoring, seed))),
             builder: Mutex::new(()),
             stats: Mutex::new(StoreStats::default()),
+            met: None,
         }
+    }
+
+    /// Register the write path's series in `telemetry` and record into
+    /// them from now on: `store_batches_total`, `store_updates_total`,
+    /// `store_pages_{cloned,shared}_total`, the `store_epoch` /
+    /// `store_snapshot_bytes` / `store_peak_snapshot_bytes` gauges, and
+    /// the `store_{build,publish}_seconds` histograms.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        let met = StoreMetrics {
+            batches: telemetry.counter("store_batches_total"),
+            updates: telemetry.counter("store_updates_total"),
+            pages_cloned: telemetry.counter("store_pages_cloned_total"),
+            pages_shared: telemetry.counter("store_pages_shared_total"),
+            epoch: telemetry.gauge("store_epoch"),
+            snapshot_bytes: telemetry.gauge("store_snapshot_bytes"),
+            peak_snapshot_bytes: telemetry.gauge("store_peak_snapshot_bytes"),
+            build: telemetry.histogram("store_build_seconds"),
+            publish: telemetry.histogram("store_publish_seconds"),
+        };
+        let current = self.snapshot();
+        met.epoch.set(current.epoch() as i64);
+        met.snapshot_bytes.set(current.memory_bytes() as i64);
+        met.peak_snapshot_bytes.set_max(current.memory_bytes() as i64);
+        self.met = Some(met);
     }
 
     /// Admit at the current epoch: an `Arc` to the live snapshot, safe to
@@ -484,6 +529,17 @@ impl PendingUpdate<'_> {
         stats.total_pages_shared += self.pages_shared;
         stats.last_snapshot_bytes = self.snapshot_bytes;
         stats.peak_snapshot_bytes = stats.peak_snapshot_bytes.max(self.snapshot_bytes);
+        if let Some(met) = &self.store.met {
+            met.batches.inc();
+            met.updates.add(self.applied as u64);
+            met.pages_cloned.add(self.pages_cloned);
+            met.pages_shared.add(self.pages_shared);
+            met.epoch.set(epoch as i64);
+            met.snapshot_bytes.set(self.snapshot_bytes as i64);
+            met.peak_snapshot_bytes.set_max(self.snapshot_bytes as i64);
+            met.build.observe_duration(self.build);
+            met.publish.observe_duration(publish);
+        }
         epoch
     }
 }

@@ -1,0 +1,244 @@
+//! Log-bucketed latency histograms: the math core of the telemetry layer.
+//!
+//! A [`HistData`] is a plain, mergeable bucket array over `u64`
+//! observations (nanoseconds by convention). Buckets are exact below
+//! [`LINEAR_MAX`] and log-spaced above it: each power-of-two octave is
+//! split into [`SUBBUCKETS`] linear sub-buckets, so any observation lands
+//! in a bucket whose width is at most `1/SUBBUCKETS` of its lower bound.
+//! Reported quantiles are the clamped midpoint of the bucket holding the
+//! nearest-rank observation, which bounds the relative quantile error by
+//! [`REL_ERROR_BOUND`] (proptested in `crates/service/tests/proptests.rs`).
+//!
+//! The concurrent wrapper ([`super::Histogram`]) keeps one `HistData`
+//! shard per recording thread; merging shards is associative and
+//! commutative and — also proptested — equivalent to pooling the raw
+//! observations into a single histogram.
+
+/// log2 of the number of sub-buckets per octave.
+pub const SUB_BITS: u32 = 4;
+/// Linear sub-buckets per power-of-two octave (16 → ≤6.25% bucket width).
+pub const SUBBUCKETS: u64 = 1 << SUB_BITS;
+/// Values below this are counted exactly (one bucket per integer).
+pub const LINEAR_MAX: u64 = SUBBUCKETS;
+/// Total bucket count for the full `u64` range.
+pub const NBUCKETS: usize = (SUBBUCKETS + (64 - SUB_BITS as u64) * SUBBUCKETS) as usize;
+/// Upper bound on the relative error of a reported quantile: the widest
+/// bucket spans `[lo, lo + lo/SUBBUCKETS)` and we report its midpoint, so
+/// the reported value is within `lo/(2·SUBBUCKETS)` of every observation
+/// in the bucket — 1/32 of the true value — plus one unit of integer
+/// rounding slack absorbed by the caller.
+pub const REL_ERROR_BOUND: f64 = 1.0 / (2.0 * SUBBUCKETS as f64);
+
+/// Bucket index for an observation. Exact below [`LINEAR_MAX`]; above it,
+/// the octave of the leading bit selects a run of [`SUBBUCKETS`] buckets
+/// and the next [`SUB_BITS`] bits of mantissa select the sub-bucket.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros(); // >= SUB_BITS
+    let shift = msb - SUB_BITS;
+    let sub = (v >> shift) & (SUBBUCKETS - 1);
+    (((msb - SUB_BITS) as u64 + 1) * SUBBUCKETS + sub) as usize
+}
+
+/// Inclusive lower bound of bucket `i`.
+#[inline]
+pub fn bucket_lo(i: usize) -> u64 {
+    let i = i as u64;
+    if i < SUBBUCKETS {
+        return i;
+    }
+    let octave = (i / SUBBUCKETS - 1) as u32; // msb - SUB_BITS
+    let sub = i % SUBBUCKETS;
+    (SUBBUCKETS + sub) << octave
+}
+
+/// Exclusive upper bound of bucket `i` (saturating: the topmost bucket's
+/// bound would be 2^64).
+#[inline]
+pub fn bucket_hi(i: usize) -> u64 {
+    let i = i as u64;
+    if i < SUBBUCKETS {
+        return i + 1;
+    }
+    let octave = (i / SUBBUCKETS - 1) as u32;
+    bucket_lo(i as usize).saturating_add(1u64 << octave)
+}
+
+/// A plain, mergeable log-bucketed histogram over `u64` observations.
+///
+/// This is the single-threaded math core: the concurrent
+/// [`super::Histogram`] keeps one of these per recording thread and
+/// merges them on snapshot. All fields are exact except the bucket
+/// assignment itself; `min`/`max`/`count`/`sum` are tracked outside the
+/// buckets so the extremes are always reported exactly.
+#[derive(Clone, Debug)]
+pub struct HistData {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for HistData {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HistData {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        HistData { buckets: vec![0; NBUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram (e.g. a per-thread shard) into this one.
+    /// Associative and commutative; equivalent to having pooled the raw
+    /// observations (proptested).
+    pub fn merge(&mut self, other: &HistData) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Nearest-rank quantile estimate for `q` in `[0, 1]`: the clamped
+    /// midpoint of the bucket containing the rank-`⌈q·count⌉`
+    /// observation. `None` on an empty histogram. The clamp to
+    /// `[min, max]` makes single-observation histograms exact and keeps
+    /// every estimate inside the observed range.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let mid = bucket_lo(i) + (bucket_hi(i) - bucket_lo(i)) / 2;
+                return Some(mid.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max) // unreachable unless counts drifted; stay total
+    }
+
+    /// The standard quantile set reported everywhere: p50/p90/p99/p999.
+    pub fn quantiles(&self) -> Option<[u64; 4]> {
+        Some([
+            self.quantile(0.50)?,
+            self.quantile(0.90)?,
+            self.quantile(0.99)?,
+            self.quantile(0.999)?,
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_tile_the_line() {
+        // Every bucket's hi is the next bucket's lo, starting from 0.
+        assert_eq!(bucket_lo(0), 0);
+        for i in 0..NBUCKETS - 1 {
+            assert_eq!(bucket_hi(i), bucket_lo(i + 1), "bucket {i} must abut bucket {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn bucket_of_respects_bounds() {
+        for v in [0u64, 1, 15, 16, 17, 31, 32, 1000, 123_456_789, u64::MAX / 2, u64::MAX] {
+            let i = bucket_of(v);
+            assert!(bucket_lo(i) <= v, "lo({i}) <= {v}");
+            // The topmost bucket's true bound is 2^64; hi saturates.
+            assert!(v < bucket_hi(i) || bucket_hi(i) == u64::MAX, "{v} < hi({i})");
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let mut h = HistData::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantiles(), None);
+        assert_eq!(h.min(), None);
+        h.observe(777);
+        // Clamping to [min, max] makes a single observation exact.
+        assert_eq!(h.quantile(0.0), Some(777));
+        assert_eq!(h.quantile(0.5), Some(777));
+        assert_eq!(h.quantile(1.0), Some(777));
+        assert_eq!(h.min(), Some(777));
+        assert_eq!(h.max(), Some(777));
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = HistData::new();
+        for v in [0u64, 1, 2, 3, 3, 3, 9, 15] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.5), Some(3));
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(15));
+        assert_eq!(h.count(), 8);
+    }
+
+    #[test]
+    fn merge_matches_pooled() {
+        let mut a = HistData::new();
+        let mut b = HistData::new();
+        let mut pooled = HistData::new();
+        for (i, v) in [5u64, 100, 40_000, 7, 1_000_000, 16, 17, 31].iter().enumerate() {
+            if i % 2 == 0 {
+                a.observe(*v)
+            } else {
+                b.observe(*v)
+            }
+            pooled.observe(*v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), pooled.count());
+        assert_eq!(a.sum(), pooled.sum());
+        assert_eq!(a.min(), pooled.min());
+        assert_eq!(a.max(), pooled.max());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), pooled.quantile(q));
+        }
+    }
+}

@@ -13,6 +13,10 @@
 //!    explicit knobs, paper by name vs by id) plan to identical
 //!    `RequestKey`s, and a per-epoch cache hit is **bit-identical** to a
 //!    cold solve, for all four scorings.
+//! 4. **Telemetry histograms** (`telemetry_hist`) — merging per-thread
+//!    histogram shards is equivalent to pooling the raw observations, and
+//!    every reported quantile respects the log-bucket relative error
+//!    bound (including empty and single-observation histograms).
 
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -656,5 +660,102 @@ paper p2 0.6 0.1 0.3
         assert!(c.size <= 1);
         assert!(c.evictions > 0, "cap-1 round-robin must evict constantly");
         assert_eq!(c.hits + c.misses, 200);
+    }
+}
+
+/// Telemetry histogram contracts: shard merging is lossless (identical to
+/// pooling the raw observations) and quantile estimates stay within the
+/// log-bucket error bound.
+mod telemetry_hist {
+    use proptest::prelude::*;
+    use wgrap_service::telemetry::hist::{HistData, REL_ERROR_BOUND};
+
+    /// Observations across magnitudes: exact small values, mid-range
+    /// latencies, and the full `u64` line (so top-octave saturation and
+    /// bucket boundaries all get exercised).
+    fn observations() -> impl Strategy<Value = Vec<u64>> {
+        proptest::collection::vec((0u32..3, any::<u64>()), 0..200).prop_map(|pairs| {
+            pairs
+                .into_iter()
+                .map(|(kind, v)| match kind {
+                    0 => v % 64,
+                    1 => v % 100_000,
+                    _ => v,
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Merge ≡ pool: striping observations round-robin across any
+        /// shard count and folding the shards back together is
+        /// indistinguishable — counts, sums, extremes, and every
+        /// quantile — from one histogram that saw the raw stream. This is
+        /// exactly what `Telemetry::snapshot` relies on when it merges
+        /// per-thread shards. Zero-observation shards (more shards than
+        /// observations) are covered by construction.
+        #[test]
+        fn shard_merge_equals_pooled(
+            obs in observations(),
+            shards in 1usize..9,
+        ) {
+            let mut pooled = HistData::new();
+            let mut parts: Vec<HistData> = (0..shards).map(|_| HistData::new()).collect();
+            for (i, &v) in obs.iter().enumerate() {
+                pooled.observe(v);
+                parts[i % shards].observe(v);
+            }
+            let mut merged = HistData::new();
+            for p in &parts {
+                merged.merge(p);
+            }
+            prop_assert_eq!(merged.count(), pooled.count());
+            prop_assert_eq!(merged.sum(), pooled.sum());
+            prop_assert_eq!(merged.min(), pooled.min());
+            prop_assert_eq!(merged.max(), pooled.max());
+            for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                prop_assert_eq!(merged.quantile(q), pooled.quantile(q));
+            }
+        }
+
+        /// Every reported quantile is within `REL_ERROR_BOUND` of the
+        /// exact nearest-rank observation (plus one unit of integer
+        /// rounding) and never escapes the observed `[min, max]`. Empty
+        /// histograms report `None`; a single observation is exact.
+        #[test]
+        fn quantiles_respect_log_bucket_error_bound(
+            obs in observations(),
+            qs in proptest::collection::vec(0.0f64..=1.0, 1..6),
+        ) {
+            let mut h = HistData::new();
+            for &v in &obs {
+                h.observe(v);
+            }
+            let mut sorted = obs.clone();
+            sorted.sort_unstable();
+            for &q in &qs {
+                match h.quantile(q) {
+                    None => prop_assert!(obs.is_empty(), "Some expected on non-empty"),
+                    Some(got) => {
+                        let rank =
+                            ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+                        let exact = sorted[rank - 1];
+                        let bound = exact as f64 * REL_ERROR_BOUND + 1.0;
+                        prop_assert!(
+                            (got as f64 - exact as f64).abs() <= bound,
+                            "q={}: got {}, exact {}, bound {}", q, got, exact, bound
+                        );
+                        prop_assert!(got >= h.min().unwrap() && got <= h.max().unwrap());
+                    }
+                }
+            }
+            if obs.len() == 1 {
+                for q in [0.0, 0.5, 1.0] {
+                    prop_assert_eq!(h.quantile(q), Some(obs[0]));
+                }
+            }
+        }
     }
 }

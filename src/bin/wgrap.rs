@@ -19,6 +19,7 @@
 //!               [--method sdga-sra] [--pruning ...] [--topk K]
 //!               [--threads N] [--max-inflight N] [--queue-depth N]
 //!               [--cache-cap N] [--linger N] [--multi]
+//!               [--metrics-listen ADDR]
 //!     Serve the instance: newline-delimited JSON requests on stdin (one
 //!     response line each), with --listen HOST:PORT over TCP (thread per
 //!     connection), or with --multi as an interleaved multi-client replay
@@ -31,6 +32,9 @@
 //!     --queue-depth bound admission (excess answers {"busy":true}),
 //!     --linger caps the auto-batcher's coalesced batch size, and
 //!     --cache-cap bounds the LRU result cache (0 disables caching).
+//!     --metrics-listen HOST:PORT serves the telemetry registry as
+//!     Prometheus text on a side listener (GET /metrics) alongside any
+//!     serve mode; the v2 "metrics" op returns the same registry as JSON.
 //! ```
 //!
 //! Every solving subcommand — `assign`, `journal`, `check`'s candidate
@@ -49,7 +53,7 @@ use wgrap::core::engine::PruningPolicy;
 use wgrap::core::io;
 use wgrap::core::metrics;
 use wgrap::prelude::*;
-use wgrap::service::api::{Answer, Outcome, PaperRef, ServeOptions, Service, SolveRequest};
+use wgrap::service::api::{Answer, PaperRef, ServeOptions, Service, SolveRequest};
 use wgrap::service::{Frontend, FrontendOptions};
 
 /// Which flags each subcommand accepts — the single source of truth the
@@ -76,6 +80,7 @@ const SUBCOMMAND_FLAGS: &[(&str, &[&str])] = &[
             "--cache-cap",
             "--linger",
             "--multi",
+            "--metrics-listen",
         ],
     ),
 ];
@@ -110,6 +115,7 @@ struct Flags {
     cache_cap: Option<usize>,
     linger: Option<usize>,
     multi: bool,
+    metrics_listen: Option<String>,
 }
 
 fn parse_flags(cmd: &str, args: &[String]) -> Result<Flags> {
@@ -132,6 +138,7 @@ fn parse_flags(cmd: &str, args: &[String]) -> Result<Flags> {
         cache_cap: None,
         linger: None,
         multi: false,
+        metrics_listen: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -177,6 +184,7 @@ fn parse_flags(cmd: &str, args: &[String]) -> Result<Flags> {
                 flags.pruning = Some(PruningPolicy::TopK(k));
             }
             "--listen" => flags.listen = Some(value("--listen")?),
+            "--metrics-listen" => flags.metrics_listen = Some(value("--metrics-listen")?),
             "--multi" => flags.multi = true,
             "--threads" | "--max-inflight" | "--queue-depth" | "--cache-cap" | "--linger" => {
                 let flag = arg.as_str();
@@ -208,25 +216,9 @@ fn service_for(inst: Instance, flags: &Flags) -> Service {
         pruning: flags.pruning.unwrap_or_default(),
         method: flags.method.unwrap_or(MethodKind::Cra(CraAlgorithm::SdgaSra)),
         cache_cap: flags.cache_cap.unwrap_or(wgrap::service::api::DEFAULT_CACHE_CAP),
+        telemetry: true,
     };
     Service::with_options(inst, flags.scoring, flags.seed, options)
-}
-
-/// One shared diagnostics line (stderr, comment-prefixed so piped stdout
-/// stays machine-readable).
-fn eprint_diag(outcome: &Outcome) {
-    let d = &outcome.diag;
-    let loss = match d.loss_bound {
-        Some(b) => format!(", topk loss bound {b:.4}"),
-        None => String::new(),
-    };
-    eprintln!(
-        "# epoch {} | cache {} | plan {:.1?} | exec {:.1?}{loss}",
-        d.epoch,
-        d.cache.label(),
-        d.plan_time,
-        d.exec_time,
-    );
 }
 
 fn cmd_assign(flags: &Flags) -> Result<()> {
@@ -248,7 +240,7 @@ fn cmd_assign(flags: &Flags) -> Result<()> {
         answer.coverage,
         metrics::lowest_coverage(inst, flags.scoring, &answer.assignment),
     );
-    eprint_diag(&outcome);
+    eprintln!("{}", outcome.diag_line());
     Ok(())
 }
 
@@ -307,7 +299,7 @@ fn cmd_journal(flags: &Flags) -> Result<()> {
             res.group.iter().map(|&r| snapshot.instance().reviewer_name(r)).collect();
         println!("#{} score {:.4}: {}", i + 1, res.score, names.join(" "));
     }
-    eprint_diag(&outcome);
+    eprintln!("{}", outcome.diag_line());
     Ok(())
 }
 
@@ -351,6 +343,17 @@ fn cmd_serve(flags: &Flags) -> Result<()> {
     }
     if let Some(n) = flags.linger {
         options.linger = n;
+    }
+    // The Prometheus scrape endpoint runs beside any serve mode on its own
+    // listener thread, reading the same registry the protocol records into.
+    if let Some(addr) = &flags.metrics_listen {
+        let listener = std::net::TcpListener::bind(addr)
+            .map_err(|e| Error::InvalidInstance(format!("cannot listen on {addr}: {e}")))?;
+        eprintln!("# wgrap metrics listening on {}", listener.local_addr().unwrap());
+        let telemetry = std::sync::Arc::clone(service.telemetry());
+        std::thread::spawn(move || {
+            let _ = wgrap::service::serve_metrics(listener, telemetry);
+        });
     }
     let frontend = std::sync::Arc::new(Frontend::new(service, options));
     let io_err = |e: std::io::Error| Error::InvalidInstance(format!("serve I/O error: {e}"));

@@ -52,6 +52,16 @@ fn serve_v2_stdin_matches_golden_responses() {
     replay_session("serve_requests_v2.ndjson", "serve_golden_v2.ndjson");
 }
 
+/// The observability golden: the v2 `metrics` op (counters, gauges,
+/// histogram observation counts — no wall-clock fields) and inline
+/// `"trace":true` span trees (names, nesting, counts — no durations) are
+/// deterministic for a fixed session, so the whole session replays byte
+/// for byte. Rayon on and off share this golden, like every other.
+#[test]
+fn serve_metrics_and_trace_match_golden_responses() {
+    replay_session("serve_requests_metrics.ndjson", "serve_golden_metrics.ndjson");
+}
+
 /// Replay the interleaved 3-client session through `serve --multi` and
 /// return its grouped `<cid>\t<response>` output.
 fn replay_multi() -> String {
@@ -99,6 +109,56 @@ fn serve_multi_is_deterministic_run_to_run() {
     let first = replay_multi();
     let second = replay_multi();
     assert_eq!(first, second, "multi-client replay must be byte-identical across runs");
+}
+
+/// `--metrics-listen` serves Prometheus text over plain HTTP *during* the
+/// session: scrape after the first request and the jra series must
+/// already be there. Port 0 exercises the ephemeral-port path the CI
+/// smoke uses a fixed port for.
+#[test]
+fn serve_metrics_listen_scrapes_live_mid_session() {
+    use std::io::{BufRead, BufReader, Read};
+    let mut child = Command::new(env!("CARGO_BIN_EXE_wgrap"))
+        .args(["serve", &format!("{FIXTURES}/serve.wgrap"), "--metrics-listen", "127.0.0.1:0"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn wgrap serve --metrics-listen");
+    // The bound address is announced on stderr before the session starts.
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let mut announce = String::new();
+    stderr.read_line(&mut announce).unwrap();
+    let addr = announce.trim().rsplit(' ').next().expect("addr in announcement").to_string();
+    assert!(announce.contains("metrics listening"), "{announce}");
+
+    // Serve one request and wait for its response, so the scrape below is
+    // genuinely mid-session with recorded traffic.
+    let mut stdin = child.stdin.take().unwrap();
+    stdin.write_all(b"{\"op\":\"jra\",\"paper_id\":1,\"v\":2}\n").unwrap();
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut response = String::new();
+    stdout.read_line(&mut response).unwrap();
+    assert!(response.contains("\"ok\":true"), "{response}");
+
+    let mut sock = std::net::TcpStream::connect(&addr).expect("connect to metrics endpoint");
+    sock.write_all(b"GET /metrics HTTP/1.1\r\nHost: smoke\r\n\r\n").unwrap();
+    let mut scrape = String::new();
+    sock.read_to_string(&mut scrape).unwrap();
+    assert!(scrape.starts_with("HTTP/1.1 200 OK\r\n"), "{scrape}");
+    for needle in [
+        "# TYPE wgrap_requests_total counter",
+        "wgrap_requests_total{op=\"jra\"} 1",
+        "wgrap_op_latency_seconds{op=\"jra\",quantile=\"0.5\"}",
+        "wgrap_op_latency_seconds_count{op=\"jra\"} 1",
+        "wgrap_store_epoch 0",
+    ] {
+        assert!(scrape.contains(needle), "missing {needle:?} in scrape:\n{scrape}");
+    }
+
+    drop(stdin); // EOF ends the session cleanly.
+    let status = child.wait().unwrap();
+    assert!(status.success(), "serve exited with {status:?}");
 }
 
 #[test]
