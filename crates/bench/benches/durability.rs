@@ -1,0 +1,270 @@
+//! Durability benchmarks at P=5000 / R=10000 (T=300, topic-model-shaped
+//! sparsity — the same workload as the service benchmarks), recorded into
+//! `BENCH_durability.json`:
+//!
+//! * **WAL append + fsync throughput per policy** — realistic
+//!   `PatchScores` frames (~2.4 KiB: a dense T=300 expertise vector)
+//!   appended straight through [`Wal`] under `always` / `batch` /
+//!   `never`, isolating the log cost from the snapshot splice
+//!   (`wal_append_fsync_*` records). The fsync gap *is* the durability
+//!   price: `always` pays one `fdatasync` per epoch, `batch` one per 8,
+//!   `never` rides the page cache.
+//! * **Durable vs in-memory publish** — the same single-update `apply`
+//!   through a recovered durable store (fsync `always`) against the plain
+//!   in-memory [`VersionedStore`]: the end-to-end epoch cost a `--data-dir`
+//!   deployment actually pays (`apply_*` records).
+//! * **Checkpoint write cost** — [`write_checkpoint`] of the live P=5k
+//!   snapshot (serialize off the shared `Arc`, tmp + fsync + rename +
+//!   dir fsync), with the resulting file size as a param
+//!   (`checkpoint_write` record). Compaction afterwards is one
+//!   `set_len(8)` + fsync — it rides along in the record.
+//! * **Recovery time vs frames past the checkpoint** — [`recover`] on a
+//!   dir holding a checkpoint plus K ∈ {0, 16, 64} WAL frames: the fixed
+//!   rebuild-at-checkpoint cost plus the linear replay tail
+//!   (`recovery_k*` records).
+//!
+//! Reference numbers from one container run (release, single core):
+//! ~10 µs/frame under `never` (pure page-cache writes), ~59 µs under
+//! `batch`, ~295 µs under `always` — the fsync is ~30× the append, which
+//! is why the policy flag exists. The durable apply (always) lands within
+//! noise of the in-memory apply (~4.6 ms per epoch either way: the
+//! ~0.3 ms append+fsync hides behind the snapshot splice). Checkpoint
+//! write 1.1 s for the 34 MiB P=5k snapshot; recovery 0.53 s at K=0
+//! rising to 0.77 s at K=64 (~3.8 ms per replayed frame).
+
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+use wgrap_bench::report::BenchReport;
+use wgrap_core::prelude::{Instance, Scoring};
+use wgrap_core::topic::TopicVector;
+use wgrap_service::durable::checkpoint::write_checkpoint;
+use wgrap_service::durable::wal::Wal;
+use wgrap_service::{durable, DurableOptions, FsyncPolicy, Update, VersionedStore};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const P: usize = 5_000;
+const R: usize = 10_000;
+const T: usize = 300;
+const PAPER_NNZ: usize = 4;
+const REVIEWER_NNZ: usize = 6;
+const DELTA_P: usize = 2;
+
+fn sparse_vectors(n: usize, t: usize, nnz: usize, rng: &mut StdRng) -> Vec<TopicVector> {
+    (0..n)
+        .map(|_| {
+            let entries: Vec<(usize, f64)> =
+                (0..nnz).map(|_| (rng.random_range(0..t), rng.random::<f64>().max(1e-3))).collect();
+            TopicVector::from_sparse(t, &entries).normalized()
+        })
+        .collect()
+}
+
+fn build_instance(seed: u64) -> (Instance, StdRng) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let papers = sparse_vectors(P, T, PAPER_NNZ, &mut rng);
+    let reviewers = sparse_vectors(R, T, REVIEWER_NNZ, &mut rng);
+    let delta_r = Instance::minimal_delta_r(P, R, DELTA_P) + 2;
+    (Instance::new(papers, reviewers, DELTA_P, delta_r).expect("valid bench instance"), rng)
+}
+
+fn patch(rng: &mut StdRng, i: usize) -> Update {
+    let expertise = sparse_vectors(1, T, REVIEWER_NNZ, rng).pop().unwrap();
+    Update::PatchScores { reviewer: ((i * 97) % R) as u32, expertise }
+}
+
+/// A scratch data directory under the system temp dir.
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("wgrap-bench-durability-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Raw WAL throughput: append one realistic `PatchScores` frame per epoch
+/// and let the policy decide the fsync, for each of the three policies.
+fn bench_wal_append(report: &mut BenchReport, rng: &mut StdRng) {
+    const FRAMES: usize = 64;
+    let updates: Vec<Vec<Update>> = (0..FRAMES).map(|i| vec![patch(rng, i)]).collect();
+    for policy in [FsyncPolicy::Always, FsyncPolicy::Batch, FsyncPolicy::Never] {
+        let dir = tmpdir(&format!("wal-{}", policy.label()));
+        let mut wal = Wal::open(&dir, policy, 0, 0).expect("open wal");
+        let mut samples = Vec::with_capacity(FRAMES);
+        let mut bytes = 0u64;
+        let start = Instant::now();
+        for (i, batch) in updates.iter().enumerate() {
+            let t0 = Instant::now();
+            bytes += wal.append(1 + i as u64, batch).expect("append");
+            wal.maybe_sync().expect("fsync");
+            samples.push(t0.elapsed());
+        }
+        let elapsed = start.elapsed();
+        let fps = FRAMES as f64 / elapsed.as_secs_f64();
+        let mibps = bytes as f64 / (1 << 20) as f64 / elapsed.as_secs_f64();
+        println!(
+            "durability_wal_p{P}_r{R}_t{T}: fsync={:<7} {FRAMES} frames ({bytes} B) in \
+             {elapsed:<10.2?} ({fps:.0} frames/s, {mibps:.1} MiB/s, {} fsyncs)",
+            policy.label(),
+            wal.fsyncs(),
+        );
+        report.record(
+            &format!("wal_append_fsync_{}", policy.label()),
+            &[
+                ("frames", FRAMES as f64),
+                ("frame_bytes", bytes as f64 / FRAMES as f64),
+                ("fsyncs", wal.fsyncs() as f64),
+            ],
+            &samples,
+            Some(fps),
+        );
+        drop(wal);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// End-to-end epoch cost: the identical single-update publish through a
+/// durable store (WAL append + fsync `always` gating the swap) vs the
+/// plain in-memory store.
+fn bench_durable_apply(report: &mut BenchReport, inst: &Instance, rng: &mut StdRng) {
+    const EPOCHS: usize = 16;
+    let updates: Vec<Update> = (0..EPOCHS).map(|i| patch(rng, 31 + i)).collect();
+    let time_applies = |store: &VersionedStore| {
+        updates
+            .iter()
+            .map(|u| {
+                let t0 = Instant::now();
+                store.apply(std::slice::from_ref(u)).expect("applies");
+                t0.elapsed()
+            })
+            .collect::<Vec<_>>()
+    };
+
+    let memory_store = VersionedStore::new(inst.clone(), Scoring::WeightedCoverage, 42);
+    let memory = time_applies(&memory_store);
+    drop(memory_store);
+
+    let dir = tmpdir("apply");
+    let opts = DurableOptions {
+        dir: dir.clone(),
+        fsync: FsyncPolicy::Always,
+        checkpoint_every: u64::MAX, // isolate the per-epoch log cost
+    };
+    let (durable_store, _) =
+        durable::recover(opts, inst.clone(), Scoring::WeightedCoverage, 42).expect("fresh dir");
+    let logged = time_applies(&durable_store);
+    let wal_bytes = durable_store.durability().expect("durable").stats().wal_bytes;
+    drop(durable_store);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mean =
+        |ts: &[std::time::Duration]| ts.iter().sum::<std::time::Duration>() / ts.len() as u32;
+    let (mem_t, log_t) = (mean(&memory), mean(&logged));
+    println!(
+        "durability_apply_p{P}_r{R}_t{T}: durable(always) {log_t:<10.2?} vs in-memory \
+         {mem_t:<10.2?} per epoch ({:+.1}% overhead, {wal_bytes} WAL bytes after {EPOCHS} epochs)",
+        (log_t.as_secs_f64() / mem_t.as_secs_f64() - 1.0) * 100.0
+    );
+    let params = [("papers", P as f64), ("reviewers", R as f64), ("epochs", EPOCHS as f64)];
+    report.record("apply_in_memory", &params, &memory, Some(1.0 / mem_t.as_secs_f64()));
+    report.record("apply_durable_always", &params, &logged, Some(1.0 / log_t.as_secs_f64()));
+}
+
+/// Checkpoint write cost for the live P=5k snapshot, and recovery time as
+/// a function of how many WAL frames lie past that checkpoint.
+fn bench_checkpoint_and_recovery(report: &mut BenchReport, inst: &Instance, rng: &mut StdRng) {
+    // Checkpoint write: serialize the current snapshot off the shared Arc,
+    // tmp + fsync + rename + dir fsync.
+    let dir = tmpdir("ckpt");
+    let store = VersionedStore::new(inst.clone(), Scoring::WeightedCoverage, 42);
+    store.apply(&[patch(rng, 7)]).expect("applies");
+    let snap = store.snapshot();
+    const REPS: usize = 3;
+    let mut samples = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        black_box(write_checkpoint(&dir, &snap).expect("checkpoint"));
+        samples.push(t0.elapsed());
+    }
+    let ckpt_bytes = std::fs::metadata(dir.join(format!("checkpoint-{}.ckpt", snap.epoch())))
+        .expect("checkpoint file")
+        .len();
+    let mean =
+        |ts: &[std::time::Duration]| ts.iter().sum::<std::time::Duration>() / ts.len() as u32;
+    let ckpt_t = mean(&samples);
+    println!(
+        "durability_ckpt_p{P}_r{R}_t{T}: checkpoint write {ckpt_t:.2?} \
+         ({:.1} MiB, {:.1} MiB/s)",
+        ckpt_bytes as f64 / (1 << 20) as f64,
+        ckpt_bytes as f64 / (1 << 20) as f64 / ckpt_t.as_secs_f64()
+    );
+    report.record(
+        "checkpoint_write",
+        &[("papers", P as f64), ("reviewers", R as f64), ("checkpoint_bytes", ckpt_bytes as f64)],
+        &samples,
+        Some(1.0 / ckpt_t.as_secs_f64()),
+    );
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Recovery: checkpoint at epoch 1 (cadence 1 for the first apply),
+    // then K more epochs logged but not checkpointed. `recover` pays the
+    // fixed rebuild at the checkpoint plus a linear replay tail.
+    for k in [0usize, 16, 64] {
+        let dir = tmpdir(&format!("recover-k{k}"));
+        let opts = DurableOptions {
+            dir: dir.clone(),
+            fsync: FsyncPolicy::Never, // setup speed; recovery never fsyncs
+            checkpoint_every: 1,
+        };
+        let (store, _) =
+            durable::recover(opts.clone(), inst.clone(), Scoring::WeightedCoverage, 42)
+                .expect("fresh dir");
+        store.apply(&[patch(rng, 997)]).expect("applies"); // checkpoint at epoch 1
+        drop(store);
+        let opts = DurableOptions { checkpoint_every: u64::MAX, ..opts };
+        let (store, info) =
+            durable::recover(opts.clone(), inst.clone(), Scoring::WeightedCoverage, 42)
+                .expect("reopen");
+        assert_eq!(info.checkpoint_epoch, 1);
+        for i in 0..k {
+            store.apply(&[patch(rng, 1000 + i)]).expect("applies");
+        }
+        drop(store);
+
+        let t0 = Instant::now();
+        let (store, info) = durable::recover(opts, inst.clone(), Scoring::WeightedCoverage, 42)
+            .expect("measured recovery");
+        let recover_t = t0.elapsed();
+        assert_eq!(info.frames_replayed, k as u64);
+        assert_eq!(info.epochs, 1 + k as u64);
+        black_box(&store);
+        println!(
+            "durability_recovery_p{P}_r{R}_t{T}: K={k:<3} frames past checkpoint -> \
+             {recover_t:.2?} (epoch {})",
+            info.epochs
+        );
+        report.record(
+            &format!("recovery_k{k}"),
+            &[("papers", P as f64), ("reviewers", R as f64), ("frames_past_checkpoint", k as f64)],
+            &[recover_t],
+            None,
+        );
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+fn main() {
+    let mut report = BenchReport::new("durability");
+    let (inst, mut rng) = build_instance(42);
+    bench_wal_append(&mut report, &mut rng);
+    bench_durable_apply(&mut report, &inst, &mut rng);
+    bench_checkpoint_and_recovery(&mut report, &inst, &mut rng);
+    match report.write() {
+        Ok(path) => println!("bench records -> {}", path.display()),
+        Err(e) => eprintln!("could not write bench records: {e}"),
+    }
+}

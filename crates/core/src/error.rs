@@ -13,6 +13,8 @@ pub enum Error {
     Infeasible(String),
     /// A solver gave up on a resource limit before finding any solution.
     LimitReached(String),
+    /// An I/O operation failed (durable-store log/checkpoint paths).
+    Io(String),
 }
 
 impl fmt::Display for Error {
@@ -21,6 +23,7 @@ impl fmt::Display for Error {
             Error::InvalidInstance(m) => write!(f, "invalid instance: {m}"),
             Error::Infeasible(m) => write!(f, "infeasible: {m}"),
             Error::LimitReached(m) => write!(f, "limit reached: {m}"),
+            Error::Io(m) => write!(f, "i/o error: {m}"),
         }
     }
 }
@@ -39,5 +42,6 @@ mod tests {
         assert_eq!(Error::InvalidInstance("x".into()).to_string(), "invalid instance: x");
         assert_eq!(Error::Infeasible("y".into()).to_string(), "infeasible: y");
         assert_eq!(Error::LimitReached("z".into()).to_string(), "limit reached: z");
+        assert_eq!(Error::Io("w".into()).to_string(), "i/o error: w");
     }
 }

@@ -100,6 +100,28 @@ impl Instance {
         !self.coi.is_empty() && self.coi.contains(&(reviewer as u32, paper as u32))
     }
 
+    /// Every declared COI as `(reviewer, paper)` pairs, sorted — the
+    /// canonical enumeration the durable-store checkpoint serializes
+    /// (iteration order of the backing set is not deterministic).
+    pub fn coi_pairs(&self) -> Vec<(u32, u32)> {
+        let mut pairs: Vec<(u32, u32)> = self.coi.iter().copied().collect();
+        pairs.sort_unstable();
+        pairs
+    }
+
+    /// The explicit paper display names, if any were attached. `None` means
+    /// the `paper-{p}` defaults are synthesized on demand — checkpoints
+    /// preserve the distinction so a recovered instance round-trips exactly.
+    pub fn paper_names(&self) -> Option<&[String]> {
+        self.paper_names.as_deref()
+    }
+
+    /// The explicit reviewer display names, if any were attached (see
+    /// [`Instance::paper_names`]).
+    pub fn reviewer_names(&self) -> Option<&[String]> {
+        self.reviewer_names.as_deref()
+    }
+
     /// Attach display names (used by case-study reporting).
     pub fn with_names(mut self, paper_names: Vec<String>, reviewer_names: Vec<String>) -> Self {
         assert_eq!(paper_names.len(), self.papers.len());

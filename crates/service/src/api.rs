@@ -390,6 +390,10 @@ pub struct StatsAnswer {
     pub cache: CacheCounters,
     /// Store write-path accounting (build vs publish).
     pub store: StoreStats,
+    /// Durability counters (WAL, checkpoints, recovery) — present only
+    /// when the store persists to a `--data-dir`, so durability-off
+    /// sessions stay byte-identical to their pre-durability goldens.
+    pub durability: Option<crate::durable::DurabilityStats>,
 }
 
 /// The answer payload of an [`Outcome`].
@@ -1006,7 +1010,7 @@ impl Service {
                     build_time,
                 };
                 let publish_start = Instant::now();
-                let epoch = pending.publish();
+                let epoch = pending.publish()?;
                 // Publish invalidation: entries from older epochs can never
                 // answer again (the probe's epoch check also enforces this
                 // lazily), so free them now.
@@ -1038,6 +1042,7 @@ impl Service {
                     support,
                     cache: self.cache_counters(),
                     store: self.store.stats(),
+                    durability: self.store.durability().map(|d| d.stats()),
                 };
                 Ok(Outcome {
                     answer: Answer::Stats(answer),

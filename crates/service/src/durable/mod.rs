@@ -1,0 +1,318 @@
+//! Durability for the versioned store: a write-ahead log of admitted
+//! update batches, periodic snapshot checkpoints, and crash recovery.
+//!
+//! # What is logged, and when
+//!
+//! Every admitted [`Update`] batch is serialized into
+//! one epoch-stamped, length-prefixed, CRC-checksummed frame ([`frame`])
+//! and appended to the append-only WAL ([`wal`]) **before**
+//! [`PendingUpdate::publish`](crate::store::PendingUpdate::publish) swaps
+//! the snapshot `Arc` — an epoch is never visible to readers (and so never
+//! acknowledged to a client) unless its batch is in the log. fsync timing
+//! is configurable ([`FsyncPolicy`]); the publish path holds the store's
+//! builder gate across append + fsync, so log order always equals epoch
+//! order.
+//!
+//! Every `--checkpoint-every` epochs (default
+//! [`DEFAULT_CHECKPOINT_EVERY`]) the just-published snapshot is written as
+//! a full checkpoint ([`checkpoint`]) — serialized straight off the shared
+//! `Arc` snapshot, so nothing is copied — and the WAL is compacted
+//! (truncated) behind it.
+//!
+//! On startup, [`recover`] loads the newest valid checkpoint, replays the
+//! WAL past it, truncates any torn or corrupt tail, and hands back a store
+//! bit-identical to the uninterrupted run at the last durable epoch.
+//!
+//! # Invariance contract
+//!
+//! Durability never changes answer bytes: the logged updates replay
+//! through the exact same incremental path that built the live state, and
+//! the `apply ≡ rebuild` proptests certify that path bit-identical to a
+//! from-scratch build. With `--data-dir` off the subsystem is entirely
+//! absent — not a no-op mode, but `None`.
+
+pub mod checkpoint;
+pub mod frame;
+pub mod recovery;
+pub mod wal;
+
+pub use recovery::{recover, RecoveryInfo};
+pub use wal::FsyncPolicy;
+
+use crate::store::{Snapshot, Update};
+use crate::telemetry::{Counter, Gauge, Histogram, Telemetry};
+use crate::{Error, Result};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use wal::Wal;
+
+/// Default checkpoint cadence: a full snapshot checkpoint (and WAL
+/// compaction) every this many published epochs.
+pub const DEFAULT_CHECKPOINT_EVERY: u64 = 64;
+
+/// Configuration for a durable store: where state lives, when the WAL is
+/// fsync'd, and how often checkpoints are cut.
+#[derive(Debug, Clone)]
+pub struct DurableOptions {
+    /// The data directory (created if missing).
+    pub dir: PathBuf,
+    /// WAL fsync policy.
+    pub fsync: FsyncPolicy,
+    /// Checkpoint every N published epochs.
+    pub checkpoint_every: u64,
+}
+
+impl DurableOptions {
+    /// Options for `dir` with the defaults: fsync `always`, checkpoint
+    /// every [`DEFAULT_CHECKPOINT_EVERY`] epochs.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            fsync: FsyncPolicy::default(),
+            checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
+        }
+    }
+}
+
+/// Deterministic durability counters for the protocol v2 `stats` section:
+/// everything here is derived from session content (bytes, frames,
+/// epochs), never from wall clocks, so golden sessions can pin it down.
+#[derive(Debug, Clone, Copy)]
+pub struct DurabilityStats {
+    /// Current WAL file length in bytes (magic + frames).
+    pub wal_bytes: u64,
+    /// Frames currently in the WAL (drops to 0 at each compaction).
+    pub wal_frames: u64,
+    /// WAL fsyncs issued since startup.
+    pub fsyncs: u64,
+    /// Epoch of the last batch whose append was followed by an fsync
+    /// (0 until the first synced append).
+    pub last_fsync_epoch: u64,
+    /// Checkpoints written since startup.
+    pub checkpoints: u64,
+    /// Checkpoints that failed to write (state stays safe in the WAL).
+    pub checkpoint_failures: u64,
+    /// Epoch of the newest checkpoint written this session (0 if none).
+    pub last_checkpoint_epoch: u64,
+    /// The configured fsync policy.
+    pub fsync_policy: FsyncPolicy,
+    /// The configured checkpoint cadence.
+    pub checkpoint_every: u64,
+    /// What startup recovery found and did.
+    pub recovered: RecoveryInfo,
+}
+
+/// Mutable checkpoint/fsync bookkeeping behind one small lock.
+#[derive(Debug, Default)]
+struct DurState {
+    checkpoints: u64,
+    checkpoint_failures: u64,
+    last_checkpoint_epoch: u64,
+    last_fsync_epoch: u64,
+}
+
+/// Pre-resolved durability series of the telemetry registry.
+#[derive(Debug)]
+struct DurableMetrics {
+    wal_appends: Arc<Counter>,
+    wal_bytes_total: Arc<Counter>,
+    wal_fsyncs: Arc<Counter>,
+    checkpoints: Arc<Counter>,
+    checkpoint_failures: Arc<Counter>,
+    wal_bytes: Arc<Gauge>,
+    wal_frames: Arc<Gauge>,
+    append_seconds: Arc<Histogram>,
+    fsync_seconds: Arc<Histogram>,
+    checkpoint_seconds: Arc<Histogram>,
+}
+
+/// The durability sink a [`VersionedStore`](crate::store::VersionedStore)
+/// carries when serving from a `--data-dir`: the open WAL, the checkpoint
+/// cadence, and what recovery found at startup. Constructed only by
+/// [`recover`]; the store's publish path drives it.
+#[derive(Debug)]
+pub struct Durability {
+    dir: PathBuf,
+    checkpoint_every: u64,
+    wal: Mutex<Wal>,
+    state: Mutex<DurState>,
+    recovery: RecoveryInfo,
+    met: Option<DurableMetrics>,
+}
+
+impl Durability {
+    pub(crate) fn new(
+        dir: PathBuf,
+        wal: Wal,
+        checkpoint_every: u64,
+        recovery: RecoveryInfo,
+    ) -> Self {
+        Self {
+            dir,
+            checkpoint_every: checkpoint_every.max(1),
+            wal: Mutex::new(wal),
+            state: Mutex::new(DurState::default()),
+            recovery,
+            met: None,
+        }
+    }
+
+    /// What startup recovery found and did.
+    pub fn recovery(&self) -> RecoveryInfo {
+        self.recovery
+    }
+
+    /// The configured checkpoint cadence.
+    pub fn checkpoint_every(&self) -> u64 {
+        self.checkpoint_every
+    }
+
+    /// The configured fsync policy.
+    pub fn fsync_policy(&self) -> FsyncPolicy {
+        self.wal.lock().expect("wal lock").policy()
+    }
+
+    /// Append `epoch`'s batch to the WAL and fsync per policy. Called by
+    /// the publish path *before* the snapshot swap — on error nothing was
+    /// published and the caller surfaces the failure.
+    pub(crate) fn log_batch(&self, epoch: u64, updates: &[Update]) -> Result<()> {
+        let mut wal = self.wal.lock().expect("wal lock");
+        let append_start = Instant::now();
+        let bytes = wal
+            .append(epoch, updates)
+            .map_err(|e| Error::Io(format!("WAL append at epoch {epoch}: {e}")))?;
+        let append = append_start.elapsed();
+        let fsync_start = Instant::now();
+        let synced =
+            wal.maybe_sync().map_err(|e| Error::Io(format!("WAL fsync at epoch {epoch}: {e}")))?;
+        let fsync = fsync_start.elapsed();
+        if synced {
+            self.state.lock().expect("durability state lock").last_fsync_epoch = epoch;
+        }
+        if let Some(met) = &self.met {
+            met.wal_appends.inc();
+            met.wal_bytes_total.add(bytes);
+            met.wal_bytes.set(wal.bytes() as i64);
+            met.wal_frames.set(wal.frames() as i64);
+            met.append_seconds.observe_duration(append);
+            if synced {
+                met.wal_fsyncs.inc();
+                met.fsync_seconds.observe_duration(fsync);
+            }
+        }
+        Ok(())
+    }
+
+    /// Is `epoch` on the checkpoint cadence?
+    pub(crate) fn should_checkpoint(&self, epoch: u64) -> bool {
+        epoch.is_multiple_of(self.checkpoint_every)
+    }
+
+    /// Write a checkpoint of the just-published snapshot, then compact the
+    /// WAL behind it and drop older checkpoints. A failure leaves every
+    /// frame in the WAL (nothing is lost); the caller reports it without
+    /// failing the already-visible publish.
+    pub(crate) fn checkpoint(&self, snap: &Snapshot) -> Result<()> {
+        let start = Instant::now();
+        let result: std::io::Result<()> = (|| {
+            checkpoint::write_checkpoint(&self.dir, snap)?;
+            // The checkpoint is durable: every WAL frame at or before its
+            // epoch is now redundant, and the log holds nothing newer
+            // (publish runs this under the builder gate).
+            self.wal.lock().expect("wal lock").reset()?;
+            checkpoint::remove_older(&self.dir, snap.epoch());
+            Ok(())
+        })();
+        let elapsed = start.elapsed();
+        let mut state = self.state.lock().expect("durability state lock");
+        match result {
+            Ok(()) => {
+                state.checkpoints += 1;
+                state.last_checkpoint_epoch = snap.epoch();
+                drop(state);
+                if let Some(met) = &self.met {
+                    met.checkpoints.inc();
+                    met.checkpoint_seconds.observe_duration(elapsed);
+                    let wal = self.wal.lock().expect("wal lock");
+                    met.wal_bytes.set(wal.bytes() as i64);
+                    met.wal_frames.set(wal.frames() as i64);
+                }
+                Ok(())
+            }
+            Err(e) => {
+                state.checkpoint_failures += 1;
+                drop(state);
+                if let Some(met) = &self.met {
+                    met.checkpoint_failures.inc();
+                }
+                Err(Error::Io(format!("checkpoint at epoch {}: {e}", snap.epoch())))
+            }
+        }
+    }
+
+    /// Flush and fsync the WAL (regardless of policy) and write the
+    /// clean-shutdown marker, so the next startup can prove the log is
+    /// complete. Called when `serve` drains cleanly (stdin EOF, listener
+    /// close).
+    pub fn shutdown_clean(&self) -> Result<()> {
+        let mut wal = self.wal.lock().expect("wal lock");
+        wal.sync().map_err(|e| Error::Io(format!("WAL fsync at shutdown: {e}")))?;
+        recovery::write_marker(&self.dir, wal.bytes(), wal.frames())
+            .map_err(|e| Error::Io(format!("write clean-shutdown marker: {e}")))
+    }
+
+    /// The deterministic counters for the v2 `stats` `"durability"`
+    /// section.
+    pub fn stats(&self) -> DurabilityStats {
+        let wal = self.wal.lock().expect("wal lock");
+        let state = self.state.lock().expect("durability state lock");
+        DurabilityStats {
+            wal_bytes: wal.bytes(),
+            wal_frames: wal.frames(),
+            fsyncs: wal.fsyncs(),
+            last_fsync_epoch: state.last_fsync_epoch,
+            checkpoints: state.checkpoints,
+            checkpoint_failures: state.checkpoint_failures,
+            last_checkpoint_epoch: state.last_checkpoint_epoch,
+            fsync_policy: wal.policy(),
+            checkpoint_every: self.checkpoint_every,
+            recovered: self.recovery,
+        }
+    }
+
+    /// Register the durability series in `telemetry` and record into them
+    /// from now on: `wal_{appends,fsyncs}_total`, `wal_bytes_total`,
+    /// `checkpoints_total`, `checkpoint_failures_total`, the `wal_bytes` /
+    /// `wal_frames` gauges, the `wal_{append,fsync}_seconds` /
+    /// `checkpoint_seconds` histograms, and one-shot recovery gauges
+    /// (`recovery_epochs`, `recovery_frames_replayed`,
+    /// `recovery_truncated_tail_bytes`) plus a `recovery_seconds`
+    /// observation.
+    pub(crate) fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        let met = DurableMetrics {
+            wal_appends: telemetry.counter("wal_appends_total"),
+            wal_bytes_total: telemetry.counter("wal_bytes_total"),
+            wal_fsyncs: telemetry.counter("wal_fsyncs_total"),
+            checkpoints: telemetry.counter("checkpoints_total"),
+            checkpoint_failures: telemetry.counter("checkpoint_failures_total"),
+            wal_bytes: telemetry.gauge("wal_bytes"),
+            wal_frames: telemetry.gauge("wal_frames"),
+            append_seconds: telemetry.histogram("wal_append_seconds"),
+            fsync_seconds: telemetry.histogram("wal_fsync_seconds"),
+            checkpoint_seconds: telemetry.histogram("checkpoint_seconds"),
+        };
+        {
+            let wal = self.wal.lock().expect("wal lock");
+            met.wal_bytes.set(wal.bytes() as i64);
+            met.wal_frames.set(wal.frames() as i64);
+        }
+        telemetry.gauge("recovery_epochs").set(self.recovery.epochs as i64);
+        telemetry.gauge("recovery_frames_replayed").set(self.recovery.frames_replayed as i64);
+        telemetry
+            .gauge("recovery_truncated_tail_bytes")
+            .set(self.recovery.truncated_tail_bytes as i64);
+        telemetry.histogram("recovery_seconds").observe_duration(self.recovery.duration);
+        self.met = Some(met);
+    }
+}

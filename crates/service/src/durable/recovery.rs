@@ -1,0 +1,230 @@
+//! Startup recovery: newest valid checkpoint + WAL replay + torn-tail
+//! truncation, producing a [`VersionedStore`] bit-identical to the
+//! uninterrupted run at the last durable epoch.
+//!
+//! # Procedure
+//!
+//! 1. Read (and immediately delete) the clean-shutdown marker, if present —
+//!    any later crash must look unclean again.
+//! 2. Load the newest checkpoint that decodes cleanly (epoch `C`; `C = 0`
+//!    with the caller's base instance when none exists). The checkpoint's
+//!    recorded scoring and seed must match the caller's — recovering under
+//!    different solver settings would silently change answers.
+//! 3. Scan the WAL: every whole, checksum-valid frame in file order.
+//!    Anything after the first bad frame is a torn tail and is truncated,
+//!    as is any frame that breaks the strictly-consecutive epoch sequence.
+//! 4. Rebuild the snapshot at `C` (certified bit-identical to the live
+//!    store's state by the `apply ≡ rebuild` contract) and replay every
+//!    WAL record with epoch `> C` through the normal update path.
+//! 5. Reset the store's stats — counters never leak across a restart — and
+//!    attach the durability sink (open WAL, fsync policy, checkpoint
+//!    cadence) for the epochs to come.
+
+use super::checkpoint;
+use super::frame::{decode_frame, encode_frame, Dec, Enc};
+use super::wal::{scan_wal, Wal, WAL_MAGIC};
+use super::{Durability, DurableOptions};
+use crate::store::{Snapshot, VersionedStore};
+use crate::{Error, Result};
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::Path;
+use std::time::{Duration, Instant};
+use wgrap_core::prelude::{Instance, Scoring};
+
+/// 8-byte magic opening the clean-shutdown marker file.
+const MARKER_MAGIC: &[u8; 8] = b"WGRAPOK1";
+
+/// The marker's file name inside the data directory.
+const MARKER_FILE: &str = "clean.marker";
+
+/// What recovery found and did — surfaced in protocol v2 `stats` under
+/// `"recovered"` and on stderr at startup.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RecoveryInfo {
+    /// The recovered epoch (the last durable epoch; 0 for a fresh dir).
+    pub epochs: u64,
+    /// WAL records replayed past the checkpoint.
+    pub frames_replayed: u64,
+    /// Torn or corrupt trailing bytes truncated from the WAL.
+    pub truncated_tail_bytes: u64,
+    /// Epoch of the checkpoint recovery started from (0 if none).
+    pub checkpoint_epoch: u64,
+    /// Whether the previous shutdown was provably clean (valid marker
+    /// matching the log, no tail repair needed). A fresh directory counts
+    /// as clean.
+    pub clean: bool,
+    /// Wall time the whole recovery took (rebuild + replay). Never
+    /// serialized into deterministic protocol output.
+    pub duration: Duration,
+}
+
+/// A decoded clean-shutdown marker: the WAL length and frame count it
+/// attested at shutdown time.
+#[derive(Debug, Clone, Copy)]
+struct Marker {
+    wal_bytes: u64,
+    wal_frames: u64,
+}
+
+/// Write the clean-shutdown marker durably. Called (via
+/// [`Durability::shutdown_clean`](super::Durability::shutdown_clean)) after
+/// the WAL's final fsync.
+pub(crate) fn write_marker(dir: &Path, wal_bytes: u64, wal_frames: u64) -> io::Result<()> {
+    let mut e = Enc::new();
+    e.u64(wal_bytes);
+    e.u64(wal_frames);
+    let frame = encode_frame(&e.into_bytes());
+    let path = dir.join(MARKER_FILE);
+    let mut f = File::create(&path)?;
+    f.write_all(MARKER_MAGIC)?;
+    f.write_all(&frame)?;
+    f.sync_data()?;
+    File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+/// Read and **delete** the marker: once recovery has consumed it, only the
+/// next clean shutdown may write a new one, so a crash after startup can
+/// never be mistaken for clean.
+fn take_marker(dir: &Path) -> io::Result<Option<Marker>> {
+    let path = dir.join(MARKER_FILE);
+    let bytes = match fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    fs::remove_file(&path)?;
+    if bytes.len() < MARKER_MAGIC.len() || &bytes[..MARKER_MAGIC.len()] != MARKER_MAGIC {
+        return Ok(None);
+    }
+    let Some((payload, end)) = decode_frame(&bytes, MARKER_MAGIC.len()) else {
+        return Ok(None);
+    };
+    if end != bytes.len() {
+        return Ok(None);
+    }
+    let mut d = Dec::new(payload);
+    let (Ok(wal_bytes), Ok(wal_frames)) = (d.u64(), d.u64()) else {
+        return Ok(None);
+    };
+    if !d.done() {
+        return Ok(None);
+    }
+    Ok(Some(Marker { wal_bytes, wal_frames }))
+}
+
+fn io_err(what: &str, e: impl std::fmt::Display) -> Error {
+    Error::Io(format!("{what}: {e}"))
+}
+
+/// Open (or initialize) the data directory `opts.dir` and recover a
+/// [`VersionedStore`] from it, with durability attached for every epoch
+/// published from now on.
+///
+/// `base`, `scoring` and `seed` describe the epoch-0 state (the served
+/// instance file and solver settings). When the directory holds a
+/// checkpoint, its recorded scoring and seed must match `scoring`/`seed`;
+/// the checkpoint's instance then replaces `base` as the rebuild root.
+///
+/// A fresh or empty directory recovers to epoch 0 with zeroed
+/// [`RecoveryInfo`] counters. The same info is kept on the store's
+/// [`Durability`] handle for `stats` reporting.
+pub fn recover(
+    opts: DurableOptions,
+    base: Instance,
+    scoring: Scoring,
+    seed: u64,
+) -> Result<(VersionedStore, RecoveryInfo)> {
+    let start = Instant::now();
+    let dir = &opts.dir;
+    fs::create_dir_all(dir).map_err(|e| io_err("create data dir", e))?;
+
+    let marker = take_marker(dir).map_err(|e| io_err("read clean-shutdown marker", e))?;
+    let ck = checkpoint::load_newest(dir).map_err(|e| io_err("list checkpoints", e))?;
+    if let Some(ck) = &ck {
+        if ck.scoring != scoring || ck.seed != seed {
+            return Err(Error::Io(format!(
+                "data dir was created with scoring={} seed={}; restart with matching \
+                 --scoring/--seed (got scoring={} seed={})",
+                ck.scoring.label(),
+                ck.seed,
+                scoring.label(),
+                seed
+            )));
+        }
+    }
+    let checkpoint_epoch = ck.as_ref().map_or(0, |c| c.epoch);
+
+    let mut scan = scan_wal(dir).map_err(|e| io_err("scan WAL", e))?;
+    // Frames must be strictly consecutive; a break means the bytes after it
+    // are not a usable continuation — treat them as tail corruption.
+    let first_epoch = scan.records.first().map(|r| r.epoch);
+    if let Some(first) = first_epoch {
+        let keep = scan
+            .records
+            .iter()
+            .enumerate()
+            .take_while(|(i, r)| r.epoch == first + *i as u64)
+            .count();
+        if keep < scan.records.len() {
+            let new_valid =
+                if keep > 0 { scan.records[keep - 1].end_offset } else { WAL_MAGIC.len() as u64 };
+            scan.truncated_bytes += scan.valid_bytes - new_valid;
+            scan.valid_bytes = new_valid;
+            scan.records.truncate(keep);
+        }
+    }
+    // A checkpoint newer than the whole log (compaction raced a crash, or a
+    // corrupt newer checkpoint forced a fallback) must still line up: the
+    // replayable records have to start exactly at checkpoint + 1.
+    if let Some(first_past) = scan.records.iter().map(|r| r.epoch).find(|&e| e > checkpoint_epoch) {
+        if first_past != checkpoint_epoch + 1 {
+            return Err(Error::Io(format!(
+                "WAL resumes at epoch {first_past} but the newest usable checkpoint is epoch \
+                 {checkpoint_epoch}: epochs {} to {} are unrecoverable (corrupt checkpoint?)",
+                checkpoint_epoch + 1,
+                first_past - 1
+            )));
+        }
+    }
+
+    let fresh = ck.is_none() && scan.valid_bytes == 0 && scan.truncated_bytes == 0;
+    let clean = fresh
+        || marker.is_some_and(|m| {
+            m.wal_bytes == scan.valid_bytes
+                && m.wal_frames == scan.records.len() as u64
+                && scan.truncated_bytes == 0
+        });
+
+    let root = match ck {
+        Some(ck) => Snapshot::build_at(ck.instance, scoring, seed, ck.epoch),
+        None => Snapshot::build_at(base, scoring, seed, 0),
+    };
+    let mut store = VersionedStore::from_snapshot(root);
+    let mut frames_replayed = 0u64;
+    for record in &scan.records {
+        if record.epoch <= checkpoint_epoch {
+            continue; // superseded by the checkpoint (compaction raced a crash)
+        }
+        let epoch = store
+            .apply(&record.updates)
+            .map_err(|e| Error::Io(format!("WAL replay failed at epoch {}: {e}", record.epoch)))?;
+        debug_assert_eq!(epoch, record.epoch, "replay must reproduce the logged epoch");
+        frames_replayed += 1;
+    }
+    store.reset_stats();
+
+    let info = RecoveryInfo {
+        epochs: store.epoch(),
+        frames_replayed,
+        truncated_tail_bytes: scan.truncated_bytes,
+        checkpoint_epoch,
+        clean,
+        duration: start.elapsed(),
+    };
+    let wal = Wal::open(dir, opts.fsync, scan.valid_bytes, scan.records.len() as u64)
+        .map_err(|e| io_err("open WAL", e))?;
+    store.attach_durability(Durability::new(dir.clone(), wal, opts.checkpoint_every, info));
+    Ok((store, info))
+}

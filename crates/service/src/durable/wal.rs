@@ -1,0 +1,386 @@
+//! The write-ahead log: an append-only file of epoch-stamped update-batch
+//! frames, fsync'd per policy *before* the corresponding epoch becomes
+//! visible to readers.
+//!
+//! # File layout
+//!
+//! ```text
+//! WGRAPWL1            8-byte magic
+//! frame               epoch 1's batch  (see `frame` module for layout)
+//! frame               epoch 2's batch
+//! ...
+//! ```
+//!
+//! Each frame's payload is [`encode_wal_record`]: the epoch the batch
+//! published under followed by every [`Update`] of the batch. Epochs are
+//! strictly consecutive within the file; compaction (after a checkpoint)
+//! truncates the log back to just the magic, so the first frame's epoch is
+//! `checkpoint + 1` from then on.
+
+use super::frame::{decode_frame, decode_wal_record, encode_frame, encode_wal_record};
+use crate::store::Update;
+use std::fs::{File, OpenOptions};
+#[cfg(test)]
+use std::io::Read;
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// 8-byte magic opening every WAL file.
+pub(crate) const WAL_MAGIC: &[u8; 8] = b"WGRAPWL1";
+
+/// The WAL's file name inside the data directory.
+pub(crate) const WAL_FILE: &str = "wal.log";
+
+/// Appends between fsyncs under [`FsyncPolicy::Batch`].
+const BATCH_FSYNC_FRAMES: u64 = 8;
+
+/// When the WAL file is forced to stable storage.
+///
+/// The policy trades durability window for append throughput:
+///
+/// * `Always` — fsync after every appended batch; an acked update is never
+///   lost. The default.
+/// * `Batch` — fsync every 8 appends (and at every checkpoint and clean
+///   shutdown); a crash can lose up to the last 7 acked batches, but
+///   recovery still lands on a *consistent* earlier epoch.
+/// * `Never` — rely on the OS page cache (fsync only at checkpoints and
+///   clean shutdown); fastest, weakest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// fsync after every append.
+    #[default]
+    Always,
+    /// fsync every few appends and at flush points.
+    Batch,
+    /// fsync only at flush points (checkpoint, clean shutdown).
+    Never,
+}
+
+impl FsyncPolicy {
+    /// The wire/CLI label (`always` | `batch` | `never`).
+    pub fn label(self) -> &'static str {
+        match self {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::Batch => "batch",
+            FsyncPolicy::Never => "never",
+        }
+    }
+
+    /// Parse a CLI label; the error lists the accepted values.
+    pub fn by_label(label: &str) -> Result<Self, String> {
+        match label {
+            "always" => Ok(FsyncPolicy::Always),
+            "batch" => Ok(FsyncPolicy::Batch),
+            "never" => Ok(FsyncPolicy::Never),
+            other => Err(format!("unknown fsync policy {other:?} (always | batch | never)")),
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One decoded WAL record plus where its frame ends in the file — scan
+/// consumers use the offset to truncate behind a record that turns out to
+/// be unusable (e.g. an epoch-sequence break).
+#[derive(Debug)]
+pub struct WalRecord {
+    /// The epoch this batch published under.
+    pub epoch: u64,
+    /// The batch itself.
+    pub updates: Vec<Update>,
+    /// File offset just past this record's frame.
+    pub end_offset: u64,
+}
+
+/// Result of scanning a WAL file: every prefix record that decoded
+/// cleanly, the byte length of that valid prefix, and how many trailing
+/// bytes were torn or corrupt.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Valid records, in file order.
+    pub records: Vec<WalRecord>,
+    /// Bytes of the valid prefix (magic + whole frames).
+    pub valid_bytes: u64,
+    /// Bytes past the valid prefix (0 for a cleanly closed log).
+    pub truncated_bytes: u64,
+}
+
+/// Read and validate `dir/wal.log` without modifying it. A missing file
+/// scans as empty; a file whose magic is wrong is entirely invalid (the
+/// whole length counts as truncated). Frames are validated in order and
+/// the scan stops at the first length or CRC mismatch — everything after
+/// is the torn tail.
+pub fn scan_wal(dir: &Path) -> io::Result<WalScan> {
+    let path = dir.join(WAL_FILE);
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            return Ok(WalScan { records: Vec::new(), valid_bytes: 0, truncated_bytes: 0 });
+        }
+        Err(e) => return Err(e),
+    };
+    if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Ok(WalScan {
+            records: Vec::new(),
+            valid_bytes: 0,
+            truncated_bytes: bytes.len() as u64,
+        });
+    }
+    let mut records = Vec::new();
+    let mut offset = WAL_MAGIC.len();
+    while offset < bytes.len() {
+        let Some((payload, next)) = decode_frame(&bytes, offset) else {
+            break; // torn or corrupt tail
+        };
+        let Ok((epoch, updates)) = decode_wal_record(payload) else {
+            break; // checksummed but semantically malformed: stop here too
+        };
+        records.push(WalRecord { epoch, updates, end_offset: next as u64 });
+        offset = next;
+    }
+    Ok(WalScan {
+        records,
+        valid_bytes: offset as u64,
+        truncated_bytes: (bytes.len() - offset) as u64,
+    })
+}
+
+/// The open, append-side WAL handle. One per durable store, guarded by the
+/// store's publish path (appends are already serialized by the builder
+/// gate).
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    policy: FsyncPolicy,
+    bytes: u64,
+    frames: u64,
+    fsyncs: u64,
+    unsynced: u64,
+}
+
+impl Wal {
+    /// Open `dir/wal.log` for appending, truncating it to `valid_bytes`
+    /// first (dropping any torn tail a scan found) and writing the magic if
+    /// the file is new or entirely invalid. `frames` is the number of valid
+    /// frames the scan counted in the retained prefix.
+    pub fn open(dir: &Path, policy: FsyncPolicy, valid_bytes: u64, frames: u64) -> io::Result<Wal> {
+        let path = dir.join(WAL_FILE);
+        // The valid prefix must survive the open; truncation to `valid_bytes`
+        // is explicit below.
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(&path)?;
+        let actual = file.metadata()?.len();
+        let mut repaired = false;
+        let mut bytes = valid_bytes;
+        if valid_bytes < WAL_MAGIC.len() as u64 {
+            // New file, or an existing file whose magic was invalid.
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(WAL_MAGIC)?;
+            bytes = WAL_MAGIC.len() as u64;
+            repaired = true;
+        } else if actual != valid_bytes {
+            file.set_len(valid_bytes)?;
+            repaired = true;
+        }
+        file.seek(SeekFrom::End(0))?;
+        let mut wal = Wal { file, path, policy, bytes, frames, fsyncs: 0, unsynced: 0 };
+        if repaired {
+            wal.sync()?;
+        }
+        Ok(wal)
+    }
+
+    /// Append one epoch's batch as a single frame. Returns the frame's
+    /// size in bytes. Does **not** fsync — callers pair this with
+    /// [`Wal::maybe_sync`] so append and fsync latency can be observed
+    /// separately.
+    pub fn append(&mut self, epoch: u64, updates: &[Update]) -> io::Result<u64> {
+        let frame = encode_frame(&encode_wal_record(epoch, updates));
+        self.file.write_all(&frame)?;
+        self.bytes += frame.len() as u64;
+        self.frames += 1;
+        self.unsynced += 1;
+        Ok(frame.len() as u64)
+    }
+
+    /// Apply the fsync policy after an append: `Always` syncs now, `Batch`
+    /// syncs every `BATCH_FSYNC_FRAMES` appends, `Never` does nothing.
+    /// Returns whether an fsync actually ran.
+    pub fn maybe_sync(&mut self) -> io::Result<bool> {
+        let due = match self.policy {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::Batch => self.unsynced >= BATCH_FSYNC_FRAMES,
+            FsyncPolicy::Never => false,
+        };
+        if due {
+            self.sync()?;
+        }
+        Ok(due)
+    }
+
+    /// Unconditional fsync — flush points (checkpoint, clean shutdown) call
+    /// this regardless of policy.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()?;
+        self.fsyncs += 1;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Compaction: drop every frame (they are all at or behind a durable
+    /// checkpoint) and keep just the magic. fsyncs the truncation.
+    pub fn reset(&mut self) -> io::Result<()> {
+        self.file.set_len(WAL_MAGIC.len() as u64)?;
+        self.file.seek(SeekFrom::End(0))?;
+        self.bytes = WAL_MAGIC.len() as u64;
+        self.frames = 0;
+        self.sync()
+    }
+
+    /// Current file length in bytes (magic + frames).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Frames currently in the log.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// fsyncs issued since open.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs
+    }
+
+    /// The configured fsync policy.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+
+    /// The log's path (for diagnostics).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Re-read the whole file (diagnostics/tests).
+    #[cfg(test)]
+    pub(crate) fn read_raw(&mut self) -> io::Result<Vec<u8>> {
+        self.file.seek(SeekFrom::Start(0))?;
+        let mut buf = Vec::new();
+        self.file.read_to_end(&mut buf)?;
+        self.file.seek(SeekFrom::End(0))?;
+        Ok(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wgrap_core::topic::TopicVector;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "wgrap-wal-{tag}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn one_update(v: f64) -> Vec<Update> {
+        vec![Update::PatchScores { reviewer: 0, expertise: TopicVector::new(vec![v, 1.0 - v]) }]
+    }
+
+    #[test]
+    fn append_scan_roundtrip_and_torn_tail_truncation() {
+        let dir = tmpdir("roundtrip");
+        let mut wal = Wal::open(&dir, FsyncPolicy::Always, 0, 0).unwrap();
+        for e in 1..=3u64 {
+            wal.append(e, &one_update(0.25 * e as f64)).unwrap();
+            wal.maybe_sync().unwrap();
+        }
+        assert_eq!(wal.frames(), 3);
+        assert_eq!(wal.fsyncs(), 4); // open-repair sync + 3 appends
+        let full = wal.read_raw().unwrap();
+        drop(wal);
+
+        let scan = scan_wal(&dir).unwrap();
+        assert_eq!(scan.records.len(), 3);
+        assert_eq!(scan.valid_bytes, full.len() as u64);
+        assert_eq!(scan.truncated_bytes, 0);
+        assert_eq!(scan.records.iter().map(|r| r.epoch).collect::<Vec<_>>(), vec![1, 2, 3]);
+
+        // Tear the last frame: scan keeps the first two, reports the tail.
+        let cut = scan.records[1].end_offset as usize + 3;
+        std::fs::write(dir.join(WAL_FILE), &full[..cut]).unwrap();
+        let scan = scan_wal(&dir).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.valid_bytes, scan.records[1].end_offset);
+        assert_eq!(scan.truncated_bytes, (cut as u64) - scan.valid_bytes);
+
+        // Re-opening at the scanned prefix truncates the torn tail on disk.
+        let wal = Wal::open(&dir, FsyncPolicy::Always, scan.valid_bytes, 2).unwrap();
+        assert_eq!(wal.bytes(), scan.valid_bytes);
+        drop(wal);
+        assert_eq!(std::fs::metadata(dir.join(WAL_FILE)).unwrap().len(), scan.valid_bytes);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_and_garbage_files_scan_as_empty() {
+        let dir = tmpdir("garbage");
+        let scan = scan_wal(&dir).unwrap();
+        assert_eq!((scan.records.len(), scan.valid_bytes, scan.truncated_bytes), (0, 0, 0));
+        std::fs::write(dir.join(WAL_FILE), b"not a wal at all").unwrap();
+        let scan = scan_wal(&dir).unwrap();
+        assert_eq!(scan.records.len(), 0);
+        assert_eq!(scan.valid_bytes, 0);
+        assert_eq!(scan.truncated_bytes, 16);
+        // Open repairs it back to an empty, valid log.
+        let wal = Wal::open(&dir, FsyncPolicy::Never, 0, 0).unwrap();
+        assert_eq!(wal.bytes(), WAL_MAGIC.len() as u64);
+        drop(wal);
+        let scan = scan_wal(&dir).unwrap();
+        assert_eq!((scan.records.len(), scan.truncated_bytes), (0, 0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn batch_policy_syncs_every_eighth_append_and_reset_compacts() {
+        let dir = tmpdir("batch");
+        let mut wal = Wal::open(&dir, FsyncPolicy::Batch, 0, 0).unwrap();
+        let open_syncs = wal.fsyncs();
+        let mut synced = 0;
+        for e in 1..=20u64 {
+            wal.append(e, &one_update(0.5)).unwrap();
+            if wal.maybe_sync().unwrap() {
+                synced += 1;
+            }
+        }
+        assert_eq!(synced, 2, "20 appends at a batch size of 8 sync twice");
+        assert_eq!(wal.fsyncs(), open_syncs + 2);
+        wal.reset().unwrap();
+        assert_eq!(wal.frames(), 0);
+        assert_eq!(wal.bytes(), WAL_MAGIC.len() as u64);
+        drop(wal);
+        let scan = scan_wal(&dir).unwrap();
+        assert_eq!((scan.records.len(), scan.truncated_bytes), (0, 0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsync_policy_labels_roundtrip() {
+        for p in [FsyncPolicy::Always, FsyncPolicy::Batch, FsyncPolicy::Never] {
+            assert_eq!(FsyncPolicy::by_label(p.label()).unwrap(), p);
+            assert_eq!(p.to_string(), p.label());
+        }
+        assert!(FsyncPolicy::by_label("sometimes").unwrap_err().contains("always"));
+    }
+}

@@ -80,6 +80,7 @@
 
 pub mod api;
 pub mod batch;
+pub mod durable;
 pub mod frontend;
 pub mod json;
 pub mod server;
@@ -93,6 +94,7 @@ pub use api::{
     ServeOptions, Service, SolveRequest, StatsAnswer, UpdateAnswer,
 };
 pub use batch::{JraBatch, JraQuery, QueryPaper};
+pub use durable::{DurabilityStats, DurableOptions, FsyncPolicy, RecoveryInfo};
 pub use frontend::{Frontend, FrontendCounters, FrontendOptions, JraOutcome};
 pub use server::{serve_connection, serve_metrics, serve_multi, serve_stdio, serve_tcp};
 pub use store::{PendingUpdate, Snapshot, StoreStats, Update, VersionedStore};

@@ -757,6 +757,36 @@ fn handle_stats(frontend: &Frontend, request: &Json, proto: Protocol) -> Result<
                 ("peak_snapshot_bytes", Json::Num(stats.store.peak_snapshot_bytes as f64)),
             ]),
         ));
+        // Durability counters (bytes, frames, epochs — never wall clocks)
+        // are deterministic for a fixed session, but the section only
+        // exists when a `--data-dir` is configured: durability-off sessions
+        // stay byte-identical to their pre-durability goldens.
+        if let Some(d) = &stats.durability {
+            members.push((
+                "durability",
+                Json::obj([
+                    ("wal_bytes", Json::Num(d.wal_bytes as f64)),
+                    ("wal_frames", Json::Num(d.wal_frames as f64)),
+                    ("fsyncs", Json::Num(d.fsyncs as f64)),
+                    ("last_fsync_epoch", Json::Num(d.last_fsync_epoch as f64)),
+                    ("checkpoints", Json::Num(d.checkpoints as f64)),
+                    ("last_checkpoint_epoch", Json::Num(d.last_checkpoint_epoch as f64)),
+                    ("fsync_policy", Json::Str(d.fsync_policy.label().into())),
+                    ("checkpoint_every", Json::Num(d.checkpoint_every as f64)),
+                    (
+                        "recovered",
+                        Json::obj([
+                            ("epochs", Json::Num(d.recovered.epochs as f64)),
+                            ("frames_replayed", Json::Num(d.recovered.frames_replayed as f64)),
+                            (
+                                "truncated_tail_bytes",
+                                Json::Num(d.recovered.truncated_tail_bytes as f64),
+                            ),
+                        ]),
+                    ),
+                ]),
+            ));
+        }
         // Wall-clock timings are non-deterministic, so they are opt-in:
         // golden sessions never request them.
         if request.get("timings").and_then(Json::as_bool) == Some(true) {

@@ -68,6 +68,7 @@
 //! score. Updates are therefore invisible to every solver guarantee the
 //! engine makes.
 
+use crate::durable::Durability;
 use crate::telemetry::{Counter, Gauge, Histogram, Telemetry};
 use crate::{Error, Result};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
@@ -150,6 +151,15 @@ impl Snapshot {
             }
         }
         Self { epoch: 0, ctx, topic_reviewers, topic_papers }
+    }
+
+    /// [`Snapshot::build`] published under an explicit epoch — recovery
+    /// rebuilds a checkpointed instance and must resume the epoch sequence
+    /// where the previous process left it, not restart at 0.
+    pub(crate) fn build_at(inst: Instance, scoring: Scoring, seed: u64, epoch: u64) -> Self {
+        let mut snap = Self::build(inst, scoring, seed);
+        snap.epoch = epoch;
+        snap
     }
 
     /// The epoch this snapshot was published under.
@@ -314,6 +324,12 @@ pub struct VersionedStore {
     /// stores record nothing). Updated alongside [`StoreStats`] at publish
     /// time, so the `stats` op and the metrics endpoint always agree.
     met: Option<StoreMetrics>,
+    /// The durability sink, present when the store was recovered from a
+    /// `--data-dir` ([`crate::durable::recover`]). When set, every publish
+    /// appends + fsyncs its batch to the WAL *before* the snapshot swap and
+    /// cuts a checkpoint on the configured cadence. `None` means the
+    /// durable path simply does not exist — in-memory stores pay nothing.
+    durable: Option<Durability>,
 }
 
 /// Pre-resolved write-path series of the telemetry registry.
@@ -333,12 +349,37 @@ struct StoreMetrics {
 impl VersionedStore {
     /// Serve `inst` under `scoring`; `seed` feeds stochastic CRA solvers.
     pub fn new(inst: Instance, scoring: Scoring, seed: u64) -> Self {
+        Self::from_snapshot(Snapshot::build(inst, scoring, seed))
+    }
+
+    /// Wrap an already-built snapshot (the recovery path: a rebuilt
+    /// checkpoint at its original epoch). Stats start from zero — counters
+    /// never leak across a restart.
+    pub(crate) fn from_snapshot(snapshot: Snapshot) -> Self {
         Self {
-            current: RwLock::new(Arc::new(Snapshot::build(inst, scoring, seed))),
+            current: RwLock::new(Arc::new(snapshot)),
             builder: Mutex::new(()),
             stats: Mutex::new(StoreStats::default()),
             met: None,
+            durable: None,
         }
+    }
+
+    /// Attach the durability sink (recovery does this after WAL replay, so
+    /// replayed batches are never re-logged).
+    pub(crate) fn attach_durability(&mut self, durable: Durability) {
+        self.durable = Some(durable);
+    }
+
+    /// Zero the stats counters (recovery calls this after replay: the
+    /// replayed batches belong to past sessions, not this one).
+    pub(crate) fn reset_stats(&self) {
+        *self.stats.lock().expect("store stats lock") = StoreStats::default();
+    }
+
+    /// The durability sink, if this store persists to a data dir.
+    pub fn durability(&self) -> Option<&Durability> {
+        self.durable.as_ref()
     }
 
     /// Register the write path's series in `telemetry` and record into
@@ -363,6 +404,9 @@ impl VersionedStore {
         met.snapshot_bytes.set(current.memory_bytes() as i64);
         met.peak_snapshot_bytes.set_max(current.memory_bytes() as i64);
         self.met = Some(met);
+        if let Some(durable) = &mut self.durable {
+            durable.attach_telemetry(telemetry);
+        }
     }
 
     /// Admit at the current epoch: an `Arc` to the live snapshot, safe to
@@ -390,7 +434,7 @@ impl VersionedStore {
     /// One-call spelling of [`begin_update`](VersionedStore::begin_update) +
     /// [`publish`](PendingUpdate::publish).
     pub fn apply(&self, updates: &[Update]) -> Result<u64> {
-        Ok(self.begin_update(updates)?.publish())
+        self.begin_update(updates)?.publish()
     }
 
     /// Phase one of the write path: perform the whole copy-on-write build
@@ -420,6 +464,7 @@ impl VersionedStore {
                 store: self,
                 _gate: gate,
                 built: None,
+                logged: None,
                 build: Duration::ZERO,
                 applied: 0,
                 pages_cloned: 0,
@@ -452,6 +497,9 @@ impl VersionedStore {
             store: self,
             _gate: gate,
             built: Some(built),
+            // The WAL logs the batch verbatim at publish time; the clone is
+            // only taken when a durable sink exists.
+            logged: self.durable.is_some().then(|| updates.to_vec()),
             build: start.elapsed(),
             applied: updates.len(),
             pages_cloned,
@@ -472,6 +520,9 @@ pub struct PendingUpdate<'a> {
     store: &'a VersionedStore,
     _gate: MutexGuard<'a, ()>,
     built: Option<Snapshot>,
+    /// The batch itself, kept only when the store is durable — publish
+    /// appends it to the WAL before the swap.
+    logged: Option<Vec<Update>>,
     build: Duration,
     applied: usize,
     pages_cloned: u64,
@@ -505,15 +556,27 @@ impl PendingUpdate<'_> {
 
     /// Make the built snapshot current. This is the only write-path step
     /// readers can ever wait on, and it is a pointer swap.
-    pub fn publish(self) -> u64 {
+    ///
+    /// On a durable store the batch is appended + fsync'd to the WAL
+    /// *first*: an `Err` means nothing was published (readers keep the old
+    /// epoch, the gate is released on drop) and nothing was acknowledged.
+    /// A checkpoint on the configured cadence runs after the swap, still
+    /// under the builder gate; a checkpoint failure is reported to stderr
+    /// but does not fail the already-visible publish — every frame stays
+    /// in the WAL, so no durability is lost.
+    pub fn publish(self) -> Result<u64> {
         let Some(snapshot) = self.built else {
-            return self.store.epoch();
+            return Ok(self.store.epoch());
         };
         let epoch = snapshot.epoch;
+        if let (Some(durable), Some(updates)) = (&self.store.durable, &self.logged) {
+            durable.log_batch(epoch, updates)?;
+        }
         let start = Instant::now();
+        let published = Arc::new(snapshot);
         {
             let mut cur = self.store.current.write().expect("store publish lock");
-            *cur = Arc::new(snapshot);
+            *cur = Arc::clone(&published);
         }
         let publish = start.elapsed();
         let mut stats = self.store.stats.lock().expect("store stats lock");
@@ -540,7 +603,15 @@ impl PendingUpdate<'_> {
             met.build.observe_duration(self.build);
             met.publish.observe_duration(publish);
         }
-        epoch
+        drop(stats);
+        if let Some(durable) = &self.store.durable {
+            if durable.should_checkpoint(epoch) {
+                if let Err(e) = durable.checkpoint(&published) {
+                    eprintln!("wgrap: {e} (state remains safe in the WAL)");
+                }
+            }
+        }
+        Ok(epoch)
     }
 }
 
@@ -823,7 +894,7 @@ mod tests {
         assert_eq!(store.epoch(), 0);
         assert_eq!(store.snapshot().instance().num_reviewers(), 3);
         assert!(Arc::ptr_eq(&before, &store.snapshot()));
-        assert_eq!(pending.publish(), 1);
+        assert_eq!(pending.publish().unwrap(), 1);
         assert_eq!(store.epoch(), 1);
         assert_eq!(store.snapshot().instance().num_reviewers(), 4);
         let stats = store.stats();
@@ -875,7 +946,7 @@ mod tests {
                         },
                     )
                     .expect("update builds");
-                pending.publish()
+                pending.publish().expect("publish succeeds")
             })
         };
         in_build_rx.recv().expect("builder reached mid-build");

@@ -1,0 +1,312 @@
+//! The durability contract: **crash anywhere, recover the last durable
+//! epoch, bit for bit.**
+//!
+//! The core proptest runs a durable store through a random update
+//! sequence (checkpoints included), then simulates a crash at **every
+//! byte offset** of the resulting WAL — not just frame boundaries — and
+//! recovers from the truncated directory. The recovered snapshot must be
+//! bit-identical (via the same [`assert_snapshot_bit_eq`] the
+//! `apply ≡ rebuild` contract uses) to an uninterrupted reference run at
+//! the last epoch whose frame survived whole, for all four scorings.
+//! CI runs this with the `rayon` feature on and off.
+//!
+//! Deterministic companions pin down the clean-shutdown marker protocol,
+//! post-recovery appends, and the refuse-to-guess error paths (solver
+//! settings mismatch, unrecoverable epoch gap after checkpoint loss).
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use wgrap_core::prelude::{Instance, Scoring};
+use wgrap_core::topic::TopicVector;
+use wgrap_service::durable::wal::scan_wal;
+use wgrap_service::testutil::{assert_snapshot_bit_eq, reference_apply};
+use wgrap_service::{durable, DurableOptions, FsyncPolicy, Update};
+
+/// A unique scratch directory per call — no `tempfile` dependency; unique
+/// across processes (pid) and within one (counter).
+fn tmpdir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "wgrap-durable-pt-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn sparse_topic_vector(dim: usize) -> impl Strategy<Value = TopicVector> {
+    (proptest::collection::vec(0.0..1.0f64, dim), proptest::collection::vec(any::<bool>(), dim))
+        .prop_map(|(mut v, mask)| {
+            for (w, drop) in v.iter_mut().zip(mask) {
+                if drop {
+                    *w = 0.0;
+                }
+            }
+            if v.iter().sum::<f64>() <= 0.0 {
+                v[0] = 1.0;
+            }
+            TopicVector::new(v).normalized()
+        })
+}
+
+/// An update before id resolution — same shape as the `apply ≡ rebuild`
+/// proptests, so the durable replay exercises the same update space.
+#[derive(Debug, Clone)]
+enum RawUpdate {
+    AddPaper { topics: TopicVector, coi_seed: u32 },
+    AddReviewer { expertise: TopicVector },
+    RetireReviewer { seed: u32 },
+    PatchScores { seed: u32, expertise: TopicVector },
+}
+
+fn raw_update(dim: usize) -> impl Strategy<Value = RawUpdate> {
+    (0u32..4, sparse_topic_vector(dim), any::<u32>()).prop_map(|(kind, v, seed)| match kind {
+        0 => RawUpdate::AddPaper { topics: v, coi_seed: seed },
+        1 => RawUpdate::AddReviewer { expertise: v },
+        2 => RawUpdate::RetireReviewer { seed },
+        _ => RawUpdate::PatchScores { seed, expertise: v },
+    })
+}
+
+fn resolve(inst: &Instance, raws: &[RawUpdate]) -> Vec<Update> {
+    let (mut num_p, mut num_r) = (inst.num_papers(), inst.num_reviewers());
+    let capacity_left = |num_p: usize, num_r: usize, inst: &Instance| {
+        num_r * inst.delta_r() >= (num_p + 1) * inst.delta_p()
+    };
+    let mut out = Vec::new();
+    for raw in raws {
+        match raw {
+            RawUpdate::AddPaper { topics, coi_seed } => {
+                if !capacity_left(num_p, num_r, inst) {
+                    continue;
+                }
+                let coi = if coi_seed % 3 == 0 && num_r > 0 {
+                    vec![(coi_seed / 3) % num_r as u32]
+                } else {
+                    Vec::new()
+                };
+                out.push(Update::AddPaper { name: None, topics: topics.clone(), coi });
+                num_p += 1;
+            }
+            RawUpdate::AddReviewer { expertise } => {
+                out.push(Update::AddReviewer { name: None, expertise: expertise.clone() });
+                num_r += 1;
+            }
+            RawUpdate::RetireReviewer { seed } => {
+                out.push(Update::RetireReviewer { reviewer: seed % num_r as u32 });
+            }
+            RawUpdate::PatchScores { seed, expertise } => {
+                out.push(Update::PatchScores {
+                    reviewer: seed % num_r as u32,
+                    expertise: expertise.clone(),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn instance_strategy(dim: usize) -> impl Strategy<Value = Instance> {
+    (
+        proptest::collection::vec(sparse_topic_vector(dim), 2..4),
+        proptest::collection::vec(sparse_topic_vector(dim), 4..7),
+        1usize..3,
+    )
+        .prop_map(move |(papers, reviewers, delta_p)| {
+            let delta_p = delta_p.min(reviewers.len());
+            let delta_r = Instance::minimal_delta_r(papers.len(), reviewers.len(), delta_p) + 2;
+            Instance::new(papers, reviewers, delta_p, delta_r).expect("valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The acceptance contract: run a durable store through an update
+    /// sequence, then crash it at **every byte offset** of the WAL and
+    /// recover. Each recovery must land exactly on the last epoch whose
+    /// frame is whole — bit-identical to the uninterrupted reference run
+    /// at that epoch — with the torn tail truncated and accounted for in
+    /// [`RecoveryInfo`], across all four scorings and checkpoint
+    /// cadences from every-epoch to never.
+    #[test]
+    fn crash_at_any_byte_recovers_last_durable_epoch(
+        inst in instance_strategy(3),
+        raws in proptest::collection::vec(raw_update(3), 1..6),
+        seed in 0u64..500,
+        cadence_sel in 0usize..4,
+    ) {
+        let updates = resolve(&inst, &raws);
+        let checkpoint_every = [1, 2, 4, u64::MAX][cadence_sel];
+        for scoring in Scoring::ALL {
+            let dir = tmpdir("crash");
+            let opts = DurableOptions {
+                dir: dir.clone(),
+                // `Never` keeps the setup run fast; the crash is simulated
+                // by byte truncation, so fsync timing is irrelevant here.
+                fsync: FsyncPolicy::Never,
+                checkpoint_every,
+            };
+            let (store, info) =
+                durable::recover(opts.clone(), inst.clone(), scoring, seed).expect("fresh dir");
+            prop_assert!(info.clean, "a fresh dir counts as a clean start");
+            prop_assert_eq!(info.epochs, 0);
+            for u in &updates {
+                store.apply(std::slice::from_ref(u)).expect("durable apply");
+            }
+            let ck_epoch = store.durability().expect("durability attached").stats()
+                .last_checkpoint_epoch;
+            drop(store);
+
+            let wal_path = dir.join("wal.log");
+            let full = std::fs::read(&wal_path).expect("read wal");
+            let scan = scan_wal(&dir).expect("scan full wal");
+            prop_assert_eq!(scan.valid_bytes as usize, full.len(), "full wal must be valid");
+            prop_assert_eq!(scan.truncated_bytes, 0);
+            prop_assert_eq!(
+                ck_epoch + scan.records.len() as u64,
+                updates.len() as u64,
+                "wal must hold exactly the epochs past the last checkpoint"
+            );
+
+            for cut in 0..=full.len() {
+                std::fs::write(&wal_path, &full[..cut]).expect("truncate wal");
+                let (rec, info) = durable::recover(opts.clone(), inst.clone(), scoring, seed)
+                    .unwrap_or_else(|e| panic!("recover at cut {cut}: {e}"));
+                // The frames wholly inside the prefix are durable; the
+                // rest of the prefix is a torn tail.
+                let frames = scan.records.iter().take_while(|r| r.end_offset as usize <= cut)
+                    .count();
+                let durable_epoch = ck_epoch + frames as u64;
+                let valid = if frames > 0 {
+                    scan.records[frames - 1].end_offset as usize
+                } else if cut >= 8 {
+                    8 // just the magic
+                } else {
+                    0 // not even a whole magic: everything is tail
+                };
+                prop_assert_eq!(rec.epoch(), durable_epoch, "cut {}", cut);
+                prop_assert_eq!(info.epochs, durable_epoch);
+                prop_assert_eq!(info.frames_replayed, frames as u64);
+                prop_assert_eq!(info.checkpoint_epoch, ck_epoch);
+                prop_assert_eq!(info.truncated_tail_bytes, (cut - valid) as u64, "cut {}", cut);
+                // No marker was written (we crashed): only the genuinely
+                // fresh dir may report clean.
+                prop_assert_eq!(info.clean, ck_epoch == 0 && cut == 0, "cut {}", cut);
+                let want = reference_apply(&inst, scoring, seed, &updates[..durable_epoch as usize])
+                    .expect("reference applies");
+                assert_snapshot_bit_eq(&rec.snapshot(), &want);
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
+/// The clean-shutdown marker protocol: a drained store leaves a marker the
+/// next recovery consumes (`clean: true`), and because the marker is
+/// deleted on read, a crash *after* that startup reads as unclean again.
+/// Recovered stores keep accepting durable writes.
+#[test]
+fn clean_shutdown_marker_roundtrip_and_post_recovery_appends() {
+    let inst = Instance::new(
+        vec![TopicVector::new(vec![0.6, 0.4]), TopicVector::new(vec![0.3, 0.7])],
+        vec![
+            TopicVector::new(vec![0.9, 0.1]),
+            TopicVector::new(vec![0.2, 0.8]),
+            TopicVector::new(vec![0.5, 0.5]),
+        ],
+        1,
+        2,
+    )
+    .expect("valid instance");
+    let dir = tmpdir("marker");
+    let opts = DurableOptions { fsync: FsyncPolicy::Always, checkpoint_every: 2, dir: dir.clone() };
+    let add = |v: Vec<f64>| Update::AddReviewer { name: None, expertise: TopicVector::new(v) };
+
+    let (store, _) =
+        durable::recover(opts.clone(), inst.clone(), Scoring::WeightedCoverage, 7).expect("fresh");
+    store.apply(&[add(vec![0.1, 0.9])]).expect("applies");
+    store.apply(&[add(vec![0.7, 0.3])]).expect("applies");
+    store.apply(&[add(vec![0.4, 0.6])]).expect("applies");
+    store.durability().expect("durable").shutdown_clean().expect("clean shutdown");
+    drop(store);
+
+    // First restart: the marker attests the log, so the start is clean.
+    let (store, info) = durable::recover(opts.clone(), inst.clone(), Scoring::WeightedCoverage, 7)
+        .expect("recover");
+    assert!(info.clean, "marker must prove the shutdown clean");
+    assert_eq!(info.epochs, 3);
+    assert_eq!(info.checkpoint_epoch, 2);
+    assert_eq!(info.frames_replayed, 1, "only the epoch past the checkpoint replays");
+    assert_eq!(info.truncated_tail_bytes, 0);
+    // The recovered store is live: keep publishing durable epochs.
+    assert_eq!(store.apply(&[add(vec![0.2, 0.8])]).expect("post-recovery apply"), 4);
+    drop(store); // crash: no shutdown_clean, and the marker was consumed
+
+    let (store, info) =
+        durable::recover(opts, inst, Scoring::WeightedCoverage, 7).expect("recover again");
+    assert!(!info.clean, "the marker is single-use; a later crash is unclean");
+    assert_eq!(info.epochs, 4, "the post-recovery epoch was durable");
+    assert_eq!(store.epoch(), 4);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Recovery refuses to guess: a data dir checkpointed under one
+/// scoring/seed cannot silently serve under another.
+#[test]
+fn recovery_rejects_mismatched_solver_settings() {
+    let inst = Instance::new(
+        vec![TopicVector::new(vec![1.0, 0.0])],
+        vec![TopicVector::new(vec![0.9, 0.1]), TopicVector::new(vec![0.1, 0.9])],
+        1,
+        1,
+    )
+    .expect("valid instance");
+    let dir = tmpdir("mismatch");
+    let opts = DurableOptions { fsync: FsyncPolicy::Never, checkpoint_every: 1, dir: dir.clone() };
+    let (store, _) =
+        durable::recover(opts.clone(), inst.clone(), Scoring::WeightedCoverage, 7).expect("fresh");
+    store
+        .apply(&[Update::AddReviewer { name: None, expertise: TopicVector::new(vec![0.5, 0.5]) }])
+        .expect("applies"); // checkpoint_every=1: epoch 1 is checkpointed
+    drop(store);
+
+    let err = durable::recover(opts.clone(), inst.clone(), Scoring::WeightedCoverage, 8)
+        .expect_err("seed mismatch must fail");
+    assert!(err.to_string().contains("seed=7"), "should name the recorded settings: {err}");
+    let err = durable::recover(opts, inst, Scoring::DotProduct, 7)
+        .expect_err("scoring mismatch must fail");
+    assert!(err.to_string().contains("scoring=weighted"), "names recorded scoring: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Losing a checkpoint the WAL was compacted behind leaves an epoch gap
+/// that no amount of replay can bridge — recovery must say so instead of
+/// silently serving stale state.
+#[test]
+fn recovery_reports_unrecoverable_gap_after_checkpoint_loss() {
+    let inst = Instance::new(
+        vec![TopicVector::new(vec![1.0, 0.0])],
+        vec![TopicVector::new(vec![0.9, 0.1]), TopicVector::new(vec![0.1, 0.9])],
+        1,
+        1,
+    )
+    .expect("valid instance");
+    let dir = tmpdir("gap");
+    let opts = DurableOptions { fsync: FsyncPolicy::Never, checkpoint_every: 2, dir: dir.clone() };
+    let (store, _) =
+        durable::recover(opts.clone(), inst.clone(), Scoring::WeightedCoverage, 7).expect("fresh");
+    let add = |v: Vec<f64>| Update::AddReviewer { name: None, expertise: TopicVector::new(v) };
+    store.apply(&[add(vec![0.5, 0.5])]).expect("applies");
+    store.apply(&[add(vec![0.3, 0.7])]).expect("applies"); // checkpoint at 2, wal reset
+    store.apply(&[add(vec![0.8, 0.2])]).expect("applies"); // wal holds only epoch 3
+    drop(store);
+    std::fs::remove_file(dir.join("checkpoint-2.ckpt")).expect("lose the checkpoint");
+
+    let err =
+        durable::recover(opts, inst, Scoring::WeightedCoverage, 7).expect_err("gap must fail");
+    assert!(err.to_string().contains("unrecoverable"), "should report the gap: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -19,7 +19,8 @@
 //!               [--method sdga-sra] [--pruning ...] [--topk K]
 //!               [--threads N] [--max-inflight N] [--queue-depth N]
 //!               [--cache-cap N] [--linger N] [--multi]
-//!               [--metrics-listen ADDR]
+//!               [--metrics-listen ADDR] [--data-dir DIR]
+//!               [--fsync always|batch|never] [--checkpoint-every N]
 //!     Serve the instance: newline-delimited JSON requests on stdin (one
 //!     response line each), with --listen HOST:PORT over TCP (thread per
 //!     connection), or with --multi as an interleaved multi-client replay
@@ -35,6 +36,14 @@
 //!     --metrics-listen HOST:PORT serves the telemetry registry as
 //!     Prometheus text on a side listener (GET /metrics) alongside any
 //!     serve mode; the v2 "metrics" op returns the same registry as JSON.
+//!     --data-dir DIR makes the store durable: every admitted update batch
+//!     is appended + fsync'd to a write-ahead log in DIR before it becomes
+//!     visible, a full snapshot checkpoint is cut every --checkpoint-every
+//!     epochs (default 64, compacting the log), and startup recovers the
+//!     last durable epoch from DIR (newest checkpoint + WAL replay,
+//!     truncating any torn tail). --fsync picks the WAL fsync policy
+//!     (always | batch | never; default always). Durability never changes
+//!     answer bytes — v2 stats just gains a "durability" section.
 //! ```
 //!
 //! Every solving subcommand — `assign`, `journal`, `check`'s candidate
@@ -54,7 +63,7 @@ use wgrap::core::io;
 use wgrap::core::metrics;
 use wgrap::prelude::*;
 use wgrap::service::api::{Answer, PaperRef, ServeOptions, Service, SolveRequest};
-use wgrap::service::{Frontend, FrontendOptions};
+use wgrap::service::{DurableOptions, Frontend, FrontendOptions, FsyncPolicy};
 
 /// Which flags each subcommand accepts — the single source of truth the
 /// parser validates against, so every subcommand shares one rejection path
@@ -81,6 +90,9 @@ const SUBCOMMAND_FLAGS: &[(&str, &[&str])] = &[
             "--linger",
             "--multi",
             "--metrics-listen",
+            "--data-dir",
+            "--fsync",
+            "--checkpoint-every",
         ],
     ),
 ];
@@ -116,6 +128,9 @@ struct Flags {
     linger: Option<usize>,
     multi: bool,
     metrics_listen: Option<String>,
+    data_dir: Option<String>,
+    fsync: Option<FsyncPolicy>,
+    checkpoint_every: Option<u64>,
 }
 
 fn parse_flags(cmd: &str, args: &[String]) -> Result<Flags> {
@@ -139,6 +154,9 @@ fn parse_flags(cmd: &str, args: &[String]) -> Result<Flags> {
         linger: None,
         multi: false,
         metrics_listen: None,
+        data_dir: None,
+        fsync: None,
+        checkpoint_every: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -185,6 +203,23 @@ fn parse_flags(cmd: &str, args: &[String]) -> Result<Flags> {
             }
             "--listen" => flags.listen = Some(value("--listen")?),
             "--metrics-listen" => flags.metrics_listen = Some(value("--metrics-listen")?),
+            "--data-dir" => flags.data_dir = Some(value("--data-dir")?),
+            "--fsync" => {
+                flags.fsync = Some(
+                    FsyncPolicy::by_label(&value("--fsync")?).map_err(Error::InvalidInstance)?,
+                );
+            }
+            "--checkpoint-every" => {
+                let n: u64 = value("--checkpoint-every")?.parse().map_err(|_| {
+                    Error::InvalidInstance("--checkpoint-every needs an integer".into())
+                })?;
+                if n == 0 {
+                    return Err(Error::InvalidInstance(
+                        "--checkpoint-every must be positive".into(),
+                    ));
+                }
+                flags.checkpoint_every = Some(n);
+            }
             "--multi" => flags.multi = true,
             "--threads" | "--max-inflight" | "--queue-depth" | "--cache-cap" | "--linger" => {
                 let flag = arg.as_str();
@@ -210,15 +245,20 @@ fn read(path: &str) -> Result<String> {
         .map_err(|e| Error::InvalidInstance(format!("cannot read {path}: {e}")))
 }
 
-/// Build the [`Service`] a subcommand plans its requests against.
-fn service_for(inst: Instance, flags: &Flags) -> Service {
-    let options = ServeOptions {
+/// The [`ServeOptions`] a subcommand's flags resolve to — shared between
+/// the in-memory and durable (`--data-dir`) service constructors.
+fn serve_options(flags: &Flags) -> ServeOptions {
+    ServeOptions {
         pruning: flags.pruning.unwrap_or_default(),
         method: flags.method.unwrap_or(MethodKind::Cra(CraAlgorithm::SdgaSra)),
         cache_cap: flags.cache_cap.unwrap_or(wgrap::service::api::DEFAULT_CACHE_CAP),
         telemetry: true,
-    };
-    Service::with_options(inst, flags.scoring, flags.seed, options)
+    }
+}
+
+/// Build the [`Service`] a subcommand plans its requests against.
+fn service_for(inst: Instance, flags: &Flags) -> Service {
+    Service::with_options(inst, flags.scoring, flags.seed, serve_options(flags))
 }
 
 fn cmd_assign(flags: &Flags) -> Result<()> {
@@ -333,7 +373,37 @@ fn cmd_serve(flags: &Flags) -> Result<()> {
         std::env::set_var("WGRAP_THREADS", n.to_string());
     }
     let inst = io::parse_instance(&read(path)?)?;
-    let service = std::sync::Arc::new(service_for(inst, flags));
+    let service = if let Some(dir) = &flags.data_dir {
+        // Durable path: recover the last durable epoch from the data dir
+        // (or initialise it from the instance file on first run), then
+        // serve from the recovered store. The instance file only seeds a
+        // fresh dir; once epochs exist, the dir is authoritative.
+        let opts = DurableOptions {
+            dir: dir.into(),
+            fsync: flags.fsync.unwrap_or_default(),
+            checkpoint_every: flags
+                .checkpoint_every
+                .unwrap_or(wgrap::service::durable::DEFAULT_CHECKPOINT_EVERY),
+        };
+        let (store, info) =
+            wgrap::service::durable::recover(opts, inst, flags.scoring, flags.seed)?;
+        eprintln!(
+            "# wgrap durability: {} at epoch {} ({} frames replayed, {} tail bytes truncated)",
+            if info.clean { "clean start" } else { "recovered" },
+            info.epochs,
+            info.frames_replayed,
+            info.truncated_tail_bytes,
+        );
+        Service::from_store(store, serve_options(flags))
+    } else {
+        if flags.fsync.is_some() || flags.checkpoint_every.is_some() {
+            return Err(Error::InvalidInstance(
+                "--fsync/--checkpoint-every only apply with --data-dir".into(),
+            ));
+        }
+        service_for(inst, flags)
+    };
+    let service = std::sync::Arc::new(service);
     let mut options = FrontendOptions::default();
     if let Some(n) = flags.max_inflight {
         options.max_inflight = n;
@@ -355,25 +425,32 @@ fn cmd_serve(flags: &Flags) -> Result<()> {
             let _ = wgrap::service::serve_metrics(listener, telemetry);
         });
     }
-    let frontend = std::sync::Arc::new(Frontend::new(service, options));
+    let frontend = std::sync::Arc::new(Frontend::new(std::sync::Arc::clone(&service), options));
     let io_err = |e: std::io::Error| Error::InvalidInstance(format!("serve I/O error: {e}"));
     match (&flags.listen, flags.multi) {
         (Some(_), true) => {
-            Err(Error::InvalidInstance("--multi replays stdin; drop --listen".into()))
+            return Err(Error::InvalidInstance("--multi replays stdin; drop --listen".into()));
         }
         (None, true) => {
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
-            wgrap::service::serve_multi(&frontend, stdin.lock(), stdout.lock()).map_err(io_err)
+            wgrap::service::serve_multi(&frontend, stdin.lock(), stdout.lock()).map_err(io_err)?;
         }
-        (None, false) => wgrap::service::serve_stdio(&frontend).map_err(io_err),
+        (None, false) => wgrap::service::serve_stdio(&frontend).map_err(io_err)?,
         (Some(addr), false) => {
             let listener = std::net::TcpListener::bind(addr)
                 .map_err(|e| Error::InvalidInstance(format!("cannot listen on {addr}: {e}")))?;
             eprintln!("# wgrap serve listening on {}", listener.local_addr().unwrap());
-            wgrap::service::serve_tcp(listener, frontend).map_err(io_err)
+            wgrap::service::serve_tcp(listener, frontend).map_err(io_err)?;
         }
     }
+    // Drained cleanly (stdin EOF / listener closed): fsync the WAL and
+    // leave the clean-shutdown marker so the next startup can prove the
+    // log is complete. A crash skips this — that is what recovery is for.
+    if let Some(durable) = service.store().durability() {
+        durable.shutdown_clean()?;
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {

@@ -161,6 +161,118 @@ fn serve_metrics_listen_scrapes_live_mid_session() {
     assert!(status.success(), "serve exited with {status:?}");
 }
 
+/// The durability restart golden: run the part-1 fixture session against
+/// `serve --data-dir`, SIGKILL the process mid-session (after every
+/// response — and so every WAL fsync — has landed), restart from the same
+/// directory, and replay the part-2 continuation. Both halves must match
+/// their committed goldens byte for byte: the restarted server answers
+/// exactly as the uninterrupted session would, reports what recovery did
+/// under `"recovered"`, and starts its stats counters and result cache
+/// fresh (the part-2 stats golden pins `"cache"`/`"store"` at zero).
+#[test]
+fn serve_durable_survives_kill_and_restart_byte_identically() {
+    use std::io::{BufRead, BufReader};
+    let dir = std::env::temp_dir().join(format!("wgrap-smoke-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let data_dir = dir.to_str().unwrap().to_string();
+    let serve_args = [
+        "serve",
+        &format!("{FIXTURES}/serve.wgrap"),
+        "--data-dir",
+        &data_dir,
+        "--checkpoint-every",
+        "2",
+    ];
+
+    // Part 1: feed the requests but keep stdin open (no EOF, no clean
+    // shutdown), read every response, then crash the process outright.
+    let requests =
+        std::fs::read_to_string(format!("{FIXTURES}/serve_requests_durable_1.ndjson")).unwrap();
+    let golden1 =
+        std::fs::read_to_string(format!("{FIXTURES}/serve_golden_durable_1.ndjson")).unwrap();
+    let mut child = Command::new(env!("CARGO_BIN_EXE_wgrap"))
+        .args(serve_args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn durable serve");
+    let mut stdin = child.stdin.take().unwrap();
+    stdin.write_all(requests.as_bytes()).unwrap();
+    stdin.flush().unwrap();
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    for (i, want) in golden1.lines().enumerate() {
+        let mut line = String::new();
+        stdout.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), want, "part 1 line {} diverged", i + 1);
+    }
+    // Every response implies its update was fsync'd (--fsync defaults to
+    // always) — killing now loses nothing durable.
+    child.kill().expect("SIGKILL serve");
+    child.wait().unwrap();
+    drop(stdin);
+    assert!(!dir.join("clean.marker").exists(), "a crash must not look clean");
+
+    // Part 2: restart from the crashed directory and run to EOF.
+    let requests =
+        std::fs::read_to_string(format!("{FIXTURES}/serve_requests_durable_2.ndjson")).unwrap();
+    let golden2 =
+        std::fs::read_to_string(format!("{FIXTURES}/serve_golden_durable_2.ndjson")).unwrap();
+    let mut child = Command::new(env!("CARGO_BIN_EXE_wgrap"))
+        .args(serve_args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("respawn durable serve");
+    child.stdin.take().unwrap().write_all(requests.as_bytes()).unwrap();
+    let out = child.wait_with_output().expect("restarted serve runs to EOF");
+    assert!(out.status.success(), "restarted serve exited with {:?}", out.status);
+    let got = String::from_utf8(out.stdout).expect("responses are UTF-8");
+    for (i, (g, w)) in got.lines().zip(golden2.lines()).enumerate() {
+        assert_eq!(g, w, "part 2 line {} diverged", i + 1);
+    }
+    assert_eq!(got.lines().count(), golden2.lines().count(), "part 2 response count");
+    let announce = String::from_utf8_lossy(&out.stderr);
+    assert!(announce.contains("recovered at epoch 3"), "startup line: {announce}");
+    assert!(dir.join("clean.marker").exists(), "EOF drain must leave the marker");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Durability's answer-invariance contract, pinned at the byte level:
+/// replaying the durable part-1 requests *without* `--data-dir` yields
+/// byte-identical responses everywhere except v2 `stats`, which differs
+/// only by the absence of the trailing `"durability"` section.
+#[test]
+fn durability_changes_only_the_stats_durability_section() {
+    let requests =
+        std::fs::read_to_string(format!("{FIXTURES}/serve_requests_durable_1.ndjson")).unwrap();
+    let golden =
+        std::fs::read_to_string(format!("{FIXTURES}/serve_golden_durable_1.ndjson")).unwrap();
+    let mut child = Command::new(env!("CARGO_BIN_EXE_wgrap"))
+        .arg("serve")
+        .arg(format!("{FIXTURES}/serve.wgrap"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn in-memory serve");
+    child.stdin.take().unwrap().write_all(requests.as_bytes()).unwrap();
+    let out = child.wait_with_output().expect("serve runs to EOF");
+    assert!(out.status.success());
+    let got = String::from_utf8(out.stdout).expect("responses are UTF-8");
+    assert_eq!(got.lines().count(), golden.lines().count());
+    for (i, (g, w)) in got.lines().zip(golden.lines()).enumerate() {
+        if let Some(idx) = w.find(",\"durability\":") {
+            // The durable golden's stats line minus its durability section
+            // must be the in-memory line, byte for byte.
+            assert_eq!(g, format!("{}}}", &w[..idx]), "stats line {} diverged", i + 1);
+        } else {
+            assert_eq!(g, w, "line {} must not depend on durability", i + 1);
+        }
+    }
+}
+
 #[test]
 fn serve_rejects_missing_instance() {
     let out = Command::new(env!("CARGO_BIN_EXE_wgrap"))
