@@ -8,7 +8,9 @@
 //!   `never`, isolating the log cost from the snapshot splice
 //!   (`wal_append_fsync_*` records). The fsync gap *is* the durability
 //!   price: `always` pays one `fdatasync` per epoch, `batch` one per 8,
-//!   `never` rides the page cache.
+//!   `never` rides the page cache. `wal_append_fsync_batch_wave` is the
+//!   group-commit variant: the same `batch` appends inside one fsync
+//!   wave, so a single covering fsync lands at the wave boundary.
 //! * **Durable vs in-memory publish** — the same single-update `apply`
 //!   through a recovered durable store (fsync `always`) against the plain
 //!   in-memory [`VersionedStore`]: the end-to-end epoch cost a `--data-dir`
@@ -123,6 +125,46 @@ fn bench_wal_append(report: &mut BenchReport, rng: &mut StdRng) {
         drop(wal);
         let _ = std::fs::remove_dir_all(&dir);
     }
+
+    // Group commit: the same `batch`-policy appends inside one fsync wave
+    // (the bracket `serve` opens around a burst of concurrent update
+    // requests) — every per-append sync defers to a single covering fsync
+    // at the wave boundary.
+    let dir = tmpdir("wal-batch-wave");
+    let mut wal = Wal::open(&dir, FsyncPolicy::Batch, 0, 0).expect("open wal");
+    let mut samples = Vec::with_capacity(FRAMES);
+    let mut bytes = 0u64;
+    let start = Instant::now();
+    wal.wave_enter();
+    for (i, batch) in updates.iter().enumerate() {
+        let t0 = Instant::now();
+        bytes += wal.append(1 + i as u64, batch).expect("append");
+        wal.maybe_sync().expect("fsync");
+        samples.push(t0.elapsed());
+    }
+    if wal.wave_exit() {
+        wal.sync().expect("group-commit fsync");
+    }
+    let elapsed = start.elapsed();
+    let fps = FRAMES as f64 / elapsed.as_secs_f64();
+    let mibps = bytes as f64 / (1 << 20) as f64 / elapsed.as_secs_f64();
+    println!(
+        "durability_wal_p{P}_r{R}_t{T}: fsync=batch+wave {FRAMES} frames ({bytes} B) in \
+         {elapsed:<10.2?} ({fps:.0} frames/s, {mibps:.1} MiB/s, {} fsyncs)",
+        wal.fsyncs(),
+    );
+    report.record(
+        "wal_append_fsync_batch_wave",
+        &[
+            ("frames", FRAMES as f64),
+            ("frame_bytes", bytes as f64 / FRAMES as f64),
+            ("fsyncs", wal.fsyncs() as f64),
+        ],
+        &samples,
+        Some(fps),
+    );
+    drop(wal);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// End-to-end epoch cost: the identical single-update publish through a

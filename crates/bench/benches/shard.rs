@@ -1,0 +1,175 @@
+//! Shard-by-paper scale-out benchmarks at P=50 000 / R=2000 (T=300,
+//! topic-model-shaped sparsity), recorded into `BENCH_shard.json`: the
+//! same workload solved through a [`ShardedStore`] at N ∈ {1, 2, 4, 8}
+//! shards, so the scatter-gather overhead and the update fan-out cost are
+//! tracked against the N=1 (unsharded-equivalent) baseline.
+//!
+//! * **Build** — `ShardedStore::new` wall time per shard count
+//!   (`build_n*` records): the split + N per-shard snapshot builds; total
+//!   work is the same at every N, so this mostly measures split overhead.
+//! * **Scatter-gather JRA** — 64 single-paper queries spread evenly over
+//!   the paper range, solved one call at a time under `TopK(32)` pruning
+//!   (`jra_n*` records, q/s throughput, p50/p99 µs as params). Routing
+//!   is a binary search plus one sub-batch per owning shard — the
+//!   per-query overhead over N=1 is the scatter-gather price.
+//! * **Update fan-out** — per-epoch apply cost for the two routing
+//!   extremes: a broadcast `PatchScores` batch every shard must apply in
+//!   lockstep (`update_broadcast_n*`), and a single-shard `AddPaper`
+//!   routed to the last shard only (`update_addpaper_n*`). Broadcast cost
+//!   grows with N (N prepare/publish pairs per epoch); AddPaper stays
+//!   flat (one shard builds, the rest are untouched).
+//!
+//! Reference numbers from one container run (release, single core): the
+//! P=50k build lands around 0.7–1.0 s at every N; JRA holds 170–200 q/s
+//! (p50 ~1.4–1.9 ms, p99 ~25 ms) with scatter adding low single-digit %
+//! over N=1; broadcast patches ~42 ms/epoch at N ≤ 4 rising to ~58 ms at
+//! N=8; AddPaper falls from ~19 ms/epoch at N=1 to ~3 ms at N=8, where
+//! the last shard owns an eighth of the papers.
+
+use std::time::{Duration, Instant};
+use wgrap_bench::report::BenchReport;
+use wgrap_core::engine::PruningPolicy;
+use wgrap_core::prelude::{Instance, Scoring};
+use wgrap_core::topic::TopicVector;
+use wgrap_service::{JraQuery, QueryPaper, ShardedStore, Update};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const P: usize = 50_000;
+const R: usize = 2_000;
+const T: usize = 300;
+const PAPER_NNZ: usize = 4;
+const REVIEWER_NNZ: usize = 6;
+const DELTA_P: usize = 3;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const QUERIES: usize = 64;
+const EPOCHS: usize = 4;
+
+fn sparse_vectors(n: usize, t: usize, nnz: usize, rng: &mut StdRng) -> Vec<TopicVector> {
+    (0..n)
+        .map(|_| {
+            let entries: Vec<(usize, f64)> =
+                (0..nnz).map(|_| (rng.random_range(0..t), rng.random::<f64>().max(1e-3))).collect();
+            TopicVector::from_sparse(t, &entries).normalized()
+        })
+        .collect()
+}
+
+fn build_instance(seed: u64) -> (Instance, StdRng) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let papers = sparse_vectors(P, T, PAPER_NNZ, &mut rng);
+    let reviewers = sparse_vectors(R, T, REVIEWER_NNZ, &mut rng);
+    // Headroom over the minimal feasible workload so AddPaper epochs land.
+    let delta_r = Instance::minimal_delta_r(P, R, DELTA_P) + 8;
+    (Instance::new(papers, reviewers, DELTA_P, delta_r).expect("valid bench instance"), rng)
+}
+
+fn patch(rng: &mut StdRng, i: usize) -> Update {
+    let expertise = sparse_vectors(1, T, REVIEWER_NNZ, rng).pop().unwrap();
+    Update::PatchScores { reviewer: ((i * 97) % R) as u32, expertise }
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let mut report = BenchReport::new("shard");
+    let (inst, rng) = build_instance(42);
+    let workload = [("papers", P as f64), ("reviewers", R as f64)];
+
+    for n in SHARD_COUNTS {
+        // Build: split + N per-shard snapshot builds.
+        let t0 = Instant::now();
+        let store = ShardedStore::new(inst.clone(), Scoring::WeightedCoverage, 42, n)
+            .expect("valid shard count");
+        let build_t = t0.elapsed();
+        println!("shard_build_p{P}_r{R}: N={n} built in {build_t:.2?}");
+        let mut params = workload.to_vec();
+        params.push(("shards", n as f64));
+        report.record(&format!("build_n{n}"), &params, &[build_t], None);
+
+        // Scatter-gather JRA: single-paper queries spread over the range,
+        // so every shard is exercised. One call per query — the samples
+        // are end-to-end route + solve + gather latencies.
+        let mut samples = Vec::with_capacity(QUERIES);
+        let start = Instant::now();
+        for q in 0..QUERIES {
+            let paper = q * (P / QUERIES) + q % 7;
+            let query = JraQuery::new(QueryPaper::Stored(paper));
+            let t0 = Instant::now();
+            let results = store.jra(query, PruningPolicy::TopK(32)).expect("in-range query");
+            assert!(!results.is_empty());
+            samples.push(t0.elapsed());
+        }
+        let elapsed = start.elapsed();
+        let qps = QUERIES as f64 / elapsed.as_secs_f64();
+        let mut sorted = samples.clone();
+        sorted.sort();
+        let (p50, p99) = (percentile(&sorted, 0.50), percentile(&sorted, 0.99));
+        println!(
+            "shard_jra_p{P}_r{R}: N={n} {QUERIES} queries in {elapsed:<10.2?} \
+             ({qps:.0} q/s, p50 {p50:.2?}, p99 {p99:.2?})"
+        );
+        let mut params = workload.to_vec();
+        params.push(("shards", n as f64));
+        params.push(("queries", QUERIES as f64));
+        params.push(("p50_us", p50.as_secs_f64() * 1e6));
+        params.push(("p99_us", p99.as_secs_f64() * 1e6));
+        report.record(&format!("jra_n{n}"), &params, &samples, Some(qps));
+
+        // Update fan-out, broadcast extreme: every epoch patches one
+        // reviewer, which `split_updates` fans out to all N shards.
+        let mut rng_b = rng.clone();
+        let broadcast: Vec<Duration> = (0..EPOCHS)
+            .map(|i| {
+                let update = patch(&mut rng_b, 7 + i);
+                let t0 = Instant::now();
+                store.apply(std::slice::from_ref(&update)).expect("patch applies");
+                t0.elapsed()
+            })
+            .collect();
+
+        // Update fan-out, single-shard extreme: AddPaper routes to the
+        // last shard only; the other N-1 shards are untouched.
+        let mut rng_a = rng.clone();
+        let addpaper: Vec<Duration> = (0..EPOCHS)
+            .map(|_| {
+                let topics = sparse_vectors(1, T, PAPER_NNZ, &mut rng_a).pop().unwrap();
+                let update = Update::AddPaper { name: None, topics, coi: Vec::new() };
+                let t0 = Instant::now();
+                store.apply(std::slice::from_ref(&update)).expect("capacity headroom");
+                t0.elapsed()
+            })
+            .collect();
+
+        let mean = |ts: &[Duration]| ts.iter().sum::<Duration>() / ts.len() as u32;
+        let (bc_t, ap_t) = (mean(&broadcast), mean(&addpaper));
+        println!(
+            "shard_update_p{P}_r{R}: N={n} broadcast patch {bc_t:<10.2?} \
+             addpaper {ap_t:<10.2?} per epoch"
+        );
+        let mut params = workload.to_vec();
+        params.push(("shards", n as f64));
+        params.push(("epochs", EPOCHS as f64));
+        report.record(
+            &format!("update_broadcast_n{n}"),
+            &params,
+            &broadcast,
+            Some(1.0 / bc_t.as_secs_f64()),
+        );
+        report.record(
+            &format!("update_addpaper_n{n}"),
+            &params,
+            &addpaper,
+            Some(1.0 / ap_t.as_secs_f64()),
+        );
+    }
+
+    match report.write() {
+        Ok(path) => println!("bench records -> {}", path.display()),
+        Err(e) => eprintln!("could not write bench records: {e}"),
+    }
+}

@@ -120,6 +120,7 @@ struct DurableMetrics {
     wal_fsyncs: Arc<Counter>,
     checkpoints: Arc<Counter>,
     checkpoint_failures: Arc<Counter>,
+    group_commits: Arc<Counter>,
     wal_bytes: Arc<Gauge>,
     wal_frames: Arc<Gauge>,
     append_seconds: Arc<Histogram>,
@@ -204,6 +205,18 @@ impl Durability {
         Ok(())
     }
 
+    /// Open a group-commit wave: while the returned guard (and any
+    /// overlapping one) lives, `Batch`-policy per-append fsyncs are
+    /// deferred, and one fsync covering every append of the wave runs when
+    /// the outermost guard drops. The server brackets each update
+    /// request's admission with a wave, so a burst of concurrent updates
+    /// costs one fsync instead of one per batch. `Always` acks stay
+    /// per-append — a wave never weakens that policy's contract.
+    pub fn begin_wave(&self) -> FsyncWave<'_> {
+        self.wal.lock().expect("wal lock").wave_enter();
+        FsyncWave { durability: self }
+    }
+
     /// Is `epoch` on the checkpoint cadence?
     pub(crate) fn should_checkpoint(&self, epoch: u64) -> bool {
         epoch.is_multiple_of(self.checkpoint_every)
@@ -281,6 +294,32 @@ impl Durability {
         }
     }
 
+    /// The wave boundary: run the deferred group-commit fsync if this was
+    /// the outermost wave and it owes one.
+    fn end_wave(&self) {
+        let mut wal = self.wal.lock().expect("wal lock");
+        if !wal.wave_exit() {
+            return;
+        }
+        let start = Instant::now();
+        // An fsync failure here cannot be surfaced to any single request
+        // (the wave's participants were already acked under the Batch
+        // policy's bounded-loss contract); the next flush point will
+        // retry the same data.
+        let synced = wal.sync().is_ok();
+        let elapsed = start.elapsed();
+        if synced {
+            self.state.lock().expect("durability state lock").last_fsync_epoch = wal.last_epoch();
+        }
+        if let Some(met) = &self.met {
+            if synced {
+                met.group_commits.inc();
+                met.wal_fsyncs.inc();
+                met.fsync_seconds.observe_duration(elapsed);
+            }
+        }
+    }
+
     /// Register the durability series in `telemetry` and record into them
     /// from now on: `wal_{appends,fsyncs}_total`, `wal_bytes_total`,
     /// `checkpoints_total`, `checkpoint_failures_total`, the `wal_bytes` /
@@ -296,6 +335,7 @@ impl Durability {
             wal_fsyncs: telemetry.counter("wal_fsyncs_total"),
             checkpoints: telemetry.counter("checkpoints_total"),
             checkpoint_failures: telemetry.counter("checkpoint_failures_total"),
+            group_commits: telemetry.counter("wal_group_commits_total"),
             wal_bytes: telemetry.gauge("wal_bytes"),
             wal_frames: telemetry.gauge("wal_frames"),
             append_seconds: telemetry.histogram("wal_append_seconds"),
@@ -314,5 +354,71 @@ impl Durability {
             .set(self.recovery.truncated_tail_bytes as i64);
         telemetry.histogram("recovery_seconds").observe_duration(self.recovery.duration);
         self.met = Some(met);
+    }
+}
+
+/// RAII handle for one group-commit wave — see [`Durability::begin_wave`].
+/// Dropping the outermost guard runs the deferred covering fsync.
+#[derive(Debug)]
+pub struct FsyncWave<'a> {
+    durability: &'a Durability,
+}
+
+impl Drop for FsyncWave<'_> {
+    fn drop(&mut self) {
+        self.durability.end_wave();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::Update;
+    use wgrap_core::prelude::{Instance, Scoring};
+    use wgrap_core::topic::TopicVector;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "wgrap-durable-{tag}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn overlapping_waves_commit_with_one_fsync() {
+        let dir = tmpdir("wave");
+        let opts =
+            DurableOptions { dir: dir.clone(), fsync: FsyncPolicy::Batch, checkpoint_every: 1_000 };
+        let inst = Instance::new(
+            vec![TopicVector::new(vec![0.5, 0.5])],
+            vec![TopicVector::new(vec![0.9, 0.1]), TopicVector::new(vec![0.1, 0.9])],
+            1,
+            2,
+        )
+        .unwrap();
+        let (store, _info) = recover(opts, inst, Scoring::WeightedCoverage, 7).unwrap();
+        let durability = store.durability().expect("durable store");
+        let base = durability.stats().fsyncs;
+        let add = |v: f64| Update::AddReviewer {
+            name: None,
+            expertise: TopicVector::new(vec![v, 1.0 - v]),
+        };
+        let outer = durability.begin_wave();
+        let inner = durability.begin_wave();
+        store.apply(&[add(0.3)]).unwrap();
+        store.apply(&[add(0.7)]).unwrap();
+        drop(inner);
+        assert_eq!(durability.stats().fsyncs, base, "no sync while a wave is open");
+        drop(outer);
+        let stats = durability.stats();
+        assert_eq!(stats.fsyncs, base + 1, "one fsync covered both batches");
+        assert_eq!(stats.last_fsync_epoch, 2);
+        // An empty wave is free.
+        drop(durability.begin_wave());
+        assert_eq!(durability.stats().fsyncs, base + 1);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -42,7 +42,10 @@ const BATCH_FSYNC_FRAMES: u64 = 8;
 ///   lost. The default.
 /// * `Batch` — fsync every 8 appends (and at every checkpoint and clean
 ///   shutdown); a crash can lose up to the last 7 acked batches, but
-///   recovery still lands on a *consistent* earlier epoch.
+///   recovery still lands on a *consistent* earlier epoch. Inside a
+///   group-commit wave ([`Wal::wave_enter`]) per-append syncs are
+///   deferred entirely and one fsync covers the whole wave when the last
+///   participant leaves.
 /// * `Never` — rely on the OS page cache (fsync only at checkpoints and
 ///   clean shutdown); fastest, weakest.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -161,6 +164,14 @@ pub struct Wal {
     frames: u64,
     fsyncs: u64,
     unsynced: u64,
+    /// Epoch of the most recently appended frame (0 before any append).
+    last_epoch: u64,
+    /// Open group-commit waves. While positive, `Batch`-policy syncs are
+    /// deferred to the wave boundary.
+    wave_depth: u64,
+    /// An append happened inside the current wave nest and its sync is
+    /// still owed.
+    wave_dirty: bool,
 }
 
 impl Wal {
@@ -189,7 +200,18 @@ impl Wal {
             repaired = true;
         }
         file.seek(SeekFrom::End(0))?;
-        let mut wal = Wal { file, path, policy, bytes, frames, fsyncs: 0, unsynced: 0 };
+        let mut wal = Wal {
+            file,
+            path,
+            policy,
+            bytes,
+            frames,
+            fsyncs: 0,
+            unsynced: 0,
+            last_epoch: 0,
+            wave_depth: 0,
+            wave_dirty: false,
+        };
         if repaired {
             wal.sync()?;
         }
@@ -206,15 +228,22 @@ impl Wal {
         self.bytes += frame.len() as u64;
         self.frames += 1;
         self.unsynced += 1;
+        self.last_epoch = epoch;
         Ok(frame.len() as u64)
     }
 
     /// Apply the fsync policy after an append: `Always` syncs now, `Batch`
-    /// syncs every `BATCH_FSYNC_FRAMES` appends, `Never` does nothing.
-    /// Returns whether an fsync actually ran.
+    /// syncs every `BATCH_FSYNC_FRAMES` appends — unless a group-commit
+    /// wave is open, in which case the sync is deferred to the wave
+    /// boundary — and `Never` does nothing. Returns whether an fsync
+    /// actually ran.
     pub fn maybe_sync(&mut self) -> io::Result<bool> {
         let due = match self.policy {
             FsyncPolicy::Always => true,
+            FsyncPolicy::Batch if self.wave_depth > 0 => {
+                self.wave_dirty = true;
+                false
+            }
             FsyncPolicy::Batch => self.unsynced >= BATCH_FSYNC_FRAMES,
             FsyncPolicy::Never => false,
         };
@@ -224,12 +253,40 @@ impl Wal {
         Ok(due)
     }
 
+    /// Enter a group-commit wave (nestable — overlapping admission waves
+    /// stack). While any wave is open, `Batch`-policy per-append syncs are
+    /// deferred; the wave's appends are covered by one fsync at the
+    /// boundary.
+    pub fn wave_enter(&mut self) {
+        self.wave_depth += 1;
+    }
+
+    /// Leave a group-commit wave. Returns `true` when this was the
+    /// outermost wave and appends inside it still owe a sync — the caller
+    /// runs the one covering [`Wal::sync`].
+    pub fn wave_exit(&mut self) -> bool {
+        self.wave_depth = self.wave_depth.saturating_sub(1);
+        if self.wave_depth == 0 && self.wave_dirty {
+            self.wave_dirty = false;
+            return true;
+        }
+        false
+    }
+
+    /// Epoch of the most recently appended frame (0 before any append).
+    pub fn last_epoch(&self) -> u64 {
+        self.last_epoch
+    }
+
     /// Unconditional fsync — flush points (checkpoint, clean shutdown) call
     /// this regardless of policy.
     pub fn sync(&mut self) -> io::Result<()> {
         self.file.sync_data()?;
         self.fsyncs += 1;
         self.unsynced = 0;
+        // A full sync also settles any wave debt (e.g. a checkpoint
+        // landing mid-wave).
+        self.wave_dirty = false;
         Ok(())
     }
 
@@ -372,6 +429,50 @@ mod tests {
         drop(wal);
         let scan = scan_wal(&dir).unwrap();
         assert_eq!((scan.records.len(), scan.truncated_bytes), (0, 0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn waves_defer_batch_syncs_to_the_outermost_boundary() {
+        let dir = tmpdir("wave");
+        let mut wal = Wal::open(&dir, FsyncPolicy::Batch, 0, 0).unwrap();
+        let base = wal.fsyncs();
+        // Two overlapping waves, three appends each — well past the
+        // BATCH_FSYNC_FRAMES cadence, yet nothing syncs until the
+        // outermost wave closes.
+        wal.wave_enter();
+        wal.wave_enter();
+        for e in 1..=9u64 {
+            wal.append(e, &one_update(0.5)).unwrap();
+            assert!(!wal.maybe_sync().unwrap(), "no sync inside a wave");
+        }
+        assert!(!wal.wave_exit(), "inner exit leaves the wave open");
+        assert!(wal.wave_exit(), "outermost exit owes the group sync");
+        wal.sync().unwrap();
+        assert_eq!(wal.fsyncs(), base + 1, "one fsync covered the whole wave");
+        assert_eq!(wal.last_epoch(), 9);
+        // A clean wave (no appends) owes nothing.
+        wal.wave_enter();
+        assert!(!wal.wave_exit());
+        // Outside waves the every-8 cadence is untouched.
+        for e in 10..=17u64 {
+            wal.append(e, &one_update(0.5)).unwrap();
+            let synced = wal.maybe_sync().unwrap();
+            assert_eq!(synced, e == 17, "cadence resumes at 8 unsynced appends");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn always_policy_ignores_waves() {
+        let dir = tmpdir("wave-always");
+        let mut wal = Wal::open(&dir, FsyncPolicy::Always, 0, 0).unwrap();
+        let base = wal.fsyncs();
+        wal.wave_enter();
+        wal.append(1, &one_update(0.5)).unwrap();
+        assert!(wal.maybe_sync().unwrap(), "Always acks imply a synced frame, wave or not");
+        assert!(!wal.wave_exit(), "nothing deferred, nothing owed");
+        assert_eq!(wal.fsyncs(), base + 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

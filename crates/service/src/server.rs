@@ -619,8 +619,14 @@ fn handle_update(frontend: &Frontend, request: &Json, proto: Protocol) -> Result
     let items =
         request.get("updates").and_then(Json::as_arr).ok_or("\"updates\" must be an array")?;
     let updates: Vec<Update> = items.iter().map(parse_update).collect::<Result<_, _>>()?;
+    // Group-commit bracket: concurrent update requests open overlapping
+    // fsync waves, so under `--fsync batch` one fsync covers the whole
+    // admission burst instead of running per batch. No-op without
+    // durability or under other policies.
+    let wave = frontend.service().store().durability().map(|d| d.begin_wave());
     let outcome =
         frontend.service().execute(&SolveRequest::Update(updates)).map_err(|e| e.to_string())?;
+    drop(wave);
     let Answer::Update(answer) = &outcome.answer else { unreachable!("update answer") };
     let mut members = vec![("ok", Json::Bool(true))];
     if proto == Protocol::V2 {

@@ -1,0 +1,165 @@
+//! Gather kernels for the scatter side of sharded execution: merging
+//! per-shard top-k result lists in the unsharded tie-break order, and the
+//! cross-shard capacity-reconciliation pass CRA needs because per-shard
+//! solves only see their own slice of each reviewer's load.
+
+use crate::{Error, Result};
+use wgrap_core::jra::JraResult;
+
+/// Merge per-shard top-k result lists (each already sorted the way
+/// [`bba`](wgrap_core::jra::bba)'s bounded heap emits them: descending
+/// score under `total_cmp`) into one global top-k.
+///
+/// Tie-breaking is **bit-identical to the unsharded path**: the merge is
+/// exactly a stable descending sort of the concatenation in part order,
+/// which is the order `TopK::into_sorted` produces when one heap sees the
+/// same groups in that sequence — equal-scored groups keep their
+/// earlier-part-first order, and scores are compared with `total_cmp`, so
+/// `-0.0`/`0.0` and NaN payloads order the same way they do inside the
+/// solver's heap.
+pub fn merge_top_k(parts: &[Vec<JraResult>], k: usize) -> Vec<JraResult> {
+    let mut all: Vec<&JraResult> = parts.iter().flatten().collect();
+    all.sort_by(|a, b| b.score.total_cmp(&a.score));
+    all.into_iter().take(k).cloned().collect()
+}
+
+/// Rebalance reviewer load after per-shard CRA solves: each shard
+/// enforced `δr` against its own papers only, so a reviewer popular on
+/// several shards can exceed `δr` globally. The pass walks overloaded
+/// reviewers in ascending id order and, for each, strips assignments from
+/// their highest-numbered papers first, asking `replace` for the best
+/// substitute reviewer — a `δp = 1` JRA solve on the paper's owning shard
+/// with the paper's current group and every at-capacity reviewer
+/// excluded, so the substitute is non-conflicted, distinct, and has spare
+/// capacity by construction.
+///
+/// `groups[p]` is global paper `p`'s reviewer group (global reviewer
+/// ids); it is patched in place. Returns the number of swaps performed.
+/// Deterministic given a deterministic `replace`. When a paper has no
+/// eligible substitute (its group plus the at-capacity reviewers plus its
+/// COIs cover the pool — common on exactly-at-capacity instances), the
+/// pass falls through to the next paper holding the overloaded reviewer,
+/// and only fails with the oracle's error (typically `Infeasible`) once
+/// every such paper is stuck.
+pub fn reconcile_capacity(
+    groups: &mut [Vec<usize>],
+    num_reviewers: usize,
+    delta_r: usize,
+    mut replace: impl FnMut(usize, &[u32]) -> Result<usize>,
+) -> Result<u64> {
+    let mut loads = vec![0usize; num_reviewers];
+    for group in groups.iter() {
+        for &r in group {
+            if r >= num_reviewers {
+                return Err(Error::InvalidInstance(format!(
+                    "assignment references unknown reviewer {r} (R = {num_reviewers})"
+                )));
+            }
+            loads[r] += 1;
+        }
+    }
+    let mut swaps = 0u64;
+    for r in 0..num_reviewers {
+        while loads[r] > delta_r {
+            // Papers still assigned to r, newest first — a deterministic
+            // order that needs no score state. Try each until one yields a
+            // substitute; excluding every at-capacity reviewer guarantees
+            // the swap never creates a new overload.
+            let mut outcome: Result<(usize, usize)> =
+                Err(Error::Infeasible(format!("an overloaded reviewer {r} appears in no group")));
+            for p in (0..groups.len()).rev().filter(|&p| groups[p].contains(&r)) {
+                let mut exclude: Vec<u32> = groups[p].iter().map(|&x| x as u32).collect();
+                exclude
+                    .extend((0..num_reviewers).filter(|&x| loads[x] >= delta_r).map(|x| x as u32));
+                exclude.sort_unstable();
+                exclude.dedup();
+                match replace(p, &exclude) {
+                    Ok(substitute) => {
+                        outcome = Ok((p, substitute));
+                        break;
+                    }
+                    Err(e) => outcome = Err(e),
+                }
+            }
+            let (p, substitute) = outcome?;
+            let group = &mut groups[p];
+            group.retain(|&x| x != r);
+            group.push(substitute);
+            group.sort_unstable();
+            loads[r] -= 1;
+            loads[substitute] += 1;
+            swaps += 1;
+        }
+    }
+    Ok(swaps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn res(score: f64, group: &[usize]) -> JraResult {
+        JraResult { group: group.to_vec(), score, nodes: 1 }
+    }
+
+    #[test]
+    fn merge_matches_stable_concat_sort() {
+        let parts = vec![
+            vec![res(0.9, &[0]), res(0.5, &[1])],
+            vec![res(0.9, &[2]), res(0.7, &[3]), res(0.1, &[4])],
+            vec![res(0.5, &[5])],
+        ];
+        let merged = merge_top_k(&parts, 4);
+        // Equal scores keep part order: [0] before [2], [1] before [5].
+        let groups: Vec<&[usize]> = merged.iter().map(|r| r.group.as_slice()).collect();
+        assert_eq!(groups, vec![&[0][..], &[2], &[3], &[1]]);
+        assert_eq!(merge_top_k(&parts, 0).len(), 0);
+        assert_eq!(merge_top_k(&parts, 99).len(), 6);
+    }
+
+    #[test]
+    fn reconcile_moves_overload_to_spare_capacity() {
+        // Reviewer 0 is on every paper; delta_r = 1. The oracle hands out
+        // the lowest non-excluded reviewer.
+        let mut groups = vec![vec![0, 1], vec![0, 2], vec![0, 3]];
+        let swaps = reconcile_capacity(&mut groups, 6, 1, |_p, exclude| {
+            (0..6usize)
+                .find(|&x| !exclude.contains(&(x as u32)))
+                .ok_or_else(|| Error::Infeasible("no substitute".into()))
+        })
+        .unwrap();
+        assert_eq!(swaps, 2);
+        let mut loads = vec![0usize; 6];
+        for g in &groups {
+            assert_eq!(g.len(), 2);
+            for &r in g {
+                loads[r] += 1;
+            }
+        }
+        assert!(loads.iter().all(|&l| l <= 1), "loads {loads:?}");
+        // Highest-numbered papers were stripped first, so paper 0 kept
+        // reviewer 0.
+        assert!(groups[0].contains(&0));
+        assert!(!groups[2].contains(&0));
+    }
+
+    #[test]
+    fn reconcile_noop_when_within_capacity() {
+        let mut groups = vec![vec![0, 1], vec![2, 3]];
+        let before = groups.clone();
+        let swaps =
+            reconcile_capacity(&mut groups, 4, 1, |_p, _ex| panic!("oracle must not be consulted"))
+                .unwrap();
+        assert_eq!(swaps, 0);
+        assert_eq!(groups, before);
+    }
+
+    #[test]
+    fn reconcile_propagates_oracle_failure() {
+        let mut groups = vec![vec![0], vec![0]];
+        let err = reconcile_capacity(&mut groups, 1, 1, |_p, _ex| {
+            Err(Error::Infeasible("everyone excluded".into()))
+        });
+        assert!(matches!(err, Err(Error::Infeasible(_))));
+    }
+}

@@ -1,0 +1,478 @@
+//! [`ShardedStore`]: N per-shard [`VersionedStore`]s advanced in epoch
+//! lockstep, with scatter-gather JRA and capacity-reconciled CRA.
+//!
+//! # Lockstep applies
+//!
+//! An update batch is split by the [`ShardPlan`] and applied under a
+//! two-phase prepare/publish: `begin_update` runs every affected shard's
+//! copy-on-write build first (each [`PendingUpdate`](crate::store::PendingUpdate)
+//! holds its store's builder gate), and only when all builds succeed are
+//! they published, in shard order, under one **global epoch**. A build
+//! failure on any shard drops every pending build — shards never diverge
+//! on which batches they saw. The publish window is guarded by a seqlock
+//! (`seq` is odd while publishes are in flight), so readers get a
+//! consistent cross-shard cut without blocking behind a build.
+//!
+//! # Global validation
+//!
+//! Each shard holds a slice of the papers but the full reviewer pool, so
+//! shard-local capacity checks (`R·δr ≥ P_shard·δp`) are looser than the
+//! global one. [`apply`](ShardedStore::apply) therefore pre-checks
+//! `AddPaper` capacity against the **global** paper count, producing the
+//! same error an unsharded store would — sharding never admits a batch
+//! the unsharded path rejects.
+
+use crate::batch::{JraBatch, JraQuery, QueryPaper};
+use crate::shard::{merge, ShardPlan};
+use crate::store::{Snapshot, Update, VersionedStore};
+use crate::{Error, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use wgrap_core::engine::spec::MethodKind;
+use wgrap_core::engine::PruningPolicy;
+use wgrap_core::jra::JraResult;
+use wgrap_core::prelude::{Assignment, Instance, Scoring};
+
+/// A conference assignment computed by per-shard CRA solves plus the
+/// cross-shard capacity-reconciliation pass.
+#[derive(Debug, Clone)]
+pub struct ShardedCraAnswer {
+    /// The global assignment (groups indexed by global paper id).
+    pub assignment: Assignment,
+    /// Total coverage `Σ_p c(g_p, p)` of the reconciled assignment,
+    /// summed in global paper order.
+    pub coverage: f64,
+    /// Reviewer swaps the reconciliation pass performed (0 when the
+    /// per-shard solves already respected `δr` globally).
+    pub swaps: u64,
+}
+
+/// N per-shard [`VersionedStore`]s advanced in epoch lockstep. See the
+/// module docs for the apply and read protocols.
+#[derive(Debug)]
+pub struct ShardedStore {
+    shards: Vec<VersionedStore>,
+    plan: RwLock<ShardPlan>,
+    /// Seqlock word: `seq / 2` is the global epoch, odd values mark a
+    /// publish wave in flight.
+    seq: AtomicU64,
+    /// Serializes appliers across the whole split/prepare/publish window.
+    gate: Mutex<()>,
+}
+
+impl ShardedStore {
+    /// Split `inst` into `num_shards` balanced contiguous paper ranges and
+    /// build one [`VersionedStore`] per shard (same scoring and seed on
+    /// every shard, so per-shard solves match the unsharded ones bit for
+    /// bit).
+    pub fn new(inst: Instance, scoring: Scoring, seed: u64, num_shards: usize) -> Result<Self> {
+        let plan = ShardPlan::balanced(inst.num_papers(), num_shards)?;
+        let shards = plan
+            .split_instance(&inst)?
+            .into_iter()
+            .map(|sub| VersionedStore::new(sub, scoring, seed))
+            .collect();
+        Ok(Self { shards, plan: RwLock::new(plan), seq: AtomicU64::new(0), gate: Mutex::new(()) })
+    }
+
+    /// Number of shards `N`.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The current shard plan (paper ranges grow as papers are added).
+    pub fn plan(&self) -> ShardPlan {
+        self.plan.read().expect("shard plan lock").clone()
+    }
+
+    /// The global epoch: how many non-empty update batches have been
+    /// published across all shards in lockstep.
+    pub fn global_epoch(&self) -> u64 {
+        self.seq.load(Ordering::Acquire) / 2
+    }
+
+    /// Shard `s`'s underlying store (telemetry, benches, tests).
+    pub fn shard(&self, s: usize) -> &VersionedStore {
+        &self.shards[s]
+    }
+
+    /// A consistent cross-shard cut: the plan and every shard's snapshot,
+    /// all from the same global epoch. Lock-free against builds — waits
+    /// only for an in-flight publish wave (the Arc swaps), never for a
+    /// copy-on-write build.
+    pub fn cut(&self) -> (ShardPlan, Vec<Arc<Snapshot>>) {
+        loop {
+            let before = self.seq.load(Ordering::Acquire);
+            if before % 2 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let plan = self.plan();
+            let snaps: Vec<Arc<Snapshot>> = self.shards.iter().map(|s| s.snapshot()).collect();
+            if self.seq.load(Ordering::Acquire) == before {
+                return (plan, snaps);
+            }
+        }
+    }
+
+    /// Apply an update batch across all shards in lockstep and return the
+    /// new global epoch. Splits the batch by paper range (`AddPaper` to
+    /// the last shard, reviewer updates broadcast), prepares every
+    /// affected shard's build, and publishes all of them under one global
+    /// epoch — or none, if any build (or the global capacity pre-check)
+    /// fails. An empty batch is a no-op.
+    pub fn apply(&self, updates: &[Update]) -> Result<u64> {
+        let _gate = self.gate.lock().expect("shard apply gate");
+        if updates.is_empty() {
+            return Ok(self.global_epoch());
+        }
+        let plan = self.plan();
+        self.check_global_capacity(&plan, updates)?;
+        let split = plan.split_updates(updates);
+        // Prepare: every build must succeed before anything publishes.
+        // Dropping `pending` on an early return releases every builder
+        // gate with no shard touched.
+        let mut pending = Vec::new();
+        for (s, sub) in split.iter().enumerate() {
+            if !sub.is_empty() {
+                pending.push(self.shards[s].begin_update(sub)?);
+            }
+        }
+        let added = updates.iter().filter(|u| matches!(u, Update::AddPaper { .. })).count();
+        // Publish wave: seq goes odd, readers spin rather than observe a
+        // half-published cut. In-memory publishes are infallible; the
+        // error path still closes the wave so readers never hang.
+        self.seq.fetch_add(1, Ordering::AcqRel);
+        let mut failure = None;
+        for pu in pending {
+            if let Err(e) = pu.publish() {
+                failure = Some(e);
+                break;
+            }
+        }
+        if failure.is_none() && added > 0 {
+            self.plan.write().expect("shard plan lock").note_papers_added(added);
+        }
+        self.seq.fetch_add(1, Ordering::AcqRel);
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(self.global_epoch()),
+        }
+    }
+
+    /// The unsharded `AddPaper` capacity check, replayed against global
+    /// counts (shard-local checks are looser — see the module docs). The
+    /// error string matches the unsharded path's exactly.
+    fn check_global_capacity(&self, plan: &ShardPlan, updates: &[Update]) -> Result<()> {
+        let inst0 = self.shards[0].snapshot();
+        let inst0 = inst0.instance();
+        let (delta_p, delta_r) = (inst0.delta_p(), inst0.delta_r());
+        let mut papers = plan.num_papers();
+        let mut reviewers = inst0.num_reviewers();
+        for update in updates {
+            match update {
+                Update::AddPaper { .. } => {
+                    if reviewers * delta_r < (papers + 1) * delta_p {
+                        return Err(Error::InvalidInstance(format!(
+                            "capacity shortfall after adding a paper: R*delta_r = {} < (P+1)*delta_p = {}",
+                            reviewers * delta_r,
+                            (papers + 1) * delta_p
+                        )));
+                    }
+                    papers += 1;
+                }
+                Update::AddReviewer { .. } => reviewers += 1,
+                Update::RetireReviewer { .. } | Update::PatchScores { .. } => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Scatter-gather JRA: each query routes to the shard owning its
+    /// paper (an ad-hoc paper goes to shard 0 — the reviewer pool is
+    /// replicated, so every shard answers it identically), per-shard
+    /// [`JraBatch`]es solve over shard-local candidates, and answers
+    /// gather back positionally. Reviewer ids in answers are global
+    /// (shards share the global pool), and every answer — group, score
+    /// bits, node count — is identical to the unsharded solve, per-entry
+    /// errors included.
+    pub fn jra_batch(
+        &self,
+        queries: &[JraQuery],
+        pruning: PruningPolicy,
+    ) -> Vec<Result<Vec<JraResult>>> {
+        let (plan, snaps) = self.cut();
+        // Scatter: slot i remembers where query i went.
+        enum Slot {
+            Routed { shard: usize, index: usize },
+            Failed(Error),
+        }
+        let mut batches: Vec<Option<JraBatch>> =
+            snaps.iter().map(|s| Some(JraBatch::new(Arc::clone(s), pruning))).collect();
+        let mut lens = vec![0usize; snaps.len()];
+        let slots: Vec<Slot> = queries
+            .iter()
+            .map(|query| {
+                let shard = match &query.paper {
+                    QueryPaper::Stored(p) => match plan.locate(*p) {
+                        Some((shard, local)) => {
+                            let mut sub = query.clone();
+                            sub.paper = QueryPaper::Stored(local);
+                            let batch = batches[shard].as_mut().expect("batch present");
+                            batch.push(sub);
+                            lens[shard] += 1;
+                            return Slot::Routed { shard, index: lens[shard] - 1 };
+                        }
+                        None => {
+                            return Slot::Failed(Error::InvalidInstance(format!(
+                                "paper {p} out of range (P = {})",
+                                plan.num_papers()
+                            )))
+                        }
+                    },
+                    QueryPaper::Adhoc(_) => 0,
+                };
+                batches[shard].as_mut().expect("batch present").push(query.clone());
+                lens[shard] += 1;
+                Slot::Routed { shard, index: lens[shard] - 1 }
+            })
+            .collect();
+        // Solve each shard's sub-batch, then gather positionally.
+        let mut answers: Vec<Vec<Option<Result<Vec<JraResult>>>>> = batches
+            .into_iter()
+            .map(|batch| {
+                let batch = batch.expect("batch present");
+                if batch.is_empty() {
+                    Vec::new()
+                } else {
+                    batch.run().into_iter().map(Some).collect()
+                }
+            })
+            .collect();
+        slots
+            .into_iter()
+            .map(|slot| match slot {
+                Slot::Routed { shard, index } => {
+                    answers[shard][index].take().expect("each slot gathered once")
+                }
+                Slot::Failed(e) => Err(e),
+            })
+            .collect()
+    }
+
+    /// Single-query convenience over [`jra_batch`](ShardedStore::jra_batch).
+    pub fn jra(&self, query: JraQuery, pruning: PruningPolicy) -> Result<Vec<JraResult>> {
+        self.jra_batch(std::slice::from_ref(&query), pruning).pop().expect("one query, one answer")
+    }
+
+    /// CRA across shards: solve each non-empty shard independently with
+    /// `method`, concatenate the per-shard groups in shard order (= global
+    /// paper order), then run the cross-shard
+    /// [capacity-reconciliation pass](merge::reconcile_capacity) — each
+    /// shard enforced `δr` against its own papers only, so a reviewer can
+    /// exceed it globally. Substitutes come from `δp = 1` JRA solves on
+    /// the paper's owning shard. Coverage is recomputed over the
+    /// reconciled groups in global paper order.
+    pub fn assign(&self, method: MethodKind, pruning: PruningPolicy) -> Result<ShardedCraAnswer> {
+        let (plan, snaps) = self.cut();
+        let scoring = snaps[0].ctx().scoring();
+        let mut groups: Vec<Vec<usize>> = Vec::with_capacity(plan.num_papers());
+        for snap in &snaps {
+            if snap.instance().num_papers() == 0 {
+                continue;
+            }
+            let solver = method.solver_with(pruning);
+            let assignment = solver.solve(snap.ctx())?;
+            assignment.validate(snap.instance())?;
+            for p in 0..assignment.num_papers() {
+                groups.push(assignment.group(p).to_vec());
+            }
+        }
+        let num_reviewers = snaps[0].instance().num_reviewers();
+        let delta_r = snaps[0].instance().delta_r();
+        let swaps =
+            merge::reconcile_capacity(&mut groups, num_reviewers, delta_r, |p, exclude| {
+                let (shard, local) = plan.locate(p).expect("reconciled paper is in range");
+                let mut query = JraQuery::new(QueryPaper::Stored(local));
+                query.delta_p = Some(1);
+                query.exclude = exclude.to_vec();
+                let mut batch = JraBatch::new(Arc::clone(&snaps[shard]), pruning);
+                batch.push(query);
+                let results = batch.run().pop().expect("one query, one answer")?;
+                Ok(results[0].group[0])
+            })?;
+        // Per-paper scores are shard-local (same paper vector, same
+        // reviewer pool), and the sum runs in global paper order — the
+        // same accumulation an unsharded coverage_score performs.
+        let mut coverage = 0.0;
+        for (s, snap) in snaps.iter().enumerate() {
+            let range = plan.range(s);
+            if range.is_empty() {
+                continue;
+            }
+            let local = Assignment::from_groups(groups[range.clone()].to_vec());
+            for lp in 0..range.len() {
+                coverage += local.paper_score(snap.instance(), scoring, lp);
+            }
+        }
+        Ok(ShardedCraAnswer { assignment: Assignment::from_groups(groups), coverage, swaps })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wgrap_core::prelude::CraAlgorithm;
+    use wgrap_core::topic::TopicVector;
+
+    fn tv(v: &[f64]) -> TopicVector {
+        TopicVector::new(v.to_vec())
+    }
+
+    /// 6 papers, 5 reviewers, δp = 2, δr = 4, one COI.
+    fn instance() -> Instance {
+        let papers = vec![
+            tv(&[0.7, 0.3, 0.0]),
+            tv(&[0.0, 0.5, 0.5]),
+            tv(&[0.2, 0.2, 0.6]),
+            tv(&[1.0, 0.0, 0.0]),
+            tv(&[0.0, 0.0, 1.0]),
+            tv(&[0.3, 0.4, 0.3]),
+        ];
+        let reviewers = vec![
+            tv(&[0.9, 0.1, 0.0]),
+            tv(&[0.0, 0.8, 0.2]),
+            tv(&[0.3, 0.3, 0.4]),
+            tv(&[0.0, 0.0, 1.0]),
+            tv(&[0.5, 0.5, 0.0]),
+        ];
+        let mut inst = Instance::new(papers, reviewers, 2, 4).unwrap();
+        inst.add_coi(0, 3);
+        inst
+    }
+
+    #[test]
+    fn jra_batch_matches_unsharded_bitwise() {
+        let inst = instance();
+        let unsharded = VersionedStore::new(inst.clone(), Scoring::WeightedCoverage, 42);
+        let sharded = ShardedStore::new(inst, Scoring::WeightedCoverage, 42, 3).unwrap();
+        let mut queries = Vec::new();
+        for p in 0..6 {
+            queries.push(JraQuery::new(QueryPaper::Stored(p)));
+        }
+        let mut topk = JraQuery::new(QueryPaper::Stored(2));
+        topk.top_k = 3;
+        queries.push(topk);
+        queries.push(JraQuery::new(QueryPaper::Adhoc(tv(&[0.1, 0.8, 0.1]))));
+        queries.push(JraQuery::new(QueryPaper::Stored(99))); // out of range
+        let mut reference = JraBatch::new(unsharded.snapshot(), PruningPolicy::Auto);
+        for q in &queries {
+            reference.push(q.clone());
+        }
+        let want = reference.run();
+        let got = sharded.jra_batch(&queries, PruningPolicy::Auto);
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            match (g, w) {
+                (Ok(gs), Ok(ws)) => {
+                    assert_eq!(gs.len(), ws.len());
+                    for (a, b) in gs.iter().zip(ws) {
+                        assert_eq!(a.group, b.group);
+                        assert_eq!(a.score.to_bits(), b.score.to_bits());
+                        assert_eq!(a.nodes, b.nodes);
+                    }
+                }
+                (Err(e), Err(f)) => assert_eq!(e.to_string(), f.to_string()),
+                _ => panic!("sharded/unsharded disagree on ok-ness"),
+            }
+        }
+    }
+
+    #[test]
+    fn lockstep_apply_touches_exactly_the_affected_shards() {
+        let sharded = ShardedStore::new(instance(), Scoring::WeightedCoverage, 7, 3).unwrap();
+        assert_eq!(sharded.global_epoch(), 0);
+        // Reviewer updates broadcast: every shard advances.
+        sharded
+            .apply(&[Update::AddReviewer { name: None, expertise: tv(&[0.2, 0.2, 0.6]) }])
+            .unwrap();
+        assert_eq!(sharded.global_epoch(), 1);
+        assert_eq!((0..3).map(|s| sharded.shard(s).epoch()).collect::<Vec<_>>(), [1, 1, 1]);
+        // AddPaper routes to the last shard only.
+        sharded
+            .apply(&[Update::AddPaper { name: None, topics: tv(&[0.0, 1.0, 0.0]), coi: vec![] }])
+            .unwrap();
+        assert_eq!(sharded.global_epoch(), 2);
+        assert_eq!((0..3).map(|s| sharded.shard(s).epoch()).collect::<Vec<_>>(), [1, 1, 2]);
+        let plan = sharded.plan();
+        assert_eq!(plan.num_papers(), 7);
+        assert_eq!(plan.locate(6), Some((2, 2)));
+        // The new paper answers queries with its global id.
+        let results =
+            sharded.jra(JraQuery::new(QueryPaper::Stored(6)), PruningPolicy::Auto).unwrap();
+        assert_eq!(results.len(), 1);
+        // Empty batches are a no-op.
+        assert_eq!(sharded.apply(&[]).unwrap(), 2);
+        assert_eq!(sharded.global_epoch(), 2);
+    }
+
+    #[test]
+    fn failed_build_publishes_nothing() {
+        let sharded = ShardedStore::new(instance(), Scoring::WeightedCoverage, 7, 3).unwrap();
+        let err = sharded.apply(&[
+            Update::AddPaper { name: None, topics: tv(&[0.5, 0.5, 0.0]), coi: vec![] },
+            Update::PatchScores { reviewer: 99, expertise: tv(&[1.0, 0.0, 0.0]) },
+        ]);
+        assert!(err.is_err());
+        assert_eq!(sharded.global_epoch(), 0);
+        assert_eq!((0..3).map(|s| sharded.shard(s).epoch()).collect::<Vec<_>>(), [0, 0, 0]);
+        assert_eq!(sharded.plan().num_papers(), 6);
+    }
+
+    #[test]
+    fn global_capacity_check_matches_unsharded_error() {
+        // P = 2, R = 2, δp = δr = 1: exactly at capacity. Each shard holds
+        // one paper, so shard-local checks would admit another paper — the
+        // global pre-check must reject with the unsharded error string.
+        let inst = Instance::new(
+            vec![tv(&[1.0, 0.0]), tv(&[0.0, 1.0])],
+            vec![tv(&[0.8, 0.2]), tv(&[0.2, 0.8])],
+            1,
+            1,
+        )
+        .unwrap();
+        let add = Update::AddPaper { name: None, topics: tv(&[0.5, 0.5]), coi: vec![] };
+        let unsharded = VersionedStore::new(inst.clone(), Scoring::WeightedCoverage, 1);
+        let want = unsharded.apply(std::slice::from_ref(&add)).unwrap_err();
+        let sharded = ShardedStore::new(inst, Scoring::WeightedCoverage, 1, 2).unwrap();
+        let got = sharded.apply(std::slice::from_ref(&add)).unwrap_err();
+        assert_eq!(got.to_string(), want.to_string());
+        assert_eq!(sharded.global_epoch(), 0);
+    }
+
+    #[test]
+    fn assign_reconciles_reviewer_load_across_shards() {
+        // δr = 1 with one reviewer dominating every paper: per-shard CRA
+        // keeps them to one paper per shard, but globally they exceed δr
+        // until the reconciliation pass swaps them out.
+        let papers = vec![tv(&[1.0, 0.0]), tv(&[0.9, 0.1]), tv(&[0.8, 0.2]), tv(&[0.7, 0.3])];
+        let reviewers = vec![
+            tv(&[1.0, 0.0]), // dominates on the first topic
+            tv(&[0.4, 0.6]),
+            tv(&[0.3, 0.7]),
+            tv(&[0.2, 0.8]),
+        ];
+        let inst = Instance::new(papers, reviewers, 1, 1).unwrap();
+        let sharded = ShardedStore::new(inst, Scoring::WeightedCoverage, 3, 2).unwrap();
+        let answer =
+            sharded.assign(MethodKind::Cra(CraAlgorithm::Greedy), PruningPolicy::Auto).unwrap();
+        assert_eq!(answer.assignment.num_papers(), 4);
+        let loads = answer.assignment.loads(4);
+        assert!(loads.iter().all(|&l| l <= 1), "loads {loads:?}");
+        assert!(answer.swaps >= 1, "the dominant reviewer must have been swapped somewhere");
+        assert!(answer.coverage.is_finite());
+        for p in 0..4 {
+            assert_eq!(answer.assignment.group(p).len(), 1);
+        }
+    }
+}

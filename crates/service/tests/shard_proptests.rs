@@ -1,0 +1,305 @@
+//! The sharding contracts ([`ShardedStore`] against the unsharded paths):
+//!
+//! 1. **Lockstep apply ≡ per-shard reference** — after any update
+//!    sequence, every shard of a [`ShardedStore`] is bit-identical to a
+//!    standalone [`VersionedStore`] built from the initial plan's
+//!    sub-instance with the plan-split sub-batch applied — for all four
+//!    scorings, at N ∈ {1, 2, 7} shards, whether the batch lands
+//!    atomically or one update per epoch.
+//! 2. **Scatter-gather JRA ≡ unsharded JRA** — a sharded
+//!    [`jra_batch`](ShardedStore::jra_batch) over any query mix (stored,
+//!    ad-hoc, out-of-range, top-k, excludes) returns answers bit-identical
+//!    to one unsharded [`JraBatch`]: same groups, same score bits, same
+//!    node counts, same error strings — at N ∈ {1, 2, 7}, with the
+//!    `rayon` feature on or off (CI runs both).
+//! 3. **Reconciled CRA is capacity-feasible** — per-shard solves plus the
+//!    cross-shard reconciliation pass always yield a globally feasible
+//!    assignment: every reviewer load ≤ δr, every group exactly δp
+//!    distinct non-conflicted reviewers, finite coverage.
+
+use proptest::prelude::*;
+use wgrap_core::engine::spec::MethodKind;
+use wgrap_core::engine::PruningPolicy;
+use wgrap_core::prelude::{CraAlgorithm, Instance, Scoring};
+use wgrap_core::topic::TopicVector;
+use wgrap_service::testutil::{assert_snapshot_bit_eq, reference_apply};
+use wgrap_service::{
+    JraBatch, JraQuery, QueryPaper, ShardPlan, ShardedStore, Update, VersionedStore,
+};
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 7];
+
+fn sparse_topic_vector(dim: usize) -> impl Strategy<Value = TopicVector> {
+    (proptest::collection::vec(0.0..1.0f64, dim), proptest::collection::vec(any::<bool>(), dim))
+        .prop_map(|(mut v, mask)| {
+            for (w, drop) in v.iter_mut().zip(mask) {
+                if drop {
+                    *w = 0.0;
+                }
+            }
+            if v.iter().sum::<f64>() <= 0.0 {
+                v[0] = 1.0;
+            }
+            TopicVector::new(v).normalized()
+        })
+}
+
+/// An update before id resolution: ids become concrete only while replaying
+/// (the pool grows and shrinks as the sequence applies).
+#[derive(Debug, Clone)]
+enum RawUpdate {
+    AddPaper { topics: TopicVector, coi_seed: u32 },
+    AddReviewer { expertise: TopicVector },
+    RetireReviewer { seed: u32 },
+    PatchScores { seed: u32, expertise: TopicVector },
+}
+
+fn raw_update(dim: usize) -> impl Strategy<Value = RawUpdate> {
+    (0u32..4, sparse_topic_vector(dim), any::<u32>()).prop_map(|(kind, v, seed)| match kind {
+        0 => RawUpdate::AddPaper { topics: v, coi_seed: seed },
+        1 => RawUpdate::AddReviewer { expertise: v },
+        2 => RawUpdate::RetireReviewer { seed },
+        _ => RawUpdate::PatchScores { seed, expertise: v },
+    })
+}
+
+/// Resolve raw updates into concrete ones against the evolving counts, so
+/// the sharded and the reference path replay the *same* sequence.
+fn resolve(inst: &Instance, raws: &[RawUpdate]) -> Vec<Update> {
+    let (mut num_p, mut num_r) = (inst.num_papers(), inst.num_reviewers());
+    let capacity_left = |num_p: usize, num_r: usize, inst: &Instance| {
+        num_r * inst.delta_r() >= (num_p + 1) * inst.delta_p()
+    };
+    let mut out = Vec::new();
+    for raw in raws {
+        match raw {
+            RawUpdate::AddPaper { topics, coi_seed } => {
+                if !capacity_left(num_p, num_r, inst) {
+                    continue; // would be rejected; keep the sequence applying
+                }
+                let coi = if coi_seed % 3 == 0 && num_r > 0 {
+                    vec![(coi_seed / 3) % num_r as u32]
+                } else {
+                    Vec::new()
+                };
+                out.push(Update::AddPaper { name: None, topics: topics.clone(), coi });
+                num_p += 1;
+            }
+            RawUpdate::AddReviewer { expertise } => {
+                out.push(Update::AddReviewer { name: None, expertise: expertise.clone() });
+                num_r += 1;
+            }
+            RawUpdate::RetireReviewer { seed } => {
+                out.push(Update::RetireReviewer { reviewer: seed % num_r as u32 });
+            }
+            RawUpdate::PatchScores { seed, expertise } => {
+                out.push(Update::PatchScores {
+                    reviewer: seed % num_r as u32,
+                    expertise: expertise.clone(),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn instance_strategy(dim: usize) -> impl Strategy<Value = Instance> {
+    (
+        proptest::collection::vec(sparse_topic_vector(dim), 2..5),
+        proptest::collection::vec(sparse_topic_vector(dim), 4..8),
+        1usize..3,
+    )
+        .prop_map(move |(papers, reviewers, delta_p)| {
+            let delta_p = delta_p.min(reviewers.len());
+            // Generous workload headroom so AddPaper updates mostly apply
+            // and reconciliation always has a substitute to hand out.
+            let delta_r = Instance::minimal_delta_r(papers.len(), reviewers.len(), delta_p) + 2;
+            Instance::new(papers, reviewers, delta_p, delta_r).expect("valid")
+        })
+}
+
+/// Derive one JRA query from a seed: mostly stored papers, with ad-hoc,
+/// out-of-range, top-k, and exclude variants mixed in deterministically.
+fn query_from_seed(
+    seed: u32,
+    num_papers: usize,
+    num_reviewers: usize,
+    adhoc: &TopicVector,
+) -> JraQuery {
+    let mut query = match seed % 5 {
+        0 => JraQuery::new(QueryPaper::Adhoc(adhoc.clone())),
+        1 => JraQuery::new(QueryPaper::Stored(num_papers + seed as usize % 3)), // out of range
+        _ => JraQuery::new(QueryPaper::Stored(seed as usize % num_papers)),
+    };
+    if seed.is_multiple_of(4) {
+        query.top_k = 1 + seed as usize % 3;
+    }
+    if seed.is_multiple_of(7) && num_reviewers > 0 {
+        query.exclude = vec![(seed / 7) % num_reviewers as u32];
+    }
+    query
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Contract 1: lockstep apply. Each shard of a [`ShardedStore`] that
+    /// applied an update batch must be bit-identical to a reference replay
+    /// of the plan-split sub-batch over the plan-split sub-instance —
+    /// whether the sharded store saw one atomic batch or one update per
+    /// epoch (the split is per-update, so both routes see the same
+    /// sub-sequences).
+    #[test]
+    fn sharded_apply_matches_per_shard_reference(
+        inst in instance_strategy(5),
+        raws in proptest::collection::vec(raw_update(5), 1..8),
+        seed in 0u64..1_000,
+    ) {
+        let updates = resolve(&inst, &raws);
+        let added = updates.iter().filter(|u| matches!(u, Update::AddPaper { .. })).count();
+        for num_shards in SHARD_COUNTS {
+            let plan = ShardPlan::balanced(inst.num_papers(), num_shards).expect("valid plan");
+            let subs = plan.split_instance(&inst).expect("plan covers the instance");
+            let split = plan.split_updates(&updates);
+            for scoring in Scoring::ALL {
+                // One atomic batch.
+                let sharded =
+                    ShardedStore::new(inst.clone(), scoring, seed, num_shards).expect("builds");
+                if !updates.is_empty() {
+                    sharded.apply(&updates).expect("resolved updates apply");
+                    prop_assert_eq!(sharded.global_epoch(), 1);
+                }
+                // One epoch per update: same final state on every shard.
+                let stepped =
+                    ShardedStore::new(inst.clone(), scoring, seed, num_shards).expect("builds");
+                for u in &updates {
+                    stepped.apply(std::slice::from_ref(u)).expect("applies");
+                }
+                prop_assert_eq!(stepped.global_epoch(), updates.len() as u64);
+                prop_assert_eq!(
+                    sharded.plan().num_papers(),
+                    inst.num_papers() + added,
+                    "plan must grow with AddPaper"
+                );
+                for s in 0..num_shards {
+                    let want = reference_apply(&subs[s], scoring, seed, &split[s])
+                        .expect("reference applies");
+                    assert_snapshot_bit_eq(&sharded.shard(s).snapshot(), &want);
+                    assert_snapshot_bit_eq(&stepped.shard(s).snapshot(), &want);
+                }
+            }
+        }
+    }
+
+    /// Contract 2: scatter-gather JRA bit-identity. Any query mix against
+    /// a [`ShardedStore`] answers exactly like one unsharded [`JraBatch`]
+    /// over the whole instance — groups, score bits, node counts, and
+    /// per-entry error strings all equal, at every shard count.
+    #[test]
+    fn sharded_jra_batch_matches_unsharded_bitwise(
+        inst in instance_strategy(5),
+        qseeds in proptest::collection::vec(any::<u32>(), 1..10),
+        adhoc in sparse_topic_vector(5),
+        seed in 0u64..1_000,
+    ) {
+        let queries: Vec<JraQuery> = qseeds
+            .iter()
+            .map(|&qs| query_from_seed(qs, inst.num_papers(), inst.num_reviewers(), &adhoc))
+            .collect();
+        for scoring in Scoring::ALL {
+            let unsharded = VersionedStore::new(inst.clone(), scoring, seed);
+            let mut reference = JraBatch::new(unsharded.snapshot(), PruningPolicy::Auto);
+            for q in &queries {
+                reference.push(q.clone());
+            }
+            let want = reference.run();
+            for num_shards in SHARD_COUNTS {
+                let sharded =
+                    ShardedStore::new(inst.clone(), scoring, seed, num_shards).expect("builds");
+                let got = sharded.jra_batch(&queries, PruningPolicy::Auto);
+                prop_assert_eq!(got.len(), want.len());
+                for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                    match (g, w) {
+                        (Ok(gs), Ok(ws)) => {
+                            prop_assert_eq!(gs.len(), ws.len(), "query {} result count", i);
+                            for (a, b) in gs.iter().zip(ws) {
+                                prop_assert_eq!(&a.group, &b.group, "query {} group", i);
+                                prop_assert_eq!(
+                                    a.score.to_bits(),
+                                    b.score.to_bits(),
+                                    "query {} score bits ({:?})",
+                                    i,
+                                    scoring
+                                );
+                                prop_assert_eq!(a.nodes, b.nodes, "query {} node count", i);
+                            }
+                        }
+                        (Err(e), Err(f)) => {
+                            prop_assert_eq!(e.to_string(), f.to_string(), "query {} error", i)
+                        }
+                        _ => prop_assert!(
+                            false,
+                            "query {i}: sharded/unsharded disagree on ok-ness ({num_shards} shards)"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Contract 3: reconciled CRA feasibility. Per-shard solves enforce δr
+    /// only against their own slice of the papers, so the cross-shard
+    /// reconciliation pass must restore the global constraint: every
+    /// reviewer ends at load ≤ δr and every paper keeps exactly δp
+    /// distinct, non-conflicted reviewers — including after updates grow
+    /// the instance past the initial plan.
+    #[test]
+    fn reconciled_assignment_is_capacity_feasible(
+        inst in instance_strategy(5),
+        raws in proptest::collection::vec(raw_update(5), 0..5),
+        seed in 0u64..1_000,
+        shard_pick in 0usize..3,
+    ) {
+        let num_shards = [2usize, 3, 7][shard_pick];
+        let updates = resolve(&inst, &raws);
+        let reference = VersionedStore::new(inst.clone(), Scoring::WeightedCoverage, seed);
+        if !updates.is_empty() {
+            reference.apply(&updates).expect("resolved updates apply");
+        }
+        let snapshot = reference.snapshot();
+        let current = snapshot.instance();
+        let sharded =
+            ShardedStore::new(inst, Scoring::WeightedCoverage, seed, num_shards).expect("builds");
+        if !updates.is_empty() {
+            sharded.apply(&updates).expect("resolved updates apply");
+        }
+        let answer = sharded
+            .assign(MethodKind::Cra(CraAlgorithm::Greedy), PruningPolicy::Auto)
+            .expect("slackful instances stay assignable");
+        prop_assert_eq!(answer.assignment.num_papers(), current.num_papers());
+        prop_assert!(answer.coverage.is_finite());
+        let mut loads = vec![0usize; current.num_reviewers()];
+        for p in 0..current.num_papers() {
+            let group = answer.assignment.group(p);
+            prop_assert_eq!(group.len(), current.delta_p(), "paper {} group size", p);
+            let mut distinct: Vec<usize> = group.to_vec();
+            distinct.sort_unstable();
+            distinct.dedup();
+            prop_assert_eq!(distinct.len(), current.delta_p(), "paper {} has repeats", p);
+            for &r in group {
+                prop_assert!(r < current.num_reviewers(), "paper {} reviewer {} in range", p, r);
+                prop_assert!(!current.is_coi(r, p), "paper {} assigned conflicted reviewer {}", p, r);
+                loads[r] += 1;
+            }
+        }
+        for (r, &load) in loads.iter().enumerate() {
+            prop_assert!(
+                load <= current.delta_r(),
+                "reviewer {} load {} exceeds delta_r {}",
+                r,
+                load,
+                current.delta_r()
+            );
+        }
+    }
+}

@@ -15,6 +15,13 @@
 //!     Exact best reviewer group(s) for a single paper (BBA).
 //! wgrap gen     <papers> <reviewers> <delta_p> [--seed N]
 //!     Emit a synthetic instance in the text format.
+//! wgrap shard   <instance-file> <num-shards> <out-prefix>
+//!     Split the instance into contiguous-by-paper shard files
+//!     (<out-prefix>-0.wgrap, ...): each shard gets its paper slice, the
+//!     full reviewer pool, the same delta_p/delta_r, remapped COI pairs
+//!     and the original display names. Serve each file with a plain
+//!     `wgrap serve --listen`, then front them with `wgrap serve
+//!     --router`.
 //! wgrap serve   <instance-file> [--listen ADDR] [--scoring ...] [--seed N]
 //!               [--method sdga-sra] [--pruning ...] [--topk K]
 //!               [--threads N] [--max-inflight N] [--queue-depth N]
@@ -44,6 +51,19 @@
 //!     truncating any torn tail). --fsync picks the WAL fsync policy
 //!     (always | batch | never; default always). Durability never changes
 //!     answer bytes — v2 stats just gains a "durability" section.
+//! wgrap serve   --router HOST:PORT,HOST:PORT,... [--listen ADDR]
+//!               [--metrics-listen ADDR]
+//!     Scatter-gather router mode: no instance file — the router connects
+//!     to the given shard servers (each a plain `wgrap serve --listen`
+//!     over one `wgrap shard` file, in shard order), builds its paper
+//!     plan from their reported sizes, and speaks the same NDJSON v1/v2
+//!     protocol on stdin or --listen. jra/batch route by paper, updates
+//!     split by kind (add_paper to the last shard, reviewer changes
+//!     broadcast), assign runs per-shard solves plus a cross-shard
+//!     capacity-reconciliation pass, and v2 stats gains a per-shard
+//!     "shards" section. An unreachable shard degrades to a structured
+//!     "shard_down" error, never a hang. --metrics-listen exposes the
+//!     router's own registry (wgrap_shard_* series) as Prometheus text.
 //! ```
 //!
 //! Every solving subcommand — `assign`, `journal`, `check`'s candidate
@@ -74,6 +94,7 @@ const SUBCOMMAND_FLAGS: &[(&str, &[&str])] = &[
     ("check", &["--scoring"]),
     ("journal", &["--scoring", "--top-k", "--pruning", "--topk"]),
     ("gen", &["--seed"]),
+    ("shard", &[]),
     (
         "serve",
         &[
@@ -93,6 +114,7 @@ const SUBCOMMAND_FLAGS: &[(&str, &[&str])] = &[
             "--data-dir",
             "--fsync",
             "--checkpoint-every",
+            "--router",
         ],
     ),
 ];
@@ -131,6 +153,7 @@ struct Flags {
     data_dir: Option<String>,
     fsync: Option<FsyncPolicy>,
     checkpoint_every: Option<u64>,
+    router: Option<String>,
 }
 
 fn parse_flags(cmd: &str, args: &[String]) -> Result<Flags> {
@@ -157,6 +180,7 @@ fn parse_flags(cmd: &str, args: &[String]) -> Result<Flags> {
         data_dir: None,
         fsync: None,
         checkpoint_every: None,
+        router: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -202,6 +226,7 @@ fn parse_flags(cmd: &str, args: &[String]) -> Result<Flags> {
                 flags.pruning = Some(PruningPolicy::TopK(k));
             }
             "--listen" => flags.listen = Some(value("--listen")?),
+            "--router" => flags.router = Some(value("--router")?),
             "--metrics-listen" => flags.metrics_listen = Some(value("--metrics-listen")?),
             "--data-dir" => flags.data_dir = Some(value("--data-dir")?),
             "--fsync" => {
@@ -363,7 +388,81 @@ fn cmd_gen(flags: &Flags) -> Result<()> {
     Ok(())
 }
 
+fn cmd_shard(flags: &Flags) -> Result<()> {
+    let [path, shards, prefix] = &flags.positional[..] else {
+        return Err(Error::InvalidInstance(
+            "shard needs <instance> <num-shards> <out-prefix>".into(),
+        ));
+    };
+    let shards: usize = shards
+        .parse()
+        .map_err(|_| Error::InvalidInstance("num-shards must be an integer".into()))?;
+    let inst = io::parse_instance(&read(path)?)?;
+    let plan = wgrap::service::ShardPlan::balanced(inst.num_papers(), shards)?;
+    for (s, sub) in plan.split_instance(&inst)?.iter().enumerate() {
+        let out = format!("{prefix}-{s}.wgrap");
+        std::fs::write(&out, io::write_instance(sub))
+            .map_err(|e| Error::Io(format!("cannot write {out}: {e}")))?;
+        let range = plan.range(s);
+        eprintln!("# shard {s}: papers {}..{} -> {out}", range.start, range.end);
+    }
+    Ok(())
+}
+
+/// `serve --router`: scatter-gather front-end over already-running shard
+/// servers. No local store — the router holds only the shard plan, the
+/// persistent downstream connections and its own telemetry registry.
+fn cmd_serve_router(flags: &Flags, addr_list: &str) -> Result<()> {
+    if !flags.positional.is_empty() {
+        return Err(Error::InvalidInstance(
+            "--router replaces the instance file; drop the positional argument".into(),
+        ));
+    }
+    if flags.multi {
+        return Err(Error::InvalidInstance("--multi replays one process; drop --router".into()));
+    }
+    if flags.data_dir.is_some() || flags.fsync.is_some() || flags.checkpoint_every.is_some() {
+        return Err(Error::InvalidInstance(
+            "--data-dir/--fsync/--checkpoint-every apply to shard processes, not the router".into(),
+        ));
+    }
+    let addrs: Vec<String> =
+        addr_list.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from).collect();
+    let router = std::sync::Arc::new(wgrap::service::Router::connect(
+        &addrs,
+        wgrap::service::RouterOptions::default(),
+    )?);
+    eprintln!("# wgrap router: {} shards", router.num_shards());
+    if let Some(addr) = &flags.metrics_listen {
+        let listener = std::net::TcpListener::bind(addr)
+            .map_err(|e| Error::InvalidInstance(format!("cannot listen on {addr}: {e}")))?;
+        eprintln!("# wgrap metrics listening on {}", listener.local_addr().unwrap());
+        let telemetry = std::sync::Arc::clone(router.telemetry());
+        std::thread::spawn(move || {
+            let _ = wgrap::service::serve_metrics(listener, telemetry);
+        });
+    }
+    let io_err = |e: std::io::Error| Error::InvalidInstance(format!("serve I/O error: {e}"));
+    match &flags.listen {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            wgrap::service::serve_router_connection(&router, stdin.lock(), stdout.lock())
+                .map_err(io_err)
+        }
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(addr)
+                .map_err(|e| Error::InvalidInstance(format!("cannot listen on {addr}: {e}")))?;
+            eprintln!("# wgrap router listening on {}", listener.local_addr().unwrap());
+            wgrap::service::serve_router_tcp(listener, router).map_err(io_err)
+        }
+    }
+}
+
 fn cmd_serve(flags: &Flags) -> Result<()> {
+    if let Some(addrs) = &flags.router {
+        return cmd_serve_router(flags, addrs);
+    }
     let [path] = &flags.positional[..] else {
         return Err(Error::InvalidInstance("serve needs exactly one instance file".into()));
     };
@@ -456,7 +555,9 @@ fn cmd_serve(flags: &Flags) -> Result<()> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("usage: wgrap <assign|check|journal|gen|serve> ... (see --help in source docs)");
+        eprintln!(
+            "usage: wgrap <assign|check|journal|gen|shard|serve> ... (see --help in source docs)"
+        );
         return ExitCode::from(2);
     };
     let run = || -> Result<()> {
@@ -466,6 +567,7 @@ fn main() -> ExitCode {
             "check" => cmd_check(&flags),
             "journal" => cmd_journal(&flags),
             "gen" => cmd_gen(&flags),
+            "shard" => cmd_shard(&flags),
             "serve" => cmd_serve(&flags),
             other => Err(Error::InvalidInstance(format!("unknown command '{other}'"))),
         }
